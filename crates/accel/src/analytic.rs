@@ -1,0 +1,242 @@
+//! Analytic work models for point operations at scales where executing the
+//! real `O(n²)` reference is infeasible (the paper evaluates up to 289K and
+//! 1M points).
+//!
+//! Every closed form here is cross-validated against the *measured*
+//! counters of the executable implementations at small scales by the tests
+//! at the bottom of this file — the same methodology as calibrating a fast
+//! model against a cycle-accurate one.
+
+use fractalcloud_pointcloud::ops::OpCounters;
+
+/// Bytes per point record at FP16 (x, y, z).
+pub const COORD_BYTES: u64 = 6;
+/// Bytes per feature scalar at FP16.
+pub const SCALAR_BYTES: u64 = 2;
+
+/// Counters of a *global* FPS selecting `m` of `n` points (§II-B: `m − 1`
+/// iterations, each an all-candidate traversal).
+pub fn global_fps(n: usize, m: usize) -> OpCounters {
+    global_fps_with_window(n, m, false)
+}
+
+/// Global FPS with an optional window-check skip: iteration `k` visits only
+/// the `n − k` still-unsampled candidates instead of all `n` (Fig. 11(c)).
+pub fn global_fps_with_window(n: usize, m: usize, window_check: bool) -> OpCounters {
+    let iters = m.saturating_sub(1) as u64;
+    let n64 = n as u64;
+    let (evals, skipped) = if window_check {
+        let saved = iters * (iters + 1) / 2;
+        (iters * n64 - saved, saved)
+    } else {
+        (iters * n64, 0)
+    };
+    OpCounters {
+        distance_evals: evals,
+        comparisons: 2 * evals,
+        coord_reads: evals,
+        writes: m as u64,
+        skipped,
+        ..Default::default()
+    }
+}
+
+/// Counters of a global ball query / KNN: every center scans every
+/// candidate.
+pub fn global_neighbor(centers: usize, candidates: usize, num: usize) -> OpCounters {
+    let evals = centers as u64 * candidates as u64;
+    OpCounters {
+        distance_evals: evals,
+        comparisons: evals,
+        coord_reads: evals,
+        writes: (centers * num) as u64,
+        ..Default::default()
+    }
+}
+
+/// Counters of a gather resolving `rows × num` indices.
+pub fn gather(rows: usize, num: usize) -> OpCounters {
+    OpCounters {
+        feature_reads: (rows * num) as u64,
+        writes: (rows * num) as u64,
+        ..Default::default()
+    }
+}
+
+/// Per-block work of block-wise FPS at a fixed `rate`, with or without the
+/// window-check skip.
+///
+/// Without skip, block `b` costs `(m_b − 1) · n_b` evals. With skip,
+/// iteration `k` visits only the `n_b − k` unsampled candidates:
+/// `Σ_{k=1}^{m_b−1} (n_b − k)`.
+///
+/// Returns `(total, critical_block, per_block_evals)`.
+pub fn block_fps(
+    block_sizes: &[usize],
+    rate: f64,
+    window_check: bool,
+) -> (OpCounters, OpCounters, Vec<u64>) {
+    let mut total = OpCounters::new();
+    let mut critical = OpCounters::new();
+    let mut per_block = Vec::with_capacity(block_sizes.len());
+    for &n_b in block_sizes {
+        let m_b = ((n_b as f64) * rate).round() as u64;
+        let n_b = n_b as u64;
+        let iters = m_b.saturating_sub(1);
+        let evals = if window_check {
+            // Σ_{k=1}^{iters} (n_b − k)
+            iters * n_b - iters * (iters + 1) / 2
+        } else {
+            iters * n_b
+        };
+        let skipped = if window_check { iters * (iters + 1) / 2 } else { 0 };
+        let c = OpCounters {
+            distance_evals: evals,
+            comparisons: 2 * evals,
+            coord_reads: evals,
+            writes: m_b,
+            skipped,
+            ..Default::default()
+        };
+        per_block.push(evals);
+        total.merge(&c);
+        if c.distance_evals >= critical.distance_evals {
+            critical = c;
+        }
+    }
+    (total, critical, per_block)
+}
+
+/// Per-block work of block-wise neighbor search: block `b` has
+/// `centers_rate · n_b` centers, each scanning `search_factor · n_b`
+/// candidates (`search_factor` ≈ 2 with parent expansion, 1 without).
+///
+/// Returns `(total, critical_block, per_block_evals)`.
+pub fn block_neighbor(
+    block_sizes: &[usize],
+    centers_rate: f64,
+    search_factor: f64,
+    num: usize,
+) -> (OpCounters, OpCounters, Vec<u64>) {
+    let mut total = OpCounters::new();
+    let mut critical = OpCounters::new();
+    let mut per_block = Vec::with_capacity(block_sizes.len());
+    for &n_b in block_sizes {
+        let centers = ((n_b as f64) * centers_rate).round() as u64;
+        let candidates = ((n_b as f64) * search_factor).round() as u64;
+        let evals = centers * candidates;
+        let c = OpCounters {
+            distance_evals: evals,
+            comparisons: evals,
+            coord_reads: evals,
+            writes: centers * num as u64,
+            ..Default::default()
+        };
+        per_block.push(evals);
+        total.merge(&c);
+        if c.distance_evals >= critical.distance_evals {
+            critical = c;
+        }
+    }
+    (total, critical, per_block)
+}
+
+/// Block sizes after `stage` rounds of 1/4 sampling: the samples of a block
+/// stay in that block, so each stage scales every block by the cumulative
+/// rate (empty blocks drop out).
+pub fn stage_block_sizes(base: &[usize], rate: f64, stage: u32) -> Vec<usize> {
+    let factor = rate.powi(stage as i32);
+    base.iter()
+        .map(|&s| ((s as f64) * factor).round() as usize)
+        .filter(|&s| s > 0)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fractalcloud_core::{block_fps as run_block_fps, BppoConfig, Fractal};
+    use fractalcloud_pointcloud::generate::{scene_cloud, SceneConfig};
+    use fractalcloud_pointcloud::ops::farthest_point_sample;
+
+    /// The analytic global-FPS counters must match the implementation
+    /// exactly.
+    #[test]
+    fn global_fps_matches_measured() {
+        let cloud = scene_cloud(&SceneConfig::default(), 1500, 1);
+        let measured = farthest_point_sample(&cloud, 300, 0).unwrap().counters;
+        let analytic = global_fps(1500, 300);
+        assert_eq!(analytic.distance_evals, measured.distance_evals);
+        assert_eq!(analytic.coord_reads, measured.coord_reads);
+        assert_eq!(analytic.writes, measured.writes);
+    }
+
+    /// The analytic block-FPS counters must track the measured ones within
+    /// a few percent (rounding of per-block sample counts differs).
+    #[test]
+    fn block_fps_matches_measured() {
+        let cloud = scene_cloud(&SceneConfig::default(), 4096, 2);
+        let part = Fractal::with_threshold(256).build(&cloud).unwrap().partition;
+        let sizes: Vec<usize> = part.blocks.iter().map(|b| b.len()).collect();
+        let measured =
+            run_block_fps(&cloud, &part, 0.25, &BppoConfig::sequential()).unwrap().counters;
+        let (analytic, _, _) = block_fps(&sizes, 0.25, true);
+        let ratio = analytic.distance_evals as f64 / measured.distance_evals as f64;
+        assert!((0.95..=1.05).contains(&ratio), "block FPS ratio {ratio}");
+    }
+
+    #[test]
+    fn window_check_saves_triangular_work() {
+        let sizes = vec![256usize; 16];
+        let (with, _, _) = block_fps(&sizes, 0.25, true);
+        let (without, _, _) = block_fps(&sizes, 0.25, false);
+        assert!(with.distance_evals < without.distance_evals);
+        assert_eq!(
+            without.distance_evals - with.distance_evals,
+            with.skipped,
+            "saved work must equal skip count"
+        );
+    }
+
+    #[test]
+    fn block_neighbor_scales_with_parent_factor() {
+        let sizes = vec![256usize; 8];
+        let (own, _, _) = block_neighbor(&sizes, 0.25, 1.0, 16);
+        let (parent, _, _) = block_neighbor(&sizes, 0.25, 2.0, 16);
+        assert_eq!(parent.distance_evals, 2 * own.distance_evals);
+    }
+
+    #[test]
+    fn stage_sizes_shrink_and_drop_empties() {
+        let base = vec![256, 200, 3, 64];
+        let s1 = stage_block_sizes(&base, 0.25, 1);
+        assert_eq!(s1, vec![64, 50, 1, 16]);
+        let s3 = stage_block_sizes(&base, 0.25, 3);
+        // 3 × (1/64) rounds to 0 and drops.
+        assert_eq!(s3, vec![4, 3, 1]);
+    }
+
+    #[test]
+    fn global_vs_block_gap_grows_quadratically() {
+        // The core scaling argument: global FPS is O(n²·rate) while block
+        // FPS is O(n·th·rate).
+        let th = 256usize;
+        for &n in &[16_384usize, 65_536, 262_144] {
+            let blocks = vec![th; n / th];
+            let (block, _, _) = block_fps(&blocks, 0.25, true);
+            let global = global_fps(n, n / 4);
+            let speedup = global.distance_evals as f64 / block.distance_evals as f64;
+            let expected = n as f64 / th as f64; // ≈ n/th
+            assert!(
+                (0.3..=3.0).contains(&(speedup / expected)),
+                "n={n}: speedup {speedup}, expected ≈{expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn gather_counts_rows() {
+        let g = gather(1000, 16);
+        assert_eq!(g.feature_reads, 16_000);
+    }
+}

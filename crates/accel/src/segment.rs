@@ -1,0 +1,213 @@
+//! Stage-level view of an [`OpTrace`]: groups the flat op list into the
+//! set-abstraction / propagation / head segments that accelerator models
+//! reason about (delayed aggregation, per-stage block structure).
+
+use fractalcloud_pnn::{MlpKind, OpTrace, PnnOp};
+
+/// One MLP layer shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MlpShape {
+    /// Rows.
+    pub rows: usize,
+    /// Input channels.
+    pub cin: usize,
+    /// Output channels.
+    pub cout: usize,
+}
+
+/// A set-abstraction stage as the hardware sees it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SaSegment {
+    /// Points entering the stage.
+    pub n_in: usize,
+    /// Sampled centers.
+    pub n_out: usize,
+    /// Neighbors per center.
+    pub nsample: usize,
+    /// Ball-query radius.
+    pub radius: f32,
+    /// Channels entering (including the +3 relative coordinates).
+    pub cin: usize,
+    /// Grouped-MLP layer widths.
+    pub mlp: Vec<usize>,
+    /// Post-pool residual pointwise layers.
+    pub blocks: Vec<MlpShape>,
+}
+
+impl SaSegment {
+    /// Output channel width of the stage.
+    pub fn cout(&self) -> usize {
+        *self.mlp.last().expect("non-empty MLP")
+    }
+}
+
+/// A feature-propagation stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FpSegment {
+    /// Points being reconstructed.
+    pub targets: usize,
+    /// Sampled points providing features.
+    pub sources: usize,
+    /// Interpolation neighbors.
+    pub k: usize,
+    /// Channels interpolated.
+    pub channels: usize,
+    /// Post-concat MLP layers.
+    pub mlp: Vec<MlpShape>,
+}
+
+/// The segmented trace.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Segments {
+    /// Stem layers (pointwise, before the first sampling).
+    pub stem: Vec<MlpShape>,
+    /// Abstraction stages, outermost first.
+    pub abstraction: Vec<SaSegment>,
+    /// Propagation stages, innermost first.
+    pub propagation: Vec<FpSegment>,
+    /// Head layers.
+    pub head: Vec<MlpShape>,
+}
+
+impl Segments {
+    /// Parses a trace into segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace does not follow the canonical
+    /// stem → (SA)⁺ → (FP)* → head structure every Table I network has.
+    pub fn parse(trace: &OpTrace) -> Segments {
+        let mut out = Segments::default();
+        let mut ops = trace.ops.iter().peekable();
+        let mut saw_sample = false;
+        let mut saw_interp = false;
+
+        while let Some(op) = ops.next() {
+            match *op {
+                PnnOp::Mlp { rows, cin, cout, kind: MlpKind::Head } => {
+                    out.head.push(MlpShape { rows, cin, cout });
+                }
+                PnnOp::Mlp { rows, cin, cout, kind: MlpKind::Pointwise } => {
+                    let shape = MlpShape { rows, cin, cout };
+                    if !saw_sample {
+                        out.stem.push(shape);
+                    } else if saw_interp {
+                        let fp = out.propagation.last_mut().expect("FP exists");
+                        debug_assert_eq!(rows, fp.targets);
+                        fp.mlp.push(shape);
+                    } else {
+                        let sa = out.abstraction.last_mut().expect("SA exists");
+                        debug_assert_eq!(rows, sa.n_out);
+                        sa.blocks.push(shape);
+                    }
+                }
+                PnnOp::Sample { n_in, n_out } => {
+                    saw_sample = true;
+                    // The following ops must be Group / Gather.
+                    let Some(PnnOp::Group { centers, candidates, nsample, radius }) =
+                        ops.next().copied()
+                    else {
+                        panic!("Sample must be followed by Group");
+                    };
+                    assert_eq!(centers, n_out);
+                    assert_eq!(candidates, n_in);
+                    let Some(PnnOp::Gather { channels, .. }) = ops.next().copied() else {
+                        panic!("Group must be followed by Gather");
+                    };
+                    let mut mlp = Vec::new();
+                    while let Some(PnnOp::Mlp { cout, kind: MlpKind::Grouped { .. }, .. }) =
+                        ops.peek()
+                    {
+                        mlp.push(*cout);
+                        ops.next();
+                    }
+                    let Some(PnnOp::MaxPool { .. }) = ops.next() else {
+                        panic!("grouped MLP must end in MaxPool");
+                    };
+                    out.abstraction.push(SaSegment {
+                        n_in,
+                        n_out,
+                        nsample,
+                        radius,
+                        cin: channels,
+                        mlp,
+                        blocks: Vec::new(),
+                    });
+                }
+                PnnOp::Interpolate { targets, sources, k, channels } => {
+                    saw_interp = true;
+                    out.propagation.push(FpSegment {
+                        targets,
+                        sources,
+                        k,
+                        channels,
+                        mlp: Vec::new(),
+                    });
+                }
+                other => panic!("unexpected op outside segment: {other:?}"),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fractalcloud_pnn::{ModelConfig, OpTrace};
+
+    #[test]
+    fn parses_pointnext_segmentation() {
+        let m = ModelConfig::pointnext_segmentation();
+        let t = OpTrace::build(&m, 4096);
+        let s = Segments::parse(&t);
+        assert_eq!(s.stem.len(), 1);
+        assert_eq!(s.abstraction.len(), 4);
+        assert_eq!(s.propagation.len(), 4);
+        // PNXt: 1 grouped layer + 1 InvResMLP block (2 layers) per stage.
+        assert_eq!(s.abstraction[0].mlp, vec![64]);
+        assert_eq!(s.abstraction[0].blocks.len(), 2);
+        // Head: 1 hidden + classifier.
+        assert_eq!(s.head.len(), 2);
+        assert_eq!(s.head.last().unwrap().cout, 13);
+        // FP chain reconstructs n.
+        assert_eq!(s.propagation.last().unwrap().targets, 4096);
+    }
+
+    #[test]
+    fn parses_classification_without_propagation() {
+        let m = ModelConfig::pointnetpp_classification();
+        let t = OpTrace::build(&m, 1024);
+        let s = Segments::parse(&t);
+        assert!(s.stem.is_empty());
+        assert_eq!(s.abstraction.len(), 3);
+        assert!(s.propagation.is_empty());
+        assert_eq!(s.head.len(), 3);
+        assert_eq!(s.head.last().unwrap().cout, 40);
+        assert_eq!(s.head[0].rows, 1);
+    }
+
+    #[test]
+    fn stage_shapes_chain() {
+        let m = ModelConfig::pointnetpp_segmentation();
+        let t = OpTrace::build(&m, 8192);
+        let s = Segments::parse(&t);
+        for w in s.abstraction.windows(2) {
+            assert_eq!(w[0].n_out, w[1].n_in);
+        }
+        // FP targets mirror SA inputs.
+        let sa_inputs: Vec<usize> = s.abstraction.iter().rev().map(|sa| sa.n_in).collect();
+        let fp_targets: Vec<usize> = s.propagation.iter().map(|fp| fp.targets).collect();
+        assert_eq!(sa_inputs, fp_targets);
+    }
+
+    #[test]
+    fn all_table1_models_parse() {
+        for m in ModelConfig::table1() {
+            let t = OpTrace::build(&m, 2048);
+            let s = Segments::parse(&t);
+            assert!(!s.abstraction.is_empty(), "{}", m.notation);
+            assert!(!s.head.is_empty(), "{}", m.notation);
+        }
+    }
+}

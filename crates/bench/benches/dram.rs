@@ -1,0 +1,28 @@
+//! Criterion micro-benchmarks: the cycle-level DRAM controller vs the
+//! analytic stream model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fractalcloud_dram::{AccessPattern, Controller, DramConfig, Request, StreamModel};
+
+fn bench_dram(c: &mut Criterion) {
+    let cfg = DramConfig::ddr4_2133();
+    let seq: Vec<Request> = (0..4096u64).map(|i| Request::read(i * 64)).collect();
+    let stride = 786_433u64 * 64;
+    let rnd: Vec<Request> = (0..4096u64).map(|i| Request::read((i * stride) % (1 << 32))).collect();
+
+    let mut group = c.benchmark_group("dram");
+    group.bench_function("controller-sequential-4k-bursts", |b| {
+        b.iter(|| Controller::new(cfg.clone()).run_trace(&seq))
+    });
+    group.bench_function("controller-random-4k-bursts", |b| {
+        b.iter(|| Controller::new(cfg.clone()).run_trace(&rnd))
+    });
+    group.bench_function("stream-model-1GB", |b| {
+        let m = StreamModel::new(cfg.clone());
+        b.iter(|| m.read(1 << 30, AccessPattern::Sequential))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dram);
+criterion_main!(benches);

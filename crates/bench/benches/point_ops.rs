@@ -1,0 +1,39 @@
+//! Criterion micro-benchmarks: global vs block-parallel point operations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fractalcloud_core::{block_ball_query, block_fps, BppoConfig, Fractal};
+use fractalcloud_pointcloud::generate::{scene_cloud, SceneConfig};
+use fractalcloud_pointcloud::ops::{ball_query, farthest_point_sample};
+use fractalcloud_pointcloud::Point3;
+
+fn bench_point_ops(c: &mut Criterion) {
+    let n = 4096;
+    let cloud = scene_cloud(&SceneConfig::default(), n, 42);
+    let part = Fractal::with_threshold(256).build(&cloud).unwrap().partition;
+    let fps = block_fps(&cloud, &part, 0.25, &BppoConfig::sequential()).unwrap();
+    let centers: Vec<Point3> = fps.indices.iter().map(|&i| cloud.point(i)).collect();
+
+    let mut group = c.benchmark_group("point_ops_4k");
+    group.bench_function("fps-global", |b| {
+        b.iter(|| farthest_point_sample(&cloud, n / 4, 0).unwrap())
+    });
+    group.bench_function("fps-block-parallel", |b| {
+        b.iter(|| block_fps(&cloud, &part, 0.25, &BppoConfig::default()).unwrap())
+    });
+    group.bench_function("fps-block-sequential", |b| {
+        b.iter(|| block_fps(&cloud, &part, 0.25, &BppoConfig::sequential()).unwrap())
+    });
+    group.bench_function("ballquery-global", |b| {
+        b.iter(|| ball_query(&cloud, &centers, 0.4, 16).unwrap())
+    });
+    group.bench_function("ballquery-block", |b| {
+        b.iter(|| {
+            block_ball_query(&cloud, &part, &fps.per_block, 0.4, 16, &BppoConfig::sequential())
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_point_ops);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion micro-benchmarks: RSPU window-check and the LOD mask.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fractalcloud_core::{block_fps, BppoConfig, Fractal, WindowCheck};
+use fractalcloud_pointcloud::generate::{scene_cloud, SceneConfig};
+
+fn bench_rspu(c: &mut Criterion) {
+    let cloud = scene_cloud(&SceneConfig::default(), 8192, 42);
+    let part = Fractal::with_threshold(256).build(&cloud).unwrap().partition;
+
+    let mut group = c.benchmark_group("rspu");
+    group.bench_function("block-fps-window-check", |b| {
+        b.iter(|| block_fps(&cloud, &part, 0.5, &BppoConfig::sequential()).unwrap())
+    });
+    group.bench_function("block-fps-no-window-check", |b| {
+        let cfg = BppoConfig { window_check: false, ..BppoConfig::sequential() };
+        b.iter(|| block_fps(&cloud, &part, 0.5, &cfg).unwrap())
+    });
+    group.bench_function("lod-mask-traversal-64k", |b| {
+        let mut wc = WindowCheck::new(65_536);
+        for i in (0..65_536).step_by(3) {
+            wc.mark_sampled(i);
+        }
+        b.iter(|| wc.iter_valid().count())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rspu);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Fig. 16: partitioning speedup (dots, normalized to KD-tree) and point-
+//! operation speedup (bars, normalized to uniform) for uniform, octree,
+//! KD-tree, and Fractal across the three dataset families.
+
+use fractalcloud_accel::analytic;
+use fractalcloud_bench::{format_value, header, row_str, SEED};
+use fractalcloud_core::Fractal;
+use fractalcloud_pointcloud::generate::DatasetKind;
+use fractalcloud_pointcloud::partition::{
+    KdTreePartitioner, OctreePartitioner, Partition, Partitioner, UniformPartitioner,
+};
+use fractalcloud_sim::{EnergyTable, FractalEngine, FractalEngineConfig, Rspu, RspuConfig};
+
+/// Mean neighbor-search expansion factor measured from the partition: the
+/// ratio of a block's parent search-space population to its own population.
+/// Binary trees give ≈2, octrees up to 8, self-only methods 1.
+fn search_factor(p: &Partition) -> f64 {
+    let mut acc = 0.0;
+    for b in &p.blocks {
+        let space: usize = b.parent_group.iter().map(|&g| p.blocks[g].len()).sum();
+        acc += space as f64 / b.len().max(1) as f64;
+    }
+    acc / p.blocks.len().max(1) as f64
+}
+
+/// Point-op cycles for one abstraction stage under a partition, on the
+/// FractalCloud RSPU array (isolates the partition's effect). The neighbor
+/// search pays the partition's own measured expansion factor.
+fn point_op_cycles(p: &Partition, rspu: &Rspu) -> u64 {
+    let sizes: Vec<usize> = p.blocks.iter().map(|b| b.len()).collect();
+    let factor = search_factor(p);
+    let (fps_t, fps_c, _) = analytic::block_fps(&sizes, 0.25, true);
+    let (bq_t, bq_c, _) = analytic::block_neighbor(&sizes, 0.25, factor, 32);
+    rspu.block_parallel_from_aggregate(&fps_t, &fps_c).cycles
+        + rspu.block_parallel_from_aggregate(&bq_t, &bq_c).cycles
+}
+
+fn main() {
+    header("Fig. 16", "partition speedup (vs kd-tree) & point-op speedup (vs uniform)");
+    let engine = FractalEngine::new(FractalEngineConfig::fractalcloud(), EnergyTable::tsmc28());
+    let rspu = Rspu::new(RspuConfig::fractalcloud(), EnergyTable::tsmc28());
+    let n = 16_384;
+    let th = 256;
+
+    let datasets =
+        [DatasetKind::ModelNet, DatasetKind::ShapeNet, DatasetKind::S3dis];
+    row_str("dataset", &datasets.iter().map(|d| d.name().to_string()).collect::<Vec<_>>());
+
+    let mut part_speedups: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    let mut op_speedups: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    for kind in datasets {
+        let cloud = kind.generate(n, SEED);
+        let uniform = UniformPartitioner::with_target_block_size(th).partition(&cloud).unwrap();
+        let octree = OctreePartitioner::new(th).partition(&cloud).unwrap();
+        let kd = KdTreePartitioner::new(th).partition(&cloud).unwrap();
+        let fractal = Fractal::with_threshold(th).build(&cloud).unwrap().partition;
+
+        let kd_cycles = engine.kd_tree_partition(n as u64, th as u64).cycles.max(1);
+        let part_cycles = [
+            engine.traversal_partition(&uniform.cost).cycles.max(1),
+            engine.traversal_partition(&octree.cost).cycles.max(1),
+            kd_cycles,
+            engine.traversal_partition(&fractal.cost).cycles.max(1),
+        ];
+        let base_ops = point_op_cycles(&uniform, &rspu).max(1);
+        let ops = [
+            base_ops,
+            point_op_cycles(&octree, &rspu).max(1),
+            point_op_cycles(&kd, &rspu).max(1),
+            point_op_cycles(&fractal, &rspu).max(1),
+        ];
+        for i in 0..4 {
+            part_speedups[i].push(kd_cycles as f64 / part_cycles[i] as f64);
+            op_speedups[i].push(base_ops as f64 / ops[i] as f64);
+        }
+    }
+
+    let names = ["uniform", "octree", "kd-tree", "fractal"];
+    println!("--- partitioning speedup (normalized to kd-tree) ---");
+    for (i, name) in names.iter().enumerate() {
+        row_str(name, &part_speedups[i].iter().map(|&v| format_value(v)).collect::<Vec<_>>());
+    }
+    println!("--- point-operation speedup (normalized to uniform) ---");
+    for (i, name) in names.iter().enumerate() {
+        row_str(name, &op_speedups[i].iter().map(|&v| format_value(v)).collect::<Vec<_>>());
+    }
+    println!();
+    println!("Paper: fractal partitions 133× faster than kd-tree and 14.9×");
+    println!("faster than octree; its balanced blocks speed point operations");
+    println!("4.4× over uniform and 2.1× over octree. Expected shape: fractal");
+    println!("within ~2× of uniform's partition cost but with kd-class balance,");
+    println!("hence the best point-op column.");
+}

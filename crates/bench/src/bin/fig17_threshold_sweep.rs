@@ -1,0 +1,56 @@
+//! Fig. 17: the Fractal threshold (`th`) trade-off between hardware speedup
+//! and network accuracy (proxy) for PointNeXt (s).
+
+use fractalcloud_accel::{Accelerator, DesignModel, DesignParams, Workload};
+use fractalcloud_bench::{format_value, header, quick, row_str, SEED};
+use fractalcloud_core::{evaluate_quality, Fractal, QualityConfig};
+use fractalcloud_pointcloud::generate::{scene_cloud, SceneConfig};
+use fractalcloud_pnn::ModelConfig;
+
+fn main() {
+    header("Fig. 17", "threshold sweep: speedup vs accuracy proxy, PNXt (s)");
+    let n = if quick() { 16_384 } else { 33_000 };
+    let model = ModelConfig::pointnext_segmentation();
+    let cloud = scene_cloud(&SceneConfig::default(), n, SEED);
+
+    // The "no fractal" baseline: global ops on the same hardware.
+    let mut base_params = DesignParams::fractalcloud();
+    base_params.name = "no-fractal".into();
+    base_params.partition = fractalcloud_accel::PartitionKind::None;
+    base_params.block_sampling = false;
+    base_params.block_grouping = false;
+    base_params.block_interpolation = false;
+    base_params.block_gathering = false;
+    let w0 = Workload::prepare(&model, n, SEED);
+    let base = DesignModel::new(base_params).execute(&w0);
+
+    let thresholds = [8usize, 64, 256, 512, 1024, 4096];
+    row_str("th", &thresholds.iter().map(|t| t.to_string()).collect::<Vec<_>>());
+
+    let mut speedups = Vec::new();
+    let mut point_speedups = Vec::new();
+    let mut losses = Vec::new();
+    for &th in &thresholds {
+        let w = Workload::prepare_with_threshold(&model, &cloud, th);
+        let fc = DesignModel::new(DesignParams::fractalcloud()).execute(&w);
+        speedups.push(format_value(fc.speedup_over(&base)));
+        point_speedups.push(format_value(base.point_op_ms() / fc.point_op_ms()));
+
+        // Quality proxy on a sub-sampled cloud (the proxy is O(n·m)).
+        let qc_cloud = scene_cloud(&SceneConfig::default(), 8192, SEED);
+        let part = Fractal::with_threshold(th).build(&qc_cloud).unwrap().partition;
+        let q = evaluate_quality(&qc_cloud, &part, &QualityConfig::default()).unwrap();
+        losses.push(format_value(q.proxy.estimated_accuracy_loss_pp()));
+    }
+    row_str("speedup vs no-fractal", &speedups);
+    row_str("point-op speedup", &point_speedups);
+    row_str("est. accuracy loss (pp)", &losses);
+    println!();
+    println!("Note: our FractalCloud model is MLP-bound at this scale, so the");
+    println!("end-to-end sensitivity to th is weaker than the paper's; the");
+    println!("point-op row isolates the effect the paper plots.");
+    println!("Paper: th=8 over-partitions (>8pp loss despite ~21× speedup);");
+    println!("th=4096 preserves accuracy but only ~4.6× speedup; th=256 is the");
+    println!("chosen operating point (~0.6pp, ~15×). Expected shape: speedup");
+    println!("decreases and accuracy improves monotonically with th.");
+}

@@ -1,0 +1,36 @@
+//! Table II + Fig. 12: the evaluated hardware accelerators and the
+//! FractalCloud chip summary.
+
+use fractalcloud_accel::{AcceleratorConfig, ChipSpec};
+use fractalcloud_bench::header;
+
+fn main() {
+    header("Table II", "evaluated hardware accelerators");
+    println!(
+        "{:<14} {:>7} {:>10} {:>7} {:>10} {:>12} {:>6} {:>10}",
+        "accelerator", "cores", "SRAM (KB)", "freq", "area (mm²)", "DRAM", "tech", "peak GOPS"
+    );
+    for c in AcceleratorConfig::table2() {
+        println!(
+            "{:<14} {:>7} {:>10} {:>6}G {:>10} {:>12} {:>4}nm {:>10}",
+            c.name,
+            format!("{}x{}", c.pe_array.0, c.pe_array.1),
+            c.sram_kb,
+            c.freq_ghz,
+            c.area_mm2,
+            c.dram,
+            c.tech_nm,
+            c.peak_gops
+        );
+    }
+
+    println!();
+    header("Fig. 12", "FractalCloud chip summary (paper layout numbers)");
+    let s = ChipSpec::fractalcloud();
+    println!("die area      {:>8} mm²", s.die_area_mm2);
+    println!("core area     {:>8} mm²", s.core_area_mm2);
+    println!("SRAM          {:>8} KB", s.sram_kb);
+    println!("frequency     {:>8} GHz", s.freq_ghz);
+    println!("avg power     {:>8} W", s.avg_power_w);
+    println!("technology    {:>10}", s.tech);
+}

@@ -1,0 +1,165 @@
+//! Shared harness utilities for the figure/table reproduction binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper:
+//! it runs the corresponding experiment on the simulator stack and prints
+//! the measured series next to the paper's reported values, so agreement in
+//! *shape* (orderings, growth rates, crossovers) can be checked at a glance.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use fractalcloud_accel::{
+    Accelerator, DesignModel, DesignParams, ExecutionReport, GpuModel, Workload,
+};
+use fractalcloud_pnn::ModelConfig;
+
+/// The deterministic seed every harness uses.
+pub const SEED: u64 = 42;
+
+/// Input scales for the small-scale sweep (Fig. 13 left).
+pub const SMALL_SCALES: [usize; 3] = [1024, 2048, 4096];
+
+/// Input scales for the large-scale sweep (Fig. 13 right / Fig. 4). The
+/// paper uses 8K/33K/131K/289K; pass `--quick` to any binary to cap at 33K.
+pub const LARGE_SCALES: [usize; 4] = [8192, 33_000, 131_000, 289_000];
+
+/// Returns the large-scale list honoring a `--quick` CLI flag.
+pub fn large_scales() -> Vec<usize> {
+    if quick() {
+        LARGE_SCALES.iter().copied().filter(|&n| n <= 33_000).collect()
+    } else {
+        LARGE_SCALES.to_vec()
+    }
+}
+
+/// True if `--quick` was passed (trims the largest inputs for fast runs).
+pub fn quick() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Prints a figure/table header.
+pub fn header(id: &str, caption: &str) {
+    println!("================================================================");
+    println!("{id}: {caption}");
+    println!("================================================================");
+}
+
+/// Prints a labelled row of f64 values.
+pub fn row(label: &str, values: &[f64]) {
+    print!("{label:<26}");
+    for v in values {
+        print!(" {:>10}", format_value(*v));
+    }
+    println!();
+}
+
+/// Prints a labelled row of strings.
+pub fn row_str(label: &str, values: &[String]) {
+    print!("{label:<26}");
+    for v in values {
+        print!(" {v:>10}");
+    }
+    println!();
+}
+
+/// Compact value formatting: 3 significant digits, engineering style.
+pub fn format_value(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Executes one workload on every Table II design plus the GPU.
+pub struct FleetReports {
+    /// GPU baseline.
+    pub gpu: ExecutionReport,
+    /// Mesorasi.
+    pub mesorasi: ExecutionReport,
+    /// PointAcc.
+    pub pointacc: ExecutionReport,
+    /// Crescent.
+    pub crescent: ExecutionReport,
+    /// FractalCloud.
+    pub fractalcloud: ExecutionReport,
+}
+
+impl FleetReports {
+    /// Runs the whole fleet on `model` at `n` points.
+    pub fn run(model: &ModelConfig, n: usize) -> FleetReports {
+        let w = Workload::prepare(model, n, SEED);
+        FleetReports {
+            gpu: GpuModel::titan_rtx().execute(&w),
+            mesorasi: DesignModel::new(DesignParams::mesorasi()).execute(&w),
+            pointacc: DesignModel::new(DesignParams::pointacc()).execute(&w),
+            crescent: DesignModel::new(DesignParams::crescent()).execute(&w),
+            fractalcloud: DesignModel::new(DesignParams::fractalcloud()).execute(&w),
+        }
+    }
+
+    /// Speedups over the GPU, in Fig. 13 row order
+    /// (Mesorasi, PointAcc, Crescent, FractalCloud).
+    pub fn speedups(&self) -> [f64; 4] {
+        [
+            self.mesorasi.speedup_over(&self.gpu),
+            self.pointacc.speedup_over(&self.gpu),
+            self.crescent.speedup_over(&self.gpu),
+            self.fractalcloud.speedup_over(&self.gpu),
+        ]
+    }
+
+    /// Energy savings over the GPU, same order.
+    pub fn energy_savings(&self) -> [f64; 4] {
+        [
+            self.mesorasi.energy_saving_over(&self.gpu),
+            self.pointacc.energy_saving_over(&self.gpu),
+            self.crescent.energy_saving_over(&self.gpu),
+            self.fractalcloud.energy_saving_over(&self.gpu),
+        ]
+    }
+}
+
+/// The seven Table I workloads with their representative scales.
+pub fn table1_workloads() -> Vec<(ModelConfig, usize)> {
+    vec![
+        (ModelConfig::pointnetpp_classification(), 1024),
+        (ModelConfig::pointnext_classification(), 2048),
+        (ModelConfig::pointnetpp_part_segmentation(), 2048),
+        (ModelConfig::pointnext_part_segmentation(), 4096),
+        (ModelConfig::pointnetpp_segmentation(), 4096),
+        (ModelConfig::pointnext_segmentation(), 16_384),
+        (ModelConfig::pointvector_segmentation(), 16_384),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_runs_a_small_workload() {
+        let f = FleetReports::run(&ModelConfig::pointnetpp_classification(), 512);
+        let s = f.speedups();
+        assert!(s.iter().all(|&v| v > 0.0));
+        // FractalCloud leads the fleet.
+        assert!(s[3] >= s[0] && s[3] >= s[1] && s[3] >= s[2]);
+    }
+
+    #[test]
+    fn formatting_is_compact() {
+        assert_eq!(format_value(0.0), "0");
+        assert_eq!(format_value(3.14159), "3.14");
+        assert_eq!(format_value(27.4), "27.4");
+        assert_eq!(format_value(1893.0), "1893");
+    }
+
+    #[test]
+    fn seven_workloads() {
+        assert_eq!(table1_workloads().len(), 7);
+    }
+}

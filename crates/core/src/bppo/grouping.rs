@@ -1,0 +1,301 @@
+//! Block-wise grouping (BWG): ball query with block-local search spaces.
+
+use crate::bppo::{for_each_block, BppoConfig, ReuseStats};
+use fractalcloud_pointcloud::ops::OpCounters;
+use fractalcloud_pointcloud::partition::Partition;
+use fractalcloud_pointcloud::{Error, PointCloud, Result};
+
+/// Output of [`block_ball_query`] and
+/// [`block_interpolate`](crate::block_interpolate)'s neighbor stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockNeighborResult {
+    /// `centers × num` neighbor indices into the original cloud, row-major.
+    /// Center rows appear in block order, preserving each block's center
+    /// order.
+    pub indices: Vec<usize>,
+    /// The center global indices in the same order as the rows.
+    pub center_indices: Vec<usize>,
+    /// In-radius (or true-KNN) hits per center before padding.
+    pub found: Vec<usize>,
+    /// Neighbor slots per center.
+    pub num: usize,
+    /// Aggregated work counters.
+    pub counters: OpCounters,
+    /// Critical-path (largest single block) work.
+    pub critical_path: OpCounters,
+    /// Intra-block data-reuse statistics (§V-C).
+    pub reuse: ReuseStats,
+}
+
+/// Block-wise ball query (§IV-B): for every block, its centers search only
+/// the block's *parent search space* (`Block::parent_group`) instead of the
+/// whole cloud.
+///
+/// `centers_per_block[b]` holds the global indices of block `b`'s center
+/// points (typically the block's block-FPS samples). Neighbor slots follow
+/// the same nearest-`num`-within-radius semantics as the global
+/// [`ball_query`](fractalcloud_pointcloud::ops::ball_query); candidates are
+/// streamed in search-space layout order (own block first at depth ≤ 1, else
+/// the parent's blocks in DFT order), mirroring the hardware's streamed
+/// block reads.
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] if `centers_per_block` does not match
+/// the partition's block count, or parameter errors for `radius`/`num`.
+pub fn block_ball_query(
+    cloud: &PointCloud,
+    partition: &Partition,
+    centers_per_block: &[Vec<usize>],
+    radius: f32,
+    num: usize,
+    config: &BppoConfig,
+) -> Result<BlockNeighborResult> {
+    if centers_per_block.len() != partition.blocks.len() {
+        return Err(Error::ShapeMismatch {
+            expected: partition.blocks.len(),
+            actual: centers_per_block.len(),
+        });
+    }
+    if !(radius > 0.0) {
+        return Err(Error::InvalidParameter {
+            name: "radius",
+            message: format!("must be positive, got {radius}"),
+        });
+    }
+    if num == 0 {
+        return Err(Error::InvalidParameter { name: "num", message: "must be at least 1".into() });
+    }
+
+    let r_sq = radius * radius;
+    let results = for_each_block(partition.blocks.len(), config.parallel, |b| {
+        let centers = &centers_per_block[b];
+        let space = search_space(partition, b, config.parent_expansion);
+        let mut counters = OpCounters::new();
+        let mut reuse = ReuseStats::default();
+        let mut indices = Vec::with_capacity(centers.len() * num);
+        let mut found = Vec::with_capacity(centers.len());
+
+        // Intra-block reuse: the candidate set is loaded on-chip once and
+        // shared by every center of this block.
+        let candidates: Vec<usize> =
+            space.iter().flat_map(|&g| partition.blocks[g].indices.iter().copied()).collect();
+        reuse.shared_loads += candidates.len() as u64;
+        reuse.unshared_loads += (candidates.len() * centers.len().max(1)) as u64;
+        counters.coord_reads += candidates.len() as u64;
+
+        for &ci in centers {
+            let c = cloud.point(ci);
+            // Nearest-`num` within the radius (same canonical semantics as
+            // the global ball query, so results differ only through the
+            // restricted search space).
+            let mut best: Vec<(f32, usize)> = Vec::with_capacity(num + 1);
+            let mut nearest = (f32::INFINITY, ci);
+            for &cand in &candidates {
+                let d = cloud.point(cand).distance_sq(c);
+                counters.distance_evals += 1;
+                counters.comparisons += 1;
+                if d < nearest.0 {
+                    nearest = (d, cand);
+                }
+                if d <= r_sq && (best.len() < num || d < best[best.len() - 1].0) {
+                    let pos = best.partition_point(|&(bd, _)| bd <= d);
+                    best.insert(pos, (d, cand));
+                    if best.len() > num {
+                        best.pop();
+                    }
+                }
+            }
+            found.push(best.len());
+            let mut row: Vec<usize> = best.iter().map(|&(_, i)| i).collect();
+            if row.is_empty() {
+                // Fallback: nearest candidate in the search space (never
+                // empty: the center's own block is always included).
+                row.push(nearest.1);
+            }
+            let first = row[0];
+            while row.len() < num {
+                row.push(first);
+            }
+            counters.writes += num as u64;
+            indices.extend_from_slice(&row);
+        }
+        (indices, centers.clone(), found, counters, reuse)
+    });
+
+    let mut out = BlockNeighborResult {
+        indices: Vec::new(),
+        center_indices: Vec::new(),
+        found: Vec::new(),
+        num,
+        counters: OpCounters::new(),
+        critical_path: OpCounters::new(),
+        reuse: ReuseStats::default(),
+    };
+    for (indices, centers, found, counters, reuse) in results {
+        out.counters.merge(&counters);
+        if counters.distance_evals >= out.critical_path.distance_evals {
+            out.critical_path = counters;
+        }
+        out.reuse.merge(&reuse);
+        out.indices.extend_from_slice(&indices);
+        out.center_indices.extend_from_slice(&centers);
+        out.found.extend_from_slice(&found);
+    }
+    Ok(out)
+}
+
+/// Resolves the search space of block `b`: its `parent_group` when parent
+/// expansion is enabled, otherwise the block alone.
+pub(crate) fn search_space(partition: &Partition, b: usize, parent_expansion: bool) -> Vec<usize> {
+    if parent_expansion {
+        partition.blocks[b].parent_group.clone()
+    } else {
+        vec![b]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bppo::{block_fps, BppoConfig};
+    use crate::fractal::Fractal;
+    use fractalcloud_pointcloud::generate::{scene_cloud, SceneConfig};
+    use fractalcloud_pointcloud::metrics::neighbor_recall;
+    use fractalcloud_pointcloud::ops::ball_query;
+    use fractalcloud_pointcloud::Point3;
+
+    fn setup(n: usize, th: usize, seed: u64) -> (PointCloud, Partition, Vec<Vec<usize>>) {
+        let cloud = scene_cloud(&SceneConfig::default(), n, seed);
+        let part = Fractal::with_threshold(th).build(&cloud).unwrap().partition;
+        let fps = block_fps(&cloud, &part, 0.25, &BppoConfig::sequential()).unwrap();
+        (cloud, part, fps.per_block)
+    }
+
+    #[test]
+    fn bwg_neighbors_come_from_search_space() {
+        let (cloud, part, centers) = setup(2048, 128, 1);
+        let r = block_ball_query(&cloud, &part, &centers, 0.6, 16, &BppoConfig::sequential())
+            .unwrap();
+        let mut row = 0usize;
+        for (b, c_list) in centers.iter().enumerate() {
+            let allowed: std::collections::BTreeSet<usize> = part.blocks[b]
+                .parent_group
+                .iter()
+                .flat_map(|&g| part.blocks[g].indices.iter().copied())
+                .collect();
+            for _ in c_list {
+                for &n in &r.indices[row * 16..(row + 1) * 16] {
+                    assert!(allowed.contains(&n), "neighbor {n} outside search space");
+                }
+                row += 1;
+            }
+        }
+        let _ = cloud;
+    }
+
+    #[test]
+    fn bwg_respects_radius() {
+        let (cloud, part, centers) = setup(2048, 128, 2);
+        let radius = 0.5;
+        let r = block_ball_query(&cloud, &part, &centers, radius, 8, &BppoConfig::sequential())
+            .unwrap();
+        for (row, &ci) in r.center_indices.iter().enumerate() {
+            let c = cloud.point(ci);
+            for (slot, &n) in r.indices[row * 8..(row + 1) * 8].iter().enumerate() {
+                if slot < r.found[row] {
+                    assert!(cloud.point(n).distance(c) <= radius + 1e-5);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bwg_recall_vs_global_is_high() {
+        // §VI-B: extended (parent) search spaces give sufficient candidates;
+        // recall against the global ball query should be high at th=256.
+        let (cloud, part, centers) = setup(4096, 256, 3);
+        let flat: Vec<usize> = centers.iter().flatten().copied().collect();
+        let pts: Vec<Point3> = flat.iter().map(|&i| cloud.point(i)).collect();
+        let global = ball_query(&cloud, &pts, 0.4, 16).unwrap();
+        let block =
+            block_ball_query(&cloud, &part, &centers, 0.4, 16, &BppoConfig::sequential()).unwrap();
+        let recall = neighbor_recall(&global.indices, &block.indices, 16);
+        assert!(recall > 0.85, "recall {recall} too low");
+    }
+
+    #[test]
+    fn bwg_parent_expansion_improves_recall() {
+        let (cloud, part, centers) = setup(4096, 128, 4);
+        let flat: Vec<usize> = centers.iter().flatten().copied().collect();
+        let pts: Vec<Point3> = flat.iter().map(|&i| cloud.point(i)).collect();
+        let global = ball_query(&cloud, &pts, 0.4, 16).unwrap();
+        let with = block_ball_query(&cloud, &part, &centers, 0.4, 16, &BppoConfig::sequential())
+            .unwrap();
+        let without = block_ball_query(
+            &cloud,
+            &part,
+            &centers,
+            0.4,
+            16,
+            &BppoConfig { parent_expansion: false, parallel: false, ..BppoConfig::default() },
+        )
+        .unwrap();
+        let r_with = neighbor_recall(&global.indices, &with.indices, 16);
+        let r_without = neighbor_recall(&global.indices, &without.indices, 16);
+        assert!(
+            r_with >= r_without,
+            "parent expansion must not hurt recall: {r_with} vs {r_without}"
+        );
+    }
+
+    #[test]
+    fn bwg_reuse_factor_scales_with_centers() {
+        let (cloud, part, centers) = setup(2048, 256, 5);
+        let r = block_ball_query(&cloud, &part, &centers, 0.4, 16, &BppoConfig::sequential())
+            .unwrap();
+        // ~64 centers per 256-point block → reuse factor ≈ centers/block.
+        assert!(r.reuse.reduction_factor() > 10.0, "reuse {}", r.reuse.reduction_factor());
+    }
+
+    #[test]
+    fn bwg_parallel_equals_sequential() {
+        let (cloud, part, centers) = setup(2048, 128, 6);
+        let par =
+            block_ball_query(&cloud, &part, &centers, 0.5, 8, &BppoConfig::default()).unwrap();
+        let seq =
+            block_ball_query(&cloud, &part, &centers, 0.5, 8, &BppoConfig::sequential()).unwrap();
+        assert_eq!(par.indices, seq.indices);
+        assert_eq!(par.found, seq.found);
+    }
+
+    #[test]
+    fn bwg_validates_parameters() {
+        let (cloud, part, centers) = setup(512, 128, 7);
+        assert!(block_ball_query(&cloud, &part, &centers, -1.0, 8, &BppoConfig::default())
+            .is_err());
+        assert!(block_ball_query(&cloud, &part, &centers, 0.5, 0, &BppoConfig::default())
+            .is_err());
+        let wrong = vec![Vec::new(); part.blocks.len() + 1];
+        assert!(
+            block_ball_query(&cloud, &part, &wrong, 0.5, 8, &BppoConfig::default()).is_err()
+        );
+    }
+
+    #[test]
+    fn bwg_work_much_smaller_than_global() {
+        let (cloud, part, centers) = setup(4096, 256, 8);
+        let flat: Vec<usize> = centers.iter().flatten().copied().collect();
+        let pts: Vec<Point3> = flat.iter().map(|&i| cloud.point(i)).collect();
+        // Tiny radius forces the global query to scan everything.
+        let global = ball_query(&cloud, &pts, 0.05, 16).unwrap();
+        let block = block_ball_query(&cloud, &part, &centers, 0.05, 16, &BppoConfig::sequential())
+            .unwrap();
+        assert!(
+            block.counters.distance_evals * 2 < global.counters.distance_evals,
+            "block {} vs global {}",
+            block.counters.distance_evals,
+            global.counters.distance_evals
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests for Fractal and the block-parallel operations.
+
+use fractalcloud_core::{
+    block_ball_query, block_fps, block_gather, block_interpolate, BppoConfig, Fractal,
+};
+use fractalcloud_pointcloud::{Point3, PointCloud};
+use proptest::prelude::*;
+
+fn arb_cloud(max_n: usize) -> impl Strategy<Value = PointCloud> {
+    proptest::collection::vec((-50.0f32..50.0, -50.0f32..50.0, -20.0f32..20.0), 4..max_n)
+        .prop_map(|v| {
+            PointCloud::from_points(v.into_iter().map(|(x, y, z)| Point3::new(x, y, z)).collect())
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The fractal tree's DFT layout groups each leaf contiguously and the
+    /// node ranges nest correctly.
+    #[test]
+    fn fractal_tree_ranges_nest((cloud, th) in (arb_cloud(300), 4usize..64)) {
+        let r = Fractal::with_threshold(th).build(&cloud).unwrap();
+        r.tree.validate().map_err(TestCaseError::fail)?;
+        // Every leaf's points (via partition) sit inside its node AABB.
+        for (&leaf, block) in r.tree.leaves().iter().zip(&r.partition.blocks) {
+            let node = r.tree.node(leaf);
+            for &i in &block.indices {
+                prop_assert!(node.aabb.contains(cloud.point(i)));
+            }
+        }
+    }
+
+    /// Parent search spaces always include the block itself and cover at
+    /// least as many points.
+    #[test]
+    fn search_spaces_contain_self((cloud, th) in (arb_cloud(250), 4usize..48)) {
+        let r = Fractal::with_threshold(th).build(&cloud).unwrap();
+        for (b, block) in r.partition.blocks.iter().enumerate() {
+            prop_assert!(block.parent_group.contains(&b));
+            let space: usize =
+                block.parent_group.iter().map(|&g| r.partition.blocks[g].len()).sum();
+            prop_assert!(space >= block.len());
+        }
+    }
+
+    /// Block FPS at any rate returns sorted-unique indices drawn from the
+    /// right blocks, and parallel == sequential.
+    #[test]
+    fn block_fps_properties(
+        (cloud, th) in (arb_cloud(300), 8usize..64),
+        rate in 0.05f64..0.95,
+    ) {
+        let part = Fractal::with_threshold(th).build(&cloud).unwrap().partition;
+        let seq = block_fps(&cloud, &part, rate, &BppoConfig::sequential()).unwrap();
+        let par = block_fps(&cloud, &part, rate, &BppoConfig::default()).unwrap();
+        prop_assert_eq!(&seq.indices, &par.indices);
+        let mut sorted = seq.indices.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), seq.indices.len());
+        for (b, samples) in seq.per_block.iter().enumerate() {
+            for s in samples {
+                prop_assert!(part.blocks[b].indices.contains(s));
+            }
+        }
+    }
+
+    /// Block ball query neighbors always come from the block's search
+    /// space, and rows are fully padded.
+    #[test]
+    fn block_bq_stays_in_search_space(
+        (cloud, th) in (arb_cloud(200), 8usize..48),
+        radius in 0.5f32..20.0,
+    ) {
+        let part = Fractal::with_threshold(th).build(&cloud).unwrap().partition;
+        let fps = block_fps(&cloud, &part, 0.25, &BppoConfig::sequential()).unwrap();
+        let num = 4;
+        let bq = block_ball_query(&cloud, &part, &fps.per_block, radius, num,
+                                  &BppoConfig::sequential()).unwrap();
+        prop_assert_eq!(bq.indices.len(), bq.center_indices.len() * num);
+        let mut row = 0usize;
+        for (b, centers) in fps.per_block.iter().enumerate() {
+            let allowed: std::collections::BTreeSet<usize> = part.blocks[b]
+                .parent_group
+                .iter()
+                .flat_map(|&g| part.blocks[g].indices.iter().copied())
+                .collect();
+            for _ in centers {
+                for &nb in &bq.indices[row * num..(row + 1) * num] {
+                    prop_assert!(allowed.contains(&nb));
+                }
+                row += 1;
+            }
+        }
+    }
+
+    /// Block gather of block-generated indices is always fully on-chip and
+    /// bit-identical to the global gather.
+    #[test]
+    fn block_gather_matches_global((cloud, th) in (arb_cloud(200), 8usize..48)) {
+        use fractalcloud_pointcloud::generate::with_random_features;
+        use fractalcloud_pointcloud::ops::gather_features;
+        let cloud = with_random_features(cloud, 4, 1);
+        let part = Fractal::with_threshold(th).build(&cloud).unwrap().partition;
+        let fps = block_fps(&cloud, &part, 0.25, &BppoConfig::sequential()).unwrap();
+        let num = 4;
+        let bq = block_ball_query(&cloud, &part, &fps.per_block, 5.0, num,
+                                  &BppoConfig::sequential()).unwrap();
+        let mut per_block = Vec::new();
+        let mut row = 0usize;
+        for centers in &fps.per_block {
+            per_block.push(bq.indices[row * num..(row + centers.len()) * num].to_vec());
+            row += centers.len();
+        }
+        let bg = block_gather(&cloud, &part, &per_block, num, &BppoConfig::sequential()).unwrap();
+        prop_assert_eq!(bg.locality.remote, 0);
+        let global = gather_features(&cloud, &bq.indices, num).unwrap();
+        prop_assert_eq!(bg.data, global.data);
+    }
+
+    /// Block interpolation always produces finite features for every
+    /// original point exactly once.
+    #[test]
+    fn block_interpolation_total((cloud, th) in (arb_cloud(200), 8usize..48)) {
+        let part = Fractal::with_threshold(th).build(&cloud).unwrap().partition;
+        let fps = block_fps(&cloud, &part, 0.5, &BppoConfig::sequential()).unwrap();
+        prop_assume!(!fps.indices.is_empty());
+        let pts: Vec<Point3> = fps.indices.iter().map(|&i| cloud.point(i)).collect();
+        let feats: Vec<f32> = pts.iter().map(|p| p.x).collect();
+        let sources = PointCloud::from_points_features(pts, feats, 1).unwrap();
+        let mut rows = Vec::new();
+        let mut cursor = 0usize;
+        for b in &fps.per_block {
+            rows.push((cursor..cursor + b.len()).collect::<Vec<usize>>());
+            cursor += b.len();
+        }
+        let out = block_interpolate(&cloud, &part, &sources, &rows, 3,
+                                    &BppoConfig::sequential()).unwrap();
+        prop_assert_eq!(out.target_indices.len(), cloud.len());
+        let mut seen = out.target_indices.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), cloud.len());
+        prop_assert!(out.features.iter().all(|f| f.is_finite()));
+    }
+}

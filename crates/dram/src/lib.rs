@@ -1,0 +1,37 @@
+//! DDR4 DRAM timing and energy model (DRAMsim3-style) for the FractalCloud
+//! reproduction.
+//!
+//! The paper evaluates every accelerator against DDR4-2133 (17 GB/s) and
+//! uses DRAMsim3 for off-chip power. This crate provides:
+//!
+//! * [`DramConfig`] — organization, JEDEC timings, per-command energies;
+//! * [`Bank`] — a protocol-enforcing bank state machine;
+//! * [`Controller`] — a cycle-level FR-FCFS single-channel controller used
+//!   for exact simulation of short traces and for calibrating...
+//! * [`StreamModel`] — the closed-form model the accelerator simulations use
+//!   for large-scale workloads (calibrated against the controller by this
+//!   crate's tests).
+//!
+//! # Example
+//!
+//! ```
+//! use fractalcloud_dram::{AccessPattern, DramConfig, StreamModel};
+//!
+//! let model = StreamModel::new(DramConfig::ddr4_2133());
+//! let seq = model.read(1 << 20, AccessPattern::Sequential);
+//! let rnd = model.read(1 << 20, AccessPattern::Random);
+//! assert!(rnd.cycles > seq.cycles); // random DRAM access is the enemy
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod bank;
+mod config;
+mod controller;
+mod stream;
+
+pub use bank::{Bank, BankState, Command, RowOutcome};
+pub use config::DramConfig;
+pub use controller::{Controller, Decoded, Request, TraceResult};
+pub use stream::{AccessPattern, StreamEstimate, StreamModel};

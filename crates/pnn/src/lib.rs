@@ -1,0 +1,33 @@
+//! Point-based neural network (PNN) model zoo, operation traces, and a CPU
+//! reference executor.
+//!
+//! This crate provides the workload side of the FractalCloud evaluation:
+//!
+//! * [`ModelConfig`] — the Table I networks (PointNet++, PointNeXt,
+//!   PointVector) across classification / part-segmentation / segmentation;
+//! * [`OpTrace`] — shape-level operation traces that accelerator models
+//!   cost (sampling, grouping, gather, MLP, pooling, interpolation);
+//! * [`ReferenceExecutor`] — real-arithmetic end-to-end inference in global
+//!   or block-parallel mode, the functional-correctness anchor.
+//!
+//! # Example
+//!
+//! ```
+//! use fractalcloud_pnn::{ModelConfig, OpTrace};
+//!
+//! let model = ModelConfig::pointnext_segmentation();
+//! let trace = OpTrace::build(&model, 16384);
+//! assert!(trace.global_distance_evals() > trace.total_macs() / 10);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod layers;
+mod reference;
+mod trace;
+mod zoo;
+
+pub use reference::{ExecMode, Inference, ReferenceExecutor};
+pub use trace::{MlpKind, OpTrace, PnnOp};
+pub use zoo::{FeaturePropagation, ModelConfig, SetAbstraction, Task};

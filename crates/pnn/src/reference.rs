@@ -1,0 +1,358 @@
+//! CPU reference executor: runs a PNN end to end with real arithmetic,
+//! in either global-search or block-parallel (Fractal + BPPO) mode.
+//!
+//! This is the functional-correctness anchor: the same network weights run
+//! both ways, and the outputs can be compared directly — the software
+//! equivalent of the paper's accuracy evaluation (§VI-B).
+
+use crate::layers::{concat_channels, max_pool, Linear};
+use crate::zoo::ModelConfig;
+use fractalcloud_core::{block_ball_query, block_fps, BppoConfig, Fractal};
+use fractalcloud_pointcloud::ops::{ball_query, farthest_point_sample, interpolate_features};
+use fractalcloud_pointcloud::partition::Partition;
+use fractalcloud_pointcloud::{Error, Point3, PointCloud, Result};
+
+/// Search strategy of the executor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExecMode {
+    /// Original global-search point operations (PointAcc semantics).
+    Global,
+    /// Fractal partitioning + block-parallel point operations with the
+    /// given threshold.
+    Block {
+        /// Fractal threshold (`th`).
+        threshold: usize,
+    },
+}
+
+/// Result of one inference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Inference {
+    /// Row-major `rows × classes` logits (1 row for classification, `n`
+    /// rows for segmentation).
+    pub logits: Vec<f32>,
+    /// Number of classes (row width).
+    pub classes: usize,
+    /// For segmentation: the original-cloud index of each logit row (block
+    /// mode reorders points); for classification a single `0`.
+    pub row_index: Vec<usize>,
+}
+
+impl Inference {
+    /// The argmax class of row `r`.
+    pub fn predicted_class(&self, r: usize) -> usize {
+        let row = &self.logits[r * self.classes..(r + 1) * self.classes];
+        row.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+/// Deterministic-weight reference executor.
+#[derive(Debug, Clone)]
+pub struct ReferenceExecutor {
+    model: ModelConfig,
+    seed: u64,
+}
+
+struct Level {
+    /// Point positions at this level.
+    points: Vec<Point3>,
+    /// Features, row-major `points × channels`.
+    features: Vec<f32>,
+    channels: usize,
+    /// Original-cloud index of each point (for output alignment).
+    origin: Vec<usize>,
+}
+
+impl ReferenceExecutor {
+    /// Creates an executor for `model` with weights derived from `seed`.
+    pub fn new(model: ModelConfig, seed: u64) -> ReferenceExecutor {
+        ReferenceExecutor { model, seed }
+    }
+
+    /// The model being executed.
+    pub fn model(&self) -> &ModelConfig {
+        &self.model
+    }
+
+    /// Runs inference on `cloud` (coordinates only; input features are the
+    /// coordinates, zero-padded to the model's input channel count).
+    ///
+    /// # Errors
+    ///
+    /// Propagates point-operation errors (empty cloud, degenerate
+    /// parameters).
+    pub fn run(&self, cloud: &PointCloud, mode: ExecMode) -> Result<Inference> {
+        if cloud.is_empty() {
+            return Err(Error::EmptyCloud);
+        }
+        let mut layer_seed = self.seed;
+        let mut next_linear = |cin: usize, cout: usize, relu: bool| {
+            layer_seed = layer_seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            Linear::seeded(cin, cout, layer_seed, relu)
+        };
+
+        // Block mode machinery: one partition reused by every stage.
+        let (partition, bppo): (Option<Partition>, BppoConfig) = match mode {
+            ExecMode::Global => (None, BppoConfig::sequential()),
+            ExecMode::Block { threshold } => {
+                let part = Fractal::with_threshold(threshold).build(cloud)?.partition;
+                (Some(part), BppoConfig::sequential())
+            }
+        };
+
+        // Level 0: raw input.
+        let in_ch = self.model.in_channels;
+        let mut features = Vec::with_capacity(cloud.len() * in_ch);
+        for p in cloud.iter() {
+            let row = [p.x, p.y, p.z];
+            for c in 0..in_ch {
+                features.push(if c < 3 { row[c] } else { 0.0 });
+            }
+        }
+        let mut level = Level {
+            points: cloud.iter().collect(),
+            features,
+            channels: in_ch,
+            origin: (0..cloud.len()).collect(),
+        };
+
+        if self.model.stem_width > 0 {
+            let l = next_linear(level.channels, self.model.stem_width, true);
+            level.features = l.forward(&level.features);
+            level.channels = self.model.stem_width;
+        }
+
+        let mut skips: Vec<Level> = Vec::new();
+
+        // ---- Abstraction ----
+        for sa in &self.model.stages {
+            let n_in = level.points.len();
+            let n_out = ((n_in as f64) * sa.sample_ratio).round().max(1.0) as usize;
+
+            // Sampling + grouping, global or block-wise.
+            let (center_idx, neighbor_rows): (Vec<usize>, Vec<usize>) = match (&partition, mode) {
+                (Some(part), ExecMode::Block { .. }) if level.origin.len() == cloud.len() => {
+                    // First stage: the partition indexes the original cloud.
+                    let lvl_cloud = level_cloud(&level);
+                    let fps = block_fps(&lvl_cloud, part, sa.sample_ratio, &bppo)?;
+                    let bq = block_ball_query(
+                        &lvl_cloud,
+                        part,
+                        &fps.per_block,
+                        sa.radius,
+                        sa.nsample,
+                        &bppo,
+                    )?;
+                    (bq.center_indices.clone(), bq.indices.clone())
+                }
+                _ => {
+                    // Global search (and deeper block stages fall back to
+                    // global over the already-reduced point set, matching
+                    // the paper's tree reuse at coarser levels).
+                    let lvl_cloud = level_cloud(&level);
+                    let fps = farthest_point_sample(&lvl_cloud, n_out.min(n_in), 0)?;
+                    let centers: Vec<Point3> =
+                        fps.indices.iter().map(|&i| level.points[i]).collect();
+                    let bq = ball_query(&lvl_cloud, &centers, sa.radius, sa.nsample)?;
+                    (fps.indices.clone(), bq.indices.clone())
+                }
+            };
+
+            // Gather: grouped tensor rows = centers × nsample of
+            // (features ++ relative coords).
+            let centers: Vec<Point3> = center_idx.iter().map(|&i| level.points[i]).collect();
+            let cin = level.channels + 3;
+            let mut grouped = Vec::with_capacity(centers.len() * sa.nsample * cin);
+            for (c, &center) in centers.iter().enumerate() {
+                for s in 0..sa.nsample {
+                    let ni = neighbor_rows[c * sa.nsample + s];
+                    let f = &level.features[ni * level.channels..(ni + 1) * level.channels];
+                    grouped.extend_from_slice(f);
+                    let rel = level.points[ni] - center;
+                    grouped.extend_from_slice(&rel.to_array());
+                }
+            }
+
+            // Grouped MLP chain + pool.
+            let mut cur = grouped;
+            let mut ch = cin;
+            for &cout in &sa.mlp {
+                let l = next_linear(ch, cout, true);
+                cur = l.forward(&cur);
+                ch = cout;
+            }
+            let mut pooled = max_pool(&cur, centers.len(), sa.nsample, ch);
+            for _ in 0..sa.blocks {
+                let up = next_linear(ch, ch * 4, true);
+                let down = next_linear(ch * 4, ch, false);
+                let expanded = down.forward(&up.forward(&pooled));
+                for (p, e) in pooled.iter_mut().zip(&expanded) {
+                    *p = (*p + e).max(0.0); // residual + relu
+                }
+            }
+
+            let new_origin: Vec<usize> =
+                center_idx.iter().map(|&i| level.origin[i]).collect();
+            skips.push(std::mem::replace(
+                &mut level,
+                Level { points: centers, features: pooled, channels: ch, origin: new_origin },
+            ));
+        }
+
+        // ---- Propagation ----
+        if self.model.task.has_propagation() {
+            for fp in &self.model.propagation {
+                let target = skips.pop().expect("skip per FP stage");
+                let src_cloud = PointCloud::from_points_features(
+                    level.points.clone(),
+                    level.features.clone(),
+                    level.channels,
+                )?;
+                let k = fp.k.min(src_cloud.len());
+                let interp =
+                    interpolate_features(&src_cloud, &target.points, k)?;
+                let merged = concat_channels(
+                    &interp.features,
+                    level.channels,
+                    &target.features,
+                    target.channels,
+                );
+                let mut cur = merged;
+                let mut ch = level.channels + target.channels;
+                for &cout in &fp.mlp {
+                    let l = next_linear(ch, cout, true);
+                    cur = l.forward(&cur);
+                    ch = cout;
+                }
+                level = Level {
+                    points: target.points,
+                    features: cur,
+                    channels: ch,
+                    origin: target.origin,
+                };
+            }
+        }
+
+        // ---- Head ----
+        let (mut cur, mut ch, rows_index) = if self.model.task.has_propagation() {
+            (level.features.clone(), level.channels, level.origin.clone())
+        } else {
+            // Global max over remaining points → one row.
+            let pooled = max_pool(&level.features, 1, level.points.len(), level.channels);
+            (pooled, level.channels, vec![0])
+        };
+        for &cout in &self.model.head {
+            let l = next_linear(ch, cout, true);
+            cur = l.forward(&cur);
+            ch = cout;
+        }
+        let out = next_linear(ch, self.model.classes, false);
+        let logits = out.forward(&cur);
+
+        Ok(Inference { logits, classes: self.model.classes, row_index: rows_index })
+    }
+}
+
+fn level_cloud(level: &Level) -> PointCloud {
+    PointCloud::from_points(level.points.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fractalcloud_pointcloud::generate::{object_cloud, scene_cloud, ObjectKind, SceneConfig};
+
+    #[test]
+    fn classification_produces_one_logit_row() {
+        let model = ModelConfig::pointnetpp_classification();
+        let exec = ReferenceExecutor::new(model, 42);
+        let cloud = object_cloud(ObjectKind::Chair, 512, 1);
+        let out = exec.run(&cloud, ExecMode::Global).unwrap();
+        assert_eq!(out.logits.len(), 40);
+        assert!(out.logits.iter().all(|v| v.is_finite()));
+        assert!(out.predicted_class(0) < 40);
+    }
+
+    #[test]
+    fn segmentation_produces_per_point_logits() {
+        let model = ModelConfig::pointnext_segmentation();
+        let exec = ReferenceExecutor::new(model, 7);
+        let cloud = scene_cloud(&SceneConfig::default(), 1024, 2);
+        let out = exec.run(&cloud, ExecMode::Global).unwrap();
+        assert_eq!(out.logits.len(), 1024 * 13);
+        assert_eq!(out.row_index.len(), 1024);
+        assert!(out.logits.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn block_mode_runs_and_matches_shapes() {
+        let model = ModelConfig::pointnext_segmentation();
+        let exec = ReferenceExecutor::new(model, 7);
+        let cloud = scene_cloud(&SceneConfig::default(), 1024, 3);
+        let out = exec.run(&cloud, ExecMode::Block { threshold: 128 }).unwrap();
+        assert_eq!(out.logits.len(), 1024 * 13);
+        // Every original point appears exactly once.
+        let mut seen = out.row_index.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 1024);
+    }
+
+    #[test]
+    fn block_and_global_agree_on_most_predictions() {
+        // The functional accuracy argument: identical weights, block vs
+        // global search — predictions should agree for the large majority
+        // of points (the paper reports <0.7 pp accuracy change after
+        // retraining; without retraining we allow a wider margin).
+        let model = ModelConfig::pointnetpp_segmentation();
+        let exec = ReferenceExecutor::new(model, 11);
+        let cloud = scene_cloud(&SceneConfig::default(), 768, 5);
+        let g = exec.run(&cloud, ExecMode::Global).unwrap();
+        let b = exec.run(&cloud, ExecMode::Block { threshold: 256 }).unwrap();
+        // Align block rows to original indices.
+        let mut g_pred = vec![0usize; 768];
+        for (r, &oi) in g.row_index.iter().enumerate() {
+            g_pred[oi] = g.predicted_class(r);
+        }
+        let mut agree = 0usize;
+        for (r, &oi) in b.row_index.iter().enumerate() {
+            if b.predicted_class(r) == g_pred[oi] {
+                agree += 1;
+            }
+        }
+        let frac = agree as f64 / 768.0;
+        assert!(frac > 0.7, "agreement {frac} too low");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let model = ModelConfig::pointnetpp_classification();
+        let exec = ReferenceExecutor::new(model.clone(), 3);
+        let cloud = object_cloud(ObjectKind::Sphere, 256, 9);
+        let a = exec.run(&cloud, ExecMode::Global).unwrap();
+        let b = ReferenceExecutor::new(model, 3).run(&cloud, ExecMode::Global).unwrap();
+        assert_eq!(a.logits, b.logits);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cloud = object_cloud(ObjectKind::Sphere, 256, 9);
+        let a = ReferenceExecutor::new(ModelConfig::pointnetpp_classification(), 1)
+            .run(&cloud, ExecMode::Global)
+            .unwrap();
+        let b = ReferenceExecutor::new(ModelConfig::pointnetpp_classification(), 2)
+            .run(&cloud, ExecMode::Global)
+            .unwrap();
+        assert_ne!(a.logits, b.logits);
+    }
+
+    #[test]
+    fn empty_cloud_errors() {
+        let exec = ReferenceExecutor::new(ModelConfig::pointnetpp_classification(), 0);
+        assert!(exec.run(&PointCloud::new(), ExecMode::Global).is_err());
+    }
+}

@@ -1,0 +1,78 @@
+//! Error types for the point-cloud substrate.
+
+use std::fmt;
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by point-cloud operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A buffer had a different number of elements than the shape implies.
+    ShapeMismatch {
+        /// Number of elements the shape requires.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// An index referenced a point beyond the end of the cloud.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The cloud length.
+        len: usize,
+    },
+    /// A permutation vector was not a permutation of `0..len`.
+    InvalidPermutation,
+    /// An operation that requires a non-empty cloud received an empty one.
+    EmptyCloud,
+    /// A parameter was outside its meaningful range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        message: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ShapeMismatch { expected, actual } => {
+                write!(f, "shape mismatch: expected {expected} elements, got {actual}")
+            }
+            Error::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for cloud of {len} points")
+            }
+            Error::InvalidPermutation => write!(f, "vector is not a permutation of 0..len"),
+            Error::EmptyCloud => write!(f, "operation requires a non-empty point cloud"),
+            Error::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = Error::ShapeMismatch { expected: 4, actual: 2 };
+        assert_eq!(e.to_string(), "shape mismatch: expected 4 elements, got 2");
+        let e = Error::IndexOutOfBounds { index: 7, len: 3 };
+        assert!(e.to_string().contains("index 7"));
+        let e = Error::InvalidParameter { name: "radius", message: "must be positive".into() };
+        assert!(e.to_string().contains("radius"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

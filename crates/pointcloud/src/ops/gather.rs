@@ -1,0 +1,176 @@
+//! Gathering: resolving neighbor indices into feature rows and grouped
+//! coordinate tensors.
+
+use crate::cloud::PointCloud;
+use crate::error::{Error, Result};
+use crate::ops::OpCounters;
+use crate::point::Point3;
+
+/// Output of [`gather_features`] / [`group_points`]: a dense
+/// `centers × num × channels` tensor plus work counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupedFeatures {
+    /// Row-major `(centers * num) × channels` data.
+    pub data: Vec<f32>,
+    /// Number of centers.
+    pub centers: usize,
+    /// Neighbor slots per center.
+    pub num: usize,
+    /// Channels per entry.
+    pub channels: usize,
+    /// Work performed.
+    pub counters: OpCounters,
+}
+
+impl GroupedFeatures {
+    /// The feature row for neighbor slot `s` of center `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` or `s` are out of range.
+    pub fn entry(&self, c: usize, s: usize) -> &[f32] {
+        assert!(c < self.centers && s < self.num, "entry ({c},{s}) out of range");
+        let row = c * self.num + s;
+        &self.data[row * self.channels..(row + 1) * self.channels]
+    }
+}
+
+/// Gathers feature rows for every neighbor index (the gathering operation of
+/// §II-B). `indices` is row-major `centers × num`; the gathered tensor has
+/// the cloud's channel count.
+///
+/// In the original (pre-Fractal) layout the indices are scattered across the
+/// whole feature space, which is exactly why conventional gathering needs
+/// global memory: each of the `centers × num` reads may touch any bank.
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] when `indices.len()` is not a multiple of
+/// `num`, and [`Error::IndexOutOfBounds`] for invalid indices.
+pub fn gather_features(cloud: &PointCloud, indices: &[usize], num: usize) -> Result<GroupedFeatures> {
+    if num == 0 || indices.len() % num != 0 {
+        return Err(Error::ShapeMismatch { expected: num.max(1), actual: indices.len() });
+    }
+    let centers = indices.len() / num;
+    let channels = cloud.channels();
+    let mut counters = OpCounters::new();
+    let mut data = Vec::with_capacity(indices.len() * channels);
+    for &i in indices {
+        if i >= cloud.len() {
+            return Err(Error::IndexOutOfBounds { index: i, len: cloud.len() });
+        }
+        counters.feature_reads += 1;
+        data.extend_from_slice(cloud.feature(i));
+        counters.writes += 1;
+    }
+    Ok(GroupedFeatures { data, centers, num, channels, counters })
+}
+
+/// Groups *coordinates* relative to each center (the `p_set` tensor feeding
+/// the first MLP of a set-abstraction stage): entry `(c, s)` is
+/// `candidate[indices[c,s]] − centers[c]`, 3 channels.
+///
+/// # Errors
+///
+/// Same conditions as [`gather_features`], plus a shape check that
+/// `indices.len() == centers.len() * num`.
+pub fn group_points(
+    cloud: &PointCloud,
+    centers: &[Point3],
+    indices: &[usize],
+    num: usize,
+) -> Result<GroupedFeatures> {
+    if num == 0 || indices.len() != centers.len() * num {
+        return Err(Error::ShapeMismatch { expected: centers.len() * num.max(1), actual: indices.len() });
+    }
+    let mut counters = OpCounters::new();
+    let mut data = Vec::with_capacity(indices.len() * 3);
+    for (c, &center) in centers.iter().enumerate() {
+        for s in 0..num {
+            let i = indices[c * num + s];
+            if i >= cloud.len() {
+                return Err(Error::IndexOutOfBounds { index: i, len: cloud.len() });
+            }
+            counters.coord_reads += 1;
+            let rel = cloud.point(i) - center;
+            data.extend_from_slice(&rel.to_array());
+            counters.writes += 1;
+        }
+    }
+    Ok(GroupedFeatures { data, centers: centers.len(), num, channels: 3, counters })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::with_random_features;
+    use crate::generate::uniform_cube;
+
+    fn featured() -> PointCloud {
+        PointCloud::from_points_features(
+            vec![Point3::ORIGIN, Point3::splat(1.0), Point3::splat(2.0)],
+            vec![10.0, 20.0, 11.0, 21.0, 12.0, 22.0],
+            2,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn gather_resolves_indices_in_order() {
+        let g = gather_features(&featured(), &[2, 0, 1, 1], 2).unwrap();
+        assert_eq!(g.centers, 2);
+        assert_eq!(g.entry(0, 0), &[12.0, 22.0]);
+        assert_eq!(g.entry(0, 1), &[10.0, 20.0]);
+        assert_eq!(g.entry(1, 0), &[11.0, 21.0]);
+        assert_eq!(g.entry(1, 1), &[11.0, 21.0]);
+    }
+
+    #[test]
+    fn gather_counts_one_read_per_slot() {
+        let g = gather_features(&featured(), &[0, 1, 2, 0], 2).unwrap();
+        assert_eq!(g.counters.feature_reads, 4);
+        assert_eq!(g.counters.writes, 4);
+    }
+
+    #[test]
+    fn gather_rejects_bad_shapes_and_indices() {
+        assert!(gather_features(&featured(), &[0, 1, 2], 2).is_err());
+        assert!(gather_features(&featured(), &[0, 9], 2).is_err());
+        assert!(gather_features(&featured(), &[], 0).is_err());
+    }
+
+    #[test]
+    fn group_points_is_relative_to_center() {
+        let cloud = PointCloud::from_points(vec![Point3::splat(1.0), Point3::splat(3.0)]);
+        let centers = [Point3::splat(1.0)];
+        let g = group_points(&cloud, &centers, &[0, 1], 2).unwrap();
+        assert_eq!(g.entry(0, 0), &[0.0, 0.0, 0.0]);
+        assert_eq!(g.entry(0, 1), &[2.0, 2.0, 2.0]);
+        assert_eq!(g.channels, 3);
+    }
+
+    #[test]
+    fn group_points_validates_shape() {
+        let cloud = uniform_cube(4, 0);
+        let centers = [Point3::ORIGIN];
+        assert!(group_points(&cloud, &centers, &[0, 1, 2], 2).is_err());
+    }
+
+    #[test]
+    fn grouped_tensor_dimensions() {
+        let cloud = with_random_features(uniform_cube(32, 1), 8, 2);
+        let idx: Vec<usize> = (0..16).map(|i| i % 32).collect();
+        let g = gather_features(&cloud, &idx, 4).unwrap();
+        assert_eq!(g.centers, 4);
+        assert_eq!(g.num, 4);
+        assert_eq!(g.channels, 8);
+        assert_eq!(g.data.len(), 16 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn entry_panics_out_of_range() {
+        let g = gather_features(&featured(), &[0, 1], 2).unwrap();
+        let _ = g.entry(1, 0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Feature interpolation (the propagation-stage operation).
+
+use crate::cloud::PointCloud;
+use crate::error::{Error, Result};
+use crate::ops::{k_nearest_neighbors, OpCounters};
+use crate::point::Point3;
+
+/// Output of [`interpolate_features`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterpolationResult {
+    /// Row-major `targets × channels` interpolated features.
+    pub features: Vec<f32>,
+    /// Channels per target.
+    pub channels: usize,
+    /// Work performed (includes the embedded KNN).
+    pub counters: OpCounters,
+}
+
+impl InterpolationResult {
+    /// The interpolated feature row for target `t`.
+    pub fn row(&self, t: usize) -> &[f32] {
+        &self.features[t * self.channels..(t + 1) * self.channels]
+    }
+}
+
+/// Inverse-distance-weighted K-NN interpolation (Fig. 2(c)), the standard
+/// PointNet++ `three_interpolate`: each target point receives the
+/// distance-weighted average of the features of its `k` nearest source
+/// points, with weights `wᵢ = (1/dᵢ²) / Σⱼ 1/dⱼ²`.
+///
+/// A target coincident with a source (d = 0) copies that source's features
+/// exactly.
+///
+/// # Errors
+///
+/// Propagates KNN parameter errors; see
+/// [`k_nearest_neighbors`].
+///
+/// # Examples
+///
+/// ```
+/// use fractalcloud_pointcloud::{ops::interpolate_features, PointCloud, Point3};
+///
+/// let sources = PointCloud::from_points_features(
+///     vec![Point3::new(0.0, 0.0, 0.0), Point3::new(2.0, 0.0, 0.0)],
+///     vec![0.0, 10.0],
+///     1,
+/// )?;
+/// let out = interpolate_features(&sources, &[Point3::new(1.0, 0.0, 0.0)], 2)?;
+/// assert!((out.row(0)[0] - 5.0).abs() < 1e-5); // halfway point
+/// # Ok::<(), fractalcloud_pointcloud::Error>(())
+/// ```
+pub fn interpolate_features(
+    sources: &PointCloud,
+    targets: &[Point3],
+    k: usize,
+) -> Result<InterpolationResult> {
+    if sources.channels() == 0 {
+        return Err(Error::InvalidParameter {
+            name: "sources",
+            message: "source cloud must carry features to interpolate".into(),
+        });
+    }
+    let knn = k_nearest_neighbors(sources, targets, k)?;
+    let channels = sources.channels();
+    let mut counters = knn.counters;
+    let mut features = vec![0.0f32; targets.len() * channels];
+
+    const EPS: f32 = 1e-10;
+    for t in 0..targets.len() {
+        let idx_row = knn.row(t);
+        let d_row = knn.distance_row(t);
+        // Exact hit: copy features directly.
+        if d_row[0] <= EPS {
+            counters.feature_reads += 1;
+            features[t * channels..(t + 1) * channels].copy_from_slice(sources.feature(idx_row[0]));
+            counters.writes += 1;
+            continue;
+        }
+        let weights: Vec<f32> = d_row.iter().map(|&d| 1.0 / (d + EPS)).collect();
+        let wsum: f32 = weights.iter().sum();
+        let out = &mut features[t * channels..(t + 1) * channels];
+        for (&i, &w) in idx_row.iter().zip(&weights) {
+            counters.feature_reads += 1;
+            let f = sources.feature(i);
+            let wn = w / wsum;
+            for (o, &fv) in out.iter_mut().zip(f) {
+                *o += wn * fv;
+            }
+        }
+        counters.writes += 1;
+    }
+
+    Ok(InterpolationResult { features, channels, counters })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{uniform_cube, with_random_features};
+
+    fn sources() -> PointCloud {
+        PointCloud::from_points_features(
+            vec![
+                Point3::new(0.0, 0.0, 0.0),
+                Point3::new(1.0, 0.0, 0.0),
+                Point3::new(0.0, 1.0, 0.0),
+            ],
+            vec![1.0, 2.0, 3.0],
+            1,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn coincident_target_copies_source() {
+        let out = interpolate_features(&sources(), &[Point3::new(1.0, 0.0, 0.0)], 3).unwrap();
+        assert_eq!(out.row(0), &[2.0]);
+    }
+
+    #[test]
+    fn weights_are_convex_combination() {
+        let cloud = with_random_features(uniform_cube(64, 3), 4, 9);
+        let targets: Vec<Point3> =
+            (0..10).map(|i| cloud.point(i) + Point3::splat(0.01)).collect();
+        let out = interpolate_features(&cloud, &targets, 3).unwrap();
+        // Every output channel must be within [min, max] of the source
+        // features (convexity of IDW weights).
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        for f in cloud.features() {
+            lo = lo.min(*f);
+            hi = hi.max(*f);
+        }
+        for v in &out.features {
+            assert!(*v >= lo - 1e-5 && *v <= hi + 1e-5);
+        }
+    }
+
+    #[test]
+    fn interpolation_is_exact_for_linear_fields() {
+        // Feature = 2x + 3y - z is NOT exactly reproduced by IDW in general,
+        // but the symmetric midpoint of two sources is.
+        let src = PointCloud::from_points_features(
+            vec![Point3::new(0.0, 0.0, 0.0), Point3::new(2.0, 2.0, 2.0)],
+            vec![0.0, 8.0],
+            1,
+        )
+        .unwrap();
+        let out = interpolate_features(&src, &[Point3::splat(1.0)], 2).unwrap();
+        assert!((out.row(0)[0] - 4.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn requires_featured_sources() {
+        let bare = uniform_cube(10, 0);
+        assert!(interpolate_features(&bare, &[Point3::ORIGIN], 3).is_err());
+    }
+
+    #[test]
+    fn counters_include_knn_work() {
+        let cloud = with_random_features(uniform_cube(50, 1), 2, 2);
+        let out = interpolate_features(&cloud, &[Point3::splat(0.5)], 3).unwrap();
+        assert!(out.counters.distance_evals >= 50);
+        assert!(out.counters.feature_reads >= 3);
+    }
+
+    #[test]
+    fn output_shape_matches_targets() {
+        let cloud = with_random_features(uniform_cube(30, 5), 6, 1);
+        let targets: Vec<Point3> = (0..7).map(|i| cloud.point(i)).collect();
+        let out = interpolate_features(&cloud, &targets, 3).unwrap();
+        assert_eq!(out.features.len(), 7 * 6);
+        assert_eq!(out.channels, 6);
+    }
+}

@@ -1,0 +1,95 @@
+//! Reference (global-search) point operations.
+//!
+//! These are the *original* point operations of §II-B: iterative global FPS,
+//! global ball query, global KNN, gather, and 3-NN interpolation. They are
+//! exact, `O(n²)`-style implementations used as (a) the functional baseline
+//! the block-parallel versions are validated against, and (b) the source of
+//! operation counts consumed by the PointAcc/Mesorasi/GPU cost models.
+//!
+//! Every operation fills an [`OpCounters`] record with the number of distance
+//! evaluations, comparisons, and element-granularity memory touches it
+//! performed, so architecture models can be driven by *measured* work rather
+//! than closed-form guesses.
+
+mod ball_query;
+mod fps;
+mod gather;
+mod interpolate;
+mod knn;
+
+pub use ball_query::{ball_query, BallQueryResult};
+pub use fps::{farthest_point_sample, FpsResult};
+pub use gather::{gather_features, group_points, GroupedFeatures};
+pub use interpolate::{interpolate_features, InterpolationResult};
+pub use knn::{k_nearest_neighbors, KnnResult};
+
+use serde::{Deserialize, Serialize};
+
+/// Work counters shared by all point operations.
+///
+/// Counters are element-granularity: one "memory touch" is one point record
+/// (coordinates) or one feature row read or written. The simulator converts
+/// touches into bytes with the configured precision.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpCounters {
+    /// Euclidean distance evaluations (the RSPU distance-unit workload).
+    pub distance_evals: u64,
+    /// Scalar comparisons (argmax/argmin/top-k/threshold checks).
+    pub comparisons: u64,
+    /// Point-coordinate records read.
+    pub coord_reads: u64,
+    /// Feature rows read.
+    pub feature_reads: u64,
+    /// Records written (sampled indices, neighbor lists, gathered rows…).
+    pub writes: u64,
+    /// Candidates skipped by the window-check mechanism (block ops only).
+    pub skipped: u64,
+}
+
+impl OpCounters {
+    /// Creates zeroed counters.
+    pub fn new() -> OpCounters {
+        OpCounters::default()
+    }
+
+    /// Sums two counter sets (used when aggregating per-block work).
+    pub fn merge(&mut self, other: &OpCounters) {
+        self.distance_evals += other.distance_evals;
+        self.comparisons += other.comparisons;
+        self.coord_reads += other.coord_reads;
+        self.feature_reads += other.feature_reads;
+        self.writes += other.writes;
+        self.skipped += other.skipped;
+    }
+
+    /// Total memory touches (reads + writes), in records.
+    pub fn memory_touches(&self) -> u64 {
+        self.coord_reads + self.feature_reads + self.writes
+    }
+}
+
+impl std::ops::Add for OpCounters {
+    type Output = OpCounters;
+
+    fn add(self, other: OpCounters) -> OpCounters {
+        let mut out = self;
+        out.merge(&other);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_merge_adds_fields() {
+        let a = OpCounters { distance_evals: 1, comparisons: 2, coord_reads: 3, ..Default::default() };
+        let b = OpCounters { distance_evals: 10, writes: 5, ..Default::default() };
+        let c = a + b;
+        assert_eq!(c.distance_evals, 11);
+        assert_eq!(c.comparisons, 2);
+        assert_eq!(c.writes, 5);
+        assert_eq!(c.memory_touches(), 3 + 0 + 5);
+    }
+}

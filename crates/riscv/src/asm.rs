@@ -1,0 +1,490 @@
+//! A small two-pass RV32IM assembler for control programs.
+//!
+//! Supports the instructions of [`crate::isa`], ABI register names,
+//! `#` comments, labels, and the pseudo-instructions `li`, `mv`, `nop`,
+//! `j`, and `ret`. Enough to write the configuration programs the RISC-V
+//! core runs in the examples and tests.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Assembly error with line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn reg(name: &str, line: usize) -> Result<u8, AsmError> {
+    let name = name.trim();
+    let abi = [
+        ("zero", 0), ("ra", 1), ("sp", 2), ("gp", 3), ("tp", 4),
+        ("t0", 5), ("t1", 6), ("t2", 7),
+        ("s0", 8), ("fp", 8), ("s1", 9),
+        ("a0", 10), ("a1", 11), ("a2", 12), ("a3", 13), ("a4", 14), ("a5", 15), ("a6", 16), ("a7", 17),
+        ("s2", 18), ("s3", 19), ("s4", 20), ("s5", 21), ("s6", 22), ("s7", 23), ("s8", 24),
+        ("s9", 25), ("s10", 26), ("s11", 27),
+        ("t3", 28), ("t4", 29), ("t5", 30), ("t6", 31),
+    ];
+    for (n, v) in abi {
+        if n == name {
+            return Ok(v);
+        }
+    }
+    if let Some(num) = name.strip_prefix('x') {
+        if let Ok(v) = num.parse::<u8>() {
+            if v < 32 {
+                return Ok(v);
+            }
+        }
+    }
+    Err(AsmError { line, message: format!("unknown register `{name}`") })
+}
+
+fn imm(text: &str, line: usize) -> Result<i64, AsmError> {
+    let t = text.trim();
+    let (neg, t) = match t.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, t),
+    };
+    let v = if let Some(hex) = t.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16)
+    } else if let Some(hex) = t.strip_prefix("0X") {
+        i64::from_str_radix(hex, 16)
+    } else {
+        t.parse::<i64>()
+    }
+    .map_err(|_| AsmError { line, message: format!("bad immediate `{text}`") })?;
+    Ok(if neg { -v } else { v })
+}
+
+// ---- encoders ----
+
+fn enc_r(funct7: u32, rs2: u8, rs1: u8, funct3: u32, rd: u8, opcode: u32) -> u32 {
+    (funct7 << 25) | ((rs2 as u32) << 20) | ((rs1 as u32) << 15) | (funct3 << 12)
+        | ((rd as u32) << 7)
+        | opcode
+}
+
+fn enc_i(imm: i32, rs1: u8, funct3: u32, rd: u8, opcode: u32) -> u32 {
+    ((imm as u32 & 0xfff) << 20) | ((rs1 as u32) << 15) | (funct3 << 12) | ((rd as u32) << 7)
+        | opcode
+}
+
+fn enc_s(imm: i32, rs2: u8, rs1: u8, funct3: u32, opcode: u32) -> u32 {
+    let u = imm as u32;
+    ((u >> 5 & 0x7f) << 25) | ((rs2 as u32) << 20) | ((rs1 as u32) << 15) | (funct3 << 12)
+        | ((u & 0x1f) << 7)
+        | opcode
+}
+
+fn enc_b(imm: i32, rs2: u8, rs1: u8, funct3: u32) -> u32 {
+    let u = imm as u32;
+    ((u >> 12 & 1) << 31) | ((u >> 5 & 0x3f) << 25) | ((rs2 as u32) << 20)
+        | ((rs1 as u32) << 15)
+        | (funct3 << 12)
+        | ((u >> 1 & 0xf) << 8)
+        | ((u >> 11 & 1) << 7)
+        | 0x63
+}
+
+fn enc_u(imm: i32, rd: u8, opcode: u32) -> u32 {
+    (imm as u32 & 0xffff_f000) | ((rd as u32) << 7) | opcode
+}
+
+fn enc_j(imm: i32, rd: u8) -> u32 {
+    let u = imm as u32;
+    ((u >> 20 & 1) << 31) | ((u >> 1 & 0x3ff) << 21) | ((u >> 11 & 1) << 20)
+        | ((u >> 12 & 0xff) << 12)
+        | ((rd as u32) << 7)
+        | 0x6f
+}
+
+/// One parsed line awaiting encoding.
+#[derive(Debug, Clone)]
+enum Item {
+    /// Fully-encodable now.
+    Word(u32),
+    /// Branch to a label: (mnemonic funct3, rs1, rs2, label).
+    Branch(u32, u8, u8, String),
+    /// `jal rd, label`.
+    Jal(u8, String),
+}
+
+fn fits12(v: i64) -> bool {
+    (-2048..=2047).contains(&v)
+}
+
+/// Assembles RV32IM source into little-endian machine code.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] with the offending line on syntax errors, unknown
+/// mnemonics/registers, or undefined labels.
+///
+/// # Examples
+///
+/// ```
+/// use fractalcloud_riscv::assemble;
+///
+/// let code = assemble("li a0, 1\necall").unwrap();
+/// assert_eq!(code.len(), 8); // two instructions
+/// ```
+pub fn assemble(source: &str) -> Result<Vec<u8>, AsmError> {
+    let mut items: Vec<(usize, Item)> = Vec::new();
+    let mut labels: HashMap<String, u32> = HashMap::new();
+
+    for (line_idx, raw) in source.lines().enumerate() {
+        let line_no = line_idx + 1;
+        let mut text = raw;
+        if let Some(hash) = text.find('#') {
+            text = &text[..hash];
+        }
+        let mut text = text.trim();
+        // Leading labels (possibly several).
+        while let Some(colon) = text.find(':') {
+            let (label, rest) = text.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                break;
+            }
+            let addr = (items.len() * 4) as u32;
+            if labels.insert(label.to_string(), addr).is_some() {
+                return Err(AsmError { line: line_no, message: format!("duplicate label `{label}`") });
+            }
+            text = rest[1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+
+        let (mnem, rest) = match text.find(char::is_whitespace) {
+            Some(i) => (&text[..i], text[i..].trim()),
+            None => (text, ""),
+        };
+        let args: Vec<&str> = if rest.is_empty() {
+            Vec::new()
+        } else {
+            rest.split(',').map(str::trim).collect()
+        };
+        let e = |msg: &str| AsmError { line: line_no, message: msg.to_string() };
+        let need = |n: usize| -> Result<(), AsmError> {
+            if args.len() == n {
+                Ok(())
+            } else {
+                Err(AsmError {
+                    line: line_no,
+                    message: format!("`{mnem}` expects {n} operands, got {}", args.len()),
+                })
+            }
+        };
+
+        // mem operand "imm(reg)"
+        let mem = |s: &str| -> Result<(i32, u8), AsmError> {
+            let open = s.find('(').ok_or_else(|| e("expected `imm(reg)`"))?;
+            let close = s.rfind(')').ok_or_else(|| e("expected `imm(reg)`"))?;
+            let off = if open == 0 { 0 } else { imm(&s[..open], line_no)? as i32 };
+            let r = reg(&s[open + 1..close], line_no)?;
+            Ok((off, r))
+        };
+
+        let mut push = |item: Item| items.push((line_no, item));
+
+        match mnem {
+            "nop" => push(Item::Word(enc_i(0, 0, 0, 0, 0x13))),
+            "ecall" => push(Item::Word(0x0000_0073)),
+            "ebreak" => push(Item::Word(0x0010_0073)),
+            "fence" | "fence.i" => push(Item::Word(0x0000_000f)),
+            "ret" => push(Item::Word(enc_i(0, 1, 0, 0, 0x67))),
+            "li" => {
+                need(2)?;
+                let rd = reg(args[0], line_no)?;
+                let v = imm(args[1], line_no)?;
+                let v32 = v as i32;
+                if fits12(v) {
+                    push(Item::Word(enc_i(v32, 0, 0, rd, 0x13)));
+                } else {
+                    let lo = (v32 << 20) >> 20; // sign-extended low 12
+                    let hi = v32.wrapping_sub(lo);
+                    push(Item::Word(enc_u(hi, rd, 0x37)));
+                    if lo != 0 {
+                        push(Item::Word(enc_i(lo, rd, 0, rd, 0x13)));
+                    }
+                }
+            }
+            "mv" => {
+                need(2)?;
+                let rd = reg(args[0], line_no)?;
+                let rs = reg(args[1], line_no)?;
+                push(Item::Word(enc_i(0, rs, 0, rd, 0x13)));
+            }
+            "lui" | "auipc" => {
+                need(2)?;
+                let rd = reg(args[0], line_no)?;
+                let v = imm(args[1], line_no)? as i32;
+                let op = if mnem == "lui" { 0x37 } else { 0x17 };
+                push(Item::Word(enc_u(v << 12, rd, op)));
+            }
+            "addi" | "slti" | "sltiu" | "xori" | "ori" | "andi" => {
+                need(3)?;
+                let rd = reg(args[0], line_no)?;
+                let rs1 = reg(args[1], line_no)?;
+                let v = imm(args[2], line_no)?;
+                if !fits12(v) {
+                    return Err(e("immediate out of 12-bit range"));
+                }
+                let f3 = match mnem {
+                    "addi" => 0,
+                    "slti" => 2,
+                    "sltiu" => 3,
+                    "xori" => 4,
+                    "ori" => 6,
+                    _ => 7,
+                };
+                push(Item::Word(enc_i(v as i32, rs1, f3, rd, 0x13)));
+            }
+            "slli" | "srli" | "srai" => {
+                need(3)?;
+                let rd = reg(args[0], line_no)?;
+                let rs1 = reg(args[1], line_no)?;
+                let sh = imm(args[2], line_no)?;
+                if !(0..32).contains(&sh) {
+                    return Err(e("shift amount out of range"));
+                }
+                let (f7, f3) = match mnem {
+                    "slli" => (0, 1),
+                    "srli" => (0, 5),
+                    _ => (0b0100000, 5),
+                };
+                push(Item::Word(enc_r(f7, sh as u8, rs1, f3, rd, 0x13)));
+            }
+            "add" | "sub" | "sll" | "slt" | "sltu" | "xor" | "srl" | "sra" | "or" | "and"
+            | "mul" | "mulh" | "mulhsu" | "mulhu" | "div" | "divu" | "rem" | "remu" => {
+                need(3)?;
+                let rd = reg(args[0], line_no)?;
+                let rs1 = reg(args[1], line_no)?;
+                let rs2 = reg(args[2], line_no)?;
+                let (f7, f3) = match mnem {
+                    "add" => (0b0000000, 0b000),
+                    "sub" => (0b0100000, 0b000),
+                    "sll" => (0b0000000, 0b001),
+                    "slt" => (0b0000000, 0b010),
+                    "sltu" => (0b0000000, 0b011),
+                    "xor" => (0b0000000, 0b100),
+                    "srl" => (0b0000000, 0b101),
+                    "sra" => (0b0100000, 0b101),
+                    "or" => (0b0000000, 0b110),
+                    "and" => (0b0000000, 0b111),
+                    "mul" => (1, 0b000),
+                    "mulh" => (1, 0b001),
+                    "mulhsu" => (1, 0b010),
+                    "mulhu" => (1, 0b011),
+                    "div" => (1, 0b100),
+                    "divu" => (1, 0b101),
+                    "rem" => (1, 0b110),
+                    _ => (1, 0b111),
+                };
+                push(Item::Word(enc_r(f7, rs2, rs1, f3, rd, 0x33)));
+            }
+            "lb" | "lh" | "lw" | "lbu" | "lhu" => {
+                need(2)?;
+                let rd = reg(args[0], line_no)?;
+                let (off, rs1) = mem(args[1])?;
+                let f3 = match mnem {
+                    "lb" => 0,
+                    "lh" => 1,
+                    "lw" => 2,
+                    "lbu" => 4,
+                    _ => 5,
+                };
+                push(Item::Word(enc_i(off, rs1, f3, rd, 0x03)));
+            }
+            "sb" | "sh" | "sw" => {
+                need(2)?;
+                let rs2 = reg(args[0], line_no)?;
+                let (off, rs1) = mem(args[1])?;
+                let f3 = match mnem {
+                    "sb" => 0,
+                    "sh" => 1,
+                    _ => 2,
+                };
+                push(Item::Word(enc_s(off, rs2, rs1, f3, 0x23)));
+            }
+            "beq" | "bne" | "blt" | "bge" | "bltu" | "bgeu" => {
+                need(3)?;
+                let rs1 = reg(args[0], line_no)?;
+                let rs2 = reg(args[1], line_no)?;
+                let f3 = match mnem {
+                    "beq" => 0b000,
+                    "bne" => 0b001,
+                    "blt" => 0b100,
+                    "bge" => 0b101,
+                    "bltu" => 0b110,
+                    _ => 0b111,
+                };
+                push(Item::Branch(f3, rs1, rs2, args[2].to_string()));
+            }
+            "jal" => match args.len() {
+                1 => push(Item::Jal(1, args[0].to_string())),
+                2 => {
+                    let rd = reg(args[0], line_no)?;
+                    push(Item::Jal(rd, args[1].to_string()));
+                }
+                _ => return Err(e("`jal` expects `label` or `rd, label`")),
+            },
+            "j" => {
+                need(1)?;
+                push(Item::Jal(0, args[0].to_string()));
+            }
+            "jalr" => {
+                need(3)?;
+                let rd = reg(args[0], line_no)?;
+                let rs1 = reg(args[1], line_no)?;
+                let v = imm(args[2], line_no)? as i32;
+                push(Item::Word(enc_i(v, rs1, 0, rd, 0x67)));
+            }
+            other => return Err(e(&format!("unknown mnemonic `{other}`"))),
+        }
+    }
+
+    // Pass 2: resolve labels.
+    let mut out = Vec::with_capacity(items.len() * 4);
+    for (idx, (line, item)) in items.iter().enumerate() {
+        let pc = (idx * 4) as i64;
+        let word = match item {
+            Item::Word(w) => *w,
+            Item::Branch(f3, rs1, rs2, label) => {
+                let target = *labels.get(label).ok_or_else(|| AsmError {
+                    line: *line,
+                    message: format!("undefined label `{label}`"),
+                })? as i64;
+                let off = target - pc;
+                if !(-4096..=4094).contains(&off) {
+                    return Err(AsmError { line: *line, message: "branch out of range".into() });
+                }
+                enc_b(off as i32, *rs2, *rs1, *f3)
+            }
+            Item::Jal(rd, label) => {
+                let target = *labels.get(label).ok_or_else(|| AsmError {
+                    line: *line,
+                    message: format!("undefined label `{label}`"),
+                })? as i64;
+                let off = target - pc;
+                enc_j(off as i32, *rd)
+            }
+        };
+        out.extend_from_slice(&word.to_le_bytes());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{decode, Instr};
+
+    fn words(code: &[u8]) -> Vec<u32> {
+        code.chunks(4).map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect()
+    }
+
+    #[test]
+    fn assemble_and_decode_round_trip() {
+        let code = assemble(
+            "addi a0, zero, 42
+             add  a1, a0, a0
+             sw   a1, 8(sp)
+             lw   a2, 8(sp)",
+        )
+        .unwrap();
+        let ws = words(&code);
+        assert_eq!(decode(ws[0]).unwrap(), Instr::Addi { rd: 10, rs1: 0, imm: 42 });
+        assert_eq!(decode(ws[1]).unwrap(), Instr::Add { rd: 11, rs1: 10, rs2: 10 });
+        assert_eq!(decode(ws[2]).unwrap(), Instr::Sw { rs1: 2, rs2: 11, imm: 8 });
+        assert_eq!(decode(ws[3]).unwrap(), Instr::Lw { rd: 12, rs1: 2, imm: 8 });
+    }
+
+    #[test]
+    fn li_small_is_one_instruction() {
+        let code = assemble("li t0, -7").unwrap();
+        assert_eq!(code.len(), 4);
+        assert_eq!(decode(words(&code)[0]).unwrap(), Instr::Addi { rd: 5, rs1: 0, imm: -7 });
+    }
+
+    #[test]
+    fn li_large_is_lui_addi() {
+        let code = assemble("li t0, 0x12345678").unwrap();
+        let ws = words(&code);
+        assert_eq!(ws.len(), 2);
+        match (decode(ws[0]).unwrap(), decode(ws[1]).unwrap()) {
+            (Instr::Lui { rd: 5, imm: hi }, Instr::Addi { rd: 5, rs1: 5, imm: lo }) => {
+                assert_eq!(hi.wrapping_add(lo), 0x12345678);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn branch_targets_resolve_backwards_and_forwards() {
+        let code = assemble(
+            "start:
+             beq zero, zero, end
+             j start
+            end:
+             ecall",
+        )
+        .unwrap();
+        let ws = words(&code);
+        match decode(ws[0]).unwrap() {
+            Instr::Beq { imm, .. } => assert_eq!(imm, 8),
+            other => panic!("{other:?}"),
+        }
+        match decode(ws[1]).unwrap() {
+            Instr::Jal { rd: 0, imm } => assert_eq!(imm, -4),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let code = assemble("# header\n\n  nop # trailing\n").unwrap();
+        assert_eq!(code.len(), 4);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = assemble("nop\nbadop x1, x2\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("badop"));
+        let err = assemble("beq zero, zero, nowhere").unwrap_err();
+        assert!(err.message.contains("nowhere"));
+    }
+
+    #[test]
+    fn duplicate_label_is_an_error() {
+        let err = assemble("a:\nnop\na:\nnop").unwrap_err();
+        assert!(err.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn abi_and_numeric_registers_agree() {
+        let a = assemble("add a0, sp, t6").unwrap();
+        let b = assemble("add x10, x2, x31").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn immediate_range_checked() {
+        assert!(assemble("addi a0, a0, 5000").is_err());
+        assert!(assemble("slli a0, a0, 32").is_err());
+    }
+}

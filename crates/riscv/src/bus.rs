@@ -1,0 +1,296 @@
+//! Memory bus: RAM plus the memory-mapped configuration module of §V-A.
+
+use std::collections::VecDeque;
+
+/// Memory-bus interface the CPU core drives.
+pub trait Bus {
+    /// Loads a 32-bit word (little-endian). `addr` need not be aligned.
+    fn load32(&mut self, addr: u32) -> u32;
+    /// Stores a 32-bit word.
+    fn store32(&mut self, addr: u32, value: u32);
+
+    /// Loads one byte.
+    fn load8(&mut self, addr: u32) -> u8;
+    /// Stores one byte.
+    fn store8(&mut self, addr: u32, value: u8);
+
+    /// Loads a 16-bit halfword.
+    fn load16(&mut self, addr: u32) -> u16 {
+        (self.load8(addr) as u16) | ((self.load8(addr + 1) as u16) << 8)
+    }
+    /// Stores a 16-bit halfword.
+    fn store16(&mut self, addr: u32, value: u16) {
+        self.store8(addr, value as u8);
+        self.store8(addr + 1, (value >> 8) as u8);
+    }
+}
+
+/// Base address of the configuration-module MMIO window.
+pub const CONFIG_MMIO_BASE: u32 = 0x4000_0000;
+/// Size of the MMIO window in bytes.
+pub const CONFIG_MMIO_SIZE: u32 = 0x1000;
+
+/// MMIO register offsets of the [`ConfigModule`].
+pub mod config_regs {
+    /// W: select the target computation module (0 = fractal engine,
+    /// 1 = RSPU array, 2 = gather units, 3 = pooling, 4 = PE array,
+    /// 5 = DMA).
+    pub const MODULE_SEL: u32 = 0x00;
+    /// W: push one 32-bit control word into the staging buffer.
+    pub const DATA_FIFO: u32 = 0x04;
+    /// W: commit the staging buffer — the module segments and packages it
+    /// into one instruction for the selected unit.
+    pub const COMMIT: u32 = 0x08;
+    /// R: number of packets dispatched so far.
+    pub const DISPATCH_COUNT: u32 = 0x0c;
+    /// R: busy flag (always 0 in this functional model — dispatch is
+    /// instantaneous; timing is charged by the accelerator model).
+    pub const STATUS: u32 = 0x10;
+}
+
+/// Target computation modules, by MODULE_SEL value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetModule {
+    /// The fractal engine.
+    FractalEngine,
+    /// The RSPU array.
+    Rspu,
+    /// The gather units.
+    Gather,
+    /// The pooling unit.
+    Pooling,
+    /// The systolic PE array.
+    PeArray,
+    /// The DMA engine.
+    Dma,
+}
+
+impl TargetModule {
+    fn from_sel(v: u32) -> Option<TargetModule> {
+        Some(match v {
+            0 => TargetModule::FractalEngine,
+            1 => TargetModule::Rspu,
+            2 => TargetModule::Gather,
+            3 => TargetModule::Pooling,
+            4 => TargetModule::PeArray,
+            5 => TargetModule::Dma,
+            _ => return None,
+        })
+    }
+
+    /// The instruction length (in 32-bit words) of this module — the
+    /// configuration module "segments and packages the data based on each
+    /// computation module's instruction length" (§V-A).
+    pub fn instruction_words(&self) -> usize {
+        match self {
+            TargetModule::FractalEngine => 4, // th, base, count, mode
+            TargetModule::Rspu => 6,          // op, space base/len, centers, num, radius
+            TargetModule::Gather => 3,
+            TargetModule::Pooling => 2,
+            TargetModule::PeArray => 5, // m, n, k, act, base
+            TargetModule::Dma => 4,     // src, dst, len, pattern
+        }
+    }
+}
+
+/// A packaged configuration packet dispatched to a computation module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigPacket {
+    /// The destination unit.
+    pub target: TargetModule,
+    /// The packaged control words (length = `target.instruction_words()`,
+    /// zero-padded or truncated from the staging buffer).
+    pub words: Vec<u32>,
+}
+
+/// Functional model of the lightweight configuration module between the
+/// RISC-V core and the computation modules (§V-A): the core writes control
+/// data into a buffer; the module segments and packages it per the target's
+/// instruction length and dispatches it.
+#[derive(Debug, Clone, Default)]
+pub struct ConfigModule {
+    selected: u32,
+    staging: Vec<u32>,
+    dispatched: VecDeque<ConfigPacket>,
+    dispatch_count: u32,
+}
+
+impl ConfigModule {
+    /// A new, empty module.
+    pub fn new() -> ConfigModule {
+        ConfigModule::default()
+    }
+
+    fn write(&mut self, offset: u32, value: u32) {
+        match offset {
+            config_regs::MODULE_SEL => self.selected = value,
+            config_regs::DATA_FIFO => self.staging.push(value),
+            config_regs::COMMIT => self.commit(),
+            _ => {}
+        }
+    }
+
+    fn read(&self, offset: u32) -> u32 {
+        match offset {
+            config_regs::MODULE_SEL => self.selected,
+            config_regs::DISPATCH_COUNT => self.dispatch_count,
+            config_regs::STATUS => 0,
+            _ => 0,
+        }
+    }
+
+    fn commit(&mut self) {
+        let Some(target) = TargetModule::from_sel(self.selected) else {
+            self.staging.clear();
+            return;
+        };
+        let len = target.instruction_words();
+        let mut words: Vec<u32> = self.staging.drain(..).collect();
+        words.resize(len, 0);
+        self.dispatched.push_back(ConfigPacket { target, words });
+        self.dispatch_count += 1;
+    }
+
+    /// Pops the oldest dispatched packet (the accelerator model consumes
+    /// these).
+    pub fn pop_packet(&mut self) -> Option<ConfigPacket> {
+        self.dispatched.pop_front()
+    }
+
+    /// Number of packets dispatched since reset.
+    pub fn dispatch_count(&self) -> u32 {
+        self.dispatch_count
+    }
+}
+
+/// The system bus: flat RAM at address 0 plus the configuration module at
+/// [`CONFIG_MMIO_BASE`].
+#[derive(Debug, Clone)]
+pub struct SystemBus {
+    ram: Vec<u8>,
+    /// The configuration module (public so harnesses can drain packets).
+    pub config: ConfigModule,
+}
+
+impl SystemBus {
+    /// Creates a bus with `ram_bytes` of zeroed RAM.
+    pub fn new(ram_bytes: usize) -> SystemBus {
+        SystemBus { ram: vec![0; ram_bytes], config: ConfigModule::new() }
+    }
+
+    /// Copies `program` into RAM at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program exceeds RAM.
+    pub fn load_program(&mut self, addr: u32, program: &[u8]) {
+        let a = addr as usize;
+        assert!(a + program.len() <= self.ram.len(), "program exceeds RAM");
+        self.ram[a..a + program.len()].copy_from_slice(program);
+    }
+
+    fn in_mmio(addr: u32) -> bool {
+        (CONFIG_MMIO_BASE..CONFIG_MMIO_BASE + CONFIG_MMIO_SIZE).contains(&addr)
+    }
+}
+
+impl Bus for SystemBus {
+    fn load32(&mut self, addr: u32) -> u32 {
+        if Self::in_mmio(addr) {
+            return self.config.read(addr - CONFIG_MMIO_BASE);
+        }
+        let a = addr as usize;
+        if a + 4 > self.ram.len() {
+            return 0;
+        }
+        u32::from_le_bytes([self.ram[a], self.ram[a + 1], self.ram[a + 2], self.ram[a + 3]])
+    }
+
+    fn store32(&mut self, addr: u32, value: u32) {
+        if Self::in_mmio(addr) {
+            self.config.write(addr - CONFIG_MMIO_BASE, value);
+            return;
+        }
+        let a = addr as usize;
+        if a + 4 <= self.ram.len() {
+            self.ram[a..a + 4].copy_from_slice(&value.to_le_bytes());
+        }
+    }
+
+    fn load8(&mut self, addr: u32) -> u8 {
+        if Self::in_mmio(addr) {
+            return (self.config.read(addr - CONFIG_MMIO_BASE) & 0xff) as u8;
+        }
+        *self.ram.get(addr as usize).unwrap_or(&0)
+    }
+
+    fn store8(&mut self, addr: u32, value: u8) {
+        if Self::in_mmio(addr) {
+            self.config.write(addr - CONFIG_MMIO_BASE, value as u32);
+            return;
+        }
+        if let Some(b) = self.ram.get_mut(addr as usize) {
+            *b = value;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ram_round_trips() {
+        let mut bus = SystemBus::new(1024);
+        bus.store32(16, 0xdead_beef);
+        assert_eq!(bus.load32(16), 0xdead_beef);
+        assert_eq!(bus.load8(16), 0xef); // little-endian
+        bus.store16(100, 0x1234);
+        assert_eq!(bus.load16(100), 0x1234);
+    }
+
+    #[test]
+    fn out_of_range_ram_is_benign() {
+        let mut bus = SystemBus::new(64);
+        bus.store32(1 << 20, 5);
+        assert_eq!(bus.load32(1 << 20), 0);
+    }
+
+    #[test]
+    fn config_module_packages_per_instruction_length() {
+        let mut bus = SystemBus::new(64);
+        // Select the PE array (5 words), push 3 words, commit.
+        bus.store32(CONFIG_MMIO_BASE + config_regs::MODULE_SEL, 4);
+        for w in [100, 200, 300] {
+            bus.store32(CONFIG_MMIO_BASE + config_regs::DATA_FIFO, w);
+        }
+        bus.store32(CONFIG_MMIO_BASE + config_regs::COMMIT, 1);
+        let pkt = bus.config.pop_packet().unwrap();
+        assert_eq!(pkt.target, TargetModule::PeArray);
+        assert_eq!(pkt.words, vec![100, 200, 300, 0, 0]); // zero-padded to 5
+        assert_eq!(bus.load32(CONFIG_MMIO_BASE + config_regs::DISPATCH_COUNT), 1);
+    }
+
+    #[test]
+    fn invalid_module_select_drops_commit() {
+        let mut bus = SystemBus::new(64);
+        bus.store32(CONFIG_MMIO_BASE + config_regs::MODULE_SEL, 99);
+        bus.store32(CONFIG_MMIO_BASE + config_regs::DATA_FIFO, 7);
+        bus.store32(CONFIG_MMIO_BASE + config_regs::COMMIT, 1);
+        assert!(bus.config.pop_packet().is_none());
+        assert_eq!(bus.config.dispatch_count(), 0);
+    }
+
+    #[test]
+    fn instruction_lengths_differ_per_module() {
+        assert_eq!(TargetModule::Rspu.instruction_words(), 6);
+        assert_eq!(TargetModule::Pooling.instruction_words(), 2);
+    }
+
+    #[test]
+    fn load_program_places_bytes() {
+        let mut bus = SystemBus::new(128);
+        bus.load_program(8, &[1, 2, 3, 4]);
+        assert_eq!(bus.load32(8), u32::from_le_bytes([1, 2, 3, 4]));
+    }
+}

@@ -1,0 +1,528 @@
+//! The RV32IM core: functional execution plus a six-stage timing model.
+
+use crate::bus::Bus;
+use crate::isa::{decode, DecodeError, Instr};
+
+/// Why execution stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Halt {
+    /// An `ecall` was executed (the control-program exit convention).
+    Ecall,
+    /// An `ebreak` was executed.
+    Ebreak,
+    /// The step budget was exhausted.
+    OutOfFuel,
+}
+
+/// Timing parameters of the six-stage in-order pipeline (§V-A's RV32IMAC
+/// control core). Base CPI is 1; the listed penalties add stall cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineModel {
+    /// Extra cycles for a taken branch/jump (fetch redirect).
+    pub branch_penalty: u64,
+    /// Extra cycles for a load (assume dependent use; conservative).
+    pub load_penalty: u64,
+    /// Extra cycles for MUL-class instructions.
+    pub mul_penalty: u64,
+    /// Extra cycles for DIV/REM (iterative divider).
+    pub div_penalty: u64,
+}
+
+impl Default for PipelineModel {
+    fn default() -> PipelineModel {
+        PipelineModel { branch_penalty: 2, load_penalty: 1, mul_penalty: 2, div_penalty: 16 }
+    }
+}
+
+/// The RV32IM CPU.
+///
+/// # Examples
+///
+/// ```
+/// use fractalcloud_riscv::{assemble, Cpu, SystemBus};
+///
+/// let prog = assemble("
+///     li   a0, 6
+///     li   a1, 7
+///     mul  a0, a0, a1
+///     ecall
+/// ").unwrap();
+/// let mut bus = SystemBus::new(4096);
+/// bus.load_program(0, &prog);
+/// let mut cpu = Cpu::new(bus);
+/// cpu.run(1000).unwrap();
+/// assert_eq!(cpu.reg(10), 42); // a0
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cpu<B: Bus> {
+    regs: [u32; 32],
+    pc: u32,
+    cycles: u64,
+    instret: u64,
+    timing: PipelineModel,
+    bus: B,
+}
+
+impl<B: Bus> Cpu<B> {
+    /// Creates a CPU with pc = 0 and zeroed registers.
+    pub fn new(bus: B) -> Cpu<B> {
+        Cpu { regs: [0; 32], pc: 0, cycles: 0, instret: 0, timing: PipelineModel::default(), bus }
+    }
+
+    /// Register `x<i>` (x0 always reads 0).
+    pub fn reg(&self, i: usize) -> u32 {
+        if i == 0 {
+            0
+        } else {
+            self.regs[i]
+        }
+    }
+
+    /// Sets register `x<i>` (writes to x0 are ignored).
+    pub fn set_reg(&mut self, i: usize, v: u32) {
+        if i != 0 {
+            self.regs[i] = v;
+        }
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Sets the program counter.
+    pub fn set_pc(&mut self, pc: u32) {
+        self.pc = pc;
+    }
+
+    /// Elapsed pipeline cycles.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Retired instruction count.
+    pub fn instret(&self) -> u64 {
+        self.instret
+    }
+
+    /// The bus (for inspecting MMIO state after a run).
+    pub fn bus(&self) -> &B {
+        &self.bus
+    }
+
+    /// Mutable bus access.
+    pub fn bus_mut(&mut self) -> &mut B {
+        &mut self.bus
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on an undecodable word.
+    pub fn step(&mut self) -> Result<Option<Halt>, DecodeError> {
+        let word = self.bus.load32(self.pc);
+        let instr = decode(word).map_err(|mut e| {
+            e.pc = self.pc;
+            e
+        })?;
+        let mut next_pc = self.pc.wrapping_add(4);
+        let mut penalty = 0u64;
+        let t = self.timing;
+
+        macro_rules! rr {
+            ($i:expr) => {
+                self.reg($i as usize)
+            };
+        }
+
+        match instr {
+            Instr::Lui { rd, imm } => self.set_reg(rd as usize, imm as u32),
+            Instr::Auipc { rd, imm } => {
+                self.set_reg(rd as usize, self.pc.wrapping_add(imm as u32))
+            }
+            Instr::Jal { rd, imm } => {
+                self.set_reg(rd as usize, next_pc);
+                next_pc = self.pc.wrapping_add(imm as u32);
+                penalty = t.branch_penalty;
+            }
+            Instr::Jalr { rd, rs1, imm } => {
+                let target = rr!(rs1).wrapping_add(imm as u32) & !1;
+                self.set_reg(rd as usize, next_pc);
+                next_pc = target;
+                penalty = t.branch_penalty;
+            }
+            Instr::Beq { rs1, rs2, imm } => {
+                if rr!(rs1) == rr!(rs2) {
+                    next_pc = self.pc.wrapping_add(imm as u32);
+                    penalty = t.branch_penalty;
+                }
+            }
+            Instr::Bne { rs1, rs2, imm } => {
+                if rr!(rs1) != rr!(rs2) {
+                    next_pc = self.pc.wrapping_add(imm as u32);
+                    penalty = t.branch_penalty;
+                }
+            }
+            Instr::Blt { rs1, rs2, imm } => {
+                if (rr!(rs1) as i32) < (rr!(rs2) as i32) {
+                    next_pc = self.pc.wrapping_add(imm as u32);
+                    penalty = t.branch_penalty;
+                }
+            }
+            Instr::Bge { rs1, rs2, imm } => {
+                if (rr!(rs1) as i32) >= (rr!(rs2) as i32) {
+                    next_pc = self.pc.wrapping_add(imm as u32);
+                    penalty = t.branch_penalty;
+                }
+            }
+            Instr::Bltu { rs1, rs2, imm } => {
+                if rr!(rs1) < rr!(rs2) {
+                    next_pc = self.pc.wrapping_add(imm as u32);
+                    penalty = t.branch_penalty;
+                }
+            }
+            Instr::Bgeu { rs1, rs2, imm } => {
+                if rr!(rs1) >= rr!(rs2) {
+                    next_pc = self.pc.wrapping_add(imm as u32);
+                    penalty = t.branch_penalty;
+                }
+            }
+            Instr::Lb { rd, rs1, imm } => {
+                let v = self.bus.load8(rr!(rs1).wrapping_add(imm as u32)) as i8 as i32 as u32;
+                self.set_reg(rd as usize, v);
+                penalty = t.load_penalty;
+            }
+            Instr::Lh { rd, rs1, imm } => {
+                let v = self.bus.load16(rr!(rs1).wrapping_add(imm as u32)) as i16 as i32 as u32;
+                self.set_reg(rd as usize, v);
+                penalty = t.load_penalty;
+            }
+            Instr::Lw { rd, rs1, imm } => {
+                let v = self.bus.load32(rr!(rs1).wrapping_add(imm as u32));
+                self.set_reg(rd as usize, v);
+                penalty = t.load_penalty;
+            }
+            Instr::Lbu { rd, rs1, imm } => {
+                let v = self.bus.load8(rr!(rs1).wrapping_add(imm as u32)) as u32;
+                self.set_reg(rd as usize, v);
+                penalty = t.load_penalty;
+            }
+            Instr::Lhu { rd, rs1, imm } => {
+                let v = self.bus.load16(rr!(rs1).wrapping_add(imm as u32)) as u32;
+                self.set_reg(rd as usize, v);
+                penalty = t.load_penalty;
+            }
+            Instr::Sb { rs1, rs2, imm } => {
+                self.bus.store8(rr!(rs1).wrapping_add(imm as u32), rr!(rs2) as u8)
+            }
+            Instr::Sh { rs1, rs2, imm } => {
+                self.bus.store16(rr!(rs1).wrapping_add(imm as u32), rr!(rs2) as u16)
+            }
+            Instr::Sw { rs1, rs2, imm } => {
+                self.bus.store32(rr!(rs1).wrapping_add(imm as u32), rr!(rs2))
+            }
+            Instr::Addi { rd, rs1, imm } => {
+                self.set_reg(rd as usize, rr!(rs1).wrapping_add(imm as u32))
+            }
+            Instr::Slti { rd, rs1, imm } => {
+                self.set_reg(rd as usize, ((rr!(rs1) as i32) < imm) as u32)
+            }
+            Instr::Sltiu { rd, rs1, imm } => {
+                self.set_reg(rd as usize, (rr!(rs1) < imm as u32) as u32)
+            }
+            Instr::Xori { rd, rs1, imm } => self.set_reg(rd as usize, rr!(rs1) ^ imm as u32),
+            Instr::Ori { rd, rs1, imm } => self.set_reg(rd as usize, rr!(rs1) | imm as u32),
+            Instr::Andi { rd, rs1, imm } => self.set_reg(rd as usize, rr!(rs1) & imm as u32),
+            Instr::Slli { rd, rs1, shamt } => self.set_reg(rd as usize, rr!(rs1) << shamt),
+            Instr::Srli { rd, rs1, shamt } => self.set_reg(rd as usize, rr!(rs1) >> shamt),
+            Instr::Srai { rd, rs1, shamt } => {
+                self.set_reg(rd as usize, ((rr!(rs1) as i32) >> shamt) as u32)
+            }
+            Instr::Add { rd, rs1, rs2 } => {
+                self.set_reg(rd as usize, rr!(rs1).wrapping_add(rr!(rs2)))
+            }
+            Instr::Sub { rd, rs1, rs2 } => {
+                self.set_reg(rd as usize, rr!(rs1).wrapping_sub(rr!(rs2)))
+            }
+            Instr::Sll { rd, rs1, rs2 } => {
+                self.set_reg(rd as usize, rr!(rs1) << (rr!(rs2) & 31))
+            }
+            Instr::Slt { rd, rs1, rs2 } => {
+                self.set_reg(rd as usize, ((rr!(rs1) as i32) < (rr!(rs2) as i32)) as u32)
+            }
+            Instr::Sltu { rd, rs1, rs2 } => {
+                self.set_reg(rd as usize, (rr!(rs1) < rr!(rs2)) as u32)
+            }
+            Instr::Xor { rd, rs1, rs2 } => self.set_reg(rd as usize, rr!(rs1) ^ rr!(rs2)),
+            Instr::Srl { rd, rs1, rs2 } => {
+                self.set_reg(rd as usize, rr!(rs1) >> (rr!(rs2) & 31))
+            }
+            Instr::Sra { rd, rs1, rs2 } => {
+                self.set_reg(rd as usize, ((rr!(rs1) as i32) >> (rr!(rs2) & 31)) as u32)
+            }
+            Instr::Or { rd, rs1, rs2 } => self.set_reg(rd as usize, rr!(rs1) | rr!(rs2)),
+            Instr::And { rd, rs1, rs2 } => self.set_reg(rd as usize, rr!(rs1) & rr!(rs2)),
+            Instr::Mul { rd, rs1, rs2 } => {
+                self.set_reg(rd as usize, rr!(rs1).wrapping_mul(rr!(rs2)));
+                penalty = t.mul_penalty;
+            }
+            Instr::Mulh { rd, rs1, rs2 } => {
+                let v = ((rr!(rs1) as i32 as i64) * (rr!(rs2) as i32 as i64)) >> 32;
+                self.set_reg(rd as usize, v as u32);
+                penalty = t.mul_penalty;
+            }
+            Instr::Mulhsu { rd, rs1, rs2 } => {
+                let v = ((rr!(rs1) as i32 as i64) * (rr!(rs2) as u64 as i64)) >> 32;
+                self.set_reg(rd as usize, v as u32);
+                penalty = t.mul_penalty;
+            }
+            Instr::Mulhu { rd, rs1, rs2 } => {
+                let v = ((rr!(rs1) as u64) * (rr!(rs2) as u64)) >> 32;
+                self.set_reg(rd as usize, v as u32);
+                penalty = t.mul_penalty;
+            }
+            Instr::Div { rd, rs1, rs2 } => {
+                let a = rr!(rs1) as i32;
+                let b = rr!(rs2) as i32;
+                let v = if b == 0 {
+                    -1i32
+                } else if a == i32::MIN && b == -1 {
+                    i32::MIN // RISC-V overflow semantics
+                } else {
+                    a / b
+                };
+                self.set_reg(rd as usize, v as u32);
+                penalty = t.div_penalty;
+            }
+            Instr::Divu { rd, rs1, rs2 } => {
+                let b = rr!(rs2);
+                let v = if b == 0 { u32::MAX } else { rr!(rs1) / b };
+                self.set_reg(rd as usize, v);
+                penalty = t.div_penalty;
+            }
+            Instr::Rem { rd, rs1, rs2 } => {
+                let a = rr!(rs1) as i32;
+                let b = rr!(rs2) as i32;
+                let v = if b == 0 {
+                    a
+                } else if a == i32::MIN && b == -1 {
+                    0
+                } else {
+                    a % b
+                };
+                self.set_reg(rd as usize, v as u32);
+                penalty = t.div_penalty;
+            }
+            Instr::Remu { rd, rs1, rs2 } => {
+                let b = rr!(rs2);
+                let v = if b == 0 { rr!(rs1) } else { rr!(rs1) % b };
+                self.set_reg(rd as usize, v);
+                penalty = t.div_penalty;
+            }
+            Instr::Fence => {}
+            Instr::Ecall => {
+                self.cycles += 1;
+                self.instret += 1;
+                return Ok(Some(Halt::Ecall));
+            }
+            Instr::Ebreak => {
+                self.cycles += 1;
+                self.instret += 1;
+                return Ok(Some(Halt::Ebreak));
+            }
+        }
+
+        self.pc = next_pc;
+        self.cycles += 1 + penalty;
+        self.instret += 1;
+        Ok(None)
+    }
+
+    /// Runs until `ecall`/`ebreak` or `fuel` instructions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on an undecodable word.
+    pub fn run(&mut self, fuel: u64) -> Result<Halt, DecodeError> {
+        for _ in 0..fuel {
+            if let Some(h) = self.step()? {
+                return Ok(h);
+            }
+        }
+        Ok(Halt::OutOfFuel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::bus::SystemBus;
+
+    fn run_asm(src: &str) -> Cpu<SystemBus> {
+        let prog = assemble(src).expect("assembles");
+        let mut bus = SystemBus::new(1 << 16);
+        bus.load_program(0, &prog);
+        let mut cpu = Cpu::new(bus);
+        let halt = cpu.run(1_000_000).expect("no decode error");
+        assert_eq!(halt, Halt::Ecall, "program must end in ecall");
+        cpu
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let cpu = run_asm(
+            "li a0, 10
+             li a1, 3
+             add a2, a0, a1
+             sub a3, a0, a1
+             mul a4, a0, a1
+             div a5, a0, a1
+             rem a6, a0, a1
+             ecall",
+        );
+        assert_eq!(cpu.reg(12), 13);
+        assert_eq!(cpu.reg(13), 7);
+        assert_eq!(cpu.reg(14), 30);
+        assert_eq!(cpu.reg(15), 3);
+        assert_eq!(cpu.reg(16), 1);
+    }
+
+    #[test]
+    fn division_edge_cases_match_spec() {
+        let cpu = run_asm(
+            "li a0, 5
+             li a1, 0
+             div a2, a0, a1      # /0 -> -1
+             rem a3, a0, a1      # %0 -> a0
+             li a4, -2147483648
+             li a5, -1
+             div a6, a4, a5      # overflow -> INT_MIN
+             rem a7, a4, a5      # overflow -> 0
+             ecall",
+        );
+        assert_eq!(cpu.reg(12) as i32, -1);
+        assert_eq!(cpu.reg(13), 5);
+        assert_eq!(cpu.reg(16), i32::MIN as u32);
+        assert_eq!(cpu.reg(17), 0);
+    }
+
+    #[test]
+    fn loop_computes_fibonacci() {
+        let cpu = run_asm(
+            "li a0, 0
+             li a1, 1
+             li t0, 10          # iterations
+            loop:
+             add t1, a0, a1
+             mv a0, a1
+             mv a1, t1
+             addi t0, t0, -1
+             bne t0, zero, loop
+             ecall",
+        );
+        // fib: after 10 iterations from (0,1): a0 = fib(10) = 55.
+        assert_eq!(cpu.reg(10), 55);
+    }
+
+    #[test]
+    fn memory_store_load_round_trip() {
+        let cpu = run_asm(
+            "li t0, 4096
+             li t1, -123
+             sw t1, 0(t0)
+             lw a0, 0(t0)
+             lb a1, 0(t0)
+             lbu a2, 0(t0)
+             ecall",
+        );
+        assert_eq!(cpu.reg(10) as i32, -123);
+        assert_eq!(cpu.reg(11) as i32, -123i8 as i32);
+        assert_eq!(cpu.reg(12), (-123i8 as u8) as u32);
+    }
+
+    #[test]
+    fn x0_is_hardwired_zero() {
+        let cpu = run_asm(
+            "li t0, 99
+             add zero, t0, t0
+             mv a0, zero
+             ecall",
+        );
+        assert_eq!(cpu.reg(10), 0);
+    }
+
+    #[test]
+    fn branch_penalty_shows_in_cycles() {
+        // Straight-line vs loop with the same instruction count.
+        let straight = run_asm("nop\nnop\nnop\nnop\nnop\nnop\necall");
+        let loopy = run_asm(
+            "li t0, 3
+            l: addi t0, t0, -1
+             bne t0, zero, l
+             ecall",
+        );
+        let straight_cpi = straight.cycles() as f64 / straight.instret() as f64;
+        let loopy_cpi = loopy.cycles() as f64 / loopy.instret() as f64;
+        assert!(loopy_cpi > straight_cpi, "taken branches must cost extra");
+    }
+
+    #[test]
+    fn shifts_and_logic() {
+        let cpu = run_asm(
+            "li a0, -16
+             srai a1, a0, 2
+             srli a2, a0, 28
+             slli a3, a0, 1
+             li t0, 0xf0
+             andi a4, t0, 0x3c
+             ori  a5, t0, 0x0f
+             xori a6, t0, 0xff
+             ecall",
+        );
+        assert_eq!(cpu.reg(11) as i32, -4);
+        assert_eq!(cpu.reg(12), 0xf);
+        assert_eq!(cpu.reg(13) as i32, -32);
+        assert_eq!(cpu.reg(14), 0x30);
+        assert_eq!(cpu.reg(15), 0xff);
+        assert_eq!(cpu.reg(16), 0x0f);
+    }
+
+    #[test]
+    fn jal_and_jalr_link() {
+        let cpu = run_asm(
+            "jal ra, target
+             ecall
+            target:
+             li a0, 7
+             jalr zero, ra, 0",
+        );
+        assert_eq!(cpu.reg(10), 7);
+        assert_eq!(cpu.reg(1), 4); // return address after the jal
+    }
+
+    #[test]
+    fn mulh_variants() {
+        let cpu = run_asm(
+            "li a0, -1
+             li a1, -1
+             mulh a2, a0, a1     # (-1)*(-1) high = 0
+             mulhu a3, a0, a1    # max*max high = 0xfffffffe
+             mulhsu a4, a0, a1   # -1 * max(unsigned) high = -1
+             ecall",
+        );
+        assert_eq!(cpu.reg(12), 0);
+        assert_eq!(cpu.reg(13), 0xffff_fffe);
+        assert_eq!(cpu.reg(14), 0xffff_ffff);
+    }
+
+    #[test]
+    fn decode_error_reports_pc() {
+        let mut bus = SystemBus::new(64);
+        bus.store32(0, 0xffff_ffff);
+        let mut cpu = Cpu::new(bus);
+        let err = cpu.step().unwrap_err();
+        assert_eq!(err.pc, 0);
+    }
+}

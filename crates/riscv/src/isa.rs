@@ -1,0 +1,277 @@
+//! RV32IM instruction set: decoded form and decoder.
+
+use std::fmt;
+
+/// A decoded RV32IM instruction.
+///
+/// Field conventions: `rd`/`rs1`/`rs2` are register numbers, `imm` is the
+/// sign-extended immediate (already shifted for branches/jumps/U-types).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // variants mirror the ISA mnemonics 1:1
+pub enum Instr {
+    Lui { rd: u8, imm: i32 },
+    Auipc { rd: u8, imm: i32 },
+    Jal { rd: u8, imm: i32 },
+    Jalr { rd: u8, rs1: u8, imm: i32 },
+    Beq { rs1: u8, rs2: u8, imm: i32 },
+    Bne { rs1: u8, rs2: u8, imm: i32 },
+    Blt { rs1: u8, rs2: u8, imm: i32 },
+    Bge { rs1: u8, rs2: u8, imm: i32 },
+    Bltu { rs1: u8, rs2: u8, imm: i32 },
+    Bgeu { rs1: u8, rs2: u8, imm: i32 },
+    Lb { rd: u8, rs1: u8, imm: i32 },
+    Lh { rd: u8, rs1: u8, imm: i32 },
+    Lw { rd: u8, rs1: u8, imm: i32 },
+    Lbu { rd: u8, rs1: u8, imm: i32 },
+    Lhu { rd: u8, rs1: u8, imm: i32 },
+    Sb { rs1: u8, rs2: u8, imm: i32 },
+    Sh { rs1: u8, rs2: u8, imm: i32 },
+    Sw { rs1: u8, rs2: u8, imm: i32 },
+    Addi { rd: u8, rs1: u8, imm: i32 },
+    Slti { rd: u8, rs1: u8, imm: i32 },
+    Sltiu { rd: u8, rs1: u8, imm: i32 },
+    Xori { rd: u8, rs1: u8, imm: i32 },
+    Ori { rd: u8, rs1: u8, imm: i32 },
+    Andi { rd: u8, rs1: u8, imm: i32 },
+    Slli { rd: u8, rs1: u8, shamt: u8 },
+    Srli { rd: u8, rs1: u8, shamt: u8 },
+    Srai { rd: u8, rs1: u8, shamt: u8 },
+    Add { rd: u8, rs1: u8, rs2: u8 },
+    Sub { rd: u8, rs1: u8, rs2: u8 },
+    Sll { rd: u8, rs1: u8, rs2: u8 },
+    Slt { rd: u8, rs1: u8, rs2: u8 },
+    Sltu { rd: u8, rs1: u8, rs2: u8 },
+    Xor { rd: u8, rs1: u8, rs2: u8 },
+    Srl { rd: u8, rs1: u8, rs2: u8 },
+    Sra { rd: u8, rs1: u8, rs2: u8 },
+    Or { rd: u8, rs1: u8, rs2: u8 },
+    And { rd: u8, rs1: u8, rs2: u8 },
+    Mul { rd: u8, rs1: u8, rs2: u8 },
+    Mulh { rd: u8, rs1: u8, rs2: u8 },
+    Mulhsu { rd: u8, rs1: u8, rs2: u8 },
+    Mulhu { rd: u8, rs1: u8, rs2: u8 },
+    Div { rd: u8, rs1: u8, rs2: u8 },
+    Divu { rd: u8, rs1: u8, rs2: u8 },
+    Rem { rd: u8, rs1: u8, rs2: u8 },
+    Remu { rd: u8, rs1: u8, rs2: u8 },
+    /// FENCE / FENCE.I — a no-op in this single-hart model (Zifencei is
+    /// accepted for compatibility with the paper's core).
+    Fence,
+    /// ECALL — used as the "halt and report" convention by control programs.
+    Ecall,
+    /// EBREAK.
+    Ebreak,
+}
+
+/// Error for an undecodable instruction word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The raw instruction word.
+    pub word: u32,
+    /// Program counter at which it was fetched (0 when unknown).
+    pub pc: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot decode instruction {:#010x} at pc {:#010x}", self.word, self.pc)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const fn bits(w: u32, hi: u32, lo: u32) -> u32 {
+    (w >> lo) & ((1 << (hi - lo + 1)) - 1)
+}
+
+fn imm_i(w: u32) -> i32 {
+    (w as i32) >> 20
+}
+
+fn imm_s(w: u32) -> i32 {
+    (((w & 0xfe00_0000) as i32) >> 20) | bits(w, 11, 7) as i32
+}
+
+fn imm_b(w: u32) -> i32 {
+    let sign = (w as i32) >> 31; // bit 12
+    ((sign << 12) as i32 & !0xfff)
+        | ((bits(w, 7, 7) << 11) | (bits(w, 30, 25) << 5) | (bits(w, 11, 8) << 1)) as i32
+}
+
+fn imm_u(w: u32) -> i32 {
+    (w & 0xffff_f000) as i32
+}
+
+fn imm_j(w: u32) -> i32 {
+    let sign = (w as i32) >> 31; // bit 20
+    ((sign << 20) & !0xf_ffff)
+        | ((bits(w, 19, 12) << 12) | (bits(w, 20, 20) << 11) | (bits(w, 30, 21) << 1)) as i32
+}
+
+/// Decodes one 32-bit instruction word.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] for unsupported or malformed encodings.
+pub fn decode(word: u32) -> Result<Instr, DecodeError> {
+    let err = DecodeError { word, pc: 0 };
+    let opcode = bits(word, 6, 0);
+    let rd = bits(word, 11, 7) as u8;
+    let rs1 = bits(word, 19, 15) as u8;
+    let rs2 = bits(word, 24, 20) as u8;
+    let funct3 = bits(word, 14, 12);
+    let funct7 = bits(word, 31, 25);
+
+    Ok(match opcode {
+        0b0110111 => Instr::Lui { rd, imm: imm_u(word) },
+        0b0010111 => Instr::Auipc { rd, imm: imm_u(word) },
+        0b1101111 => Instr::Jal { rd, imm: imm_j(word) },
+        0b1100111 if funct3 == 0 => Instr::Jalr { rd, rs1, imm: imm_i(word) },
+        0b1100011 => {
+            let imm = imm_b(word);
+            match funct3 {
+                0b000 => Instr::Beq { rs1, rs2, imm },
+                0b001 => Instr::Bne { rs1, rs2, imm },
+                0b100 => Instr::Blt { rs1, rs2, imm },
+                0b101 => Instr::Bge { rs1, rs2, imm },
+                0b110 => Instr::Bltu { rs1, rs2, imm },
+                0b111 => Instr::Bgeu { rs1, rs2, imm },
+                _ => return Err(err),
+            }
+        }
+        0b0000011 => {
+            let imm = imm_i(word);
+            match funct3 {
+                0b000 => Instr::Lb { rd, rs1, imm },
+                0b001 => Instr::Lh { rd, rs1, imm },
+                0b010 => Instr::Lw { rd, rs1, imm },
+                0b100 => Instr::Lbu { rd, rs1, imm },
+                0b101 => Instr::Lhu { rd, rs1, imm },
+                _ => return Err(err),
+            }
+        }
+        0b0100011 => {
+            let imm = imm_s(word);
+            match funct3 {
+                0b000 => Instr::Sb { rs1, rs2, imm },
+                0b001 => Instr::Sh { rs1, rs2, imm },
+                0b010 => Instr::Sw { rs1, rs2, imm },
+                _ => return Err(err),
+            }
+        }
+        0b0010011 => {
+            let imm = imm_i(word);
+            let shamt = rs2;
+            match funct3 {
+                0b000 => Instr::Addi { rd, rs1, imm },
+                0b010 => Instr::Slti { rd, rs1, imm },
+                0b011 => Instr::Sltiu { rd, rs1, imm },
+                0b100 => Instr::Xori { rd, rs1, imm },
+                0b110 => Instr::Ori { rd, rs1, imm },
+                0b111 => Instr::Andi { rd, rs1, imm },
+                0b001 if funct7 == 0 => Instr::Slli { rd, rs1, shamt },
+                0b101 if funct7 == 0 => Instr::Srli { rd, rs1, shamt },
+                0b101 if funct7 == 0b0100000 => Instr::Srai { rd, rs1, shamt },
+                _ => return Err(err),
+            }
+        }
+        0b0110011 => match (funct7, funct3) {
+            (0b0000000, 0b000) => Instr::Add { rd, rs1, rs2 },
+            (0b0100000, 0b000) => Instr::Sub { rd, rs1, rs2 },
+            (0b0000000, 0b001) => Instr::Sll { rd, rs1, rs2 },
+            (0b0000000, 0b010) => Instr::Slt { rd, rs1, rs2 },
+            (0b0000000, 0b011) => Instr::Sltu { rd, rs1, rs2 },
+            (0b0000000, 0b100) => Instr::Xor { rd, rs1, rs2 },
+            (0b0000000, 0b101) => Instr::Srl { rd, rs1, rs2 },
+            (0b0100000, 0b101) => Instr::Sra { rd, rs1, rs2 },
+            (0b0000000, 0b110) => Instr::Or { rd, rs1, rs2 },
+            (0b0000000, 0b111) => Instr::And { rd, rs1, rs2 },
+            (0b0000001, 0b000) => Instr::Mul { rd, rs1, rs2 },
+            (0b0000001, 0b001) => Instr::Mulh { rd, rs1, rs2 },
+            (0b0000001, 0b010) => Instr::Mulhsu { rd, rs1, rs2 },
+            (0b0000001, 0b011) => Instr::Mulhu { rd, rs1, rs2 },
+            (0b0000001, 0b100) => Instr::Div { rd, rs1, rs2 },
+            (0b0000001, 0b101) => Instr::Divu { rd, rs1, rs2 },
+            (0b0000001, 0b110) => Instr::Rem { rd, rs1, rs2 },
+            (0b0000001, 0b111) => Instr::Remu { rd, rs1, rs2 },
+            _ => return Err(err),
+        },
+        0b0001111 => Instr::Fence,
+        0b1110011 => match bits(word, 31, 20) {
+            0 => Instr::Ecall,
+            1 => Instr::Ebreak,
+            _ => return Err(err),
+        },
+        _ => return Err(err),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_addi() {
+        // addi x1, x2, -5  → imm=0xffb, rs1=2, funct3=0, rd=1, op=0x13
+        let w = (0xffbu32 << 20) | (2 << 15) | (1 << 7) | 0x13;
+        assert_eq!(decode(w).unwrap(), Instr::Addi { rd: 1, rs1: 2, imm: -5 });
+    }
+
+    #[test]
+    fn decode_lui_auipc() {
+        let w = 0xdead_b0b7; // lui x1, 0xdeadb
+        assert_eq!(decode(w).unwrap(), Instr::Lui { rd: 1, imm: 0xdeadb000u32 as i32 });
+    }
+
+    #[test]
+    fn decode_branch_negative_offset() {
+        // beq x0, x0, -4 : imm[12|10:5]=0x7f<<25 sign part...
+        // Encode: imm=-4 → bits: imm[12]=1, imm[11]=1, imm[10:5]=0b111111,
+        // imm[4:1]=0b1110.
+        let w = 0b1111_1110_0000_0000_0000_1110_1110_0011u32;
+        match decode(w).unwrap() {
+            Instr::Beq { rs1: 0, rs2: 0, imm } => assert_eq!(imm, -4),
+            other => panic!("decoded {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_jal_positive() {
+        // jal x1, +8 → imm[20|10:1|11|19:12]
+        let imm = 8u32;
+        let w = ((imm & 0x7fe) << 20) | (1 << 7) | 0x6f;
+        assert_eq!(decode(w).unwrap(), Instr::Jal { rd: 1, imm: 8 });
+    }
+
+    #[test]
+    fn decode_store() {
+        // sw x5, 12(x2): imm=12 → imm[11:5]=0, imm[4:0]=12
+        let w = (5 << 20) | (2 << 15) | (0b010 << 12) | (12 << 7) | 0x23;
+        assert_eq!(decode(w).unwrap(), Instr::Sw { rs1: 2, rs2: 5, imm: 12 });
+    }
+
+    #[test]
+    fn decode_m_extension() {
+        let w = (1 << 25) | (3 << 20) | (4 << 15) | (0b100 << 12) | (2 << 7) | 0x33;
+        assert_eq!(decode(w).unwrap(), Instr::Div { rd: 2, rs1: 4, rs2: 3 });
+    }
+
+    #[test]
+    fn decode_system() {
+        assert_eq!(decode(0x0000_0073).unwrap(), Instr::Ecall);
+        assert_eq!(decode(0x0010_0073).unwrap(), Instr::Ebreak);
+    }
+
+    #[test]
+    fn undecodable_word_errors() {
+        assert!(decode(0xffff_ffff).is_err());
+        assert!(decode(0).is_err());
+    }
+
+    #[test]
+    fn shift_immediates() {
+        // srai x1, x1, 4
+        let w = (0b0100000u32 << 25) | (4 << 20) | (1 << 15) | (0b101 << 12) | (1 << 7) | 0x13;
+        assert_eq!(decode(w).unwrap(), Instr::Srai { rd: 1, rs1: 1, shamt: 4 });
+    }
+}

@@ -1,0 +1,43 @@
+//! RV32IM control core, assembler, and MMIO configuration bus.
+//!
+//! The FractalCloud chip is managed by "a single-core six-stage RV32IMAC
+//! RISC-V processor … \[that\] writes control data into a buffer within
+//! \[a\] configuration module, which then segments and packages the data
+//! based on each computation module's instruction length" (§V-A). This
+//! crate provides that control plane:
+//!
+//! * [`Cpu`] — an RV32IM functional core with a six-stage timing model;
+//! * [`assemble`] — a small two-pass assembler for control programs;
+//! * [`SystemBus`] / [`ConfigModule`] — RAM + the memory-mapped
+//!   configuration module that packages per-unit instruction words;
+//! * [`program`] — canned configuration programs used by examples/tests.
+//!
+//! # Example
+//!
+//! ```
+//! use fractalcloud_riscv::{assemble, Cpu, SystemBus};
+//!
+//! let code = assemble("li a0, 21\nadd a0, a0, a0\necall").unwrap();
+//! let mut bus = SystemBus::new(4096);
+//! bus.load_program(0, &code);
+//! let mut cpu = Cpu::new(bus);
+//! cpu.run(100).unwrap();
+//! assert_eq!(cpu.reg(10), 42);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod asm;
+mod bus;
+mod cpu;
+mod isa;
+pub mod program;
+
+pub use asm::{assemble, AsmError};
+pub use bus::{
+    config_regs, Bus, ConfigModule, ConfigPacket, SystemBus, TargetModule, CONFIG_MMIO_BASE,
+    CONFIG_MMIO_SIZE,
+};
+pub use cpu::{Cpu, Halt, PipelineModel};
+pub use isa::{decode, DecodeError, Instr};

@@ -1,0 +1,117 @@
+//! Canned control programs for the configuration module.
+//!
+//! These helpers generate the assembly a driver would run on the RV32IM
+//! core to configure the accelerator's units, exercising the full
+//! core → MMIO → configuration-module → packet path end to end.
+
+use crate::bus::{config_regs, CONFIG_MMIO_BASE};
+
+/// Generates a program that configures the fractal engine for a partition
+/// run: threshold `th`, point-buffer base `base`, `count` points, mode
+/// (0 = fractal, 1 = uniform, 2 = KD-tree).
+pub fn configure_fractal_engine(th: u32, base: u32, count: u32, mode: u32) -> String {
+    let mmio = CONFIG_MMIO_BASE;
+    let sel = config_regs::MODULE_SEL;
+    let fifo = config_regs::DATA_FIFO;
+    let commit = config_regs::COMMIT;
+    format!(
+        "# configure fractal engine: th={th} base={base:#x} count={count} mode={mode}
+         li t0, {mmio:#x}
+         li t1, 0            # MODULE_SEL = fractal engine
+         sw t1, {sel}(t0)
+         li t1, {th}
+         sw t1, {fifo}(t0)
+         li t1, {base:#x}
+         sw t1, {fifo}(t0)
+         li t1, {count}
+         sw t1, {fifo}(t0)
+         li t1, {mode}
+         sw t1, {fifo}(t0)
+         sw zero, {commit}(t0)
+         ecall"
+    )
+}
+
+/// Generates a program that launches a block-parallel point operation on
+/// the RSPU array: `op` (0 = FPS, 1 = ball query, 2 = KNN), search-space
+/// base/length, center count, neighbors, and the radius bit pattern.
+pub fn configure_rspu(
+    op: u32,
+    space_base: u32,
+    space_len: u32,
+    centers: u32,
+    num: u32,
+    radius_bits: u32,
+) -> String {
+    let mmio = CONFIG_MMIO_BASE;
+    let sel = config_regs::MODULE_SEL;
+    let fifo = config_regs::DATA_FIFO;
+    let commit = config_regs::COMMIT;
+    format!(
+        "# configure RSPU: op={op}
+         li t0, {mmio:#x}
+         li t1, 1            # MODULE_SEL = RSPU
+         sw t1, {sel}(t0)
+         li t1, {op}
+         sw t1, {fifo}(t0)
+         li t1, {space_base:#x}
+         sw t1, {fifo}(t0)
+         li t1, {space_len}
+         sw t1, {fifo}(t0)
+         li t1, {centers}
+         sw t1, {fifo}(t0)
+         li t1, {num}
+         sw t1, {fifo}(t0)
+         li t1, {radius_bits:#x}
+         sw t1, {fifo}(t0)
+         sw zero, {commit}(t0)
+         ecall"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::bus::{SystemBus, TargetModule};
+    use crate::cpu::{Cpu, Halt};
+
+    fn run(src: &str) -> Cpu<SystemBus> {
+        let prog = assemble(src).expect("assembles");
+        let mut bus = SystemBus::new(1 << 16);
+        bus.load_program(0, &prog);
+        let mut cpu = Cpu::new(bus);
+        assert_eq!(cpu.run(10_000).unwrap(), Halt::Ecall);
+        cpu
+    }
+
+    #[test]
+    fn fractal_engine_config_dispatches_one_packet() {
+        let mut cpu = run(&configure_fractal_engine(256, 0x1000, 289_000, 0));
+        let pkt = cpu.bus_mut().config.pop_packet().expect("one packet");
+        assert_eq!(pkt.target, TargetModule::FractalEngine);
+        assert_eq!(pkt.words, vec![256, 0x1000, 289_000, 0]);
+        assert!(cpu.bus_mut().config.pop_packet().is_none());
+    }
+
+    #[test]
+    fn rspu_config_carries_all_six_words() {
+        let mut cpu = run(&configure_rspu(1, 0x2000, 512, 128, 16, 0x3e4c_cccd));
+        let pkt = cpu.bus_mut().config.pop_packet().expect("one packet");
+        assert_eq!(pkt.target, TargetModule::Rspu);
+        assert_eq!(pkt.words, vec![1, 0x2000, 512, 128, 16, 0x3e4c_cccd]);
+    }
+
+    #[test]
+    fn back_to_back_configs_queue_in_order() {
+        let a = configure_fractal_engine(64, 0, 1024, 0);
+        // strip the ecall from the first program and concatenate.
+        let a = a.replace("ecall", "");
+        let b = configure_rspu(0, 0, 0, 256, 1, 0);
+        let mut cpu = run(&format!("{a}\n{b}"));
+        let first = cpu.bus_mut().config.pop_packet().unwrap();
+        let second = cpu.bus_mut().config.pop_packet().unwrap();
+        assert_eq!(first.target, TargetModule::FractalEngine);
+        assert_eq!(second.target, TargetModule::Rspu);
+    }
+}

@@ -1,0 +1,174 @@
+//! Fractal engine cycle model (Fig. 9): pipelined partition + midpoint
+//! units, with uniform and KD-tree modes sharing the datapath.
+
+use crate::energy::EnergyTable;
+use crate::sorter::{Sorter, SorterConfig};
+use fractalcloud_pointcloud::partition::PartitionCost;
+use serde::{Deserialize, Serialize};
+
+/// Fractal engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FractalEngineConfig {
+    /// Parallel comparator lanes in the partition unit (points per cycle).
+    pub partition_lanes: usize,
+    /// Pipeline flush cycles between iterations (mask write-back + block
+    /// pointer update, Fig. 9(c)).
+    pub iteration_overhead: u64,
+}
+
+impl FractalEngineConfig {
+    /// The FractalCloud configuration: 16 lanes, 8-cycle iteration turnover.
+    pub fn fractalcloud() -> FractalEngineConfig {
+        FractalEngineConfig { partition_lanes: 16, iteration_overhead: 8 }
+    }
+}
+
+/// Cost of building a partition on the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PartitionEngineCost {
+    /// Total cycles.
+    pub cycles: u64,
+    /// Datapath energy in pJ.
+    pub energy_pj: f64,
+}
+
+/// The fractal engine: costs partitioning work measured by the software
+/// partitioners ([`PartitionCost`]) on the hardware datapath.
+///
+/// * **Fractal / uniform / octree** — traversal work flows through the
+///   pipelined partition + midpoint-comparator lanes; iterations serialize
+///   (level `i+1` needs level `i`'s midpoints) but all blocks within an
+///   iteration stream back-to-back.
+/// * **KD-tree** — sorting work is delegated to the merge-sort unit; sorts
+///   serialize (§III-C, the exclusive sorter).
+///
+/// # Examples
+///
+/// ```
+/// use fractalcloud_sim::{EnergyTable, FractalEngine, FractalEngineConfig};
+/// use fractalcloud_pointcloud::partition::PartitionCost;
+///
+/// let engine = FractalEngine::new(
+///     FractalEngineConfig::fractalcloud(), EnergyTable::tsmc28());
+/// let cost = PartitionCost {
+///     traversal_elements: 11 * 289_000,
+///     traversal_passes: 11,
+///     ..Default::default()
+/// };
+/// let fractal = engine.traversal_partition(&cost);
+/// let kd = engine.kd_tree_partition(289_000, 256);
+/// assert!(kd.cycles > 50 * fractal.cycles); // Fig. 16: ≈133× faster
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FractalEngine {
+    config: FractalEngineConfig,
+    energy: EnergyTable,
+    sorter: Sorter,
+}
+
+impl FractalEngine {
+    /// Creates an engine model with a 16-lane internal sorter (for KD mode).
+    pub fn new(config: FractalEngineConfig, energy: EnergyTable) -> FractalEngine {
+        let sorter = Sorter::new(SorterConfig::lanes16(), energy.clone());
+        FractalEngine { config, energy, sorter }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &FractalEngineConfig {
+        &self.config
+    }
+
+    /// Costs a traversal-based partition (fractal, uniform grid, octree)
+    /// from its measured cost record.
+    pub fn traversal_partition(&self, cost: &PartitionCost) -> PartitionEngineCost {
+        let lanes = self.config.partition_lanes as u64;
+        let stream_cycles = cost.traversal_elements.div_ceil(lanes);
+        let overhead = cost.traversal_passes * self.config.iteration_overhead;
+        // Each element passes one comparator (partition) and one min/max
+        // update pair (midpoint comp) — both per Fig. 9(a).
+        let energy = cost.traversal_elements as f64 * 3.0 * self.energy.alu_fp16_pj
+            + cost.compare_ops as f64 * self.energy.alu_fp16_pj;
+        PartitionEngineCost { cycles: stream_cycles + overhead, energy_pj: energy }
+    }
+
+    /// Costs a KD-tree partition of `n` points at leaf size `bs` on the
+    /// sorter unit.
+    pub fn kd_tree_partition(&self, n: u64, bs: u64) -> PartitionEngineCost {
+        let sort = self.sorter.kd_tree_build(n, bs);
+        // Post-sort scatter of each level is hidden behind the next sort.
+        PartitionEngineCost { cycles: sort.cycles, energy_pj: sort.energy_pj }
+    }
+
+    /// Costs a KD-tree partition from a *measured* cost record (sorted
+    /// element counts from the software KD partitioner).
+    pub fn kd_tree_from_cost(&self, cost: &PartitionCost) -> PartitionEngineCost {
+        // Serial sorts: each sorted_elements total streams through the
+        // 16-lane merger once per merge pass; reuse measured compare count.
+        let lanes = self.config.partition_lanes as u64;
+        let cycles = cost.compare_ops.div_ceil(lanes)
+            + cost.sort_invocations * self.config.iteration_overhead;
+        PartitionEngineCost {
+            cycles,
+            energy_pj: cost.compare_ops as f64 * self.energy.alu_fp16_pj,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> FractalEngine {
+        FractalEngine::new(FractalEngineConfig::fractalcloud(), EnergyTable::tsmc28())
+    }
+
+    #[test]
+    fn fractal_cost_is_linear_in_elements() {
+        let e = engine();
+        let mk = |elems: u64, passes: u64| PartitionCost {
+            traversal_elements: elems,
+            traversal_passes: passes,
+            ..Default::default()
+        };
+        let small = e.traversal_partition(&mk(10_000, 4));
+        let big = e.traversal_partition(&mk(100_000, 7));
+        assert!(big.cycles < 11 * small.cycles);
+        assert!(big.cycles > 8 * small.cycles);
+    }
+
+    #[test]
+    fn kd_tree_is_orders_of_magnitude_slower_at_scale() {
+        let e = engine();
+        // Fig. 16: Fractal partitions ~133× faster than KD-tree.
+        let fractal = e.traversal_partition(&PartitionCost {
+            traversal_elements: 11 * 289_000,
+            traversal_passes: 11,
+            compare_ops: 3 * 289_000,
+            ..Default::default()
+        });
+        let kd = e.kd_tree_partition(289_000, 256);
+        let ratio = kd.cycles as f64 / fractal.cycles as f64;
+        assert!(ratio > 30.0, "kd/fractal ratio {ratio}");
+    }
+
+    #[test]
+    fn kd_from_measured_cost_tracks_compares() {
+        let e = engine();
+        let cost = PartitionCost {
+            sort_invocations: 15,
+            sorted_elements: 4096,
+            compare_ops: 40_960,
+            ..Default::default()
+        };
+        let c = e.kd_tree_from_cost(&cost);
+        assert_eq!(c.cycles, 40_960 / 16 + 15 * 8);
+    }
+
+    #[test]
+    fn empty_cost_is_free_modulo_overhead() {
+        let e = engine();
+        let c = e.traversal_partition(&PartitionCost::default());
+        assert_eq!(c.cycles, 0);
+        assert_eq!(c.energy_pj, 0.0);
+    }
+}

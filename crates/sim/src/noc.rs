@@ -1,0 +1,79 @@
+//! Network-on-chip model for intra-chip transfers.
+
+use crate::energy::EnergyTable;
+use serde::{Deserialize, Serialize};
+
+/// NoC configuration (a small crossbar/mesh between the memory interface
+/// and the compute units, Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NocConfig {
+    /// Link width in bytes per cycle.
+    pub link_bytes: usize,
+    /// Per-hop pipeline latency in cycles.
+    pub hop_latency: u64,
+    /// Average hop count between producer and consumer.
+    pub avg_hops: usize,
+}
+
+impl NocConfig {
+    /// The FractalCloud NoC: 32 B links, 1-cycle hops, 2 average hops.
+    pub fn fractalcloud() -> NocConfig {
+        NocConfig { link_bytes: 32, hop_latency: 1, avg_hops: 2 }
+    }
+}
+
+/// Cost of a NoC transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NocCost {
+    /// Cycles to deliver the payload.
+    pub cycles: u64,
+    /// Interconnect energy in pJ.
+    pub energy_pj: f64,
+}
+
+/// The NoC model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Noc {
+    config: NocConfig,
+    energy: EnergyTable,
+}
+
+impl Noc {
+    /// Creates a NoC model.
+    pub fn new(config: NocConfig, energy: EnergyTable) -> Noc {
+        Noc { config, energy }
+    }
+
+    /// Costs moving `bytes` across the average route.
+    pub fn transfer(&self, bytes: u64) -> NocCost {
+        if bytes == 0 {
+            return NocCost { cycles: 0, energy_pj: 0.0 };
+        }
+        let cycles = bytes.div_ceil(self.config.link_bytes as u64)
+            + self.config.hop_latency * self.config.avg_hops as u64;
+        let energy_pj =
+            bytes as f64 * self.config.avg_hops as f64 * self.energy.noc_pj_per_byte_hop;
+        NocCost { cycles, energy_pj }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_is_bandwidth_plus_hops() {
+        let noc = Noc::new(NocConfig::fractalcloud(), EnergyTable::tsmc28());
+        let c = noc.transfer(3200);
+        assert_eq!(c.cycles, 100 + 2);
+        assert!((c.energy_pj - 3200.0 * 2.0 * 0.10).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_transfer_is_free() {
+        let noc = Noc::new(NocConfig::fractalcloud(), EnergyTable::tsmc28());
+        let c = noc.transfer(0);
+        assert_eq!(c.cycles, 0);
+        assert_eq!(c.energy_pj, 0.0);
+    }
+}

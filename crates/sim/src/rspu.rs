@@ -1,0 +1,236 @@
+//! Reuse-and-Skip-enabled Point Unit (RSPU) cycle model (Fig. 11).
+
+use crate::energy::EnergyTable;
+use fractalcloud_pointcloud::ops::OpCounters;
+use serde::{Deserialize, Serialize};
+
+/// RSPU array configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RspuConfig {
+    /// Number of RSPU cores (inter-block parallelism width).
+    pub cores: usize,
+    /// Distance-compute lanes per core (points processed per cycle when the
+    /// pipeline is full).
+    pub lanes: usize,
+}
+
+impl RspuConfig {
+    /// The FractalCloud configuration: 8 cores × 16 lanes.
+    pub fn fractalcloud() -> RspuConfig {
+        RspuConfig { cores: 8, lanes: 16 }
+    }
+
+    /// A single point-level-parallel unit (PointAcc-style baseline: all
+    /// lanes serve one global operation, no block parallelism).
+    pub fn single_unit() -> RspuConfig {
+        RspuConfig { cores: 1, lanes: 128 }
+    }
+}
+
+/// Cost of a point-operation kernel on the RSPU array.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RspuCost {
+    /// Makespan cycles across the cores.
+    pub cycles: u64,
+    /// Datapath energy, pJ.
+    pub energy_pj: f64,
+    /// Distance evaluations performed.
+    pub distance_evals: u64,
+    /// Candidates skipped by window-check.
+    pub skipped: u64,
+}
+
+/// RSPU array model: converts measured operation counters into cycles and
+/// energy, with list-scheduling of per-block work across cores.
+///
+/// # Examples
+///
+/// ```
+/// use fractalcloud_sim::{EnergyTable, Rspu, RspuConfig};
+///
+/// let rspu = Rspu::new(RspuConfig::fractalcloud(), EnergyTable::tsmc28());
+/// // 8 equal blocks parallelize perfectly over 8 cores.
+/// let makespan = rspu.schedule_blocks(&[1000; 8]);
+/// assert_eq!(makespan, 1000);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rspu {
+    config: RspuConfig,
+    energy: EnergyTable,
+}
+
+impl Rspu {
+    /// Creates an RSPU array model.
+    pub fn new(config: RspuConfig, energy: EnergyTable) -> Rspu {
+        Rspu { config, energy }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &RspuConfig {
+        &self.config
+    }
+
+    /// Cycles for one core to execute `distance_evals` pipelined distance
+    /// computations (one per lane per cycle; compares/top-k overlap in the
+    /// pipeline).
+    pub fn core_cycles(&self, distance_evals: u64) -> u64 {
+        distance_evals.div_ceil(self.config.lanes as u64)
+    }
+
+    /// Greedy LPT (longest-processing-time) makespan of per-block cycle
+    /// costs over the core array — the latency of inter-block parallel
+    /// execution (Alg. 2 rows 2–3).
+    pub fn schedule_blocks(&self, block_cycles: &[u64]) -> u64 {
+        let cores = self.config.cores.max(1);
+        if block_cycles.is_empty() {
+            return 0;
+        }
+        let mut sorted: Vec<u64> = block_cycles.to_vec();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let mut loads = vec![0u64; cores];
+        for c in sorted {
+            let min = loads.iter_mut().min().expect("cores >= 1");
+            *min += c;
+        }
+        loads.into_iter().max().expect("cores >= 1")
+    }
+
+    /// Costs a *global* (single search space) point operation: all lanes of
+    /// all cores gang up on one sequential dependency chain, so only
+    /// `lanes` of one core apply per FPS iteration — the paper's
+    /// point-level parallelism.
+    pub fn global_op(&self, counters: &OpCounters) -> RspuCost {
+        let lanes = (self.config.lanes * self.config.cores) as u64;
+        let cycles = counters.distance_evals.div_ceil(lanes);
+        RspuCost {
+            cycles,
+            energy_pj: self.datapath_pj(counters),
+            distance_evals: counters.distance_evals,
+            skipped: counters.skipped,
+        }
+    }
+
+    /// Costs a block-parallel point operation from per-block counters:
+    /// every block becomes one unit of work; makespan over cores.
+    pub fn block_parallel_op(&self, per_block: &[OpCounters]) -> RspuCost {
+        let block_cycles: Vec<u64> =
+            per_block.iter().map(|c| self.core_cycles(c.distance_evals)).collect();
+        let cycles = self.schedule_blocks(&block_cycles);
+        let mut total = OpCounters::new();
+        for c in per_block {
+            total.merge(c);
+        }
+        RspuCost {
+            cycles,
+            energy_pj: self.datapath_pj(&total),
+            distance_evals: total.distance_evals,
+            skipped: total.skipped,
+        }
+    }
+
+    /// Same as [`Rspu::block_parallel_op`] but from aggregate + critical
+    /// path counters (when per-block detail was already reduced): makespan ≈
+    /// max(total/cores, critical block).
+    pub fn block_parallel_from_aggregate(
+        &self,
+        total: &OpCounters,
+        critical: &OpCounters,
+    ) -> RspuCost {
+        let total_cycles = self.core_cycles(total.distance_evals);
+        let spread = total_cycles.div_ceil(self.config.cores as u64);
+        let critical_cycles = self.core_cycles(critical.distance_evals);
+        RspuCost {
+            cycles: spread.max(critical_cycles),
+            energy_pj: self.datapath_pj(total),
+            distance_evals: total.distance_evals,
+            skipped: total.skipped,
+        }
+    }
+
+    fn datapath_pj(&self, c: &OpCounters) -> f64 {
+        // A distance eval = 3 subs + 3 MACs; compares on the ALU; skipped
+        // candidates burn one mask-register read each (window check).
+        c.distance_evals as f64 * (3.0 * self.energy.mac_fp16_pj + 3.0 * self.energy.alu_fp16_pj)
+            + c.comparisons as f64 * self.energy.alu_fp16_pj
+            + c.skipped as f64 * self.energy.regfile_pj_per_byte
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rspu() -> Rspu {
+        Rspu::new(RspuConfig::fractalcloud(), EnergyTable::tsmc28())
+    }
+
+    #[test]
+    fn lpt_balances_equal_blocks() {
+        assert_eq!(rspu().schedule_blocks(&[100; 16]), 200);
+        assert_eq!(rspu().schedule_blocks(&[100; 8]), 100);
+    }
+
+    #[test]
+    fn lpt_is_dominated_by_giant_block() {
+        let mut blocks = vec![10u64; 64];
+        blocks.push(5000);
+        assert_eq!(rspu().schedule_blocks(&blocks), 5000);
+    }
+
+    #[test]
+    fn empty_schedule_is_zero() {
+        assert_eq!(rspu().schedule_blocks(&[]), 0);
+    }
+
+    #[test]
+    fn block_parallel_beats_global_for_same_work() {
+        let r = rspu();
+        let per_block: Vec<OpCounters> = (0..8)
+            .map(|_| OpCounters { distance_evals: 16_000, ..Default::default() })
+            .collect();
+        let mut total = OpCounters::new();
+        for b in &per_block {
+            total.merge(b);
+        }
+        let block = r.block_parallel_op(&per_block);
+        // A single-unit design with the same total lanes (128).
+        let single = Rspu::new(RspuConfig::single_unit(), EnergyTable::tsmc28());
+        let glob = single.global_op(&total);
+        // Same aggregate lane count → same cycles when perfectly balanced;
+        // the advantage comes from the reduced work (block FPS does fewer
+        // evals), checked elsewhere. Here: block-parallel must not be slower.
+        assert!(block.cycles <= glob.cycles + 1);
+    }
+
+    #[test]
+    fn aggregate_form_matches_per_block_for_balanced_work() {
+        let r = rspu();
+        let per_block: Vec<OpCounters> = (0..32)
+            .map(|_| OpCounters { distance_evals: 1600, ..Default::default() })
+            .collect();
+        let mut total = OpCounters::new();
+        let mut critical = OpCounters::new();
+        for b in &per_block {
+            total.merge(b);
+            critical = *b;
+        }
+        let a = r.block_parallel_op(&per_block);
+        let b = r.block_parallel_from_aggregate(&total, &critical);
+        let ratio = a.cycles as f64 / b.cycles as f64;
+        assert!((0.8..=1.25).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn energy_includes_window_check_overhead() {
+        let r = rspu();
+        let with_skip = OpCounters { distance_evals: 100, skipped: 1000, ..Default::default() };
+        let without = OpCounters { distance_evals: 100, ..Default::default() };
+        assert!(r.global_op(&with_skip).energy_pj > r.global_op(&without).energy_pj);
+    }
+
+    #[test]
+    fn core_cycles_round_up() {
+        assert_eq!(rspu().core_cycles(17), 2);
+        assert_eq!(rspu().core_cycles(0), 0);
+    }
+}

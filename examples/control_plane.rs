@@ -1,0 +1,44 @@
+//! The chip's control plane: assemble a RISC-V program that configures the
+//! fractal engine and RSPU array through the memory-mapped configuration
+//! module (§V-A), execute it on the RV32IM core, and inspect the packets
+//! the computation modules would receive.
+//!
+//! ```text
+//! cargo run --release --example control_plane
+//! ```
+
+use fractalcloud::riscv::program::{configure_fractal_engine, configure_rspu};
+use fractalcloud::riscv::{assemble, Cpu, Halt, SystemBus};
+
+fn main() {
+    // A driver sequence: partition 33K points at th = 256 (mode 0 =
+    // fractal), then launch a block-wise ball query (op 1) with 8250
+    // centers and 16 neighbors at radius 0.4 (IEEE-754 bits).
+    let radius_bits = 0.4f32.to_bits();
+    let part1 = configure_fractal_engine(256, 0x1000, 33_000, 0).replace("ecall", "");
+    let part2 = configure_rspu(1, 0x8000, 33_000, 8250, 16, radius_bits);
+    let source = format!("{part1}\n{part2}");
+
+    let program = assemble(&source).expect("control program assembles");
+    println!("assembled {} bytes of RV32IM machine code", program.len());
+
+    let mut bus = SystemBus::new(1 << 16);
+    bus.load_program(0, &program);
+    let mut cpu = Cpu::new(bus);
+    let halt = cpu.run(100_000).expect("program executes");
+    assert_eq!(halt, Halt::Ecall);
+    println!(
+        "core halted after {} instructions / {} cycles (CPI {:.2})",
+        cpu.instret(),
+        cpu.cycles(),
+        cpu.cycles() as f64 / cpu.instret() as f64
+    );
+
+    println!("\nconfiguration packets dispatched:");
+    while let Some(pkt) = cpu.bus_mut().config.pop_packet() {
+        println!("  {:?} <- {:?}", pkt.target, pkt.words);
+    }
+    println!("\n(each packet is segmented and padded to its module's");
+    println!("instruction length, exactly as the configuration module of");
+    println!("§V-A packages control words for the computation units)");
+}

@@ -1,0 +1,63 @@
+//! Quickstart: partition a point cloud with Fractal, run block-parallel
+//! point operations, and compare the work against global search.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use fractalcloud::core::{block_ball_query, block_fps, BppoConfig, Fractal};
+use fractalcloud::pointcloud::generate::{scene_cloud, SceneConfig};
+use fractalcloud::pointcloud::ops::{ball_query, farthest_point_sample};
+use fractalcloud::pointcloud::{Error, Point3};
+
+fn main() -> Result<(), Error> {
+    // A synthetic indoor scan: coplanar walls/floor, dense furniture
+    // clusters, a couple percent outliers — S3DIS-like statistics.
+    let n = 16_384;
+    let cloud = scene_cloud(&SceneConfig::default(), n, 42);
+    println!("cloud: {n} points, bounds {:?}", cloud.bounds().unwrap().extents());
+
+    // --- Fractal partitioning (Alg. 1) ---
+    let fractal = Fractal::with_threshold(256);
+    let result = fractal.build(&cloud)?;
+    let balance = result.partition.balance();
+    println!(
+        "fractal: {} blocks in {} iterations, sizes {}..{} (imbalance {:.2}), \
+         {} traversal elements, 0 sorts",
+        result.partition.blocks.len(),
+        result.iterations,
+        balance.min,
+        balance.max,
+        balance.imbalance(),
+        result.partition.cost.traversal_elements,
+    );
+
+    // --- Block-parallel point operations ---
+    let cfg = BppoConfig::default();
+    let sampled = block_fps(&cloud, &result.partition, 0.25, &cfg)?;
+    let grouped = block_ball_query(&cloud, &result.partition, &sampled.per_block, 0.4, 16, &cfg)?;
+    println!(
+        "block FPS: {} samples, {} distance evals ({} skipped by window-check)",
+        sampled.indices.len(),
+        sampled.counters.distance_evals,
+        sampled.counters.skipped,
+    );
+    println!(
+        "block ball query: {} centers, {} evals, data reuse {:.1}×",
+        grouped.center_indices.len(),
+        grouped.counters.distance_evals,
+        grouped.reuse.reduction_factor(),
+    );
+
+    // --- The same operations with global search (the O(n²) baseline) ---
+    let global_fps = farthest_point_sample(&cloud, sampled.indices.len(), 0)?;
+    let centers: Vec<Point3> = global_fps.indices.iter().map(|&i| cloud.point(i)).collect();
+    let global_bq = ball_query(&cloud, &centers, 0.4, 16)?;
+    let fps_ratio =
+        global_fps.counters.distance_evals as f64 / sampled.counters.distance_evals as f64;
+    let bq_ratio =
+        global_bq.counters.distance_evals as f64 / grouped.counters.distance_evals as f64;
+    println!("global FPS needs {fps_ratio:.1}× the distance evaluations");
+    println!("global ball query needs {bq_ratio:.1}× the distance evaluations");
+    Ok(())
+}
