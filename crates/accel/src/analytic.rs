@@ -146,10 +146,7 @@ pub fn block_neighbor(
 /// rate (empty blocks drop out).
 pub fn stage_block_sizes(base: &[usize], rate: f64, stage: u32) -> Vec<usize> {
     let factor = rate.powi(stage as i32);
-    base.iter()
-        .map(|&s| ((s as f64) * factor).round() as usize)
-        .filter(|&s| s > 0)
-        .collect()
+    base.iter().map(|&s| ((s as f64) * factor).round() as usize).filter(|&s| s > 0).collect()
 }
 
 #[cfg(test)]

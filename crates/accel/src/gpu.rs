@@ -115,8 +115,7 @@ impl GpuModel {
     fn fps_s(&self, n: usize, m: usize) -> (f64, f64) {
         let c = &self.config;
         let iters = m.saturating_sub(1) as f64;
-        let per_iter = (n as f64 * 8.0 / (c.fps_gflops * 1e9))
-            .max(c.fps_iter_sync_us * 1e-6);
+        let per_iter = (n as f64 * 8.0 / (c.fps_gflops * 1e9)).max(c.fps_iter_sync_us * 1e-6);
         let t = iters * per_iter + c.kernel_overhead_us * 1e-6;
         // One thread block busy out of ~72 SMs: very low device utilization.
         (t, 0.08)
@@ -149,10 +148,9 @@ impl GpuModel {
         // percent of peak, a 289K-point layer near gemm_eff.
         let eff = self.config.gemm_eff * flops / (flops + 100e6);
         let bytes = (shape.rows * (shape.cin + shape.cout) * 4) as f64;
-        let t = self
-            .compute_s(flops, eff.max(0.005))
-            .max(self.mem_s(bytes, self.config.stream_eff))
-            + 3.0 * self.config.kernel_overhead_us * 1e-6;
+        let t =
+            self.compute_s(flops, eff.max(0.005)).max(self.mem_s(bytes, self.config.stream_eff))
+                + 3.0 * self.config.kernel_overhead_us * 1e-6;
         (t, (eff / self.config.gemm_eff).clamp(0.05, 0.9))
     }
 }
@@ -175,10 +173,7 @@ impl Accelerator for GpuModel {
             timeline.push(self.phase(format!("sa{s}-fps"), PhaseClass::PointOp, t, u));
             let (t, u) = self.neighbor_s(sa.n_out, sa.n_in);
             timeline.push(self.phase(format!("sa{s}-group"), PhaseClass::PointOp, t, u));
-            let (t, u) = self.gather_s(
-                (sa.n_out * sa.nsample) as u64,
-                (sa.cin * 4) as u64,
-            );
+            let (t, u) = self.gather_s((sa.n_out * sa.nsample) as u64, (sa.cin * 4) as u64);
             timeline.push(self.phase(format!("sa{s}-gather"), PhaseClass::PointOp, t, u));
             let mut cin = sa.cin;
             for (l, &cout) in sa.mlp.iter().enumerate() {
@@ -194,8 +189,7 @@ impl Accelerator for GpuModel {
         for (f, fp) in segs.propagation.iter().enumerate() {
             let (t, u) = self.neighbor_s(fp.targets, fp.sources);
             timeline.push(self.phase(format!("fp{f}-knn"), PhaseClass::PointOp, t, u));
-            let (t, u) =
-                self.gather_s((fp.targets * fp.k) as u64, (fp.channels * 4) as u64);
+            let (t, u) = self.gather_s((fp.targets * fp.k) as u64, (fp.channels * 4) as u64);
             timeline.push(self.phase(format!("fp{f}-gather"), PhaseClass::PointOp, t, u));
             for (l, &shape) in fp.mlp.iter().enumerate() {
                 let (t, u) = self.mlp_s(shape);
@@ -233,10 +227,7 @@ mod tests {
         let big = gpu_run(262_144);
         let share_small = small.point_op_ms() / small.latency_ms();
         let share_big = big.point_op_ms() / big.latency_ms();
-        assert!(
-            (0.5..0.97).contains(&share_small),
-            "16K point-op share {share_small}"
-        );
+        assert!((0.5..0.97).contains(&share_small), "16K point-op share {share_small}");
         assert!(share_big > 0.9, "289K point-op share {share_big}");
         assert!(share_big > share_small);
     }

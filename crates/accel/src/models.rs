@@ -13,9 +13,9 @@ use crate::segment::{MlpShape, Segments};
 use crate::workload::Workload;
 use fractalcloud_dram::AccessPattern;
 use fractalcloud_sim::{
-    Dma, DmaCost, EnergyBreakdown, EnergyCategory, EnergyTable, FractalEngine,
-    FractalEngineConfig, Phase, PhaseClass, Rspu, RspuConfig, Sram, SramConfig, SramPattern,
-    Systolic, SystolicConfig, Timeline,
+    Dma, DmaCost, EnergyBreakdown, EnergyCategory, EnergyTable, FractalEngine, FractalEngineConfig,
+    Phase, PhaseClass, Rspu, RspuConfig, Sram, SramConfig, SramPattern, Systolic, SystolicConfig,
+    Timeline,
 };
 
 /// Which partitioning a design performs before point operations.
@@ -377,8 +377,7 @@ impl Accelerator for DesignModel {
                 let dram = self.dma.read(coord_working, self.seq_pattern());
                 (cost, total.distance_evals * COORD_BYTES, SramPattern::BankAligned, dram)
             } else {
-                let counters =
-                    analytic::global_fps_with_window(sa.n_in, sa.n_out, p.window_check);
+                let counters = analytic::global_fps_with_window(sa.n_in, sa.n_out, p.window_check);
                 let cost = self.rspu.global_op(&counters);
                 // When the working set exceeds the buffer, every FPS
                 // iteration re-streams the non-resident fraction — the
@@ -387,8 +386,7 @@ impl Accelerator for DesignModel {
                 // Crescent's 1.6 MB buffer degrades later than PointAcc's
                 // 274 KB).
                 let spill = coord_working.saturating_sub(avail);
-                let bytes =
-                    coord_working + (sa.n_out.saturating_sub(1) as u64) * spill;
+                let bytes = coord_working + (sa.n_out.saturating_sub(1) as u64) * spill;
                 let dram = self.dma.read(bytes, self.seq_pattern());
                 // FPS scans candidates in address order: sequential SRAM.
                 (cost, counters.distance_evals * COORD_BYTES, SramPattern::Sequential, dram)
@@ -446,10 +444,12 @@ impl Accelerator for DesignModel {
             if p.delayed_aggregation {
                 let mut cin = sa.cin;
                 for (l, &cout) in sa.mlp.iter().enumerate() {
-                    timeline.push(self.mlp_phase(
-                        format!("sa{s}-mlp{l}"),
-                        MlpShape { rows: sa.n_in, cin, cout },
-                    ));
+                    timeline.push(
+                        self.mlp_phase(
+                            format!("sa{s}-mlp{l}"),
+                            MlpShape { rows: sa.n_in, cin, cout },
+                        ),
+                    );
                     cin = cout;
                 }
             }
@@ -461,7 +461,13 @@ impl Accelerator for DesignModel {
             let (g_pattern, g_dram) = if p.block_gathering && have_blocks {
                 // Block-wise gathering: blocks in their own banks, one
                 // streamed feature pass off-chip.
-                (SramPattern::BankAligned, self.dma.read(feature_table.min(gather_bytes.max(feature_table)), self.seq_pattern()))
+                (
+                    SramPattern::BankAligned,
+                    self.dma.read(
+                        feature_table.min(gather_bytes.max(feature_table)),
+                        self.seq_pattern(),
+                    ),
+                )
             } else if feature_table > avail {
                 // Conventional gathering: random 64 B bursts per access.
                 (SramPattern::Random, self.dma.read(accesses * 64, AccessPattern::Random))
@@ -490,8 +496,7 @@ impl Accelerator for DesignModel {
                 }
             }
             // Pool.
-            let pool =
-                self.systolic.max_pool(sa.n_out as u64, sa.nsample as u64, sa.cout() as u64);
+            let pool = self.systolic.max_pool(sa.n_out as u64, sa.nsample as u64, sa.cout() as u64);
             let mut energy = EnergyBreakdown::new();
             energy.add(EnergyCategory::Compute, pool.energy_pj);
             timeline.push(Phase {
@@ -666,10 +671,7 @@ mod tests {
         let fc = DesignModel::new(DesignParams::fractalcloud()).execute(&w);
         let cr = DesignModel::new(DesignParams::crescent()).execute(&w);
         let gap = fc.speedup_over(&cr);
-        assert!(
-            (1.0..4.0).contains(&gap),
-            "small-scale Crescent gap should be modest, got {gap}×"
-        );
+        assert!((1.0..4.0).contains(&gap), "small-scale Crescent gap should be modest, got {gap}×");
     }
 
     #[test]
@@ -702,10 +704,7 @@ mod tests {
         let fc = DesignModel::new(DesignParams::fractalcloud()).execute(&w);
         let kd_ms = cr.class_ms(PhaseClass::Partition);
         let fr_ms = fc.class_ms(PhaseClass::Partition);
-        assert!(
-            kd_ms > 20.0 * fr_ms,
-            "kd {kd_ms} ms should be ≫ fractal {fr_ms} ms"
-        );
+        assert!(kd_ms > 20.0 * fr_ms, "kd {kd_ms} ms should be ≫ fractal {fr_ms} ms");
     }
 
     #[test]
@@ -720,10 +719,7 @@ mod tests {
         assert!(cr_e.dram_pj < pa_e.dram_pj, "Crescent must spill less");
         let cr_share = cr_e.sram_pj / cr_e.total_pj();
         let pa_share = pa_e.sram_pj / pa_e.total_pj();
-        assert!(
-            cr_share > pa_share,
-            "SRAM share: Crescent {cr_share} vs PointAcc {pa_share}"
-        );
+        assert!(cr_share > pa_share, "SRAM share: Crescent {cr_share} vs PointAcc {pa_share}");
     }
 
     #[test]
@@ -756,7 +752,8 @@ mod tests {
         p.delayed_aggregation = false;
         let mut prev = DesignModel::new(p.clone()).execute(&w).latency_ms();
         let base = prev;
-        let steps: Vec<Box<dyn Fn(&mut DesignParams)>> = vec![
+        type Step = Box<dyn Fn(&mut DesignParams)>;
+        let steps: Vec<Step> = vec![
             Box::new(|p| p.delayed_aggregation = true),
             Box::new(|p| {
                 p.window_check = true;
@@ -773,10 +770,7 @@ mod tests {
         for (i, step) in steps.iter().enumerate() {
             step(&mut p);
             let lat = DesignModel::new(p.clone()).execute(&w).latency_ms();
-            assert!(
-                lat <= prev * 1.02,
-                "ablation step {i} regressed: {prev} -> {lat} ms"
-            );
+            assert!(lat <= prev * 1.02, "ablation step {i} regressed: {prev} -> {lat} ms");
             prev = lat;
         }
         // At 16K the gain is modest (~3×); it reaches ~90× at 289K

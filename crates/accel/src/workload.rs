@@ -62,9 +62,8 @@ impl Workload {
         let n = cloud.len();
         let trace = OpTrace::build(model, n);
 
-        let fractal = Fractal::new(FractalConfig::new(threshold))
-            .build(cloud)
-            .expect("non-empty cloud");
+        let fractal =
+            Fractal::new(FractalConfig::new(threshold)).build(cloud).expect("non-empty cloud");
         let kd = KdTreePartitioner::new(threshold).partition(cloud).expect("non-empty cloud");
         let uniform = UniformPartitioner::with_target_block_size(threshold)
             .partition(cloud)

@@ -1,9 +1,13 @@
-//! Criterion micro-benchmarks: global vs block-parallel point operations.
+//! Criterion micro-benchmarks: global vs block-parallel point operations,
+//! and the chunked SoA kernel path vs the retained scalar references.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use fractalcloud_core::bppo::reference as bppo_reference;
 use fractalcloud_core::{block_ball_query, block_fps, BppoConfig, Fractal};
 use fractalcloud_pointcloud::generate::{scene_cloud, SceneConfig};
-use fractalcloud_pointcloud::ops::{ball_query, farthest_point_sample};
+use fractalcloud_pointcloud::ops::{
+    ball_query, farthest_point_sample, k_nearest_neighbors, reference,
+};
 use fractalcloud_pointcloud::Point3;
 
 fn bench_point_ops(c: &mut Criterion) {
@@ -35,5 +39,42 @@ fn bench_point_ops(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_point_ops);
+/// Chunked SoA kernel path vs the retained scalar references, same inputs.
+fn bench_scalar_vs_kernel(c: &mut Criterion) {
+    let n = 4096;
+    let cloud = scene_cloud(&SceneConfig::default(), n, 42);
+    let part = Fractal::with_threshold(256).build(&cloud).unwrap().partition;
+    let centers: Vec<Point3> = (0..256).map(|i| cloud.point(i * (n / 256))).collect();
+
+    let mut group = c.benchmark_group("scalar_vs_kernel_4k");
+    group.bench_function("fps-scalar-reference", |b| {
+        b.iter(|| reference::farthest_point_sample(&cloud, n / 4, 0).unwrap())
+    });
+    group.bench_function("fps-soa-kernel", |b| {
+        b.iter(|| farthest_point_sample(&cloud, n / 4, 0).unwrap())
+    });
+    group.bench_function("knn-scalar-reference", |b| {
+        b.iter(|| reference::k_nearest_neighbors(&cloud, &centers, 16).unwrap())
+    });
+    group.bench_function("knn-soa-kernel", |b| {
+        b.iter(|| k_nearest_neighbors(&cloud, &centers, 16).unwrap())
+    });
+    group.bench_function("ballquery-scalar-reference", |b| {
+        b.iter(|| reference::ball_query(&cloud, &centers, 0.4, 16).unwrap())
+    });
+    group.bench_function("ballquery-soa-kernel", |b| {
+        b.iter(|| ball_query(&cloud, &centers, 0.4, 16).unwrap())
+    });
+    group.bench_function("blockfps-scalar-reference", |b| {
+        b.iter(|| {
+            bppo_reference::block_fps(&cloud, &part, 0.25, &BppoConfig::sequential()).unwrap()
+        })
+    });
+    group.bench_function("blockfps-soa-kernel", |b| {
+        b.iter(|| block_fps(&cloud, &part, 0.25, &BppoConfig::sequential()).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_point_ops, bench_scalar_vs_kernel);
 criterion_main!(benches);

@@ -61,18 +61,12 @@ fn main() {
             sizes.iter().max().unwrap().to_string(),
         ],
     );
-    row_str(
-        "point-op makespan vs strictly balanced",
-        &[format!("+{}%", format_value(overhead))],
-    );
+    row_str("point-op makespan vs strictly balanced", &[format!("+{}%", format_value(overhead))]);
     // End-to-end impact scales by the point-op share of total latency.
     let w33 = Workload::prepare_with_threshold(&model, &cloud, 256);
     let fc33 = DesignModel::new(DesignParams::fractalcloud()).execute(&w33);
     let share = fc33.point_op_ms() / fc33.latency_ms();
-    row_str(
-        "end-to-end latency impact",
-        &[format!("+{}%", format_value(overhead * share))],
-    );
+    row_str("end-to-end latency impact", &[format!("+{}%", format_value(overhead * share))]);
     println!();
     println!("Paper: partial imbalance adds only 3.0% (PointNeXt) / 2.8%");
     println!("(PointVector) end-to-end latency because the threshold bounds");

@@ -7,10 +7,7 @@ use fractalcloud_bench::{format_value, header, large_scales, row_str, SEED};
 use fractalcloud_pnn::ModelConfig;
 
 fn main() {
-    header(
-        "Fig. 1",
-        "memory access (MB) and latency (ms): original vs FractalCloud",
-    );
+    header("Fig. 1", "memory access (MB) and latency (ms): original vs FractalCloud");
     let model = ModelConfig::pointnext_segmentation();
     let mut scales = vec![1024, 4096, 16_384];
     scales.extend(large_scales().into_iter().filter(|&n| n > 16_384));

@@ -35,10 +35,7 @@ fn main() {
         q.proxy.estimated_accuracy_loss_pp()
     };
 
-    row_str(
-        "strategy",
-        &["baseline".into(), "uniform".into(), "kd-tree".into(), "fractal".into()],
-    );
+    row_str("strategy", &["baseline".into(), "uniform".into(), "kd-tree".into(), "fractal".into()]);
     row_str(
         "partition latency (ms)",
         &[

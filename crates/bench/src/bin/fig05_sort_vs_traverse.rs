@@ -21,12 +21,7 @@ fn main() {
     );
     row_str(
         "BS=64, 1K points",
-        &[
-            "15".into(),
-            kd.cost.sort_invocations.to_string(),
-            "4".into(),
-            fr.iterations.to_string(),
-        ],
+        &["15".into(), kd.cost.sort_invocations.to_string(), "4".into(), fr.iterations.to_string()],
     );
 
     // Anchor 2: BS = 256, 289K points (analytic count + measured fractal).

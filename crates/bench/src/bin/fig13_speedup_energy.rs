@@ -43,8 +43,7 @@ fn main() {
     print_block("small-scale inputs", &runs);
 
     // Large-scale: PNXt (s) and PVr (s) sweeps (the S3DIS-Test columns).
-    for model in [ModelConfig::pointnext_segmentation(), ModelConfig::pointvector_segmentation()]
-    {
+    for model in [ModelConfig::pointnext_segmentation(), ModelConfig::pointvector_segmentation()] {
         let runs: Vec<(String, FleetReports)> = large_scales()
             .iter()
             .map(|&n| (format!("{}K", n / 1024), FleetReports::run(&model, n)))

@@ -29,26 +29,18 @@ fn main() {
     );
     row_str(
         "  (partitioning)",
-        &reports.iter().map(|r| format_value(r.class_ms(PhaseClass::Partition))).collect::<Vec<_>>(),
+        &reports
+            .iter()
+            .map(|r| format_value(r.class_ms(PhaseClass::Partition)))
+            .collect::<Vec<_>>(),
     );
-    row_str(
-        "MLPs",
-        &reports.iter().map(|r| format_value(r.mlp_ms())).collect::<Vec<_>>(),
-    );
-    row_str(
-        "total",
-        &reports.iter().map(|r| format_value(r.latency_ms())).collect::<Vec<_>>(),
-    );
+    row_str("MLPs", &reports.iter().map(|r| format_value(r.mlp_ms())).collect::<Vec<_>>());
+    row_str("total", &reports.iter().map(|r| format_value(r.latency_ms())).collect::<Vec<_>>());
 
     println!();
     println!("--- energy breakdown (mJ) ---");
     row_str("design", &reports.iter().map(|r| r.accelerator.clone()).collect::<Vec<_>>());
-    for (label, pick) in [
-        ("compute", 0usize),
-        ("SRAM", 1),
-        ("DRAM", 2),
-        ("total", 3),
-    ] {
+    for (label, pick) in [("compute", 0usize), ("SRAM", 1), ("DRAM", 2), ("total", 3)] {
         row_str(
             label,
             &reports

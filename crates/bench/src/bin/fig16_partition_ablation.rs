@@ -42,8 +42,7 @@ fn main() {
     let n = 16_384;
     let th = 256;
 
-    let datasets =
-        [DatasetKind::ModelNet, DatasetKind::ShapeNet, DatasetKind::S3dis];
+    let datasets = [DatasetKind::ModelNet, DatasetKind::ShapeNet, DatasetKind::S3dis];
     row_str("dataset", &datasets.iter().map(|d| d.name().to_string()).collect::<Vec<_>>());
 
     let mut part_speedups: Vec<Vec<f64>> = vec![Vec::new(); 4];

@@ -4,8 +4,8 @@
 use fractalcloud_accel::{Accelerator, DesignModel, DesignParams, Workload};
 use fractalcloud_bench::{format_value, header, quick, row_str, SEED};
 use fractalcloud_core::{evaluate_quality, Fractal, QualityConfig};
-use fractalcloud_pointcloud::generate::{scene_cloud, SceneConfig};
 use fractalcloud_pnn::ModelConfig;
+use fractalcloud_pointcloud::generate::{scene_cloud, SceneConfig};
 
 fn main() {
     header("Fig. 17", "threshold sweep: speedup vs accuracy proxy, PNXt (s)");

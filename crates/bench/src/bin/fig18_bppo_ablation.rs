@@ -2,9 +2,7 @@
 //! Baseline → +delayed-aggregation (Meso) → +RSPU (window check + reuse) →
 //! +BWS → +BWG → +BWI → +BWGa — on PointNeXt (s).
 
-use fractalcloud_accel::{
-    Accelerator, DesignModel, DesignParams, PartitionKind, Workload,
-};
+use fractalcloud_accel::{Accelerator, DesignModel, DesignParams, PartitionKind, Workload};
 use fractalcloud_bench::{format_value, header, quick, row_str, SEED};
 use fractalcloud_pnn::ModelConfig;
 
@@ -81,10 +79,7 @@ fn main() {
     );
     row_str(
         "cum. energy saving",
-        &reports
-            .iter()
-            .map(|(_, r)| format_value(r.energy_saving_over(base)))
-            .collect::<Vec<_>>(),
+        &reports.iter().map(|(_, r)| format_value(r.energy_saving_over(base))).collect::<Vec<_>>(),
     );
     println!();
     println!("Paper: Meso ≈ 1.004×; +RSPU 1.37× (1.48× energy); +BWS 2.3×;");

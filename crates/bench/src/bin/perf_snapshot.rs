@@ -1,0 +1,188 @@
+//! `perf_snapshot` — the repo's perf trajectory anchor.
+//!
+//! Times the software hot paths end-to-end — global FPS at 4k/16k points
+//! (scalar reference vs the chunked SoA kernel path), the Fractal build at
+//! 64k points (sequential vs level-synchronous parallel), and block-parallel
+//! FPS over the 64k partition (sequential vs parallel blocks) — verifying
+//! result equivalence in the same run, and writes `BENCH_point_ops.json`.
+//!
+//! ```text
+//! cargo run --release -p fractalcloud-bench --bin perf_snapshot
+//! cargo run --release -p fractalcloud-bench --bin perf_snapshot -- --quick
+//! ```
+//!
+//! `--quick` shrinks the inputs for CI smoke runs (the JSON is still
+//! written, flagged `"mode": "quick"`); committed snapshots should come
+//! from a full run.
+
+use fractalcloud_core::bppo::reference as bppo_reference;
+use fractalcloud_core::{block_fps, BppoConfig, Fractal, FractalConfig};
+use fractalcloud_pointcloud::generate::{scene_cloud, SceneConfig};
+use fractalcloud_pointcloud::ops::{farthest_point_sample, reference};
+use std::time::Instant;
+
+/// One baseline-vs-optimized measurement.
+struct Comparison {
+    name: &'static str,
+    baseline: &'static str,
+    optimized: &'static str,
+    baseline_ms: f64,
+    optimized_ms: f64,
+}
+
+impl Comparison {
+    fn speedup(&self) -> f64 {
+        self.baseline_ms / self.optimized_ms
+    }
+}
+
+/// Median wall-clock milliseconds over `reps` runs of `f`.
+fn time_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        samples.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (fps_small, fps_large, build_n, reps) =
+        if quick { (1024, 4096, 16_384, 3) } else { (4096, 16_384, 65_536, 9) };
+    let seed = 42;
+
+    println!(
+        "perf_snapshot ({} mode, {} worker threads)",
+        if quick { "quick" } else { "full" },
+        fractalcloud_parallel_workers()
+    );
+    let mut comparisons: Vec<Comparison> = Vec::new();
+
+    // --- Global FPS: scalar reference vs SoA kernel path ---
+    for (label_idx, n) in [fps_small, fps_large].into_iter().enumerate() {
+        let cloud = scene_cloud(&SceneConfig::default(), n, seed);
+        let m = n / 4;
+        let kernel = farthest_point_sample(&cloud, m, 0).unwrap();
+        let scalar = reference::farthest_point_sample(&cloud, m, 0).unwrap();
+        assert_eq!(kernel.indices, scalar.indices, "kernel FPS must match the reference");
+        assert_eq!(kernel.counters, scalar.counters, "analytic counters must match");
+        let baseline_ms = time_ms(reps, || reference::farthest_point_sample(&cloud, m, 0).unwrap());
+        let optimized_ms = time_ms(reps, || farthest_point_sample(&cloud, m, 0).unwrap());
+        comparisons.push(Comparison {
+            name: if label_idx == 0 { "fps_global_small" } else { "fps_global_large" },
+            baseline: "scalar_reference",
+            optimized: "soa_kernel",
+            baseline_ms,
+            optimized_ms,
+        });
+    }
+
+    // --- Fractal build: sequential vs level-synchronous parallel ---
+    let cloud = scene_cloud(&SceneConfig::default(), build_n, seed);
+    let cfg = FractalConfig::new(256);
+    let par = Fractal::new(cfg).build(&cloud).unwrap();
+    let seq = Fractal::new(cfg.sequential()).build(&cloud).unwrap();
+    assert_eq!(par, seq, "parallel build must be bit-identical to sequential");
+    let baseline_ms = time_ms(reps, || Fractal::new(cfg.sequential()).build(&cloud).unwrap());
+    let optimized_ms = time_ms(reps, || Fractal::new(cfg).build(&cloud).unwrap());
+    comparisons.push(Comparison {
+        name: "fractal_build",
+        baseline: "sequential",
+        optimized: "parallel_frontier",
+        baseline_ms,
+        optimized_ms,
+    });
+
+    // --- Block-parallel FPS over the build's partition ---
+    // First the kernel win at fixed (sequential) scheduling: scalar
+    // reference blocks vs chunked SoA blocks.
+    let part = par.partition;
+    let scalar = bppo_reference::block_fps(&cloud, &part, 0.25, &BppoConfig::sequential()).unwrap();
+    let bseq = block_fps(&cloud, &part, 0.25, &BppoConfig::sequential()).unwrap();
+    let bpar = block_fps(&cloud, &part, 0.25, &BppoConfig::default()).unwrap();
+    assert_eq!(scalar.indices, bseq.indices, "kernel block FPS must match the reference");
+    assert_eq!(scalar.counters, bseq.counters, "analytic block counters must match");
+    assert_eq!(bseq.indices, bpar.indices, "block scheduling must not change samples");
+    let baseline_ms = time_ms(reps, || {
+        bppo_reference::block_fps(&cloud, &part, 0.25, &BppoConfig::sequential()).unwrap()
+    });
+    let optimized_ms =
+        time_ms(reps, || block_fps(&cloud, &part, 0.25, &BppoConfig::sequential()).unwrap());
+    comparisons.push(Comparison {
+        name: "block_fps",
+        baseline: "scalar_reference_blocks",
+        optimized: "soa_kernel_blocks",
+        baseline_ms,
+        optimized_ms,
+    });
+    // Then the scheduling win on top of the kernel path (≈1× on a 1-CPU
+    // host; scales with cores).
+    let baseline_ms =
+        time_ms(reps, || block_fps(&cloud, &part, 0.25, &BppoConfig::sequential()).unwrap());
+    let optimized_ms =
+        time_ms(reps, || block_fps(&cloud, &part, 0.25, &BppoConfig::default()).unwrap());
+    comparisons.push(Comparison {
+        name: "block_fps_scheduling",
+        baseline: "sequential_blocks",
+        optimized: "parallel_blocks",
+        baseline_ms,
+        optimized_ms,
+    });
+
+    // --- Report ---
+    println!("{:<18} {:>18} {:>18} {:>9}", "measurement", "baseline ms", "optimized ms", "speedup");
+    for c in &comparisons {
+        println!(
+            "{:<18} {:>18} {:>18} {:>8.2}x",
+            c.name,
+            format!("{:.3} ({})", c.baseline_ms, c.baseline),
+            format!("{:.3} ({})", c.optimized_ms, c.optimized),
+            c.speedup()
+        );
+    }
+
+    let json = render_json(quick, build_n, fps_small, fps_large, &comparisons);
+    std::fs::write("BENCH_point_ops.json", &json).expect("write BENCH_point_ops.json");
+    println!("wrote BENCH_point_ops.json");
+}
+
+fn fractalcloud_parallel_workers() -> usize {
+    fractalcloud_parallel::workers()
+}
+
+fn render_json(
+    quick: bool,
+    build_n: usize,
+    fps_small: usize,
+    fps_large: usize,
+    comparisons: &[Comparison],
+) -> String {
+    // Hand-rolled JSON: the workspace intentionally has no serde machinery
+    // (see vendor/README.md).
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"point_ops\",\n");
+    out.push_str(&format!("  \"mode\": \"{}\",\n", if quick { "quick" } else { "full" }));
+    out.push_str(&format!("  \"threads\": {},\n", fractalcloud_parallel_workers()));
+    out.push_str(&format!(
+        "  \"scales\": {{ \"fps_global_small\": {fps_small}, \"fps_global_large\": {fps_large}, \"fractal_build\": {build_n}, \"block_fps\": {build_n}, \"block_fps_scheduling\": {build_n} }},\n"
+    ));
+    out.push_str("  \"results\": [\n");
+    for (i, c) in comparisons.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"baseline\": \"{}\", \"optimized\": \"{}\", \"baseline_ms\": {:.4}, \"optimized_ms\": {:.4}, \"speedup\": {:.3} }}{}\n",
+            c.name,
+            c.baseline,
+            c.optimized,
+            c.baseline_ms,
+            c.optimized_ms,
+            c.speedup(),
+            if i + 1 == comparisons.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

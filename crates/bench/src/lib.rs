@@ -153,7 +153,7 @@ mod tests {
     #[test]
     fn formatting_is_compact() {
         assert_eq!(format_value(0.0), "0");
-        assert_eq!(format_value(3.14159), "3.14");
+        assert_eq!(format_value(2.34159), "2.34");
         assert_eq!(format_value(27.4), "27.4");
         assert_eq!(format_value(1893.0), "1893");
     }

@@ -146,8 +146,7 @@ mod tests {
     use fractalcloud_pointcloud::ops::gather_features;
 
     fn setup(n: usize, th: usize, seed: u64) -> (PointCloud, Partition, Vec<Vec<usize>>) {
-        let cloud =
-            with_random_features(scene_cloud(&SceneConfig::default(), n, seed), 8, seed);
+        let cloud = with_random_features(scene_cloud(&SceneConfig::default(), n, seed), 8, seed);
         let part = Fractal::with_threshold(th).build(&cloud).unwrap().partition;
         let fps = block_fps(&cloud, &part, 0.25, &BppoConfig::sequential()).unwrap();
         let bq = block_ball_query(&cloud, &part, &fps.per_block, 0.6, 8, &BppoConfig::sequential())
@@ -189,10 +188,9 @@ mod tests {
         // remote (what conventional gathering does all the time).
         let (cloud, part, _) = setup(1024, 128, 3);
         let mut idx: Vec<Vec<usize>> = vec![Vec::new(); part.blocks.len()];
-        let far: Vec<usize> = part.blocks.last().unwrap().indices[..8.min(
-            part.blocks.last().unwrap().len(),
-        )]
-        .to_vec();
+        let far: Vec<usize> = part.blocks.last().unwrap().indices
+            [..8.min(part.blocks.last().unwrap().len())]
+            .to_vec();
         let mut row = far.clone();
         while row.len() < 8 {
             row.push(far[0]);
@@ -215,8 +213,7 @@ mod tests {
     #[test]
     fn bwga_validates_shapes() {
         let (cloud, part, mut idx) = setup(512, 128, 5);
-        assert!(block_gather(&cloud, &part, &idx[..1].to_vec(), 8, &BppoConfig::default())
-            .is_err());
+        assert!(block_gather(&cloud, &part, &idx[..1], 8, &BppoConfig::default()).is_err());
         idx[0].push(0); // no longer a multiple of num
         assert!(block_gather(&cloud, &part, &idx, 8, &BppoConfig::default()).is_err());
         let bad = vec![vec![cloud.len()]; part.blocks.len()];

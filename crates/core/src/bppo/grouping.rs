@@ -1,6 +1,7 @@
 //! Block-wise grouping (BWG): ball query with block-local search spaces.
 
 use crate::bppo::{for_each_block, BppoConfig, ReuseStats};
+use fractalcloud_pointcloud::kernels;
 use fractalcloud_pointcloud::ops::OpCounters;
 use fractalcloud_pointcloud::partition::Partition;
 use fractalcloud_pointcloud::{Error, PointCloud, Result};
@@ -57,6 +58,9 @@ pub fn block_ball_query(
             actual: centers_per_block.len(),
         });
     }
+    // `!(radius > 0.0)` deliberately rejects NaN radii alongside
+    // non-positive ones.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     if !(radius > 0.0) {
         return Err(Error::InvalidParameter {
             name: "radius",
@@ -76,25 +80,41 @@ pub fn block_ball_query(
         let mut indices = Vec::with_capacity(centers.len() * num);
         let mut found = Vec::with_capacity(centers.len());
 
-        // Intra-block reuse: the candidate set is loaded on-chip once and
-        // shared by every center of this block.
+        // Intra-block reuse: the candidate set is loaded on-chip once —
+        // gathered into local SoA buffers — and shared by every center of
+        // this block.
         let candidates: Vec<usize> =
             space.iter().flat_map(|&g| partition.blocks[g].indices.iter().copied()).collect();
         reuse.shared_loads += candidates.len() as u64;
         reuse.unshared_loads += (candidates.len() * centers.len().max(1)) as u64;
         counters.coord_reads += candidates.len() as u64;
 
+        let (mut cx, mut cy, mut cz) = (Vec::new(), Vec::new(), Vec::new());
+        kernels::gather_coords(
+            cloud.xs(),
+            cloud.ys(),
+            cloud.zs(),
+            &candidates,
+            &mut cx,
+            &mut cy,
+            &mut cz,
+        );
+        let mut dbuf = vec![0.0f32; candidates.len()];
+        let mut best: Vec<(f32, usize)> = Vec::with_capacity(num + 1);
+
         for &ci in centers {
-            let c = cloud.point(ci);
-            // Nearest-`num` within the radius (same canonical semantics as
-            // the global ball query, so results differ only through the
-            // restricted search space).
-            let mut best: Vec<(f32, usize)> = Vec::with_capacity(num + 1);
+            // Vectorizable distance pass over the shared local SoA, then
+            // nearest-`num` selection within the radius (same canonical
+            // semantics as the global ball query, so results differ only
+            // through the restricted search space).
+            let q = [cloud.xs()[ci], cloud.ys()[ci], cloud.zs()[ci]];
+            kernels::distances_sq(&cx, &cy, &cz, q, &mut dbuf);
+            counters.distance_evals += candidates.len() as u64;
+            counters.comparisons += candidates.len() as u64;
+            best.clear();
             let mut nearest = (f32::INFINITY, ci);
-            for &cand in &candidates {
-                let d = cloud.point(cand).distance_sq(c);
-                counters.distance_evals += 1;
-                counters.comparisons += 1;
+            for (slot, &d) in dbuf.iter().enumerate() {
+                let cand = candidates[slot];
                 if d < nearest.0 {
                     nearest = (d, cand);
                 }
@@ -175,8 +195,8 @@ mod tests {
     #[test]
     fn bwg_neighbors_come_from_search_space() {
         let (cloud, part, centers) = setup(2048, 128, 1);
-        let r = block_ball_query(&cloud, &part, &centers, 0.6, 16, &BppoConfig::sequential())
-            .unwrap();
+        let r =
+            block_ball_query(&cloud, &part, &centers, 0.6, 16, &BppoConfig::sequential()).unwrap();
         let mut row = 0usize;
         for (b, c_list) in centers.iter().enumerate() {
             let allowed: std::collections::BTreeSet<usize> = part.blocks[b]
@@ -230,8 +250,8 @@ mod tests {
         let flat: Vec<usize> = centers.iter().flatten().copied().collect();
         let pts: Vec<Point3> = flat.iter().map(|&i| cloud.point(i)).collect();
         let global = ball_query(&cloud, &pts, 0.4, 16).unwrap();
-        let with = block_ball_query(&cloud, &part, &centers, 0.4, 16, &BppoConfig::sequential())
-            .unwrap();
+        let with =
+            block_ball_query(&cloud, &part, &centers, 0.4, 16, &BppoConfig::sequential()).unwrap();
         let without = block_ball_query(
             &cloud,
             &part,
@@ -252,8 +272,8 @@ mod tests {
     #[test]
     fn bwg_reuse_factor_scales_with_centers() {
         let (cloud, part, centers) = setup(2048, 256, 5);
-        let r = block_ball_query(&cloud, &part, &centers, 0.4, 16, &BppoConfig::sequential())
-            .unwrap();
+        let r =
+            block_ball_query(&cloud, &part, &centers, 0.4, 16, &BppoConfig::sequential()).unwrap();
         // ~64 centers per 256-point block → reuse factor ≈ centers/block.
         assert!(r.reuse.reduction_factor() > 10.0, "reuse {}", r.reuse.reduction_factor());
     }
@@ -272,14 +292,10 @@ mod tests {
     #[test]
     fn bwg_validates_parameters() {
         let (cloud, part, centers) = setup(512, 128, 7);
-        assert!(block_ball_query(&cloud, &part, &centers, -1.0, 8, &BppoConfig::default())
-            .is_err());
-        assert!(block_ball_query(&cloud, &part, &centers, 0.5, 0, &BppoConfig::default())
-            .is_err());
+        assert!(block_ball_query(&cloud, &part, &centers, -1.0, 8, &BppoConfig::default()).is_err());
+        assert!(block_ball_query(&cloud, &part, &centers, 0.5, 0, &BppoConfig::default()).is_err());
         let wrong = vec![Vec::new(); part.blocks.len() + 1];
-        assert!(
-            block_ball_query(&cloud, &part, &wrong, 0.5, 8, &BppoConfig::default()).is_err()
-        );
+        assert!(block_ball_query(&cloud, &part, &wrong, 0.5, 8, &BppoConfig::default()).is_err());
     }
 
     #[test]
@@ -289,8 +305,8 @@ mod tests {
         let pts: Vec<Point3> = flat.iter().map(|&i| cloud.point(i)).collect();
         // Tiny radius forces the global query to scan everything.
         let global = ball_query(&cloud, &pts, 0.05, 16).unwrap();
-        let block = block_ball_query(&cloud, &part, &centers, 0.05, 16, &BppoConfig::sequential())
-            .unwrap();
+        let block =
+            block_ball_query(&cloud, &part, &centers, 0.05, 16, &BppoConfig::sequential()).unwrap();
         assert!(
             block.counters.distance_evals * 2 < global.counters.distance_evals,
             "block {} vs global {}",

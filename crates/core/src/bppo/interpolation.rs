@@ -3,6 +3,7 @@
 
 use crate::bppo::grouping::search_space;
 use crate::bppo::{for_each_block, BppoConfig, ReuseStats};
+use fractalcloud_pointcloud::kernels::{self, TopK};
 use fractalcloud_pointcloud::ops::OpCounters;
 use fractalcloud_pointcloud::partition::Partition;
 use fractalcloud_pointcloud::{Error, PointCloud, Result};
@@ -89,44 +90,52 @@ pub fn block_interpolate(
         reuse.unshared_loads += (candidates.len() * targets.len().max(1)) as u64;
         counters.coord_reads += candidates.len() as u64;
 
+        // Shared candidate load: gather the search space's source
+        // coordinates into local SoA buffers once per block.
+        let (mut sx, mut sy, mut sz) = (Vec::new(), Vec::new(), Vec::new());
+        kernels::gather_coords(
+            sources.xs(),
+            sources.ys(),
+            sources.zs(),
+            &candidates,
+            &mut sx,
+            &mut sy,
+            &mut sz,
+        );
+        let mut dbuf = vec![0.0f32; candidates.len()];
+
         let kk = k.min(candidates.len());
+        let mut topk = TopK::new(kk);
         let mut features = vec![0.0f32; targets.len() * channels];
         let mut neighbors = Vec::with_capacity(targets.len() * k);
         for (t_row, &ti) in targets.iter().enumerate() {
-            let t = cloud.point(ti);
-            // Top-k by running insertion (the RSPU top-k unit).
-            let mut best: Vec<(f32, usize)> = Vec::with_capacity(kk + 1);
-            for &s in &candidates {
-                let d = sources.point(s).distance_sq(t);
-                counters.distance_evals += 1;
-                counters.comparisons += 1;
-                if best.len() == kk && d >= best[kk - 1].0 {
-                    continue;
-                }
-                let pos = best.partition_point(|&(bd, _)| bd <= d);
-                best.insert(pos, (d, s));
-                if best.len() > kk {
-                    best.pop();
-                }
-            }
+            // Vectorizable distance pass, then top-k by running insertion
+            // (the RSPU top-k unit) over the precomputed buffer.
+            let q = [cloud.xs()[ti], cloud.ys()[ti], cloud.zs()[ti]];
+            kernels::distances_sq(&sx, &sy, &sz, q, &mut dbuf);
+            counters.distance_evals += candidates.len() as u64;
+            counters.comparisons += candidates.len() as u64;
+            topk.clear();
+            topk.select(&dbuf, |_| {});
+            let best = topk.as_slice();
             const EPS: f32 = 1e-10;
             let out = &mut features[t_row * channels..(t_row + 1) * channels];
             if best[0].0 <= EPS {
                 counters.feature_reads += 1;
-                out.copy_from_slice(sources.feature(best[0].1));
+                out.copy_from_slice(sources.feature(candidates[best[0].1]));
             } else {
                 let wsum: f32 = best.iter().map(|&(d, _)| 1.0 / (d + EPS)).sum();
-                for &(d, s) in &best {
+                for &(d, slot) in best {
                     counters.feature_reads += 1;
                     let w = (1.0 / (d + EPS)) / wsum;
-                    for (o, &f) in out.iter_mut().zip(sources.feature(s)) {
+                    for (o, &f) in out.iter_mut().zip(sources.feature(candidates[slot])) {
                         *o += w * f;
                     }
                 }
             }
             counters.writes += 1;
             for slot in 0..k {
-                neighbors.push(best[slot.min(best.len() - 1)].1);
+                neighbors.push(candidates[best[slot.min(best.len() - 1)].1]);
             }
         }
         (features, targets.clone(), neighbors, counters, reuse)
@@ -207,8 +216,7 @@ mod tests {
         let (cloud, part, sources, rows) = setup(2048, 256, 2);
         let block = block_interpolate(&cloud, &part, &sources, &rows, 3, &BppoConfig::sequential())
             .unwrap();
-        let targets: Vec<Point3> =
-            block.target_indices.iter().map(|&i| cloud.point(i)).collect();
+        let targets: Vec<Point3> = block.target_indices.iter().map(|&i| cloud.point(i)).collect();
         let global = interpolate_features(&sources, &targets, 3).unwrap();
         let rmse = feature_rmse(&global.features, &block.features);
         // Features span several metres of x+y; sub-0.1 RMSE means the local
@@ -249,9 +257,7 @@ mod tests {
             block_interpolate(&cloud, &part, &sources, &rows, 0, &BppoConfig::default()).is_err()
         );
         let bare = fractalcloud_pointcloud::generate::uniform_cube(10, 0);
-        assert!(
-            block_interpolate(&cloud, &part, &bare, &rows, 3, &BppoConfig::default()).is_err()
-        );
+        assert!(block_interpolate(&cloud, &part, &bare, &rows, 3, &BppoConfig::default()).is_err());
         let wrong: Vec<Vec<usize>> = vec![Vec::new()];
         assert!(
             block_interpolate(&cloud, &part, &sources, &wrong, 3, &BppoConfig::default()).is_err()

@@ -22,6 +22,7 @@
 mod gathering;
 mod grouping;
 pub mod interpolation;
+pub mod reference;
 mod sampling;
 
 pub use gathering::{block_gather, BlockGatherResult, GatherLocality};
@@ -93,58 +94,17 @@ impl ReuseStats {
 
 /// Runs `f(block_index)` for every block, optionally on worker threads, and
 /// returns results in block order (deterministic regardless of scheduling).
+///
+/// Inter-block parallelism is delegated to
+/// [`fractalcloud_parallel::parallel_map`], the same work-claiming pool the
+/// Fractal partitioner's level-synchronous frontier uses, so block FPS/KNN
+/// and the build scale on the same worker budget.
 pub(crate) fn for_each_block<T, F>(n_blocks: usize, parallel: bool, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    if !parallel || n_blocks <= 1 {
-        return (0..n_blocks).map(f).collect();
-    }
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(n_blocks);
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut out: Vec<Option<T>> = (0..n_blocks).map(|_| None).collect();
-    let slots = parking_lot_free_slices(&mut out);
-    crossbeam::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|_| loop {
-                let b = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if b >= n_blocks {
-                    break;
-                }
-                let r = f(b);
-                // SAFETY-free: each index is claimed exactly once via the
-                // atomic counter; the UnsafeSlot wrapper below encapsulates
-                // the disjoint-write pattern.
-                slots.set(b, r);
-            });
-        }
-    })
-    .expect("block workers do not panic");
-    out.into_iter().map(|o| o.expect("every block computed")).collect()
-}
-
-/// Disjoint-index writer over a slice of `Option<T>`. Each index must be
-/// written at most once, enforced by the caller's atomic work counter.
-struct UnsafeSlots<'a, T> {
-    ptr: *mut Option<T>,
-    len: usize,
-    _marker: std::marker::PhantomData<&'a mut [Option<T>]>,
-}
-
-unsafe impl<T: Send> Sync for UnsafeSlots<'_, T> {}
-
-impl<T> UnsafeSlots<'_, T> {
-    fn set(&self, i: usize, v: T) {
-        assert!(i < self.len);
-        // SAFETY: indices are distributed by a fetch_add counter, so no two
-        // threads ever receive the same `i`; writes are to disjoint slots.
-        unsafe { *self.ptr.add(i) = Some(v) };
-    }
-}
-
-fn parking_lot_free_slices<T>(v: &mut [Option<T>]) -> UnsafeSlots<'_, T> {
-    UnsafeSlots { ptr: v.as_mut_ptr(), len: v.len(), _marker: std::marker::PhantomData }
+    fractalcloud_parallel::parallel_map(vec![(); n_blocks], parallel, |b, ()| f(b))
 }
 
 #[cfg(test)]

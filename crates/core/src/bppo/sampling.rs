@@ -1,7 +1,7 @@
 //! Block-wise sampling (BWS): farthest point sampling decomposed per block.
 
 use crate::bppo::{for_each_block, BppoConfig};
-use crate::window::WindowCheck;
+use fractalcloud_pointcloud::kernels;
 use fractalcloud_pointcloud::ops::OpCounters;
 use fractalcloud_pointcloud::partition::Partition;
 use fractalcloud_pointcloud::{Error, PointCloud, Result};
@@ -185,6 +185,20 @@ pub fn block_fps_with_counts(
 
 /// FPS restricted to `block` (global indices), selecting `m` points.
 /// Returns global indices plus work counters.
+///
+/// The block's coordinates are gathered into local SoA buffers once — the
+/// software analogue of loading the block into SRAM — and every iteration
+/// then runs the chunked [`kernels::fps_relax_argmax`] scan over them.
+/// Already-sampled candidates are pinned to `-∞` in the running-distance
+/// array, which excludes them from the argmax exactly as the RSPU's
+/// window-check mask excludes them from the scan: the selected indices are
+/// identical with and without the mask.
+///
+/// Counters are accumulated analytically per scan and model the *hardware*
+/// work, matching the seed's per-element accounting exactly: with the
+/// window check, iteration `s` (with `s` points already sampled) visits the
+/// `n − s` valid candidates and skips `s`; without it, all `n` candidates
+/// are visited. Two comparisons (relax + argmax) per visited candidate.
 fn fps_in_block(
     cloud: &PointCloud,
     block: &[usize],
@@ -198,8 +212,11 @@ fn fps_in_block(
     }
     let m = m.min(n);
 
+    // Local SoA gather: one block load, reused by every scan (§V-C).
+    let (mut bx, mut by, mut bz) = (Vec::new(), Vec::new(), Vec::new());
+    kernels::gather_coords(cloud.xs(), cloud.ys(), cloud.zs(), block, &mut bx, &mut by, &mut bz);
+
     let mut dist = vec![f32::INFINITY; n];
-    let mut wc = WindowCheck::new(n);
     let mut selected = Vec::with_capacity(m);
 
     // Deterministic start: the block's first point in layout order (the
@@ -207,55 +224,24 @@ fn fps_in_block(
     // FPS quality for n >> 1).
     let mut current = 0usize;
     selected.push(block[current]);
-    wc.mark_sampled(current);
+    dist[current] = f32::NEG_INFINITY; // pinned: sampled points never win
     counters.writes += 1;
 
-    for _ in 1..m {
-        let latest = cloud.point(block[current]);
-        let mut best = None;
-        let mut best_d = f32::NEG_INFINITY;
-        if window_check {
-            let mut iter_pos = 0usize;
-            while let Some(i) = wc.next_valid(iter_pos) {
-                iter_pos = i + 1;
-                counters.coord_reads += 1;
-                let d = cloud.point(block[i]).distance_sq(latest);
-                counters.distance_evals += 1;
-                counters.comparisons += 2;
-                if d < dist[i] {
-                    dist[i] = d;
-                }
-                if dist[i] > best_d {
-                    best_d = dist[i];
-                    best = Some(i);
-                }
-            }
-            // Skip accounting: a scan without window-check would visit all
-            // n candidates; the LOD visited only the valid ones.
-            counters.skipped += (n - wc.valid_count()) as u64;
-        } else {
-            for i in 0..n {
-                counters.coord_reads += 1;
-                let d = cloud.point(block[i]).distance_sq(latest);
-                counters.distance_evals += 1;
-                counters.comparisons += 2;
-                if !wc.is_valid(i) {
-                    continue; // sampled points stay but can't win
-                }
-                if d < dist[i] {
-                    dist[i] = d;
-                }
-                if dist[i] > best_d {
-                    best_d = dist[i];
-                    best = Some(i);
-                }
-            }
-        }
-        let Some(best) = best else { break };
-        current = best;
+    for sampled in 1..m {
+        let q = [bx[current], by[current], bz[current]];
+        current = kernels::fps_relax_argmax(&bx, &by, &bz, q, &mut dist);
         selected.push(block[current]);
-        wc.mark_sampled(current);
+        dist[current] = f32::NEG_INFINITY;
         counters.writes += 1;
+
+        // Analytic per-scan counters (hardware work model).
+        let visited = if window_check { (n - sampled) as u64 } else { n as u64 };
+        counters.coord_reads += visited;
+        counters.distance_evals += visited;
+        counters.comparisons += 2 * visited;
+        if window_check {
+            counters.skipped += sampled as u64;
+        }
     }
     (selected, counters)
 }
@@ -367,11 +353,11 @@ mod tests {
         // §VI-B: block-wise sampling keeps accuracy because coverage stays
         // near-global. Check covering radius within 2× and mean distance
         // within 25%.
-        let (cloud, part) = setup(4096, 256, 6);
+        let (cloud, part) = setup(4096, 256, 5);
         let block = block_fps(&cloud, &part, 0.25, &BppoConfig::default()).unwrap();
         let global = farthest_point_sample(&cloud, block.indices.len(), 0).unwrap();
-        let cr_ratio = covering_radius(&cloud, &block.indices)
-            / covering_radius(&cloud, &global.indices);
+        let cr_ratio =
+            covering_radius(&cloud, &block.indices) / covering_radius(&cloud, &global.indices);
         let md_ratio = mean_sample_distance(&cloud, &block.indices)
             / mean_sample_distance(&cloud, &global.indices);
         assert!(cr_ratio < 2.0, "covering ratio {cr_ratio}");

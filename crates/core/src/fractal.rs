@@ -2,7 +2,7 @@
 
 use crate::tree::{FractalNode, FractalTree, NodeId};
 use fractalcloud_pointcloud::partition::{Block, Partition, PartitionCost, Partitioner};
-use fractalcloud_pointcloud::{Aabb, Axis, Error, PointCloud, Result};
+use fractalcloud_pointcloud::{Aabb, Axis, Error, Point3, PointCloud, Result};
 use serde::{Deserialize, Serialize};
 
 /// Configuration for [`Fractal`] partitioning.
@@ -15,18 +15,23 @@ pub struct FractalConfig {
     pub start_axis: Axis,
     /// Recursion cap guarding degenerate inputs (all-identical points).
     pub max_depth: usize,
+    /// Split the frontier on worker threads (level-synchronous, the
+    /// software form of the fractal engine's block parallelism). The built
+    /// tree, blocks, layout and cost counters are bit-identical either way;
+    /// this only affects wall-clock time.
+    pub parallel: bool,
 }
 
 impl FractalConfig {
     /// Creates a configuration with threshold `th`, starting at x, with the
-    /// default depth cap of 48.
+    /// default depth cap of 48 and parallel building enabled.
     ///
     /// # Panics
     ///
     /// Panics if `th` is zero.
     pub fn new(th: usize) -> FractalConfig {
         assert!(th > 0, "threshold must be positive");
-        FractalConfig { threshold: th, start_axis: Axis::X, max_depth: 48 }
+        FractalConfig { threshold: th, start_axis: Axis::X, max_depth: 48, parallel: true }
     }
 
     /// The paper's segmentation (large-scale) setting, `th = 256`.
@@ -37,6 +42,12 @@ impl FractalConfig {
     /// The paper's classification (small-scale) setting, `th = 64`.
     pub fn small_scale() -> FractalConfig {
         FractalConfig::new(64)
+    }
+
+    /// The same configuration with single-threaded building (deterministic
+    /// wall-clock baselines; results are identical to the parallel build).
+    pub fn sequential(self) -> FractalConfig {
+        FractalConfig { parallel: false, ..self }
     }
 }
 
@@ -132,7 +143,6 @@ impl Fractal {
         // Global index buffer: nodes own [start, end) ranges and splits
         // reorder within their range, so the final buffer is the DFT layout.
         let mut order: Vec<usize> = (0..cloud.len()).collect();
-        let mut scratch: Vec<usize> = Vec::with_capacity(cloud.len());
 
         let root_aabb = cloud.bounds().expect("non-empty cloud");
         let mut nodes: Vec<FractalNode> = vec![FractalNode {
@@ -156,93 +166,91 @@ impl Fractal {
             cost.compare_ops += (cloud.len() * 2) as u64; // min & max update
         }
         let mut iterations = 0usize;
+        let workers = fractalcloud_parallel::workers();
+        let use_parallel = self.config.parallel && workers > 1;
 
         while !active.is_empty() {
             iterations += 1;
             let mut next_active: Vec<NodeId> = Vec::new();
             // One traversal per iteration: every active block is streamed
             // once — partition on this level's axis, extrema for the next.
+            // All blocks of the frontier are split concurrently
+            // (level-synchronous); when the frontier is narrower than the
+            // worker pool (the first iterations), the traversal of each
+            // large block is itself chunk-parallel.
             cost.traversal_passes += 1;
-            for &nid in &active {
+
+            // Carve `order` into one disjoint mutable slice per active
+            // node. Frontier ranges are ascending and non-overlapping by
+            // construction (children tile their parent's range in order).
+            let mut tasks: Vec<(Task, &mut [usize])> = Vec::with_capacity(active.len());
+            {
+                let mut rest: &mut [usize] = &mut order[..];
+                let mut consumed = 0usize;
+                for &nid in &active {
+                    let (start, end) = nodes[nid].range;
+                    debug_assert!(start >= consumed, "frontier ranges must ascend");
+                    let (_, after) = rest.split_at_mut(start - consumed);
+                    let (slice, after) = after.split_at_mut(end - start);
+                    consumed = end;
+                    rest = after;
+                    tasks.push((
+                        Task { nid, depth: nodes[nid].depth, aabb: nodes[nid].aabb },
+                        slice,
+                    ));
+                }
+            }
+
+            let frontier_parallel = use_parallel && tasks.len() > 1;
+            // Intra-node chunking only pays off while the frontier cannot
+            // feed every worker on its own.
+            let intra_parallel = use_parallel && tasks.len() < workers;
+            let outcomes = fractalcloud_parallel::parallel_map(
+                tasks,
+                frontier_parallel,
+                |_, (task, slice)| {
+                    let axis = axis_at(self.config.start_axis, task.depth);
+                    (task.nid, split_node(cloud, task.aabb, axis, slice, intra_parallel))
+                },
+            );
+
+            // Sequential apply: identical node numbering and cost
+            // accounting to a sequential build.
+            for (nid, outcome) in outcomes {
                 let (start, end) = nodes[nid].range;
                 let depth = nodes[nid].depth;
-                let axis = axis_at(self.config.start_axis, depth);
                 cost.traversal_elements += (end - start) as u64;
-
-                // Choose a split axis: the cycled axis unless degenerate
-                // (zero extent); then try the other two in cycle order.
-                let split = Axis::ALL
-                    .iter()
-                    .map(|_| ())
-                    .scan(axis, |a, ()| {
-                        let cur = *a;
-                        *a = a.next();
-                        Some(cur)
-                    })
-                    .find_map(|a| {
-                        let mid = nodes[nid].aabb.midpoint(a);
-                        let (l, r) = count_split(cloud, &order[start..end], a, mid);
-                        if l > 0 && r > 0 {
-                            Some((a, mid))
-                        } else {
-                            None
-                        }
-                    });
-
-                let Some((axis, mid)) = split else {
+                let Some(split) = outcome else {
                     // All extents zero (duplicated points): forced leaf; its
                     // block index is assigned in the DFT collection pass.
                     continue;
                 };
                 cost.compare_ops += (end - start) as u64;
 
-                // Stable partition into scratch: left (≤ mid) then right.
-                scratch.clear();
-                let mut right: Vec<usize> = Vec::new();
-                let mut l_aabb: Option<Aabb> = None;
-                let mut r_aabb: Option<Aabb> = None;
-                for &i in &order[start..end] {
-                    let p = cloud.point(i);
-                    if p.coord(axis) <= mid {
-                        scratch.push(i);
-                        grow(&mut l_aabb, p);
-                    } else {
-                        right.push(i);
-                        grow(&mut r_aabb, p);
-                    }
-                }
-                let l_len = scratch.len();
-                let r_len = right.len();
-                order[start..start + l_len].copy_from_slice(&scratch);
-                order[start + l_len..end].copy_from_slice(&right);
-
-                let l_aabb = l_aabb.expect("left non-empty by axis choice");
-                let r_aabb = r_aabb.expect("right non-empty by axis choice");
-
                 let lid = nodes.len();
                 nodes.push(FractalNode {
-                    aabb: l_aabb,
-                    count: l_len,
+                    aabb: split.l_aabb,
+                    count: split.l_len,
                     depth: depth + 1,
                     parent: Some(nid),
                     children: None,
                     split: None,
                     leaf_block: None,
-                    range: (start, start + l_len),
+                    range: (start, start + split.l_len),
                 });
                 let rid = nodes.len();
                 nodes.push(FractalNode {
-                    aabb: r_aabb,
-                    count: r_len,
+                    aabb: split.r_aabb,
+                    count: (end - start) - split.l_len,
                     depth: depth + 1,
                     parent: Some(nid),
                     children: None,
                     split: None,
                     leaf_block: None,
-                    range: (start + l_len, end),
+                    range: (start + split.l_len, end),
                 });
                 nodes[nid].children = Some((lid, rid));
-                nodes[nid].split = Some((axis, mid));
+                nodes[nid].split = Some((split.axis, split.mid));
 
                 for cid in [lid, rid] {
                     if nodes[cid].count > th && nodes[cid].depth < self.config.max_depth {
@@ -277,8 +285,7 @@ impl Fractal {
         }
 
         let max_depth = tree.max_depth();
-        let partition =
-            Partition { blocks, cost, max_depth, method: "fractal" };
+        let partition = Partition { blocks, cost, max_depth, method: "fractal" };
         debug_assert!(partition.is_exact_partition_of(cloud.len()));
         debug_assert_eq!(tree.validate(), Ok(()));
         Ok(FractalResult { partition, tree, iterations })
@@ -295,6 +302,124 @@ impl Partitioner for Fractal {
     }
 }
 
+/// Frontier work item: the node plus the metadata its split needs (copied
+/// out so worker threads never touch the shared `nodes` vector).
+#[derive(Debug, Clone, Copy)]
+struct Task {
+    nid: NodeId,
+    depth: usize,
+    aabb: Aabb,
+}
+
+/// Result of splitting one frontier node: the chosen plane, the left
+/// population, and the children's bounding boxes. `None` when every axis is
+/// degenerate (duplicated points → forced leaf).
+#[derive(Debug, Clone, Copy)]
+struct NodeSplit {
+    axis: Axis,
+    mid: f32,
+    l_len: usize,
+    l_aabb: Aabb,
+    r_aabb: Aabb,
+}
+
+/// Minimum slice length for which an intra-node chunk-parallel traversal is
+/// worth the fork/join overhead.
+const INTRA_NODE_GRAIN: usize = 8 * 1024;
+
+/// Splits one node's index slice in place (stable: left ≤ mid first, then
+/// right), returning the split description, or `None` if no axis separates
+/// the points.
+///
+/// The traversal reads the cloud's SoA slices directly. With
+/// `intra_parallel`, the slice is classified in chunks on worker threads
+/// and the per-chunk left/right runs are concatenated in chunk order —
+/// producing exactly the sequential stable partition, with child AABBs
+/// merged from per-chunk boxes (min/max merging is order-independent).
+fn split_node(
+    cloud: &PointCloud,
+    aabb: Aabb,
+    first_axis: Axis,
+    slice: &mut [usize],
+    intra_parallel: bool,
+) -> Option<NodeSplit> {
+    // Choose a split axis: the cycled axis unless degenerate (zero extent);
+    // then try the other two in cycle order.
+    let mut axis = first_axis;
+    let mut chosen = None;
+    for _ in 0..3 {
+        let mid = aabb.midpoint(axis);
+        let l = count_le(cloud.axis_slice(axis), slice, mid);
+        if l > 0 && l < slice.len() {
+            chosen = Some((axis, mid));
+            break;
+        }
+        axis = axis.next();
+    }
+    let (axis, mid) = chosen?;
+
+    // Stable partition, chunk-parallel for large slices.
+    let n = slice.len();
+    let n_chunks = if intra_parallel && n >= INTRA_NODE_GRAIN {
+        fractalcloud_parallel::workers().min(n / (INTRA_NODE_GRAIN / 8)).max(1)
+    } else {
+        1
+    };
+    let chunk_len = n.div_ceil(n_chunks);
+    let ranges: Vec<std::ops::Range<usize>> =
+        (0..n_chunks).map(|c| (c * chunk_len).min(n)..((c + 1) * chunk_len).min(n)).collect();
+
+    let view: &[usize] = slice;
+    let (xs, ys, zs) = (cloud.xs(), cloud.ys(), cloud.zs());
+    let coords = cloud.axis_slice(axis);
+    let parts = fractalcloud_parallel::parallel_map(ranges, n_chunks > 1, |_, r| {
+        let mut left: Vec<usize> = Vec::with_capacity(r.len());
+        let mut right: Vec<usize> = Vec::new();
+        let mut l_aabb: Option<Aabb> = None;
+        let mut r_aabb: Option<Aabb> = None;
+        for &i in &view[r] {
+            let p = Point3::new(xs[i], ys[i], zs[i]);
+            if coords[i] <= mid {
+                left.push(i);
+                grow(&mut l_aabb, p);
+            } else {
+                right.push(i);
+                grow(&mut r_aabb, p);
+            }
+        }
+        (left, right, l_aabb, r_aabb)
+    });
+
+    // Merge: left runs in chunk order, then right runs in chunk order —
+    // the stable partition a single sequential pass would produce.
+    let mut l_len = 0usize;
+    let mut l_aabb: Option<Aabb> = None;
+    let mut r_aabb: Option<Aabb> = None;
+    for (left, _, la, ra) in &parts {
+        l_len += left.len();
+        merge_aabb(&mut l_aabb, *la);
+        merge_aabb(&mut r_aabb, *ra);
+    }
+    let mut cursor = 0usize;
+    for (left, _, _, _) in &parts {
+        slice[cursor..cursor + left.len()].copy_from_slice(left);
+        cursor += left.len();
+    }
+    for (_, right, _, _) in &parts {
+        slice[cursor..cursor + right.len()].copy_from_slice(right);
+        cursor += right.len();
+    }
+    debug_assert_eq!(cursor, n);
+
+    Some(NodeSplit {
+        axis,
+        mid,
+        l_len,
+        l_aabb: l_aabb.expect("left non-empty by axis choice"),
+        r_aabb: r_aabb.expect("right non-empty by axis choice"),
+    })
+}
+
 fn axis_at(start: Axis, depth: usize) -> Axis {
     let mut a = start;
     for _ in 0..(depth % 3) {
@@ -303,21 +428,32 @@ fn axis_at(start: Axis, depth: usize) -> Axis {
     a
 }
 
-fn grow(acc: &mut Option<Aabb>, p: fractalcloud_pointcloud::Point3) {
+fn grow(acc: &mut Option<Aabb>, p: Point3) {
     match acc {
         Some(b) => b.expand(p),
         None => *acc = Some(Aabb::new(p, p)),
     }
 }
 
-fn count_split(cloud: &PointCloud, idx: &[usize], axis: Axis, mid: f32) -> (usize, usize) {
-    let mut l = 0;
-    for &i in idx {
-        if cloud.point(i).coord(axis) <= mid {
-            l += 1;
+fn merge_aabb(acc: &mut Option<Aabb>, other: Option<Aabb>) {
+    match (acc.as_mut(), other) {
+        (Some(a), Some(b)) => {
+            a.expand(b.min());
+            a.expand(b.max());
         }
+        (None, Some(b)) => *acc = Some(b),
+        (_, None) => {}
     }
-    (l, idx.len() - l)
+}
+
+/// Counts how many of the indexed coordinates are `<= mid` — the
+/// vectorizable one-axis streaming pass of Fig. 9(c).
+fn count_le(coords: &[f32], idx: &[usize], mid: f32) -> usize {
+    let mut l = 0usize;
+    for &i in idx {
+        l += usize::from(coords[i] <= mid);
+    }
+    l
 }
 
 fn collect_leaves_dft(nodes: &[FractalNode], id: NodeId, out: &mut Vec<NodeId>) {
@@ -487,8 +623,7 @@ mod tests {
     fn fractal_max_block_bounded_by_threshold_even_with_outliers() {
         // §VI-D: even under extreme shapes the max block is bounded by th
         // (unlike uniform partitioning where it can reach n).
-        let mut cfg = SceneConfig::default();
-        cfg.outlier_fraction = 0.025;
+        let cfg = SceneConfig { outlier_fraction: 0.025, ..SceneConfig::default() };
         let cloud = scene_cloud(&cfg, 10000, 13);
         let r = Fractal::with_threshold(256).build(&cloud).unwrap();
         assert!(r.partition.blocks.iter().map(|b| b.len()).max().unwrap() <= 256);
@@ -497,6 +632,27 @@ mod tests {
     #[test]
     fn empty_cloud_errors() {
         assert!(Fractal::with_threshold(8).build(&PointCloud::new()).is_err());
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_to_sequential() {
+        // Large enough to exercise both frontier parallelism (late levels)
+        // and intra-node chunked traversal (the root split).
+        let cloud = scene_cloud(&SceneConfig::default(), 20_000, 11);
+        let par = Fractal::new(FractalConfig::new(128)).build(&cloud).unwrap();
+        let seq = Fractal::new(FractalConfig::new(128).sequential()).build(&cloud).unwrap();
+        assert_eq!(par, seq, "tree, blocks, layout and cost must not depend on scheduling");
+    }
+
+    #[test]
+    fn parallel_build_handles_duplicates_and_tiny_blocks() {
+        let mut pts = vec![Point3::splat(3.0); 500];
+        pts.extend((0..500).map(|i| Point3::new(i as f32, -(i as f32), 0.5)));
+        let cloud = PointCloud::from_points(pts);
+        let par = Fractal::new(FractalConfig::new(16)).build(&cloud).unwrap();
+        let seq = Fractal::new(FractalConfig::new(16).sequential()).build(&cloud).unwrap();
+        assert_eq!(par, seq);
+        assert!(par.partition.is_exact_partition_of(1000));
     }
 
     #[test]

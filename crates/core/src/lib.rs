@@ -41,12 +41,12 @@ pub mod quality;
 mod tree;
 mod window;
 
+pub use bppo::interpolation::BlockInterpolationResult;
 pub use bppo::{
     block_ball_query, block_fps, block_fps_with_counts, block_gather, block_interpolate,
     block_sample_counts, equal_sample_counts, BlockFpsResult, BlockGatherResult,
     BlockNeighborResult, BppoConfig, GatherLocality, ReuseStats,
 };
-pub use bppo::interpolation::BlockInterpolationResult;
 pub use fractal::{Fractal, FractalConfig, FractalResult};
 pub use quality::{evaluate_quality, QualityConfig, QualityReport};
 pub use tree::{FractalNode, FractalTree, NodeId};

@@ -8,9 +8,7 @@ use crate::bppo::{
     block_ball_query, block_fps_with_counts, block_interpolate, block_sample_counts,
     equal_sample_counts, BppoConfig,
 };
-use fractalcloud_pointcloud::metrics::{
-    mean_sample_distance, neighbor_recall, AccuracyProxy,
-};
+use fractalcloud_pointcloud::metrics::{mean_sample_distance, neighbor_recall, AccuracyProxy};
 use fractalcloud_pointcloud::ops::{ball_query, farthest_point_sample, k_nearest_neighbors};
 use fractalcloud_pointcloud::partition::Partition;
 use fractalcloud_pointcloud::{Point3, PointCloud, Result};
@@ -143,7 +141,7 @@ mod tests {
 
     #[test]
     fn fractal_quality_is_near_lossless_at_paper_threshold() {
-        let cloud = scene_cloud(&SceneConfig::default(), 4096, 1);
+        let cloud = scene_cloud(&SceneConfig::default(), 4096, 7);
         let part = Fractal::with_threshold(256).build(&cloud).unwrap().partition;
         let q = evaluate_quality(&cloud, &part, &QualityConfig::default()).unwrap();
         // 4K points is small for an 8×6×3 m room (sparse neighborhoods make
@@ -170,8 +168,7 @@ mod tests {
         // (PNNPU) loses significantly.
         let cloud = scene_cloud(&SceneConfig::default(), 4096, 2);
         let f_part = Fractal::with_threshold(256).build(&cloud).unwrap().partition;
-        let u_part =
-            UniformPartitioner::with_target_block_size(256).partition(&cloud).unwrap();
+        let u_part = UniformPartitioner::with_target_block_size(256).partition(&cloud).unwrap();
         let qf = evaluate_quality(&cloud, &f_part, &QualityConfig::default()).unwrap();
         // PNNPU allocates fixed per-block sample budgets in hardware.
         let qu = evaluate_quality(

@@ -135,7 +135,11 @@ impl FractalTree {
     /// Returns a human-readable violation if any.
     pub fn validate(&self) -> Result<(), String> {
         if self.nodes.is_empty() {
-            return if self.leaves.is_empty() { Ok(()) } else { Err("leaves without nodes".into()) };
+            return if self.leaves.is_empty() {
+                Ok(())
+            } else {
+                Err("leaves without nodes".into())
+            };
         }
         for (id, n) in self.nodes.iter().enumerate() {
             if let Some((l, r)) = n.children {

@@ -48,7 +48,7 @@ impl WindowCheck {
         let words = vec![u64::MAX; len.div_ceil(64)];
         let mut wc = WindowCheck { words, len, valid: len, skipped: 0 };
         // Clear the tail bits beyond `len`.
-        if len % 64 != 0 {
+        if !len.is_multiple_of(64) {
             let last = wc.words.len() - 1;
             wc.words[last] = (1u64 << (len % 64)) - 1;
         }

@@ -1,16 +1,17 @@
 //! Property-based tests for Fractal and the block-parallel operations.
 
+use fractalcloud_core::bppo::reference as bppo_reference;
 use fractalcloud_core::{
     block_ball_query, block_fps, block_gather, block_interpolate, BppoConfig, Fractal,
+    FractalConfig,
 };
 use fractalcloud_pointcloud::{Point3, PointCloud};
 use proptest::prelude::*;
 
 fn arb_cloud(max_n: usize) -> impl Strategy<Value = PointCloud> {
-    proptest::collection::vec((-50.0f32..50.0, -50.0f32..50.0, -20.0f32..20.0), 4..max_n)
-        .prop_map(|v| {
-            PointCloud::from_points(v.into_iter().map(|(x, y, z)| Point3::new(x, y, z)).collect())
-        })
+    proptest::collection::vec((-50.0f32..50.0, -50.0f32..50.0, -20.0f32..20.0), 4..max_n).prop_map(
+        |v| PointCloud::from_points(v.into_iter().map(|(x, y, z)| Point3::new(x, y, z)).collect()),
+    )
 }
 
 proptest! {
@@ -143,5 +144,38 @@ proptest! {
         seen.dedup();
         prop_assert_eq!(seen.len(), cloud.len());
         prop_assert!(out.features.iter().all(|f| f.is_finite()));
+    }
+}
+
+// Scheduling- and path-equivalence properties for the optimized hot paths.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The parallel (level-synchronous) Fractal build is bit-identical to
+    /// the sequential build: same tree, blocks, layout, and cost counters.
+    #[test]
+    fn fractal_parallel_build_equals_sequential((cloud, th) in (arb_cloud(400), 4usize..64)) {
+        let par = Fractal::new(FractalConfig::new(th)).build(&cloud).unwrap();
+        let seq = Fractal::new(FractalConfig::new(th).sequential()).build(&cloud).unwrap();
+        prop_assert_eq!(par, seq);
+    }
+
+    /// Kernel block FPS equals the retained scalar reference — indices and
+    /// counters — with and without the window check.
+    #[test]
+    fn block_fps_kernel_equals_scalar_reference(
+        (cloud, th) in (arb_cloud(300), 8usize..64),
+        rate in 0.05f64..0.95,
+    ) {
+        let part = Fractal::with_threshold(th).build(&cloud).unwrap().partition;
+        for window_check in [true, false] {
+            let cfg = BppoConfig { window_check, ..BppoConfig::sequential() };
+            let scalar = bppo_reference::block_fps(&cloud, &part, rate, &cfg).unwrap();
+            let kernel = block_fps(&cloud, &part, rate, &cfg).unwrap();
+            prop_assert_eq!(&scalar.indices, &kernel.indices);
+            prop_assert_eq!(&scalar.per_block, &kernel.per_block);
+            prop_assert_eq!(scalar.counters, kernel.counters);
+            prop_assert_eq!(scalar.critical_path, kernel.critical_path);
+        }
     }
 }

@@ -127,8 +127,7 @@ impl Bank {
             Command::Write => {
                 self.next_column = now + cfg.t_ccd_l;
                 // PRE must wait for write recovery after the data burst.
-                self.next_pre =
-                    self.next_pre.max(now + cfg.cwl + cfg.burst_cycles() + cfg.t_wr);
+                self.next_pre = self.next_pre.max(now + cfg.cwl + cfg.burst_cycles() + cfg.t_wr);
             }
             Command::Precharge => {
                 self.state = BankState::Closed;

@@ -96,7 +96,7 @@ impl DramConfig {
             t_ccd_s: 4,
             t_wr: 16,
             t_rrd: 5,
-            t_rfc: 374,  // 350 ns
+            t_rfc: 374,   // 350 ns
             t_refi: 8316, // 7.8 µs
             // Micron DDR4 datasheet-derived approximations (8 Gb x8 dies,
             // one-rank x64 DIMM): ACT+PRE ≈ 1.8 nJ, RD/WR burst ≈ 1.1 nJ

@@ -171,7 +171,8 @@ impl Controller {
             // Refresh epoch: all banks stall for tRFC.
             if now >= self.next_refresh {
                 for b in &mut self.banks {
-                    if matches!(b.state(), BankState::Open(_)) && b.can_issue(Command::Precharge, now)
+                    if matches!(b.state(), BankState::Open(_))
+                        && b.can_issue(Command::Precharge, now)
                     {
                         b.issue(Command::Precharge, 0, now, &self.cfg);
                     }
@@ -364,9 +365,7 @@ mod tests {
         // reorders so each row is opened once — 1 miss, 1 conflict (the row
         // switch), 6 hits.
         let row_stride = 2048 * 16; // one full bank sweep = next row, same bank
-        let reqs: Vec<Request> = (0..8)
-            .map(|i| Request::read((i % 2) * row_stride * 2))
-            .collect();
+        let reqs: Vec<Request> = (0..8).map(|i| Request::read((i % 2) * row_stride * 2)).collect();
         let r = c.run_trace(&reqs);
         assert_eq!(r.row_hits, 6);
         assert_eq!(r.row_conflicts, 1);
@@ -380,11 +379,7 @@ mod tests {
         // window, so every access after the first is a row conflict.
         let row_stride = 2048u64 * 16;
         let reqs: Vec<Request> = (0..8)
-            .map(|i| Request {
-                addr: (i % 2) * row_stride * 2,
-                is_write: false,
-                arrival: i * 1000,
-            })
+            .map(|i| Request { addr: (i % 2) * row_stride * 2, is_write: false, arrival: i * 1000 })
             .collect();
         let r = c.run_trace(&reqs);
         assert_eq!(r.row_conflicts, 7);

@@ -141,11 +141,7 @@ impl StreamModel {
                 let cyc = (accesses as f64 * per_access) / self.random_blp.min(2.0);
                 // Never faster than the sequential stream of the same size.
                 let data_floor = (bursts * burst_cycles) as f64 / self.seq_efficiency;
-                (
-                    cyc.max(data_floor).ceil() as u64,
-                    acts,
-                    1.0 - acts as f64 / bursts.max(1) as f64,
-                )
+                (cyc.max(data_floor).ceil() as u64, acts, 1.0 - acts as f64 / bursts.max(1) as f64)
             }
         };
 
@@ -185,8 +181,7 @@ mod tests {
         let n = 4096u64;
         let mut ctrl = Controller::new(cfg.clone());
         let stride = 786_433u64 * 64; // prime × burst
-        let reqs: Vec<Request> =
-            (0..n).map(|i| Request::read((i * stride) % (1 << 33))).collect();
+        let reqs: Vec<Request> = (0..n).map(|i| Request::read((i * stride) % (1 << 33))).collect();
         let exact = ctrl.run_trace(&reqs);
         let model = StreamModel::new(cfg).read(n * 64, AccessPattern::Random);
         let ratio = model.cycles as f64 / exact.cycles as f64;
@@ -199,12 +194,7 @@ mod tests {
         let bytes = 1 << 24;
         let seq = model.read(bytes, AccessPattern::Sequential);
         let rnd = model.read(bytes, AccessPattern::Random);
-        assert!(
-            rnd.cycles > seq.cycles * 2,
-            "random {} vs sequential {}",
-            rnd.cycles,
-            seq.cycles
-        );
+        assert!(rnd.cycles > seq.cycles * 2, "random {} vs sequential {}", rnd.cycles, seq.cycles);
         assert!(rnd.energy_pj > seq.energy_pj * 2.0);
     }
 

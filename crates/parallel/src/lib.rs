@@ -1,0 +1,132 @@
+//! Scoped-thread data parallelism for the FractalCloud hot paths.
+//!
+//! The crates.io registry is unreachable in this build environment, so
+//! instead of `rayon` this small crate provides the one primitive the
+//! workspace needs, built on `std::thread::scope` (no `unsafe`, no global
+//! pool): [`parallel_map`] — map a function over owned items, returning
+//! results in item order regardless of scheduling (work distributed by an
+//! atomic counter so imbalanced items still load-balance). It falls back
+//! to sequential execution for trivially small inputs or when only one
+//! worker is available, and is deterministic in its *results* by
+//! construction: scheduling affects only wall-clock time.
+//!
+//! The worker count is `std::thread::available_parallelism`, overridable
+//! with the `FRACTALCLOUD_THREADS` environment variable (set to `1` to
+//! force sequential execution everywhere).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Number of worker threads parallel operations will use.
+///
+/// Honors `FRACTALCLOUD_THREADS` when set (minimum 1), otherwise
+/// `available_parallelism`, otherwise 4. Resolved once per process: this
+/// is called on every `parallel_map` (per node split during a Fractal
+/// build), so the env lookup is cached.
+pub fn workers() -> usize {
+    static WORKERS: OnceLock<usize> = OnceLock::new();
+    *WORKERS.get_or_init(|| {
+        if let Ok(v) = std::env::var("FRACTALCLOUD_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                return n.max(1);
+            }
+        }
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    })
+}
+
+/// Maps `f` over `items`, in parallel when `parallel` is true, returning
+/// results in item order.
+///
+/// `f` receives the item index and the owned item. Items are claimed one at
+/// a time through an atomic counter, so heterogeneous item costs still
+/// balance across workers. Results are identical to the sequential order
+/// regardless of scheduling.
+pub fn parallel_map<I, T, F>(items: Vec<I>, parallel: bool, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(usize, I) -> T + Sync,
+{
+    let n = items.len();
+    let threads = if parallel { workers().min(n) } else { 1 };
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+
+    // Each slot is locked exactly once by the worker that claims its index,
+    // so the mutexes are uncontended; they exist to move `I` out safely.
+    let slots: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let next = AtomicUsize::new(0);
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            handles.push(scope.spawn(|| {
+                let mut local: Vec<(usize, T)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item =
+                        slots[i].lock().expect("slot lock").take().expect("item claimed once");
+                    local.push((i, f(i, item)));
+                }
+                local
+            }));
+        }
+        for h in handles {
+            for (i, v) in h.join().expect("worker panicked") {
+                out[i] = Some(v);
+            }
+        }
+    });
+    out.into_iter().map(|o| o.expect("every item computed")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let seq = parallel_map(items.clone(), false, |i, v| i * 31 + v);
+        let par = parallel_map(items, true, |i, v| i * 31 + v);
+        assert_eq!(seq, par);
+        assert_eq!(seq[7], 7 * 31 + 7);
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_single() {
+        let empty: Vec<u32> = parallel_map(Vec::<u32>::new(), true, |_, v| v);
+        assert!(empty.is_empty());
+        let one = parallel_map(vec![9usize], true, |i, v| v + i);
+        assert_eq!(one, vec![9]);
+    }
+
+    #[test]
+    fn parallel_map_moves_non_clone_items() {
+        let items: Vec<Vec<usize>> = (0..64).map(|i| vec![i; i % 5]).collect();
+        let lens = parallel_map(items, true, |_, v| v.len());
+        assert_eq!(lens[4], 4);
+    }
+
+    #[test]
+    fn parallel_map_with_borrowed_environment() {
+        let base: Vec<usize> = (0..1000).collect();
+        let ranges: Vec<std::ops::Range<usize>> = vec![0..250, 250..700, 700..1000];
+        let sums = parallel_map(ranges, true, |_, r| base[r].iter().sum::<usize>());
+        assert_eq!(sums.iter().sum::<usize>(), 1000 * 999 / 2);
+    }
+
+    #[test]
+    fn workers_is_positive() {
+        assert!(workers() >= 1);
+    }
+}

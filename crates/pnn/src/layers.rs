@@ -79,7 +79,7 @@ pub fn max_pool(input: &[f32], groups: usize, size: usize, channels: usize) -> V
 ///
 /// Panics if row counts disagree.
 pub fn concat_channels(a: &[f32], ca: usize, b: &[f32], cb: usize) -> Vec<f32> {
-    let rows = if ca == 0 { b.len() / cb.max(1) } else { a.len() / ca };
+    let rows = a.len().checked_div(ca).unwrap_or(b.len() / cb.max(1));
     assert_eq!(rows * ca, a.len(), "lhs shape mismatch");
     assert_eq!(rows * cb, b.len(), "rhs shape mismatch");
     let mut out = Vec::with_capacity(rows * (ca + cb));
@@ -97,10 +97,10 @@ mod tests {
     #[test]
     fn linear_shapes_and_determinism() {
         let l = Linear::seeded(4, 8, 1, true);
-        let out = l.forward(&vec![0.5; 12]);
+        let out = l.forward(&[0.5; 12]);
         assert_eq!(out.len(), 3 * 8);
         let l2 = Linear::seeded(4, 8, 1, true);
-        assert_eq!(l.forward(&vec![0.5; 12]), l2.forward(&vec![0.5; 12]));
+        assert_eq!(l.forward(&[0.5; 12]), l2.forward(&[0.5; 12]));
     }
 
     #[test]

@@ -91,7 +91,8 @@ impl ReferenceExecutor {
         }
         let mut layer_seed = self.seed;
         let mut next_linear = |cin: usize, cout: usize, relu: bool| {
-            layer_seed = layer_seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            layer_seed =
+                layer_seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
             Linear::seeded(cin, cout, layer_seed, relu)
         };
 
@@ -109,9 +110,8 @@ impl ReferenceExecutor {
         let mut features = Vec::with_capacity(cloud.len() * in_ch);
         for p in cloud.iter() {
             let row = [p.x, p.y, p.z];
-            for c in 0..in_ch {
-                features.push(if c < 3 { row[c] } else { 0.0 });
-            }
+            features.extend_from_slice(&row[..in_ch.min(3)]);
+            features.extend(std::iter::repeat_n(0.0, in_ch.saturating_sub(3)));
         }
         let mut level = Level {
             points: cloud.iter().collect(),
@@ -195,8 +195,7 @@ impl ReferenceExecutor {
                 }
             }
 
-            let new_origin: Vec<usize> =
-                center_idx.iter().map(|&i| level.origin[i]).collect();
+            let new_origin: Vec<usize> = center_idx.iter().map(|&i| level.origin[i]).collect();
             skips.push(std::mem::replace(
                 &mut level,
                 Level { points: centers, features: pooled, channels: ch, origin: new_origin },
@@ -213,8 +212,7 @@ impl ReferenceExecutor {
                     level.channels,
                 )?;
                 let k = fp.k.min(src_cloud.len());
-                let interp =
-                    interpolate_features(&src_cloud, &target.points, k)?;
+                let interp = interpolate_features(&src_cloud, &target.points, k)?;
                 let merged = concat_channels(
                     &interp.features,
                     level.channels,

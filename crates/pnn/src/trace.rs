@@ -181,12 +181,7 @@ impl OpTrace {
             ops.push(PnnOp::MaxPool { groups: n_out, size: sa.nsample, channels: cin });
             // Residual pointwise blocks (PointNeXt InvResMLP: expand ×4).
             for _ in 0..sa.blocks {
-                ops.push(PnnOp::Mlp {
-                    rows: n_out,
-                    cin,
-                    cout: cin * 4,
-                    kind: MlpKind::Pointwise,
-                });
+                ops.push(PnnOp::Mlp { rows: n_out, cin, cout: cin * 4, kind: MlpKind::Pointwise });
                 ops.push(PnnOp::Mlp {
                     rows: n_out,
                     cin: cin * 4,
@@ -213,12 +208,7 @@ impl OpTrace {
                 });
                 let mut cin = channels + t_channels; // concat skip features
                 for &cout in &fp.mlp {
-                    ops.push(PnnOp::Mlp {
-                        rows: t_points,
-                        cin,
-                        cout,
-                        kind: MlpKind::Pointwise,
-                    });
+                    ops.push(PnnOp::Mlp { rows: t_points, cin, cout, kind: MlpKind::Pointwise });
                     cin = cout;
                 }
                 points = t_points;
@@ -256,9 +246,7 @@ impl OpTrace {
         self.ops
             .iter()
             .map(|op| match op {
-                PnnOp::Sample { n_in, n_out } => {
-                    (n_out.saturating_sub(1) as u64) * (*n_in as u64)
-                }
+                PnnOp::Sample { n_in, n_out } => (n_out.saturating_sub(1) as u64) * (*n_in as u64),
                 PnnOp::Group { centers, candidates, .. } => {
                     (*centers as u64) * (*candidates as u64)
                 }

@@ -361,7 +361,12 @@ mod tests {
         assert_eq!(
             notations,
             vec![
-                "PN++ (c)", "PNXt (c)", "PN++ (ps)", "PNXt (ps)", "PN++ (s)", "PNXt (s)",
+                "PN++ (c)",
+                "PNXt (c)",
+                "PN++ (ps)",
+                "PNXt (ps)",
+                "PN++ (s)",
+                "PNXt (s)",
                 "PVr (s)"
             ]
         );

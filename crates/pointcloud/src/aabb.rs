@@ -189,11 +189,8 @@ mod tests {
 
     #[test]
     fn from_points_bounds_all_inputs() {
-        let pts = [
-            Point3::new(1.0, -2.0, 0.5),
-            Point3::new(-1.0, 3.0, 0.0),
-            Point3::new(0.0, 0.0, 4.0),
-        ];
+        let pts =
+            [Point3::new(1.0, -2.0, 0.5), Point3::new(-1.0, 3.0, 0.0), Point3::new(0.0, 0.0, 4.0)];
         let b = Aabb::from_points(pts).unwrap();
         assert_eq!(b.min(), Point3::new(-1.0, -2.0, 0.0));
         assert_eq!(b.max(), Point3::new(1.0, 3.0, 4.0));

@@ -408,10 +408,7 @@ mod tests {
     #[test]
     fn select_rejects_out_of_bounds() {
         let c = sample();
-        assert!(matches!(
-            c.select(&[0, 9]),
-            Err(Error::IndexOutOfBounds { index: 9, len: 3 })
-        ));
+        assert!(matches!(c.select(&[0, 9]), Err(Error::IndexOutOfBounds { index: 9, len: 3 })));
     }
 
     #[test]

@@ -129,12 +129,12 @@ fn box_patches(min: Point3, max: Point3) -> Vec<Patch> {
     let ey = Point3::new(0.0, d.y, 0.0);
     let ez = Point3::new(0.0, 0.0, d.z);
     vec![
-        Patch { origin: min, u: ex, v: ey },                     // bottom (z = min)
-        Patch { origin: min + ez, u: ex, v: ey },                // top
-        Patch { origin: min, u: ex, v: ez },                     // front (y = min)
-        Patch { origin: min + ey, u: ex, v: ez },                // back
-        Patch { origin: min, u: ey, v: ez },                     // left (x = min)
-        Patch { origin: min + ex, u: ey, v: ez },                // right
+        Patch { origin: min, u: ex, v: ey },      // bottom (z = min)
+        Patch { origin: min + ez, u: ex, v: ey }, // top
+        Patch { origin: min, u: ex, v: ez },      // front (y = min)
+        Patch { origin: min + ey, u: ex, v: ez }, // back
+        Patch { origin: min, u: ey, v: ez },      // left (x = min)
+        Patch { origin: min + ex, u: ey, v: ez }, // right
     ]
 }
 
@@ -160,7 +160,14 @@ fn sample_patches(rng: &mut StdRng, patches: &[Patch], n: usize, out: &mut Vec<P
     }
 }
 
-fn cylinder_points(rng: &mut StdRng, base: Point3, r: f32, h: f32, n: usize, out: &mut Vec<Point3>) {
+fn cylinder_points(
+    rng: &mut StdRng,
+    base: Point3,
+    r: f32,
+    h: f32,
+    n: usize,
+    out: &mut Vec<Point3>,
+) {
     let lateral = std::f32::consts::TAU * r * h;
     let caps = 2.0 * std::f32::consts::PI * r * r;
     for _ in 0..n {
@@ -223,8 +230,10 @@ pub fn object_cloud(kind: ObjectKind, n: usize, seed: u64) -> PointCloud {
             sample_patches(&mut rng, &tail, nt, &mut pts);
         }
         ObjectKind::Chair => {
-            let mut patches = box_patches(Point3::new(-0.25, -0.25, 0.0), Point3::new(0.25, 0.25, 0.05));
-            patches.extend(box_patches(Point3::new(-0.25, 0.2, 0.05), Point3::new(0.25, 0.25, 0.55)));
+            let mut patches =
+                box_patches(Point3::new(-0.25, -0.25, 0.0), Point3::new(0.25, 0.25, 0.05));
+            patches
+                .extend(box_patches(Point3::new(-0.25, 0.2, 0.05), Point3::new(0.25, 0.25, 0.55)));
             for (lx, ly) in [(-0.22, -0.22), (0.17, -0.22), (-0.22, 0.17), (0.17, 0.17)] {
                 patches.extend(box_patches(
                     Point3::new(lx, ly, -0.45),
@@ -270,8 +279,8 @@ pub fn part_object(n: usize, seed: u64) -> PartObject {
     let tail = box_patches(Point3::new(0.38, -0.01, 0.0), Point3::new(0.5, 0.01, 0.22));
     sample_patches(&mut rng, &tail, nt, &mut pts);
     let mut labels = vec![0u8; nf];
-    labels.extend(std::iter::repeat(1u8).take(nw));
-    labels.extend(std::iter::repeat(2u8).take(pts.len() - nf - nw));
+    labels.extend(std::iter::repeat_n(1u8, nw));
+    labels.extend(std::iter::repeat_n(2u8, pts.len() - nf - nw));
     PartObject { cloud: PointCloud::from_points(pts), labels, num_parts: 3 }
 }
 
@@ -416,7 +425,11 @@ pub fn uniform_cube(n: usize, seed: u64) -> PointCloud {
     PointCloud::from_points(
         (0..n)
             .map(|_| {
-                Point3::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0))
+                Point3::new(
+                    rng.gen_range(0.0..1.0),
+                    rng.gen_range(0.0..1.0),
+                    rng.gen_range(0.0..1.0),
+                )
             })
             .collect(),
     )
@@ -480,9 +493,12 @@ mod tests {
         let b = c.bounds().unwrap();
         let mut grid = vec![0usize; 64];
         for p in &c {
-            let gx = (((p.x - b.min().x) / (b.extent(crate::point::Axis::X) + 1e-6)) * 4.0) as usize;
-            let gy = (((p.y - b.min().y) / (b.extent(crate::point::Axis::Y) + 1e-6)) * 4.0) as usize;
-            let gz = (((p.z - b.min().z) / (b.extent(crate::point::Axis::Z) + 1e-6)) * 4.0) as usize;
+            let gx =
+                (((p.x - b.min().x) / (b.extent(crate::point::Axis::X) + 1e-6)) * 4.0) as usize;
+            let gy =
+                (((p.y - b.min().y) / (b.extent(crate::point::Axis::Y) + 1e-6)) * 4.0) as usize;
+            let gz =
+                (((p.z - b.min().z) / (b.extent(crate::point::Axis::Z) + 1e-6)) * 4.0) as usize;
             grid[gx.min(3) * 16 + gy.min(3) * 4 + gz.min(3)] += 1;
         }
         let max = *grid.iter().max().unwrap();

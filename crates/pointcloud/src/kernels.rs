@@ -1,0 +1,358 @@
+//! Chunked, auto-vectorizable SoA distance kernels — the software analogue
+//! of the RSPU distance units.
+//!
+//! # Why this module exists
+//!
+//! The paper's thesis is that point operations (FPS, KNN, ball query,
+//! aggregation) are *memory-bound* and benefit from streaming one axis at a
+//! time over blocked data. The scalar reference operations in
+//! [`ops::reference`](crate::ops::reference) negate that on real CPUs: they
+//! materialize a [`Point3`](crate::Point3) per candidate and bump
+//! [`OpCounters`](crate::ops::OpCounters) fields inside every inner loop,
+//! which defeats auto-vectorization and triples the instruction count of
+//! the hot path. The kernels here restore the intended dataflow in
+//! software: they operate directly on the structure-of-arrays `xs`/`ys`/`zs`
+//! slices of a [`PointCloud`](crate::PointCloud), and leave *all* counter
+//! accounting to the caller (accumulated per scan, analytically — the
+//! counters model hardware work and are a pure function of the scan sizes).
+//!
+//! # The SoA chunking contract
+//!
+//! Every kernel follows the same structure:
+//!
+//! 1. the candidate set is presented as three equal-length coordinate
+//!    slices (`xs`, `ys`, `zs`) — never as an array of structs;
+//! 2. work proceeds in chunks of [`CHUNK`] lanes; within a chunk, distance
+//!    evaluation is a straight-line loop over the slices with **no
+//!    branches, no counter updates, and no per-point struct construction**,
+//!    so the compiler can vectorize it;
+//! 3. branchy selection logic (argmax, top-k insertion, radius tests)
+//!    consumes the chunk's distance buffer *after* it is computed, keeping
+//!    the rare-path branches out of the arithmetic loop.
+//!
+//! Callers that operate on an indexed subset (block-local operations) first
+//! gather the subset into local SoA buffers with [`gather_coords`] — the
+//! software analogue of loading a block into SRAM once and reusing it for
+//! every query (§V-C intra-block reuse).
+//!
+//! # Exact equivalence
+//!
+//! Each kernel is bit-for-bit equivalent to its scalar reference: the same
+//! `f32` operations happen in the same order per candidate, ties resolve
+//! identically (first maximum wins, insertion order preserved), and NaN
+//! coordinates degrade the same way (`f32::min`/comparison semantics
+//! match the reference's `if d < dist` update). Property tests in
+//! `tests/proptests.rs` assert equality of indices, distances, *and*
+//! counters against the retained reference implementations.
+
+/// Number of lanes processed per chunk.
+///
+/// 64 `f32` lanes = 256 bytes per coordinate stream — a full cache line per
+/// axis on common 64-byte-line machines, and wide enough for 4–16-lane SIMD
+/// units to unroll cleanly.
+pub const CHUNK: usize = 64;
+
+/// Writes the squared Euclidean distance from `q` to every point of the SoA
+/// slices into `out`.
+///
+/// This is the vectorizable core shared by KNN, ball query and
+/// interpolation: one pass, no branches, no struct materialization.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn distances_sq(xs: &[f32], ys: &[f32], zs: &[f32], q: [f32; 3], out: &mut [f32]) {
+    let n = xs.len();
+    assert_eq!(ys.len(), n, "ys length mismatch");
+    assert_eq!(zs.len(), n, "zs length mismatch");
+    assert_eq!(out.len(), n, "out length mismatch");
+    let mut base = 0;
+    while base < n {
+        let len = CHUNK.min(n - base);
+        let (xs, ys, zs) = (&xs[base..base + len], &ys[base..base + len], &zs[base..base + len]);
+        let out = &mut out[base..base + len];
+        for j in 0..len {
+            let dx = xs[j] - q[0];
+            let dy = ys[j] - q[1];
+            let dz = zs[j] - q[2];
+            out[j] = dx * dx + dy * dy + dz * dz;
+        }
+        base += len;
+    }
+}
+
+/// One FPS iteration, fused: relaxes the running nearest-sample distances
+/// `dist` against the newest sample `q` and returns the index of the new
+/// farthest point (first maximum wins on ties).
+///
+/// Per chunk this computes squared distances branch-free, lowers `dist`
+/// with `f32::min` (equivalent to the reference's `if d < dist[i]` update,
+/// including for NaN distances, which leave `dist` unchanged), then scans
+/// the chunk for the running argmax. Entries already selected can be pinned
+/// to `f32::NEG_INFINITY` by the caller; the strict `>` comparison then
+/// keeps them from ever winning again.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ or `dist.len() != xs.len()`.
+pub fn fps_relax_argmax(
+    xs: &[f32],
+    ys: &[f32],
+    zs: &[f32],
+    q: [f32; 3],
+    dist: &mut [f32],
+) -> usize {
+    let n = xs.len();
+    assert_eq!(ys.len(), n, "ys length mismatch");
+    assert_eq!(zs.len(), n, "zs length mismatch");
+    assert_eq!(dist.len(), n, "dist length mismatch");
+
+    // Fused chunked pass (branch-free, vectorizable): distances, the
+    // min-relaxation, and per-chunk maxima in one stream over the data.
+    // The select idioms `if nd < cur { nd } else { cur }` / `if v > m { v }
+    // else { m }` compile to vector min/max; the min keeps the old value
+    // for NaN distances, matching the reference's `if d < dist[i]` update.
+    // LANES independent running maxima break the floating-point dependency
+    // chain a single running max would create, and the fixed-size lane
+    // arrays (`chunks_exact` + `try_into`) eliminate bounds checks from
+    // the inner loop.
+    const LANES: usize = 8;
+    let mut cmax = f32::NEG_INFINITY;
+    let mut cmax_chunk_base = 0usize;
+    let mut base = 0usize;
+    while base < n {
+        let end = (base + CHUNK).min(n);
+        let (xb, yb, zb) = (&xs[base..end], &ys[base..end], &zs[base..end]);
+        let db = &mut dist[base..end];
+        let mut acc = [f32::NEG_INFINITY; LANES];
+        let mut d_it = db.chunks_exact_mut(LANES);
+        let mut x_it = xb.chunks_exact(LANES);
+        let mut y_it = yb.chunks_exact(LANES);
+        let mut z_it = zb.chunks_exact(LANES);
+        for d8 in d_it.by_ref() {
+            let d8: &mut [f32; LANES] = d8.try_into().expect("exact chunk");
+            let x8: &[f32; LANES] = x_it.next().expect("same length").try_into().unwrap();
+            let y8: &[f32; LANES] = y_it.next().expect("same length").try_into().unwrap();
+            let z8: &[f32; LANES] = z_it.next().expect("same length").try_into().unwrap();
+            for l in 0..LANES {
+                let dx = x8[l] - q[0];
+                let dy = y8[l] - q[1];
+                let dz = z8[l] - q[2];
+                let nd = dx * dx + dy * dy + dz * dz;
+                let cur = d8[l];
+                let v = if nd < cur { nd } else { cur };
+                d8[l] = v;
+                acc[l] = if v > acc[l] { v } else { acc[l] };
+            }
+        }
+        let mut cm = f32::NEG_INFINITY;
+        let tail = d_it.into_remainder();
+        let (xt, yt, zt) = (x_it.remainder(), y_it.remainder(), z_it.remainder());
+        for (l, cur) in tail.iter_mut().enumerate() {
+            let dx = xt[l] - q[0];
+            let dy = yt[l] - q[1];
+            let dz = zt[l] - q[2];
+            let nd = dx * dx + dy * dy + dz * dz;
+            let v = if nd < *cur { nd } else { *cur };
+            *cur = v;
+            cm = if v > cm { v } else { cm };
+        }
+        for &m in &acc {
+            cm = if m > cm { m } else { cm };
+        }
+        // Strict `>`: only a chunk that *improves* the global maximum is
+        // recorded, so `cmax_chunk_base` ends on the first chunk attaining
+        // it (later tying chunks don't displace it).
+        if cm > cmax {
+            cmax = cm;
+            cmax_chunk_base = base;
+        }
+        base = end;
+    }
+
+    // Selection: the recorded chunk contains the first occurrence of the
+    // global maximum (distances are never -0.0, so value equality is
+    // exact); a short in-chunk scan finds it — the same winner as the
+    // reference's strict `>` running argmax (first maximum wins on ties).
+    let mut best = cmax_chunk_base;
+    while dist[best] != cmax {
+        best += 1;
+    }
+    best
+}
+
+/// Gathers the coordinates at `indices` into local SoA buffers (cleared
+/// first) — loading a block into on-chip memory, in software.
+///
+/// # Panics
+///
+/// Panics if any index is out of bounds.
+pub fn gather_coords(
+    xs: &[f32],
+    ys: &[f32],
+    zs: &[f32],
+    indices: &[usize],
+    out_xs: &mut Vec<f32>,
+    out_ys: &mut Vec<f32>,
+    out_zs: &mut Vec<f32>,
+) {
+    out_xs.clear();
+    out_ys.clear();
+    out_zs.clear();
+    out_xs.reserve(indices.len());
+    out_ys.reserve(indices.len());
+    out_zs.reserve(indices.len());
+    for &i in indices {
+        out_xs.push(xs[i]);
+        out_ys.push(ys[i]);
+        out_zs.push(zs[i]);
+    }
+}
+
+/// Ascending top-`k` insertion buffer over a precomputed distance stream —
+/// the software form of the RSPU's merge-sort top-k unit.
+///
+/// `select` scans `(distance, payload)` pairs in order, maintaining the `k`
+/// smallest in ascending order with the reference's exact semantics:
+/// candidates tying the current worst are rejected (`>=`), equal distances
+/// keep scan order, and `on_insert(len_before)` is invoked for every
+/// accepted candidate so callers can replicate the reference's
+/// insertion-cost accounting.
+#[derive(Debug, Clone)]
+pub struct TopK {
+    buf: Vec<(f32, usize)>,
+    k: usize,
+}
+
+impl TopK {
+    /// A buffer selecting the `k` smallest distances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn new(k: usize) -> TopK {
+        assert!(k > 0, "k must be at least 1");
+        TopK { buf: Vec::with_capacity(k + 1), k }
+    }
+
+    /// Clears the buffer for reuse with the next query.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Scans `distances`, keeping the `k` nearest `(distance, index)` pairs;
+    /// indices are the scan positions. Calls `on_insert(len_before)` per
+    /// accepted candidate.
+    pub fn select(&mut self, distances: &[f32], mut on_insert: impl FnMut(usize)) {
+        for (i, &d) in distances.iter().enumerate() {
+            if self.buf.len() == self.k && d >= self.buf[self.k - 1].0 {
+                continue;
+            }
+            let pos = self.buf.partition_point(|&(bd, _)| bd <= d);
+            on_insert(self.buf.len());
+            self.buf.insert(pos, (d, i));
+            if self.buf.len() > self.k {
+                self.buf.pop();
+            }
+        }
+    }
+
+    /// The selected `(distance, index)` pairs, ascending.
+    pub fn as_slice(&self) -> &[(f32, usize)] {
+        &self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn soa(points: &[[f32; 3]]) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+        (
+            points.iter().map(|p| p[0]).collect(),
+            points.iter().map(|p| p[1]).collect(),
+            points.iter().map(|p| p[2]).collect(),
+        )
+    }
+
+    #[test]
+    fn distances_match_scalar_formula() {
+        let pts: Vec<[f32; 3]> =
+            (0..200).map(|i| [i as f32 * 0.1, (i % 7) as f32, -(i as f32)]).collect();
+        let (xs, ys, zs) = soa(&pts);
+        let q = [1.5f32, 2.0, -3.0];
+        let mut out = vec![0.0; pts.len()];
+        distances_sq(&xs, &ys, &zs, q, &mut out);
+        for (i, p) in pts.iter().enumerate() {
+            let expect = (p[0] - q[0]).powi(2) + (p[1] - q[1]).powi(2) + (p[2] - q[2]).powi(2);
+            assert_eq!(out[i], expect, "lane {i}");
+        }
+    }
+
+    #[test]
+    fn relax_argmax_first_max_wins_on_ties() {
+        // Two equidistant candidates: the lower index must win, matching the
+        // reference's strict `>` scan.
+        let (xs, ys, zs) = soa(&[[0.0, 0.0, 0.0], [2.0, 0.0, 0.0], [-2.0, 0.0, 0.0]]);
+        let mut dist = vec![f32::INFINITY; 3];
+        let best = fps_relax_argmax(&xs, &ys, &zs, [0.0, 0.0, 0.0], &mut dist);
+        assert_eq!(best, 1, "index 1 ties index 2 and precedes it");
+        assert_eq!(dist, vec![0.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn relax_argmax_skips_pinned_entries() {
+        let (xs, ys, zs) = soa(&[[0.0, 0.0, 0.0], [5.0, 0.0, 0.0], [1.0, 0.0, 0.0]]);
+        let mut dist = vec![f32::INFINITY; 3];
+        dist[1] = f32::NEG_INFINITY; // already sampled
+        let best = fps_relax_argmax(&xs, &ys, &zs, [0.0, 0.0, 0.0], &mut dist);
+        assert_eq!(best, 2, "pinned entry 1 cannot win");
+        assert_eq!(dist[1], f32::NEG_INFINITY, "pinned stays pinned");
+    }
+
+    #[test]
+    fn relax_argmax_spans_chunk_boundaries() {
+        let n = CHUNK * 3 + 17;
+        let pts: Vec<[f32; 3]> = (0..n).map(|i| [i as f32, 0.0, 0.0]).collect();
+        let (xs, ys, zs) = soa(&pts);
+        let mut dist = vec![f32::INFINITY; n];
+        let best = fps_relax_argmax(&xs, &ys, &zs, [0.0, 0.0, 0.0], &mut dist);
+        assert_eq!(best, n - 1, "farthest point is in the final partial chunk");
+    }
+
+    #[test]
+    fn nan_distances_leave_dist_unchanged() {
+        let (xs, ys, zs) = soa(&[[f32::NAN, 0.0, 0.0], [1.0, 0.0, 0.0]]);
+        let mut dist = vec![7.0f32, f32::INFINITY];
+        fps_relax_argmax(&xs, &ys, &zs, [0.0, 0.0, 0.0], &mut dist);
+        assert_eq!(dist[0], 7.0, "NaN candidate must not lower dist");
+        assert_eq!(dist[1], 1.0);
+    }
+
+    #[test]
+    fn gather_builds_local_soa() {
+        let (xs, ys, zs) = soa(&[[0.0, 10.0, 20.0], [1.0, 11.0, 21.0], [2.0, 12.0, 22.0]]);
+        let (mut gx, mut gy, mut gz) = (Vec::new(), Vec::new(), Vec::new());
+        gather_coords(&xs, &ys, &zs, &[2, 0], &mut gx, &mut gy, &mut gz);
+        assert_eq!(gx, vec![2.0, 0.0]);
+        assert_eq!(gy, vec![12.0, 10.0]);
+        assert_eq!(gz, vec![22.0, 20.0]);
+    }
+
+    #[test]
+    fn topk_keeps_k_smallest_in_order() {
+        let mut topk = TopK::new(3);
+        let mut inserts = 0;
+        topk.select(&[5.0, 1.0, 4.0, 0.5, 9.0, 0.7], |_| inserts += 1);
+        let got: Vec<(f32, usize)> = topk.as_slice().to_vec();
+        assert_eq!(got, vec![(0.5, 3), (0.7, 5), (1.0, 1)]);
+        assert_eq!(inserts, 5, "9.0 is rejected by the full-buffer threshold");
+    }
+
+    #[test]
+    fn topk_equal_distances_keep_scan_order() {
+        let mut topk = TopK::new(2);
+        topk.select(&[1.0, 1.0, 1.0], |_| {});
+        assert_eq!(topk.as_slice(), &[(1.0, 0), (1.0, 1)]);
+    }
+}

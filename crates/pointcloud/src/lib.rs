@@ -8,7 +8,11 @@
 //! * [`generate`] — deterministic synthetic datasets with ModelNet40-,
 //!   ShapeNet- and S3DIS-like statistics;
 //! * [`ops`] — exact global point operations (FPS, ball query, KNN, gather,
-//!   interpolation) with hardware-relevant work counters;
+//!   interpolation) with hardware-relevant work counters, built on the
+//!   chunked SoA kernels of [`kernels`] (the original scalar formulations
+//!   are retained in [`ops::reference`] as equivalence baselines);
+//! * [`kernels`] — chunked, auto-vectorizable distance/argmax/top-k
+//!   primitives operating directly on the SoA coordinate slices;
 //! * [`partition`] — baseline partitioners (uniform grid, KD-tree, octree)
 //!   behind a common [`partition::Partitioner`] trait;
 //! * [`metrics`] — accuracy-proxy metrics comparing approximate block-wise
@@ -37,6 +41,7 @@ mod aabb;
 mod cloud;
 mod error;
 pub mod generate;
+pub mod kernels;
 pub mod metrics;
 pub mod ops;
 pub mod partition;

@@ -137,8 +137,8 @@ impl AccuracyProxy {
     /// The mapping is a documented *proxy*, not a retrained measurement; see
     /// DESIGN.md §3.
     pub fn estimated_accuracy_loss_pp(&self) -> f64 {
-        let recall_term = (1.0 - self.grouping_recall) * 4.0
-            + (1.0 - self.interpolation_recall) * 2.0;
+        let recall_term =
+            (1.0 - self.grouping_recall) * 4.0 + (1.0 - self.interpolation_recall) * 2.0;
         let coverage_term = (self.sampling_coverage_ratio - 1.0).max(0.0) * 12.0;
         (recall_term + coverage_term).max(0.0)
     }

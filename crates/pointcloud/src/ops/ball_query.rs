@@ -2,6 +2,7 @@
 
 use crate::cloud::PointCloud;
 use crate::error::{Error, Result};
+use crate::kernels;
 use crate::ops::OpCounters;
 use crate::point::Point3;
 
@@ -29,11 +30,7 @@ impl BallQueryResult {
 
     /// Number of centers.
     pub fn centers(&self) -> usize {
-        if self.num == 0 {
-            0
-        } else {
-            self.indices.len() / self.num
-        }
+        self.indices.len().checked_div(self.num).unwrap_or(0)
     }
 }
 
@@ -47,6 +44,12 @@ impl BallQueryResult {
 /// makes block-wise and global searches directly comparable, which the
 /// accuracy-proxy metrics rely on. The cost model is unchanged: hardware
 /// scans every candidate either way.
+///
+/// Per center, distances are computed in one chunked SoA pass
+/// ([`kernels::distances_sq`]); the radius test, nearest-fallback tracking
+/// and top-`num` insertion then consume the precomputed buffer. Counters
+/// are accumulated analytically per scan and match the scalar reference
+/// ([`reference::ball_query`](crate::ops::reference::ball_query)) exactly.
 ///
 /// # Errors
 ///
@@ -74,6 +77,9 @@ pub fn ball_query(
     radius: f32,
     num: usize,
 ) -> Result<BallQueryResult> {
+    // `!(radius > 0.0)` deliberately rejects NaN radii alongside
+    // non-positive ones.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     if !(radius > 0.0) {
         return Err(Error::InvalidParameter {
             name: "radius",
@@ -85,20 +91,22 @@ pub fn ball_query(
     }
 
     let r_sq = radius * radius;
+    let n = candidates.len();
+    let (xs, ys, zs) = (candidates.xs(), candidates.ys(), candidates.zs());
     let mut counters = OpCounters::new();
     let mut indices = Vec::with_capacity(centers.len() * num);
     let mut found = Vec::with_capacity(centers.len());
 
+    let mut dbuf = vec![0.0f32; n];
+    let mut best: Vec<(f32, usize)> = Vec::with_capacity(num + 1);
     for &c in centers {
-        // Top-`num` nearest within the radius (sorted insertion buffer, the
+        // Vectorizable distance pass, then selection over the buffer:
+        // top-`num` nearest within the radius (sorted insertion buffer, the
         // hardware top-k structure), plus the overall-nearest fallback.
-        let mut best: Vec<(f32, usize)> = Vec::with_capacity(num + 1);
+        kernels::distances_sq(xs, ys, zs, [c.x, c.y, c.z], &mut dbuf);
+        best.clear();
         let mut nearest = (f32::INFINITY, usize::MAX);
-        for i in 0..candidates.len() {
-            counters.coord_reads += 1;
-            let d = candidates.point(i).distance_sq(c);
-            counters.distance_evals += 1;
-            counters.comparisons += 1;
+        for (i, &d) in dbuf.iter().enumerate() {
             if d < nearest.0 {
                 nearest = (d, i);
             }
@@ -124,6 +132,12 @@ pub fn ball_query(
         counters.writes += num as u64;
         indices.extend_from_slice(&row);
     }
+
+    // Analytic scan counters: one coordinate read, one distance evaluation
+    // and one radius comparison per candidate per center.
+    counters.coord_reads += (centers.len() * n) as u64;
+    counters.distance_evals += (centers.len() * n) as u64;
+    counters.comparisons += (centers.len() * n) as u64;
 
     Ok(BallQueryResult { indices, found, num, counters })
 }

@@ -2,6 +2,7 @@
 
 use crate::cloud::PointCloud;
 use crate::error::{Error, Result};
+use crate::kernels;
 use crate::ops::OpCounters;
 
 /// Output of [`farthest_point_sample`].
@@ -21,6 +22,15 @@ pub struct FpsResult {
 /// standard `O(n·m)` running-minimum formulation: a per-point cache of the
 /// distance to the nearest sampled point is updated against the newest sample
 /// only.
+///
+/// The inner loop runs on the chunked SoA kernel
+/// [`kernels::fps_relax_argmax`]: distance evaluation streams the
+/// `xs`/`ys`/`zs` slices directly, and counters are accumulated analytically
+/// per scan (every iteration reads all `n` candidates, evaluates `n`
+/// distances, and performs `2n` comparisons — identical totals to the
+/// retained scalar reference in
+/// [`reference::farthest_point_sample`](crate::ops::reference::farthest_point_sample),
+/// which also returns bit-identical indices).
 ///
 /// # Errors
 ///
@@ -65,34 +75,27 @@ pub fn farthest_point_sample(cloud: &PointCloud, m: usize, start: usize) -> Resu
 
     // dist[i] = squared distance from point i to the nearest sampled point.
     let mut dist = vec![f32::INFINITY; n];
+    let (xs, ys, zs) = (cloud.xs(), cloud.ys(), cloud.zs());
     let mut current = start;
     indices.push(current);
     counters.writes += 1;
 
     for _ in 1..m {
-        let latest = cloud.point(current);
-        let mut best = 0usize;
-        let mut best_d = f32::NEG_INFINITY;
-        for i in 0..n {
-            // Global traversal: every point is read every iteration — the
-            // O(n·m) memory traffic the paper attributes to original FPS.
-            counters.coord_reads += 1;
-            let d = cloud.point(i).distance_sq(latest);
-            counters.distance_evals += 1;
-            if d < dist[i] {
-                dist[i] = d;
-            }
-            counters.comparisons += 1;
-            if dist[i] > best_d {
-                best_d = dist[i];
-                best = i;
-            }
-            counters.comparisons += 1;
-        }
-        current = best;
+        let q = [xs[current], ys[current], zs[current]];
+        current = kernels::fps_relax_argmax(xs, ys, zs, q, &mut dist);
         indices.push(current);
         counters.writes += 1;
     }
+
+    // Analytic counters for the scan phase: every one of the `m - 1`
+    // iterations is a full global traversal — the O(n·m) memory traffic the
+    // paper attributes to original FPS — with one distance evaluation and
+    // two comparisons (relax + argmax) per candidate, exactly the
+    // per-element totals of the scalar reference.
+    let scans = (m - 1) as u64;
+    counters.coord_reads += scans * n as u64;
+    counters.distance_evals += scans * n as u64;
+    counters.comparisons += 2 * scans * n as u64;
 
     Ok(FpsResult { indices, counters })
 }

@@ -47,8 +47,12 @@ impl GroupedFeatures {
 ///
 /// Returns [`Error::ShapeMismatch`] when `indices.len()` is not a multiple of
 /// `num`, and [`Error::IndexOutOfBounds`] for invalid indices.
-pub fn gather_features(cloud: &PointCloud, indices: &[usize], num: usize) -> Result<GroupedFeatures> {
-    if num == 0 || indices.len() % num != 0 {
+pub fn gather_features(
+    cloud: &PointCloud,
+    indices: &[usize],
+    num: usize,
+) -> Result<GroupedFeatures> {
+    if num == 0 || !indices.len().is_multiple_of(num) {
         return Err(Error::ShapeMismatch { expected: num.max(1), actual: indices.len() });
     }
     let centers = indices.len() / num;
@@ -81,7 +85,10 @@ pub fn group_points(
     num: usize,
 ) -> Result<GroupedFeatures> {
     if num == 0 || indices.len() != centers.len() * num {
-        return Err(Error::ShapeMismatch { expected: centers.len() * num.max(1), actual: indices.len() });
+        return Err(Error::ShapeMismatch {
+            expected: centers.len() * num.max(1),
+            actual: indices.len(),
+        });
     }
     let mut counters = OpCounters::new();
     let mut data = Vec::with_capacity(indices.len() * 3);
@@ -103,8 +110,8 @@ pub fn group_points(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::generate::with_random_features;
     use crate::generate::uniform_cube;
+    use crate::generate::with_random_features;
 
     fn featured() -> PointCloud {
         PointCloud::from_points_features(

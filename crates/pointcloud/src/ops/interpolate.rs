@@ -31,6 +31,12 @@ impl InterpolationResult {
 /// A target coincident with a source (d = 0) copies that source's features
 /// exactly.
 ///
+/// The embedded neighbor search runs on the chunked SoA KNN kernel; the
+/// weighting stage reuses one weight buffer across targets instead of
+/// allocating per target. Results and counters are identical to the scalar
+/// reference
+/// ([`reference::interpolate_features`](crate::ops::reference::interpolate_features)).
+///
 /// # Errors
 ///
 /// Propagates KNN parameter errors; see
@@ -67,6 +73,7 @@ pub fn interpolate_features(
     let mut features = vec![0.0f32; targets.len() * channels];
 
     const EPS: f32 = 1e-10;
+    let mut weights: Vec<f32> = Vec::with_capacity(k);
     for t in 0..targets.len() {
         let idx_row = knn.row(t);
         let d_row = knn.distance_row(t);
@@ -77,7 +84,8 @@ pub fn interpolate_features(
             counters.writes += 1;
             continue;
         }
-        let weights: Vec<f32> = d_row.iter().map(|&d| 1.0 / (d + EPS)).collect();
+        weights.clear();
+        weights.extend(d_row.iter().map(|&d| 1.0 / (d + EPS)));
         let wsum: f32 = weights.iter().sum();
         let out = &mut features[t * channels..(t + 1) * channels];
         for (&i, &w) in idx_row.iter().zip(&weights) {
@@ -121,8 +129,7 @@ mod tests {
     #[test]
     fn weights_are_convex_combination() {
         let cloud = with_random_features(uniform_cube(64, 3), 4, 9);
-        let targets: Vec<Point3> =
-            (0..10).map(|i| cloud.point(i) + Point3::splat(0.01)).collect();
+        let targets: Vec<Point3> = (0..10).map(|i| cloud.point(i) + Point3::splat(0.01)).collect();
         let out = interpolate_features(&cloud, &targets, 3).unwrap();
         // Every output channel must be within [min, max] of the source
         // features (convexity of IDW weights).

@@ -2,6 +2,7 @@
 
 use crate::cloud::PointCloud;
 use crate::error::{Error, Result};
+use crate::kernels::{self, TopK};
 use crate::ops::OpCounters;
 use crate::point::Point3;
 
@@ -32,11 +33,7 @@ impl KnnResult {
 
     /// Number of centers.
     pub fn centers(&self) -> usize {
-        if self.k == 0 {
-            0
-        } else {
-            self.indices.len() / self.k
-        }
+        self.indices.len().checked_div(self.k).unwrap_or(0)
     }
 }
 
@@ -44,7 +41,13 @@ impl KnnResult {
 /// candidates without radius constraint, searching the entire candidate set.
 ///
 /// Implemented with the top-k running-insertion structure the RSPU's merge
-/// sorter realizes in hardware: a size-`k` sorted buffer per center.
+/// sorter realizes in hardware: a size-`k` sorted buffer per center. Per
+/// center, distances are computed in one chunked SoA pass
+/// ([`kernels::distances_sq`]) and the branchy top-k selection consumes the
+/// precomputed buffer; scan-phase counters are accumulated analytically and
+/// match the scalar reference
+/// ([`reference::k_nearest_neighbors`](crate::ops::reference::k_nearest_neighbors))
+/// exactly, insertion costs included.
 ///
 /// # Errors
 ///
@@ -80,35 +83,37 @@ pub fn k_nearest_neighbors(
         });
     }
 
+    let n = candidates.len();
+    let (xs, ys, zs) = (candidates.xs(), candidates.ys(), candidates.zs());
     let mut counters = OpCounters::new();
     let mut indices = Vec::with_capacity(centers.len() * k);
     let mut distances = Vec::with_capacity(centers.len() * k);
 
+    // One reusable distance buffer and top-k structure across centers.
+    let mut dbuf = vec![0.0f32; n];
+    let mut topk = TopK::new(k);
+    let mut insert_comparisons = 0u64;
     for &c in centers {
-        // Sorted insertion buffer of (distance, index), ascending — the
-        // hardware top-k unit with merge-sort selection.
-        let mut best: Vec<(f32, usize)> = Vec::with_capacity(k + 1);
-        for i in 0..candidates.len() {
-            counters.coord_reads += 1;
-            let d = candidates.point(i).distance_sq(c);
-            counters.distance_evals += 1;
-            counters.comparisons += 1;
-            if best.len() == k && d >= best[k - 1].0 {
-                continue;
-            }
-            let pos = best.partition_point(|&(bd, _)| bd <= d);
-            counters.comparisons += (best.len() as f64).log2().max(1.0) as u64;
-            best.insert(pos, (d, i));
-            if best.len() > k {
-                best.pop();
-            }
-        }
-        for &(d, i) in &best {
+        kernels::distances_sq(xs, ys, zs, [c.x, c.y, c.z], &mut dbuf);
+        topk.clear();
+        // Same insertion-cost model as the scalar reference: log₂ of the
+        // buffer occupancy (min 1) per accepted candidate.
+        topk.select(&dbuf, |len_before| {
+            insert_comparisons += (len_before as f64).log2().max(1.0) as u64;
+        });
+        for &(d, i) in topk.as_slice() {
             indices.push(i);
             distances.push(d);
             counters.writes += 1;
         }
     }
+
+    // Analytic scan counters: every center reads and evaluates all `n`
+    // candidates and performs one threshold comparison each, plus the
+    // data-dependent insertion costs tallied above.
+    counters.coord_reads += (centers.len() * n) as u64;
+    counters.distance_evals += (centers.len() * n) as u64;
+    counters.comparisons += (centers.len() * n) as u64 + insert_comparisons;
 
     Ok(KnnResult { indices, distances_sq: distances, k, counters })
 }

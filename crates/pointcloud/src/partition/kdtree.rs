@@ -158,7 +158,12 @@ impl Partitioner for KdTreePartitioner {
                 b.blocks[i].parent_group = vec![i];
             }
         }
-        Ok(Partition { blocks: b.blocks, cost: b.cost, max_depth: b.max_depth, method: self.name() })
+        Ok(Partition {
+            blocks: b.blocks,
+            cost: b.cost,
+            max_depth: b.max_depth,
+            method: self.name(),
+        })
     }
 }
 

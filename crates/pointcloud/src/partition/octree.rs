@@ -75,8 +75,8 @@ impl OctBuild<'_> {
         let mut children: [Vec<usize>; 8] = Default::default();
         for i in indices {
             let p = self.cloud.point(i);
-            let octant = ((p.x > c.x) as usize) << 2 | ((p.y > c.y) as usize) << 1
-                | ((p.z > c.z) as usize);
+            let octant =
+                ((p.x > c.x) as usize) << 2 | ((p.y > c.y) as usize) << 1 | ((p.z > c.z) as usize);
             children[octant].push(i);
         }
 
@@ -132,7 +132,12 @@ impl Partitioner for OctreePartitioner {
                 b.blocks[i].parent_group = vec![i];
             }
         }
-        Ok(Partition { blocks: b.blocks, cost: b.cost, max_depth: b.max_depth, method: self.name() })
+        Ok(Partition {
+            blocks: b.blocks,
+            cost: b.cost,
+            max_depth: b.max_depth,
+            method: self.name(),
+        })
     }
 }
 

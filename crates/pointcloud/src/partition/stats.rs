@@ -33,7 +33,8 @@ impl BalanceStats {
         let min = *sizes.iter().min().expect("non-empty");
         let max = *sizes.iter().max().expect("non-empty");
         let mean = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
-        let var = sizes.iter().map(|&s| (s as f64 - mean).powi(2)).sum::<f64>() / sizes.len() as f64;
+        let var =
+            sizes.iter().map(|&s| (s as f64 - mean).powi(2)).sum::<f64>() / sizes.len() as f64;
         BalanceStats { blocks: sizes.len(), min, max, mean, std_dev: var.sqrt() }
     }
 

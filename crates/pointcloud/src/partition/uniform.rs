@@ -1,10 +1,10 @@
 //! Space-uniform grid partitioning (PNNPU-style).
 
+use crate::aabb::Aabb;
 use crate::cloud::PointCloud;
 use crate::error::{Error, Result};
 use crate::partition::{Block, Partition, PartitionCost, Partitioner};
 use crate::point::{Axis, Point3};
-use crate::aabb::Aabb;
 
 /// Space-uniform partitioning: the bounding volume is divided into an even
 /// grid by coordinate, ignoring density (Fig. 3(b), PNNPU \[32\]).
@@ -78,12 +78,13 @@ impl Partitioner for UniformPartitioner {
         }
         let bounds = cloud.bounds().expect("non-empty cloud has bounds");
         let (gx, gy, gz) = self.resolve_grid(cloud.len());
-        let mut cost = PartitionCost::default();
-
         // One global traversal: read all three coordinates of every point.
-        cost.traversal_passes = 1;
-        cost.traversal_elements = cloud.len() as u64;
-        cost.compare_ops = (cloud.len() * 3) as u64; // cell index clamps
+        let cost = PartitionCost {
+            traversal_passes: 1,
+            traversal_elements: cloud.len() as u64,
+            compare_ops: (cloud.len() * 3) as u64, // cell index clamps
+            ..PartitionCost::default()
+        };
 
         let cell_of = |p: Point3| -> usize {
             let f = |axis: Axis, g: usize| -> usize {
@@ -107,8 +108,8 @@ impl Partitioner for UniformPartitioner {
         }
         // PNNPU processes blocks independently; a block's search space is
         // itself (self-only parent group).
-        for i in 0..blocks.len() {
-            blocks[i].parent_group = vec![i];
+        for (i, block) in blocks.iter_mut().enumerate() {
+            block.parent_group = vec![i];
         }
 
         Ok(Partition { blocks, cost, max_depth: 1, method: self.name() })

@@ -2,8 +2,8 @@
 
 use fractalcloud_pointcloud::metrics::{covering_radius, feature_rmse, neighbor_recall};
 use fractalcloud_pointcloud::ops::{
-    ball_query, farthest_point_sample, gather_features, interpolate_features,
-    k_nearest_neighbors,
+    ball_query, farthest_point_sample, gather_features, interpolate_features, k_nearest_neighbors,
+    reference,
 };
 use fractalcloud_pointcloud::partition::{
     KdTreePartitioner, OctreePartitioner, Partitioner, UniformPartitioner,
@@ -133,5 +133,69 @@ proptest! {
         let min = sizes.iter().min().unwrap();
         let max = sizes.iter().max().unwrap();
         prop_assert!(max - min <= 1, "sizes {sizes:?}");
+    }
+}
+
+// Equivalence of the chunked SoA kernel path against the retained scalar
+// references: identical indices, distances, features, and counters.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Kernel FPS returns the reference's exact indices and counters.
+    #[test]
+    fn kernel_fps_equals_reference(pts in arb_points(150), m_frac in 0.05f64..0.95) {
+        let cloud = PointCloud::from_points(pts);
+        let m = (((cloud.len() as f64) * m_frac) as usize).max(1);
+        let kernel = farthest_point_sample(&cloud, m, 0).unwrap();
+        let scalar = reference::farthest_point_sample(&cloud, m, 0).unwrap();
+        prop_assert_eq!(kernel.indices, scalar.indices);
+        prop_assert_eq!(kernel.counters, scalar.counters);
+    }
+
+    /// Kernel KNN returns the reference's exact rows, distances, and
+    /// counters (insertion costs included).
+    #[test]
+    fn kernel_knn_equals_reference(pts in arb_points(150), k in 1usize..12) {
+        let cloud = PointCloud::from_points(pts);
+        let k = k.min(cloud.len());
+        let centers: Vec<Point3> = cloud.iter().step_by(7).take(12).collect();
+        let kernel = k_nearest_neighbors(&cloud, &centers, k).unwrap();
+        let scalar = reference::k_nearest_neighbors(&cloud, &centers, k).unwrap();
+        prop_assert_eq!(kernel.indices, scalar.indices);
+        prop_assert_eq!(kernel.distances_sq, scalar.distances_sq);
+        prop_assert_eq!(kernel.counters, scalar.counters);
+    }
+
+    /// Kernel ball query returns the reference's exact rows (padding and
+    /// nearest-fallback included) and counters.
+    #[test]
+    fn kernel_ball_query_equals_reference(
+        pts in arb_points(150),
+        radius in 0.1f32..30.0,
+        num in 1usize..10,
+    ) {
+        let cloud = PointCloud::from_points(pts);
+        let centers: Vec<Point3> = cloud.iter().step_by(5).take(10).collect();
+        let kernel = ball_query(&cloud, &centers, radius, num).unwrap();
+        let scalar = reference::ball_query(&cloud, &centers, radius, num).unwrap();
+        prop_assert_eq!(kernel.indices, scalar.indices);
+        prop_assert_eq!(kernel.found, scalar.found);
+        prop_assert_eq!(kernel.counters, scalar.counters);
+    }
+
+    /// Kernel interpolation returns the reference's exact features and
+    /// counters.
+    #[test]
+    fn kernel_interpolation_equals_reference(pts in arb_points(120), k in 1usize..6) {
+        let n = pts.len();
+        let k = k.min(n);
+        let feats: Vec<f32> = (0..n * 2).map(|i| (i % 11) as f32).collect();
+        let targets: Vec<Point3> =
+            pts.iter().take(9).map(|p| *p + Point3::splat(0.01)).collect();
+        let cloud = PointCloud::from_points_features(pts, feats, 2).unwrap();
+        let kernel = interpolate_features(&cloud, &targets, k).unwrap();
+        let scalar = reference::interpolate_features(&cloud, &targets, k).unwrap();
+        prop_assert_eq!(kernel.features, scalar.features);
+        prop_assert_eq!(kernel.counters, scalar.counters);
     }
 }

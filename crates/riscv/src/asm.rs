@@ -28,13 +28,39 @@ impl std::error::Error for AsmError {}
 fn reg(name: &str, line: usize) -> Result<u8, AsmError> {
     let name = name.trim();
     let abi = [
-        ("zero", 0), ("ra", 1), ("sp", 2), ("gp", 3), ("tp", 4),
-        ("t0", 5), ("t1", 6), ("t2", 7),
-        ("s0", 8), ("fp", 8), ("s1", 9),
-        ("a0", 10), ("a1", 11), ("a2", 12), ("a3", 13), ("a4", 14), ("a5", 15), ("a6", 16), ("a7", 17),
-        ("s2", 18), ("s3", 19), ("s4", 20), ("s5", 21), ("s6", 22), ("s7", 23), ("s8", 24),
-        ("s9", 25), ("s10", 26), ("s11", 27),
-        ("t3", 28), ("t4", 29), ("t5", 30), ("t6", 31),
+        ("zero", 0),
+        ("ra", 1),
+        ("sp", 2),
+        ("gp", 3),
+        ("tp", 4),
+        ("t0", 5),
+        ("t1", 6),
+        ("t2", 7),
+        ("s0", 8),
+        ("fp", 8),
+        ("s1", 9),
+        ("a0", 10),
+        ("a1", 11),
+        ("a2", 12),
+        ("a3", 13),
+        ("a4", 14),
+        ("a5", 15),
+        ("a6", 16),
+        ("a7", 17),
+        ("s2", 18),
+        ("s3", 19),
+        ("s4", 20),
+        ("s5", 21),
+        ("s6", 22),
+        ("s7", 23),
+        ("s8", 24),
+        ("s9", 25),
+        ("s10", 26),
+        ("s11", 27),
+        ("t3", 28),
+        ("t4", 29),
+        ("t5", 30),
+        ("t6", 31),
     ];
     for (n, v) in abi {
         if n == name {
@@ -71,26 +97,37 @@ fn imm(text: &str, line: usize) -> Result<i64, AsmError> {
 // ---- encoders ----
 
 fn enc_r(funct7: u32, rs2: u8, rs1: u8, funct3: u32, rd: u8, opcode: u32) -> u32 {
-    (funct7 << 25) | ((rs2 as u32) << 20) | ((rs1 as u32) << 15) | (funct3 << 12)
+    (funct7 << 25)
+        | ((rs2 as u32) << 20)
+        | ((rs1 as u32) << 15)
+        | (funct3 << 12)
         | ((rd as u32) << 7)
         | opcode
 }
 
 fn enc_i(imm: i32, rs1: u8, funct3: u32, rd: u8, opcode: u32) -> u32 {
-    ((imm as u32 & 0xfff) << 20) | ((rs1 as u32) << 15) | (funct3 << 12) | ((rd as u32) << 7)
+    ((imm as u32 & 0xfff) << 20)
+        | ((rs1 as u32) << 15)
+        | (funct3 << 12)
+        | ((rd as u32) << 7)
         | opcode
 }
 
 fn enc_s(imm: i32, rs2: u8, rs1: u8, funct3: u32, opcode: u32) -> u32 {
     let u = imm as u32;
-    ((u >> 5 & 0x7f) << 25) | ((rs2 as u32) << 20) | ((rs1 as u32) << 15) | (funct3 << 12)
+    ((u >> 5 & 0x7f) << 25)
+        | ((rs2 as u32) << 20)
+        | ((rs1 as u32) << 15)
+        | (funct3 << 12)
         | ((u & 0x1f) << 7)
         | opcode
 }
 
 fn enc_b(imm: i32, rs2: u8, rs1: u8, funct3: u32) -> u32 {
     let u = imm as u32;
-    ((u >> 12 & 1) << 31) | ((u >> 5 & 0x3f) << 25) | ((rs2 as u32) << 20)
+    ((u >> 12 & 1) << 31)
+        | ((u >> 5 & 0x3f) << 25)
+        | ((rs2 as u32) << 20)
         | ((rs1 as u32) << 15)
         | (funct3 << 12)
         | ((u >> 1 & 0xf) << 8)
@@ -104,7 +141,9 @@ fn enc_u(imm: i32, rd: u8, opcode: u32) -> u32 {
 
 fn enc_j(imm: i32, rd: u8) -> u32 {
     let u = imm as u32;
-    ((u >> 20 & 1) << 31) | ((u >> 1 & 0x3ff) << 21) | ((u >> 11 & 1) << 20)
+    ((u >> 20 & 1) << 31)
+        | ((u >> 1 & 0x3ff) << 21)
+        | ((u >> 11 & 1) << 20)
         | ((u >> 12 & 0xff) << 12)
         | ((rd as u32) << 7)
         | 0x6f
@@ -160,7 +199,10 @@ pub fn assemble(source: &str) -> Result<Vec<u8>, AsmError> {
             }
             let addr = (items.len() * 4) as u32;
             if labels.insert(label.to_string(), addr).is_some() {
-                return Err(AsmError { line: line_no, message: format!("duplicate label `{label}`") });
+                return Err(AsmError {
+                    line: line_no,
+                    message: format!("duplicate label `{label}`"),
+                });
             }
             text = rest[1..].trim();
         }
@@ -172,11 +214,8 @@ pub fn assemble(source: &str) -> Result<Vec<u8>, AsmError> {
             Some(i) => (&text[..i], text[i..].trim()),
             None => (text, ""),
         };
-        let args: Vec<&str> = if rest.is_empty() {
-            Vec::new()
-        } else {
-            rest.split(',').map(str::trim).collect()
-        };
+        let args: Vec<&str> =
+            if rest.is_empty() { Vec::new() } else { rest.split(',').map(str::trim).collect() };
         let e = |msg: &str| AsmError { line: line_no, message: msg.to_string() };
         let need = |n: usize| -> Result<(), AsmError> {
             if args.len() == n {

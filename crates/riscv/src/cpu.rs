@@ -138,9 +138,7 @@ impl<B: Bus> Cpu<B> {
 
         match instr {
             Instr::Lui { rd, imm } => self.set_reg(rd as usize, imm as u32),
-            Instr::Auipc { rd, imm } => {
-                self.set_reg(rd as usize, self.pc.wrapping_add(imm as u32))
-            }
+            Instr::Auipc { rd, imm } => self.set_reg(rd as usize, self.pc.wrapping_add(imm as u32)),
             Instr::Jal { rd, imm } => {
                 self.set_reg(rd as usize, next_pc);
                 next_pc = self.pc.wrapping_add(imm as u32);
@@ -245,19 +243,13 @@ impl<B: Bus> Cpu<B> {
             Instr::Sub { rd, rs1, rs2 } => {
                 self.set_reg(rd as usize, rr!(rs1).wrapping_sub(rr!(rs2)))
             }
-            Instr::Sll { rd, rs1, rs2 } => {
-                self.set_reg(rd as usize, rr!(rs1) << (rr!(rs2) & 31))
-            }
+            Instr::Sll { rd, rs1, rs2 } => self.set_reg(rd as usize, rr!(rs1) << (rr!(rs2) & 31)),
             Instr::Slt { rd, rs1, rs2 } => {
                 self.set_reg(rd as usize, ((rr!(rs1) as i32) < (rr!(rs2) as i32)) as u32)
             }
-            Instr::Sltu { rd, rs1, rs2 } => {
-                self.set_reg(rd as usize, (rr!(rs1) < rr!(rs2)) as u32)
-            }
+            Instr::Sltu { rd, rs1, rs2 } => self.set_reg(rd as usize, (rr!(rs1) < rr!(rs2)) as u32),
             Instr::Xor { rd, rs1, rs2 } => self.set_reg(rd as usize, rr!(rs1) ^ rr!(rs2)),
-            Instr::Srl { rd, rs1, rs2 } => {
-                self.set_reg(rd as usize, rr!(rs1) >> (rr!(rs2) & 31))
-            }
+            Instr::Srl { rd, rs1, rs2 } => self.set_reg(rd as usize, rr!(rs1) >> (rr!(rs2) & 31)),
             Instr::Sra { rd, rs1, rs2 } => {
                 self.set_reg(rd as usize, ((rr!(rs1) as i32) >> (rr!(rs2) & 31)) as u32)
             }
@@ -297,7 +289,7 @@ impl<B: Bus> Cpu<B> {
             }
             Instr::Divu { rd, rs1, rs2 } => {
                 let b = rr!(rs2);
-                let v = if b == 0 { u32::MAX } else { rr!(rs1) / b };
+                let v = rr!(rs1).checked_div(b).unwrap_or(u32::MAX);
                 self.set_reg(rd as usize, v);
                 penalty = t.div_penalty;
             }

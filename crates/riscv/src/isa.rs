@@ -9,51 +9,228 @@ use std::fmt;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)] // variants mirror the ISA mnemonics 1:1
 pub enum Instr {
-    Lui { rd: u8, imm: i32 },
-    Auipc { rd: u8, imm: i32 },
-    Jal { rd: u8, imm: i32 },
-    Jalr { rd: u8, rs1: u8, imm: i32 },
-    Beq { rs1: u8, rs2: u8, imm: i32 },
-    Bne { rs1: u8, rs2: u8, imm: i32 },
-    Blt { rs1: u8, rs2: u8, imm: i32 },
-    Bge { rs1: u8, rs2: u8, imm: i32 },
-    Bltu { rs1: u8, rs2: u8, imm: i32 },
-    Bgeu { rs1: u8, rs2: u8, imm: i32 },
-    Lb { rd: u8, rs1: u8, imm: i32 },
-    Lh { rd: u8, rs1: u8, imm: i32 },
-    Lw { rd: u8, rs1: u8, imm: i32 },
-    Lbu { rd: u8, rs1: u8, imm: i32 },
-    Lhu { rd: u8, rs1: u8, imm: i32 },
-    Sb { rs1: u8, rs2: u8, imm: i32 },
-    Sh { rs1: u8, rs2: u8, imm: i32 },
-    Sw { rs1: u8, rs2: u8, imm: i32 },
-    Addi { rd: u8, rs1: u8, imm: i32 },
-    Slti { rd: u8, rs1: u8, imm: i32 },
-    Sltiu { rd: u8, rs1: u8, imm: i32 },
-    Xori { rd: u8, rs1: u8, imm: i32 },
-    Ori { rd: u8, rs1: u8, imm: i32 },
-    Andi { rd: u8, rs1: u8, imm: i32 },
-    Slli { rd: u8, rs1: u8, shamt: u8 },
-    Srli { rd: u8, rs1: u8, shamt: u8 },
-    Srai { rd: u8, rs1: u8, shamt: u8 },
-    Add { rd: u8, rs1: u8, rs2: u8 },
-    Sub { rd: u8, rs1: u8, rs2: u8 },
-    Sll { rd: u8, rs1: u8, rs2: u8 },
-    Slt { rd: u8, rs1: u8, rs2: u8 },
-    Sltu { rd: u8, rs1: u8, rs2: u8 },
-    Xor { rd: u8, rs1: u8, rs2: u8 },
-    Srl { rd: u8, rs1: u8, rs2: u8 },
-    Sra { rd: u8, rs1: u8, rs2: u8 },
-    Or { rd: u8, rs1: u8, rs2: u8 },
-    And { rd: u8, rs1: u8, rs2: u8 },
-    Mul { rd: u8, rs1: u8, rs2: u8 },
-    Mulh { rd: u8, rs1: u8, rs2: u8 },
-    Mulhsu { rd: u8, rs1: u8, rs2: u8 },
-    Mulhu { rd: u8, rs1: u8, rs2: u8 },
-    Div { rd: u8, rs1: u8, rs2: u8 },
-    Divu { rd: u8, rs1: u8, rs2: u8 },
-    Rem { rd: u8, rs1: u8, rs2: u8 },
-    Remu { rd: u8, rs1: u8, rs2: u8 },
+    Lui {
+        rd: u8,
+        imm: i32,
+    },
+    Auipc {
+        rd: u8,
+        imm: i32,
+    },
+    Jal {
+        rd: u8,
+        imm: i32,
+    },
+    Jalr {
+        rd: u8,
+        rs1: u8,
+        imm: i32,
+    },
+    Beq {
+        rs1: u8,
+        rs2: u8,
+        imm: i32,
+    },
+    Bne {
+        rs1: u8,
+        rs2: u8,
+        imm: i32,
+    },
+    Blt {
+        rs1: u8,
+        rs2: u8,
+        imm: i32,
+    },
+    Bge {
+        rs1: u8,
+        rs2: u8,
+        imm: i32,
+    },
+    Bltu {
+        rs1: u8,
+        rs2: u8,
+        imm: i32,
+    },
+    Bgeu {
+        rs1: u8,
+        rs2: u8,
+        imm: i32,
+    },
+    Lb {
+        rd: u8,
+        rs1: u8,
+        imm: i32,
+    },
+    Lh {
+        rd: u8,
+        rs1: u8,
+        imm: i32,
+    },
+    Lw {
+        rd: u8,
+        rs1: u8,
+        imm: i32,
+    },
+    Lbu {
+        rd: u8,
+        rs1: u8,
+        imm: i32,
+    },
+    Lhu {
+        rd: u8,
+        rs1: u8,
+        imm: i32,
+    },
+    Sb {
+        rs1: u8,
+        rs2: u8,
+        imm: i32,
+    },
+    Sh {
+        rs1: u8,
+        rs2: u8,
+        imm: i32,
+    },
+    Sw {
+        rs1: u8,
+        rs2: u8,
+        imm: i32,
+    },
+    Addi {
+        rd: u8,
+        rs1: u8,
+        imm: i32,
+    },
+    Slti {
+        rd: u8,
+        rs1: u8,
+        imm: i32,
+    },
+    Sltiu {
+        rd: u8,
+        rs1: u8,
+        imm: i32,
+    },
+    Xori {
+        rd: u8,
+        rs1: u8,
+        imm: i32,
+    },
+    Ori {
+        rd: u8,
+        rs1: u8,
+        imm: i32,
+    },
+    Andi {
+        rd: u8,
+        rs1: u8,
+        imm: i32,
+    },
+    Slli {
+        rd: u8,
+        rs1: u8,
+        shamt: u8,
+    },
+    Srli {
+        rd: u8,
+        rs1: u8,
+        shamt: u8,
+    },
+    Srai {
+        rd: u8,
+        rs1: u8,
+        shamt: u8,
+    },
+    Add {
+        rd: u8,
+        rs1: u8,
+        rs2: u8,
+    },
+    Sub {
+        rd: u8,
+        rs1: u8,
+        rs2: u8,
+    },
+    Sll {
+        rd: u8,
+        rs1: u8,
+        rs2: u8,
+    },
+    Slt {
+        rd: u8,
+        rs1: u8,
+        rs2: u8,
+    },
+    Sltu {
+        rd: u8,
+        rs1: u8,
+        rs2: u8,
+    },
+    Xor {
+        rd: u8,
+        rs1: u8,
+        rs2: u8,
+    },
+    Srl {
+        rd: u8,
+        rs1: u8,
+        rs2: u8,
+    },
+    Sra {
+        rd: u8,
+        rs1: u8,
+        rs2: u8,
+    },
+    Or {
+        rd: u8,
+        rs1: u8,
+        rs2: u8,
+    },
+    And {
+        rd: u8,
+        rs1: u8,
+        rs2: u8,
+    },
+    Mul {
+        rd: u8,
+        rs1: u8,
+        rs2: u8,
+    },
+    Mulh {
+        rd: u8,
+        rs1: u8,
+        rs2: u8,
+    },
+    Mulhsu {
+        rd: u8,
+        rs1: u8,
+        rs2: u8,
+    },
+    Mulhu {
+        rd: u8,
+        rs1: u8,
+        rs2: u8,
+    },
+    Div {
+        rd: u8,
+        rs1: u8,
+        rs2: u8,
+    },
+    Divu {
+        rd: u8,
+        rs1: u8,
+        rs2: u8,
+    },
+    Rem {
+        rd: u8,
+        rs1: u8,
+        rs2: u8,
+    },
+    Remu {
+        rd: u8,
+        rs1: u8,
+        rs2: u8,
+    },
     /// FENCE / FENCE.I — a no-op in this single-hart model (Zifencei is
     /// accepted for compatibility with the paper's core).
     Fence,
@@ -94,7 +271,7 @@ fn imm_s(w: u32) -> i32 {
 
 fn imm_b(w: u32) -> i32 {
     let sign = (w as i32) >> 31; // bit 12
-    ((sign << 12) as i32 & !0xfff)
+    ((sign << 12) & !0xfff)
         | ((bits(w, 7, 7) << 11) | (bits(w, 30, 25) << 5) | (bits(w, 11, 8) << 1)) as i32
 }
 

@@ -107,10 +107,7 @@ impl FractalEngine {
         let lanes = self.config.partition_lanes as u64;
         let cycles = cost.compare_ops.div_ceil(lanes)
             + cost.sort_invocations * self.config.iteration_overhead;
-        PartitionEngineCost {
-            cycles,
-            energy_pj: cost.compare_ops as f64 * self.energy.alu_fp16_pj,
-        }
+        PartitionEngineCost { cycles, energy_pj: cost.compare_ops as f64 * self.energy.alu_fp16_pj }
     }
 }
 

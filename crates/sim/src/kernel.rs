@@ -104,7 +104,14 @@ mod tests {
         let mut energy = EnergyBreakdown::new();
         energy.add(EnergyCategory::Compute, comp as f64);
         energy.add(EnergyCategory::Dram, dram as f64);
-        Phase { name: name.into(), class, compute_cycles: comp, dram_cycles: dram, overlapped, energy }
+        Phase {
+            name: name.into(),
+            class,
+            compute_cycles: comp,
+            dram_cycles: dram,
+            overlapped,
+            energy,
+        }
     }
 
     #[test]

@@ -185,9 +185,8 @@ mod tests {
     #[test]
     fn block_parallel_beats_global_for_same_work() {
         let r = rspu();
-        let per_block: Vec<OpCounters> = (0..8)
-            .map(|_| OpCounters { distance_evals: 16_000, ..Default::default() })
-            .collect();
+        let per_block: Vec<OpCounters> =
+            (0..8).map(|_| OpCounters { distance_evals: 16_000, ..Default::default() }).collect();
         let mut total = OpCounters::new();
         for b in &per_block {
             total.merge(b);
@@ -205,9 +204,8 @@ mod tests {
     #[test]
     fn aggregate_form_matches_per_block_for_balanced_work() {
         let r = rspu();
-        let per_block: Vec<OpCounters> = (0..32)
-            .map(|_| OpCounters { distance_evals: 1600, ..Default::default() })
-            .collect();
+        let per_block: Vec<OpCounters> =
+            (0..32).map(|_| OpCounters { distance_evals: 1600, ..Default::default() }).collect();
         let mut total = OpCounters::new();
         let mut critical = OpCounters::new();
         for b in &per_block {

@@ -87,11 +87,7 @@ impl Sorter {
             cycles += n.div_ceil(lanes);
         }
         let compares = passes * n;
-        SortCost {
-            cycles,
-            compares,
-            energy_pj: compares as f64 * self.energy.alu_fp16_pj,
-        }
+        SortCost { cycles, compares, energy_pj: compares as f64 * self.energy.alu_fp16_pj }
     }
 
     /// Costs the full KD-tree construction of `n` points with leaf size

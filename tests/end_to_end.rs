@@ -1,9 +1,7 @@
 //! Cross-crate integration tests: the full pipeline from synthetic cloud to
 //! accelerator reports.
 
-use fractalcloud::accel::{
-    Accelerator, DesignModel, DesignParams, GpuModel, Segments, Workload,
-};
+use fractalcloud::accel::{Accelerator, DesignModel, DesignParams, GpuModel, Segments, Workload};
 use fractalcloud::core::{block_fps, BppoConfig, Fractal};
 use fractalcloud::pnn::{ExecMode, ModelConfig, OpTrace, ReferenceExecutor};
 use fractalcloud::pointcloud::generate::{scene_cloud, SceneConfig};

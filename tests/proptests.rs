@@ -27,7 +27,7 @@ proptest! {
         let n = cloud.len();
         let fr = Fractal::with_threshold(th).build(&cloud).unwrap();
         prop_assert!(fr.partition.is_exact_partition_of(n));
-        fr.tree.validate().map_err(|e| TestCaseError::fail(e))?;
+        fr.tree.validate().map_err(TestCaseError::fail)?;
 
         let kd = KdTreePartitioner::new(th).partition(&cloud).unwrap();
         prop_assert!(kd.is_exact_partition_of(n));

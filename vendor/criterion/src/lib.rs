@@ -1,0 +1,194 @@
+//! Offline stand-in for `criterion` 0.5.
+//!
+//! Implements the subset the workspace benches use — benchmark groups,
+//! [`BenchmarkGroup::bench_function`], [`BenchmarkGroup::bench_with_input`],
+//! [`Bencher::iter`], [`BenchmarkId`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Each benchmark is warmed
+//! up briefly, then timed for a fixed measurement window; the mean, median
+//! and iteration count are printed to stdout.
+//!
+//! Environment knobs: `CRITERION_MEASURE_MS` (measurement window per
+//! benchmark, default 300 ms) and `CRITERION_WARMUP_MS` (default 100 ms).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level handle passed to benchmark functions.
+pub struct Criterion {
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let ms = |var: &str, default_ms: u64| {
+            std::env::var(var)
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+                .map(Duration::from_millis)
+                .unwrap_or(Duration::from_millis(default_ms))
+        };
+        Criterion {
+            warmup: ms("CRITERION_WARMUP_MS", 100),
+            measure: ms("CRITERION_MEASURE_MS", 300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup { criterion: self, name: name.to_string() }
+    }
+}
+
+/// A named identifier `function/parameter` for parameterized benchmarks.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function/parameter`.
+    pub fn new<P: fmt::Display>(function: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId { id: format!("{function}/{parameter}") }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    fn run(&self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            warmup: self.criterion.warmup,
+            measure: self.criterion.measure,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        let mut samples = bencher.samples;
+        if samples.is_empty() {
+            println!("  {}/{id:<40} (no samples)", self.name);
+            return;
+        }
+        samples.sort();
+        let n = samples.len();
+        let mean: Duration = samples.iter().sum::<Duration>() / n as u32;
+        let median = samples[n / 2];
+        println!(
+            "  {}/{id:<40} mean {:>12?}  median {:>12?}  ({n} iters)",
+            self.name, mean, median
+        );
+    }
+
+    /// Ends the group (printing nothing extra; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; runs and times the measured routine.
+pub struct Bencher {
+    warmup: Duration,
+    measure: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly: a warmup window, then a measurement
+    /// window, recording one sample per invocation.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let warm_until = Instant::now() + self.warmup;
+        while Instant::now() < warm_until {
+            black_box(routine());
+        }
+        let measure_until = Instant::now() + self.measure;
+        while Instant::now() < measure_until {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+        if self.samples.is_empty() {
+            // Routine slower than the window: take one sample anyway.
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+/// Declares a function running a list of benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("demo");
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sq", 7), &7u64, |b, &x| b.iter(|| x * x));
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_quickly() {
+        std::env::set_var("CRITERION_WARMUP_MS", "1");
+        std::env::set_var("CRITERION_MEASURE_MS", "2");
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+    }
+}

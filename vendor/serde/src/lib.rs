@@ -1,0 +1,26 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides `Serialize` and `Deserialize` as blanket-implemented marker
+//! traits so that `#[derive(Serialize, Deserialize)]` and `T: Serialize`
+//! bounds compile without a registry. Nothing in this workspace performs
+//! actual serialization (the bench harness writes JSON by hand), so no
+//! serializer machinery is needed.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// Stand-in for the `serde::de` module (trait re-exports only).
+pub mod de {
+    pub use crate::DeserializeOwned;
+}

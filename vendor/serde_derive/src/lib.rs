@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real derive macros generate `Serialize`/`Deserialize` trait
+//! implementations. In this workspace the `serde` stand-in provides blanket
+//! implementations of marker traits instead, so the derives only need to
+//! accept the input (including `#[serde(...)]` attributes) and emit nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`; the blanket impl in `serde` covers the type.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`; the blanket impl in `serde` covers the type.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
