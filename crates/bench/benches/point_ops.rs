@@ -5,6 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use fractalcloud_core::bppo::reference as bppo_reference;
 use fractalcloud_core::{block_ball_query, block_fps, BppoConfig, Fractal};
 use fractalcloud_pointcloud::generate::{scene_cloud, SceneConfig};
+use fractalcloud_pointcloud::kernels::{self, Backend};
 use fractalcloud_pointcloud::ops::{
     ball_query, farthest_point_sample, k_nearest_neighbors, reference,
 };
@@ -76,5 +77,99 @@ fn bench_scalar_vs_kernel(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_point_ops, bench_scalar_vs_kernel);
+/// Batched selection kernels across every available backend: tiles of
+/// `QUERY_TILE` queries per candidate pass vs one query at a time (the
+/// `per-query` rows call the same driver with single-query tiles, so only
+/// the coordinate-load amortization differs).
+fn bench_batched_selection(c: &mut Criterion) {
+    let n = 4096;
+    let cloud = scene_cloud(&SceneConfig::default(), n, 42);
+    let queries: Vec<[f32; 3]> = (0..256)
+        .map(|i| {
+            let p = cloud.point(i * (n / 256));
+            [p.x, p.y, p.z]
+        })
+        .collect();
+    let (xs, ys, zs) = (cloud.xs(), cloud.ys(), cloud.zs());
+    let (k, r_sq, num) = (16, 0.16f32, 16);
+
+    let mut group = c.benchmark_group("batched_selection_4k");
+    for backend in Backend::ALL {
+        if !backend.is_available() {
+            continue;
+        }
+        let name = backend.name();
+        group.bench_function(format!("knn-batched-{name}"), |b| {
+            b.iter(|| {
+                let mut rows = 0usize;
+                kernels::knn_select_batch_with(
+                    backend,
+                    xs,
+                    ys,
+                    zs,
+                    &queries,
+                    k,
+                    |_, best| rows += best.len(),
+                    |_| {},
+                );
+                rows
+            })
+        });
+        group.bench_function(format!("knn-per-query-{name}"), |b| {
+            b.iter(|| {
+                let mut rows = 0usize;
+                for q in &queries {
+                    kernels::knn_select_batch_with(
+                        backend,
+                        xs,
+                        ys,
+                        zs,
+                        std::slice::from_ref(q),
+                        k,
+                        |_, best| rows += best.len(),
+                        |_| {},
+                    );
+                }
+                rows
+            })
+        });
+        group.bench_function(format!("ballquery-batched-{name}"), |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                kernels::ball_select_batch_with(
+                    backend,
+                    xs,
+                    ys,
+                    zs,
+                    &queries,
+                    r_sq,
+                    num,
+                    |_, best, _| hits += best.len(),
+                );
+                hits
+            })
+        });
+        group.bench_function(format!("ballquery-per-query-{name}"), |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for q in &queries {
+                    kernels::ball_select_batch_with(
+                        backend,
+                        xs,
+                        ys,
+                        zs,
+                        std::slice::from_ref(q),
+                        r_sq,
+                        num,
+                        |_, best, _| hits += best.len(),
+                    );
+                }
+                hits
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_point_ops, bench_scalar_vs_kernel, bench_batched_selection);
 criterion_main!(benches);

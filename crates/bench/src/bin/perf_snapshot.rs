@@ -1,10 +1,12 @@
 //! `perf_snapshot` — the repo's perf trajectory anchor.
 //!
-//! Times the software hot paths end-to-end — global FPS at 4k/16k points
-//! (scalar reference vs the chunked SoA kernel path), the Fractal build at
-//! 64k points (sequential vs level-synchronous parallel), and block-parallel
-//! FPS over the 64k partition (sequential vs parallel blocks) — verifying
-//! result equivalence in the same run, and writes `BENCH_point_ops.json`.
+//! Times the software hot paths end-to-end — global FPS at 4k/16k points,
+//! global KNN / ball query / interpolation at 4k points (scalar reference vs
+//! the dispatched kernel path, whose backend is recorded in the JSON), the
+//! Fractal build at 64k points (sequential vs level-synchronous parallel),
+//! and block-parallel FPS over the 64k partition (sequential vs parallel
+//! blocks) — verifying result equivalence in the same run, and writes
+//! `BENCH_point_ops.json`.
 //!
 //! ```text
 //! cargo run --release -p fractalcloud-bench --bin perf_snapshot
@@ -14,25 +16,60 @@
 //! `--quick` shrinks the inputs for CI smoke runs (the JSON is still
 //! written, flagged `"mode": "quick"`); committed snapshots should come
 //! from a full run.
+//!
+//! The thread-scheduling rows (`fractal_build`, `block_fps_scheduling`)
+//! measure ~1× on a single-CPU host by construction; they are skipped there
+//! and recorded with `"status": "skipped_single_cpu"` instead of reporting
+//! a misleading speedup.
 
 use fractalcloud_core::bppo::reference as bppo_reference;
 use fractalcloud_core::{block_fps, BppoConfig, Fractal, FractalConfig};
-use fractalcloud_pointcloud::generate::{scene_cloud, SceneConfig};
-use fractalcloud_pointcloud::ops::{farthest_point_sample, reference};
+use fractalcloud_pointcloud::generate::{scene_cloud, with_random_features, SceneConfig};
+use fractalcloud_pointcloud::kernels;
+use fractalcloud_pointcloud::ops::{
+    ball_query, farthest_point_sample, interpolate_features, k_nearest_neighbors, reference,
+};
+use fractalcloud_pointcloud::Point3;
 use std::time::Instant;
 
-/// One baseline-vs-optimized measurement.
+/// One baseline-vs-optimized measurement (or a skipped row).
 struct Comparison {
     name: &'static str,
     baseline: &'static str,
     optimized: &'static str,
-    baseline_ms: f64,
-    optimized_ms: f64,
+    /// `Some((baseline_ms, optimized_ms))`, or `None` when skipped.
+    times: Option<(f64, f64)>,
+    status: &'static str,
 }
 
 impl Comparison {
-    fn speedup(&self) -> f64 {
-        self.baseline_ms / self.optimized_ms
+    fn measured(
+        name: &'static str,
+        baseline: &'static str,
+        optimized: &'static str,
+        baseline_ms: f64,
+        optimized_ms: f64,
+    ) -> Comparison {
+        Comparison {
+            name,
+            baseline,
+            optimized,
+            times: Some((baseline_ms, optimized_ms)),
+            status: "ok",
+        }
+    }
+
+    fn skipped(
+        name: &'static str,
+        baseline: &'static str,
+        optimized: &'static str,
+        status: &'static str,
+    ) -> Comparison {
+        Comparison { name, baseline, optimized, times: None, status }
+    }
+
+    fn speedup(&self) -> Option<f64> {
+        self.times.map(|(b, o)| b / o)
     }
 }
 
@@ -53,15 +90,18 @@ fn main() {
     let (fps_small, fps_large, build_n, reps) =
         if quick { (1024, 4096, 16_384, 3) } else { (4096, 16_384, 65_536, 9) };
     let seed = 42;
+    let workers = fractalcloud_parallel::workers();
+    let backend = kernels::active_backend();
 
     println!(
-        "perf_snapshot ({} mode, {} worker threads)",
+        "perf_snapshot ({} mode, {} worker threads, {} kernel backend)",
         if quick { "quick" } else { "full" },
-        fractalcloud_parallel_workers()
+        workers,
+        backend.name()
     );
     let mut comparisons: Vec<Comparison> = Vec::new();
 
-    // --- Global FPS: scalar reference vs SoA kernel path ---
+    // --- Global FPS: scalar reference vs dispatched kernel path ---
     for (label_idx, n) in [fps_small, fps_large].into_iter().enumerate() {
         let cloud = scene_cloud(&SceneConfig::default(), n, seed);
         let m = n / 4;
@@ -71,14 +111,67 @@ fn main() {
         assert_eq!(kernel.counters, scalar.counters, "analytic counters must match");
         let baseline_ms = time_ms(reps, || reference::farthest_point_sample(&cloud, m, 0).unwrap());
         let optimized_ms = time_ms(reps, || farthest_point_sample(&cloud, m, 0).unwrap());
-        comparisons.push(Comparison {
-            name: if label_idx == 0 { "fps_global_small" } else { "fps_global_large" },
-            baseline: "scalar_reference",
-            optimized: "soa_kernel",
+        comparisons.push(Comparison::measured(
+            if label_idx == 0 { "fps_global_small" } else { "fps_global_large" },
+            "scalar_reference",
+            "dispatched_kernel",
             baseline_ms,
             optimized_ms,
-        });
+        ));
     }
+
+    // --- Global selection ops at 4k: scalar reference vs batched kernels ---
+    let n = fps_small.max(4096);
+    let cloud = with_random_features(scene_cloud(&SceneConfig::default(), n, seed), 16, seed);
+    let centers: Vec<Point3> = (0..n / 4).map(|i| cloud.point(i * 4)).collect();
+    let (knn_k, bq_radius, bq_num) = (16, 0.4f32, 16);
+
+    let kernel = k_nearest_neighbors(&cloud, &centers, knn_k).unwrap();
+    let scalar = reference::k_nearest_neighbors(&cloud, &centers, knn_k).unwrap();
+    assert_eq!(kernel.indices, scalar.indices, "kernel KNN must match the reference");
+    assert_eq!(kernel.counters, scalar.counters, "analytic KNN counters must match");
+    let baseline_ms =
+        time_ms(reps, || reference::k_nearest_neighbors(&cloud, &centers, knn_k).unwrap());
+    let optimized_ms = time_ms(reps, || k_nearest_neighbors(&cloud, &centers, knn_k).unwrap());
+    comparisons.push(Comparison::measured(
+        "knn",
+        "scalar_reference",
+        "batched_kernel",
+        baseline_ms,
+        optimized_ms,
+    ));
+
+    let kernel = ball_query(&cloud, &centers, bq_radius, bq_num).unwrap();
+    let scalar = reference::ball_query(&cloud, &centers, bq_radius, bq_num).unwrap();
+    assert_eq!(kernel.indices, scalar.indices, "kernel ball query must match the reference");
+    assert_eq!(kernel.counters, scalar.counters, "analytic ball-query counters must match");
+    let baseline_ms =
+        time_ms(reps, || reference::ball_query(&cloud, &centers, bq_radius, bq_num).unwrap());
+    let optimized_ms = time_ms(reps, || ball_query(&cloud, &centers, bq_radius, bq_num).unwrap());
+    comparisons.push(Comparison::measured(
+        "ball_query",
+        "scalar_reference",
+        "batched_kernel",
+        baseline_ms,
+        optimized_ms,
+    ));
+
+    let targets: Vec<Point3> =
+        (0..n / 4).map(|i| cloud.point(i * 3) + Point3::splat(0.01)).collect();
+    let kernel = interpolate_features(&cloud, &targets, 3).unwrap();
+    let scalar = reference::interpolate_features(&cloud, &targets, 3).unwrap();
+    assert_eq!(kernel.features, scalar.features, "kernel interpolation must match the reference");
+    assert_eq!(kernel.counters, scalar.counters, "analytic interpolation counters must match");
+    let baseline_ms =
+        time_ms(reps, || reference::interpolate_features(&cloud, &targets, 3).unwrap());
+    let optimized_ms = time_ms(reps, || interpolate_features(&cloud, &targets, 3).unwrap());
+    comparisons.push(Comparison::measured(
+        "interpolate",
+        "scalar_reference",
+        "batched_kernel",
+        baseline_ms,
+        optimized_ms,
+    ));
 
     // --- Fractal build: sequential vs level-synchronous parallel ---
     let cloud = scene_cloud(&SceneConfig::default(), build_n, seed);
@@ -86,19 +179,28 @@ fn main() {
     let par = Fractal::new(cfg).build(&cloud).unwrap();
     let seq = Fractal::new(cfg.sequential()).build(&cloud).unwrap();
     assert_eq!(par, seq, "parallel build must be bit-identical to sequential");
-    let baseline_ms = time_ms(reps, || Fractal::new(cfg.sequential()).build(&cloud).unwrap());
-    let optimized_ms = time_ms(reps, || Fractal::new(cfg).build(&cloud).unwrap());
-    comparisons.push(Comparison {
-        name: "fractal_build",
-        baseline: "sequential",
-        optimized: "parallel_frontier",
-        baseline_ms,
-        optimized_ms,
-    });
+    if workers > 1 {
+        let baseline_ms = time_ms(reps, || Fractal::new(cfg.sequential()).build(&cloud).unwrap());
+        let optimized_ms = time_ms(reps, || Fractal::new(cfg).build(&cloud).unwrap());
+        comparisons.push(Comparison::measured(
+            "fractal_build",
+            "sequential",
+            "parallel_frontier",
+            baseline_ms,
+            optimized_ms,
+        ));
+    } else {
+        comparisons.push(Comparison::skipped(
+            "fractal_build",
+            "sequential",
+            "parallel_frontier",
+            "skipped_single_cpu",
+        ));
+    }
 
     // --- Block-parallel FPS over the build's partition ---
     // First the kernel win at fixed (sequential) scheduling: scalar
-    // reference blocks vs chunked SoA blocks.
+    // reference blocks vs dispatched kernel blocks.
     let part = par.partition;
     let scalar = bppo_reference::block_fps(&cloud, &part, 0.25, &BppoConfig::sequential()).unwrap();
     let bseq = block_fps(&cloud, &part, 0.25, &BppoConfig::sequential()).unwrap();
@@ -111,46 +213,54 @@ fn main() {
     });
     let optimized_ms =
         time_ms(reps, || block_fps(&cloud, &part, 0.25, &BppoConfig::sequential()).unwrap());
-    comparisons.push(Comparison {
-        name: "block_fps",
-        baseline: "scalar_reference_blocks",
-        optimized: "soa_kernel_blocks",
+    comparisons.push(Comparison::measured(
+        "block_fps",
+        "scalar_reference_blocks",
+        "dispatched_kernel_blocks",
         baseline_ms,
         optimized_ms,
-    });
-    // Then the scheduling win on top of the kernel path (≈1× on a 1-CPU
-    // host; scales with cores).
-    let baseline_ms =
-        time_ms(reps, || block_fps(&cloud, &part, 0.25, &BppoConfig::sequential()).unwrap());
-    let optimized_ms =
-        time_ms(reps, || block_fps(&cloud, &part, 0.25, &BppoConfig::default()).unwrap());
-    comparisons.push(Comparison {
-        name: "block_fps_scheduling",
-        baseline: "sequential_blocks",
-        optimized: "parallel_blocks",
-        baseline_ms,
-        optimized_ms,
-    });
-
-    // --- Report ---
-    println!("{:<18} {:>18} {:>18} {:>9}", "measurement", "baseline ms", "optimized ms", "speedup");
-    for c in &comparisons {
-        println!(
-            "{:<18} {:>18} {:>18} {:>8.2}x",
-            c.name,
-            format!("{:.3} ({})", c.baseline_ms, c.baseline),
-            format!("{:.3} ({})", c.optimized_ms, c.optimized),
-            c.speedup()
-        );
+    ));
+    // Then the scheduling win on top of the kernel path (skipped on a
+    // single-CPU host, where it is ~1× by construction).
+    if workers > 1 {
+        let baseline_ms =
+            time_ms(reps, || block_fps(&cloud, &part, 0.25, &BppoConfig::sequential()).unwrap());
+        let optimized_ms =
+            time_ms(reps, || block_fps(&cloud, &part, 0.25, &BppoConfig::default()).unwrap());
+        comparisons.push(Comparison::measured(
+            "block_fps_scheduling",
+            "sequential_blocks",
+            "parallel_blocks",
+            baseline_ms,
+            optimized_ms,
+        ));
+    } else {
+        comparisons.push(Comparison::skipped(
+            "block_fps_scheduling",
+            "sequential_blocks",
+            "parallel_blocks",
+            "skipped_single_cpu",
+        ));
     }
 
-    let json = render_json(quick, build_n, fps_small, fps_large, &comparisons);
+    // --- Report ---
+    println!("{:<18} {:>20} {:>20} {:>9}", "measurement", "baseline ms", "optimized ms", "speedup");
+    for c in &comparisons {
+        match c.times {
+            Some((baseline_ms, optimized_ms)) => println!(
+                "{:<18} {:>20} {:>20} {:>8.2}x",
+                c.name,
+                format!("{:.3} ({})", baseline_ms, c.baseline),
+                format!("{:.3} ({})", optimized_ms, c.optimized),
+                c.speedup().unwrap()
+            ),
+            None => println!("{:<18} {:>20}", c.name, c.status),
+        }
+    }
+
+    let json = render_json(quick, build_n, fps_small, fps_large, backend.name(), &comparisons);
     std::fs::write("BENCH_point_ops.json", &json).expect("write BENCH_point_ops.json");
     println!("wrote BENCH_point_ops.json");
-}
-
-fn fractalcloud_parallel_workers() -> usize {
-    fractalcloud_parallel::workers()
 }
 
 fn render_json(
@@ -158,30 +268,41 @@ fn render_json(
     build_n: usize,
     fps_small: usize,
     fps_large: usize,
+    backend: &str,
     comparisons: &[Comparison],
 ) -> String {
     // Hand-rolled JSON: the workspace intentionally has no serde machinery
     // (see vendor/README.md).
+    let sel_n = fps_small.max(4096);
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"point_ops\",\n");
     out.push_str(&format!("  \"mode\": \"{}\",\n", if quick { "quick" } else { "full" }));
-    out.push_str(&format!("  \"threads\": {},\n", fractalcloud_parallel_workers()));
+    out.push_str(&format!("  \"threads\": {},\n", fractalcloud_parallel::workers()));
+    out.push_str(&format!("  \"backend\": \"{backend}\",\n"));
     out.push_str(&format!(
-        "  \"scales\": {{ \"fps_global_small\": {fps_small}, \"fps_global_large\": {fps_large}, \"fractal_build\": {build_n}, \"block_fps\": {build_n}, \"block_fps_scheduling\": {build_n} }},\n"
+        "  \"scales\": {{ \"fps_global_small\": {fps_small}, \"fps_global_large\": {fps_large}, \"knn\": {sel_n}, \"ball_query\": {sel_n}, \"interpolate\": {sel_n}, \"fractal_build\": {build_n}, \"block_fps\": {build_n}, \"block_fps_scheduling\": {build_n} }},\n"
     ));
     out.push_str("  \"results\": [\n");
     for (i, c) in comparisons.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{ \"name\": \"{}\", \"baseline\": \"{}\", \"optimized\": \"{}\", \"baseline_ms\": {:.4}, \"optimized_ms\": {:.4}, \"speedup\": {:.3} }}{}\n",
-            c.name,
-            c.baseline,
-            c.optimized,
-            c.baseline_ms,
-            c.optimized_ms,
-            c.speedup(),
-            if i + 1 == comparisons.len() { "" } else { "," }
-        ));
+        let tail = if i + 1 == comparisons.len() { "" } else { "," };
+        match c.times {
+            Some((baseline_ms, optimized_ms)) => out.push_str(&format!(
+                "    {{ \"name\": \"{}\", \"baseline\": \"{}\", \"optimized\": \"{}\", \"baseline_ms\": {:.4}, \"optimized_ms\": {:.4}, \"speedup\": {:.3}, \"status\": \"{}\" }}{}\n",
+                c.name,
+                c.baseline,
+                c.optimized,
+                baseline_ms,
+                optimized_ms,
+                c.speedup().unwrap(),
+                c.status,
+                tail
+            )),
+            None => out.push_str(&format!(
+                "    {{ \"name\": \"{}\", \"baseline\": \"{}\", \"optimized\": \"{}\", \"baseline_ms\": null, \"optimized_ms\": null, \"speedup\": null, \"status\": \"{}\" }}{}\n",
+                c.name, c.baseline, c.optimized, c.status, tail
+            )),
+        }
     }
     out.push_str("  ]\n}\n");
     out

@@ -99,39 +99,28 @@ pub fn block_ball_query(
             &mut cy,
             &mut cz,
         );
-        let mut dbuf = vec![0.0f32; candidates.len()];
-        let mut best: Vec<(f32, usize)> = Vec::with_capacity(num + 1);
-
-        for &ci in centers {
-            // Vectorizable distance pass over the shared local SoA, then
-            // nearest-`num` selection within the radius (same canonical
-            // semantics as the global ball query, so results differ only
-            // through the restricted search space).
-            let q = [cloud.xs()[ci], cloud.ys()[ci], cloud.zs()[ci]];
-            kernels::distances_sq(&cx, &cy, &cz, q, &mut dbuf);
+        // Batched fused scan over the shared local SoA: tiles of
+        // QUERY_TILE centers share every candidate chunk load, and the
+        // nearest-`num`-within-radius selection keeps the same canonical
+        // semantics as the global ball query, so results differ only
+        // through the restricted search space.
+        let queries: Vec<[f32; 3]> =
+            centers.iter().map(|&ci| [cloud.xs()[ci], cloud.ys()[ci], cloud.zs()[ci]]).collect();
+        kernels::ball_select_batch(&cx, &cy, &cz, &queries, r_sq, num, |c_row, best, nearest| {
             counters.distance_evals += candidates.len() as u64;
             counters.comparisons += candidates.len() as u64;
-            best.clear();
-            let mut nearest = (f32::INFINITY, ci);
-            for (slot, &d) in dbuf.iter().enumerate() {
-                let cand = candidates[slot];
-                if d < nearest.0 {
-                    nearest = (d, cand);
-                }
-                if d <= r_sq && (best.len() < num || d < best[best.len() - 1].0) {
-                    let pos = best.partition_point(|&(bd, _)| bd <= d);
-                    best.insert(pos, (d, cand));
-                    if best.len() > num {
-                        best.pop();
-                    }
-                }
-            }
             found.push(best.len());
-            let mut row: Vec<usize> = best.iter().map(|&(_, i)| i).collect();
+            let mut row: Vec<usize> = best.iter().map(|&(_, slot)| candidates[slot]).collect();
             if row.is_empty() {
                 // Fallback: nearest candidate in the search space (never
-                // empty: the center's own block is always included).
-                row.push(nearest.1);
+                // empty: the center's own block is always included), or the
+                // center itself in the degenerate no-finite-distance case —
+                // the same initial value the scalar formulation uses.
+                row.push(if nearest.1 == usize::MAX {
+                    centers[c_row]
+                } else {
+                    candidates[nearest.1]
+                });
             }
             let first = row[0];
             while row.len() < num {
@@ -139,7 +128,7 @@ pub fn block_ball_query(
             }
             counters.writes += num as u64;
             indices.extend_from_slice(&row);
-        }
+        });
         (indices, centers.clone(), found, counters, reuse)
     });
 

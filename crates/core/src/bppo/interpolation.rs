@@ -3,7 +3,7 @@
 
 use crate::bppo::grouping::search_space;
 use crate::bppo::{for_each_block, BppoConfig, ReuseStats};
-use fractalcloud_pointcloud::kernels::{self, TopK};
+use fractalcloud_pointcloud::kernels;
 use fractalcloud_pointcloud::ops::OpCounters;
 use fractalcloud_pointcloud::partition::Partition;
 use fractalcloud_pointcloud::{Error, PointCloud, Result};
@@ -102,42 +102,45 @@ pub fn block_interpolate(
             &mut sy,
             &mut sz,
         );
-        let mut dbuf = vec![0.0f32; candidates.len()];
-
         let kk = k.min(candidates.len());
-        let mut topk = TopK::new(kk);
         let mut features = vec![0.0f32; targets.len() * channels];
         let mut neighbors = Vec::with_capacity(targets.len() * k);
-        for (t_row, &ti) in targets.iter().enumerate() {
-            // Vectorizable distance pass, then top-k by running insertion
-            // (the RSPU top-k unit) over the precomputed buffer.
-            let q = [cloud.xs()[ti], cloud.ys()[ti], cloud.zs()[ti]];
-            kernels::distances_sq(&sx, &sy, &sz, q, &mut dbuf);
-            counters.distance_evals += candidates.len() as u64;
-            counters.comparisons += candidates.len() as u64;
-            topk.clear();
-            topk.select(&dbuf, |_| {});
-            let best = topk.as_slice();
-            const EPS: f32 = 1e-10;
-            let out = &mut features[t_row * channels..(t_row + 1) * channels];
-            if best[0].0 <= EPS {
-                counters.feature_reads += 1;
-                out.copy_from_slice(sources.feature(candidates[best[0].1]));
-            } else {
-                let wsum: f32 = best.iter().map(|&(d, _)| 1.0 / (d + EPS)).sum();
-                for &(d, slot) in best {
+        // Batched top-k selection (the RSPU top-k unit) over the shared
+        // local SoA: tiles of QUERY_TILE targets share every candidate
+        // chunk load on the active kernel backend.
+        let queries: Vec<[f32; 3]> =
+            targets.iter().map(|&ti| [cloud.xs()[ti], cloud.ys()[ti], cloud.zs()[ti]]).collect();
+        kernels::knn_select_batch(
+            &sx,
+            &sy,
+            &sz,
+            &queries,
+            kk,
+            |t_row, best| {
+                counters.distance_evals += candidates.len() as u64;
+                counters.comparisons += candidates.len() as u64;
+                const EPS: f32 = 1e-10;
+                let out = &mut features[t_row * channels..(t_row + 1) * channels];
+                if best[0].0 <= EPS {
                     counters.feature_reads += 1;
-                    let w = (1.0 / (d + EPS)) / wsum;
-                    for (o, &f) in out.iter_mut().zip(sources.feature(candidates[slot])) {
-                        *o += w * f;
+                    out.copy_from_slice(sources.feature(candidates[best[0].1]));
+                } else {
+                    let wsum: f32 = best.iter().map(|&(d, _)| 1.0 / (d + EPS)).sum();
+                    for &(d, slot) in best {
+                        counters.feature_reads += 1;
+                        let w = (1.0 / (d + EPS)) / wsum;
+                        for (o, &f) in out.iter_mut().zip(sources.feature(candidates[slot])) {
+                            *o += w * f;
+                        }
                     }
                 }
-            }
-            counters.writes += 1;
-            for slot in 0..k {
-                neighbors.push(candidates[best[slot.min(best.len() - 1)].1]);
-            }
-        }
+                counters.writes += 1;
+                for slot in 0..k {
+                    neighbors.push(candidates[best[slot.min(best.len() - 1)].1]);
+                }
+            },
+            |_| {},
+        );
         (features, targets.clone(), neighbors, counters, reuse)
     });
 

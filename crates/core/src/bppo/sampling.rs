@@ -188,7 +188,9 @@ pub fn block_fps_with_counts(
 ///
 /// The block's coordinates are gathered into local SoA buffers once — the
 /// software analogue of loading the block into SRAM — and every iteration
-/// then runs the chunked [`kernels::fps_relax_argmax`] scan over them.
+/// then runs the fused [`kernels::fps_relax_argmax`] scan over them, on
+/// whichever kernel backend dispatch selected (scalar, chunked SoA, or
+/// AVX2 — the results are bit-identical across backends).
 /// Already-sampled candidates are pinned to `-∞` in the running-distance
 /// array, which excludes them from the argmax exactly as the RSPU's
 /// window-check mask excludes them from the scan: the selected indices are

@@ -179,3 +179,78 @@ proptest! {
         }
     }
 }
+
+/// Runs `f` once per kernel backend (sequential block scheduling, so the
+/// thread-local override reaches the block loops) and asserts every result
+/// equals the scalar backend's.
+fn assert_all_backends_equal<T: PartialEq + std::fmt::Debug>(f: impl Fn() -> T) {
+    use fractalcloud_pointcloud::kernels::{with_backend, Backend};
+    let baseline = with_backend(Backend::Scalar, &f);
+    for b in [Backend::Soa, Backend::Avx2] {
+        let got = with_backend(b, &f);
+        assert_eq!(got, baseline, "backend {} diverged from scalar", b.name());
+    }
+}
+
+// Cross-backend equivalence of the block-parallel operations: the kernel
+// dispatch layer must be invisible in every result and counter.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Block FPS: identical samples and counters on every backend.
+    #[test]
+    fn block_fps_identical_across_backends(
+        (cloud, th) in (arb_cloud(250), 8usize..64),
+        rate in 0.05f64..0.95,
+    ) {
+        let part = Fractal::with_threshold(th).build(&cloud).unwrap().partition;
+        assert_all_backends_equal(|| {
+            let r = block_fps(&cloud, &part, rate, &BppoConfig::sequential()).unwrap();
+            (r.indices, r.counters, r.critical_path)
+        });
+    }
+
+    /// Block ball query: identical neighbor rows, found counts, and
+    /// counters on every backend (small radii exercise the empty-ball
+    /// fallback path).
+    #[test]
+    fn block_bq_identical_across_backends(
+        (cloud, th) in (arb_cloud(250), 8usize..48),
+        radius in 0.05f32..20.0,
+    ) {
+        let part = Fractal::with_threshold(th).build(&cloud).unwrap().partition;
+        let fps = block_fps(&cloud, &part, 0.25, &BppoConfig::sequential()).unwrap();
+        assert_all_backends_equal(|| {
+            let r = block_ball_query(&cloud, &part, &fps.per_block, radius, 4,
+                                     &BppoConfig::sequential()).unwrap();
+            (r.indices, r.found, r.counters)
+        });
+    }
+
+    /// Block interpolation: identical features, neighbors, and counters on
+    /// every backend — `k` may exceed the per-search-space sample count
+    /// (the clamped-`k` tiling edge case).
+    #[test]
+    fn block_interpolation_identical_across_backends(
+        (cloud, th) in (arb_cloud(200), 8usize..48),
+        k in 1usize..12,
+    ) {
+        let part = Fractal::with_threshold(th).build(&cloud).unwrap().partition;
+        let fps = block_fps(&cloud, &part, 0.25, &BppoConfig::sequential()).unwrap();
+        prop_assume!(!fps.indices.is_empty());
+        let pts: Vec<Point3> = fps.indices.iter().map(|&i| cloud.point(i)).collect();
+        let feats: Vec<f32> = pts.iter().map(|p| p.x + p.y).collect();
+        let sources = PointCloud::from_points_features(pts, feats, 1).unwrap();
+        let mut rows = Vec::new();
+        let mut cursor = 0usize;
+        for b in &fps.per_block {
+            rows.push((cursor..cursor + b.len()).collect::<Vec<usize>>());
+            cursor += b.len();
+        }
+        assert_all_backends_equal(|| {
+            let r = block_interpolate(&cloud, &part, &sources, &rows, k,
+                                      &BppoConfig::sequential()).unwrap();
+            (r.features, r.neighbor_indices, r.counters)
+        });
+    }
+}

@@ -1,0 +1,357 @@
+//! AVX2 kernel backend: explicit 8-lane `core::arch::x86_64` intrinsics.
+//!
+//! # Safety argument
+//!
+//! This is the **only** module in the workspace containing `unsafe` SIMD
+//! code, and every `unsafe` block is confined to it behind safe wrappers:
+//!
+//! * Every public function first asserts `is_x86_feature_detected!("avx2")`
+//!   (a cached atomic load), so the `#[target_feature(enable = "avx2")]`
+//!   inner functions are only ever entered on CPUs that implement the
+//!   instructions — the sole soundness requirement of `target_feature`.
+//!   The dispatcher in [`kernels`](super) additionally never resolves
+//!   [`Backend::Avx2`](super::Backend::Avx2) without runtime detection, so
+//!   the assert is belt-and-braces and never fires in practice.
+//! * All memory access is through `loadu`/`storeu` on `ptr.add(i)` with
+//!   `i + 8 <= len` (unaligned full-vector access within the slice), or
+//!   through `maskload`/`maskstore` for the tail, which architecturally
+//!   never touch memory of masked-off lanes. No pointer ever leaves its
+//!   slice's bounds.
+//!
+//! # Exactness argument
+//!
+//! Results are bit-identical to the scalar/SoA backends:
+//!
+//! * distances use `sub`/`mul`/`add` in the same association as
+//!   `dx*dx + dy*dy + dz*dz` — intrinsics are never contracted to FMA;
+//! * `_mm256_min_ps(nd, cur)` implements `if nd < cur { nd } else { cur }`
+//!   per lane (returns the second operand on NaN), exactly the reference's
+//!   relax idiom; `_mm256_max_ps(v, acc)` likewise never lets NaN overwrite
+//!   the accumulator;
+//! * compares use `_CMP_LE_OQ` (ordered, non-signaling), so NaN distances
+//!   never count as radius hits — same as the scalar `d <= r_sq`;
+//! * argmax/argmin reductions record the first chunk that *strictly*
+//!   improves the running extremum and then rescan that chunk for the first
+//!   occurrence of the extremal value, which is exact because distances are
+//!   never `-0.0` (they are sums of non-negative products).
+
+#![allow(unsafe_code)]
+
+use core::arch::x86_64::{
+    __m256, __m256i, _mm256_add_ps, _mm256_blendv_ps, _mm256_castsi256_ps, _mm256_cmp_ps,
+    _mm256_cmpgt_epi32, _mm256_loadu_ps, _mm256_maskload_ps, _mm256_maskstore_ps, _mm256_max_ps,
+    _mm256_min_ps, _mm256_movemask_ps, _mm256_mul_ps, _mm256_set1_epi32, _mm256_set1_ps,
+    _mm256_setr_epi32, _mm256_storeu_ps, _mm256_sub_ps, _CMP_LE_OQ, _CMP_NGE_UQ,
+};
+
+use super::CHUNK;
+
+/// SIMD width: 8 `f32` lanes per 256-bit vector.
+const LANES: usize = 8;
+
+#[inline]
+fn assert_avx2() {
+    assert!(is_x86_feature_detected!("avx2"), "AVX2 kernel backend invoked on a CPU without AVX2");
+}
+
+/// Lane-enable mask for a partial group: lanes `0..rem` active.
+///
+/// # Safety
+///
+/// Caller must ensure AVX2 is available.
+#[target_feature(enable = "avx2")]
+unsafe fn tail_mask(rem: usize) -> __m256i {
+    debug_assert!(rem < LANES);
+    let idx = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+    _mm256_cmpgt_epi32(_mm256_set1_epi32(rem as i32), idx)
+}
+
+/// Eight squared distances from the vectors loaded at lane group `(x, y, z)`
+/// to the splatted query `(qx, qy, qz)` — same association as the scalar
+/// `dx*dx + dy*dy + dz*dz`.
+///
+/// # Safety
+///
+/// Caller must ensure AVX2 is available.
+#[target_feature(enable = "avx2")]
+unsafe fn dist8(x: __m256, y: __m256, z: __m256, qx: __m256, qy: __m256, qz: __m256) -> __m256 {
+    let dx = _mm256_sub_ps(x, qx);
+    let dy = _mm256_sub_ps(y, qy);
+    let dz = _mm256_sub_ps(z, qz);
+    _mm256_add_ps(
+        _mm256_add_ps(_mm256_mul_ps(dx, dx), _mm256_mul_ps(dy, dy)),
+        _mm256_mul_ps(dz, dz),
+    )
+}
+
+/// AVX2 squared distances; see [`kernels::distances_sq`](super::distances_sq).
+pub fn distances_sq(xs: &[f32], ys: &[f32], zs: &[f32], q: [f32; 3], out: &mut [f32]) {
+    assert_avx2();
+    // SAFETY: AVX2 availability asserted above; all accesses stay in bounds
+    // (full groups require `i + 8 <= n`, the tail uses masked load/store).
+    unsafe { distances_sq_impl(xs, ys, zs, q, out) }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn distances_sq_impl(xs: &[f32], ys: &[f32], zs: &[f32], q: [f32; 3], out: &mut [f32]) {
+    let n = xs.len();
+    let qx = _mm256_set1_ps(q[0]);
+    let qy = _mm256_set1_ps(q[1]);
+    let qz = _mm256_set1_ps(q[2]);
+    let mut i = 0;
+    while i + LANES <= n {
+        let x = _mm256_loadu_ps(xs.as_ptr().add(i));
+        let y = _mm256_loadu_ps(ys.as_ptr().add(i));
+        let z = _mm256_loadu_ps(zs.as_ptr().add(i));
+        let nd = dist8(x, y, z, qx, qy, qz);
+        _mm256_storeu_ps(out.as_mut_ptr().add(i), nd);
+        i += LANES;
+    }
+    let rem = n - i;
+    if rem > 0 {
+        let m = tail_mask(rem);
+        let x = _mm256_maskload_ps(xs.as_ptr().add(i), m);
+        let y = _mm256_maskload_ps(ys.as_ptr().add(i), m);
+        let z = _mm256_maskload_ps(zs.as_ptr().add(i), m);
+        let nd = dist8(x, y, z, qx, qy, qz);
+        _mm256_maskstore_ps(out.as_mut_ptr().add(i), m, nd);
+    }
+}
+
+/// Fused tile of per-query distance rows + threshold prefilter masks over
+/// one chunk; see the dispatching `knn_prefilter_tile` call site in
+/// [`kernels`](super) for the contract (`out` rows strided by [`CHUNK`];
+/// mask bit `j` set iff `!(row[j] >= threshold)`, so a NaN threshold keeps
+/// every lane).
+///
+/// This is where query batching pays at the register level: each 8-lane
+/// coordinate group is loaded once and both scored *and* prefiltered
+/// against every query of the tile before the next group is touched
+/// (`_CMP_NGE_UQ` is unordered-true, matching the scalar `!(d >= thr)`).
+pub fn knn_prefilter_tile(
+    xs: &[f32],
+    ys: &[f32],
+    zs: &[f32],
+    queries: &[[f32; 3]],
+    thresholds: &[f32],
+    out: &mut [f32],
+    masks: &mut [u64],
+) {
+    assert_avx2();
+    // SAFETY: AVX2 availability asserted above; all accesses stay in bounds
+    // (row `qi` spans `qi * CHUNK .. qi * CHUNK + len` with `len <= CHUNK`
+    // and `out.len() >= queries.len() * CHUNK`, checked below).
+    unsafe { knn_prefilter_tile_impl(xs, ys, zs, queries, thresholds, out, masks) }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn knn_prefilter_tile_impl(
+    xs: &[f32],
+    ys: &[f32],
+    zs: &[f32],
+    queries: &[[f32; 3]],
+    thresholds: &[f32],
+    out: &mut [f32],
+    masks: &mut [u64],
+) {
+    let len = xs.len();
+    assert!(len <= CHUNK, "tile rows are strided by CHUNK");
+    assert!(queries.is_empty() || out.len() >= queries.len() * CHUNK, "out too small");
+    assert!(thresholds.len() >= queries.len() && masks.len() >= queries.len());
+    masks[..queries.len()].fill(0);
+    let mut i = 0;
+    while i + LANES <= len {
+        let x = _mm256_loadu_ps(xs.as_ptr().add(i));
+        let y = _mm256_loadu_ps(ys.as_ptr().add(i));
+        let z = _mm256_loadu_ps(zs.as_ptr().add(i));
+        for (qi, q) in queries.iter().enumerate() {
+            let nd =
+                dist8(x, y, z, _mm256_set1_ps(q[0]), _mm256_set1_ps(q[1]), _mm256_set1_ps(q[2]));
+            _mm256_storeu_ps(out.as_mut_ptr().add(qi * CHUNK + i), nd);
+            let keep = _mm256_cmp_ps::<_CMP_NGE_UQ>(nd, _mm256_set1_ps(thresholds[qi]));
+            masks[qi] |= u64::from(_mm256_movemask_ps(keep) as u8) << i;
+        }
+        i += LANES;
+    }
+    let rem = len - i;
+    if rem > 0 {
+        let m = tail_mask(rem);
+        let x = _mm256_maskload_ps(xs.as_ptr().add(i), m);
+        let y = _mm256_maskload_ps(ys.as_ptr().add(i), m);
+        let z = _mm256_maskload_ps(zs.as_ptr().add(i), m);
+        for (qi, q) in queries.iter().enumerate() {
+            let nd =
+                dist8(x, y, z, _mm256_set1_ps(q[0]), _mm256_set1_ps(q[1]), _mm256_set1_ps(q[2]));
+            _mm256_maskstore_ps(out.as_mut_ptr().add(qi * CHUNK + i), m, nd);
+            let keep = _mm256_cmp_ps::<_CMP_NGE_UQ>(nd, _mm256_set1_ps(thresholds[qi]));
+            // Inactive tail lanes hold distances of zeroed loads: strip them.
+            let bits = (_mm256_movemask_ps(keep) as u32) & ((1u32 << rem) - 1);
+            masks[qi] |= u64::from(bits) << i;
+        }
+    }
+}
+
+/// AVX2 fused relax + argmax; see
+/// [`kernels::fps_relax_argmax`](super::fps_relax_argmax).
+pub fn fps_relax_argmax(
+    xs: &[f32],
+    ys: &[f32],
+    zs: &[f32],
+    q: [f32; 3],
+    dist: &mut [f32],
+) -> usize {
+    assert_avx2();
+    // SAFETY: AVX2 availability asserted above; all accesses stay in bounds.
+    unsafe { fps_relax_argmax_impl(xs, ys, zs, q, dist) }
+}
+
+/// Mirrors the SoA backend's chunk structure exactly: 8 independent lane
+/// maxima per chunk (the vector accumulator), a scalar tail, the same
+/// NaN-safe horizontal fold, and the same first-improving-chunk + rescan
+/// argmax selection — so the returned index is bit-identical.
+#[target_feature(enable = "avx2")]
+unsafe fn fps_relax_argmax_impl(
+    xs: &[f32],
+    ys: &[f32],
+    zs: &[f32],
+    q: [f32; 3],
+    dist: &mut [f32],
+) -> usize {
+    let n = xs.len();
+    let qx = _mm256_set1_ps(q[0]);
+    let qy = _mm256_set1_ps(q[1]);
+    let qz = _mm256_set1_ps(q[2]);
+    let mut cmax = f32::NEG_INFINITY;
+    let mut cmax_chunk_base = 0usize;
+    let mut base = 0usize;
+    while base < n {
+        let end = (base + CHUNK).min(n);
+        let mut acc = _mm256_set1_ps(f32::NEG_INFINITY);
+        let mut i = base;
+        while i + LANES <= end {
+            let x = _mm256_loadu_ps(xs.as_ptr().add(i));
+            let y = _mm256_loadu_ps(ys.as_ptr().add(i));
+            let z = _mm256_loadu_ps(zs.as_ptr().add(i));
+            let nd = dist8(x, y, z, qx, qy, qz);
+            let cur = _mm256_loadu_ps(dist.as_ptr().add(i));
+            // min(nd, cur): keeps `cur` when `nd` is NaN — the relax idiom.
+            let v = _mm256_min_ps(nd, cur);
+            _mm256_storeu_ps(dist.as_mut_ptr().add(i), v);
+            // max(v, acc): NaN `v` never overwrites the accumulator.
+            acc = _mm256_max_ps(v, acc);
+            i += LANES;
+        }
+        // Scalar tail (same code as the SoA backend's remainder loop).
+        let mut cm = f32::NEG_INFINITY;
+        for j in i..end {
+            let dx = xs[j] - q[0];
+            let dy = ys[j] - q[1];
+            let dz = zs[j] - q[2];
+            let nd = dx * dx + dy * dy + dz * dz;
+            let cur = dist[j];
+            let v = if nd < cur { nd } else { cur };
+            dist[j] = v;
+            cm = if v > cm { v } else { cm };
+        }
+        // Horizontal fold of the lane maxima (never NaN, see above).
+        let mut lanes = [0.0f32; LANES];
+        _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+        for &m in &lanes {
+            cm = if m > cm { m } else { cm };
+        }
+        if cm > cmax {
+            cmax = cm;
+            cmax_chunk_base = base;
+        }
+        base = end;
+    }
+    let mut best = cmax_chunk_base;
+    while dist[best] != cmax {
+        best += 1;
+    }
+    best
+}
+
+/// AVX2 fused distance + radius-compare chunk; the contract is documented
+/// on the dispatching wrapper in [`kernels`](super) (`ball_chunk_with`).
+pub fn ball_chunk(
+    xs: &[f32],
+    ys: &[f32],
+    zs: &[f32],
+    q: [f32; 3],
+    r_sq: f32,
+    out: &mut [f32],
+) -> (u64, f32, u32) {
+    assert_avx2();
+    // SAFETY: AVX2 availability asserted above; all accesses stay in bounds.
+    unsafe { ball_chunk_impl(xs, ys, zs, q, r_sq, out) }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn ball_chunk_impl(
+    xs: &[f32],
+    ys: &[f32],
+    zs: &[f32],
+    q: [f32; 3],
+    r_sq: f32,
+    out: &mut [f32],
+) -> (u64, f32, u32) {
+    let len = xs.len();
+    debug_assert!(len <= 64, "ball_chunk mask is 64 lanes wide");
+    let qx = _mm256_set1_ps(q[0]);
+    let qy = _mm256_set1_ps(q[1]);
+    let qz = _mm256_set1_ps(q[2]);
+    let rv = _mm256_set1_ps(r_sq);
+    let inf = _mm256_set1_ps(f32::INFINITY);
+    let mut mask = 0u64;
+    let mut vmin = inf;
+    let mut i = 0;
+    while i + LANES <= len {
+        let x = _mm256_loadu_ps(xs.as_ptr().add(i));
+        let y = _mm256_loadu_ps(ys.as_ptr().add(i));
+        let z = _mm256_loadu_ps(zs.as_ptr().add(i));
+        let nd = dist8(x, y, z, qx, qy, qz);
+        _mm256_storeu_ps(out.as_mut_ptr().add(i), nd);
+        // Ordered, non-signaling `<=`: NaN lanes never hit.
+        let le = _mm256_cmp_ps::<_CMP_LE_OQ>(nd, rv);
+        mask |= u64::from(_mm256_movemask_ps(le) as u8) << i;
+        vmin = _mm256_min_ps(nd, vmin);
+        i += LANES;
+    }
+    let rem = len - i;
+    if rem > 0 {
+        let m = tail_mask(rem);
+        let x = _mm256_maskload_ps(xs.as_ptr().add(i), m);
+        let y = _mm256_maskload_ps(ys.as_ptr().add(i), m);
+        let z = _mm256_maskload_ps(zs.as_ptr().add(i), m);
+        let nd = dist8(x, y, z, qx, qy, qz);
+        _mm256_maskstore_ps(out.as_mut_ptr().add(i), m, nd);
+        let le = _mm256_cmp_ps::<_CMP_LE_OQ>(nd, rv);
+        let bits = (_mm256_movemask_ps(le) as u32) & ((1u32 << rem) - 1);
+        mask |= u64::from(bits) << i;
+        // Inactive lanes hold garbage distances of zeroed loads; blend them
+        // to +inf so they cannot influence the minimum.
+        let ndm = _mm256_blendv_ps(inf, nd, _mm256_castsi256_ps(m));
+        vmin = _mm256_min_ps(ndm, vmin);
+    }
+    // NaN-free horizontal min (NaN lanes never entered `vmin`), then rescan
+    // the stored distances for the first occurrence.
+    let mut lanes = [0.0f32; LANES];
+    _mm256_storeu_ps(lanes.as_mut_ptr(), vmin);
+    let mut min = f32::INFINITY;
+    for &v in &lanes {
+        if v < min {
+            min = v;
+        }
+    }
+    let lane = if min < f32::INFINITY {
+        let mut l = 0;
+        while out[l] != min {
+            l += 1;
+        }
+        l as u32
+    } else {
+        u32::MAX
+    };
+    (mask, min, lane)
+}

@@ -1,0 +1,994 @@
+//! Runtime-dispatched kernel backends for the point-operation hot paths.
+//!
+//! # Why this module exists
+//!
+//! The paper's thesis is that point operations (FPS, KNN, ball query,
+//! aggregation) are *memory-bound* and benefit from streaming one axis at a
+//! time over blocked data. The scalar reference operations in
+//! [`ops::reference`](crate::ops::reference) negate that on real CPUs: they
+//! materialize a [`Point3`](crate::Point3) per candidate and bump
+//! [`OpCounters`](crate::ops::OpCounters) fields inside every inner loop,
+//! which defeats auto-vectorization and triples the instruction count of
+//! the hot path. The kernels here restore the intended dataflow in
+//! software: they operate directly on the structure-of-arrays `xs`/`ys`/`zs`
+//! slices of a [`PointCloud`](crate::PointCloud), and leave *all* counter
+//! accounting to the caller (accumulated per scan, analytically — the
+//! counters model hardware work and are a pure function of the scan sizes).
+//!
+//! # Backends
+//!
+//! Every kernel exists in three interchangeable implementations, selected
+//! once per process (and overridable per call via the `*_with` variants):
+//!
+//! * [`Backend::Scalar`] — straight per-point loops ([`scalar`]); the
+//!   portable floor and the `FRACTALCLOUD_KERNEL=scalar` debugging target.
+//! * [`Backend::Soa`] — chunked, auto-vectorizable loops ([`soa`]) built
+//!   from select idioms the compiler lowers to vector min/max; the portable
+//!   fast path and the fallback on non-x86 hosts.
+//! * [`Backend::Avx2`] — explicit 8-lane `core::arch::x86_64` intrinsics
+//!   ([`avx2`]), used when `is_x86_feature_detected!("avx2")` holds. All
+//!   `unsafe` is confined to that one module behind safe wrappers.
+//!
+//! The active backend is chosen on first use: the `FRACTALCLOUD_KERNEL`
+//! environment variable (`scalar` | `soa` | `avx2`) wins when it names an
+//! available backend, otherwise the best available backend is used (AVX2 on
+//! capable x86-64 hosts, SoA elsewhere). [`with_backend`] installs a
+//! thread-local override for tests and benchmarks.
+//!
+//! # Exact equivalence
+//!
+//! All backends are bit-for-bit equivalent: the same `f32` operations in the
+//! same order per candidate (no FMA contraction), ties resolve identically
+//! (first extremum wins, insertion order preserved), and NaN coordinates
+//! degrade the same way (vector `min`/`max` operand order matches the
+//! reference's `if d < dist` select idiom). Property tests in
+//! `tests/backend_equivalence.rs` assert equality of indices, distances,
+//! *and* counters across all three backends and against the retained scalar
+//! reference implementations.
+//!
+//! # The SoA chunking contract
+//!
+//! Every kernel follows the same structure:
+//!
+//! 1. the candidate set is presented as three equal-length coordinate
+//!    slices (`xs`, `ys`, `zs`) — never as an array of structs;
+//! 2. work proceeds in chunks of [`CHUNK`] lanes; within a chunk, distance
+//!    evaluation is a straight-line loop over the slices with **no
+//!    branches, no counter updates, and no per-point struct construction**;
+//! 3. branchy selection logic (argmax, top-k insertion, radius tests)
+//!    consumes the chunk's distance buffer *after* it is computed, keeping
+//!    the rare-path branches out of the arithmetic loop.
+//!
+//! # Batched-query selection
+//!
+//! The KNN/ball-query selection scans are dominated by re-streaming the
+//! candidate coordinates once per query. [`knn_select_batch`] and
+//! [`ball_select_batch`] instead process a tile of [`QUERY_TILE`] queries
+//! per pass: each [`CHUNK`]-sized candidate chunk is loaded once and scored
+//! against every query of the tile while it is hot in L1 (the software
+//! analogue of the RSPU's intra-block candidate reuse, §V-C). Selection per
+//! query still consumes chunks in ascending scan order, so results are
+//! identical to the one-query-at-a-time formulation.
+//!
+//! Callers that operate on an indexed subset (block-local operations) first
+//! gather the subset into local SoA buffers with [`gather_coords`] — the
+//! software analogue of loading a block into SRAM once and reusing it for
+//! every query (§V-C intra-block reuse).
+
+#[cfg(target_arch = "x86_64")]
+mod avx2;
+mod scalar;
+mod soa;
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+/// Number of lanes processed per chunk.
+///
+/// 64 `f32` lanes = 256 bytes per coordinate stream — a full cache line per
+/// axis on common 64-byte-line machines, and wide enough for 4–16-lane SIMD
+/// units to unroll cleanly. Also the width of the fused ball-scan hit mask
+/// (`u64`).
+pub const CHUNK: usize = 64;
+
+/// Queries scored per candidate pass by the batched selection kernels.
+///
+/// Eight queries share every [`CHUNK`]-sized coordinate load; the per-tile
+/// distance scratch (8 × 64 lanes) stays within a few KiB of L1.
+pub const QUERY_TILE: usize = 8;
+
+/// A kernel implementation, selectable at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Straight per-point scalar loops (portable floor).
+    Scalar,
+    /// Chunked auto-vectorizable SoA loops (portable fast path).
+    Soa,
+    /// Explicit AVX2 intrinsics (x86-64 with runtime feature detection).
+    Avx2,
+}
+
+impl Backend {
+    /// All backends, in increasing order of specialization.
+    pub const ALL: [Backend; 3] = [Backend::Scalar, Backend::Soa, Backend::Avx2];
+
+    /// The backend's `FRACTALCLOUD_KERNEL` name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Soa => "soa",
+            Backend::Avx2 => "avx2",
+        }
+    }
+
+    /// Parses a `FRACTALCLOUD_KERNEL` value (case-insensitive).
+    pub fn from_name(name: &str) -> Option<Backend> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Some(Backend::Scalar),
+            "soa" => Some(Backend::Soa),
+            "avx2" => Some(Backend::Avx2),
+            _ => None,
+        }
+    }
+
+    /// Whether this backend can run on the current host.
+    ///
+    /// `Scalar` and `Soa` are always available; `Avx2` requires an x86-64
+    /// host whose CPU reports AVX2 support at runtime.
+    pub fn is_available(self) -> bool {
+        match self {
+            Backend::Scalar | Backend::Soa => true,
+            #[cfg(target_arch = "x86_64")]
+            Backend::Avx2 => is_x86_feature_detected!("avx2"),
+            #[cfg(not(target_arch = "x86_64"))]
+            Backend::Avx2 => false,
+        }
+    }
+}
+
+/// Replaces an unavailable backend with the portable SoA path.
+fn resolve(backend: Backend) -> Backend {
+    if backend.is_available() {
+        backend
+    } else {
+        Backend::Soa
+    }
+}
+
+/// The fastest backend available on this host.
+fn best_available() -> Backend {
+    if Backend::Avx2.is_available() {
+        Backend::Avx2
+    } else {
+        Backend::Soa
+    }
+}
+
+/// One-time startup selection: `FRACTALCLOUD_KERNEL` when it names an
+/// available backend, otherwise the best available backend.
+fn detect() -> Backend {
+    if let Ok(v) = std::env::var("FRACTALCLOUD_KERNEL") {
+        if let Some(b) = Backend::from_name(&v) {
+            return resolve(b);
+        }
+    }
+    best_available()
+}
+
+thread_local! {
+    static OVERRIDE: Cell<Option<Backend>> = const { Cell::new(None) };
+}
+
+/// The backend all dispatched kernels run on.
+///
+/// Selected once per process (see [module docs](self)); a thread-local
+/// [`with_backend`] override takes precedence. The returned backend is
+/// always available on this host.
+pub fn active_backend() -> Backend {
+    if let Some(b) = OVERRIDE.with(|o| o.get()) {
+        return resolve(b);
+    }
+    static ACTIVE: OnceLock<Backend> = OnceLock::new();
+    *ACTIVE.get_or_init(detect)
+}
+
+/// Runs `f` with `backend` as the active backend on this thread.
+///
+/// The override is thread-local: work dispatched to other threads (e.g.
+/// parallel block scheduling) keeps the process-wide selection. Unavailable
+/// backends fall back to [`Backend::Soa`], so equivalence tests stay
+/// portable. The previous override is restored even if `f` panics.
+pub fn with_backend<T>(backend: Backend, f: impl FnOnce() -> T) -> T {
+    struct Restore(Option<Backend>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let _restore = Restore(OVERRIDE.with(|o| o.replace(Some(backend))));
+    f()
+}
+
+/// Dispatches `$name(args…)` to the resolved backend module.
+macro_rules! dispatch {
+    ($backend:expr, $name:ident($($arg:expr),* $(,)?)) => {
+        match resolve($backend) {
+            Backend::Scalar => scalar::$name($($arg),*),
+            Backend::Soa => soa::$name($($arg),*),
+            #[cfg(target_arch = "x86_64")]
+            Backend::Avx2 => avx2::$name($($arg),*),
+            #[cfg(not(target_arch = "x86_64"))]
+            Backend::Avx2 => unreachable!("AVX2 backend never resolves on non-x86-64 hosts"),
+        }
+    };
+}
+
+fn assert_soa(xs: &[f32], ys: &[f32], zs: &[f32]) {
+    assert_eq!(ys.len(), xs.len(), "ys length mismatch");
+    assert_eq!(zs.len(), xs.len(), "zs length mismatch");
+}
+
+/// Writes the squared Euclidean distance from `q` to every point of the SoA
+/// slices into `out`, on the active backend.
+///
+/// This is the core shared by KNN, ball query and interpolation: one pass,
+/// no branches, no struct materialization.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn distances_sq(xs: &[f32], ys: &[f32], zs: &[f32], q: [f32; 3], out: &mut [f32]) {
+    distances_sq_with(active_backend(), xs, ys, zs, q, out);
+}
+
+/// [`distances_sq`] on an explicit backend (unavailable backends fall back
+/// to [`Backend::Soa`]).
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn distances_sq_with(
+    backend: Backend,
+    xs: &[f32],
+    ys: &[f32],
+    zs: &[f32],
+    q: [f32; 3],
+    out: &mut [f32],
+) {
+    assert_soa(xs, ys, zs);
+    assert_eq!(out.len(), xs.len(), "out length mismatch");
+    dispatch!(backend, distances_sq(xs, ys, zs, q, out));
+}
+
+/// One FPS iteration, fused: relaxes the running nearest-sample distances
+/// `dist` against the newest sample `q` and returns the index of the new
+/// farthest point (first maximum wins on ties), on the active backend.
+///
+/// Per candidate this computes the squared distance branch-free, lowers
+/// `dist` with the `min` select idiom (equivalent to the reference's
+/// `if d < dist[i]` update, including for NaN distances, which leave `dist`
+/// unchanged), then reduces to the running argmax. Entries already selected
+/// can be pinned to `f32::NEG_INFINITY` by the caller; the strict `>`
+/// comparison then keeps them from ever winning again.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ, `dist.len() != xs.len()`, or the
+/// candidate set is empty (an empty set has no argmax).
+pub fn fps_relax_argmax(
+    xs: &[f32],
+    ys: &[f32],
+    zs: &[f32],
+    q: [f32; 3],
+    dist: &mut [f32],
+) -> usize {
+    fps_relax_argmax_with(active_backend(), xs, ys, zs, q, dist)
+}
+
+/// [`fps_relax_argmax`] on an explicit backend (unavailable backends fall
+/// back to [`Backend::Soa`]).
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ, `dist.len() != xs.len()`, or the
+/// candidate set is empty (an empty set has no argmax).
+pub fn fps_relax_argmax_with(
+    backend: Backend,
+    xs: &[f32],
+    ys: &[f32],
+    zs: &[f32],
+    q: [f32; 3],
+    dist: &mut [f32],
+) -> usize {
+    assert_soa(xs, ys, zs);
+    assert_eq!(dist.len(), xs.len(), "dist length mismatch");
+    // Checked here so every backend fails identically instead of the
+    // scalar path returning 0 while the chunked paths index out of bounds.
+    assert!(!xs.is_empty(), "fps_relax_argmax needs at least one candidate");
+    dispatch!(backend, fps_relax_argmax(xs, ys, zs, q, dist))
+}
+
+/// Fused distance + radius-compare pass over one chunk (`len ≤ 64`):
+/// distances are written to `out`, the returned `u64` has bit `j` set when
+/// `out[j] <= r_sq` (NaN distances never hit), and the returned pair is the
+/// chunk minimum with the lane of its first occurrence (`(f32::INFINITY,
+/// u32::MAX)` when no distance is strictly below `+∞`, matching the
+/// reference's strict `d < nearest` update).
+fn ball_chunk_with(
+    backend: Backend,
+    xs: &[f32],
+    ys: &[f32],
+    zs: &[f32],
+    q: [f32; 3],
+    r_sq: f32,
+    out: &mut [f32],
+) -> (u64, f32, u32) {
+    debug_assert!(xs.len() <= 64, "ball_chunk mask is 64 lanes wide");
+    dispatch!(backend, ball_chunk(xs, ys, zs, q, r_sq, out))
+}
+
+/// Gathers the coordinates at `indices` into local SoA buffers (cleared
+/// first) — loading a block into on-chip memory, in software.
+///
+/// # Panics
+///
+/// Panics if any index is out of bounds.
+pub fn gather_coords(
+    xs: &[f32],
+    ys: &[f32],
+    zs: &[f32],
+    indices: &[usize],
+    out_xs: &mut Vec<f32>,
+    out_ys: &mut Vec<f32>,
+    out_zs: &mut Vec<f32>,
+) {
+    out_xs.clear();
+    out_ys.clear();
+    out_zs.clear();
+    out_xs.reserve(indices.len());
+    out_ys.reserve(indices.len());
+    out_zs.reserve(indices.len());
+    for &i in indices {
+        out_xs.push(xs[i]);
+        out_ys.push(ys[i]);
+        out_zs.push(zs[i]);
+    }
+}
+
+/// Ascending top-`k` insertion buffer over a precomputed distance stream —
+/// the software form of the RSPU's merge-sort top-k unit.
+///
+/// `select` scans `(distance, payload)` pairs in order, maintaining the `k`
+/// smallest in ascending order with the reference's exact semantics:
+/// candidates tying the current worst are rejected (`>=`), equal distances
+/// keep scan order, and `on_insert(len_before)` is invoked for every
+/// accepted candidate so callers can replicate the reference's
+/// insertion-cost accounting.
+///
+/// Internally the scan is two-phase: once the buffer holds `k` entries, a
+/// branch-reduced prefilter compacts the lanes that can still be accepted
+/// (`!(d >= worst)`, a single vectorizable compare per lane) and only the
+/// survivors reach the branchy sorted insertion. The threshold only
+/// tightens as survivors insert, and every survivor is re-checked against
+/// the current worst, so the accepted set — and therefore the `on_insert`
+/// sequence — is identical to the one-candidate-at-a-time formulation.
+#[derive(Debug, Clone)]
+pub struct TopK {
+    buf: Vec<(f32, usize)>,
+    k: usize,
+}
+
+/// Prefilter sub-chunk width of [`TopK::select_offset`]'s second phase.
+const PREFILTER: usize = 64;
+
+impl TopK {
+    /// A buffer selecting the `k` smallest distances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn new(k: usize) -> TopK {
+        assert!(k > 0, "k must be at least 1");
+        TopK { buf: Vec::with_capacity(k + 1), k }
+    }
+
+    /// Clears the buffer for reuse with the next query.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Scans `distances`, keeping the `k` nearest `(distance, index)` pairs;
+    /// indices are the scan positions. Calls `on_insert(len_before)` per
+    /// accepted candidate.
+    pub fn select(&mut self, distances: &[f32], on_insert: impl FnMut(usize)) {
+        self.select_offset(distances, 0, on_insert);
+    }
+
+    /// [`select`](TopK::select) over one chunk of a larger scan: stored
+    /// payload indices are offset by `base`, and repeated calls with
+    /// ascending `base` are equivalent to one `select` over the
+    /// concatenated stream. This is the portable incremental form; the
+    /// batched drivers instead prefilter each chunk with the fused
+    /// distance + compare kernels and feed the surviving mask lanes to the
+    /// buffer directly.
+    pub fn select_offset(
+        &mut self,
+        distances: &[f32],
+        base: usize,
+        mut on_insert: impl FnMut(usize),
+    ) {
+        // Phase 1: unconditional sorted insertion until the buffer holds k.
+        let mut i = 0;
+        while self.buf.len() < self.k && i < distances.len() {
+            let d = distances[i];
+            let pos = self.buf.partition_point(|&(bd, _)| bd <= d);
+            on_insert(self.buf.len());
+            self.buf.insert(pos, (d, base + i));
+            i += 1;
+        }
+        // Phase 2: branch-reduced threshold prefilter, then insert only the
+        // survivors. `!(d >= worst)` (not `d < worst`) keeps NaN candidates
+        // on the insert path exactly like the reference's `>=`-skip.
+        let mut lanes = [0u8; PREFILTER];
+        while i < distances.len() {
+            let len = PREFILTER.min(distances.len() - i);
+            let sub = &distances[i..i + len];
+            let worst = self.buf[self.k - 1].0;
+            // Whole-chunk reject test first: a branch-free 0/1 sum the
+            // compiler vectorizes. Once the buffer has converged, almost
+            // every chunk is fully rejected here and never reaches the
+            // serial compaction. `d >= worst` is false for NaN, so a NaN
+            // lane keeps the chunk alive exactly like the reference's
+            // `>=`-skip.
+            let mut rejects = 0usize;
+            for &d in sub {
+                rejects += usize::from(d >= worst);
+            }
+            if rejects == len {
+                i += len;
+                continue;
+            }
+            let mut m = 0usize;
+            for (j, &d) in sub.iter().enumerate() {
+                lanes[m] = j as u8;
+                // `!(d >= worst)` deliberately differs from `d < worst`:
+                // NaN must survive the prefilter to reach the insert path.
+                #[allow(clippy::neg_cmp_op_on_partial_ord)]
+                {
+                    m += usize::from(!(d >= worst));
+                }
+            }
+            for &l in &lanes[..m] {
+                let d = sub[l as usize];
+                // Re-check against the *current* worst: it only tightens, so
+                // lanes dropped by the prefilter could never be accepted.
+                if d >= self.buf[self.k - 1].0 {
+                    continue;
+                }
+                let pos = self.buf.partition_point(|&(bd, _)| bd <= d);
+                on_insert(self.buf.len());
+                self.buf.insert(pos, (d, base + i + l as usize));
+                if self.buf.len() > self.k {
+                    self.buf.pop();
+                }
+            }
+            i += len;
+        }
+    }
+
+    /// The selected `(distance, index)` pairs, ascending.
+    pub fn as_slice(&self) -> &[(f32, usize)] {
+        &self.buf
+    }
+
+    /// The fused-prefilter threshold: the current worst distance when the
+    /// buffer is full, else NaN. `!(d >= NaN)` is true for every `d`, so a
+    /// NaN threshold makes the prefilter keep all lanes — exactly the
+    /// reference's behavior while the buffer is still filling.
+    fn prefilter_threshold(&self) -> f32 {
+        if self.buf.len() == self.k {
+            self.buf[self.k - 1].0
+        } else {
+            f32::NAN
+        }
+    }
+
+    /// Inserts the lanes of `mask` (ascending scan order) from a distance
+    /// row whose prefilter used [`prefilter_threshold`](Self::prefilter_threshold):
+    /// every masked lane runs the full reference acceptance check, so the
+    /// result is identical to scanning the whole row — lanes the prefilter
+    /// dropped had `d >= worst` at chunk start, and the worst only tightens.
+    fn insert_masked(
+        &mut self,
+        distances: &[f32],
+        mask: u64,
+        base: usize,
+        mut on_insert: impl FnMut(usize),
+    ) {
+        let mut m = mask;
+        while m != 0 {
+            let l = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let d = distances[l];
+            if self.buf.len() == self.k && d >= self.buf[self.k - 1].0 {
+                continue;
+            }
+            let pos = self.buf.partition_point(|&(bd, _)| bd <= d);
+            on_insert(self.buf.len());
+            self.buf.insert(pos, (d, base + l));
+            if self.buf.len() > self.k {
+                self.buf.pop();
+            }
+        }
+    }
+}
+
+/// Batched KNN selection on the active backend; see
+/// [`knn_select_batch_with`].
+pub fn knn_select_batch(
+    xs: &[f32],
+    ys: &[f32],
+    zs: &[f32],
+    queries: &[[f32; 3]],
+    k: usize,
+    emit: impl FnMut(usize, &[(f32, usize)]),
+    on_insert: impl FnMut(usize),
+) {
+    knn_select_batch_with(active_backend(), xs, ys, zs, queries, k, emit, on_insert);
+}
+
+/// Batched KNN selection: the `k` nearest candidates for every query, with
+/// tiles of [`QUERY_TILE`] queries sharing each pass over the candidate
+/// chunks.
+///
+/// `emit(query, pairs)` is called once per query, in query order, with the
+/// ascending `(distance_sq, candidate_index)` pairs (fewer than `k` when
+/// `k` exceeds the candidate count). `on_insert(len_before)` is forwarded
+/// from the per-query [`TopK`] buffers for insertion-cost accounting; the
+/// per-query call sequences are identical to unbatched scans (tiling only
+/// interleaves them between queries).
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ or `k` is zero.
+#[allow(clippy::too_many_arguments)]
+pub fn knn_select_batch_with(
+    backend: Backend,
+    xs: &[f32],
+    ys: &[f32],
+    zs: &[f32],
+    queries: &[[f32; 3]],
+    k: usize,
+    mut emit: impl FnMut(usize, &[(f32, usize)]),
+    mut on_insert: impl FnMut(usize),
+) {
+    assert_soa(xs, ys, zs);
+    let n = xs.len();
+    let tile_cap = QUERY_TILE.min(queries.len().max(1));
+    let mut topks: Vec<TopK> = (0..tile_cap).map(|_| TopK::new(k)).collect();
+    let mut dbuf = vec![0.0f32; tile_cap * CHUNK];
+    for (tile_idx, tile) in queries.chunks(QUERY_TILE).enumerate() {
+        for t in &mut topks[..tile.len()] {
+            t.clear();
+        }
+        let mut thresholds = [0.0f32; QUERY_TILE];
+        let mut masks = [0u64; QUERY_TILE];
+        let mut base = 0;
+        while base < n {
+            let len = CHUNK.min(n - base);
+            let (xc, yc, zc) =
+                (&xs[base..base + len], &ys[base..base + len], &zs[base..base + len]);
+            for (qi, topk) in topks[..tile.len()].iter().enumerate() {
+                thresholds[qi] = topk.prefilter_threshold();
+            }
+            // One fused dispatched call scores the whole tile against this
+            // chunk and prefilters each row against its query's threshold
+            // (the AVX2 path keeps the coordinate vectors in registers
+            // across all tile queries); selection then touches only the
+            // surviving mask lanes.
+            dispatch!(
+                backend,
+                knn_prefilter_tile(
+                    xc,
+                    yc,
+                    zc,
+                    tile,
+                    &thresholds[..tile.len()],
+                    &mut dbuf,
+                    &mut masks,
+                )
+            );
+            for (qi, topk) in topks[..tile.len()].iter_mut().enumerate() {
+                topk.insert_masked(
+                    &dbuf[qi * CHUNK..qi * CHUNK + len],
+                    masks[qi],
+                    base,
+                    &mut on_insert,
+                );
+            }
+            base += len;
+        }
+        for (qi, topk) in topks[..tile.len()].iter().enumerate() {
+            emit(tile_idx * QUERY_TILE + qi, topk.as_slice());
+        }
+    }
+}
+
+/// Batched ball-query selection on the active backend; see
+/// [`ball_select_batch_with`].
+pub fn ball_select_batch(
+    xs: &[f32],
+    ys: &[f32],
+    zs: &[f32],
+    queries: &[[f32; 3]],
+    r_sq: f32,
+    num: usize,
+    emit: impl FnMut(usize, &[(f32, usize)], (f32, usize)),
+) {
+    ball_select_batch_with(active_backend(), xs, ys, zs, queries, r_sq, num, emit);
+}
+
+/// Batched ball-query selection: the `num` nearest candidates within
+/// `sqrt(r_sq)` for every query, with tiles of [`QUERY_TILE`] queries
+/// sharing each pass over the candidate chunks.
+///
+/// Per chunk the fused distance + compare kernel produces a hit bitmask
+/// (`d <= r_sq`) and the chunk's first minimum; only hit lanes reach the
+/// branchy sorted insertion (`best.len() < num || d < worst`, the canonical
+/// nearest-`num`-within-radius semantics). `emit(query, pairs, nearest)` is
+/// called once per query, in query order, with the ascending
+/// `(distance_sq, candidate_index)` hits and the overall-nearest candidate
+/// (`(f32::INFINITY, usize::MAX)` when no distance was strictly below `+∞`,
+/// e.g. for an empty candidate set) for the empty-ball fallback.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+#[allow(clippy::too_many_arguments)]
+pub fn ball_select_batch_with(
+    backend: Backend,
+    xs: &[f32],
+    ys: &[f32],
+    zs: &[f32],
+    queries: &[[f32; 3]],
+    r_sq: f32,
+    num: usize,
+    mut emit: impl FnMut(usize, &[(f32, usize)], (f32, usize)),
+) {
+    assert_soa(xs, ys, zs);
+    let n = xs.len();
+    let tile_cap = QUERY_TILE.min(queries.len().max(1));
+    let mut bests: Vec<Vec<(f32, usize)>> =
+        (0..tile_cap).map(|_| Vec::with_capacity(num + 1)).collect();
+    let mut nearests = vec![(f32::INFINITY, usize::MAX); tile_cap];
+    let mut dbuf = [0.0f32; CHUNK];
+    for (tile_idx, tile) in queries.chunks(QUERY_TILE).enumerate() {
+        for b in &mut bests[..tile.len()] {
+            b.clear();
+        }
+        for nearest in &mut nearests[..tile.len()] {
+            *nearest = (f32::INFINITY, usize::MAX);
+        }
+        let mut base = 0;
+        while base < n {
+            let len = CHUNK.min(n - base);
+            let (xc, yc, zc) =
+                (&xs[base..base + len], &ys[base..base + len], &zs[base..base + len]);
+            for (qi, q) in tile.iter().enumerate() {
+                let (mask, cmin, clane) =
+                    ball_chunk_with(backend, xc, yc, zc, *q, r_sq, &mut dbuf[..len]);
+                if cmin < nearests[qi].0 {
+                    nearests[qi] = (cmin, base + clane as usize);
+                }
+                let best = &mut bests[qi];
+                let mut m = mask;
+                while m != 0 {
+                    let l = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let d = dbuf[l];
+                    if best.len() < num || d < best[best.len() - 1].0 {
+                        let pos = best.partition_point(|&(bd, _)| bd <= d);
+                        best.insert(pos, (d, base + l));
+                        if best.len() > num {
+                            best.pop();
+                        }
+                    }
+                }
+            }
+            base += len;
+        }
+        for (qi, best) in bests[..tile.len()].iter().enumerate() {
+            emit(tile_idx * QUERY_TILE + qi, best, nearests[qi]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn soa_of(points: &[[f32; 3]]) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+        (
+            points.iter().map(|p| p[0]).collect(),
+            points.iter().map(|p| p[1]).collect(),
+            points.iter().map(|p| p[2]).collect(),
+        )
+    }
+
+    fn available() -> Vec<Backend> {
+        Backend::ALL.into_iter().filter(|b| b.is_available()).collect()
+    }
+
+    #[test]
+    fn backend_names_round_trip() {
+        for b in Backend::ALL {
+            assert_eq!(Backend::from_name(b.name()), Some(b));
+        }
+        assert_eq!(Backend::from_name(" AVX2 "), Some(Backend::Avx2));
+        assert_eq!(Backend::from_name("neon"), None);
+    }
+
+    #[test]
+    fn active_backend_is_available() {
+        assert!(active_backend().is_available());
+    }
+
+    #[test]
+    fn with_backend_overrides_and_restores() {
+        let outer = active_backend();
+        with_backend(Backend::Scalar, || {
+            assert_eq!(active_backend(), Backend::Scalar);
+            with_backend(Backend::Soa, || assert_eq!(active_backend(), Backend::Soa));
+            assert_eq!(active_backend(), Backend::Scalar);
+        });
+        assert_eq!(active_backend(), outer);
+    }
+
+    #[test]
+    fn distances_match_scalar_formula_on_every_backend() {
+        let pts: Vec<[f32; 3]> =
+            (0..200).map(|i| [i as f32 * 0.1, (i % 7) as f32, -(i as f32)]).collect();
+        let (xs, ys, zs) = soa_of(&pts);
+        let q = [1.5f32, 2.0, -3.0];
+        for b in available() {
+            let mut out = vec![0.0; pts.len()];
+            distances_sq_with(b, &xs, &ys, &zs, q, &mut out);
+            for (i, p) in pts.iter().enumerate() {
+                let expect = (p[0] - q[0]).powi(2) + (p[1] - q[1]).powi(2) + (p[2] - q[2]).powi(2);
+                assert_eq!(out[i], expect, "lane {i} on {}", b.name());
+            }
+        }
+    }
+
+    #[test]
+    fn relax_argmax_first_max_wins_on_ties() {
+        // Two equidistant candidates: the lower index must win, matching the
+        // reference's strict `>` scan.
+        let (xs, ys, zs) = soa_of(&[[0.0, 0.0, 0.0], [2.0, 0.0, 0.0], [-2.0, 0.0, 0.0]]);
+        for b in available() {
+            let mut dist = vec![f32::INFINITY; 3];
+            let best = fps_relax_argmax_with(b, &xs, &ys, &zs, [0.0, 0.0, 0.0], &mut dist);
+            assert_eq!(best, 1, "index 1 ties index 2 and precedes it ({})", b.name());
+            assert_eq!(dist, vec![0.0, 4.0, 4.0]);
+        }
+    }
+
+    #[test]
+    fn relax_argmax_skips_pinned_entries() {
+        let (xs, ys, zs) = soa_of(&[[0.0, 0.0, 0.0], [5.0, 0.0, 0.0], [1.0, 0.0, 0.0]]);
+        for b in available() {
+            let mut dist = vec![f32::INFINITY; 3];
+            dist[1] = f32::NEG_INFINITY; // already sampled
+            let best = fps_relax_argmax_with(b, &xs, &ys, &zs, [0.0, 0.0, 0.0], &mut dist);
+            assert_eq!(best, 2, "pinned entry 1 cannot win ({})", b.name());
+            assert_eq!(dist[1], f32::NEG_INFINITY, "pinned stays pinned");
+        }
+    }
+
+    #[test]
+    fn relax_argmax_spans_chunk_boundaries() {
+        let n = CHUNK * 3 + 17;
+        let pts: Vec<[f32; 3]> = (0..n).map(|i| [i as f32, 0.0, 0.0]).collect();
+        let (xs, ys, zs) = soa_of(&pts);
+        for b in available() {
+            let mut dist = vec![f32::INFINITY; n];
+            let best = fps_relax_argmax_with(b, &xs, &ys, &zs, [0.0, 0.0, 0.0], &mut dist);
+            assert_eq!(best, n - 1, "farthest point is in the final partial chunk ({})", b.name());
+        }
+    }
+
+    #[test]
+    fn relax_argmax_rejects_empty_input_on_every_backend() {
+        for b in available() {
+            let caught = std::panic::catch_unwind(|| {
+                let mut dist: Vec<f32> = Vec::new();
+                fps_relax_argmax_with(b, &[], &[], &[], [0.0; 3], &mut dist)
+            });
+            assert!(caught.is_err(), "empty input must panic identically ({})", b.name());
+        }
+    }
+
+    #[test]
+    fn nan_distances_leave_dist_unchanged() {
+        let (xs, ys, zs) = soa_of(&[[f32::NAN, 0.0, 0.0], [1.0, 0.0, 0.0]]);
+        for b in available() {
+            let mut dist = vec![7.0f32, f32::INFINITY];
+            fps_relax_argmax_with(b, &xs, &ys, &zs, [0.0, 0.0, 0.0], &mut dist);
+            assert_eq!(dist[0], 7.0, "NaN candidate must not lower dist ({})", b.name());
+            assert_eq!(dist[1], 1.0);
+        }
+    }
+
+    #[test]
+    fn gather_builds_local_soa() {
+        let (xs, ys, zs) = soa_of(&[[0.0, 10.0, 20.0], [1.0, 11.0, 21.0], [2.0, 12.0, 22.0]]);
+        let (mut gx, mut gy, mut gz) = (Vec::new(), Vec::new(), Vec::new());
+        gather_coords(&xs, &ys, &zs, &[2, 0], &mut gx, &mut gy, &mut gz);
+        assert_eq!(gx, vec![2.0, 0.0]);
+        assert_eq!(gy, vec![12.0, 10.0]);
+        assert_eq!(gz, vec![22.0, 20.0]);
+    }
+
+    #[test]
+    fn topk_keeps_k_smallest_in_order() {
+        let mut topk = TopK::new(3);
+        let mut inserts = 0;
+        topk.select(&[5.0, 1.0, 4.0, 0.5, 9.0, 0.7], |_| inserts += 1);
+        let got: Vec<(f32, usize)> = topk.as_slice().to_vec();
+        assert_eq!(got, vec![(0.5, 3), (0.7, 5), (1.0, 1)]);
+        assert_eq!(inserts, 5, "9.0 is rejected by the full-buffer threshold");
+    }
+
+    #[test]
+    fn topk_equal_distances_keep_scan_order() {
+        let mut topk = TopK::new(2);
+        topk.select(&[1.0, 1.0, 1.0], |_| {});
+        assert_eq!(topk.as_slice(), &[(1.0, 0), (1.0, 1)]);
+    }
+
+    #[test]
+    fn topk_select_offset_matches_single_select() {
+        let distances: Vec<f32> = (0..300).map(|i| ((i * 37) % 101) as f32).collect();
+        let mut whole = TopK::new(7);
+        let mut whole_inserts = Vec::new();
+        whole.select(&distances, |l| whole_inserts.push(l));
+        let mut chunked = TopK::new(7);
+        let mut chunked_inserts = Vec::new();
+        let mut base = 0;
+        for chunk in distances.chunks(CHUNK) {
+            chunked.select_offset(chunk, base, |l| chunked_inserts.push(l));
+            base += chunk.len();
+        }
+        assert_eq!(whole.as_slice(), chunked.as_slice());
+        assert_eq!(whole_inserts, chunked_inserts);
+    }
+
+    #[test]
+    fn ball_chunk_masks_hits_and_finds_first_min() {
+        let pts: Vec<[f32; 3]> = vec![
+            [3.0, 0.0, 0.0],
+            [1.0, 0.0, 0.0],
+            [1.0, 0.0, 0.0], // ties lane 1: first min must stay lane 1
+            [0.5, 0.0, 0.0],
+            [9.0, 0.0, 0.0],
+        ];
+        let (xs, ys, zs) = soa_of(&pts);
+        for b in available() {
+            let mut out = [0.0f32; 5];
+            let (mask, cmin, clane) =
+                ball_chunk_with(b, &xs, &ys, &zs, [0.0; 3], 1.0, &mut out[..5]);
+            assert_eq!(mask, 0b01110, "hits are d² <= 1 ({})", b.name());
+            assert_eq!(cmin, 0.25);
+            assert_eq!(clane, 3);
+        }
+    }
+
+    #[test]
+    fn ball_chunk_empty_and_nan_lanes_never_hit() {
+        let (xs, ys, zs) = soa_of(&[[f32::NAN, 0.0, 0.0], [f32::INFINITY, 0.0, 0.0]]);
+        for b in available() {
+            let mut out = [0.0f32; 2];
+            let (mask, cmin, clane) =
+                ball_chunk_with(b, &xs, &ys, &zs, [0.0; 3], 1e30, &mut out[..2]);
+            assert_eq!(mask, 0, "NaN and +inf distances are not hits ({})", b.name());
+            assert_eq!(cmin, f32::INFINITY);
+            assert_eq!(clane, u32::MAX, "no lane is strictly below +inf");
+        }
+    }
+
+    #[test]
+    fn knn_batch_matches_per_query_topk() {
+        let pts: Vec<[f32; 3]> =
+            (0..157).map(|i| [(i as f32 * 0.73).sin() * 10.0, (i % 13) as f32, i as f32]).collect();
+        let (xs, ys, zs) = soa_of(&pts);
+        // 11 queries: not a multiple of QUERY_TILE.
+        let queries: Vec<[f32; 3]> = (0..11).map(|i| pts[i * 14]).collect();
+        let k = 5;
+        for b in available() {
+            let mut batched: Vec<Vec<(f32, usize)>> = Vec::new();
+            let mut batched_inserts = 0u64;
+            knn_select_batch_with(
+                b,
+                &xs,
+                &ys,
+                &zs,
+                &queries,
+                k,
+                |qi, pairs| {
+                    assert_eq!(qi, batched.len(), "emit must be in query order");
+                    batched.push(pairs.to_vec());
+                },
+                |_| batched_inserts += 1,
+            );
+            let mut single_inserts = 0u64;
+            for (qi, q) in queries.iter().enumerate() {
+                let mut dbuf = vec![0.0f32; pts.len()];
+                distances_sq_with(b, &xs, &ys, &zs, *q, &mut dbuf);
+                let mut topk = TopK::new(k);
+                topk.select(&dbuf, |_| single_inserts += 1);
+                assert_eq!(batched[qi], topk.as_slice(), "query {qi} on {}", b.name());
+            }
+            assert_eq!(batched_inserts, single_inserts, "insert accounting ({})", b.name());
+        }
+    }
+
+    #[test]
+    fn knn_batch_k_larger_than_candidates_emits_all() {
+        let (xs, ys, zs) = soa_of(&[[0.0, 0.0, 0.0], [1.0, 0.0, 0.0]]);
+        knn_select_batch(
+            &xs,
+            &ys,
+            &zs,
+            &[[0.0; 3]],
+            5,
+            |_, pairs| assert_eq!(pairs.len(), 2),
+            |_| {},
+        );
+    }
+
+    #[test]
+    fn ball_batch_matches_sequential_reference_semantics() {
+        let pts: Vec<[f32; 3]> = (0..200)
+            .map(|i| [((i * 31) % 17) as f32 * 0.3, ((i * 7) % 11) as f32 * 0.3, 0.0])
+            .collect();
+        let (xs, ys, zs) = soa_of(&pts);
+        let queries: Vec<[f32; 3]> = (0..9).map(|i| pts[i * 21]).collect();
+        let (r_sq, num) = (0.5f32, 4usize);
+        for b in available() {
+            type BallResult = (Vec<(f32, usize)>, (f32, usize));
+            let mut got: Vec<BallResult> = Vec::new();
+            ball_select_batch_with(b, &xs, &ys, &zs, &queries, r_sq, num, |_, best, nearest| {
+                got.push((best.to_vec(), nearest));
+            });
+            for (qi, q) in queries.iter().enumerate() {
+                // Scalar reference formulation.
+                let mut best: Vec<(f32, usize)> = Vec::new();
+                let mut nearest = (f32::INFINITY, usize::MAX);
+                for (i, p) in pts.iter().enumerate() {
+                    let d = (p[0] - q[0]).powi(2) + (p[1] - q[1]).powi(2) + (p[2] - q[2]).powi(2);
+                    if d < nearest.0 {
+                        nearest = (d, i);
+                    }
+                    if d <= r_sq && (best.len() < num || d < best[best.len() - 1].0) {
+                        let pos = best.partition_point(|&(bd, _)| bd <= d);
+                        best.insert(pos, (d, i));
+                        if best.len() > num {
+                            best.pop();
+                        }
+                    }
+                }
+                assert_eq!(got[qi].0, best, "query {qi} on {}", b.name());
+                assert_eq!(got[qi].1, nearest, "nearest for query {qi} on {}", b.name());
+            }
+        }
+    }
+
+    #[test]
+    fn ball_batch_empty_candidates_reports_sentinel() {
+        let empty: [f32; 0] = [];
+        ball_select_batch(&empty, &empty, &empty, &[[0.0; 3]], 1.0, 3, |_, best, nearest| {
+            assert!(best.is_empty());
+            assert_eq!(nearest, (f32::INFINITY, usize::MAX));
+        });
+    }
+}

@@ -1,0 +1,111 @@
+//! Scalar kernel backend: straight per-point loops.
+//!
+//! The portable floor of the dispatch layer and the debugging target of
+//! `FRACTALCLOUD_KERNEL=scalar`. Each function performs exactly the same
+//! `f32` operations per candidate as the [`soa`](super::soa) and
+//! [`avx2`](super::avx2) backends (same expression, same association, no
+//! FMA contraction), so results are bit-identical; only the loop structure
+//! differs.
+
+/// Per-point squared distances; see [`kernels::distances_sq`](super::distances_sq).
+pub fn distances_sq(xs: &[f32], ys: &[f32], zs: &[f32], q: [f32; 3], out: &mut [f32]) {
+    for i in 0..xs.len() {
+        let dx = xs[i] - q[0];
+        let dy = ys[i] - q[1];
+        let dz = zs[i] - q[2];
+        out[i] = dx * dx + dy * dy + dz * dz;
+    }
+}
+
+/// Fused tile of per-query distance rows + threshold prefilter masks over
+/// one chunk; see the dispatching `knn_prefilter_tile` call site in
+/// [`kernels`](super) for the contract (`out` rows strided by
+/// [`CHUNK`](super::CHUNK); mask bit `j` set iff `!(row[j] >= threshold)`,
+/// so a NaN threshold keeps every lane).
+pub fn knn_prefilter_tile(
+    xs: &[f32],
+    ys: &[f32],
+    zs: &[f32],
+    queries: &[[f32; 3]],
+    thresholds: &[f32],
+    out: &mut [f32],
+    masks: &mut [u64],
+) {
+    for (qi, q) in queries.iter().enumerate() {
+        let thr = thresholds[qi];
+        let row = &mut out[qi * super::CHUNK..qi * super::CHUNK + xs.len()];
+        let mut mask = 0u64;
+        for j in 0..xs.len() {
+            let dx = xs[j] - q[0];
+            let dy = ys[j] - q[1];
+            let dz = zs[j] - q[2];
+            let d = dx * dx + dy * dy + dz * dz;
+            row[j] = d;
+            // `!(d >= thr)` keeps NaN distances (and everything under a NaN
+            // threshold) on the insert path, like the reference's `>=`-skip.
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            {
+                mask |= u64::from(!(d >= thr)) << j;
+            }
+        }
+        masks[qi] = mask;
+    }
+}
+
+/// Fused relax + argmax; see [`kernels::fps_relax_argmax`](super::fps_relax_argmax).
+///
+/// The running strict-`>` argmax keeps the first maximum, matching the
+/// chunked backends' first-occurrence selection; the `min` select idiom
+/// leaves `dist` unchanged for NaN candidate distances.
+pub fn fps_relax_argmax(
+    xs: &[f32],
+    ys: &[f32],
+    zs: &[f32],
+    q: [f32; 3],
+    dist: &mut [f32],
+) -> usize {
+    let mut best = 0usize;
+    let mut best_v = f32::NEG_INFINITY;
+    for i in 0..xs.len() {
+        let dx = xs[i] - q[0];
+        let dy = ys[i] - q[1];
+        let dz = zs[i] - q[2];
+        let nd = dx * dx + dy * dy + dz * dz;
+        let cur = dist[i];
+        let v = if nd < cur { nd } else { cur };
+        dist[i] = v;
+        if v > best_v {
+            best_v = v;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Fused distance + radius-compare chunk; see the dispatching
+/// [`ball_chunk_with`](super::ball_chunk_with) for the contract.
+pub fn ball_chunk(
+    xs: &[f32],
+    ys: &[f32],
+    zs: &[f32],
+    q: [f32; 3],
+    r_sq: f32,
+    out: &mut [f32],
+) -> (u64, f32, u32) {
+    let mut mask = 0u64;
+    let mut min = f32::INFINITY;
+    let mut lane = u32::MAX;
+    for i in 0..xs.len() {
+        let dx = xs[i] - q[0];
+        let dy = ys[i] - q[1];
+        let dz = zs[i] - q[2];
+        let d = dx * dx + dy * dy + dz * dz;
+        out[i] = d;
+        mask |= u64::from(d <= r_sq) << i;
+        if d < min {
+            min = d;
+            lane = i as u32;
+        }
+    }
+    (mask, min, lane)
+}

@@ -1,0 +1,178 @@
+//! SoA kernel backend: chunked, auto-vectorizable loops — the software
+//! analogue of the RSPU distance units, and the portable fast path of the
+//! dispatch layer (also the fallback wherever AVX2 is unavailable).
+//!
+//! Work proceeds in chunks of [`CHUNK`] lanes; within a chunk, distance
+//! evaluation is a straight-line loop over the slices built from select
+//! idioms (`if a < b { a } else { b }`) the compiler lowers to vector
+//! min/max. Branchy selection consumes the chunk's results afterwards.
+
+use super::CHUNK;
+
+/// Chunked squared distances; see [`kernels::distances_sq`](super::distances_sq).
+pub fn distances_sq(xs: &[f32], ys: &[f32], zs: &[f32], q: [f32; 3], out: &mut [f32]) {
+    let n = xs.len();
+    let mut base = 0;
+    while base < n {
+        let len = CHUNK.min(n - base);
+        let (xs, ys, zs) = (&xs[base..base + len], &ys[base..base + len], &zs[base..base + len]);
+        let out = &mut out[base..base + len];
+        for j in 0..len {
+            let dx = xs[j] - q[0];
+            let dy = ys[j] - q[1];
+            let dz = zs[j] - q[2];
+            out[j] = dx * dx + dy * dy + dz * dz;
+        }
+        base += len;
+    }
+}
+
+/// Fused tile of per-query distance rows + threshold prefilter masks over
+/// one chunk; see the dispatching `knn_prefilter_tile` call site in
+/// [`kernels`](super) for the contract (`out` rows strided by [`CHUNK`];
+/// mask bit `j` set iff `!(row[j] >= threshold)`, so a NaN threshold keeps
+/// every lane).
+pub fn knn_prefilter_tile(
+    xs: &[f32],
+    ys: &[f32],
+    zs: &[f32],
+    queries: &[[f32; 3]],
+    thresholds: &[f32],
+    out: &mut [f32],
+    masks: &mut [u64],
+) {
+    for (qi, q) in queries.iter().enumerate() {
+        let thr = thresholds[qi];
+        let row = &mut out[qi * CHUNK..qi * CHUNK + xs.len()];
+        distances_sq(xs, ys, zs, *q, row);
+        // Branch-free mask build over the precomputed row; the `!(d >= thr)`
+        // form keeps NaN distances (and everything under a NaN threshold)
+        // on the insert path, like the reference's `>=`-skip.
+        let mut mask = 0u64;
+        for (j, &d) in row.iter().enumerate() {
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            {
+                mask |= u64::from(!(d >= thr)) << j;
+            }
+        }
+        masks[qi] = mask;
+    }
+}
+
+/// Fused chunked relax + argmax; see
+/// [`kernels::fps_relax_argmax`](super::fps_relax_argmax).
+///
+/// Per chunk this computes squared distances branch-free, lowers `dist`
+/// with `f32::min` (equivalent to the reference's `if d < dist[i]` update,
+/// including for NaN distances, which leave `dist` unchanged), then scans
+/// the chunk for the running argmax.
+pub fn fps_relax_argmax(
+    xs: &[f32],
+    ys: &[f32],
+    zs: &[f32],
+    q: [f32; 3],
+    dist: &mut [f32],
+) -> usize {
+    let n = xs.len();
+
+    // Fused chunked pass (branch-free, vectorizable): distances, the
+    // min-relaxation, and per-chunk maxima in one stream over the data.
+    // The select idioms `if nd < cur { nd } else { cur }` / `if v > m { v }
+    // else { m }` compile to vector min/max; the min keeps the old value
+    // for NaN distances, matching the reference's `if d < dist[i]` update.
+    // LANES independent running maxima break the floating-point dependency
+    // chain a single running max would create, and the fixed-size lane
+    // arrays (`chunks_exact` + `try_into`) eliminate bounds checks from
+    // the inner loop.
+    const LANES: usize = 8;
+    let mut cmax = f32::NEG_INFINITY;
+    let mut cmax_chunk_base = 0usize;
+    let mut base = 0usize;
+    while base < n {
+        let end = (base + CHUNK).min(n);
+        let (xb, yb, zb) = (&xs[base..end], &ys[base..end], &zs[base..end]);
+        let db = &mut dist[base..end];
+        let mut acc = [f32::NEG_INFINITY; LANES];
+        let mut d_it = db.chunks_exact_mut(LANES);
+        let mut x_it = xb.chunks_exact(LANES);
+        let mut y_it = yb.chunks_exact(LANES);
+        let mut z_it = zb.chunks_exact(LANES);
+        for d8 in d_it.by_ref() {
+            let d8: &mut [f32; LANES] = d8.try_into().expect("exact chunk");
+            let x8: &[f32; LANES] = x_it.next().expect("same length").try_into().unwrap();
+            let y8: &[f32; LANES] = y_it.next().expect("same length").try_into().unwrap();
+            let z8: &[f32; LANES] = z_it.next().expect("same length").try_into().unwrap();
+            for l in 0..LANES {
+                let dx = x8[l] - q[0];
+                let dy = y8[l] - q[1];
+                let dz = z8[l] - q[2];
+                let nd = dx * dx + dy * dy + dz * dz;
+                let cur = d8[l];
+                let v = if nd < cur { nd } else { cur };
+                d8[l] = v;
+                acc[l] = if v > acc[l] { v } else { acc[l] };
+            }
+        }
+        let mut cm = f32::NEG_INFINITY;
+        let tail = d_it.into_remainder();
+        let (xt, yt, zt) = (x_it.remainder(), y_it.remainder(), z_it.remainder());
+        for (l, cur) in tail.iter_mut().enumerate() {
+            let dx = xt[l] - q[0];
+            let dy = yt[l] - q[1];
+            let dz = zt[l] - q[2];
+            let nd = dx * dx + dy * dy + dz * dz;
+            let v = if nd < *cur { nd } else { *cur };
+            *cur = v;
+            cm = if v > cm { v } else { cm };
+        }
+        for &m in &acc {
+            cm = if m > cm { m } else { cm };
+        }
+        // Strict `>`: only a chunk that *improves* the global maximum is
+        // recorded, so `cmax_chunk_base` ends on the first chunk attaining
+        // it (later tying chunks don't displace it).
+        if cm > cmax {
+            cmax = cm;
+            cmax_chunk_base = base;
+        }
+        base = end;
+    }
+
+    // Selection: the recorded chunk contains the first occurrence of the
+    // global maximum (distances are never -0.0, so value equality is
+    // exact); a short in-chunk scan finds it — the same winner as the
+    // reference's strict `>` running argmax (first maximum wins on ties).
+    let mut best = cmax_chunk_base;
+    while dist[best] != cmax {
+        best += 1;
+    }
+    best
+}
+
+/// Fused distance + radius-compare chunk; the contract is documented on the
+/// dispatching wrapper in [`kernels`](super) (`ball_chunk_with`).
+///
+/// Distances are computed in the branch-free chunked form, the hit mask is
+/// accumulated with a branch-free shift-or, and only the first-minimum
+/// tracking carries a (well-predicted) branch.
+pub fn ball_chunk(
+    xs: &[f32],
+    ys: &[f32],
+    zs: &[f32],
+    q: [f32; 3],
+    r_sq: f32,
+    out: &mut [f32],
+) -> (u64, f32, u32) {
+    distances_sq(xs, ys, zs, q, out);
+    let mut mask = 0u64;
+    let mut min = f32::INFINITY;
+    let mut lane = u32::MAX;
+    for (j, &d) in out.iter().enumerate() {
+        mask |= u64::from(d <= r_sq) << j;
+        if d < min {
+            min = d;
+            lane = j as u32;
+        }
+    }
+    (mask, min, lane)
+}

@@ -9,10 +9,14 @@
 //!   ShapeNet- and S3DIS-like statistics;
 //! * [`ops`] — exact global point operations (FPS, ball query, KNN, gather,
 //!   interpolation) with hardware-relevant work counters, built on the
-//!   chunked SoA kernels of [`kernels`] (the original scalar formulations
-//!   are retained in [`ops::reference`] as equivalence baselines);
-//! * [`kernels`] — chunked, auto-vectorizable distance/argmax/top-k
-//!   primitives operating directly on the SoA coordinate slices;
+//!   runtime-dispatched kernels of [`kernels`] (the original scalar
+//!   formulations are retained in [`ops::reference`] as equivalence
+//!   baselines);
+//! * [`kernels`] — runtime-dispatched distance/argmax/top-k backends
+//!   (scalar, chunked SoA, explicit AVX2 behind feature detection; all
+//!   bit-identical, `FRACTALCLOUD_KERNEL` overrides the selection) with
+//!   batched-query KNN/ball-query selection, operating directly on the SoA
+//!   coordinate slices;
 //! * [`partition`] — baseline partitioners (uniform grid, KD-tree, octree)
 //!   behind a common [`partition::Partitioner`] trait;
 //! * [`metrics`] — accuracy-proxy metrics comparing approximate block-wise

@@ -45,11 +45,15 @@ impl BallQueryResult {
 /// accuracy-proxy metrics rely on. The cost model is unchanged: hardware
 /// scans every candidate either way.
 ///
-/// Per center, distances are computed in one chunked SoA pass
-/// ([`kernels::distances_sq`]); the radius test, nearest-fallback tracking
-/// and top-`num` insertion then consume the precomputed buffer. Counters
-/// are accumulated analytically per scan and match the scalar reference
-/// ([`reference::ball_query`](crate::ops::reference::ball_query)) exactly.
+/// The scan runs on the batched fused kernel
+/// [`kernels::ball_select_batch`]: tiles of [`kernels::QUERY_TILE`] centers
+/// share every pass over the candidate chunks on the active
+/// [`kernels::Backend`], each chunk's distance + radius-compare pass
+/// produces a hit bitmask plus the chunk minimum (for the nearest-neighbor
+/// fallback), and only hit lanes reach the branchy top-`num` insertion.
+/// Counters are accumulated analytically per scan and match the scalar
+/// reference ([`reference::ball_query`](crate::ops::reference::ball_query))
+/// exactly.
 ///
 /// # Errors
 ///
@@ -97,27 +101,12 @@ pub fn ball_query(
     let mut indices = Vec::with_capacity(centers.len() * num);
     let mut found = Vec::with_capacity(centers.len());
 
-    let mut dbuf = vec![0.0f32; n];
-    let mut best: Vec<(f32, usize)> = Vec::with_capacity(num + 1);
-    for &c in centers {
-        // Vectorizable distance pass, then selection over the buffer:
-        // top-`num` nearest within the radius (sorted insertion buffer, the
-        // hardware top-k structure), plus the overall-nearest fallback.
-        kernels::distances_sq(xs, ys, zs, [c.x, c.y, c.z], &mut dbuf);
-        best.clear();
-        let mut nearest = (f32::INFINITY, usize::MAX);
-        for (i, &d) in dbuf.iter().enumerate() {
-            if d < nearest.0 {
-                nearest = (d, i);
-            }
-            if d <= r_sq && (best.len() < num || d < best[best.len() - 1].0) {
-                let pos = best.partition_point(|&(bd, _)| bd <= d);
-                best.insert(pos, (d, i));
-                if best.len() > num {
-                    best.pop();
-                }
-            }
-        }
+    // Batched fused scan: tiles of QUERY_TILE centers share every candidate
+    // chunk load; the per-chunk hit mask keeps the radius branch out of the
+    // distance loop, and the chunk minima feed the nearest fallback.
+    let queries: Vec<[f32; 3]> = centers.iter().map(|c| [c.x, c.y, c.z]).collect();
+    let mut writes = 0u64;
+    kernels::ball_select_batch(xs, ys, zs, &queries, r_sq, num, |_, best, nearest| {
         found.push(best.len());
         let mut row: Vec<usize> = best.iter().map(|&(_, i)| i).collect();
         if row.is_empty() {
@@ -129,9 +118,10 @@ pub fn ball_query(
         while row.len() < num {
             row.push(first);
         }
-        counters.writes += num as u64;
+        writes += num as u64;
         indices.extend_from_slice(&row);
-    }
+    });
+    counters.writes += writes;
 
     // Analytic scan counters: one coordinate read, one distance evaluation
     // and one radius comparison per candidate per center.

@@ -23,8 +23,9 @@ pub struct FpsResult {
 /// distance to the nearest sampled point is updated against the newest sample
 /// only.
 ///
-/// The inner loop runs on the chunked SoA kernel
-/// [`kernels::fps_relax_argmax`]: distance evaluation streams the
+/// The inner loop runs on the fused kernel [`kernels::fps_relax_argmax`],
+/// dispatched to the active [`kernels::Backend`] (scalar, chunked SoA, or
+/// AVX2): distance evaluation streams the
 /// `xs`/`ys`/`zs` slices directly, and counters are accumulated analytically
 /// per scan (every iteration reads all `n` candidates, evaluates `n`
 /// distances, and performs `2n` comparisons — identical totals to the

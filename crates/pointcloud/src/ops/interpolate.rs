@@ -31,7 +31,8 @@ impl InterpolationResult {
 /// A target coincident with a source (d = 0) copies that source's features
 /// exactly.
 ///
-/// The embedded neighbor search runs on the chunked SoA KNN kernel; the
+/// The embedded neighbor search runs on the batched KNN kernel (dispatched
+/// to the active [`kernels::Backend`](crate::kernels::Backend)); the
 /// weighting stage reuses one weight buffer across targets instead of
 /// allocating per target. Results and counters are identical to the scalar
 /// reference

@@ -2,7 +2,7 @@
 
 use crate::cloud::PointCloud;
 use crate::error::{Error, Result};
-use crate::kernels::{self, TopK};
+use crate::kernels;
 use crate::ops::OpCounters;
 use crate::point::Point3;
 
@@ -41,11 +41,13 @@ impl KnnResult {
 /// candidates without radius constraint, searching the entire candidate set.
 ///
 /// Implemented with the top-k running-insertion structure the RSPU's merge
-/// sorter realizes in hardware: a size-`k` sorted buffer per center. Per
-/// center, distances are computed in one chunked SoA pass
-/// ([`kernels::distances_sq`]) and the branchy top-k selection consumes the
-/// precomputed buffer; scan-phase counters are accumulated analytically and
-/// match the scalar reference
+/// sorter realizes in hardware: a size-`k` sorted buffer per center, fed by
+/// the batched selection kernel [`kernels::knn_select_batch`] — tiles of
+/// [`kernels::QUERY_TILE`] centers share every pass over the candidate
+/// chunks on the active [`kernels::Backend`], and the branchy top-k
+/// selection consumes each chunk's distances while they are hot in L1.
+/// Scan-phase counters are accumulated analytically and match the scalar
+/// reference
 /// ([`reference::k_nearest_neighbors`](crate::ops::reference::k_nearest_neighbors))
 /// exactly, insertion costs included.
 ///
@@ -89,24 +91,30 @@ pub fn k_nearest_neighbors(
     let mut indices = Vec::with_capacity(centers.len() * k);
     let mut distances = Vec::with_capacity(centers.len() * k);
 
-    // One reusable distance buffer and top-k structure across centers.
-    let mut dbuf = vec![0.0f32; n];
-    let mut topk = TopK::new(k);
+    // Batched selection: tiles of QUERY_TILE centers share every candidate
+    // chunk load; per-center results and insertion sequences are identical
+    // to one-center-at-a-time scans.
+    let queries: Vec<[f32; 3]> = centers.iter().map(|c| [c.x, c.y, c.z]).collect();
     let mut insert_comparisons = 0u64;
-    for &c in centers {
-        kernels::distances_sq(xs, ys, zs, [c.x, c.y, c.z], &mut dbuf);
-        topk.clear();
+    let mut writes = 0u64;
+    kernels::knn_select_batch(
+        xs,
+        ys,
+        zs,
+        &queries,
+        k,
+        |_, best| {
+            for &(d, i) in best {
+                indices.push(i);
+                distances.push(d);
+                writes += 1;
+            }
+        },
         // Same insertion-cost model as the scalar reference: log₂ of the
         // buffer occupancy (min 1) per accepted candidate.
-        topk.select(&dbuf, |len_before| {
-            insert_comparisons += (len_before as f64).log2().max(1.0) as u64;
-        });
-        for &(d, i) in topk.as_slice() {
-            indices.push(i);
-            distances.push(d);
-            counters.writes += 1;
-        }
-    }
+        |len_before| insert_comparisons += (len_before as f64).log2().max(1.0) as u64,
+    );
+    counters.writes += writes;
 
     // Analytic scan counters: every center reads and evaluates all `n`
     // candidates and performs one threshold comparison each, plus the

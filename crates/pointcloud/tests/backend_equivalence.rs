@@ -1,0 +1,182 @@
+//! Cross-backend equivalence: every kernel backend (`Scalar`, `Soa`,
+//! `Avx2`) must produce bit-identical indices, distances, features, and
+//! `OpCounters` for fps/knn/ball-query/interpolate — including the
+//! batched-query tiling edge cases (query counts not divisible by the
+//! tile, `k` exceeding the candidate count, empty balls, empty clouds).
+//!
+//! Backends unavailable on the host resolve to `Soa`, so the suite stays
+//! portable (the comparisons degenerate to Soa-vs-Soa there).
+
+use fractalcloud_pointcloud::kernels::{self, Backend, QUERY_TILE};
+use fractalcloud_pointcloud::ops::{
+    ball_query, farthest_point_sample, interpolate_features, k_nearest_neighbors, reference,
+};
+use fractalcloud_pointcloud::{Point3, PointCloud};
+use proptest::prelude::*;
+
+fn arb_points(max_n: usize) -> impl Strategy<Value = Vec<Point3>> {
+    proptest::collection::vec((-50.0f32..50.0, -50.0f32..50.0, -20.0f32..20.0), 2..max_n)
+        .prop_map(|v| v.into_iter().map(|(x, y, z)| Point3::new(x, y, z)).collect())
+}
+
+/// Runs `f` once per backend and asserts every result equals the first
+/// (scalar) run's.
+fn assert_all_backends_equal<T: PartialEq + std::fmt::Debug>(f: impl Fn() -> T) {
+    let baseline = kernels::with_backend(Backend::Scalar, &f);
+    for b in [Backend::Soa, Backend::Avx2] {
+        let got = kernels::with_backend(b, &f);
+        assert_eq!(got, baseline, "backend {} diverged from scalar", b.name());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// FPS: identical indices and counters on every backend.
+    #[test]
+    fn fps_identical_across_backends(pts in arb_points(150), m_frac in 0.05f64..0.95) {
+        let cloud = PointCloud::from_points(pts);
+        let m = (((cloud.len() as f64) * m_frac) as usize).max(1);
+        assert_all_backends_equal(|| {
+            let r = farthest_point_sample(&cloud, m, 0).unwrap();
+            (r.indices, r.counters)
+        });
+    }
+
+    /// KNN: identical rows, distances, and counters (insertion costs
+    /// included) on every backend, and equal to the scalar reference. The
+    /// center count ranges over values straddling QUERY_TILE so partial
+    /// tiles are exercised.
+    #[test]
+    fn knn_identical_across_backends(
+        pts in arb_points(150),
+        k in 1usize..12,
+        centers_n in 1usize..(2 * QUERY_TILE + 3),
+    ) {
+        let cloud = PointCloud::from_points(pts);
+        let k = k.min(cloud.len());
+        let centers: Vec<Point3> =
+            (0..centers_n).map(|i| cloud.point((i * 3) % cloud.len())).collect();
+        assert_all_backends_equal(|| {
+            let r = k_nearest_neighbors(&cloud, &centers, k).unwrap();
+            (r.indices, r.distances_sq, r.counters)
+        });
+        let scalar = reference::k_nearest_neighbors(&cloud, &centers, k).unwrap();
+        let kernel = k_nearest_neighbors(&cloud, &centers, k).unwrap();
+        prop_assert_eq!(kernel.indices, scalar.indices);
+        prop_assert_eq!(kernel.distances_sq, scalar.distances_sq);
+        prop_assert_eq!(kernel.counters, scalar.counters);
+    }
+
+    /// Ball query: identical rows (padding and nearest-fallback included),
+    /// found counts, and counters on every backend and vs the reference.
+    /// Small radii produce empty balls; the query count straddles the tile.
+    #[test]
+    fn ball_query_identical_across_backends(
+        pts in arb_points(150),
+        radius in 0.01f32..30.0,
+        num in 1usize..10,
+        centers_n in 1usize..(2 * QUERY_TILE + 3),
+    ) {
+        let cloud = PointCloud::from_points(pts);
+        let centers: Vec<Point3> = (0..centers_n)
+            .map(|i| cloud.point((i * 5) % cloud.len()) + Point3::splat(40.0)) // far out: empty balls
+            .collect();
+        assert_all_backends_equal(|| {
+            let r = ball_query(&cloud, &centers, radius, num).unwrap();
+            (r.indices, r.found, r.counters)
+        });
+        let scalar = reference::ball_query(&cloud, &centers, radius, num).unwrap();
+        let kernel = ball_query(&cloud, &centers, radius, num).unwrap();
+        prop_assert_eq!(kernel.indices, scalar.indices);
+        prop_assert_eq!(kernel.found, scalar.found);
+        prop_assert_eq!(kernel.counters, scalar.counters);
+    }
+
+    /// Interpolation: identical features and counters on every backend and
+    /// vs the reference.
+    #[test]
+    fn interpolation_identical_across_backends(pts in arb_points(120), k in 1usize..6) {
+        let n = pts.len();
+        let k = k.min(n);
+        let feats: Vec<f32> = (0..n * 2).map(|i| (i % 11) as f32).collect();
+        let targets: Vec<Point3> =
+            pts.iter().take(9).map(|p| *p + Point3::splat(0.01)).collect();
+        let cloud = PointCloud::from_points_features(pts, feats, 2).unwrap();
+        assert_all_backends_equal(|| {
+            let r = interpolate_features(&cloud, &targets, k).unwrap();
+            (r.features, r.counters)
+        });
+        let scalar = reference::interpolate_features(&cloud, &targets, k).unwrap();
+        let kernel = interpolate_features(&cloud, &targets, k).unwrap();
+        prop_assert_eq!(kernel.features, scalar.features);
+        prop_assert_eq!(kernel.counters, scalar.counters);
+    }
+
+    /// Raw kernel layer: distances and the fused relax+argmax agree lane
+    /// for lane across backends.
+    #[test]
+    fn kernel_primitives_identical_across_backends(pts in arb_points(200)) {
+        let cloud = PointCloud::from_points(pts);
+        let q = [0.3f32, -0.7, 1.1];
+        assert_all_backends_equal(|| {
+            let mut out = vec![0.0f32; cloud.len()];
+            kernels::distances_sq(cloud.xs(), cloud.ys(), cloud.zs(), q, &mut out);
+            out
+        });
+        assert_all_backends_equal(|| {
+            let mut dist = vec![f32::INFINITY; cloud.len()];
+            dist[0] = f32::NEG_INFINITY; // a pinned entry, as FPS produces
+            let best =
+                kernels::fps_relax_argmax(cloud.xs(), cloud.ys(), cloud.zs(), q, &mut dist);
+            (best, dist)
+        });
+    }
+}
+
+#[test]
+fn knn_query_count_not_divisible_by_tile() {
+    // 2 * QUERY_TILE + 1 queries: two full tiles plus a ragged one.
+    let cloud = fractalcloud_pointcloud::generate::uniform_cube(97, 11);
+    let centers: Vec<Point3> = (0..2 * QUERY_TILE + 1).map(|i| cloud.point(i * 4)).collect();
+    let reference = reference::k_nearest_neighbors(&cloud, &centers, 5).unwrap();
+    for b in Backend::ALL {
+        let got = kernels::with_backend(b, || k_nearest_neighbors(&cloud, &centers, 5).unwrap());
+        assert_eq!(got.indices, reference.indices, "backend {}", b.name());
+        assert_eq!(got.counters, reference.counters, "backend {}", b.name());
+    }
+}
+
+#[test]
+fn ball_query_empty_cloud_reports_sentinel_rows() {
+    let empty = PointCloud::new();
+    let centers = [Point3::ORIGIN, Point3::splat(1.0)];
+    for b in Backend::ALL {
+        let got = kernels::with_backend(b, || ball_query(&empty, &centers, 1.0, 3).unwrap());
+        assert_eq!(got.indices, vec![usize::MAX; 6], "backend {}", b.name());
+        assert_eq!(got.found, vec![0, 0]);
+    }
+}
+
+#[test]
+fn knn_k_equals_candidate_count() {
+    // k == n: the top-k buffer never leaves phase 1.
+    let cloud = fractalcloud_pointcloud::generate::uniform_cube(9, 3);
+    let centers = [cloud.point(0)];
+    let reference = reference::k_nearest_neighbors(&cloud, &centers, 9).unwrap();
+    for b in Backend::ALL {
+        let got = kernels::with_backend(b, || k_nearest_neighbors(&cloud, &centers, 9).unwrap());
+        assert_eq!(got.indices, reference.indices, "backend {}", b.name());
+        assert_eq!(got.distances_sq, reference.distances_sq, "backend {}", b.name());
+    }
+}
+
+#[test]
+fn env_override_names_resolve() {
+    // The env var itself is read once per process (and may already be
+    // cached), so only validate the parsing layer here.
+    assert_eq!(Backend::from_name("scalar"), Some(Backend::Scalar));
+    assert_eq!(Backend::from_name("SoA"), Some(Backend::Soa));
+    assert_eq!(Backend::from_name("avx2"), Some(Backend::Avx2));
+    assert_eq!(Backend::from_name("avx512"), None);
+}
