@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks for the serving layer: engine round-trips
+//! (cold partition vs LRU hit) against the direct pipeline call they must
+//! match, and batched submission of compatible frames.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fractalcloud_core::{Pipeline, PipelineConfig};
+use fractalcloud_pointcloud::generate::{scene_cloud, SceneConfig};
+use fractalcloud_serve::{Engine, ServeConfig};
+
+fn bench_serve_roundtrip(c: &mut Criterion) {
+    let n = 4096;
+    let cloud = scene_cloud(&SceneConfig::default(), n, 42);
+    let cfg = PipelineConfig::default();
+    let pipeline = Pipeline::new(cfg).unwrap();
+
+    let mut group = c.benchmark_group("serve_4k");
+    group.bench_function("direct-pipeline", |b| b.iter(|| pipeline.run(&cloud, true).unwrap()));
+
+    // Cache disabled: every round-trip pays queueing + partition + BPPO.
+    let cold = Engine::start(ServeConfig::default().cache_capacity(0));
+    group.bench_function("engine-process-cold", |b| {
+        b.iter(|| cold.process(cloud.clone(), cfg).unwrap())
+    });
+    cold.shutdown();
+
+    // Cache enabled: identical frame bytes reuse the partition.
+    let warm = Engine::start(ServeConfig::default());
+    warm.process(cloud.clone(), cfg).unwrap(); // prime the LRU
+    group.bench_function("engine-process-cached", |b| {
+        b.iter(|| {
+            let r = warm.process(cloud.clone(), cfg).unwrap();
+            assert!(r.cache_hit);
+            r
+        })
+    });
+    warm.shutdown();
+    group.finish();
+}
+
+fn bench_serve_batching(c: &mut Criterion) {
+    let frames: Vec<_> = (0..8).map(|s| scene_cloud(&SceneConfig::default(), 1024, s)).collect();
+    let cfg = PipelineConfig::default();
+
+    let mut group = c.benchmark_group("serve_batching_1k");
+    let engine = Engine::start(ServeConfig::default().cache_capacity(0).max_batch(8));
+    group.bench_function("submit-8-compatible-frames", |b| {
+        b.iter(|| {
+            let tickets: Vec<_> =
+                frames.iter().map(|f| engine.submit(f.clone(), cfg).unwrap()).collect();
+            tickets.into_iter().map(|t| t.wait().unwrap()).collect::<Vec<_>>().len()
+        })
+    });
+    engine.shutdown();
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve_roundtrip, bench_serve_batching);
+criterion_main!(benches);

@@ -243,6 +243,11 @@ fn main() {
         ));
     }
 
+    // --- Serve throughput: in-process engine, fixed frame size ---
+    // Distinct frames with the cache off, so the row measures the full
+    // admission → batch → partition → BPPO → response path per frame.
+    let serve = measure_serve_throughput(if quick { 24 } else { 192 }, 4096, reps.min(5));
+
     // --- Report ---
     println!("{:<18} {:>20} {:>20} {:>9}", "measurement", "baseline ms", "optimized ms", "speedup");
     for c in &comparisons {
@@ -257,10 +262,58 @@ fn main() {
             None => println!("{:<18} {:>20}", c.name, c.status),
         }
     }
+    println!(
+        "{:<18} {:>20}",
+        "serve_throughput",
+        format!("{:.1} frames/s ({} pts)", serve.frames_per_s, serve.frame_points)
+    );
 
-    let json = render_json(quick, build_n, fps_small, fps_large, backend.name(), &comparisons);
+    let json =
+        render_json(quick, build_n, fps_small, fps_large, backend.name(), &comparisons, &serve);
     std::fs::write("BENCH_point_ops.json", &json).expect("write BENCH_point_ops.json");
     println!("wrote BENCH_point_ops.json");
+}
+
+/// The serve-throughput measurement: frames/s through the in-process
+/// engine at a fixed frame size.
+struct ServeThroughput {
+    frames: usize,
+    frame_points: usize,
+    frames_per_s: f64,
+}
+
+/// Pushes `frames` distinct `frame_points`-sized frames through a serving
+/// engine from 4 submitter threads, `reps` times, reporting the best
+/// sustained frames/s (cache off: every frame pays the full pipeline).
+fn measure_serve_throughput(frames: usize, frame_points: usize, reps: usize) -> ServeThroughput {
+    use fractalcloud_serve::{Engine, ServeConfig};
+    let clouds: std::sync::Arc<Vec<_>> = std::sync::Arc::new(
+        (0..frames)
+            .map(|s| scene_cloud(&SceneConfig::default(), frame_points, s as u64 + 1000))
+            .collect(),
+    );
+    let engine = std::sync::Arc::new(Engine::start(
+        ServeConfig::default().cache_capacity(0).queue_capacity(frames),
+    ));
+    let clients = 4usize;
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        let per = frames.div_ceil(clients);
+        fractalcloud_parallel::parallel_map_budget(
+            (0..clients).collect::<Vec<_>>(),
+            clients,
+            |_, c| {
+                for i in (c * per)..((c + 1) * per).min(frames) {
+                    let config = fractalcloud_core::PipelineConfig::default();
+                    engine.process(clouds[i].clone(), config).expect("serve frame");
+                }
+            },
+        );
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    engine.shutdown();
+    ServeThroughput { frames, frame_points, frames_per_s: frames as f64 / best }
 }
 
 fn render_json(
@@ -270,6 +323,7 @@ fn render_json(
     fps_large: usize,
     backend: &str,
     comparisons: &[Comparison],
+    serve: &ServeThroughput,
 ) -> String {
     // Hand-rolled JSON: the workspace intentionally has no serde machinery
     // (see vendor/README.md).
@@ -284,8 +338,10 @@ fn render_json(
         "  \"scales\": {{ \"fps_global_small\": {fps_small}, \"fps_global_large\": {fps_large}, \"knn\": {sel_n}, \"ball_query\": {sel_n}, \"interpolate\": {sel_n}, \"fractal_build\": {build_n}, \"block_fps\": {build_n}, \"block_fps_scheduling\": {build_n} }},\n"
     ));
     out.push_str("  \"results\": [\n");
-    for (i, c) in comparisons.iter().enumerate() {
-        let tail = if i + 1 == comparisons.len() { "" } else { "," };
+    for c in comparisons {
+        // The serve_throughput row always follows, so every comparison row
+        // takes a trailing comma.
+        let tail = ",";
         match c.times {
             Some((baseline_ms, optimized_ms)) => out.push_str(&format!(
                 "    {{ \"name\": \"{}\", \"baseline\": \"{}\", \"optimized\": \"{}\", \"baseline_ms\": {:.4}, \"optimized_ms\": {:.4}, \"speedup\": {:.3}, \"status\": \"{}\" }}{}\n",
@@ -304,6 +360,10 @@ fn render_json(
             )),
         }
     }
+    out.push_str(&format!(
+        "    {{ \"name\": \"serve_throughput\", \"backend\": \"{}\", \"frames\": {}, \"frame_points\": {}, \"frames_per_s\": {:.1}, \"status\": \"ok\" }}\n",
+        backend, serve.frames, serve.frame_points, serve.frames_per_s
+    ));
     out.push_str("  ]\n}\n");
     out
 }

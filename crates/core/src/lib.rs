@@ -12,6 +12,8 @@
 //! * [`bppo`] — Block-Parallel Point Operations: block-wise sampling
 //!   ([`block_fps`]), grouping ([`block_ball_query`]), interpolation
 //!   ([`block_interpolate`]) and gathering ([`block_gather`]);
+//! * [`Pipeline`] — a validated, reusable partition + BPPO pipeline (the
+//!   seam the `fractalcloud-serve` request engine is built on);
 //! * [`WindowCheck`] — the RSPU redundancy-skipping mask (Fig. 11(c));
 //! * [`quality`] — accuracy-proxy evaluation of block vs global pipelines.
 //!
@@ -37,6 +39,7 @@
 
 pub mod bppo;
 mod fractal;
+mod pipeline;
 pub mod quality;
 mod tree;
 mod window;
@@ -48,6 +51,7 @@ pub use bppo::{
     BlockNeighborResult, BppoConfig, GatherLocality, ReuseStats,
 };
 pub use fractal::{Fractal, FractalConfig, FractalResult};
+pub use pipeline::{fnv1a64, Pipeline, PipelineConfig, PipelineOutput, FNV1A64_SEED};
 pub use quality::{evaluate_quality, QualityConfig, QualityReport};
 pub use tree::{FractalNode, FractalTree, NodeId};
 pub use window::WindowCheck;

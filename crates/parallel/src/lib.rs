@@ -9,6 +9,9 @@
 //! to sequential execution for trivially small inputs or when only one
 //! worker is available, and is deterministic in its *results* by
 //! construction: scheduling affects only wall-clock time.
+//! [`parallel_map_budget`] is the same primitive with an explicit worker
+//! budget, so layers that multiplex many independent requests (the serving
+//! engine) can hand each one a bounded sub-pool.
 //!
 //! The worker count is `std::thread::available_parallelism`, overridable
 //! with the `FRACTALCLOUD_THREADS` environment variable (set to `1` to
@@ -17,6 +20,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
@@ -38,6 +42,37 @@ pub fn workers() -> usize {
     })
 }
 
+thread_local! {
+    /// The worker allowance the enclosing [`parallel_map_budget`] region
+    /// granted this thread (`None` outside any budgeted region).
+    static BUDGET: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The worker budget in effect on the current thread: the enclosing
+/// [`parallel_map_budget`] region's per-lane allowance, or [`workers`] when
+/// no budgeted region is active.
+///
+/// This is what [`parallel_map`]'s `parallel = true` resolves to, so a
+/// fan-out nested inside a budgeted lane transparently respects the lane's
+/// allowance instead of grabbing the whole pool.
+pub fn effective_budget() -> usize {
+    BUDGET.with(|b| b.get()).unwrap_or_else(workers)
+}
+
+/// RAII restore for the calling thread's budget (the inline path runs `f`
+/// on the caller, whose previous allowance must survive the call).
+struct BudgetGuard(Option<usize>);
+
+impl Drop for BudgetGuard {
+    fn drop(&mut self) {
+        BUDGET.with(|b| b.set(self.0));
+    }
+}
+
+fn set_budget(v: usize) -> BudgetGuard {
+    BudgetGuard(BUDGET.with(|b| b.replace(Some(v))))
+}
+
 /// Maps `f` over `items`, in parallel when `parallel` is true, returning
 /// results in item order.
 ///
@@ -45,17 +80,53 @@ pub fn workers() -> usize {
 /// a time through an atomic counter, so heterogeneous item costs still
 /// balance across workers. Results are identical to the sequential order
 /// regardless of scheduling.
+///
+/// `parallel = true` uses [`effective_budget`] workers (the enclosing
+/// budget region's allowance, or the global pool); `parallel = false` runs
+/// inline without touching the budget context — it skips parallelism at
+/// *this* level only, so nested fan-outs keep their allowance.
 pub fn parallel_map<I, T, F>(items: Vec<I>, parallel: bool, f: F) -> Vec<T>
 where
     I: Send,
     T: Send,
     F: Fn(usize, I) -> T + Sync,
 {
+    if parallel {
+        parallel_map_budget(items, effective_budget(), f)
+    } else {
+        items.into_iter().enumerate().map(|(i, item)| f(i, item)).collect()
+    }
+}
+
+/// [`parallel_map`] with an explicit worker budget instead of the global
+/// pool size — the primitive behind per-request thread budgets in the
+/// serving layer, where concurrent requests each get a bounded sub-pool
+/// rather than all contending for every core.
+///
+/// The budget caps the whole subtree, not just this level: each spawned
+/// lane inherits an even share (`budget / lanes`, minimum 1) as its own
+/// [`effective_budget`], so nested [`parallel_map`] calls keep the total
+/// number of active workers within the budget (up to integer rounding). A
+/// `budget` of 0 or 1 runs sequentially and pins nested fan-outs to 1; a
+/// single item keeps the entire budget. Budgets above [`workers`] are
+/// honored as given (the caller owns oversubscription decisions). Results
+/// are identical for every budget.
+pub fn parallel_map_budget<I, T, F>(items: Vec<I>, budget: usize, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(usize, I) -> T + Sync,
+{
     let n = items.len();
-    let threads = if parallel { workers().min(n) } else { 1 };
+    let budget = budget.max(1);
+    let threads = budget.min(n);
     if threads <= 1 || n <= 1 {
+        // A lone item keeps the whole budget; a budget of 1 pins the
+        // subtree sequential.
+        let _inline = set_budget(if n <= 1 { budget } else { 1 });
         return items.into_iter().enumerate().map(|(i, item)| f(i, item)).collect();
     }
+    let sub_budget = (budget / threads).max(1);
 
     // Each slot is locked exactly once by the worker that claims its index,
     // so the mutexes are uncontended; they exist to move `I` out safely.
@@ -67,6 +138,7 @@ where
         let mut handles = Vec::with_capacity(threads);
         for _ in 0..threads {
             handles.push(scope.spawn(|| {
+                let _lane = set_budget(sub_budget);
                 let mut local: Vec<(usize, T)> = Vec::new();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
@@ -128,5 +200,55 @@ mod tests {
     #[test]
     fn workers_is_positive() {
         assert!(workers() >= 1);
+    }
+
+    #[test]
+    fn budgeted_map_matches_sequential_for_every_budget() {
+        let items: Vec<usize> = (0..123).collect();
+        let seq = parallel_map_budget(items.clone(), 1, |i, v| i * 7 + v);
+        for budget in [0usize, 2, 3, 8, 64] {
+            let out = parallel_map_budget(items.clone(), budget, |i, v| i * 7 + v);
+            assert_eq!(out, seq, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn budgeted_map_caps_threads_at_item_count() {
+        // 2 items with a budget of 16 must still complete (threads min n).
+        let out = parallel_map_budget(vec![10usize, 20], 16, |_, v| v * 2);
+        assert_eq!(out, vec![20, 40]);
+    }
+
+    #[test]
+    fn nested_fan_outs_inherit_divided_budgets() {
+        // 4 lanes sharing a budget of 4: one worker each.
+        let seen = parallel_map_budget((0..4).collect::<Vec<_>>(), 4, |_, _| effective_budget());
+        assert_eq!(seen, vec![1; 4]);
+        // 2 lanes sharing 6: three workers each.
+        let seen = parallel_map_budget((0..2).collect::<Vec<_>>(), 6, |_, _| effective_budget());
+        assert_eq!(seen, vec![3; 2]);
+        // A lone item keeps the whole budget.
+        let seen = parallel_map_budget(vec![()], 6, |_, ()| effective_budget());
+        assert_eq!(seen, vec![6]);
+        // A budget of 1 pins the subtree sequential.
+        let seen = parallel_map_budget((0..3).collect::<Vec<_>>(), 1, |_, _| effective_budget());
+        assert_eq!(seen, vec![1; 3]);
+    }
+
+    #[test]
+    fn budget_context_restores_after_inline_regions() {
+        let outer = effective_budget();
+        let _ = parallel_map_budget(vec![1u32], 5, |_, v| v);
+        assert_eq!(effective_budget(), outer, "inline region must restore the caller's budget");
+    }
+
+    #[test]
+    fn sequential_bool_map_is_transparent_to_the_budget() {
+        // parallel = false skips parallelism at this level only: a nested
+        // parallel map inside still sees the enclosing allowance.
+        let seen = parallel_map_budget(vec![()], 4, |_, ()| {
+            parallel_map(vec![()], false, |_, ()| effective_budget())
+        });
+        assert_eq!(seen, vec![vec![4]]);
     }
 }

@@ -1,0 +1,145 @@
+//! LRU cache of built partitions, keyed by frame hash.
+//!
+//! Streaming workloads re-send frames: static scenes between keyframes,
+//! retries, multi-query analysis of the same scan. The partition is the
+//! expensive, *deterministic* half of a pipeline run — identical coordinate
+//! bytes and threshold always produce the identical
+//! [`FractalResult`](fractalcloud_core::FractalResult) — so cached entries
+//! are shared by `Arc` and reused without any equivalence risk.
+
+use fractalcloud_core::{fnv1a64, FractalResult, FNV1A64_SEED};
+use fractalcloud_pointcloud::PointCloud;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Hashes the coordinate bits of `cloud` together with the partition
+/// threshold (the shared [`fnv1a64`] word fold over the raw `f32` bit
+/// patterns, so `-0.0 != 0.0` and NaN payloads are distinguished — bit
+/// identity, not float equality). With a 64-bit key over a
+/// tens-of-entries cache, an accidental collision is a ≈2⁻⁵⁸-per-pair
+/// event — negligible next to the hardware's own error rates.
+pub fn frame_key(cloud: &PointCloud, threshold: usize) -> u64 {
+    let mut h = fnv1a64(FNV1A64_SEED, threshold as u64);
+    h = fnv1a64(h, cloud.len() as u64);
+    for axis in [cloud.xs(), cloud.ys(), cloud.zs()] {
+        for v in axis {
+            h = fnv1a64(h, u64::from(v.to_bits()));
+        }
+    }
+    h
+}
+
+/// A small LRU map from [`frame_key`] to shared [`FractalResult`]s.
+///
+/// Recency is tracked with a monotonic tick per entry — O(capacity) scan on
+/// eviction, which is the right trade for the tens-of-entries capacities a
+/// partition cache wants (entries are megabytes; the map is tiny).
+#[derive(Debug)]
+pub struct PartitionCache {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<u64, (u64, Arc<FractalResult>)>,
+}
+
+impl PartitionCache {
+    /// Creates a cache holding at most `capacity` partitions (0 disables
+    /// caching: every lookup misses, inserts are dropped).
+    pub fn new(capacity: usize) -> PartitionCache {
+        PartitionCache { capacity, tick: 0, entries: HashMap::new() }
+    }
+
+    /// Looks up a partition, refreshing its recency on hit.
+    pub fn get(&mut self, key: u64) -> Option<Arc<FractalResult>> {
+        self.tick += 1;
+        let tick = self.tick;
+        let (at, v) = self.entries.get_mut(&key)?;
+        *at = tick;
+        Some(Arc::clone(v))
+    }
+
+    /// Inserts a partition, evicting the least-recently-used entry when at
+    /// capacity.
+    pub fn insert(&mut self, key: u64, value: Arc<FractalResult>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            if let Some(&oldest) =
+                self.entries.iter().min_by_key(|(_, (at, _))| *at).map(|(k, _)| k)
+            {
+                self.entries.remove(&oldest);
+            }
+        }
+        self.entries.insert(key, (self.tick, value));
+    }
+
+    /// Number of cached partitions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fractalcloud_core::Fractal;
+    use fractalcloud_pointcloud::generate::uniform_cube;
+    use fractalcloud_pointcloud::Point3;
+
+    fn built(n: usize, seed: u64) -> Arc<FractalResult> {
+        Arc::new(Fractal::with_threshold(64).build(&uniform_cube(n, seed)).unwrap())
+    }
+
+    #[test]
+    fn frame_key_separates_clouds_and_thresholds() {
+        let a = uniform_cube(256, 1);
+        let b = uniform_cube(256, 2);
+        assert_eq!(frame_key(&a, 64), frame_key(&a.clone(), 64));
+        assert_ne!(frame_key(&a, 64), frame_key(&b, 64));
+        assert_ne!(frame_key(&a, 64), frame_key(&a, 128));
+    }
+
+    #[test]
+    fn frame_key_is_bitwise_not_float_equality() {
+        let pos = PointCloud::from_points(vec![Point3::new(0.0, 0.0, 0.0)]);
+        let neg = PointCloud::from_points(vec![Point3::new(-0.0, 0.0, 0.0)]);
+        assert_ne!(frame_key(&pos, 64), frame_key(&neg, 64));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = PartitionCache::new(2);
+        c.insert(1, built(100, 1));
+        c.insert(2, built(100, 2));
+        assert!(c.get(1).is_some()); // refresh 1 → 2 is now LRU
+        c.insert(3, built(100, 3));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(2).is_none());
+        assert!(c.get(1).is_some());
+        assert!(c.get(3).is_some());
+    }
+
+    #[test]
+    fn reinserting_existing_key_does_not_evict() {
+        let mut c = PartitionCache::new(2);
+        c.insert(1, built(100, 1));
+        c.insert(2, built(100, 2));
+        c.insert(2, built(100, 2));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(1).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = PartitionCache::new(0);
+        c.insert(1, built(100, 1));
+        assert!(c.is_empty());
+        assert!(c.get(1).is_none());
+    }
+}

@@ -1,0 +1,143 @@
+//! Serving-engine configuration and its environment-variable knobs.
+
+/// Tunables for [`Engine`](crate::Engine) and the TCP front-end.
+///
+/// Every knob has a `FRACTALCLOUD_SERVE_*` environment override (see
+/// [`ServeConfig::from_env`]); programmatic configuration wins when both are
+/// used, since `from_env` is just a constructor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Maximum queued (admitted but not yet started) requests. Admission
+    /// beyond this sheds with [`ShedReason::QueueFull`](crate::ShedReason)
+    /// instead of growing the queue — the queue is the *only* buffer, so
+    /// memory use is bounded by construction. A capacity of 0 sheds every
+    /// request (useful for drain tests and hard maintenance mode).
+    pub queue_capacity: usize,
+    /// Worker threads pulling batches off the queue.
+    pub workers: usize,
+    /// Maximum compatible frames fused into one batch by a worker.
+    pub max_batch: usize,
+    /// Largest admissible frame, in points; larger frames shed with
+    /// [`ShedReason::Oversized`](crate::ShedReason). Also bounds how many
+    /// payload bytes the TCP front-end will read for one request.
+    pub max_points: usize,
+    /// Partition-LRU capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Thread budget shared by the requests of one batch: a lone request
+    /// gets the whole budget (parallel build + block scheduling), while a
+    /// full batch runs each request sequentially on its own worker —
+    /// per-request budgets in the sense of `FractalConfig::sequential`.
+    pub thread_budget: usize,
+}
+
+impl ServeConfig {
+    /// Builds a configuration from the environment, falling back to
+    /// defaults:
+    ///
+    /// | variable | default |
+    /// |---|---|
+    /// | `FRACTALCLOUD_SERVE_QUEUE` | 64 |
+    /// | `FRACTALCLOUD_SERVE_WORKERS` | [`fractalcloud_parallel::workers`] |
+    /// | `FRACTALCLOUD_SERVE_BATCH` | 8 |
+    /// | `FRACTALCLOUD_SERVE_MAX_POINTS` | 1_048_576 |
+    /// | `FRACTALCLOUD_SERVE_CACHE` | 32 |
+    ///
+    /// The thread budget always follows the process-wide worker pool
+    /// (`FRACTALCLOUD_THREADS`-overridable), keeping one knob for "how much
+    /// CPU may point-cloud work use".
+    pub fn from_env() -> ServeConfig {
+        let def = ServeConfig::default();
+        ServeConfig {
+            queue_capacity: env_usize("FRACTALCLOUD_SERVE_QUEUE").unwrap_or(def.queue_capacity),
+            workers: env_usize("FRACTALCLOUD_SERVE_WORKERS").unwrap_or(def.workers).max(1),
+            max_batch: env_usize("FRACTALCLOUD_SERVE_BATCH").unwrap_or(def.max_batch).max(1),
+            max_points: env_usize("FRACTALCLOUD_SERVE_MAX_POINTS").unwrap_or(def.max_points),
+            cache_capacity: env_usize("FRACTALCLOUD_SERVE_CACHE").unwrap_or(def.cache_capacity),
+            thread_budget: def.thread_budget,
+        }
+    }
+
+    /// Returns `self` with the given admission-queue capacity.
+    pub fn queue_capacity(mut self, capacity: usize) -> ServeConfig {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Returns `self` with the given worker-thread count (minimum 1).
+    pub fn workers(mut self, workers: usize) -> ServeConfig {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Returns `self` with the given maximum batch size (minimum 1).
+    pub fn max_batch(mut self, max_batch: usize) -> ServeConfig {
+        self.max_batch = max_batch.max(1);
+        self
+    }
+
+    /// Returns `self` with the given per-frame point limit.
+    pub fn max_points(mut self, max_points: usize) -> ServeConfig {
+        self.max_points = max_points;
+        self
+    }
+
+    /// Returns `self` with the given partition-cache capacity.
+    pub fn cache_capacity(mut self, cache_capacity: usize) -> ServeConfig {
+        self.cache_capacity = cache_capacity;
+        self
+    }
+
+    /// Returns `self` with the given batch thread budget (minimum 1).
+    pub fn thread_budget(mut self, thread_budget: usize) -> ServeConfig {
+        self.thread_budget = thread_budget.max(1);
+        self
+    }
+
+    /// Largest request payload the TCP front-end accepts, in bytes (the
+    /// fixed request-parameter block plus `max_points` xyz triplets).
+    pub fn max_payload_bytes(&self) -> usize {
+        crate::protocol::REQUEST_FIXED_BYTES + self.max_points.saturating_mul(12)
+    }
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            queue_capacity: 64,
+            workers: fractalcloud_parallel::workers(),
+            max_batch: 8,
+            max_points: 1 << 20,
+            cache_capacity: 32,
+            thread_budget: fractalcloud_parallel::workers(),
+        }
+    }
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_clamp_minimums() {
+        let c = ServeConfig::default().workers(0).max_batch(0).thread_budget(0);
+        assert_eq!(c.workers, 1);
+        assert_eq!(c.max_batch, 1);
+        assert_eq!(c.thread_budget, 1);
+    }
+
+    #[test]
+    fn zero_capacity_queue_is_representable() {
+        let c = ServeConfig::default().queue_capacity(0);
+        assert_eq!(c.queue_capacity, 0);
+    }
+
+    #[test]
+    fn payload_bound_tracks_max_points() {
+        let c = ServeConfig::default().max_points(10);
+        assert_eq!(c.max_payload_bytes(), crate::protocol::REQUEST_FIXED_BYTES + 120);
+    }
+}

@@ -1,0 +1,495 @@
+//! The request/response engine: bounded admission, adaptive batching, and a
+//! budgeted worker pool over the core pipeline.
+//!
+//! # Lifecycle of a request
+//!
+//! 1. **Validation** — parameters and frame size are checked before any
+//!    queueing; bad requests are *rejected* (caller bug), not shed.
+//! 2. **Admission** — the bounded queue either accepts the job or sheds it
+//!    with a counted [`ShedReason`]. The queue is the only buffer in the
+//!    engine, so memory under overload is bounded by construction.
+//! 3. **Batching** — a worker pops the oldest job, then pulls up to
+//!    `max_batch - 1` further *compatible* jobs (equal
+//!    [`PipelineConfig`]) from anywhere in the queue, preserving arrival
+//!    order of what remains.
+//! 4. **Execution** — the batch fans out on
+//!    [`fractalcloud_parallel::parallel_map_budget`]: one lone frame gets
+//!    the whole thread budget (parallel build + block scheduling); a full
+//!    batch runs each frame sequentially on its own lane
+//!    (`FractalConfig::sequential` semantics). Lane allowances are
+//!    inherited by every nested fan-out
+//!    ([`fractalcloud_parallel::effective_budget`]), so the batch's total
+//!    worker count stays within the configured budget. Either way the
+//!    results are bit-identical to direct library calls, so scheduling is
+//!    purely a latency/throughput decision.
+//! 5. **Completion** — the response is published through the request's
+//!    [`Ticket`] and latency is recorded.
+//!
+//! Partition reuse: before building, each frame's [`frame_key`] is looked
+//! up in the engine-wide [`PartitionCache`]; identical frame bytes at the
+//! same threshold reuse the cached `Arc<FractalResult>` and skip straight
+//! to the BPPO half ([`Pipeline::run_with_partition`]).
+
+use crate::cache::{frame_key, PartitionCache};
+use crate::config::ServeConfig;
+use crate::metrics::{Metrics, MetricsSnapshot};
+use fractalcloud_core::{Pipeline, PipelineConfig};
+use fractalcloud_pointcloud::ops::OpCounters;
+use fractalcloud_pointcloud::{Error, PointCloud};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Why a request was load-shed instead of queued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The admission queue was at capacity.
+    QueueFull,
+    /// The frame exceeded the engine's `max_points` limit.
+    Oversized {
+        /// Points in the offered frame.
+        points: usize,
+        /// The configured admission limit.
+        max_points: usize,
+    },
+    /// The engine is draining for shutdown.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShedReason::QueueFull => write!(f, "admission queue full"),
+            ShedReason::Oversized { points, max_points } => {
+                write!(f, "frame of {points} points exceeds limit of {max_points}")
+            }
+            ShedReason::ShuttingDown => write!(f, "engine shutting down"),
+        }
+    }
+}
+
+/// Errors a request can complete with.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// Load-shed before execution (retryable; the engine is protecting
+    /// itself, the request was fine).
+    Shed(ShedReason),
+    /// Rejected as invalid (not retryable as-is: empty frame or bad
+    /// parameters).
+    Invalid(Error),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Shed(r) => write!(f, "request shed: {r}"),
+            ServeError::Invalid(e) => write!(f, "invalid request: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A processed frame: the block-FPS samples and their ball-query groups,
+/// exactly as the direct library calls would return them, plus serving
+/// metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameResponse {
+    /// Sampled global indices (block order), identical to
+    /// `block_fps(..).indices`.
+    pub sampled_indices: Vec<usize>,
+    /// `centers × num` neighbor indices, row-major, identical to
+    /// `block_ball_query(..).indices`.
+    pub neighbor_indices: Vec<usize>,
+    /// In-radius hits per center before padding.
+    pub found: Vec<usize>,
+    /// Neighbor slots per center.
+    pub num: usize,
+    /// Leaf blocks in the frame's partition.
+    pub blocks: usize,
+    /// Aggregated work counters of the sampling stage.
+    pub sample_counters: OpCounters,
+    /// Aggregated work counters of the grouping stage.
+    pub group_counters: OpCounters,
+    /// True when the partition came from the LRU cache.
+    pub cache_hit: bool,
+    /// Number of frames fused into the batch this one ran in.
+    pub batch_size: usize,
+}
+
+/// Engine lifecycle states (stored in an `AtomicU8`).
+const RUNNING: u8 = 0;
+const DRAINING: u8 = 1;
+const STOPPED: u8 = 2;
+
+/// A one-shot completion slot shared between a worker and a waiter.
+#[derive(Debug, Default)]
+struct Slot {
+    result: Mutex<Option<Result<FrameResponse, ServeError>>>,
+    ready: Condvar,
+}
+
+/// Handle to one in-flight request; redeem with [`Ticket::wait`].
+#[derive(Debug)]
+pub struct Ticket {
+    slot: Arc<Slot>,
+}
+
+impl Ticket {
+    /// Blocks until the response (or terminal error) is ready.
+    pub fn wait(self) -> Result<FrameResponse, ServeError> {
+        let mut guard = self.slot.result.lock().expect("slot lock");
+        while guard.is_none() {
+            guard = self.slot.ready.wait(guard).expect("slot wait");
+        }
+        guard.take().expect("checked above")
+    }
+}
+
+/// One queued unit of work.
+struct Job {
+    cloud: PointCloud,
+    config: PipelineConfig,
+    compat: u64,
+    admitted_at: Instant,
+    slot: Arc<Slot>,
+}
+
+/// State shared between the public handle and the worker threads.
+struct Shared {
+    cfg: ServeConfig,
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    state: AtomicU8,
+    metrics: Metrics,
+    cache: Mutex<PartitionCache>,
+}
+
+/// The serving engine. See the [module docs](self) for the request
+/// lifecycle; construct with [`Engine::start`].
+///
+/// # Examples
+///
+/// ```
+/// use fractalcloud_serve::{Engine, ServeConfig};
+/// use fractalcloud_core::PipelineConfig;
+/// use fractalcloud_pointcloud::generate::uniform_cube;
+///
+/// let engine = Engine::start(ServeConfig::default().workers(2));
+/// let frame = uniform_cube(2048, 7);
+/// let response = engine.process(frame, PipelineConfig::default()).unwrap();
+/// assert_eq!(response.sampled_indices.len(), 512);
+/// engine.shutdown();
+/// ```
+pub struct Engine {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Engine {
+    /// Starts `cfg.workers` worker threads and returns the handle.
+    pub fn start(cfg: ServeConfig) -> Engine {
+        let shared = Arc::new(Shared {
+            cache: Mutex::new(PartitionCache::new(cfg.cache_capacity)),
+            cfg,
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            state: AtomicU8::new(RUNNING),
+            metrics: Metrics::default(),
+        });
+        let workers = (0..cfg.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("fc-serve-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Engine { shared, workers: Mutex::new(workers) }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> ServeConfig {
+        self.shared.cfg
+    }
+
+    /// Validates and admits one frame, returning a [`Ticket`] to wait on.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Invalid`] for empty frames or bad parameters;
+    /// [`ServeError::Shed`] when admission declines the request (queue
+    /// full, oversized frame, shutdown in progress).
+    pub fn submit(&self, cloud: PointCloud, config: PipelineConfig) -> Result<Ticket, ServeError> {
+        let m = &self.shared.metrics;
+        m.submitted.fetch_add(1, Ordering::Relaxed);
+        if let Err(e) = config.validate() {
+            m.rejected_invalid.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Invalid(e));
+        }
+        if cloud.is_empty() {
+            m.rejected_invalid.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Invalid(Error::EmptyCloud));
+        }
+        if cloud.len() > self.shared.cfg.max_points {
+            m.shed_oversized.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Shed(ShedReason::Oversized {
+                points: cloud.len(),
+                max_points: self.shared.cfg.max_points,
+            }));
+        }
+
+        let slot = Arc::new(Slot::default());
+        let job = Job {
+            compat: config.compat_key(),
+            cloud,
+            config,
+            admitted_at: Instant::now(),
+            slot: Arc::clone(&slot),
+        };
+        {
+            let mut queue = self.shared.queue.lock().expect("queue lock");
+            // State is checked under the queue lock: shutdown() transitions
+            // under the same lock, so no admission can slip past a drain.
+            if self.shared.state.load(Ordering::SeqCst) != RUNNING {
+                m.shed_shutdown.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::Shed(ShedReason::ShuttingDown));
+            }
+            if queue.len() >= self.shared.cfg.queue_capacity {
+                m.shed_queue_full.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::Shed(ShedReason::QueueFull));
+            }
+            queue.push_back(job);
+            m.admitted.fetch_add(1, Ordering::Relaxed);
+            m.set_queue_depth(queue.len());
+        }
+        self.shared.available.notify_one();
+        Ok(Ticket { slot })
+    }
+
+    /// Submits a frame and blocks for its response — the in-process client
+    /// call.
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::submit`].
+    pub fn process(
+        &self,
+        cloud: PointCloud,
+        config: PipelineConfig,
+    ) -> Result<FrameResponse, ServeError> {
+        self.submit(cloud, config)?.wait()
+    }
+
+    /// A point-in-time copy of every serving metric.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Shared access to the metrics registry (the TCP front-end counts its
+    /// connection-level events here).
+    pub(crate) fn metrics_registry(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// Graceful shutdown: stops admitting (subsequent submits shed with
+    /// [`ShedReason::ShuttingDown`]), lets the workers drain every already
+    /// admitted job, and joins them. Idempotent; concurrent callers all
+    /// block until the drain finishes.
+    pub fn shutdown(&self) {
+        {
+            let _queue = self.shared.queue.lock().expect("queue lock");
+            self.shared
+                .state
+                .compare_exchange(RUNNING, DRAINING, Ordering::SeqCst, Ordering::SeqCst)
+                .ok();
+        }
+        self.shared.available.notify_all();
+        let mut workers = self.workers.lock().expect("workers lock");
+        for h in workers.drain(..) {
+            h.join().expect("serve worker panicked");
+        }
+        self.shared.state.store(STOPPED, Ordering::SeqCst);
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        if self.shared.state.load(Ordering::SeqCst) != STOPPED {
+            self.shutdown();
+        }
+    }
+}
+
+/// Worker: pop the oldest job, gather its compatibility batch, execute.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let batch = {
+            let mut queue = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(first) = queue.pop_front() {
+                    let mut batch = vec![first];
+                    let compat = batch[0].compat;
+                    let mut kept = VecDeque::with_capacity(queue.len());
+                    while let Some(job) = queue.pop_front() {
+                        if batch.len() < shared.cfg.max_batch && job.compat == compat {
+                            batch.push(job);
+                        } else {
+                            kept.push_back(job);
+                        }
+                    }
+                    *queue = kept;
+                    shared.metrics.set_queue_depth(queue.len());
+                    break batch;
+                }
+                if shared.state.load(Ordering::SeqCst) != RUNNING {
+                    return;
+                }
+                queue = shared.available.wait(queue).expect("queue wait");
+            }
+        };
+        execute_batch(shared, batch);
+    }
+}
+
+/// Runs one compatible batch and publishes every response.
+fn execute_batch(shared: &Shared, batch: Vec<Job>) {
+    let size = batch.len();
+    let m = &shared.metrics;
+    m.batches.fetch_add(1, Ordering::Relaxed);
+    m.batched_frames.fetch_add(size as u64, Ordering::Relaxed);
+    let started = Instant::now();
+    for job in &batch {
+        m.queue_wait.record(started.duration_since(job.admitted_at));
+    }
+
+    // Per-request thread budgets: `parallel_map_budget` divides the
+    // engine's budget evenly across the batch lanes (a lone frame keeps
+    // the whole budget, a full batch gets one sequential lane per frame)
+    // and each lane's allowance is inherited by every fan-out inside the
+    // pipeline, so the batch never exceeds the configured budget. Results
+    // are identical for every budget — only wall-clock differs.
+    let outcomes =
+        fractalcloud_parallel::parallel_map_budget(batch, shared.cfg.thread_budget, |_, job| {
+            let admitted_at = job.admitted_at;
+            let slot = Arc::clone(&job.slot);
+            let outcome = execute_one(shared, job, size);
+            (admitted_at, slot, outcome)
+        });
+    for (admitted_at, slot, outcome) in outcomes {
+        m.latency.record(admitted_at.elapsed());
+        m.completed.fetch_add(1, Ordering::Relaxed);
+        let mut guard = slot.result.lock().expect("slot lock");
+        *guard = Some(outcome);
+        slot.ready.notify_all();
+    }
+}
+
+/// Runs one frame through the pipeline, reusing a cached partition when the
+/// frame bytes have been seen at this threshold before. Parallelism inside
+/// the pipeline is governed by the lane's inherited thread budget (a
+/// 1-thread lane resolves every nested fan-out to sequential execution).
+fn execute_one(shared: &Shared, job: Job, batch_size: usize) -> Result<FrameResponse, ServeError> {
+    let parallel = fractalcloud_parallel::effective_budget() > 1;
+    let pipeline = Pipeline::new(job.config).map_err(ServeError::Invalid)?;
+    let key = frame_key(&job.cloud, job.config.threshold);
+
+    let cached = shared.cache.lock().expect("cache lock").get(key);
+    let (built, cache_hit) = match cached {
+        Some(b) => {
+            shared.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+            (b, true)
+        }
+        None => {
+            shared.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+            let built =
+                Arc::new(pipeline.partition(&job.cloud, parallel).map_err(ServeError::Invalid)?);
+            shared.cache.lock().expect("cache lock").insert(key, Arc::clone(&built));
+            (built, false)
+        }
+    };
+
+    let out =
+        pipeline.run_with_partition(&job.cloud, &built, parallel).map_err(ServeError::Invalid)?;
+    Ok(FrameResponse {
+        sampled_indices: out.sampled.indices,
+        neighbor_indices: out.grouped.indices,
+        found: out.grouped.found,
+        num: out.grouped.num,
+        blocks: out.blocks,
+        sample_counters: out.sampled.counters,
+        group_counters: out.grouped.counters,
+        cache_hit,
+        batch_size,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fractalcloud_pointcloud::generate::{scene_cloud, uniform_cube, SceneConfig};
+
+    fn small_engine() -> Engine {
+        Engine::start(ServeConfig::default().workers(2).queue_capacity(16))
+    }
+
+    #[test]
+    fn process_round_trips_a_frame() {
+        let engine = small_engine();
+        let cloud = uniform_cube(1024, 3);
+        let r = engine.process(cloud, PipelineConfig::default()).unwrap();
+        assert_eq!(r.sampled_indices.len(), 256);
+        assert_eq!(r.found.len(), 256);
+        assert_eq!(r.neighbor_indices.len(), 256 * r.num);
+        assert!(r.blocks >= 4);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn repeated_frame_hits_partition_cache_with_identical_results() {
+        let engine = small_engine();
+        let cloud = scene_cloud(&SceneConfig::default(), 2048, 5);
+        let a = engine.process(cloud.clone(), PipelineConfig::default()).unwrap();
+        let b = engine.process(cloud, PipelineConfig::default()).unwrap();
+        assert!(!a.cache_hit);
+        assert!(b.cache_hit);
+        assert_eq!(a.sampled_indices, b.sampled_indices);
+        assert_eq!(a.neighbor_indices, b.neighbor_indices);
+        let m = engine.metrics();
+        assert_eq!(m.cache_hits, 1);
+        assert_eq!(m.cache_misses, 1);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn invalid_requests_are_rejected_not_shed() {
+        let engine = small_engine();
+        let empty = engine.process(PointCloud::new(), PipelineConfig::default());
+        assert_eq!(empty, Err(ServeError::Invalid(Error::EmptyCloud)));
+        let bad = engine
+            .process(uniform_cube(64, 1), PipelineConfig { neighbors: 0, ..Default::default() });
+        assert!(matches!(bad, Err(ServeError::Invalid(Error::InvalidParameter { .. }))));
+        assert_eq!(engine.metrics().rejected_invalid, 2);
+        assert_eq!(engine.metrics().shed_total(), 0);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn submit_after_shutdown_sheds() {
+        let engine = small_engine();
+        engine.shutdown();
+        let r = engine.submit(uniform_cube(64, 1), PipelineConfig::default());
+        assert_eq!(r.unwrap_err(), ServeError::Shed(ShedReason::ShuttingDown));
+        assert_eq!(engine.metrics().shed_shutdown, 1);
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let engine = small_engine();
+        engine.shutdown();
+        engine.shutdown();
+    }
+}

@@ -1,0 +1,57 @@
+//! # fractalcloud-serve: batched request serving for partition + BPPO
+//!
+//! The front door the ROADMAP's "millions of users" north star needs: a
+//! request/response engine that turns the FractalCloud library into a
+//! service. A *frame* (one LiDAR-scale point cloud plus a
+//! [`PipelineConfig`]) goes in; the block-FPS samples and ball-query groups
+//! — bit-identical to direct [`fractalcloud_core`] calls on every kernel
+//! backend — come out.
+//!
+//! The moving parts, one module each:
+//!
+//! * [`ServeConfig`] — tunables with `FRACTALCLOUD_SERVE_*` env overrides;
+//! * [`Engine`] — bounded admission queue with counted load-shedding
+//!   (never unbounded growth), an adaptive batcher fusing compatible
+//!   frames, a worker pool with per-request thread budgets layered on
+//!   [`fractalcloud_parallel::parallel_map_budget`], and a partition LRU
+//!   ([`cache`]) keyed by frame hash;
+//! * [`Metrics`] — per-stage counters, queue-depth gauges, and log-bucketed
+//!   p50/p99 latency histograms;
+//! * [`protocol`] — the length-prefixed little-endian wire format;
+//! * [`TcpServer`]/[`ServeClient`] — a plain `std::net` TCP front-end
+//!   (threads, no async runtime) and its blocking client.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use fractalcloud_serve::{Engine, ServeConfig, ServeClient, TcpServer};
+//! use fractalcloud_core::PipelineConfig;
+//! use fractalcloud_pointcloud::generate::uniform_cube;
+//! use std::sync::Arc;
+//!
+//! let engine = Arc::new(Engine::start(ServeConfig::default().workers(2)));
+//! let mut server = TcpServer::bind("127.0.0.1:0", Arc::clone(&engine))?;
+//!
+//! let mut client = ServeClient::connect(server.local_addr())?;
+//! let reply = client.process(&uniform_cube(1024, 7), &PipelineConfig::default()).unwrap();
+//! assert_eq!(reply.sampled_indices.len(), 256);
+//!
+//! server.shutdown();
+//! engine.shutdown();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cache;
+mod config;
+mod engine;
+mod metrics;
+mod net;
+pub mod protocol;
+
+pub use config::ServeConfig;
+pub use engine::{Engine, FrameResponse, ServeError, ShedReason, Ticket};
+pub use metrics::{LatencyHistogram, Metrics, MetricsSnapshot};
+pub use net::{ClientError, ServeClient, TcpServer};

@@ -1,0 +1,260 @@
+//! Per-stage serving metrics: admission/shed counters, queue-depth gauges,
+//! batch statistics, cache hit rates, and log-bucketed latency histograms.
+//!
+//! Everything is lock-free atomics so the hot path (admission, completion)
+//! never contends with scrapes; [`Metrics::snapshot`] reads a consistent
+//! *approximate* view (counters may advance between loads, which is the
+//! usual contract for monitoring counters).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of log₂ microsecond buckets in a [`LatencyHistogram`]
+/// (bucket 39 ≈ 2³⁸ µs ≈ 76 h — effectively "anything slower").
+const BUCKETS: usize = 40;
+
+/// A log₂-bucketed latency histogram over microseconds.
+///
+/// Bucket `i` counts samples with `floor(log₂(µs)) == i` (bucket 0 holds
+/// sub-microsecond and 1 µs samples). Quantiles are answered with the upper
+/// bound of the bucket the quantile falls in, so `quantile_us` over-reports
+/// by at most 2× — plenty for p50/p99 shed/latency dashboards, with zero
+/// allocation and constant memory.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    counts: [AtomicU64; BUCKETS],
+    total_us: AtomicU64,
+    samples: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            total_us: AtomicU64::new(0),
+            samples: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one duration.
+    pub fn record(&self, d: Duration) {
+        let us = d.as_micros().min(u128::from(u64::MAX)) as u64;
+        let bucket = (64 - us.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
+        self.counts[bucket].fetch_add(1, Ordering::Relaxed);
+        self.total_us.fetch_add(us, Ordering::Relaxed);
+        self.samples.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn samples(&self) -> u64 {
+        self.samples.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in microseconds (0 with no samples).
+    pub fn mean_us(&self) -> u64 {
+        self.total_us.load(Ordering::Relaxed).checked_div(self.samples()).unwrap_or(0)
+    }
+
+    /// Upper bound (µs) of the bucket containing quantile `q` in `[0, 1]`.
+    /// Returns 0 with no samples.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let n = self.samples();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= rank {
+                return 1u64 << (i + 1);
+            }
+        }
+        1u64 << BUCKETS
+    }
+}
+
+/// All counters the engine and TCP front-end maintain.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests offered to [`Engine::submit`](crate::Engine::submit).
+    pub submitted: AtomicU64,
+    /// Requests admitted to the queue.
+    pub admitted: AtomicU64,
+    /// Requests shed: queue at capacity.
+    pub shed_queue_full: AtomicU64,
+    /// Requests shed: frame larger than `max_points`.
+    pub shed_oversized: AtomicU64,
+    /// Requests shed: engine shutting down.
+    pub shed_shutdown: AtomicU64,
+    /// Requests rejected before queueing: invalid parameters / empty frame.
+    pub rejected_invalid: AtomicU64,
+    /// Requests completed (response delivered).
+    pub completed: AtomicU64,
+    /// Batches executed.
+    pub batches: AtomicU64,
+    /// Frames executed across all batches (`/ batches` = mean batch size).
+    pub batched_frames: AtomicU64,
+    /// Partition-cache hits.
+    pub cache_hits: AtomicU64,
+    /// Partition-cache misses.
+    pub cache_misses: AtomicU64,
+    /// Current queue depth (gauge).
+    pub queue_depth: AtomicU64,
+    /// High-water queue depth since start.
+    pub peak_queue_depth: AtomicU64,
+    /// TCP connections that disconnected mid-request or errored.
+    pub net_disconnects: AtomicU64,
+    /// TCP requests rejected as malformed (bad magic/opcode/size).
+    pub net_malformed: AtomicU64,
+    /// End-to-end latency (admission → response ready).
+    pub latency: LatencyHistogram,
+    /// Queue-wait latency (admission → batch start).
+    pub queue_wait: LatencyHistogram,
+}
+
+impl Metrics {
+    /// Records a new queue depth, maintaining the high-water mark.
+    pub fn set_queue_depth(&self, depth: usize) {
+        let d = depth as u64;
+        self.queue_depth.store(d, Ordering::Relaxed);
+        self.peak_queue_depth.fetch_max(d, Ordering::Relaxed);
+    }
+
+    /// Takes an approximate point-in-time snapshot of every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            submitted: load(&self.submitted),
+            admitted: load(&self.admitted),
+            shed_queue_full: load(&self.shed_queue_full),
+            shed_oversized: load(&self.shed_oversized),
+            shed_shutdown: load(&self.shed_shutdown),
+            rejected_invalid: load(&self.rejected_invalid),
+            completed: load(&self.completed),
+            batches: load(&self.batches),
+            batched_frames: load(&self.batched_frames),
+            cache_hits: load(&self.cache_hits),
+            cache_misses: load(&self.cache_misses),
+            queue_depth: load(&self.queue_depth),
+            peak_queue_depth: load(&self.peak_queue_depth),
+            net_disconnects: load(&self.net_disconnects),
+            net_malformed: load(&self.net_malformed),
+            latency_p50_us: self.latency.quantile_us(0.50),
+            latency_p99_us: self.latency.quantile_us(0.99),
+            latency_mean_us: self.latency.mean_us(),
+            queue_wait_p99_us: self.queue_wait.quantile_us(0.99),
+        }
+    }
+}
+
+/// A plain-data copy of [`Metrics`] for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Requests offered.
+    pub submitted: u64,
+    /// Requests admitted to the queue.
+    pub admitted: u64,
+    /// Shed: queue at capacity.
+    pub shed_queue_full: u64,
+    /// Shed: oversized frame.
+    pub shed_oversized: u64,
+    /// Shed: shutting down.
+    pub shed_shutdown: u64,
+    /// Rejected: invalid parameters / empty frame.
+    pub rejected_invalid: u64,
+    /// Responses delivered.
+    pub completed: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Frames across all batches.
+    pub batched_frames: u64,
+    /// Partition-cache hits.
+    pub cache_hits: u64,
+    /// Partition-cache misses.
+    pub cache_misses: u64,
+    /// Queue depth at snapshot time.
+    pub queue_depth: u64,
+    /// High-water queue depth.
+    pub peak_queue_depth: u64,
+    /// TCP disconnects/errors.
+    pub net_disconnects: u64,
+    /// Malformed TCP requests.
+    pub net_malformed: u64,
+    /// p50 end-to-end latency (µs, bucket upper bound).
+    pub latency_p50_us: u64,
+    /// p99 end-to-end latency (µs, bucket upper bound).
+    pub latency_p99_us: u64,
+    /// Mean end-to-end latency (µs, exact).
+    pub latency_mean_us: u64,
+    /// p99 queue wait (µs, bucket upper bound).
+    pub queue_wait_p99_us: u64,
+}
+
+impl MetricsSnapshot {
+    /// Total shed requests across every reason.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_queue_full + self.shed_oversized + self.shed_shutdown
+    }
+
+    /// Mean frames per executed batch (1.0 when nothing ran).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            1.0
+        } else {
+            self.batched_frames as f64 / self.batches as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let h = LatencyHistogram::default();
+        for us in [1u64, 10, 100, 1000, 10_000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.samples(), 5);
+        // p50 sample is 100 µs: bucket 6 (64..128) upper bound is 128.
+        assert_eq!(h.quantile_us(0.5), 128);
+        // p99 = largest sample's bucket (8192..16384 → 16384).
+        assert_eq!(h.quantile_us(0.99), 16_384);
+        assert!(h.quantile_us(0.0) >= 2);
+        assert_eq!(h.mean_us(), (1 + 10 + 100 + 1000 + 10_000) / 5);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_us(0.99), 0);
+        assert_eq!(h.mean_us(), 0);
+    }
+
+    #[test]
+    fn queue_depth_tracks_high_water() {
+        let m = Metrics::default();
+        m.set_queue_depth(3);
+        m.set_queue_depth(9);
+        m.set_queue_depth(2);
+        let s = m.snapshot();
+        assert_eq!(s.queue_depth, 2);
+        assert_eq!(s.peak_queue_depth, 9);
+    }
+
+    #[test]
+    fn snapshot_derives_batch_and_shed_totals() {
+        let m = Metrics::default();
+        m.batches.store(4, Ordering::Relaxed);
+        m.batched_frames.store(10, Ordering::Relaxed);
+        m.shed_queue_full.store(2, Ordering::Relaxed);
+        m.shed_oversized.store(1, Ordering::Relaxed);
+        let s = m.snapshot();
+        assert_eq!(s.mean_batch(), 2.5);
+        assert_eq!(s.shed_total(), 3);
+    }
+}

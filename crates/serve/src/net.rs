@@ -1,0 +1,332 @@
+//! The `std::net` TCP front-end and its matching client.
+//!
+//! Thread-per-connection over blocking sockets: the accept loop runs on one
+//! thread (non-blocking listener polled at a few hundred Hz so shutdown
+//! needs no self-connection tricks), each connection gets a handler thread,
+//! and every request inside a connection is processed synchronously through
+//! the shared [`Engine`]. Backpressure therefore composes: a flood of
+//! connections lands in the same bounded admission queue as in-process
+//! callers and sheds with the same counted reasons.
+
+use crate::engine::{Engine, FrameResponse, ServeError, ShedReason};
+use crate::protocol::{self, status, WireError, WireResponse, MAGIC, OP_PROCESS_FRAME};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How often the accept loop polls the non-blocking listener.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+/// The TCP front-end. Binds, serves until [`TcpServer::shutdown`], and
+/// shares one [`Engine`] across every connection.
+pub struct TcpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and starts
+    /// accepting connections against `engine`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind/configuration failures.
+    pub fn bind(addr: impl ToSocketAddrs, engine: Arc<Engine>) -> io::Result<TcpServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name("fc-serve-accept".into())
+            .spawn(move || accept_loop(&listener, &engine, &stop2))?;
+        Ok(TcpServer { addr: local, stop, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting new connections and joins the accept loop. Open
+    /// connections finish their in-flight request and then close on their
+    /// next read (their handler threads are detached and exit on EOF or
+    /// error; the engine's own [`Engine::shutdown`] drains in-flight work).
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept_thread.take() {
+            h.join().expect("accept loop panicked");
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, engine: &Arc<Engine>, stop: &AtomicBool) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let engine = Arc::clone(engine);
+                // Handler threads are detached: they exit on EOF/error, and
+                // process shutdown tears them down with everything else.
+                let _ = std::thread::Builder::new()
+                    .name("fc-serve-conn".into())
+                    .spawn(move || handle_connection(stream, &engine));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+/// Serves one connection: a loop of request → response frames. Returns (and
+/// closes the stream) on EOF, protocol violation, or I/O error.
+fn handle_connection(mut stream: TcpStream, engine: &Arc<Engine>) {
+    // Handlers use blocking reads; the listener's non-blocking flag is
+    // inherited on some platforms, so reset it explicitly.
+    if stream.set_nonblocking(false).is_err() {
+        return;
+    }
+    let metrics = engine.metrics_registry();
+    loop {
+        let mut header = [0u8; 9];
+        match read_exact_or_eof(&mut stream, &mut header) {
+            Ok(ReadOutcome::Eof) => return, // clean close between requests
+            Ok(ReadOutcome::Full) => {}
+            Err(_) => {
+                metrics.net_disconnects.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        let magic = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+        let opcode = header[4];
+        let payload_len = u32::from_le_bytes(header[5..9].try_into().expect("4 bytes")) as usize;
+
+        if magic != MAGIC || opcode != OP_PROCESS_FRAME {
+            // The stream cannot be resynchronized after a framing error:
+            // answer malformed and drop the connection.
+            metrics.net_malformed.fetch_add(1, Ordering::Relaxed);
+            let _ = write_error(&mut stream, status::MALFORMED, "bad magic or opcode");
+            return;
+        }
+        if payload_len > engine.config().max_payload_bytes() {
+            // Refuse to buffer the payload: drain it through a small
+            // scratch (bounded memory regardless of the declared size),
+            // reply OVERSIZED, and keep the connection usable.
+            metrics.shed_oversized.fetch_add(1, Ordering::Relaxed);
+            if drain(&mut stream, payload_len).is_err()
+                || write_error(
+                    &mut stream,
+                    status::OVERSIZED,
+                    &format!("payload of {payload_len} bytes exceeds the server limit"),
+                )
+                .is_err()
+            {
+                metrics.net_disconnects.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            continue;
+        }
+
+        let mut payload = vec![0u8; payload_len];
+        if stream.read_exact(&mut payload).is_err() {
+            // Disconnect (or stall) mid-request.
+            metrics.net_disconnects.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+
+        let reply = match protocol::decode_request_payload(&payload) {
+            Err(WireError(what)) => {
+                metrics.net_malformed.fetch_add(1, Ordering::Relaxed);
+                let r = write_error(&mut stream, status::MALFORMED, what);
+                if r.is_err() {
+                    metrics.net_disconnects.fetch_add(1, Ordering::Relaxed);
+                }
+                // Framing was intact — the connection may continue.
+                continue;
+            }
+            Ok((cloud, config)) => match engine.process(cloud, config) {
+                Ok(resp) => write_ok(&mut stream, &resp),
+                Err(e) => write_error(&mut stream, error_status(&e), &e.to_string()),
+            },
+        };
+        if reply.is_err() {
+            metrics.net_disconnects.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    }
+}
+
+/// Reads and discards `n` bytes through a fixed-size scratch buffer.
+fn drain(stream: &mut TcpStream, mut n: usize) -> io::Result<()> {
+    let mut scratch = [0u8; 8192];
+    while n > 0 {
+        let take = n.min(scratch.len());
+        stream.read_exact(&mut scratch[..take])?;
+        n -= take;
+    }
+    Ok(())
+}
+
+/// Result of an initial header read: clean EOF or a full buffer.
+enum ReadOutcome {
+    Eof,
+    Full,
+}
+
+/// Reads exactly `buf.len()` bytes, distinguishing "EOF before any byte"
+/// (clean connection close) from "EOF mid-buffer" (error).
+fn read_exact_or_eof(stream: &mut TcpStream, buf: &mut [u8]) -> io::Result<ReadOutcome> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(ReadOutcome::Eof),
+            Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(ReadOutcome::Full)
+}
+
+fn error_status(e: &ServeError) -> u8 {
+    match e {
+        ServeError::Shed(ShedReason::QueueFull) => status::QUEUE_FULL,
+        ServeError::Shed(ShedReason::Oversized { .. }) => status::OVERSIZED,
+        ServeError::Shed(ShedReason::ShuttingDown) => status::SHUTTING_DOWN,
+        ServeError::Invalid(_) => status::INVALID,
+    }
+}
+
+fn write_ok(stream: &mut TcpStream, resp: &FrameResponse) -> io::Result<()> {
+    let wire = WireResponse {
+        sampled_indices: resp.sampled_indices.iter().map(|&i| i as u32).collect(),
+        neighbor_indices: resp.neighbor_indices.iter().map(|&i| i as u32).collect(),
+        found: resp.found.iter().map(|&i| i as u32).collect(),
+        num: resp.num as u32,
+        blocks: resp.blocks as u32,
+        cache_hit: resp.cache_hit,
+        batch_size: resp.batch_size as u32,
+    };
+    let payload = protocol::encode_response_payload(&wire);
+    stream.write_all(&protocol::encode_message(status::OK, &payload))
+}
+
+fn write_error(stream: &mut TcpStream, code: u8, message: &str) -> io::Result<()> {
+    stream.write_all(&protocol::encode_message(code, message.as_bytes()))
+}
+
+/// Errors a [`ServeClient`] call can produce.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server answered with a non-OK status.
+    Server {
+        /// The [`status`] code.
+        code: u8,
+        /// The server's human-readable reason.
+        message: String,
+    },
+    /// The server's bytes did not parse.
+    Protocol(WireError),
+}
+
+impl ClientError {
+    /// True when the server shed the request (retryable by contract).
+    pub fn is_shed(&self) -> bool {
+        matches!(
+            self,
+            ClientError::Server {
+                code: status::QUEUE_FULL | status::OVERSIZED | status::SHUTTING_DOWN,
+                ..
+            }
+        )
+    }
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server status {code}: {message}")
+            }
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// A blocking client for the TCP front-end.
+pub struct ServeClient {
+    stream: TcpStream,
+}
+
+impl ServeClient {
+    /// Connects to a running [`TcpServer`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<ServeClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(ServeClient { stream })
+    }
+
+    /// Sends one frame and blocks for its result.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] for shed/rejected requests,
+    /// [`ClientError::Io`]/[`ClientError::Protocol`] for transport and
+    /// framing failures.
+    pub fn process(
+        &mut self,
+        cloud: &fractalcloud_pointcloud::PointCloud,
+        config: &fractalcloud_core::PipelineConfig,
+    ) -> Result<WireResponse, ClientError> {
+        let payload = protocol::encode_request_payload(cloud, config);
+        self.stream.write_all(&protocol::encode_message(OP_PROCESS_FRAME, &payload))?;
+
+        let mut header = [0u8; 9];
+        self.stream.read_exact(&mut header)?;
+        let magic = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+        if magic != MAGIC {
+            return Err(ClientError::Protocol(WireError("bad response magic")));
+        }
+        let code = header[4];
+        let payload_len = u32::from_le_bytes(header[5..9].try_into().expect("4 bytes")) as usize;
+        if payload_len > protocol::MAX_RESPONSE_PAYLOAD {
+            // A declared length this large means a corrupt/hostile stream;
+            // refuse before allocating (the connection is desynced anyway).
+            return Err(ClientError::Protocol(WireError("response payload exceeds sanity limit")));
+        }
+        let mut payload = vec![0u8; payload_len];
+        self.stream.read_exact(&mut payload)?;
+        if code != status::OK {
+            return Err(ClientError::Server {
+                code,
+                message: String::from_utf8_lossy(&payload).into_owned(),
+            });
+        }
+        protocol::decode_response_payload(&payload).map_err(ClientError::Protocol)
+    }
+}

@@ -1,0 +1,362 @@
+//! The length-prefixed binary wire protocol of the TCP front-end.
+//!
+//! Plain `std::net` framing, little-endian throughout — no async runtime,
+//! matching the rest of the workspace. One request, one response, any
+//! number of request/response pairs per connection.
+//!
+//! ```text
+//! request  := magic:u32 opcode:u8 payload_len:u32 payload
+//!   payload (opcode PROCESS_FRAME):
+//!     threshold:u32 sample_rate:f64 radius:f32 neighbors:u32
+//!     n_points:u32 (x:f32 y:f32 z:f32){n_points}
+//!
+//! response := magic:u32 status:u8 payload_len:u32 payload
+//!   payload (status OK):
+//!     blocks:u32 cache_hit:u8 batch_size:u32
+//!     n_sampled:u32 sampled:u32{n_sampled}
+//!     n_centers:u32 num:u32 neighbors:u32{n_centers*num}
+//!     found:u32{n_centers}
+//!   payload (status != OK): UTF-8 human-readable reason
+//! ```
+//!
+//! Status codes mirror [`ServeError`](crate::ServeError): `1` queue full,
+//! `2` oversized frame, `3` shutting down, `4` invalid request, `5`
+//! malformed wire data. Shed statuses are retryable by contract; `4`/`5`
+//! are not.
+
+use fractalcloud_core::PipelineConfig;
+use fractalcloud_pointcloud::{Point3, PointCloud};
+
+/// Frame magic: `"FCS1"` (FractalCloud Serve, version 1).
+pub const MAGIC: u32 = u32::from_le_bytes(*b"FCS1");
+
+/// The only request opcode: process one frame.
+pub const OP_PROCESS_FRAME: u8 = 1;
+
+/// Fixed request-payload bytes before the coordinate triplets.
+pub const REQUEST_FIXED_BYTES: usize = 4 + 8 + 4 + 4 + 4;
+
+/// Sanity ceiling a client applies to a server-declared response payload
+/// before allocating (a megapoint frame's response is ~20 MB; anything
+/// near this bound means a corrupt or hostile peer, not a real result).
+pub const MAX_RESPONSE_PAYLOAD: usize = 1 << 28;
+
+/// Response status codes.
+pub mod status {
+    /// Success; payload carries the results.
+    pub const OK: u8 = 0;
+    /// Shed: admission queue full (retryable).
+    pub const QUEUE_FULL: u8 = 1;
+    /// Shed: frame exceeds the server's point limit (retryable smaller).
+    pub const OVERSIZED: u8 = 2;
+    /// Shed: server draining for shutdown (retryable elsewhere).
+    pub const SHUTTING_DOWN: u8 = 3;
+    /// Rejected: invalid parameters or empty frame (not retryable as-is).
+    pub const INVALID: u8 = 4;
+    /// Rejected: the bytes did not parse as a protocol frame.
+    pub const MALFORMED: u8 = 5;
+}
+
+/// A decoding failure (maps to [`status::MALFORMED`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireError(pub &'static str);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed frame: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A little-endian cursor over a payload slice.
+struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
+        let end = self.at.checked_add(n).ok_or(WireError("length overflow"))?;
+        if end > self.buf.len() {
+            return Err(WireError(what));
+        }
+        let s = &self.buf[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &'static str) -> Result<u8, WireError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().expect("4 bytes")))
+    }
+
+    fn f32(&mut self, what: &'static str) -> Result<f32, WireError> {
+        Ok(f32::from_le_bytes(self.take(4, what)?.try_into().expect("4 bytes")))
+    }
+
+    fn f64(&mut self, what: &'static str) -> Result<f64, WireError> {
+        Ok(f64::from_le_bytes(self.take(8, what)?.try_into().expect("8 bytes")))
+    }
+
+    /// Bytes left to read — the bound any wire-declared element count must
+    /// respect *before* its buffer is allocated.
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.at
+    }
+
+    fn done(&self) -> Result<(), WireError> {
+        if self.at == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError("trailing bytes"))
+        }
+    }
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Encodes a process-frame request payload (the part after the 9-byte
+/// header).
+pub fn encode_request_payload(cloud: &PointCloud, config: &PipelineConfig) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(REQUEST_FIXED_BYTES + cloud.len() * 12);
+    put_u32(&mut buf, config.threshold as u32);
+    buf.extend_from_slice(&config.sample_rate.to_le_bytes());
+    buf.extend_from_slice(&config.radius.to_le_bytes());
+    put_u32(&mut buf, config.neighbors as u32);
+    put_u32(&mut buf, cloud.len() as u32);
+    for i in 0..cloud.len() {
+        let p = cloud.point(i);
+        buf.extend_from_slice(&p.x.to_le_bytes());
+        buf.extend_from_slice(&p.y.to_le_bytes());
+        buf.extend_from_slice(&p.z.to_le_bytes());
+    }
+    buf
+}
+
+/// Decodes a process-frame request payload.
+///
+/// # Errors
+///
+/// [`WireError`] when the payload is truncated, over-long, or its declared
+/// point count disagrees with its length.
+pub fn decode_request_payload(payload: &[u8]) -> Result<(PointCloud, PipelineConfig), WireError> {
+    let mut r = Reader { buf: payload, at: 0 };
+    let threshold = r.u32("truncated threshold")? as usize;
+    let sample_rate = r.f64("truncated sample_rate")?;
+    let radius = r.f32("truncated radius")?;
+    let neighbors = r.u32("truncated neighbors")? as usize;
+    let n = r.u32("truncated point count")? as usize;
+    let coords = r.take(
+        n.checked_mul(12).ok_or(WireError("point count overflow"))?,
+        "truncated coordinates",
+    )?;
+    r.done()?;
+    let mut points = Vec::with_capacity(n);
+    for c in coords.chunks_exact(12) {
+        points.push(Point3::new(
+            f32::from_le_bytes(c[0..4].try_into().expect("4 bytes")),
+            f32::from_le_bytes(c[4..8].try_into().expect("4 bytes")),
+            f32::from_le_bytes(c[8..12].try_into().expect("4 bytes")),
+        ));
+    }
+    Ok((
+        PointCloud::from_points(points),
+        PipelineConfig::new(threshold, sample_rate, radius, neighbors),
+    ))
+}
+
+/// The response fields that cross the wire (the in-process
+/// [`FrameResponse`](crate::FrameResponse) minus the op counters, which are
+/// observability data, not results).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireResponse {
+    /// Sampled global indices in block order.
+    pub sampled_indices: Vec<u32>,
+    /// `centers × num` neighbor indices, row-major.
+    pub neighbor_indices: Vec<u32>,
+    /// In-radius hits per center.
+    pub found: Vec<u32>,
+    /// Neighbor slots per center.
+    pub num: u32,
+    /// Leaf blocks in the partition.
+    pub blocks: u32,
+    /// Whether the partition came from the server's LRU.
+    pub cache_hit: bool,
+    /// Frames fused into the executing batch.
+    pub batch_size: u32,
+}
+
+/// Encodes an OK response payload.
+pub fn encode_response_payload(resp: &WireResponse) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(
+        17 + 4 * (resp.sampled_indices.len() + resp.neighbor_indices.len() + resp.found.len() + 2),
+    );
+    put_u32(&mut buf, resp.blocks);
+    buf.push(u8::from(resp.cache_hit));
+    put_u32(&mut buf, resp.batch_size);
+    put_u32(&mut buf, resp.sampled_indices.len() as u32);
+    for &v in &resp.sampled_indices {
+        put_u32(&mut buf, v);
+    }
+    put_u32(&mut buf, resp.found.len() as u32);
+    put_u32(&mut buf, resp.num);
+    for &v in &resp.neighbor_indices {
+        put_u32(&mut buf, v);
+    }
+    for &v in &resp.found {
+        put_u32(&mut buf, v);
+    }
+    buf
+}
+
+/// Decodes an OK response payload.
+///
+/// # Errors
+///
+/// [`WireError`] when the payload is truncated, over-long, or its internal
+/// lengths disagree.
+pub fn decode_response_payload(payload: &[u8]) -> Result<WireResponse, WireError> {
+    let mut r = Reader { buf: payload, at: 0 };
+    let blocks = r.u32("truncated blocks")?;
+    let cache_hit = r.u8("truncated cache_hit")? != 0;
+    let batch_size = r.u32("truncated batch_size")?;
+    // Every declared count is validated against the bytes actually present
+    // before any buffer is sized from it, so a hostile peer cannot force
+    // allocations beyond the (already bounded) payload it sent.
+    let n_sampled = r.u32("truncated sample count")? as usize;
+    if n_sampled > r.remaining() / 4 {
+        return Err(WireError("sample count exceeds payload"));
+    }
+    let mut sampled_indices = Vec::with_capacity(n_sampled);
+    for _ in 0..n_sampled {
+        sampled_indices.push(r.u32("truncated samples")?);
+    }
+    let n_centers = r.u32("truncated center count")? as usize;
+    let num = r.u32("truncated num")?;
+    let slots = n_centers.checked_mul(num as usize).ok_or(WireError("slot count overflow"))?;
+    if slots.checked_add(n_centers).ok_or(WireError("slot count overflow"))? > r.remaining() / 4 {
+        return Err(WireError("neighbor counts exceed payload"));
+    }
+    let mut neighbor_indices = Vec::with_capacity(slots);
+    for _ in 0..slots {
+        neighbor_indices.push(r.u32("truncated neighbors")?);
+    }
+    let mut found = Vec::with_capacity(n_centers);
+    for _ in 0..n_centers {
+        found.push(r.u32("truncated found")?);
+    }
+    r.done()?;
+    Ok(WireResponse {
+        sampled_indices,
+        neighbor_indices,
+        found,
+        num,
+        blocks,
+        cache_hit,
+        batch_size,
+    })
+}
+
+/// Encodes a complete message: header plus payload.
+pub fn encode_message(kind_byte: u8, payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(9 + payload.len());
+    buf.extend_from_slice(&MAGIC.to_le_bytes());
+    buf.push(kind_byte);
+    put_u32(&mut buf, payload.len() as u32);
+    buf.extend_from_slice(payload);
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fractalcloud_pointcloud::generate::uniform_cube;
+
+    #[test]
+    fn request_round_trips() {
+        let cloud = uniform_cube(100, 1);
+        let cfg = PipelineConfig::new(64, 0.5, 0.3, 8);
+        let payload = encode_request_payload(&cloud, &cfg);
+        assert_eq!(payload.len(), REQUEST_FIXED_BYTES + 1200);
+        let (cloud2, cfg2) = decode_request_payload(&payload).unwrap();
+        assert_eq!(cloud, cloud2);
+        assert_eq!(cfg, cfg2);
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let resp = WireResponse {
+            sampled_indices: vec![5, 9, 200],
+            neighbor_indices: vec![1, 2, 3, 4, 5, 6],
+            found: vec![2, 1, 2],
+            num: 2,
+            blocks: 7,
+            cache_hit: true,
+            batch_size: 3,
+        };
+        let payload = encode_response_payload(&resp);
+        assert_eq!(decode_response_payload(&payload).unwrap(), resp);
+    }
+
+    #[test]
+    fn truncated_and_overlong_payloads_are_malformed() {
+        let cloud = uniform_cube(10, 2);
+        let payload = encode_request_payload(&cloud, &PipelineConfig::default());
+        assert!(decode_request_payload(&payload[..payload.len() - 1]).is_err());
+        let mut long = payload.clone();
+        long.push(0);
+        assert_eq!(decode_request_payload(&long), Err(WireError("trailing bytes")));
+        assert!(decode_request_payload(&[]).is_err());
+    }
+
+    #[test]
+    fn declared_point_count_must_match_bytes() {
+        let cloud = uniform_cube(4, 3);
+        let mut payload = encode_request_payload(&cloud, &PipelineConfig::default());
+        // Claim 5 points while carrying 4.
+        let at = REQUEST_FIXED_BYTES - 4;
+        payload[at..at + 4].copy_from_slice(&5u32.to_le_bytes());
+        assert!(decode_request_payload(&payload).is_err());
+    }
+
+    #[test]
+    fn huge_declared_counts_are_rejected_before_allocation() {
+        // A tiny payload claiming u32::MAX samples must error, not try to
+        // reserve gigabytes.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&7u32.to_le_bytes()); // blocks
+        payload.push(0); // cache_hit
+        payload.extend_from_slice(&1u32.to_le_bytes()); // batch_size
+        payload.extend_from_slice(&u32::MAX.to_le_bytes()); // n_sampled
+        assert_eq!(
+            decode_response_payload(&payload),
+            Err(WireError("sample count exceeds payload"))
+        );
+
+        // Same for the neighbor matrix: n_centers * num overflowing or
+        // exceeding the remaining bytes.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&7u32.to_le_bytes());
+        payload.push(0);
+        payload.extend_from_slice(&1u32.to_le_bytes());
+        payload.extend_from_slice(&0u32.to_le_bytes()); // n_sampled = 0
+        payload.extend_from_slice(&1000u32.to_le_bytes()); // n_centers
+        payload.extend_from_slice(&u32::MAX.to_le_bytes()); // num
+        assert!(decode_response_payload(&payload).is_err());
+    }
+
+    #[test]
+    fn message_header_layout() {
+        let msg = encode_message(OP_PROCESS_FRAME, &[0xAB, 0xCD]);
+        assert_eq!(&msg[0..4], b"FCS1");
+        assert_eq!(msg[4], OP_PROCESS_FRAME);
+        assert_eq!(u32::from_le_bytes(msg[5..9].try_into().unwrap()), 2);
+        assert_eq!(&msg[9..], &[0xAB, 0xCD]);
+    }
+}

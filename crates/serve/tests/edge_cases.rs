@@ -1,0 +1,244 @@
+//! Serving edge cases: zero-capacity queues, overload shedding, oversized
+//! and malformed frames, client disconnects mid-request, and graceful
+//! shutdown draining.
+
+use fractalcloud_core::PipelineConfig;
+use fractalcloud_pointcloud::generate::{scene_cloud, uniform_cube, SceneConfig};
+use fractalcloud_serve::protocol::{self, status, OP_PROCESS_FRAME};
+use fractalcloud_serve::{
+    ClientError, Engine, ServeClient, ServeConfig, ServeError, ShedReason, TcpServer,
+};
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn frame(n: usize, seed: u64) -> fractalcloud_pointcloud::PointCloud {
+    scene_cloud(&SceneConfig::default(), n, seed)
+}
+
+#[test]
+fn zero_capacity_queue_sheds_everything() {
+    let engine = Engine::start(ServeConfig::default().workers(1).queue_capacity(0));
+    for seed in 0..4 {
+        let r = engine.submit(uniform_cube(256, seed), PipelineConfig::default());
+        assert_eq!(r.unwrap_err(), ServeError::Shed(ShedReason::QueueFull));
+    }
+    let m = engine.metrics();
+    assert_eq!(m.shed_queue_full, 4);
+    assert_eq!(m.admitted, 0);
+    assert_eq!(m.completed, 0);
+    engine.shutdown();
+}
+
+#[test]
+fn oversized_frames_shed_in_process_and_over_tcp() {
+    let engine = Arc::new(Engine::start(ServeConfig::default().workers(1).max_points(512)));
+    let big = uniform_cube(1000, 1);
+
+    let r = engine.process(big.clone(), PipelineConfig::default());
+    assert_eq!(
+        r.unwrap_err(),
+        ServeError::Shed(ShedReason::Oversized { points: 1000, max_points: 512 })
+    );
+
+    let mut server = TcpServer::bind("127.0.0.1:0", Arc::clone(&engine)).unwrap();
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+    // The TCP layer rejects on byte size before the engine even sees it.
+    let err = client.process(&big, &PipelineConfig::default()).unwrap_err();
+    match err {
+        ClientError::Server { code, .. } => assert_eq!(code, status::OVERSIZED),
+        other => panic!("expected server oversize rejection, got {other:?}"),
+    }
+    assert!(err.is_shed());
+    // Both the in-process and the TCP-level rejection are counted.
+    assert_eq!(engine.metrics().shed_oversized, 2);
+    server.shutdown();
+    engine.shutdown();
+}
+
+#[test]
+fn malformed_frames_reject_but_do_not_kill_the_server() {
+    let engine = Arc::new(Engine::start(ServeConfig::default().workers(1)));
+    let mut server = TcpServer::bind("127.0.0.1:0", Arc::clone(&engine)).unwrap();
+
+    // Bad magic: the server answers MALFORMED and closes that connection.
+    {
+        let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+        raw.write_all(b"NOPE\x01\x00\x00\x00\x00").unwrap();
+        raw.flush().unwrap();
+        let mut buf = Vec::new();
+        use std::io::Read;
+        raw.read_to_end(&mut buf).unwrap();
+        assert_eq!(buf[4], status::MALFORMED);
+    }
+
+    // Intact framing, garbage payload: connection survives for reuse.
+    {
+        let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+        raw.write_all(&protocol::encode_message(OP_PROCESS_FRAME, &[1, 2, 3])).unwrap();
+        use std::io::Read;
+        let mut header = [0u8; 9];
+        raw.read_exact(&mut header).unwrap();
+        assert_eq!(header[4], status::MALFORMED);
+        let len = u32::from_le_bytes(header[5..9].try_into().unwrap()) as usize;
+        let mut msg = vec![0u8; len];
+        raw.read_exact(&mut msg).unwrap();
+
+        // Same connection, now a valid request: it still works.
+        let payload =
+            protocol::encode_request_payload(&uniform_cube(512, 2), &PipelineConfig::default());
+        raw.write_all(&protocol::encode_message(OP_PROCESS_FRAME, &payload)).unwrap();
+        raw.read_exact(&mut header).unwrap();
+        assert_eq!(header[4], status::OK);
+    }
+
+    assert!(engine.metrics().net_malformed >= 2);
+    server.shutdown();
+    engine.shutdown();
+}
+
+#[test]
+fn client_disconnect_mid_request_leaves_server_healthy() {
+    let engine = Arc::new(Engine::start(ServeConfig::default().workers(1)));
+    let mut server = TcpServer::bind("127.0.0.1:0", Arc::clone(&engine)).unwrap();
+
+    {
+        // Announce a 1 KiB payload, send 3 bytes, vanish.
+        let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+        let mut msg = Vec::new();
+        msg.extend_from_slice(&protocol::MAGIC.to_le_bytes());
+        msg.push(OP_PROCESS_FRAME);
+        msg.extend_from_slice(&1024u32.to_le_bytes());
+        msg.extend_from_slice(&[7, 7, 7]);
+        raw.write_all(&msg).unwrap();
+        raw.flush().unwrap();
+    } // dropped here — RST/EOF mid-payload
+
+    // The server must still answer a well-formed request afterwards.
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+    let reply = client.process(&frame(1024, 3), &PipelineConfig::default()).unwrap();
+    assert_eq!(reply.sampled_indices.len(), 256);
+
+    // The disconnect is (eventually) counted; poll briefly since the
+    // handler thread races this assertion.
+    let mut seen = 0;
+    for _ in 0..200 {
+        seen = engine.metrics().net_disconnects;
+        if seen >= 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(seen >= 1, "mid-request disconnect was not counted");
+    server.shutdown();
+    engine.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_batches() {
+    let engine = Engine::start(ServeConfig::default().workers(2).queue_capacity(64));
+    let tickets: Vec<_> = (0..12)
+        .map(|seed| engine.submit(frame(2048, seed), PipelineConfig::default()).unwrap())
+        .collect();
+
+    engine.shutdown(); // must block until every admitted job completed
+
+    for t in tickets {
+        let r = t.wait().expect("admitted before shutdown → must complete");
+        assert_eq!(r.sampled_indices.len(), 512);
+    }
+    let m = engine.metrics();
+    assert_eq!(m.completed, 12);
+    assert_eq!(m.queue_depth, 0);
+
+    // And new work is refused with the dedicated reason.
+    let r = engine.submit(frame(512, 99), PipelineConfig::default());
+    assert_eq!(r.unwrap_err(), ServeError::Shed(ShedReason::ShuttingDown));
+}
+
+#[test]
+fn overload_sheds_with_counted_rejections_and_bounded_queue() {
+    // One slow worker, a tiny queue, and a flood: the queue must never
+    // exceed its bound and the excess must be shed, not buffered.
+    let capacity = 4;
+    let engine = Arc::new(Engine::start(
+        ServeConfig::default().workers(1).queue_capacity(capacity).max_batch(2),
+    ));
+    let offered = 64;
+    let mut shed = 0u64;
+    let mut tickets = Vec::new();
+    for seed in 0..offered {
+        match engine.submit(frame(4096, seed), PipelineConfig::default()) {
+            Ok(t) => tickets.push(t),
+            Err(ServeError::Shed(ShedReason::QueueFull)) => shed += 1,
+            Err(other) => panic!("unexpected error under overload: {other:?}"),
+        }
+    }
+    for t in tickets {
+        t.wait().unwrap();
+    }
+    let m = engine.metrics();
+    assert!(shed > 0, "flooding a 1-worker queue of {capacity} must shed");
+    assert_eq!(m.shed_queue_full, shed);
+    assert_eq!(m.admitted + shed, offered);
+    assert_eq!(m.completed, m.admitted);
+    assert!(
+        m.peak_queue_depth <= capacity as u64,
+        "queue grew past its bound: {} > {capacity}",
+        m.peak_queue_depth
+    );
+    engine.shutdown();
+}
+
+#[test]
+fn compatible_frames_are_batched_incompatible_are_not_mixed() {
+    // Stuff the queue while no worker runs... not possible directly, so
+    // use a zero-worker trick: submit first, workers race. Instead rely on
+    // statistics: many compatible frames through a 2-worker engine must
+    // produce at least one fused batch (mean batch > 1 is likely but not
+    // guaranteed, so assert the invariant direction only).
+    let engine = Engine::start(ServeConfig::default().workers(2).queue_capacity(64).max_batch(8));
+    let a = PipelineConfig::default();
+    let b = PipelineConfig { neighbors: 8, ..PipelineConfig::default() };
+    let tickets: Vec<_> = (0..16)
+        .map(|seed| {
+            let cfg = if seed % 2 == 0 { a } else { b };
+            engine.submit(frame(2048, seed), cfg).unwrap()
+        })
+        .collect();
+    let responses: Vec<_> = tickets.into_iter().map(|t| t.wait().unwrap()).collect();
+    // Mixed-config batches are impossible: every response's batch size must
+    // divide cleanly into same-config groups; verify via result shape (the
+    // b-config responses all have num == 8, a-config num == 16).
+    for (seed, r) in responses.iter().enumerate() {
+        let expect = if seed % 2 == 0 { 16 } else { 8 };
+        assert_eq!(r.num, expect, "request {seed} got a foreign batch's parameters");
+        assert!(r.batch_size >= 1 && r.batch_size <= 8);
+    }
+    let m = engine.metrics();
+    assert_eq!(m.batched_frames, 16);
+    assert!(m.batches <= 16);
+    engine.shutdown();
+}
+
+#[test]
+fn responses_over_tcp_match_in_process_results() {
+    let engine = Arc::new(Engine::start(ServeConfig::default().workers(2)));
+    let mut server = TcpServer::bind("127.0.0.1:0", Arc::clone(&engine)).unwrap();
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+
+    let cloud = frame(3000, 11);
+    let cfg = PipelineConfig::default();
+    let wire = client.process(&cloud, &cfg).unwrap();
+    let local = engine.process(cloud, cfg).unwrap();
+
+    let as_u32 = |v: &[usize]| v.iter().map(|&i| i as u32).collect::<Vec<u32>>();
+    assert_eq!(wire.sampled_indices, as_u32(&local.sampled_indices));
+    assert_eq!(wire.neighbor_indices, as_u32(&local.neighbor_indices));
+    assert_eq!(wire.found, as_u32(&local.found));
+    assert_eq!(wire.num as usize, local.num);
+    assert_eq!(wire.blocks as usize, local.blocks);
+    server.shutdown();
+    engine.shutdown();
+}

@@ -1,0 +1,130 @@
+//! The serving layer's correctness contract: every response — in-process or
+//! over TCP, cold or partition-cache-hit, lone or fused into a batch — is
+//! bit-identical to calling the library directly, on every kernel backend.
+
+use fractalcloud_core::{block_ball_query, block_fps, BppoConfig, Fractal, PipelineConfig};
+use fractalcloud_pointcloud::generate::{scene_cloud, uniform_cube, SceneConfig};
+use fractalcloud_pointcloud::kernels::{self, Backend};
+use fractalcloud_pointcloud::PointCloud;
+use fractalcloud_serve::{Engine, FrameResponse, ServeClient, ServeConfig, TcpServer};
+use std::sync::Arc;
+
+/// The direct library computation a served frame must match exactly.
+fn direct(cloud: &PointCloud, cfg: &PipelineConfig) -> FrameResponseShape {
+    let built = Fractal::with_threshold(cfg.threshold).build(cloud).unwrap();
+    let bppo = BppoConfig::default();
+    let fps = block_fps(cloud, &built.partition, cfg.sample_rate, &bppo).unwrap();
+    let bq =
+        block_ball_query(cloud, &built.partition, &fps.per_block, cfg.radius, cfg.neighbors, &bppo)
+            .unwrap();
+    FrameResponseShape {
+        sampled_indices: fps.indices,
+        neighbor_indices: bq.indices,
+        found: bq.found,
+        num: bq.num,
+        blocks: built.partition.blocks.len(),
+    }
+}
+
+/// The result fields that define equivalence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct FrameResponseShape {
+    sampled_indices: Vec<usize>,
+    neighbor_indices: Vec<usize>,
+    found: Vec<usize>,
+    num: usize,
+    blocks: usize,
+}
+
+fn shape(r: &FrameResponse) -> FrameResponseShape {
+    FrameResponseShape {
+        sampled_indices: r.sampled_indices.clone(),
+        neighbor_indices: r.neighbor_indices.clone(),
+        found: r.found.clone(),
+        num: r.num,
+        blocks: r.blocks,
+    }
+}
+
+#[test]
+fn server_responses_are_bit_identical_to_direct_calls_on_every_backend() {
+    let engine = Arc::new(Engine::start(ServeConfig::default().workers(2).max_batch(4)));
+    let mut server = TcpServer::bind("127.0.0.1:0", Arc::clone(&engine)).unwrap();
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+
+    let cases: Vec<(PointCloud, PipelineConfig)> = vec![
+        (scene_cloud(&SceneConfig::default(), 4096, 1), PipelineConfig::default()),
+        (scene_cloud(&SceneConfig::default(), 2000, 2), PipelineConfig::new(64, 0.5, 0.2, 8)),
+        (uniform_cube(777, 3), PipelineConfig::new(128, 0.1, 0.6, 32)),
+        // Tiny frame: single block, k larger than the block.
+        (uniform_cube(40, 4), PipelineConfig::new(64, 0.25, 0.3, 64)),
+    ];
+
+    for (cloud, cfg) in &cases {
+        // Direct results agree across every backend (the kernel layer's
+        // own guarantee — rechecked here because the server claim builds
+        // on it).
+        let expected = direct(cloud, cfg);
+        for backend in Backend::ALL {
+            let via = kernels::with_backend(backend, || direct(cloud, cfg));
+            assert_eq!(via, expected, "backend {backend:?} diverged on direct calls");
+        }
+
+        // In-process serving: cold, then cache-hit.
+        let cold = engine.process(cloud.clone(), *cfg).unwrap();
+        assert_eq!(shape(&cold), expected, "served response diverged from direct calls");
+        let warm = engine.process(cloud.clone(), *cfg).unwrap();
+        assert!(warm.cache_hit, "identical frame bytes must hit the partition cache");
+        assert_eq!(shape(&warm), expected, "cache-hit response diverged");
+
+        // Over the wire.
+        let wire = client.process(cloud, cfg).unwrap();
+        assert_eq!(
+            wire.sampled_indices,
+            expected.sampled_indices.iter().map(|&i| i as u32).collect::<Vec<u32>>()
+        );
+        assert_eq!(
+            wire.neighbor_indices,
+            expected.neighbor_indices.iter().map(|&i| i as u32).collect::<Vec<u32>>()
+        );
+        assert_eq!(wire.found, expected.found.iter().map(|&i| i as u32).collect::<Vec<u32>>());
+        assert_eq!(wire.num as usize, expected.num);
+        assert_eq!(wire.blocks as usize, expected.blocks);
+    }
+
+    server.shutdown();
+    engine.shutdown();
+}
+
+#[test]
+fn batched_execution_matches_direct_calls_for_every_member() {
+    // Flood enough compatible frames that batches actually fuse, then
+    // verify each response individually against the direct computation.
+    let engine =
+        Arc::new(Engine::start(ServeConfig::default().workers(2).max_batch(8).queue_capacity(64)));
+    let cfg = PipelineConfig::default();
+    let clouds: Vec<PointCloud> =
+        (0..24).map(|seed| scene_cloud(&SceneConfig::default(), 1500, seed)).collect();
+    let tickets: Vec<_> = clouds.iter().map(|c| engine.submit(c.clone(), cfg).unwrap()).collect();
+    for (cloud, ticket) in clouds.iter().zip(tickets) {
+        let r = ticket.wait().unwrap();
+        assert_eq!(shape(&r), direct(cloud, &cfg), "a batched frame diverged");
+    }
+    engine.shutdown();
+}
+
+#[test]
+fn sequential_and_parallel_serving_configurations_agree() {
+    // thread_budget 1 forces every request onto a sequential lane;
+    // a large budget lets lone requests parallelize. Same results.
+    let cloud = scene_cloud(&SceneConfig::default(), 5000, 7);
+    let cfg = PipelineConfig::default();
+
+    let seq_engine = Engine::start(ServeConfig::default().workers(1).thread_budget(1));
+    let par_engine = Engine::start(ServeConfig::default().workers(2).thread_budget(8));
+    let a = seq_engine.process(cloud.clone(), cfg).unwrap();
+    let b = par_engine.process(cloud, cfg).unwrap();
+    assert_eq!(shape(&a), shape(&b));
+    seq_engine.shutdown();
+    par_engine.shutdown();
+}

@@ -12,6 +12,7 @@ use fractalcloud::accel::{Accelerator, DesignModel, DesignParams, GpuModel, Work
 use fractalcloud::core::Fractal;
 use fractalcloud::pnn::ModelConfig;
 use fractalcloud::pointcloud::generate::{scene_cloud, SceneConfig};
+use fractalcloud::pointcloud::kernels;
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
@@ -20,7 +21,12 @@ fn main() {
         frames.push(289_000);
     }
     let model = ModelConfig::pointnext_segmentation();
-    println!("LiDAR pipeline, {} frames, network {}", frames.len(), model.notation);
+    println!(
+        "LiDAR pipeline, {} frames, network {}, kernel backend {}",
+        frames.len(),
+        model.notation,
+        kernels::active_backend().name()
+    );
     println!(
         "{:>8} {:>8} {:>7} {:>12} {:>12} {:>12} {:>10}",
         "points", "blocks", "iters", "GPU (ms)", "FC (ms)", "speedup", "fps@FC"

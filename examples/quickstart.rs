@@ -7,10 +7,15 @@
 
 use fractalcloud::core::{block_ball_query, block_fps, BppoConfig, Fractal};
 use fractalcloud::pointcloud::generate::{scene_cloud, SceneConfig};
+use fractalcloud::pointcloud::kernels;
 use fractalcloud::pointcloud::ops::{ball_query, farthest_point_sample};
 use fractalcloud::pointcloud::{Error, Point3};
 
 fn main() -> Result<(), Error> {
+    // Name the dispatched kernel backend up front so the printed numbers
+    // are attributable to a specific implementation.
+    println!("kernel backend: {}", kernels::active_backend().name());
+
     // A synthetic indoor scan: coplanar walls/floor, dense furniture
     // clusters, a couple percent outliers — S3DIS-like statistics.
     let n = 16_384;

@@ -18,7 +18,11 @@
 //! * [`sim`] — on-chip unit models ([`fractalcloud_sim`]);
 //! * [`riscv`] — the RV32IM control plane ([`fractalcloud_riscv`]);
 //! * [`pnn`] — networks and traces ([`fractalcloud_pnn`]);
-//! * [`accel`] — accelerator cost models ([`fractalcloud_accel`]).
+//! * [`accel`] — accelerator cost models ([`fractalcloud_accel`]);
+//! * [`parallel`] — the scoped-thread worker pool
+//!   ([`fractalcloud_parallel`]);
+//! * [`serve`] — the batched request-serving engine and TCP front-end
+//!   ([`fractalcloud_serve`]).
 //!
 //! # Quickstart
 //!
@@ -45,7 +49,9 @@
 pub use fractalcloud_accel as accel;
 pub use fractalcloud_core as core;
 pub use fractalcloud_dram as dram;
+pub use fractalcloud_parallel as parallel;
 pub use fractalcloud_pnn as pnn;
 pub use fractalcloud_pointcloud as pointcloud;
 pub use fractalcloud_riscv as riscv;
+pub use fractalcloud_serve as serve;
 pub use fractalcloud_sim as sim;
