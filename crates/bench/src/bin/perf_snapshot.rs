@@ -246,7 +246,12 @@ fn main() {
     // --- Serve throughput: in-process engine, fixed frame size ---
     // Distinct frames with the cache off, so the row measures the full
     // admission → batch → partition → BPPO → response path per frame.
-    let serve = measure_serve_throughput(if quick { 24 } else { 192 }, 4096, reps.min(5));
+    // Both rows share one methodology (up-front submission, so batches
+    // genuinely fuse to mean ≈ max_batch) and differ ONLY in the
+    // `batch_blocks` schedule, so their ratio isolates the tentpole.
+    let serve = measure_serve_throughput(if quick { 24 } else { 192 }, 4096, reps.min(7), false);
+    let serve_blocks =
+        measure_serve_throughput(if quick { 24 } else { 192 }, 4096, reps.min(7), true);
 
     // --- Report ---
     println!("{:<18} {:>20} {:>20} {:>9}", "measurement", "baseline ms", "optimized ms", "speedup");
@@ -267,9 +272,25 @@ fn main() {
         "serve_throughput",
         format!("{:.1} frames/s ({} pts)", serve.frames_per_s, serve.frame_points)
     );
+    println!(
+        "{:<26} {:>20}",
+        "serve_throughput_batched_blocks",
+        format!(
+            "{:.1} frames/s ({} pts, mean batch {:.1})",
+            serve_blocks.frames_per_s, serve_blocks.frame_points, serve_blocks.mean_batch
+        )
+    );
 
-    let json =
-        render_json(quick, build_n, fps_small, fps_large, backend.name(), &comparisons, &serve);
+    let json = render_json(
+        quick,
+        build_n,
+        fps_small,
+        fps_large,
+        backend.name(),
+        &comparisons,
+        &serve,
+        &serve_blocks,
+    );
     std::fs::write("BENCH_point_ops.json", &json).expect("write BENCH_point_ops.json");
     println!("wrote BENCH_point_ops.json");
 }
@@ -280,42 +301,55 @@ struct ServeThroughput {
     frames: usize,
     frame_points: usize,
     frames_per_s: f64,
+    mean_batch: f64,
 }
 
 /// Pushes `frames` distinct `frame_points`-sized frames through a serving
-/// engine from 4 submitter threads, `reps` times, reporting the best
-/// sustained frames/s (cache off: every frame pays the full pipeline).
-fn measure_serve_throughput(frames: usize, frame_points: usize, reps: usize) -> ServeThroughput {
+/// engine (cache off: every frame pays the full pipeline), submitted up
+/// front so the adaptive batcher genuinely fuses (mean batch ≈ the
+/// engine's `max_batch`), `reps` times, reporting the best sustained
+/// frames/s.
+///
+/// With `batch_blocks` the fused batches execute as ONE budgeted
+/// `parallel_map` over the union of their sample+group `(frame, block)`
+/// tasks — the tentpole schedule — otherwise as the legacy sequential lane
+/// per frame. The block-*parallel* win scales with cores; on a single-CPU
+/// host (thread budget 1) the engine falls back to the frame-at-a-time
+/// order, so the two rows then measure the same schedule and should agree
+/// within noise. Results are bit-identical in every case.
+fn measure_serve_throughput(
+    frames: usize,
+    frame_points: usize,
+    reps: usize,
+    batch_blocks: bool,
+) -> ServeThroughput {
     use fractalcloud_serve::{Engine, ServeConfig};
-    let clouds: std::sync::Arc<Vec<_>> = std::sync::Arc::new(
-        (0..frames)
-            .map(|s| scene_cloud(&SceneConfig::default(), frame_points, s as u64 + 1000))
-            .collect(),
-    );
+    let clouds: Vec<_> = (0..frames)
+        .map(|s| scene_cloud(&SceneConfig::default(), frame_points, s as u64 + 1000))
+        .collect();
     let engine = std::sync::Arc::new(Engine::start(
-        ServeConfig::default().cache_capacity(0).queue_capacity(frames),
+        ServeConfig::default().cache_capacity(0).queue_capacity(frames).batch_blocks(batch_blocks),
     ));
-    let clients = 4usize;
+    let config = fractalcloud_core::PipelineConfig::default();
     let mut best = f64::INFINITY;
     for _ in 0..reps.max(1) {
         let t0 = Instant::now();
-        let per = frames.div_ceil(clients);
-        fractalcloud_parallel::parallel_map_budget(
-            (0..clients).collect::<Vec<_>>(),
-            clients,
-            |_, c| {
-                for i in (c * per)..((c + 1) * per).min(frames) {
-                    let config = fractalcloud_core::PipelineConfig::default();
-                    engine.process(clouds[i].clone(), config).expect("serve frame");
-                }
-            },
-        );
+        let tickets: Vec<_> = clouds
+            .iter()
+            .map(|c| engine.submit(c.clone(), config).expect("queue sized for all frames"))
+            .collect();
+        for t in tickets {
+            t.wait().expect("serve frame");
+        }
         best = best.min(t0.elapsed().as_secs_f64());
     }
+    let m = engine.metrics();
+    let mean_batch = m.mean_batch();
     engine.shutdown();
-    ServeThroughput { frames, frame_points, frames_per_s: frames as f64 / best }
+    ServeThroughput { frames, frame_points, frames_per_s: frames as f64 / best, mean_batch }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     quick: bool,
     build_n: usize,
@@ -324,6 +358,7 @@ fn render_json(
     backend: &str,
     comparisons: &[Comparison],
     serve: &ServeThroughput,
+    serve_blocks: &ServeThroughput,
 ) -> String {
     // Hand-rolled JSON: the workspace intentionally has no serde machinery
     // (see vendor/README.md).
@@ -361,8 +396,13 @@ fn render_json(
         }
     }
     out.push_str(&format!(
-        "    {{ \"name\": \"serve_throughput\", \"backend\": \"{}\", \"frames\": {}, \"frame_points\": {}, \"frames_per_s\": {:.1}, \"status\": \"ok\" }}\n",
-        backend, serve.frames, serve.frame_points, serve.frames_per_s
+        "    {{ \"name\": \"serve_throughput\", \"backend\": \"{}\", \"frames\": {}, \"frame_points\": {}, \"frames_per_s\": {:.1}, \"mean_batch\": {:.2}, \"status\": \"ok\" }},\n",
+        backend, serve.frames, serve.frame_points, serve.frames_per_s, serve.mean_batch
+    ));
+    out.push_str(&format!(
+        "    {{ \"name\": \"serve_throughput_batched_blocks\", \"backend\": \"{}\", \"frames\": {}, \"frame_points\": {}, \"frames_per_s\": {:.1}, \"mean_batch\": {:.2}, \"status\": \"ok\" }}\n",
+        backend, serve_blocks.frames, serve_blocks.frame_points, serve_blocks.frames_per_s,
+        serve_blocks.mean_batch
     ));
     out.push_str("  ]\n}\n");
     out

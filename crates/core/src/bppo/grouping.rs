@@ -71,67 +71,114 @@ pub fn block_ball_query(
         return Err(Error::InvalidParameter { name: "num", message: "must be at least 1".into() });
     }
 
-    let r_sq = radius * radius;
     let results = for_each_block(partition.blocks.len(), config.parallel, |b| {
-        let centers = &centers_per_block[b];
-        let space = search_space(partition, b, config.parent_expansion);
-        let mut counters = OpCounters::new();
-        let mut reuse = ReuseStats::default();
-        let mut indices = Vec::with_capacity(centers.len() * num);
-        let mut found = Vec::with_capacity(centers.len());
-
-        // Intra-block reuse: the candidate set is loaded on-chip once —
-        // gathered into local SoA buffers — and shared by every center of
-        // this block.
-        let candidates: Vec<usize> =
-            space.iter().flat_map(|&g| partition.blocks[g].indices.iter().copied()).collect();
-        reuse.shared_loads += candidates.len() as u64;
-        reuse.unshared_loads += (candidates.len() * centers.len().max(1)) as u64;
-        counters.coord_reads += candidates.len() as u64;
-
-        let (mut cx, mut cy, mut cz) = (Vec::new(), Vec::new(), Vec::new());
-        kernels::gather_coords(
-            cloud.xs(),
-            cloud.ys(),
-            cloud.zs(),
-            &candidates,
-            &mut cx,
-            &mut cy,
-            &mut cz,
-        );
-        // Batched fused scan over the shared local SoA: tiles of
-        // QUERY_TILE centers share every candidate chunk load, and the
-        // nearest-`num`-within-radius selection keeps the same canonical
-        // semantics as the global ball query, so results differ only
-        // through the restricted search space.
-        let queries: Vec<[f32; 3]> =
-            centers.iter().map(|&ci| [cloud.xs()[ci], cloud.ys()[ci], cloud.zs()[ci]]).collect();
-        kernels::ball_select_batch(&cx, &cy, &cz, &queries, r_sq, num, |c_row, best, nearest| {
-            counters.distance_evals += candidates.len() as u64;
-            counters.comparisons += candidates.len() as u64;
-            found.push(best.len());
-            let mut row: Vec<usize> = best.iter().map(|&(_, slot)| candidates[slot]).collect();
-            if row.is_empty() {
-                // Fallback: nearest candidate in the search space (never
-                // empty: the center's own block is always included), or the
-                // center itself in the degenerate no-finite-distance case —
-                // the same initial value the scalar formulation uses.
-                row.push(if nearest.1 == usize::MAX {
-                    centers[c_row]
-                } else {
-                    candidates[nearest.1]
-                });
-            }
-            let first = row[0];
-            while row.len() < num {
-                row.push(first);
-            }
-            counters.writes += num as u64;
-            indices.extend_from_slice(&row);
-        });
-        (indices, centers.clone(), found, counters, reuse)
+        ball_query_block_task(
+            cloud,
+            partition,
+            b,
+            &centers_per_block[b],
+            radius,
+            num,
+            config.parent_expansion,
+        )
     });
+    Ok(assemble_block_neighbors(num, results))
+}
 
+/// One block's share of a [`block_ball_query`] run, ready for reassembly
+/// with [`assemble_block_neighbors`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockNeighborTask {
+    /// `centers × num` neighbor indices for this block, row-major.
+    pub indices: Vec<usize>,
+    /// The block's center global indices, one per row.
+    pub center_indices: Vec<usize>,
+    /// In-radius hits per center before padding.
+    pub found: Vec<usize>,
+    /// This block's work counters.
+    pub counters: OpCounters,
+    /// This block's data-reuse statistics.
+    pub reuse: ReuseStats,
+}
+
+/// Ball query for a single block — the independent unit of work
+/// [`block_ball_query`] fans out per block, public so batching layers can
+/// flatten block tasks across frames. Parameters are assumed validated
+/// (positive `radius`, `num ≥ 1`, `b` in range), exactly as inside
+/// [`block_ball_query`] after its own checks.
+#[allow(clippy::too_many_arguments)]
+pub fn ball_query_block_task(
+    cloud: &PointCloud,
+    partition: &Partition,
+    b: usize,
+    centers: &[usize],
+    radius: f32,
+    num: usize,
+    parent_expansion: bool,
+) -> BlockNeighborTask {
+    let r_sq = radius * radius;
+    let space = search_space(partition, b, parent_expansion);
+    let mut counters = OpCounters::new();
+    let mut reuse = ReuseStats::default();
+    let mut indices = Vec::with_capacity(centers.len() * num);
+    let mut found = Vec::with_capacity(centers.len());
+
+    // Intra-block reuse: the candidate set is loaded on-chip once —
+    // gathered into local SoA buffers — and shared by every center of
+    // this block.
+    let candidates: Vec<usize> =
+        space.iter().flat_map(|&g| partition.blocks[g].indices.iter().copied()).collect();
+    reuse.shared_loads += candidates.len() as u64;
+    reuse.unshared_loads += (candidates.len() * centers.len().max(1)) as u64;
+    counters.coord_reads += candidates.len() as u64;
+
+    let (mut cx, mut cy, mut cz) = (Vec::new(), Vec::new(), Vec::new());
+    kernels::gather_coords(
+        cloud.xs(),
+        cloud.ys(),
+        cloud.zs(),
+        &candidates,
+        &mut cx,
+        &mut cy,
+        &mut cz,
+    );
+    // Batched fused scan over the shared local SoA: tiles of
+    // QUERY_TILE centers share every candidate chunk load, and the
+    // nearest-`num`-within-radius selection keeps the same canonical
+    // semantics as the global ball query, so results differ only
+    // through the restricted search space.
+    let queries: Vec<[f32; 3]> =
+        centers.iter().map(|&ci| [cloud.xs()[ci], cloud.ys()[ci], cloud.zs()[ci]]).collect();
+    kernels::ball_select_batch(&cx, &cy, &cz, &queries, r_sq, num, |c_row, best, nearest| {
+        counters.distance_evals += candidates.len() as u64;
+        counters.comparisons += candidates.len() as u64;
+        found.push(best.len());
+        let mut row: Vec<usize> = best.iter().map(|&(_, slot)| candidates[slot]).collect();
+        if row.is_empty() {
+            // Fallback: nearest candidate in the search space (never
+            // empty: the center's own block is always included), or the
+            // center itself in the degenerate no-finite-distance case —
+            // the same initial value the scalar formulation uses.
+            row.push(if nearest.1 == usize::MAX { centers[c_row] } else { candidates[nearest.1] });
+        }
+        let first = row[0];
+        while row.len() < num {
+            row.push(first);
+        }
+        counters.writes += num as u64;
+        indices.extend_from_slice(&row);
+    });
+    BlockNeighborTask { indices, center_indices: centers.to_vec(), found, counters, reuse }
+}
+
+/// Reassembles per-block ball-query tasks (in block order) into a
+/// [`BlockNeighborResult`] — the aggregation half of [`block_ball_query`],
+/// shared with cross-frame block-batching layers so both paths produce
+/// bit-identical results by construction.
+pub fn assemble_block_neighbors(
+    num: usize,
+    results: Vec<BlockNeighborTask>,
+) -> BlockNeighborResult {
     let mut out = BlockNeighborResult {
         indices: Vec::new(),
         center_indices: Vec::new(),
@@ -141,17 +188,17 @@ pub fn block_ball_query(
         critical_path: OpCounters::new(),
         reuse: ReuseStats::default(),
     };
-    for (indices, centers, found, counters, reuse) in results {
-        out.counters.merge(&counters);
-        if counters.distance_evals >= out.critical_path.distance_evals {
-            out.critical_path = counters;
+    for task in results {
+        out.counters.merge(&task.counters);
+        if task.counters.distance_evals >= out.critical_path.distance_evals {
+            out.critical_path = task.counters;
         }
-        out.reuse.merge(&reuse);
-        out.indices.extend_from_slice(&indices);
-        out.center_indices.extend_from_slice(&centers);
-        out.found.extend_from_slice(&found);
+        out.reuse.merge(&task.reuse);
+        out.indices.extend_from_slice(&task.indices);
+        out.center_indices.extend_from_slice(&task.center_indices);
+        out.found.extend_from_slice(&task.found);
     }
-    Ok(out)
+    out
 }
 
 /// Resolves the search space of block `b`: its `parent_group` when parent

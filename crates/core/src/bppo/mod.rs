@@ -26,10 +26,14 @@ pub mod reference;
 mod sampling;
 
 pub use gathering::{block_gather, BlockGatherResult, GatherLocality};
-pub use grouping::{block_ball_query, BlockNeighborResult};
+pub use grouping::{
+    assemble_block_neighbors, ball_query_block_task, block_ball_query, BlockNeighborResult,
+    BlockNeighborTask,
+};
 pub use interpolation::{block_interpolate, BlockInterpolationResult};
 pub use sampling::{
-    block_fps, block_fps_with_counts, block_sample_counts, equal_sample_counts, BlockFpsResult,
+    assemble_block_fps, block_fps, block_fps_with_counts, block_sample_counts, equal_sample_counts,
+    fps_block_task, BlockFpsResult,
 };
 
 use serde::{Deserialize, Serialize};

@@ -165,9 +165,17 @@ pub fn block_fps_with_counts(
         });
     }
     let results = for_each_block(partition.blocks.len(), config.parallel, |b| {
-        fps_in_block(cloud, &partition.blocks[b].indices, counts[b], config.window_check)
+        fps_block_task(cloud, &partition.blocks[b].indices, counts[b], config.window_check)
     });
+    Ok(assemble_block_fps(results))
+}
 
+/// Reassembles per-block FPS task outputs (in block order) into a
+/// [`BlockFpsResult`] — the aggregation half of [`block_fps_with_counts`],
+/// exposed so a serving layer can scatter [`fps_block_task`] calls across
+/// the blocks of *many* frames and still assemble each frame's result
+/// bit-identically to a per-frame run (the two paths share this code).
+pub fn assemble_block_fps(results: Vec<(Vec<usize>, OpCounters)>) -> BlockFpsResult {
     let mut indices = Vec::new();
     let mut per_block = Vec::with_capacity(results.len());
     let mut counters = OpCounters::new();
@@ -180,11 +188,14 @@ pub fn block_fps_with_counts(
         indices.extend_from_slice(&block_indices);
         per_block.push(block_indices);
     }
-    Ok(BlockFpsResult { indices, per_block, counters, critical_path })
+    BlockFpsResult { indices, per_block, counters, critical_path }
 }
 
-/// FPS restricted to `block` (global indices), selecting `m` points.
-/// Returns global indices plus work counters.
+/// FPS restricted to `block` (global indices), selecting `m` points —
+/// the independent unit of work [`block_fps_with_counts`] fans out per
+/// block, public so batching layers can flatten block tasks across frames
+/// (`(frame, block)`-tagged work lists) and reassemble with
+/// [`assemble_block_fps`]. Returns global indices plus work counters.
 ///
 /// The block's coordinates are gathered into local SoA buffers once — the
 /// software analogue of loading the block into SRAM — and every iteration
@@ -201,7 +212,7 @@ pub fn block_fps_with_counts(
 /// window check, iteration `s` (with `s` points already sampled) visits the
 /// `n − s` valid candidates and skips `s`; without it, all `n` candidates
 /// are visited. Two comparisons (relax + argmax) per visited candidate.
-fn fps_in_block(
+pub fn fps_block_task(
     cloud: &PointCloud,
     block: &[usize],
     m: usize,

@@ -46,9 +46,10 @@ mod window;
 
 pub use bppo::interpolation::BlockInterpolationResult;
 pub use bppo::{
-    block_ball_query, block_fps, block_fps_with_counts, block_gather, block_interpolate,
-    block_sample_counts, equal_sample_counts, BlockFpsResult, BlockGatherResult,
-    BlockNeighborResult, BppoConfig, GatherLocality, ReuseStats,
+    assemble_block_fps, assemble_block_neighbors, ball_query_block_task, block_ball_query,
+    block_fps, block_fps_with_counts, block_gather, block_interpolate, block_sample_counts,
+    equal_sample_counts, fps_block_task, BlockFpsResult, BlockGatherResult, BlockNeighborResult,
+    BlockNeighborTask, BppoConfig, GatherLocality, ReuseStats,
 };
 pub use fractal::{Fractal, FractalConfig, FractalResult};
 pub use pipeline::{fnv1a64, Pipeline, PipelineConfig, PipelineOutput, FNV1A64_SEED};

@@ -16,8 +16,13 @@
 //! affect wall-clock time (the same guarantee the underlying operations
 //! make).
 
-use crate::bppo::{block_ball_query, block_fps, BlockFpsResult, BlockNeighborResult, BppoConfig};
+use crate::bppo::{
+    assemble_block_fps, assemble_block_neighbors, ball_query_block_task, block_ball_query,
+    block_fps, block_sample_counts, fps_block_task, BlockFpsResult, BlockNeighborResult,
+    BlockNeighborTask, BppoConfig,
+};
 use crate::fractal::{Fractal, FractalConfig, FractalResult};
+use fractalcloud_pointcloud::ops::OpCounters;
 use fractalcloud_pointcloud::{Error, PointCloud, Result};
 use serde::{Deserialize, Serialize};
 
@@ -230,6 +235,76 @@ impl Pipeline {
         )?;
         Ok(PipelineOutput { sampled, grouped, blocks: built.partition.blocks.len() })
     }
+
+    // --- Block-task decomposition seam -----------------------------------
+    //
+    // The BPPO half of a run decomposes into independent per-block tasks:
+    // `sample_counts` fixes every block's FPS budget, `sample_block` /
+    // `group_block` are the units of work, and `assemble_output` is the
+    // aggregation both execution orders share. A serving layer can
+    // therefore flatten the union of many frames' blocks into ONE work
+    // list (tasks tagged `(frame, block)`), scatter the partial results
+    // back per frame, and still produce output bit-identical to
+    // [`Pipeline::run_with_partition`] — the assembly code is literally
+    // the same. `crates/serve`'s cross-frame block batching is the main
+    // consumer; the fixed BPPO feature settings (window check and parent
+    // expansion on) match what `run_with_partition` always uses.
+
+    /// Per-block FPS sample counts for `built`'s partition at this
+    /// pipeline's sampling rate — the allocation `run_with_partition` uses.
+    pub fn sample_counts(&self, built: &FractalResult) -> Vec<usize> {
+        let sizes: Vec<usize> = built.partition.blocks.iter().map(|b| b.len()).collect();
+        block_sample_counts(&sizes, self.config.sample_rate)
+    }
+
+    /// The FPS task of one block: samples `count` points from block
+    /// `block` of `built`'s partition. Independent of every other block.
+    pub fn sample_block(
+        &self,
+        cloud: &PointCloud,
+        built: &FractalResult,
+        block: usize,
+        count: usize,
+    ) -> (Vec<usize>, OpCounters) {
+        fps_block_task(cloud, &built.partition.blocks[block].indices, count, true)
+    }
+
+    /// The ball-query task of one block: groups `centers` (block `block`'s
+    /// sampled points) against the block's parent search space.
+    pub fn group_block(
+        &self,
+        cloud: &PointCloud,
+        built: &FractalResult,
+        block: usize,
+        centers: &[usize],
+    ) -> BlockNeighborTask {
+        ball_query_block_task(
+            cloud,
+            &built.partition,
+            block,
+            centers,
+            self.config.radius,
+            self.config.neighbors,
+            true,
+        )
+    }
+
+    /// Reassembles per-block task outputs (block order) into the
+    /// [`PipelineOutput`] a monolithic [`Pipeline::run_with_partition`]
+    /// over the same partition would return — bit-identical, because the
+    /// monolithic path runs through this very aggregation.
+    pub fn assemble_output(
+        &self,
+        built: &FractalResult,
+        sampled: Vec<(Vec<usize>, OpCounters)>,
+        grouped: Vec<BlockNeighborTask>,
+    ) -> PipelineOutput {
+        PipelineOutput {
+            sampled: assemble_block_fps(sampled),
+            grouped: assemble_block_neighbors(self.config.neighbors, grouped),
+            blocks: built.partition.blocks.len(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -275,6 +350,40 @@ mod tests {
         let fresh = pipe.run(&cloud, true).unwrap();
         let reused = pipe.run_with_partition(&cloud, &built, true).unwrap();
         assert_eq!(fresh, reused);
+    }
+
+    #[test]
+    fn block_task_decomposition_is_bit_identical_to_monolithic_run() {
+        // The seam the serving layer's cross-frame block batching stands
+        // on: running every block as an independent task (even in a
+        // shuffled order) and reassembling in block order must reproduce
+        // run_with_partition exactly — indices, counters, critical path,
+        // reuse statistics, everything.
+        for (n, seed) in [(4096usize, 11u64), (700, 12), (57, 13)] {
+            let cloud = scene_cloud(&SceneConfig::default(), n, seed);
+            let pipe = Pipeline::new(PipelineConfig::default()).unwrap();
+            let built = pipe.partition(&cloud, false).unwrap();
+            let expected = pipe.run_with_partition(&cloud, &built, false).unwrap();
+
+            let counts = pipe.sample_counts(&built);
+            let blocks = built.partition.blocks.len();
+            // Execute tasks out of order to prove independence...
+            let mut order: Vec<usize> = (0..blocks).rev().collect();
+            order.rotate_left(blocks / 3);
+            let mut sampled: Vec<Option<(Vec<usize>, OpCounters)>> = vec![None; blocks];
+            for &b in &order {
+                sampled[b] = Some(pipe.sample_block(&cloud, &built, b, counts[b]));
+            }
+            let sampled: Vec<_> = sampled.into_iter().map(|s| s.unwrap()).collect();
+            let mut grouped: Vec<Option<BlockNeighborTask>> = vec![None; blocks];
+            for &b in &order {
+                grouped[b] = Some(pipe.group_block(&cloud, &built, b, &sampled[b].0));
+            }
+            let grouped: Vec<_> = grouped.into_iter().map(|g| g.unwrap()).collect();
+            // ...then assemble in block order.
+            let decomposed = pipe.assemble_output(&built, sampled, grouped);
+            assert_eq!(decomposed, expected, "decomposed run diverged at n={n}");
+        }
     }
 
     #[test]

@@ -104,13 +104,16 @@ where
 /// rather than all contending for every core.
 ///
 /// The budget caps the whole subtree, not just this level: each spawned
-/// lane inherits an even share (`budget / lanes`, minimum 1) as its own
-/// [`effective_budget`], so nested [`parallel_map`] calls keep the total
-/// number of active workers within the budget (up to integer rounding). A
-/// `budget` of 0 or 1 runs sequentially and pins nested fan-outs to 1; a
-/// single item keeps the entire budget. Budgets above [`workers`] are
-/// honored as given (the caller owns oversubscription decisions). Results
-/// are identical for every budget.
+/// lane inherits a share of the budget as its own [`effective_budget`], so
+/// nested [`parallel_map`] calls keep the total number of active workers
+/// within the budget — *exactly*, not up to rounding. The remainder rule:
+/// with `lanes = min(budget, items)`, every lane gets `budget / lanes`
+/// workers and the first `budget % lanes` lanes get one extra, so the lane
+/// allowances always sum to precisely `budget` (a budget of 7 over 4 lanes
+/// grants 2+2+2+1, not 1+1+1+1). A `budget` of 0 or 1 runs sequentially
+/// and pins nested fan-outs to 1; a single item keeps the entire budget.
+/// Budgets above [`workers`] are honored as given (the caller owns
+/// oversubscription decisions). Results are identical for every budget.
 pub fn parallel_map_budget<I, T, F>(items: Vec<I>, budget: usize, f: F) -> Vec<T>
 where
     I: Send,
@@ -126,7 +129,12 @@ where
         let _inline = set_budget(if n <= 1 { budget } else { 1 });
         return items.into_iter().enumerate().map(|(i, item)| f(i, item)).collect();
     }
-    let sub_budget = (budget / threads).max(1);
+    // Remainder rule: every lane gets `budget / threads`, and the first
+    // `budget % threads` lanes get one extra worker, so the per-lane
+    // allowances sum to exactly `budget` (a budget of 7 over 4 lanes is
+    // 2+2+2+1, never 1+1+1+1 with three workers lost to truncation).
+    let sub_budget = budget / threads;
+    let extra_lanes = budget % threads;
 
     // Each slot is locked exactly once by the worker that claims its index,
     // so the mutexes are uncontended; they exist to move `I` out safely.
@@ -135,10 +143,12 @@ where
     let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
 
     std::thread::scope(|scope| {
+        let (slots, next, f) = (&slots, &next, &f);
         let mut handles = Vec::with_capacity(threads);
-        for _ in 0..threads {
-            handles.push(scope.spawn(|| {
-                let _lane = set_budget(sub_budget);
+        for lane in 0..threads {
+            let lane_budget = sub_budget + usize::from(lane < extra_lanes);
+            handles.push(scope.spawn(move || {
+                let _lane = set_budget(lane_budget);
                 let mut local: Vec<(usize, T)> = Vec::new();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
@@ -233,6 +243,32 @@ mod tests {
         // A budget of 1 pins the subtree sequential.
         let seen = parallel_map_budget((0..3).collect::<Vec<_>>(), 1, |_, _| effective_budget());
         assert_eq!(seen, vec![1; 3]);
+    }
+
+    #[test]
+    fn remainder_budget_lanes_sum_to_budget_exactly() {
+        use std::sync::Barrier;
+        // A barrier inside `f` forces every lane to claim exactly one item,
+        // so the observed allowances are the exact per-lane grants.
+        let barrier = Barrier::new(4);
+        let seen = parallel_map_budget((0..4).collect::<Vec<usize>>(), 7, |_, _| {
+            barrier.wait();
+            effective_budget()
+        });
+        let mut lanes = seen;
+        lanes.sort_unstable();
+        // Budget 7 over 4 lanes: 2+2+2+1, never 1+1+1+1 (3 workers lost).
+        assert_eq!(lanes, vec![1, 2, 2, 2]);
+        assert_eq!(lanes.iter().sum::<usize>(), 7, "lane allowances must sum to the budget");
+
+        let barrier = Barrier::new(4);
+        let mut lanes = parallel_map_budget((0..4).collect::<Vec<usize>>(), 11, |_, _| {
+            barrier.wait();
+            effective_budget()
+        });
+        lanes.sort_unstable();
+        assert_eq!(lanes, vec![2, 3, 3, 3]);
+        assert!(lanes.iter().sum::<usize>() <= 11);
     }
 
     #[test]

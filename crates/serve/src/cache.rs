@@ -59,12 +59,23 @@ impl PartitionCache {
 
     /// Inserts a partition, evicting the least-recently-used entry when at
     /// capacity.
+    ///
+    /// Recency is bumped on insert exactly as on [`PartitionCache::get`]:
+    /// a re-insert of a present key is a pure refresh-and-replace — it can
+    /// never evict anything (the update path is separated from the
+    /// eviction path below, so the at-capacity check only ever sees
+    /// genuinely new keys), and it moves the key to most-recently-used.
     pub fn insert(&mut self, key: u64, value: Arc<FractalResult>) {
         if self.capacity == 0 {
             return;
         }
         self.tick += 1;
-        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+        if let Some(entry) = self.entries.get_mut(&key) {
+            // Present key: refresh recency and replace the value in place.
+            *entry = (self.tick, value);
+            return;
+        }
+        if self.entries.len() >= self.capacity {
             if let Some(&oldest) =
                 self.entries.iter().min_by_key(|(_, (at, _))| *at).map(|(k, _)| k)
             {
@@ -133,6 +144,33 @@ mod tests {
         c.insert(2, built(100, 2));
         assert_eq!(c.len(), 2);
         assert!(c.get(1).is_some());
+    }
+
+    #[test]
+    fn reinsert_refreshes_recency_like_get() {
+        // Insert must bump the tick exactly as get does: after re-inserting
+        // key 1, key 2 is the LRU and is the one evicted by key 3.
+        let mut c = PartitionCache::new(2);
+        c.insert(1, built(100, 1));
+        c.insert(2, built(100, 2));
+        c.insert(1, built(100, 1)); // refresh via insert, not get
+        c.insert(3, built(100, 3));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(2).is_none(), "2 was least-recently-used after 1's re-insert");
+        assert!(c.get(1).is_some());
+        assert!(c.get(3).is_some());
+    }
+
+    #[test]
+    fn reinsert_at_capacity_replaces_value_without_evicting() {
+        let mut c = PartitionCache::new(2);
+        c.insert(1, built(100, 1));
+        c.insert(2, built(100, 2));
+        let replacement = built(64, 9);
+        c.insert(2, Arc::clone(&replacement));
+        assert_eq!(c.len(), 2, "refresh of a present key must not change occupancy");
+        assert!(c.get(1).is_some(), "refresh of a present key must not evict");
+        assert!(Arc::ptr_eq(&c.get(2).unwrap(), &replacement), "value must be replaced");
     }
 
     #[test]

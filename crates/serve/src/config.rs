@@ -25,9 +25,25 @@ pub struct ServeConfig {
     pub cache_capacity: usize,
     /// Thread budget shared by the requests of one batch: a lone request
     /// gets the whole budget (parallel build + block scheduling), while a
-    /// full batch runs each request sequentially on its own worker —
-    /// per-request budgets in the sense of `FractalConfig::sequential`.
+    /// fused batch shares it across the union of the frames' block tasks
+    /// (see `batch_blocks`) or, with block batching off, across one
+    /// sequential lane per frame.
     pub thread_budget: usize,
+    /// Cross-frame block batching: a fused batch flattens the union of all
+    /// frames' blocks into one work list and runs a single budgeted
+    /// `parallel_map` over `(frame, block)` tasks, each fusing its block's
+    /// sampling and grouping — bit-identical results, but the budget
+    /// saturates even when frame counts are small and block counts are
+    /// large, and each block's data stays hot across its two stages.
+    /// Engages when `thread_budget > 1`: with one worker there is nothing
+    /// to saturate and the frame-at-a-time order measures slightly faster
+    /// (better frame locality), so budget-1 hosts keep it. Off = the
+    /// legacy one-sequential-lane-per-frame schedule everywhere (kept for
+    /// A/B measurement; `perf_snapshot` reports both).
+    pub batch_blocks: bool,
+    /// Maximum concurrent TCP connections; further connects are answered
+    /// with `status::TOO_MANY_CONNECTIONS` (retryable) and closed.
+    pub max_connections: usize,
 }
 
 impl ServeConfig {
@@ -41,6 +57,8 @@ impl ServeConfig {
     /// | `FRACTALCLOUD_SERVE_BATCH` | 8 |
     /// | `FRACTALCLOUD_SERVE_MAX_POINTS` | 1_048_576 |
     /// | `FRACTALCLOUD_SERVE_CACHE` | 32 |
+    /// | `FRACTALCLOUD_SERVE_BATCH_BLOCKS` | 1 (`0` = legacy per-frame lanes) |
+    /// | `FRACTALCLOUD_SERVE_CONNS` | 64 |
     ///
     /// The thread budget always follows the process-wide worker pool
     /// (`FRACTALCLOUD_THREADS`-overridable), keeping one knob for "how much
@@ -54,6 +72,11 @@ impl ServeConfig {
             max_points: env_usize("FRACTALCLOUD_SERVE_MAX_POINTS").unwrap_or(def.max_points),
             cache_capacity: env_usize("FRACTALCLOUD_SERVE_CACHE").unwrap_or(def.cache_capacity),
             thread_budget: def.thread_budget,
+            batch_blocks: env_usize("FRACTALCLOUD_SERVE_BATCH_BLOCKS")
+                .map_or(def.batch_blocks, |v| v != 0),
+            max_connections: env_usize("FRACTALCLOUD_SERVE_CONNS")
+                .unwrap_or(def.max_connections)
+                .max(1),
         }
     }
 
@@ -93,6 +116,18 @@ impl ServeConfig {
         self
     }
 
+    /// Returns `self` with cross-frame block batching on or off.
+    pub fn batch_blocks(mut self, batch_blocks: bool) -> ServeConfig {
+        self.batch_blocks = batch_blocks;
+        self
+    }
+
+    /// Returns `self` with the given concurrent-connection limit (minimum 1).
+    pub fn max_connections(mut self, max_connections: usize) -> ServeConfig {
+        self.max_connections = max_connections.max(1);
+        self
+    }
+
     /// Largest request payload the TCP front-end accepts, in bytes (the
     /// fixed request-parameter block plus `max_points` xyz triplets).
     pub fn max_payload_bytes(&self) -> usize {
@@ -109,6 +144,8 @@ impl Default for ServeConfig {
             max_points: 1 << 20,
             cache_capacity: 32,
             thread_budget: fractalcloud_parallel::workers(),
+            batch_blocks: true,
+            max_connections: 64,
         }
     }
 }

@@ -5,25 +5,34 @@
 //!
 //! 1. **Validation** — parameters and frame size are checked before any
 //!    queueing; bad requests are *rejected* (caller bug), not shed.
-//! 2. **Admission** — the bounded queue either accepts the job or sheds it
-//!    with a counted [`ShedReason`]. The queue is the only buffer in the
+//! 2. **Admission** — the bounded queue (one lane per [`Priority`] class)
+//!    either accepts the job or sheds it with a counted [`ShedReason`]. At
+//!    the bound an arrival may displace a queued job of strictly lower
+//!    class (Bulk sheds first). The queue is the only buffer in the
 //!    engine, so memory under overload is bounded by construction.
-//! 3. **Batching** — a worker pops the oldest job, then pulls up to
+//! 3. **Batching** — a worker pops the next job per the weighted priority
+//!    schedule (4 High : 2 Normal : 1 Bulk), then pulls up to
 //!    `max_batch - 1` further *compatible* jobs (equal
-//!    [`PipelineConfig`]) from anywhere in the queue, preserving arrival
-//!    order of what remains.
-//! 4. **Execution** — the batch fans out on
-//!    [`fractalcloud_parallel::parallel_map_budget`]: one lone frame gets
-//!    the whole thread budget (parallel build + block scheduling); a full
-//!    batch runs each frame sequentially on its own lane
-//!    (`FractalConfig::sequential` semantics). Lane allowances are
-//!    inherited by every nested fan-out
+//!    [`PipelineConfig`]) from every class, highest first, preserving each
+//!    class's arrival order among what remains.
+//! 4. **Execution** — with cross-frame block batching
+//!    (`ServeConfig::batch_blocks`, the default) a fused batch flattens
+//!    the union of all frames' blocks into one work list and runs a single
+//!    [`fractalcloud_parallel::parallel_map_budget`] of `(frame, block)`
+//!    tasks — each task fusing its block's sampling and grouping — so the
+//!    thread budget saturates even when the batch holds few frames with
+//!    many blocks each; a lone frame keeps the whole budget for its own
+//!    build + blocks. The legacy schedule (one sequential lane per frame)
+//!    serves single-worker budgets, where frame-at-a-time order wins on
+//!    locality, and remains available everywhere for A/B measurement.
+//!    Lane/task allowances are inherited by every nested fan-out
 //!    ([`fractalcloud_parallel::effective_budget`]), so the batch's total
-//!    worker count stays within the configured budget. Either way the
-//!    results are bit-identical to direct library calls, so scheduling is
-//!    purely a latency/throughput decision.
+//!    worker count stays within the configured budget. Every schedule is
+//!    bit-identical to direct library calls — the per-frame assembly is
+//!    literally the code [`Pipeline::run_with_partition`] runs — so
+//!    scheduling is purely a latency/throughput decision.
 //! 5. **Completion** — the response is published through the request's
-//!    [`Ticket`] and latency is recorded.
+//!    [`Ticket`] and latency is recorded, globally and per class.
 //!
 //! Partition reuse: before building, each frame's [`frame_key`] is looked
 //! up in the engine-wide [`PartitionCache`]; identical frame bytes at the
@@ -41,6 +50,79 @@ use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+/// Request priority classes.
+///
+/// The admission queue keeps one lane per class and dequeues them with a
+/// fixed weighted schedule (4 High : 2 Normal : 1 Bulk per cycle, falling
+/// back to the highest non-empty class), so High work completes first under
+/// overload while Bulk is never starved outright. At the queue bound the
+/// policy inverts: an arriving request may displace a queued job of a
+/// *strictly lower* class (youngest first), so Bulk sheds first when
+/// capacity runs out.
+///
+/// On the wire the class rides in the high nibble of the `FCS1` request
+/// kind byte ([`Priority::to_wire`]); pre-priority clients send zeros
+/// there, which decodes as [`Priority::Normal`] — the backward-compatible
+/// default.
+// No PartialOrd/Ord: the declaration order (High first, for dequeue
+// preference) would derive `High < Bulk`, inverting every natural
+// urgency comparison a caller might write. Compare via [`Priority::index`]
+// (smaller = more urgent) instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Priority {
+    /// Latency-sensitive traffic; dequeued first and never displaced by
+    /// arrivals of equal or lower class.
+    High,
+    /// The default class (and what pre-priority clients get).
+    Normal,
+    /// Throughput traffic; first to shed at the queue bound.
+    Bulk,
+}
+
+impl Priority {
+    /// Every class, in dequeue-preference order (High first).
+    pub const ALL: [Priority; 3] = [Priority::High, Priority::Normal, Priority::Bulk];
+
+    /// Dense index (High = 0, Normal = 1, Bulk = 2) — the order used by
+    /// per-class metrics arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Bulk => 2,
+        }
+    }
+
+    /// Lower-case class name for logs and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Bulk => "bulk",
+        }
+    }
+
+    /// The wire nibble (`0` Normal, `1` High, `2` Bulk). Normal is zero so
+    /// a pre-priority client's kind byte decodes to the default class.
+    pub fn to_wire(self) -> u8 {
+        match self {
+            Priority::Normal => 0,
+            Priority::High => 1,
+            Priority::Bulk => 2,
+        }
+    }
+
+    /// Decodes a wire nibble; `None` for unknown values (malformed).
+    pub fn from_wire(bits: u8) -> Option<Priority> {
+        match bits {
+            0 => Some(Priority::Normal),
+            1 => Some(Priority::High),
+            2 => Some(Priority::Bulk),
+            _ => None,
+        }
+    }
+}
 
 /// Why a request was load-shed instead of queued.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -153,14 +235,63 @@ struct Job {
     cloud: PointCloud,
     config: PipelineConfig,
     compat: u64,
+    priority: Priority,
     admitted_at: Instant,
     slot: Arc<Slot>,
+}
+
+/// Weighted dequeue schedule over [`Priority::index`]es: per 7 pops, High
+/// gets 4 turns, Normal 2, Bulk 1. An empty scheduled class falls through
+/// to the highest non-empty one, so the weights only bite under contention.
+const DEQUEUE_SCHEDULE: [usize; 7] = [0, 0, 0, 0, 1, 1, 2];
+
+/// The admission queue: one FIFO lane per priority class plus the weighted
+/// round-robin cursor. All mutation happens under one mutex, so the
+/// dequeue order is deterministic given the submission order.
+struct QueueState {
+    classes: [VecDeque<Job>; 3],
+    cursor: usize,
+}
+
+impl QueueState {
+    fn new() -> QueueState {
+        QueueState { classes: std::array::from_fn(|_| VecDeque::new()), cursor: 0 }
+    }
+
+    fn len(&self) -> usize {
+        self.classes.iter().map(VecDeque::len).sum()
+    }
+
+    /// Pops the next job per the weighted schedule (falling through to the
+    /// highest non-empty class when the scheduled lane is empty).
+    fn pop_weighted(&mut self) -> Option<Job> {
+        if self.len() == 0 {
+            return None;
+        }
+        let preferred = DEQUEUE_SCHEDULE[self.cursor];
+        self.cursor = (self.cursor + 1) % DEQUEUE_SCHEDULE.len();
+        self.classes[preferred]
+            .pop_front()
+            .or_else(|| self.classes.iter_mut().find_map(VecDeque::pop_front))
+    }
+
+    /// Removes (to be shed) the youngest queued job of the *lowest* class
+    /// strictly below `incoming`, making room at the queue bound — Bulk
+    /// sheds first, and nothing of equal or higher class is touched.
+    fn displace_below(&mut self, incoming: Priority) -> Option<Job> {
+        for class in (incoming.index() + 1..self.classes.len()).rev() {
+            if let Some(job) = self.classes[class].pop_back() {
+                return Some(job);
+            }
+        }
+        None
+    }
 }
 
 /// State shared between the public handle and the worker threads.
 struct Shared {
     cfg: ServeConfig,
-    queue: Mutex<VecDeque<Job>>,
+    queue: Mutex<QueueState>,
     available: Condvar,
     state: AtomicU8,
     metrics: Metrics,
@@ -194,7 +325,7 @@ impl Engine {
         let shared = Arc::new(Shared {
             cache: Mutex::new(PartitionCache::new(cfg.cache_capacity)),
             cfg,
-            queue: Mutex::new(VecDeque::new()),
+            queue: Mutex::new(QueueState::new()),
             available: Condvar::new(),
             state: AtomicU8::new(RUNNING),
             metrics: Metrics::default(),
@@ -216,14 +347,36 @@ impl Engine {
         self.shared.cfg
     }
 
-    /// Validates and admits one frame, returning a [`Ticket`] to wait on.
+    /// Validates and admits one [`Priority::Normal`] frame, returning a
+    /// [`Ticket`] to wait on.
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::submit_with_priority`].
+    pub fn submit(&self, cloud: PointCloud, config: PipelineConfig) -> Result<Ticket, ServeError> {
+        self.submit_with_priority(cloud, config, Priority::Normal)
+    }
+
+    /// Validates and admits one frame at the given [`Priority`], returning
+    /// a [`Ticket`] to wait on.
+    ///
+    /// At the queue bound an arrival may displace a queued job of strictly
+    /// lower class (Bulk first); the displaced job's ticket then resolves
+    /// to [`ShedReason::QueueFull`] exactly as if it had been refused at
+    /// admission.
     ///
     /// # Errors
     ///
     /// [`ServeError::Invalid`] for empty frames or bad parameters;
     /// [`ServeError::Shed`] when admission declines the request (queue
-    /// full, oversized frame, shutdown in progress).
-    pub fn submit(&self, cloud: PointCloud, config: PipelineConfig) -> Result<Ticket, ServeError> {
+    /// full with nothing lower-class to displace, oversized frame,
+    /// shutdown in progress).
+    pub fn submit_with_priority(
+        &self,
+        cloud: PointCloud,
+        config: PipelineConfig,
+        priority: Priority,
+    ) -> Result<Ticket, ServeError> {
         let m = &self.shared.metrics;
         m.submitted.fetch_add(1, Ordering::Relaxed);
         if let Err(e) = config.validate() {
@@ -247,10 +400,11 @@ impl Engine {
             compat: config.compat_key(),
             cloud,
             config,
+            priority,
             admitted_at: Instant::now(),
             slot: Arc::clone(&slot),
         };
-        {
+        let displaced = {
             let mut queue = self.shared.queue.lock().expect("queue lock");
             // State is checked under the queue lock: shutdown() transitions
             // under the same lock, so no admission can slip past a drain.
@@ -258,20 +412,37 @@ impl Engine {
                 m.shed_shutdown.fetch_add(1, Ordering::Relaxed);
                 return Err(ServeError::Shed(ShedReason::ShuttingDown));
             }
+            let mut displaced = None;
             if queue.len() >= self.shared.cfg.queue_capacity {
-                m.shed_queue_full.fetch_add(1, Ordering::Relaxed);
-                return Err(ServeError::Shed(ShedReason::QueueFull));
+                // Bulk sheds first at the bound: a strictly-lower-class
+                // queued job makes room, otherwise the arrival itself sheds.
+                match queue.displace_below(priority) {
+                    Some(victim) => displaced = Some(victim),
+                    None => {
+                        m.shed_queue_full.fetch_add(1, Ordering::Relaxed);
+                        m.shed_by_class[priority.index()].fetch_add(1, Ordering::Relaxed);
+                        return Err(ServeError::Shed(ShedReason::QueueFull));
+                    }
+                }
             }
-            queue.push_back(job);
+            queue.classes[priority.index()].push_back(job);
             m.admitted.fetch_add(1, Ordering::Relaxed);
             m.set_queue_depth(queue.len());
+            displaced
+        };
+        if let Some(victim) = displaced {
+            m.shed_queue_full.fetch_add(1, Ordering::Relaxed);
+            m.shed_by_class[victim.priority.index()].fetch_add(1, Ordering::Relaxed);
+            let mut guard = victim.slot.result.lock().expect("slot lock");
+            *guard = Some(Err(ServeError::Shed(ShedReason::QueueFull)));
+            victim.slot.ready.notify_all();
         }
         self.shared.available.notify_one();
         Ok(Ticket { slot })
     }
 
     /// Submits a frame and blocks for its response — the in-process client
-    /// call.
+    /// call ([`Priority::Normal`]).
     ///
     /// # Errors
     ///
@@ -282,6 +453,21 @@ impl Engine {
         config: PipelineConfig,
     ) -> Result<FrameResponse, ServeError> {
         self.submit(cloud, config)?.wait()
+    }
+
+    /// Submits a frame at the given [`Priority`] and blocks for its
+    /// response.
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::submit_with_priority`].
+    pub fn process_with_priority(
+        &self,
+        cloud: PointCloud,
+        config: PipelineConfig,
+        priority: Priority,
+    ) -> Result<FrameResponse, ServeError> {
+        self.submit_with_priority(cloud, config, priority)?.wait()
     }
 
     /// A point-in-time copy of every serving metric.
@@ -324,24 +510,32 @@ impl Drop for Engine {
     }
 }
 
-/// Worker: pop the oldest job, gather its compatibility batch, execute.
+/// Worker: pop the next job per the weighted priority schedule, gather its
+/// compatibility batch from every class (highest first, preserving each
+/// class's arrival order), execute.
 fn worker_loop(shared: &Shared) {
     loop {
         let batch = {
             let mut queue = shared.queue.lock().expect("queue lock");
             loop {
-                if let Some(first) = queue.pop_front() {
+                if let Some(first) = queue.pop_weighted() {
+                    let compat = first.compat;
                     let mut batch = vec![first];
-                    let compat = batch[0].compat;
-                    let mut kept = VecDeque::with_capacity(queue.len());
-                    while let Some(job) = queue.pop_front() {
-                        if batch.len() < shared.cfg.max_batch && job.compat == compat {
-                            batch.push(job);
-                        } else {
-                            kept.push_back(job);
+                    for class in 0..queue.classes.len() {
+                        if batch.len() >= shared.cfg.max_batch {
+                            break;
                         }
+                        let lane = &mut queue.classes[class];
+                        let mut kept = VecDeque::with_capacity(lane.len());
+                        while let Some(job) = lane.pop_front() {
+                            if batch.len() < shared.cfg.max_batch && job.compat == compat {
+                                batch.push(job);
+                            } else {
+                                kept.push_back(job);
+                            }
+                        }
+                        *lane = kept;
                     }
-                    *queue = kept;
                     shared.metrics.set_queue_depth(queue.len());
                     break batch;
                 }
@@ -355,6 +549,24 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
+/// Publishes one finished request: latency metrics (global and per-class),
+/// then the response through the ticket slot.
+fn publish(
+    m: &Metrics,
+    priority: Priority,
+    admitted_at: Instant,
+    slot: &Slot,
+    outcome: Result<FrameResponse, ServeError>,
+) {
+    let elapsed = admitted_at.elapsed();
+    m.latency.record(elapsed);
+    m.latency_by_class[priority.index()].record(elapsed);
+    m.completed.fetch_add(1, Ordering::Relaxed);
+    let mut guard = slot.result.lock().expect("slot lock");
+    *guard = Some(outcome);
+    slot.ready.notify_all();
+}
+
 /// Runs one compatible batch and publishes every response.
 fn execute_batch(shared: &Shared, batch: Vec<Job>) {
     let size = batch.len();
@@ -366,25 +578,173 @@ fn execute_batch(shared: &Shared, batch: Vec<Job>) {
         m.queue_wait.record(started.duration_since(job.admitted_at));
     }
 
-    // Per-request thread budgets: `parallel_map_budget` divides the
-    // engine's budget evenly across the batch lanes (a lone frame keeps
-    // the whole budget, a full batch gets one sequential lane per frame)
-    // and each lane's allowance is inherited by every fan-out inside the
-    // pipeline, so the batch never exceeds the configured budget. Results
-    // are identical for every budget — only wall-clock differs.
+    if size >= 2 && shared.cfg.batch_blocks && shared.cfg.thread_budget > 1 {
+        // The tentpole path: flatten the union of all frames' blocks into
+        // one work list and run a single budgeted map over fused
+        // sample+group block tasks. Only taken when there is a budget to
+        // saturate: with one worker the flattened list buys nothing and
+        // measures ~1% slower than the frame-at-a-time order below (the
+        // partitions-then-blocks barrier costs frame locality), so the
+        // legacy order serves budget-1 hosts — results are bit-identical
+        // either way; this is purely a schedule choice.
+        execute_batch_blocks(shared, batch);
+        return;
+    }
+
+    // Legacy schedule (and the lone-frame fast path): one lane per frame.
+    // `parallel_map_budget` divides the engine's budget across the lanes
+    // (a lone frame keeps the whole budget) and each lane's allowance is
+    // inherited by every fan-out inside the pipeline, so the batch never
+    // exceeds the configured budget. Results are identical for every
+    // budget — only wall-clock differs.
     let outcomes =
         fractalcloud_parallel::parallel_map_budget(batch, shared.cfg.thread_budget, |_, job| {
             let admitted_at = job.admitted_at;
+            let priority = job.priority;
             let slot = Arc::clone(&job.slot);
             let outcome = execute_one(shared, job, size);
-            (admitted_at, slot, outcome)
+            (priority, admitted_at, slot, outcome)
         });
-    for (admitted_at, slot, outcome) in outcomes {
-        m.latency.record(admitted_at.elapsed());
-        m.completed.fetch_add(1, Ordering::Relaxed);
-        let mut guard = slot.result.lock().expect("slot lock");
-        *guard = Some(outcome);
-        slot.ready.notify_all();
+    for (priority, admitted_at, slot, outcome) in outcomes {
+        publish(m, priority, admitted_at, &slot, outcome);
+    }
+}
+
+/// Cross-frame block batching: the union of the batch's blocks runs as ONE
+/// budgeted `parallel_map` of fused sample+group `(frame, block)` tasks,
+/// with results scattered back per frame — bit-identical to per-frame
+/// execution (the per-frame assembly is the same code
+/// `Pipeline::run_with_partition` uses), but the thread budget saturates
+/// even when the batch holds few frames with many blocks each, and each
+/// block's grouping runs right after its sampling while the block's data
+/// is hot.
+fn execute_batch_blocks(shared: &Shared, batch: Vec<Job>) {
+    let size = batch.len();
+    let m = &shared.metrics;
+    let budget = shared.cfg.thread_budget;
+
+    struct FrameCtx {
+        job: Job,
+        pipeline: Pipeline,
+        key: u64,
+        built: Option<(Arc<fractalcloud_core::FractalResult>, bool)>,
+    }
+
+    // Stage 0 — pipelines and partition-cache lookups (cheap, sequential).
+    let mut frames: Vec<Option<FrameCtx>> = Vec::with_capacity(size);
+    for job in batch {
+        match Pipeline::new(job.config) {
+            Ok(pipeline) => {
+                let key = frame_key(&job.cloud, job.config.threshold);
+                let cached = shared.cache.lock().expect("cache lock").get(key);
+                match &cached {
+                    Some(_) => m.cache_hits.fetch_add(1, Ordering::Relaxed),
+                    None => m.cache_misses.fetch_add(1, Ordering::Relaxed),
+                };
+                frames.push(Some(FrameCtx {
+                    job,
+                    pipeline,
+                    key,
+                    built: cached.map(|b| (b, true)),
+                }));
+            }
+            Err(e) => {
+                // Unreachable in practice (configs are validated at
+                // admission), kept total so a worker can never panic.
+                publish(m, job.priority, job.admitted_at, &job.slot, Err(ServeError::Invalid(e)));
+                frames.push(None);
+            }
+        }
+    }
+
+    // Stage 1 — build missing partitions, parallel across frames; each
+    // lane builds with whatever allowance the budget split grants it.
+    let missing: Vec<usize> = frames
+        .iter()
+        .enumerate()
+        .filter_map(|(f, ctx)| ctx.as_ref().filter(|c| c.built.is_none()).map(|_| f))
+        .collect();
+    if !missing.is_empty() {
+        let builds = fractalcloud_parallel::parallel_map_budget(missing, budget, |_, f| {
+            let ctx = frames[f].as_ref().expect("missing frame is live");
+            let parallel = fractalcloud_parallel::effective_budget() > 1;
+            (f, ctx.pipeline.partition(&ctx.job.cloud, parallel))
+        });
+        for (f, built) in builds {
+            match built {
+                Ok(result) => {
+                    let ctx = frames[f].as_mut().expect("missing frame is live");
+                    let arc = Arc::new(result);
+                    shared.cache.lock().expect("cache lock").insert(ctx.key, Arc::clone(&arc));
+                    ctx.built = Some((arc, false));
+                }
+                Err(e) => {
+                    let ctx = frames[f].take().expect("missing frame is live");
+                    publish(
+                        m,
+                        ctx.job.priority,
+                        ctx.job.admitted_at,
+                        &ctx.job.slot,
+                        Err(ServeError::Invalid(e)),
+                    );
+                }
+            }
+        }
+    }
+
+    // Stage 2 — ONE parallel map over the union of all frames' block
+    // tasks, tagged (frame, block). A block's ball query depends only on
+    // that block's own FPS samples, so each task fuses sampling and
+    // grouping for its block (FuseFPS-style): one scheduling pass, and the
+    // block's gathered coordinates are still hot when its grouping runs.
+    // Tasks are generated frame-major, so the in-order results scatter
+    // back per frame (in block order) by a single pass.
+    let counts: Vec<Vec<usize>> = frames
+        .iter()
+        .map(|ctx| match ctx {
+            Some(c) => {
+                let (built, _) = c.built.as_ref().expect("live frames have partitions");
+                c.pipeline.sample_counts(built)
+            }
+            None => Vec::new(),
+        })
+        .collect();
+    let tasks: Vec<(usize, usize)> =
+        counts.iter().enumerate().flat_map(|(f, c)| (0..c.len()).map(move |b| (f, b))).collect();
+    let parts = fractalcloud_parallel::parallel_map_budget(tasks, budget, |_, (f, b)| {
+        let ctx = frames[f].as_ref().expect("task frames are live");
+        let (built, _) = ctx.built.as_ref().expect("live frames have partitions");
+        let fps = ctx.pipeline.sample_block(&ctx.job.cloud, built, b, counts[f][b]);
+        let group = ctx.pipeline.group_block(&ctx.job.cloud, built, b, &fps.0);
+        ((f, b), fps, group)
+    });
+    let mut sampled: Vec<Vec<(Vec<usize>, OpCounters)>> =
+        counts.iter().map(|c| Vec::with_capacity(c.len())).collect();
+    let mut grouped: Vec<Vec<fractalcloud_core::BlockNeighborTask>> =
+        counts.iter().map(|c| Vec::with_capacity(c.len())).collect();
+    for ((f, _), fps, group) in parts {
+        sampled[f].push(fps);
+        grouped[f].push(group);
+    }
+
+    // Stage 4 — per-frame assembly (the same aggregation a per-frame run
+    // uses) and publication.
+    for ((ctx, sampled), grouped) in frames.into_iter().zip(sampled).zip(grouped) {
+        let Some(ctx) = ctx else { continue };
+        let (built, cache_hit) = ctx.built.expect("live frames have partitions");
+        let out = ctx.pipeline.assemble_output(&built, sampled, grouped);
+        let response = FrameResponse {
+            sampled_indices: out.sampled.indices,
+            neighbor_indices: out.grouped.indices,
+            found: out.grouped.found,
+            num: out.grouped.num,
+            blocks: out.blocks,
+            sample_counters: out.sampled.counters,
+            group_counters: out.grouped.counters,
+            cache_hit,
+            batch_size: size,
+        };
+        publish(m, ctx.job.priority, ctx.job.admitted_at, &ctx.job.slot, Ok(response));
     }
 }
 
@@ -475,6 +835,86 @@ mod tests {
         assert_eq!(engine.metrics().rejected_invalid, 2);
         assert_eq!(engine.metrics().shed_total(), 0);
         engine.shutdown();
+    }
+
+    #[test]
+    fn priority_classes_round_trip_with_identical_results() {
+        let engine = small_engine();
+        let cloud = uniform_cube(1024, 17);
+        let normal = engine.process(cloud.clone(), PipelineConfig::default()).unwrap();
+        for p in Priority::ALL {
+            let r =
+                engine.process_with_priority(cloud.clone(), PipelineConfig::default(), p).unwrap();
+            assert_eq!(r.sampled_indices, normal.sampled_indices, "priority changed results");
+            assert_eq!(r.neighbor_indices, normal.neighbor_indices);
+        }
+        let m = engine.metrics();
+        // Normal ran twice (submit defaults to Normal), High and Bulk once.
+        assert_eq!(m.completed_by_class, [1, 2, 1]);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn weighted_queue_pops_follow_the_schedule() {
+        // Pure queue-state test: deterministic, no threads.
+        let mk = |p: Priority| Job {
+            cloud: uniform_cube(8, 1),
+            config: PipelineConfig::default(),
+            compat: 0,
+            priority: p,
+            admitted_at: Instant::now(),
+            slot: Arc::new(Slot::default()),
+        };
+        let mut q = QueueState::new();
+        for _ in 0..3 {
+            q.classes[Priority::High.index()].push_back(mk(Priority::High));
+            q.classes[Priority::Bulk.index()].push_back(mk(Priority::Bulk));
+        }
+        q.classes[Priority::Normal.index()].push_back(mk(Priority::Normal));
+        // Schedule H,H,H,H,N,N,B with highest-first fall-through: the three
+        // Highs drain on their turns, the fourth High turn falls to Normal,
+        // and the Normal/Bulk turns drain the Bulk lane.
+        let order: Vec<Priority> =
+            std::iter::from_fn(|| q.pop_weighted().map(|j| j.priority)).collect();
+        assert_eq!(
+            order,
+            [
+                Priority::High,
+                Priority::High,
+                Priority::High,
+                Priority::Normal,
+                Priority::Bulk,
+                Priority::Bulk,
+                Priority::Bulk,
+            ]
+        );
+        assert!(q.pop_weighted().is_none());
+    }
+
+    #[test]
+    fn displacement_sheds_the_youngest_lowest_class_only() {
+        let mk = |p: Priority| Job {
+            cloud: uniform_cube(8, 1),
+            config: PipelineConfig::default(),
+            compat: 0,
+            priority: p,
+            admitted_at: Instant::now(),
+            slot: Arc::new(Slot::default()),
+        };
+        let mut q = QueueState::new();
+        q.classes[Priority::Normal.index()].push_back(mk(Priority::Normal));
+        q.classes[Priority::Bulk.index()].push_back(mk(Priority::Bulk));
+        // High displaces the Bulk job first, then the Normal one, then
+        // nothing (never its own class).
+        assert_eq!(q.displace_below(Priority::High).unwrap().priority, Priority::Bulk);
+        assert_eq!(q.displace_below(Priority::High).unwrap().priority, Priority::Normal);
+        assert!(q.displace_below(Priority::High).is_none());
+        // Bulk can never displace; Normal only displaces Bulk.
+        q.classes[Priority::Normal.index()].push_back(mk(Priority::Normal));
+        assert!(q.displace_below(Priority::Bulk).is_none());
+        assert!(q.displace_below(Priority::Normal).is_none());
+        q.classes[Priority::Bulk.index()].push_back(mk(Priority::Bulk));
+        assert_eq!(q.displace_below(Priority::Normal).unwrap().priority, Priority::Bulk);
     }
 
     #[test]

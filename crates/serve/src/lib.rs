@@ -10,16 +10,23 @@
 //! The moving parts, one module each:
 //!
 //! * [`ServeConfig`] — tunables with `FRACTALCLOUD_SERVE_*` env overrides;
-//! * [`Engine`] — bounded admission queue with counted load-shedding
-//!   (never unbounded growth), an adaptive batcher fusing compatible
-//!   frames, a worker pool with per-request thread budgets layered on
+//! * [`Engine`] — bounded admission queue with [`Priority`] classes
+//!   (weighted dequeue, Bulk-sheds-first displacement at the bound) and
+//!   counted load-shedding (never unbounded growth), an adaptive batcher
+//!   fusing compatible frames, **cross-frame block batching** (a fused
+//!   batch runs ONE budgeted `parallel_map` over the union of all frames'
+//!   `(frame, block)` tasks — bit-identical results, saturated thread
+//!   budget) layered on
 //!   [`fractalcloud_parallel::parallel_map_budget`], and a partition LRU
 //!   ([`cache`]) keyed by frame hash;
-//! * [`Metrics`] — per-stage counters, queue-depth gauges, and log-bucketed
-//!   p50/p99 latency histograms;
-//! * [`protocol`] — the length-prefixed little-endian wire format;
+//! * [`Metrics`] — per-stage counters (global and per priority class),
+//!   queue-depth gauges, and log-bucketed p50/p99 latency histograms;
+//! * [`protocol`] — the length-prefixed little-endian wire format (the
+//!   request kind byte carries the priority in its high nibble, Normal =
+//!   0 for backward compatibility);
 //! * [`TcpServer`]/[`ServeClient`] — a plain `std::net` TCP front-end
-//!   (threads, no async runtime) and its blocking client.
+//!   (threads, no async runtime) with a concurrent-connection limit and
+//!   round-robin admission across connections, and its blocking client.
 //!
 //! # Quickstart
 //!
@@ -52,6 +59,6 @@ mod net;
 pub mod protocol;
 
 pub use config::ServeConfig;
-pub use engine::{Engine, FrameResponse, ServeError, ShedReason, Ticket};
+pub use engine::{Engine, FrameResponse, Priority, ServeError, ShedReason, Ticket};
 pub use metrics::{LatencyHistogram, Metrics, MetricsSnapshot};
 pub use net::{ClientError, ServeClient, TcpServer};

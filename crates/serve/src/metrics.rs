@@ -58,7 +58,12 @@ impl LatencyHistogram {
     }
 
     /// Upper bound (µs) of the bucket containing quantile `q` in `[0, 1]`.
-    /// Returns 0 with no samples.
+    ///
+    /// An **empty** histogram returns 0 for every `q` — "no latency
+    /// observed yet", deliberately distinct from every recordable sample
+    /// (the smallest bucket's upper bound is 2), so dashboards can tell
+    /// "no data" from "fast". Samples at or beyond bucket 39 saturate
+    /// there and report its upper bound (2⁴⁰ µs).
     pub fn quantile_us(&self, q: f64) -> u64 {
         let n = self.samples();
         if n == 0 {
@@ -109,8 +114,18 @@ pub struct Metrics {
     pub net_disconnects: AtomicU64,
     /// TCP requests rejected as malformed (bad magic/opcode/size).
     pub net_malformed: AtomicU64,
+    /// TCP connections refused at the concurrent-connection limit.
+    pub net_conn_refused: AtomicU64,
+    /// Queue-bound sheds per priority class (indexed by
+    /// [`Priority::index`](crate::Priority::index): High, Normal, Bulk) —
+    /// counts both direct queue-full sheds and jobs displaced at the bound
+    /// by a higher class.
+    pub shed_by_class: [AtomicU64; 3],
     /// End-to-end latency (admission → response ready).
     pub latency: LatencyHistogram,
+    /// End-to-end latency per priority class (same indexing as
+    /// `shed_by_class`).
+    pub latency_by_class: [LatencyHistogram; 3],
     /// Queue-wait latency (admission → batch start).
     pub queue_wait: LatencyHistogram,
 }
@@ -142,6 +157,12 @@ impl Metrics {
             peak_queue_depth: load(&self.peak_queue_depth),
             net_disconnects: load(&self.net_disconnects),
             net_malformed: load(&self.net_malformed),
+            net_conn_refused: load(&self.net_conn_refused),
+            shed_by_class: std::array::from_fn(|i| load(&self.shed_by_class[i])),
+            latency_p99_by_class_us: std::array::from_fn(|i| {
+                self.latency_by_class[i].quantile_us(0.99)
+            }),
+            completed_by_class: std::array::from_fn(|i| self.latency_by_class[i].samples()),
             latency_p50_us: self.latency.quantile_us(0.50),
             latency_p99_us: self.latency.quantile_us(0.99),
             latency_mean_us: self.latency.mean_us(),
@@ -183,6 +204,14 @@ pub struct MetricsSnapshot {
     pub net_disconnects: u64,
     /// Malformed TCP requests.
     pub net_malformed: u64,
+    /// TCP connections refused at the connection limit.
+    pub net_conn_refused: u64,
+    /// Queue-bound sheds per priority class (High, Normal, Bulk).
+    pub shed_by_class: [u64; 3],
+    /// p99 end-to-end latency per priority class (µs, bucket upper bound).
+    pub latency_p99_by_class_us: [u64; 3],
+    /// Responses delivered per priority class.
+    pub completed_by_class: [u64; 3],
     /// p50 end-to-end latency (µs, bucket upper bound).
     pub latency_p50_us: u64,
     /// p99 end-to-end latency (µs, bucket upper bound).
@@ -231,8 +260,32 @@ mod tests {
     #[test]
     fn empty_histogram_reports_zero() {
         let h = LatencyHistogram::default();
-        assert_eq!(h.quantile_us(0.99), 0);
+        // The documented empty-case contract: 0 for every quantile, which
+        // no recorded sample can produce (minimum bucket bound is 2).
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile_us(q), 0);
+        }
         assert_eq!(h.mean_us(), 0);
+        assert_eq!(h.samples(), 0);
+    }
+
+    #[test]
+    fn absurd_durations_saturate_into_the_last_bucket() {
+        let h = LatencyHistogram::default();
+        // ≥ 2³⁹ µs (≈ 6.4 days) lands in bucket 39, the catch-all; so does
+        // anything larger, including a duration whose µs exceed u64.
+        h.record(Duration::from_micros(1 << 39));
+        h.record(Duration::from_secs(u64::MAX / 1_000_000));
+        h.record(Duration::MAX);
+        assert_eq!(h.samples(), 3);
+        // All three saturate to bucket 39's upper bound (2⁴⁰ µs), and the
+        // quantile walk terminates inside the array rather than falling off
+        // the end.
+        assert_eq!(h.quantile_us(0.5), 1 << 40);
+        assert_eq!(h.quantile_us(1.0), 1 << 40);
+        // A fast sample alongside them still resolves to its own bucket.
+        h.record(Duration::from_micros(3));
+        assert_eq!(h.quantile_us(0.0), 4);
     }
 
     #[test]

@@ -7,18 +7,76 @@
 //! the shared [`Engine`]. Backpressure therefore composes: a flood of
 //! connections lands in the same bounded admission queue as in-process
 //! callers and sheds with the same counted reasons.
+//!
+//! Two connection-level protections bound what one client can do to the
+//! rest: a **concurrent-connection limit** (`ServeConfig::max_connections`
+//! — excess connects are answered `TOO_MANY_CONNECTIONS` and closed, so a
+//! connection flood cannot exhaust handler threads), and **round-robin
+//! admission** across connections (a FIFO turnstile around engine
+//! submission: when several connections have a request ready, queue slots
+//! are granted in the order the requests became ready, so a greedy client
+//! hammering one connection cannot barge ahead of patiently waiting ones).
 
-use crate::engine::{Engine, FrameResponse, ServeError, ShedReason};
+use crate::engine::{Engine, FrameResponse, Priority, ServeError, ShedReason};
 use crate::protocol::{self, status, WireError, WireResponse, MAGIC, OP_PROCESS_FRAME};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// How often the accept loop polls the non-blocking listener.
 const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+/// Most concurrent courtesy-refusal threads (see [`refuse_connection`]);
+/// beyond this a refused connection is hard-closed without a status byte,
+/// so a refusal flood cannot itself exhaust threads.
+const MAX_REFUSAL_THREADS: usize = 32;
+
+/// Longest a refusal thread lingers draining a refused connection.
+const REFUSAL_LINGER: Duration = Duration::from_millis(500);
+
+/// FIFO turnstile granting engine-submission turns in ready order across
+/// connections — the per-client fairness mechanism: each connection takes
+/// a numbered ticket when its request is ready and submits when its number
+/// comes up, so a connection that just finished a request joins the back
+/// of the line behind every already-waiting peer (round-robin when all
+/// connections are saturated) instead of barging on raw lock acquisition.
+#[derive(Default)]
+struct FairGate {
+    state: Mutex<(u64, u64)>, // (next ticket, now serving)
+    turn: Condvar,
+}
+
+impl FairGate {
+    /// Runs `f` when this caller's turn comes up. `f` must be brief (an
+    /// engine submission — validation plus a queue push, never the wait
+    /// for the response).
+    fn admit<T>(&self, f: impl FnOnce() -> T) -> T {
+        let mut state = self.state.lock().expect("gate lock");
+        let ticket = state.0;
+        state.0 += 1;
+        while state.1 != ticket {
+            state = self.turn.wait(state).expect("gate wait");
+        }
+        let out = f();
+        state.1 += 1;
+        drop(state);
+        self.turn.notify_all();
+        out
+    }
+}
+
+/// Decrements a thread-count gauge (active connections, or in-flight
+/// refusals) when the owning thread exits, however it exits.
+struct ConnGuard(Arc<AtomicUsize>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
 
 /// The TCP front-end. Binds, serves until [`TcpServer::shutdown`], and
 /// shares one [`Engine`] across every connection.
@@ -71,15 +129,45 @@ impl Drop for TcpServer {
 }
 
 fn accept_loop(listener: &TcpListener, engine: &Arc<Engine>, stop: &AtomicBool) {
+    let active = Arc::new(AtomicUsize::new(0));
+    let refusing = Arc::new(AtomicUsize::new(0));
+    let gate = Arc::new(FairGate::default());
+    let max_connections = engine.config().max_connections;
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
+                // Connection limit: the accept thread is the only
+                // incrementer, so load-then-add cannot race past the bound.
+                if active.load(Ordering::SeqCst) >= max_connections {
+                    engine.metrics_registry().net_conn_refused.fetch_add(1, Ordering::Relaxed);
+                    // Refused on a detached thread: the lingering close
+                    // must not stall the accept loop. Refusal threads are
+                    // themselves capped — past the cap the connection is
+                    // simply dropped, so a refusal flood cannot exhaust
+                    // threads either (the status byte is a courtesy, the
+                    // bound is the contract).
+                    if refusing.load(Ordering::SeqCst) < MAX_REFUSAL_THREADS {
+                        refusing.fetch_add(1, Ordering::SeqCst);
+                        let guard = ConnGuard(Arc::clone(&refusing));
+                        let _ = std::thread::Builder::new().name("fc-serve-refuse".into()).spawn(
+                            move || {
+                                let _guard = guard;
+                                refuse_connection(stream);
+                            },
+                        );
+                    }
+                    continue;
+                }
+                active.fetch_add(1, Ordering::SeqCst);
+                let guard = ConnGuard(Arc::clone(&active));
                 let engine = Arc::clone(engine);
+                let gate = Arc::clone(&gate);
                 // Handler threads are detached: they exit on EOF/error, and
                 // process shutdown tears them down with everything else.
-                let _ = std::thread::Builder::new()
-                    .name("fc-serve-conn".into())
-                    .spawn(move || handle_connection(stream, &engine));
+                let _ = std::thread::Builder::new().name("fc-serve-conn".into()).spawn(move || {
+                    let _guard = guard;
+                    handle_connection(stream, &engine, &gate);
+                });
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
             Err(_) => std::thread::sleep(ACCEPT_POLL),
@@ -87,9 +175,42 @@ fn accept_loop(listener: &TcpListener, engine: &Arc<Engine>, stop: &AtomicBool) 
     }
 }
 
+/// Answers a connection refused at the limit with a retryable
+/// `TOO_MANY_CONNECTIONS` status, then lingers briefly before closing:
+/// dropping the socket while the client's first request sits unread in the
+/// receive queue would turn the close into a TCP RST that can destroy the
+/// refusal before the client reads it. Draining (bounded bytes, bounded
+/// time) until the client's EOF lets the FIN path deliver the status.
+fn refuse_connection(mut stream: TcpStream) {
+    if stream.set_nonblocking(false).is_err() {
+        return;
+    }
+    if write_error(
+        &mut stream,
+        status::TOO_MANY_CONNECTIONS,
+        "connection limit reached, retry later",
+    )
+    .is_err()
+    {
+        return;
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut scratch = [0u8; 4096];
+    // Deadline-bounded courtesy: a trickling client cannot hold this
+    // thread past the linger window.
+    let deadline = std::time::Instant::now() + REFUSAL_LINGER;
+    while std::time::Instant::now() < deadline {
+        match stream.read(&mut scratch) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}
+
 /// Serves one connection: a loop of request → response frames. Returns (and
 /// closes the stream) on EOF, protocol violation, or I/O error.
-fn handle_connection(mut stream: TcpStream, engine: &Arc<Engine>) {
+fn handle_connection(mut stream: TcpStream, engine: &Arc<Engine>, gate: &FairGate) {
     // Handlers use blocking reads; the listener's non-blocking flag is
     // inherited on some platforms, so reset it explicitly.
     if stream.set_nonblocking(false).is_err() {
@@ -107,7 +228,7 @@ fn handle_connection(mut stream: TcpStream, engine: &Arc<Engine>) {
             }
         }
         let magic = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
-        let opcode = header[4];
+        let (opcode, prio_nibble) = protocol::split_kind(header[4]);
         let payload_len = u32::from_le_bytes(header[5..9].try_into().expect("4 bytes")) as usize;
 
         if magic != MAGIC || opcode != OP_PROCESS_FRAME {
@@ -117,6 +238,19 @@ fn handle_connection(mut stream: TcpStream, engine: &Arc<Engine>) {
             let _ = write_error(&mut stream, status::MALFORMED, "bad magic or opcode");
             return;
         }
+        // Old clients leave the high nibble zero → Normal; nibbles beyond
+        // the known classes are a caller bug, not a framing error, so the
+        // connection stays usable.
+        let Some(priority) = Priority::from_wire(prio_nibble) else {
+            metrics.net_malformed.fetch_add(1, Ordering::Relaxed);
+            if drain(&mut stream, payload_len).is_err()
+                || write_error(&mut stream, status::MALFORMED, "unknown priority class").is_err()
+            {
+                metrics.net_disconnects.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            continue;
+        };
         if payload_len > engine.config().max_payload_bytes() {
             // Refuse to buffer the payload: drain it through a small
             // scratch (bounded memory regardless of the declared size),
@@ -153,10 +287,19 @@ fn handle_connection(mut stream: TcpStream, engine: &Arc<Engine>) {
                 // Framing was intact — the connection may continue.
                 continue;
             }
-            Ok((cloud, config)) => match engine.process(cloud, config) {
-                Ok(resp) => write_ok(&mut stream, &resp),
-                Err(e) => write_error(&mut stream, error_status(&e), &e.to_string()),
-            },
+            Ok((cloud, config)) => {
+                // Round-robin admission: the submission (queue push) takes
+                // its fairness turn; the wait for the response happens
+                // outside the gate so slow frames don't block other
+                // connections' admissions.
+                let outcome = gate
+                    .admit(|| engine.submit_with_priority(cloud, config, priority))
+                    .and_then(|ticket| ticket.wait());
+                match outcome {
+                    Ok(resp) => write_ok(&mut stream, &resp),
+                    Err(e) => write_error(&mut stream, error_status(&e), &e.to_string()),
+                }
+            }
         };
         if reply.is_err() {
             metrics.net_disconnects.fetch_add(1, Ordering::Relaxed);
@@ -247,7 +390,10 @@ impl ClientError {
         matches!(
             self,
             ClientError::Server {
-                code: status::QUEUE_FULL | status::OVERSIZED | status::SHUTTING_DOWN,
+                code: status::QUEUE_FULL
+                    | status::OVERSIZED
+                    | status::SHUTTING_DOWN
+                    | status::TOO_MANY_CONNECTIONS,
                 ..
             }
         )
@@ -291,20 +437,36 @@ impl ServeClient {
         Ok(ServeClient { stream })
     }
 
-    /// Sends one frame and blocks for its result.
+    /// Sends one [`Priority::Normal`] frame and blocks for its result.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServeClient::process_with_priority`].
+    pub fn process(
+        &mut self,
+        cloud: &fractalcloud_pointcloud::PointCloud,
+        config: &fractalcloud_core::PipelineConfig,
+    ) -> Result<WireResponse, ClientError> {
+        self.process_with_priority(cloud, config, Priority::Normal)
+    }
+
+    /// Sends one frame at the given [`Priority`] (encoded in the kind
+    /// byte's high nibble) and blocks for its result.
     ///
     /// # Errors
     ///
     /// [`ClientError::Server`] for shed/rejected requests,
     /// [`ClientError::Io`]/[`ClientError::Protocol`] for transport and
     /// framing failures.
-    pub fn process(
+    pub fn process_with_priority(
         &mut self,
         cloud: &fractalcloud_pointcloud::PointCloud,
         config: &fractalcloud_core::PipelineConfig,
+        priority: Priority,
     ) -> Result<WireResponse, ClientError> {
         let payload = protocol::encode_request_payload(cloud, config);
-        self.stream.write_all(&protocol::encode_message(OP_PROCESS_FRAME, &payload))?;
+        self.stream
+            .write_all(&protocol::encode_message(protocol::request_kind(priority), &payload))?;
 
         let mut header = [0u8; 9];
         self.stream.read_exact(&mut header)?;

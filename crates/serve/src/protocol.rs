@@ -5,7 +5,9 @@
 //! number of request/response pairs per connection.
 //!
 //! ```text
-//! request  := magic:u32 opcode:u8 payload_len:u32 payload
+//! request  := magic:u32 kind:u8 payload_len:u32 payload
+//!   kind: low nibble = opcode (1 = PROCESS_FRAME)
+//!         high nibble = priority (0 = normal, 1 = high, 2 = bulk)
 //!   payload (opcode PROCESS_FRAME):
 //!     threshold:u32 sample_rate:f64 radius:f32 neighbors:u32
 //!     n_points:u32 (x:f32 y:f32 z:f32){n_points}
@@ -19,19 +21,39 @@
 //!   payload (status != OK): UTF-8 human-readable reason
 //! ```
 //!
+//! The priority nibble is backward compatible by construction: clients
+//! that predate priority classes send the bare opcode (high nibble 0),
+//! which decodes as [`Priority::Normal`]. Unknown priority nibbles are
+//! answered [`status::MALFORMED`].
+//!
 //! Status codes mirror [`ServeError`](crate::ServeError): `1` queue full,
 //! `2` oversized frame, `3` shutting down, `4` invalid request, `5`
-//! malformed wire data. Shed statuses are retryable by contract; `4`/`5`
-//! are not.
+//! malformed wire data, `6` connection limit reached. Shed statuses
+//! (`1`–`3`, `6`) are retryable by contract; `4`/`5` are not.
 
+use crate::engine::Priority;
 use fractalcloud_core::PipelineConfig;
 use fractalcloud_pointcloud::{Point3, PointCloud};
 
 /// Frame magic: `"FCS1"` (FractalCloud Serve, version 1).
 pub const MAGIC: u32 = u32::from_le_bytes(*b"FCS1");
 
-/// The only request opcode: process one frame.
+/// The only request opcode: process one frame. Lives in the low nibble of
+/// the request kind byte; the high nibble carries the [`Priority`].
 pub const OP_PROCESS_FRAME: u8 = 1;
+
+/// Builds a request kind byte: opcode in the low nibble, priority in the
+/// high nibble. A [`Priority::Normal`] request is byte-identical to what a
+/// pre-priority client sends.
+pub fn request_kind(priority: Priority) -> u8 {
+    OP_PROCESS_FRAME | (priority.to_wire() << 4)
+}
+
+/// Splits a request kind byte into `(opcode, priority_nibble)`; feed the
+/// nibble to [`Priority::from_wire`].
+pub fn split_kind(kind: u8) -> (u8, u8) {
+    (kind & 0x0F, kind >> 4)
+}
 
 /// Fixed request-payload bytes before the coordinate triplets.
 pub const REQUEST_FIXED_BYTES: usize = 4 + 8 + 4 + 4 + 4;
@@ -55,6 +77,9 @@ pub mod status {
     pub const INVALID: u8 = 4;
     /// Rejected: the bytes did not parse as a protocol frame.
     pub const MALFORMED: u8 = 5;
+    /// Shed: the server's concurrent-connection limit is reached
+    /// (retryable later or elsewhere).
+    pub const TOO_MANY_CONNECTIONS: u8 = 6;
 }
 
 /// A decoding failure (maps to [`status::MALFORMED`]).
@@ -349,6 +374,22 @@ mod tests {
         payload.extend_from_slice(&1000u32.to_le_bytes()); // n_centers
         payload.extend_from_slice(&u32::MAX.to_le_bytes()); // num
         assert!(decode_response_payload(&payload).is_err());
+    }
+
+    #[test]
+    fn priority_rides_the_kind_byte_high_nibble() {
+        // A Normal request is byte-identical to a pre-priority client's.
+        assert_eq!(request_kind(Priority::Normal), OP_PROCESS_FRAME);
+        for p in Priority::ALL {
+            let kind = request_kind(p);
+            let (opcode, nibble) = split_kind(kind);
+            assert_eq!(opcode, OP_PROCESS_FRAME);
+            assert_eq!(Priority::from_wire(nibble), Some(p));
+        }
+        // Old clients (high nibble 0) decode as the Normal default;
+        // unknown nibbles are rejected rather than guessed.
+        assert_eq!(Priority::from_wire(split_kind(OP_PROCESS_FRAME).1), Some(Priority::Normal));
+        assert_eq!(Priority::from_wire(0xF), None);
     }
 
     #[test]

@@ -6,7 +6,7 @@ use fractalcloud_core::PipelineConfig;
 use fractalcloud_pointcloud::generate::{scene_cloud, uniform_cube, SceneConfig};
 use fractalcloud_serve::protocol::{self, status, OP_PROCESS_FRAME};
 use fractalcloud_serve::{
-    ClientError, Engine, ServeClient, ServeConfig, ServeError, ShedReason, TcpServer,
+    ClientError, Engine, Priority, ServeClient, ServeConfig, ServeError, ShedReason, TcpServer,
 };
 use std::io::Write;
 use std::net::TcpStream;
@@ -219,6 +219,154 @@ fn compatible_frames_are_batched_incompatible_are_not_mixed() {
     let m = engine.metrics();
     assert_eq!(m.batched_frames, 16);
     assert!(m.batches <= 16);
+    engine.shutdown();
+}
+
+/// Blocks until the engine's worker has picked up everything submitted so
+/// far (queue empty and at least `batches` batches started).
+fn wait_for_drain_start(engine: &Engine, batches: u64) {
+    for _ in 0..2000 {
+        let m = engine.metrics();
+        if m.queue_depth == 0 && m.batches >= batches {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    panic!("worker never picked up the plug job");
+}
+
+#[test]
+fn high_completes_first_under_overload_and_bulk_sheds_first_at_the_bound() {
+    // One worker, no fusing, sequential lanes: dequeue order is exactly
+    // the weighted schedule, and completion order is dequeue order.
+    let engine = Arc::new(Engine::start(
+        ServeConfig::default().workers(1).max_batch(1).thread_budget(1).queue_capacity(16),
+    ));
+
+    // Pregenerate every frame so the submission loop below is pure queue
+    // pushes (the race window against the plug finishing stays tiny).
+    let bulk_frames: Vec<_> = (0..3).map(|s| frame(2048, 10 + s)).collect();
+    let high_frames: Vec<_> = (0..3).map(|s| frame(2048, 20 + s)).collect();
+
+    // Occupy the worker with a fat plug frame so the real submissions all
+    // queue behind it.
+    let plug = engine.submit(frame(32_768, 1), PipelineConfig::default()).unwrap();
+    wait_for_drain_start(&engine, 1);
+
+    // Overload: Bulk arrives *before* High, yet High must complete first
+    // (the weighted schedule prefers the High lane 4:1).
+    let bulk_tickets: Vec<_> = bulk_frames
+        .into_iter()
+        .map(|f| engine.submit_with_priority(f, PipelineConfig::default(), Priority::Bulk).unwrap())
+        .collect();
+    let high_tickets: Vec<_> = high_frames
+        .into_iter()
+        .map(|f| engine.submit_with_priority(f, PipelineConfig::default(), Priority::High).unwrap())
+        .collect();
+
+    plug.wait().unwrap();
+
+    // Completion order is observed race-free through server-side counters:
+    // the single worker publishes serially and bumps `completed_by_class`
+    // *before* waking the ticket, so by the time the first Bulk response
+    // is redeemable, every completion that preceded it is already counted.
+    let mut bulk_tickets = bulk_tickets.into_iter();
+    bulk_tickets.next().unwrap().wait().unwrap();
+    let m = engine.metrics();
+    assert_eq!(
+        m.completed_by_class[Priority::High.index()],
+        3,
+        "all High work must complete before the first Bulk response under overload"
+    );
+
+    for t in bulk_tickets.chain(high_tickets) {
+        t.wait().unwrap();
+    }
+    let m = engine.metrics();
+    assert_eq!(m.completed_by_class, [3, 1, 3]); // 3 High, the plug, 3 Bulk
+    assert_eq!(m.shed_total(), 0);
+    engine.shutdown();
+}
+
+#[test]
+fn bulk_is_displaced_at_the_queue_bound_and_high_is_never_displaced() {
+    let engine = Arc::new(Engine::start(
+        ServeConfig::default().workers(1).max_batch(1).thread_budget(1).queue_capacity(2),
+    ));
+    let frames: Vec<_> = (30..35).map(|s| frame(512, s)).collect();
+    let [f30, f31, f32, f33, f34] = <[_; 5]>::try_from(frames).unwrap();
+    let plug = engine.submit(frame(32_768, 2), PipelineConfig::default()).unwrap();
+    wait_for_drain_start(&engine, 1);
+
+    // Fill the bound with Bulk work.
+    let b1 = engine.submit_with_priority(f30, PipelineConfig::default(), Priority::Bulk).unwrap();
+    let b2 = engine.submit_with_priority(f31, PipelineConfig::default(), Priority::Bulk).unwrap();
+
+    // A High arrival at the bound displaces the *youngest* Bulk job...
+    let h = engine.submit_with_priority(f32, PipelineConfig::default(), Priority::High).unwrap();
+    assert_eq!(
+        b2.wait().unwrap_err(),
+        ServeError::Shed(ShedReason::QueueFull),
+        "the youngest Bulk job must be displaced"
+    );
+
+    // ...a further Bulk arrival has nothing below it and sheds itself...
+    let r = engine.submit_with_priority(f33, PipelineConfig::default(), Priority::Bulk);
+    assert_eq!(r.unwrap_err(), ServeError::Shed(ShedReason::QueueFull));
+
+    // ...and a second High arrival cannot displace the queued High (only
+    // classes strictly below it), so it displaces the remaining Bulk job.
+    let h2 = engine.submit_with_priority(f34, PipelineConfig::default(), Priority::High).unwrap();
+    assert_eq!(b1.wait().unwrap_err(), ServeError::Shed(ShedReason::QueueFull));
+
+    let m = engine.metrics();
+    assert_eq!(m.shed_queue_full, 3);
+    // All three queue-bound sheds hit the Bulk class: two displacements
+    // plus the direct overflow.
+    assert_eq!(m.shed_by_class, [0, 0, 3]);
+
+    plug.wait().unwrap();
+    h.wait().unwrap();
+    h2.wait().unwrap();
+    engine.shutdown();
+}
+
+#[test]
+fn connection_limit_refuses_with_retryable_status() {
+    let engine = Arc::new(Engine::start(ServeConfig::default().workers(1).max_connections(1)));
+    let mut server = TcpServer::bind("127.0.0.1:0", Arc::clone(&engine)).unwrap();
+
+    // First connection occupies the single slot (a round-trip guarantees
+    // its handler is registered).
+    let mut first = ServeClient::connect(server.local_addr()).unwrap();
+    first.process(&frame(512, 40), &PipelineConfig::default()).unwrap();
+
+    // The second connection is answered TOO_MANY_CONNECTIONS and closed.
+    let mut second = ServeClient::connect(server.local_addr()).unwrap();
+    let err = second.process(&frame(512, 41), &PipelineConfig::default()).unwrap_err();
+    match &err {
+        ClientError::Server { code, .. } => {
+            assert_eq!(*code, protocol::status::TOO_MANY_CONNECTIONS)
+        }
+        other => panic!("expected a connection-limit refusal, got {other:?}"),
+    }
+    assert!(err.is_shed(), "connection-limit refusals are retryable");
+    assert!(engine.metrics().net_conn_refused >= 1);
+
+    // Once the first connection closes, the slot frees up.
+    drop(first);
+    let mut ok = false;
+    for _ in 0..500 {
+        if let Ok(mut c) = ServeClient::connect(server.local_addr()) {
+            if c.process(&frame(512, 42), &PipelineConfig::default()).is_ok() {
+                ok = true;
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert!(ok, "connection slot never freed after the first client left");
+    server.shutdown();
     engine.shutdown();
 }
 

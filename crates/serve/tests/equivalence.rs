@@ -6,7 +6,7 @@ use fractalcloud_core::{block_ball_query, block_fps, BppoConfig, Fractal, Pipeli
 use fractalcloud_pointcloud::generate::{scene_cloud, uniform_cube, SceneConfig};
 use fractalcloud_pointcloud::kernels::{self, Backend};
 use fractalcloud_pointcloud::PointCloud;
-use fractalcloud_serve::{Engine, FrameResponse, ServeClient, ServeConfig, TcpServer};
+use fractalcloud_serve::{Engine, FrameResponse, Priority, ServeClient, ServeConfig, TcpServer};
 use std::sync::Arc;
 
 /// The direct library computation a served frame must match exactly.
@@ -111,6 +111,76 @@ fn batched_execution_matches_direct_calls_for_every_member() {
         assert_eq!(shape(&r), direct(cloud, &cfg), "a batched frame diverged");
     }
     engine.shutdown();
+}
+
+#[test]
+fn cross_frame_block_batching_is_bit_identical_to_per_frame_execution() {
+    // The tentpole contract: a fused batch scheduled as ONE parallel map
+    // over the union of all frames' blocks must answer byte-for-byte what
+    // per-frame sequential execution answers — on every kernel backend
+    // (this test runs under whichever backend dispatch selected; CI
+    // repeats the suite with FRACTALCLOUD_KERNEL=scalar and soa), for
+    // *ragged* batches whose frames have wildly different block counts.
+    let cfg = PipelineConfig::default();
+    let clouds: Vec<PointCloud> = vec![
+        // First frame is the largest so the remaining submissions queue up
+        // behind it and genuinely fuse.
+        (scene_cloud(&SceneConfig::default(), 6000, 21)),
+        (scene_cloud(&SceneConfig::default(), 1500, 22)),
+        (uniform_cube(300, 23)),
+        (uniform_cube(40, 24)), // single block, smaller than the threshold
+        (scene_cloud(&SceneConfig::default(), 4096, 25)),
+    ];
+    let expected: Vec<FrameResponseShape> = clouds.iter().map(|c| direct(c, &cfg)).collect();
+    // Direct results agree across every backend (re-checked so the serve
+    // claim composes with the kernel layer's own guarantee).
+    for backend in Backend::ALL {
+        for (cloud, want) in clouds.iter().zip(&expected) {
+            let via = kernels::with_backend(backend, || direct(cloud, &cfg));
+            assert_eq!(&via, want, "backend {backend:?} diverged on direct calls");
+        }
+    }
+
+    // thread_budget(4) forces the block-batched schedule even on 1-CPU
+    // hosts (it only engages with a budget > 1 to saturate) and gives the
+    // legacy arm genuinely parallel lanes — both must still match the
+    // sequential per-frame expectation bit for bit.
+    for batch_blocks in [true, false] {
+        let engine = Arc::new(Engine::start(
+            ServeConfig::default()
+                .workers(1)
+                .max_batch(8)
+                .queue_capacity(16)
+                .cache_capacity(0)
+                .thread_budget(4)
+                .batch_blocks(batch_blocks),
+        ));
+        // Mixed priorities across the batch: scheduling class must never
+        // change results.
+        let tickets: Vec<_> = clouds
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                engine
+                    .submit_with_priority(c.clone(), cfg, Priority::ALL[i % 3])
+                    .expect("queue sized for the whole batch")
+            })
+            .collect();
+        let responses: Vec<_> = tickets.into_iter().map(|t| t.wait().unwrap()).collect();
+        for ((r, want), cloud) in responses.iter().zip(&expected).zip(&clouds) {
+            assert_eq!(
+                &shape(r),
+                want,
+                "batch_blocks={batch_blocks} diverged on a {}-point frame",
+                cloud.len()
+            );
+        }
+        if batch_blocks {
+            let fused = responses.iter().map(|r| r.batch_size).max().unwrap();
+            assert!(fused >= 2, "expected at least one genuinely fused batch, got {fused}");
+        }
+        engine.shutdown();
+    }
 }
 
 #[test]

@@ -18,7 +18,7 @@ use fractalcloud::core::PipelineConfig;
 use fractalcloud::pointcloud::generate::{scene_cloud, SceneConfig};
 use fractalcloud::pointcloud::kernels;
 use fractalcloud::pointcloud::PointCloud;
-use fractalcloud::serve::{Engine, ServeClient, ServeConfig, TcpServer};
+use fractalcloud::serve::{Engine, Priority, ServeClient, ServeConfig, TcpServer};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -31,13 +31,15 @@ fn percentile(sorted_us: &[u64], q: f64) -> u64 {
 }
 
 /// Drives `frames` requests through `clients` connections as fast as they
-/// will go; returns (wall seconds, ok count, shed count, sorted latencies).
+/// will go (connection `c` submits at `priority_of(c)`); returns (wall
+/// seconds, ok count, shed count, sorted latencies).
 fn drive(
     addr: std::net::SocketAddr,
     clouds: &[PointCloud],
     cfg: PipelineConfig,
     frames: usize,
     clients: usize,
+    priority_of: impl Fn(usize) -> Priority + Sync,
 ) -> (f64, u64, u64, Vec<u64>) {
     let t0 = Instant::now();
     let per_client = frames.div_ceil(clients);
@@ -52,7 +54,7 @@ fn drive(
             for i in 0..per_client {
                 let cloud = &clouds[(c * per_client + i) % clouds.len()];
                 let t = Instant::now();
-                match client.process(cloud, &cfg) {
+                match client.process_with_priority(cloud, &cfg, priority_of(c)) {
                     Ok(_) => {
                         ok += 1;
                         lat_us.push(t.elapsed().as_micros() as u64);
@@ -95,7 +97,8 @@ fn main() {
     // --- Phase 1: sustained throughput on a sanely sized queue ---
     let engine = Arc::new(Engine::start(ServeConfig::from_env()));
     let mut server = TcpServer::bind("127.0.0.1:0", Arc::clone(&engine)).expect("bind localhost");
-    let (wall, ok, shed, lat) = drive(server.local_addr(), &clouds, cfg, frames, clients);
+    let (wall, ok, shed, lat) =
+        drive(server.local_addr(), &clouds, cfg, frames, clients, |_| Priority::Normal);
     let m = engine.metrics();
     println!("\nphase 1 — sustained serving");
     println!(
@@ -122,7 +125,8 @@ fn main() {
     ));
     let mut server = TcpServer::bind("127.0.0.1:0", Arc::clone(&engine)).expect("bind localhost");
     let burst_clients = clients * 2;
-    let (wall, ok, shed, _) = drive(server.local_addr(), &clouds, cfg, frames, burst_clients);
+    let (wall, ok, shed, _) =
+        drive(server.local_addr(), &clouds, cfg, frames, burst_clients, |_| Priority::Normal);
     let m = engine.metrics();
     println!("\nphase 2 — overload (1 worker, queue capacity {capacity}, {burst_clients} clients)");
     println!(
@@ -142,6 +146,48 @@ fn main() {
     assert!(shed > 0 || quick, "an overloaded tiny queue should shed");
     println!(
         "  the admission queue never grew past its bound: excess load was rejected\n  with counted reasons instead of buffered — memory stays flat under overload."
+    );
+    server.shutdown();
+    engine.shutdown();
+
+    // --- Phase 3: mixed-priority overload — weighted dequeue + per-class
+    // shedding (Bulk displaced first at the bound, High completing first) ---
+    let capacity = 4;
+    let engine = Arc::new(Engine::start(
+        ServeConfig::from_env().workers(1).queue_capacity(capacity).thread_budget(1),
+    ));
+    let mut server = TcpServer::bind("127.0.0.1:0", Arc::clone(&engine)).expect("bind localhost");
+    let mix_clients = clients * 2;
+    // Connection c submits at class c % 3 (High, Normal, Bulk round-robin).
+    let (wall, ok, shed, _) =
+        drive(server.local_addr(), &clouds, cfg, frames, mix_clients, |c| Priority::ALL[c % 3]);
+    let m = engine.metrics();
+    println!("\nphase 3 — mixed priorities (1 worker, queue capacity {capacity}, {mix_clients} clients across 3 classes)");
+    println!(
+        "  throughput     : {:.1} frames/s ({ok} ok, {shed} shed, {wall:.2} s)",
+        ok as f64 / wall
+    );
+    println!(
+        "  shed by class  : high={} normal={} bulk={}",
+        m.shed_by_class[0], m.shed_by_class[1], m.shed_by_class[2]
+    );
+    println!(
+        "  p99 by class   : high={} µs, normal={} µs, bulk={} µs",
+        m.latency_p99_by_class_us[0], m.latency_p99_by_class_us[1], m.latency_p99_by_class_us[2]
+    );
+    assert_eq!(
+        m.shed_by_class.iter().sum::<u64>(),
+        m.shed_queue_full,
+        "per-class queue-bound sheds must sum to the global counter"
+    );
+    assert_eq!(m.shed_queue_full, shed, "client-observed sheds must match server counters");
+    assert!(
+        m.peak_queue_depth <= capacity as u64,
+        "queue exceeded its bound: {} > {capacity}",
+        m.peak_queue_depth
+    );
+    println!(
+        "  under a mixed-class flood the queue bound sheds the lowest class first\n  (displacement) while the weighted schedule keeps High latency ahead."
     );
     server.shutdown();
     engine.shutdown();
