@@ -23,7 +23,10 @@
 //! a misleading speedup.
 
 use fractalcloud_core::bppo::reference as bppo_reference;
-use fractalcloud_core::{block_fps, BppoConfig, Fractal, FractalConfig};
+use fractalcloud_core::{
+    block_fps, BppoConfig, Fractal, FractalConfig, Pipeline, PipelineConfig, PipelineOutput,
+    Workspace,
+};
 use fractalcloud_pointcloud::generate::{scene_cloud, with_random_features, SceneConfig};
 use fractalcloud_pointcloud::kernels;
 use fractalcloud_pointcloud::ops::{
@@ -31,6 +34,14 @@ use fractalcloud_pointcloud::ops::{
 };
 use fractalcloud_pointcloud::Point3;
 use std::time::Instant;
+
+/// With the `bench` feature (default), heap traffic is counted by the
+/// workspace-layer measurement allocator so the `allocs_per_frame` rows
+/// report real numbers; the counter is one relaxed atomic per allocation.
+#[cfg(feature = "bench")]
+#[global_allocator]
+static ALLOC: fractalcloud_pointcloud::count_alloc::CountingAllocator =
+    fractalcloud_pointcloud::count_alloc::CountingAllocator;
 
 /// One baseline-vs-optimized measurement (or a skipped row).
 struct Comparison {
@@ -243,6 +254,13 @@ fn main() {
         ));
     }
 
+    // --- Allocations per frame on the warmed core hot path ---
+    // The tentpole's zero-allocation claim, measured: a cache-hit-style
+    // frame (partition prebuilt, BPPO half re-run) through one reused
+    // workspace + output staging. Cold = the first frame (buffers grow);
+    // warm = the worst of the next five (must be 0 in reuse mode).
+    let allocs = measure_allocs_per_frame(4096);
+
     // --- Serve throughput: in-process engine, fixed frame size ---
     // Distinct frames with the cache off, so the row measures the full
     // admission → batch → partition → BPPO → response path per frame.
@@ -280,6 +298,20 @@ fn main() {
             serve_blocks.frames_per_s, serve_blocks.frame_points, serve_blocks.mean_batch
         )
     );
+    match allocs.measured {
+        true => println!(
+            "{:<18} {:>20}",
+            "allocs_per_frame",
+            format!(
+                "cold {} / warm {} ({} pts, {} mode)",
+                allocs.cold,
+                allocs.warm,
+                allocs.frame_points,
+                fractalcloud_core::workspace::workspace_mode().name()
+            )
+        ),
+        false => println!("{:<18} {:>20}", "allocs_per_frame", "skipped_alloc_counter_off"),
+    }
 
     let json = render_json(
         quick,
@@ -290,9 +322,44 @@ fn main() {
         &comparisons,
         &serve,
         &serve_blocks,
+        &allocs,
     );
     std::fs::write("BENCH_point_ops.json", &json).expect("write BENCH_point_ops.json");
     println!("wrote BENCH_point_ops.json");
+}
+
+/// The allocs-per-frame measurement on the warmed core hot path.
+struct AllocsPerFrame {
+    cold: u64,
+    warm: u64,
+    frame_points: usize,
+    /// False when built without the `bench` feature (no counting
+    /// allocator installed — the counters would read zero vacuously).
+    measured: bool,
+}
+
+/// Counts heap allocations for one cache-hit-style frame through a reused
+/// workspace + output staging: cold (first frame, buffers grow) vs warm
+/// (worst of the next five; zero in reuse mode). Runs sequentially on the
+/// calling thread so the process-global counter attributes cleanly.
+fn measure_allocs_per_frame(frame_points: usize) -> AllocsPerFrame {
+    use fractalcloud_pointcloud::count_alloc::allocation_count;
+    let cloud = scene_cloud(&SceneConfig::default(), frame_points, 777);
+    let pipe = Pipeline::new(PipelineConfig::default()).expect("default config is valid");
+    let mut ws = Workspace::new();
+    let built = pipe.partition_ws(&cloud, false, &mut ws).expect("partition");
+    let mut staging = PipelineOutput::default();
+    let before = allocation_count();
+    pipe.run_with_partition_into(&cloud, &built, false, &mut ws, &mut staging).expect("cold run");
+    let cold = allocation_count() - before;
+    let mut warm = 0u64;
+    for _ in 0..5 {
+        let before = allocation_count();
+        pipe.run_with_partition_into(&cloud, &built, false, &mut ws, &mut staging)
+            .expect("warm run");
+        warm = warm.max(allocation_count() - before);
+    }
+    AllocsPerFrame { cold, warm, frame_points, measured: cfg!(feature = "bench") }
 }
 
 /// The serve-throughput measurement: frames/s through the in-process
@@ -359,6 +426,7 @@ fn render_json(
     comparisons: &[Comparison],
     serve: &ServeThroughput,
     serve_blocks: &ServeThroughput,
+    allocs: &AllocsPerFrame,
 ) -> String {
     // Hand-rolled JSON: the workspace intentionally has no serde machinery
     // (see vendor/README.md).
@@ -400,10 +468,23 @@ fn render_json(
         backend, serve.frames, serve.frame_points, serve.frames_per_s, serve.mean_batch
     ));
     out.push_str(&format!(
-        "    {{ \"name\": \"serve_throughput_batched_blocks\", \"backend\": \"{}\", \"frames\": {}, \"frame_points\": {}, \"frames_per_s\": {:.1}, \"mean_batch\": {:.2}, \"status\": \"ok\" }}\n",
+        "    {{ \"name\": \"serve_throughput_batched_blocks\", \"backend\": \"{}\", \"frames\": {}, \"frame_points\": {}, \"frames_per_s\": {:.1}, \"mean_batch\": {:.2}, \"status\": \"ok\" }},\n",
         backend, serve_blocks.frames, serve_blocks.frame_points, serve_blocks.frames_per_s,
         serve_blocks.mean_batch
     ));
+    match allocs.measured {
+        true => out.push_str(&format!(
+            "    {{ \"name\": \"allocs_per_frame\", \"cold\": {}, \"warm\": {}, \"frame_points\": {}, \"workspace_mode\": \"{}\", \"status\": \"ok\" }}\n",
+            allocs.cold,
+            allocs.warm,
+            allocs.frame_points,
+            fractalcloud_core::workspace::workspace_mode().name()
+        )),
+        false => out.push_str(&format!(
+            "    {{ \"name\": \"allocs_per_frame\", \"cold\": null, \"warm\": null, \"frame_points\": {}, \"status\": \"skipped_alloc_counter_off\" }}\n",
+            allocs.frame_points
+        )),
+    }
     out.push_str("  ]\n}\n");
     out
 }

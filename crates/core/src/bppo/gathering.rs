@@ -1,6 +1,6 @@
 //! Block-wise gathering (BWGa): feature retrieval with locality accounting.
 
-use crate::bppo::{for_each_block, BppoConfig};
+use crate::bppo::{for_each_block_ws, BppoConfig};
 use fractalcloud_pointcloud::ops::OpCounters;
 use fractalcloud_pointcloud::partition::Partition;
 use fractalcloud_pointcloud::{Error, PointCloud, Result};
@@ -94,22 +94,26 @@ pub fn block_gather(
     }
 
     let channels = cloud.channels();
-    let results = for_each_block(partition.blocks.len(), config.parallel, |b| {
-        let own: std::collections::BTreeSet<usize> =
-            partition.blocks[b].indices.iter().copied().collect();
-        let space: std::collections::BTreeSet<usize> = partition.blocks[b]
-            .parent_group
-            .iter()
-            .flat_map(|&g| partition.blocks[g].indices.iter().copied())
-            .collect();
+    let results = for_each_block_ws(partition.blocks.len(), config.parallel, |b, ws| {
+        // Membership scratch lives in the lane's workspace: sorted index
+        // runs + binary search classify exactly like the tree sets they
+        // replace, without per-block allocation.
+        ws.own.clear();
+        ws.own.extend_from_slice(&partition.blocks[b].indices);
+        ws.own.sort_unstable();
+        ws.space.clear();
+        for &g in &partition.blocks[b].parent_group {
+            ws.space.extend_from_slice(&partition.blocks[g].indices);
+        }
+        ws.space.sort_unstable();
         let mut counters = OpCounters::new();
         let mut locality = GatherLocality::default();
         let mut data = Vec::with_capacity(indices_per_block[b].len() * channels);
         for &i in &indices_per_block[b] {
             counters.feature_reads += 1;
-            if own.contains(&i) {
+            if ws.own.binary_search(&i).is_ok() {
                 locality.own_block += 1;
-            } else if space.contains(&i) {
+            } else if ws.space.binary_search(&i).is_ok() {
                 locality.parent_space += 1;
             } else {
                 locality.remote += 1;
@@ -188,12 +192,11 @@ mod tests {
         // remote (what conventional gathering does all the time).
         let (cloud, part, _) = setup(1024, 128, 3);
         let mut idx: Vec<Vec<usize>> = vec![Vec::new(); part.blocks.len()];
-        let far: Vec<usize> = part.blocks.last().unwrap().indices
+        let mut row: Vec<usize> = part.blocks.last().unwrap().indices
             [..8.min(part.blocks.last().unwrap().len())]
             .to_vec();
-        let mut row = far.clone();
         while row.len() < 8 {
-            row.push(far[0]);
+            row.push(row[0]);
         }
         idx[0] = row;
         let r = block_gather(&cloud, &part, &idx, 8, &BppoConfig::sequential()).unwrap();

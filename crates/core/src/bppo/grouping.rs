@@ -1,6 +1,7 @@
 //! Block-wise grouping (BWG): ball query with block-local search spaces.
 
-use crate::bppo::{for_each_block, BppoConfig, ReuseStats};
+use crate::bppo::{for_each_block_ws, streaming, BppoConfig, ReuseStats};
+use crate::workspace::{global_pool, Workspace};
 use fractalcloud_pointcloud::kernels;
 use fractalcloud_pointcloud::ops::OpCounters;
 use fractalcloud_pointcloud::partition::Partition;
@@ -8,7 +9,7 @@ use fractalcloud_pointcloud::{Error, PointCloud, Result};
 
 /// Output of [`block_ball_query`] and
 /// [`block_interpolate`](crate::block_interpolate)'s neighbor stage.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct BlockNeighborResult {
     /// `centers × num` neighbor indices into the original cloud, row-major.
     /// Center rows appear in block order, preserving each block's center
@@ -52,6 +53,42 @@ pub fn block_ball_query(
     num: usize,
     config: &BppoConfig,
 ) -> Result<BlockNeighborResult> {
+    let mut ws = global_pool().checkout();
+    let mut out = BlockNeighborResult::default();
+    block_ball_query_into(
+        cloud,
+        partition,
+        centers_per_block,
+        radius,
+        num,
+        config,
+        &mut ws,
+        &mut out,
+    )?;
+    Ok(out)
+}
+
+/// [`block_ball_query`] running inside a caller-provided [`Workspace`] and
+/// refilling a caller-provided result — the allocation-free steady state
+/// of the grouping stage. On a sequential lane every block streams through
+/// the workspace and appends directly to `out`; with real parallelism
+/// blocks fan out with one pooled workspace per lane. Results are
+/// bit-identical either way (and to a fresh allocation).
+///
+/// # Errors
+///
+/// As [`block_ball_query`].
+#[allow(clippy::too_many_arguments)]
+pub fn block_ball_query_into(
+    cloud: &PointCloud,
+    partition: &Partition,
+    centers_per_block: &[Vec<usize>],
+    radius: f32,
+    num: usize,
+    config: &BppoConfig,
+    ws: &mut Workspace,
+    out: &mut BlockNeighborResult,
+) -> Result<()> {
     if centers_per_block.len() != partition.blocks.len() {
         return Err(Error::ShapeMismatch {
             expected: partition.blocks.len(),
@@ -71,23 +108,56 @@ pub fn block_ball_query(
         return Err(Error::InvalidParameter { name: "num", message: "must be at least 1".into() });
     }
 
-    let results = for_each_block(partition.blocks.len(), config.parallel, |b| {
-        ball_query_block_task(
-            cloud,
-            partition,
-            b,
-            &centers_per_block[b],
-            radius,
-            num,
-            config.parent_expansion,
-        )
-    });
-    Ok(assemble_block_neighbors(num, results))
+    let blocks = partition.blocks.len();
+    if streaming(config.parallel) {
+        out.indices.clear();
+        out.center_indices.clear();
+        out.found.clear();
+        out.num = num;
+        out.counters = OpCounters::new();
+        out.critical_path = OpCounters::new();
+        out.reuse = ReuseStats::default();
+        for (b, centers) in centers_per_block.iter().enumerate() {
+            let (counters, reuse) = ball_query_block_core(
+                cloud,
+                partition,
+                b,
+                centers,
+                radius,
+                num,
+                config.parent_expansion,
+                ws,
+                &mut out.indices,
+                &mut out.center_indices,
+                &mut out.found,
+            );
+            out.counters.merge(&counters);
+            if counters.distance_evals >= out.critical_path.distance_evals {
+                out.critical_path = counters;
+            }
+            out.reuse.merge(&reuse);
+        }
+    } else {
+        let results = for_each_block_ws(blocks, true, |b, ws| {
+            ball_query_block_task_ws(
+                cloud,
+                partition,
+                b,
+                &centers_per_block[b],
+                radius,
+                num,
+                config.parent_expansion,
+                ws,
+            )
+        });
+        *out = assemble_block_neighbors(num, results);
+    }
+    Ok(())
 }
 
 /// One block's share of a [`block_ball_query`] run, ready for reassembly
 /// with [`assemble_block_neighbors`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct BlockNeighborTask {
     /// `centers × num` neighbor indices for this block, row-major.
     pub indices: Vec<usize>,
@@ -116,59 +186,165 @@ pub fn ball_query_block_task(
     num: usize,
     parent_expansion: bool,
 ) -> BlockNeighborTask {
+    let mut ws = global_pool().checkout();
+    ball_query_block_task_ws(cloud, partition, b, centers, radius, num, parent_expansion, &mut ws)
+}
+
+/// [`ball_query_block_task`] on a caller-provided [`Workspace`] (per-lane
+/// scratch for batching layers); the task is still an owned result.
+#[allow(clippy::too_many_arguments)]
+pub fn ball_query_block_task_ws(
+    cloud: &PointCloud,
+    partition: &Partition,
+    b: usize,
+    centers: &[usize],
+    radius: f32,
+    num: usize,
+    parent_expansion: bool,
+    ws: &mut Workspace,
+) -> BlockNeighborTask {
+    let mut task = BlockNeighborTask::default();
+    ball_query_block_task_into(
+        cloud,
+        partition,
+        b,
+        centers,
+        radius,
+        num,
+        parent_expansion,
+        ws,
+        &mut task,
+    );
+    task
+}
+
+/// [`ball_query_block_task`] refilling a caller-provided task in place —
+/// the allocation-free per-block form: a warmed `task` + workspace pair
+/// performs no heap allocation, and a dirty pair yields bit-identical
+/// results to a fresh one.
+#[allow(clippy::too_many_arguments)]
+pub fn ball_query_block_task_into(
+    cloud: &PointCloud,
+    partition: &Partition,
+    b: usize,
+    centers: &[usize],
+    radius: f32,
+    num: usize,
+    parent_expansion: bool,
+    ws: &mut Workspace,
+    task: &mut BlockNeighborTask,
+) {
+    task.indices.clear();
+    task.center_indices.clear();
+    task.found.clear();
+    let (counters, reuse) = ball_query_block_core(
+        cloud,
+        partition,
+        b,
+        centers,
+        radius,
+        num,
+        parent_expansion,
+        ws,
+        &mut task.indices,
+        &mut task.center_indices,
+        &mut task.found,
+    );
+    task.counters = counters;
+    task.reuse = reuse;
+}
+
+/// The shared body of every grouping path: runs block `b`'s ball query in
+/// `ws` and *appends* the neighbor rows, center indices and per-center hit
+/// counts to the provided buffers (so the streaming driver can write
+/// straight into the assembled result). Returns this block's counters and
+/// reuse statistics.
+#[allow(clippy::too_many_arguments)]
+fn ball_query_block_core(
+    cloud: &PointCloud,
+    partition: &Partition,
+    b: usize,
+    centers: &[usize],
+    radius: f32,
+    num: usize,
+    parent_expansion: bool,
+    ws: &mut Workspace,
+    indices: &mut Vec<usize>,
+    center_indices: &mut Vec<usize>,
+    found: &mut Vec<usize>,
+) -> (OpCounters, ReuseStats) {
     let r_sq = radius * radius;
-    let space = search_space(partition, b, parent_expansion);
+    let own_block = [b];
+    let space: &[usize] =
+        if parent_expansion { &partition.blocks[b].parent_group } else { &own_block };
     let mut counters = OpCounters::new();
     let mut reuse = ReuseStats::default();
-    let mut indices = Vec::with_capacity(centers.len() * num);
-    let mut found = Vec::with_capacity(centers.len());
+    indices.reserve(centers.len() * num);
+    found.reserve(centers.len());
+    center_indices.extend_from_slice(centers);
 
     // Intra-block reuse: the candidate set is loaded on-chip once —
-    // gathered into local SoA buffers — and shared by every center of
-    // this block.
-    let candidates: Vec<usize> =
-        space.iter().flat_map(|&g| partition.blocks[g].indices.iter().copied()).collect();
-    reuse.shared_loads += candidates.len() as u64;
-    reuse.unshared_loads += (candidates.len() * centers.len().max(1)) as u64;
-    counters.coord_reads += candidates.len() as u64;
+    // gathered into the workspace's local SoA buffers — and shared by
+    // every center of this block.
+    ws.candidates.clear();
+    for &g in space {
+        ws.candidates.extend_from_slice(&partition.blocks[g].indices);
+    }
+    reuse.shared_loads += ws.candidates.len() as u64;
+    reuse.unshared_loads += (ws.candidates.len() * centers.len().max(1)) as u64;
+    counters.coord_reads += ws.candidates.len() as u64;
 
-    let (mut cx, mut cy, mut cz) = (Vec::new(), Vec::new(), Vec::new());
     kernels::gather_coords(
         cloud.xs(),
         cloud.ys(),
         cloud.zs(),
-        &candidates,
-        &mut cx,
-        &mut cy,
-        &mut cz,
+        &ws.candidates,
+        &mut ws.sx,
+        &mut ws.sy,
+        &mut ws.sz,
     );
     // Batched fused scan over the shared local SoA: tiles of
     // QUERY_TILE centers share every candidate chunk load, and the
     // nearest-`num`-within-radius selection keeps the same canonical
     // semantics as the global ball query, so results differ only
     // through the restricted search space.
-    let queries: Vec<[f32; 3]> =
-        centers.iter().map(|&ci| [cloud.xs()[ci], cloud.ys()[ci], cloud.zs()[ci]]).collect();
-    kernels::ball_select_batch(&cx, &cy, &cz, &queries, r_sq, num, |c_row, best, nearest| {
-        counters.distance_evals += candidates.len() as u64;
-        counters.comparisons += candidates.len() as u64;
-        found.push(best.len());
-        let mut row: Vec<usize> = best.iter().map(|&(_, slot)| candidates[slot]).collect();
-        if row.is_empty() {
-            // Fallback: nearest candidate in the search space (never
-            // empty: the center's own block is always included), or the
-            // center itself in the degenerate no-finite-distance case —
-            // the same initial value the scalar formulation uses.
-            row.push(if nearest.1 == usize::MAX { centers[c_row] } else { candidates[nearest.1] });
-        }
-        let first = row[0];
-        while row.len() < num {
-            row.push(first);
-        }
-        counters.writes += num as u64;
-        indices.extend_from_slice(&row);
-    });
-    BlockNeighborTask { indices, center_indices: centers.to_vec(), found, counters, reuse }
+    ws.queries.clear();
+    ws.queries.extend(centers.iter().map(|&ci| [cloud.xs()[ci], cloud.ys()[ci], cloud.zs()[ci]]));
+    let candidates = &ws.candidates;
+    kernels::ball_select_batch_into(
+        kernels::active_backend(),
+        &ws.sx,
+        &ws.sy,
+        &ws.sz,
+        &ws.queries,
+        r_sq,
+        num,
+        &mut ws.select,
+        |c_row, best, nearest| {
+            counters.distance_evals += candidates.len() as u64;
+            counters.comparisons += candidates.len() as u64;
+            found.push(best.len());
+            let row_start = indices.len();
+            indices.extend(best.iter().map(|&(_, slot)| candidates[slot]));
+            if best.is_empty() {
+                // Fallback: nearest candidate in the search space (never
+                // empty: the center's own block is always included), or the
+                // center itself in the degenerate no-finite-distance case —
+                // the same initial value the scalar formulation uses.
+                indices.push(if nearest.1 == usize::MAX {
+                    centers[c_row]
+                } else {
+                    candidates[nearest.1]
+                });
+            }
+            let first = indices[row_start];
+            while indices.len() - row_start < num {
+                indices.push(first);
+            }
+            counters.writes += num as u64;
+        },
+    );
+    (counters, reuse)
 }
 
 /// Reassembles per-block ball-query tasks (in block order) into a

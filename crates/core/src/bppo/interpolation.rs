@@ -2,7 +2,7 @@
 //! search spaces.
 
 use crate::bppo::grouping::search_space;
-use crate::bppo::{for_each_block, BppoConfig, ReuseStats};
+use crate::bppo::{for_each_block_ws, BppoConfig, ReuseStats};
 use fractalcloud_pointcloud::kernels;
 use fractalcloud_pointcloud::ops::OpCounters;
 use fractalcloud_pointcloud::partition::Partition;
@@ -73,49 +73,57 @@ pub fn block_interpolate(
     }
 
     let channels = sources.channels();
-    let results = for_each_block(partition.blocks.len(), config.parallel, |b| {
+    let results = for_each_block_ws(partition.blocks.len(), config.parallel, |b, ws| {
         let space = search_space(partition, b, config.parent_expansion);
-        // Candidate source rows: the sampled points of the search space.
-        let mut candidates: Vec<usize> =
-            space.iter().flat_map(|&g| sources_per_block[g].iter().copied()).collect();
-        if candidates.is_empty() {
+        // Candidate source rows: the sampled points of the search space,
+        // staged in the lane's workspace.
+        ws.candidates.clear();
+        for &g in &space {
+            ws.candidates.extend_from_slice(&sources_per_block[g]);
+        }
+        if ws.candidates.is_empty() {
             // Degenerate: no samples in the search space; widen to all
             // sources so interpolation stays total.
-            candidates = (0..sources.len()).collect();
+            ws.candidates.extend(0..sources.len());
         }
         let mut counters = OpCounters::new();
         let mut reuse = ReuseStats::default();
         let targets = &partition.blocks[b].indices;
-        reuse.shared_loads += candidates.len() as u64;
-        reuse.unshared_loads += (candidates.len() * targets.len().max(1)) as u64;
-        counters.coord_reads += candidates.len() as u64;
+        reuse.shared_loads += ws.candidates.len() as u64;
+        reuse.unshared_loads += (ws.candidates.len() * targets.len().max(1)) as u64;
+        counters.coord_reads += ws.candidates.len() as u64;
 
         // Shared candidate load: gather the search space's source
-        // coordinates into local SoA buffers once per block.
-        let (mut sx, mut sy, mut sz) = (Vec::new(), Vec::new(), Vec::new());
+        // coordinates into the workspace's local SoA buffers once per
+        // block.
         kernels::gather_coords(
             sources.xs(),
             sources.ys(),
             sources.zs(),
-            &candidates,
-            &mut sx,
-            &mut sy,
-            &mut sz,
+            &ws.candidates,
+            &mut ws.sx,
+            &mut ws.sy,
+            &mut ws.sz,
         );
-        let kk = k.min(candidates.len());
+        let kk = k.min(ws.candidates.len());
         let mut features = vec![0.0f32; targets.len() * channels];
         let mut neighbors = Vec::with_capacity(targets.len() * k);
         // Batched top-k selection (the RSPU top-k unit) over the shared
         // local SoA: tiles of QUERY_TILE targets share every candidate
-        // chunk load on the active kernel backend.
-        let queries: Vec<[f32; 3]> =
-            targets.iter().map(|&ti| [cloud.xs()[ti], cloud.ys()[ti], cloud.zs()[ti]]).collect();
-        kernels::knn_select_batch(
-            &sx,
-            &sy,
-            &sz,
-            &queries,
+        // chunk load on the active kernel backend, with the top-k heaps
+        // and distance tiles living in the lane's workspace.
+        ws.queries.clear();
+        ws.queries
+            .extend(targets.iter().map(|&ti| [cloud.xs()[ti], cloud.ys()[ti], cloud.zs()[ti]]));
+        let candidates = &ws.candidates;
+        kernels::knn_select_batch_into(
+            kernels::active_backend(),
+            &ws.sx,
+            &ws.sy,
+            &ws.sz,
+            &ws.queries,
             kk,
+            &mut ws.select,
             |t_row, best| {
                 counters.distance_evals += candidates.len() as u64;
                 counters.comparisons += candidates.len() as u64;
@@ -141,7 +149,7 @@ pub fn block_interpolate(
             },
             |_| {},
         );
-        (features, targets.clone(), neighbors, counters, reuse)
+        (features, neighbors, counters, reuse)
     });
 
     let mut out = BlockInterpolationResult {
@@ -154,14 +162,16 @@ pub fn block_interpolate(
         critical_path: OpCounters::new(),
         reuse: ReuseStats::default(),
     };
-    for (features, targets, neighbors, counters, reuse) in results {
+    for (b, (features, neighbors, counters, reuse)) in results.into_iter().enumerate() {
         out.counters.merge(&counters);
         if counters.distance_evals >= out.critical_path.distance_evals {
             out.critical_path = counters;
         }
         out.reuse.merge(&reuse);
         out.features.extend_from_slice(&features);
-        out.target_indices.extend_from_slice(&targets);
+        // The targets are exactly the block's points, borrowed from the
+        // partition instead of cloned per block.
+        out.target_indices.extend_from_slice(&partition.blocks[b].indices);
         out.neighbor_indices.extend_from_slice(&neighbors);
     }
     Ok(out)

@@ -27,13 +27,16 @@ mod sampling;
 
 pub use gathering::{block_gather, BlockGatherResult, GatherLocality};
 pub use grouping::{
-    assemble_block_neighbors, ball_query_block_task, block_ball_query, BlockNeighborResult,
+    assemble_block_neighbors, ball_query_block_task, ball_query_block_task_into,
+    ball_query_block_task_ws, block_ball_query, block_ball_query_into, BlockNeighborResult,
     BlockNeighborTask,
 };
 pub use interpolation::{block_interpolate, BlockInterpolationResult};
 pub use sampling::{
-    assemble_block_fps, block_fps, block_fps_with_counts, block_sample_counts, equal_sample_counts,
-    fps_block_task, BlockFpsResult,
+    assemble_block_fps, block_fps, block_fps_pinned, block_fps_with_counts,
+    block_fps_with_counts_into, block_sample_counts, block_sample_counts_into, equal_sample_counts,
+    fps_block_task, fps_block_task_into, fps_block_task_pinned_into, fps_block_task_ws,
+    BlockFpsResult,
 };
 
 use serde::{Deserialize, Serialize};
@@ -96,19 +99,40 @@ impl ReuseStats {
     }
 }
 
-/// Runs `f(block_index)` for every block, optionally on worker threads, and
-/// returns results in block order (deterministic regardless of scheduling).
+/// Runs `f(block_index, workspace)` for every block, optionally on worker
+/// threads, and returns results in block order (deterministic regardless
+/// of scheduling).
 ///
 /// Inter-block parallelism is delegated to
-/// [`fractalcloud_parallel::parallel_map`], the same work-claiming pool the
-/// Fractal partitioner's level-synchronous frontier uses, so block FPS/KNN
-/// and the build scale on the same worker budget.
-pub(crate) fn for_each_block<T, F>(n_blocks: usize, parallel: bool, f: F) -> Vec<T>
+/// [`fractalcloud_parallel::parallel_map_with`], the same work-claiming
+/// pool the Fractal partitioner's level-synchronous frontier uses, so
+/// block FPS/KNN and the build scale on the same worker budget. Each
+/// execution lane gets a pooled [`Workspace`](crate::Workspace) through
+/// the per-lane `make` hook — one checkout from
+/// [`global_pool`](crate::workspace::global_pool) per lane, so scoped
+/// threads never share scratch, and the inline path reuses a single
+/// checkout for every block.
+pub(crate) fn for_each_block_ws<T, F>(n_blocks: usize, parallel: bool, f: F) -> Vec<T>
 where
     T: Send,
-    F: Fn(usize) -> T + Sync,
+    F: Fn(usize, &mut crate::workspace::Workspace) -> T + Sync,
 {
-    fractalcloud_parallel::parallel_map(vec![(); n_blocks], parallel, |b, ()| f(b))
+    fractalcloud_parallel::parallel_map_with(
+        vec![(); n_blocks],
+        parallel,
+        || crate::workspace::global_pool().checkout(),
+        |b, (), ws| f(b, ws),
+    )
+}
+
+/// Whether block work should stream through one workspace on the calling
+/// lane: either the caller asked for sequential execution, or the lane's
+/// effective thread budget cannot fan out anyway (a budget-1 serve lane, a
+/// single-CPU host). The parallel drivers and this streaming path produce
+/// bit-identical results; streaming additionally performs zero heap
+/// allocation once warmed.
+pub(crate) fn streaming(parallel: bool) -> bool {
+    !parallel || fractalcloud_parallel::effective_budget() <= 1
 }
 
 #[cfg(test)]
@@ -117,15 +141,15 @@ mod tests {
 
     #[test]
     fn for_each_block_preserves_order() {
-        let seq = for_each_block(100, false, |b| b * 2);
-        let par = for_each_block(100, true, |b| b * 2);
+        let seq = for_each_block_ws(100, false, |b, _ws| b * 2);
+        let par = for_each_block_ws(100, true, |b, _ws| b * 2);
         assert_eq!(seq, par);
         assert_eq!(seq[7], 14);
     }
 
     #[test]
     fn for_each_block_empty() {
-        let out: Vec<usize> = for_each_block(0, true, |b| b);
+        let out: Vec<usize> = for_each_block_ws(0, true, |b, _ws| b);
         assert!(out.is_empty());
     }
 

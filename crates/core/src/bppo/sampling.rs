@@ -1,13 +1,14 @@
 //! Block-wise sampling (BWS): farthest point sampling decomposed per block.
 
-use crate::bppo::{for_each_block, BppoConfig};
+use crate::bppo::{for_each_block_ws, streaming, BppoConfig};
+use crate::workspace::{global_pool, Workspace};
 use fractalcloud_pointcloud::kernels;
 use fractalcloud_pointcloud::ops::OpCounters;
 use fractalcloud_pointcloud::partition::Partition;
 use fractalcloud_pointcloud::{Error, PointCloud, Result};
 
 /// Output of [`block_fps`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct BlockFpsResult {
     /// Sampled point indices (into the original cloud), concatenated in
     /// block order — the aggregation step of §IV-B.
@@ -32,12 +33,32 @@ pub struct BlockFpsResult {
 ///
 /// Panics if `rate` is not within `0.0..=1.0`.
 pub fn block_sample_counts(block_sizes: &[usize], rate: f64) -> Vec<usize> {
+    let mut counts = Vec::new();
+    let mut rems = Vec::new();
+    block_sample_counts_into(block_sizes, rate, &mut counts, &mut rems);
+    counts
+}
+
+/// [`block_sample_counts`] writing into caller-provided buffers (`counts`
+/// is the result, `rems` is largest-remainder scratch) — the
+/// allocation-free form the workspace pipeline uses. Both buffers are fully
+/// reset; a warmed pair performs no allocation.
+///
+/// # Panics
+///
+/// Panics if `rate` is not within `0.0..=1.0`.
+pub fn block_sample_counts_into(
+    block_sizes: &[usize],
+    rate: f64,
+    counts: &mut Vec<usize>,
+    rems: &mut Vec<(f64, usize)>,
+) {
     assert!((0.0..=1.0).contains(&rate), "rate must be in [0,1], got {rate}");
     let total: usize = block_sizes.iter().sum();
     let target = (total as f64 * rate).round() as usize;
     // Ideal share per block, floor + remainders.
-    let mut counts: Vec<usize> = Vec::with_capacity(block_sizes.len());
-    let mut rems: Vec<(f64, usize)> = Vec::with_capacity(block_sizes.len());
+    counts.clear();
+    rems.clear();
     let mut assigned = 0usize;
     for (b, &s) in block_sizes.iter().enumerate() {
         let ideal = s as f64 * rate;
@@ -48,8 +69,10 @@ pub fn block_sample_counts(block_sizes: &[usize], rate: f64) -> Vec<usize> {
         rems.push((ideal - fl as f64, b));
     }
     // Distribute the remainder to blocks with the largest fractional part
-    // (ties broken by block order for determinism).
-    rems.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+    // (ties broken by block order for determinism). The comparator is a
+    // total order (block indices are unique), so the unstable sort — which,
+    // unlike the stable one, allocates nothing — produces the same order.
+    rems.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
     let mut deficit = target.saturating_sub(assigned);
     for &(_, b) in rems.iter().cycle().take(rems.len() * 2) {
         if deficit == 0 {
@@ -60,7 +83,6 @@ pub fn block_sample_counts(block_sizes: &[usize], rate: f64) -> Vec<usize> {
             deficit -= 1;
         }
     }
-    counts
 }
 
 /// Equal-count sample allocation: every block contributes the same number
@@ -155,6 +177,33 @@ pub fn block_fps_with_counts(
     counts: &[usize],
     config: &BppoConfig,
 ) -> Result<BlockFpsResult> {
+    let mut ws = global_pool().checkout();
+    let mut out = BlockFpsResult::default();
+    block_fps_with_counts_into(cloud, partition, counts, config, &mut ws, &mut out)?;
+    Ok(out)
+}
+
+/// [`block_fps_with_counts`] running inside a caller-provided [`Workspace`]
+/// and refilling a caller-provided result — the allocation-free steady
+/// state of the sampling stage. `out` is fully reset (its buffers,
+/// including the recycled `per_block` rows, keep their capacity), so a
+/// dirty result from any earlier frame yields bit-identical output.
+///
+/// When the effective thread budget allows real parallelism, blocks fan
+/// out with one pooled workspace per lane instead (trading a few result
+/// allocations for cores); results are bit-identical either way.
+///
+/// # Errors
+///
+/// As [`block_fps_with_counts`].
+pub fn block_fps_with_counts_into(
+    cloud: &PointCloud,
+    partition: &Partition,
+    counts: &[usize],
+    config: &BppoConfig,
+    ws: &mut Workspace,
+    out: &mut BlockFpsResult,
+) -> Result<()> {
     if cloud.is_empty() {
         return Err(Error::EmptyCloud);
     }
@@ -164,10 +213,61 @@ pub fn block_fps_with_counts(
             actual: counts.len(),
         });
     }
-    let results = for_each_block(partition.blocks.len(), config.parallel, |b| {
-        fps_block_task(cloud, &partition.blocks[b].indices, counts[b], config.window_check)
-    });
-    Ok(assemble_block_fps(results))
+    let blocks = partition.blocks.len();
+    if streaming(config.parallel) {
+        // Sequential lane: stream every block through this lane's
+        // workspace, assembling in place — no per-block result buffers.
+        out.indices.clear();
+        out.counters = OpCounters::new();
+        out.critical_path = OpCounters::new();
+        for (b, &count) in counts.iter().enumerate() {
+            let row = recycled_row(&mut out.per_block, b);
+            let c = fps_block_task_into(
+                cloud,
+                &partition.blocks[b].indices,
+                count,
+                config.window_check,
+                ws,
+                row,
+            );
+            out.counters.merge(&c);
+            if c.distance_evals >= out.critical_path.distance_evals {
+                out.critical_path = c;
+            }
+        }
+        out.per_block.truncate(blocks);
+        // Concatenate after the rows settle (same values as assembling
+        // per-block results in block order).
+        for row in &out.per_block {
+            out.indices.extend_from_slice(row);
+        }
+    } else {
+        // Parallel lanes: per-lane pooled workspaces, per-block owned
+        // results, the shared assembly.
+        let results = for_each_block_ws(blocks, true, |b, ws| {
+            fps_block_task_ws(
+                cloud,
+                &partition.blocks[b].indices,
+                counts[b],
+                config.window_check,
+                ws,
+            )
+        });
+        *out = assemble_block_fps(results);
+    }
+    Ok(())
+}
+
+/// Clears and returns row `b` of `rows`, growing the list when needed —
+/// rows keep their capacity across frames, so a warmed result performs no
+/// allocation while the block count is stable.
+fn recycled_row(rows: &mut Vec<Vec<usize>>, b: usize) -> &mut Vec<usize> {
+    if b < rows.len() {
+        rows[b].clear();
+    } else {
+        rows.push(Vec::new());
+    }
+    &mut rows[b]
 }
 
 /// Reassembles per-block FPS task outputs (in block order) into a
@@ -218,19 +318,59 @@ pub fn fps_block_task(
     m: usize,
     window_check: bool,
 ) -> (Vec<usize>, OpCounters) {
+    let mut ws = global_pool().checkout();
+    fps_block_task_ws(cloud, block, m, window_check, &mut ws)
+}
+
+/// [`fps_block_task`] on a caller-provided [`Workspace`] (per-lane scratch
+/// for batching layers); the selected indices are still an owned result.
+pub fn fps_block_task_ws(
+    cloud: &PointCloud,
+    block: &[usize],
+    m: usize,
+    window_check: bool,
+    ws: &mut Workspace,
+) -> (Vec<usize>, OpCounters) {
+    let mut selected = Vec::new();
+    let counters = fps_block_task_into(cloud, block, m, window_check, ws, &mut selected);
+    (selected, counters)
+}
+
+/// The allocation-free core of [`fps_block_task`]: block coordinates and
+/// the running-distance array live in `ws`, and the selected indices are
+/// *appended* to `selected` (callers clear or recycle the row). A warmed
+/// workspace + row performs no heap allocation.
+pub fn fps_block_task_into(
+    cloud: &PointCloud,
+    block: &[usize],
+    m: usize,
+    window_check: bool,
+    ws: &mut Workspace,
+    selected: &mut Vec<usize>,
+) -> OpCounters {
     let n = block.len();
     let mut counters = OpCounters::new();
     if m == 0 || n == 0 {
-        return (Vec::new(), counters);
+        return counters;
     }
     let m = m.min(n);
 
     // Local SoA gather: one block load, reused by every scan (§V-C).
-    let (mut bx, mut by, mut bz) = (Vec::new(), Vec::new(), Vec::new());
-    kernels::gather_coords(cloud.xs(), cloud.ys(), cloud.zs(), block, &mut bx, &mut by, &mut bz);
+    kernels::gather_coords(
+        cloud.xs(),
+        cloud.ys(),
+        cloud.zs(),
+        block,
+        &mut ws.sx,
+        &mut ws.sy,
+        &mut ws.sz,
+    );
+    let (bx, by, bz) = (&ws.sx[..], &ws.sy[..], &ws.sz[..]);
 
-    let mut dist = vec![f32::INFINITY; n];
-    let mut selected = Vec::with_capacity(m);
+    ws.dist.clear();
+    ws.dist.resize(n, f32::INFINITY);
+    let dist = &mut ws.dist[..];
+    selected.reserve(m);
 
     // Deterministic start: the block's first point in layout order (the
     // hardware uses the first streamed point; randomness is irrelevant to
@@ -242,7 +382,7 @@ pub fn fps_block_task(
 
     for sampled in 1..m {
         let q = [bx[current], by[current], bz[current]];
-        current = kernels::fps_relax_argmax(&bx, &by, &bz, q, &mut dist);
+        current = kernels::fps_relax_argmax(bx, by, bz, q, dist);
         selected.push(block[current]);
         dist[current] = f32::NEG_INFINITY;
         counters.writes += 1;
@@ -256,7 +396,129 @@ pub fn fps_block_task(
             counters.skipped += sampled as u64;
         }
     }
-    (selected, counters)
+    counters
+}
+
+/// Block-wise *ball-pinned* FPS: like [`block_fps`], but every selected
+/// sample additionally *pins* all block points within `pin_radius` of it —
+/// they are excluded from future selection in the same fused kernel scan
+/// ([`kernels::fps_relax_argmax_pin`], one pass instead of
+/// distance-then-mask, bit-identical across backends). A block stops early
+/// once every point is pinned, so blocks may contribute fewer than their
+/// budgeted samples.
+///
+/// The selected set is a Poisson-disk-style cover: samples are pairwise
+/// farther than `pin_radius` apart, and when a block exhausts early, every
+/// unselected point lies within `pin_radius` of a sample. This is the
+/// sampling mode a serving layer uses for guaranteed-coverage
+/// downsampling at a density cap.
+///
+/// Counters model the fused hardware pass: every scan visits all `n` block
+/// candidates with one distance evaluation and *three* comparisons (relax,
+/// pin, argmax) each.
+///
+/// # Errors
+///
+/// Returns [`Error::EmptyCloud`] for an empty cloud, or
+/// [`Error::InvalidParameter`] for a rate outside `(0, 1]` or a
+/// non-positive (or NaN) `pin_radius`.
+pub fn block_fps_pinned(
+    cloud: &PointCloud,
+    partition: &Partition,
+    rate: f64,
+    pin_radius: f32,
+    config: &BppoConfig,
+) -> Result<BlockFpsResult> {
+    if cloud.is_empty() {
+        return Err(Error::EmptyCloud);
+    }
+    if !(rate > 0.0 && rate <= 1.0) {
+        return Err(Error::InvalidParameter {
+            name: "rate",
+            message: format!("sampling rate must be in (0, 1], got {rate}"),
+        });
+    }
+    // `!(pin_radius > 0.0)` deliberately rejects NaN alongside
+    // non-positive radii.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    if !(pin_radius > 0.0) {
+        return Err(Error::InvalidParameter {
+            name: "pin_radius",
+            message: format!("must be positive, got {pin_radius}"),
+        });
+    }
+    let sizes: Vec<usize> = partition.blocks.iter().map(|b| b.len()).collect();
+    let counts = block_sample_counts(&sizes, rate);
+    let r_sq = pin_radius * pin_radius;
+    let results = for_each_block_ws(partition.blocks.len(), config.parallel, |b, ws| {
+        let mut selected = Vec::new();
+        let counters = fps_block_task_pinned_into(
+            cloud,
+            &partition.blocks[b].indices,
+            counts[b],
+            r_sq,
+            ws,
+            &mut selected,
+        );
+        (selected, counters)
+    });
+    Ok(assemble_block_fps(results))
+}
+
+/// One block's share of [`block_fps_pinned`]: appends up to `m` samples to
+/// `selected`, stopping early when every candidate is pinned. `r_sq` is the
+/// squared pinning radius.
+pub fn fps_block_task_pinned_into(
+    cloud: &PointCloud,
+    block: &[usize],
+    m: usize,
+    r_sq: f32,
+    ws: &mut Workspace,
+    selected: &mut Vec<usize>,
+) -> OpCounters {
+    let n = block.len();
+    let mut counters = OpCounters::new();
+    if m == 0 || n == 0 {
+        return counters;
+    }
+    let m = m.min(n);
+
+    kernels::gather_coords(
+        cloud.xs(),
+        cloud.ys(),
+        cloud.zs(),
+        block,
+        &mut ws.sx,
+        &mut ws.sy,
+        &mut ws.sz,
+    );
+    let (bx, by, bz) = (&ws.sx[..], &ws.sy[..], &ws.sz[..]);
+    ws.dist.clear();
+    ws.dist.resize(n, f32::INFINITY);
+    let dist = &mut ws.dist[..];
+    selected.reserve(m);
+
+    let mut current = 0usize;
+    selected.push(block[current]);
+    dist[current] = f32::NEG_INFINITY;
+    counters.writes += 1;
+
+    for _ in 1..m {
+        let q = [bx[current], by[current], bz[current]];
+        // One fused scan: relax + pin (<= r²) + argmax.
+        current = kernels::fps_relax_argmax_pin(bx, by, bz, q, r_sq, dist);
+        counters.coord_reads += n as u64;
+        counters.distance_evals += n as u64;
+        counters.comparisons += 3 * n as u64;
+        if dist[current] == f32::NEG_INFINITY {
+            // Every candidate is pinned: the block is fully covered.
+            break;
+        }
+        selected.push(block[current]);
+        dist[current] = f32::NEG_INFINITY;
+        counters.writes += 1;
+    }
+    counters
 }
 
 #[cfg(test)]
@@ -390,6 +652,86 @@ mod tests {
         let (cloud, part) = setup(256, 64, 8);
         assert!(block_fps(&cloud, &part, 0.0, &BppoConfig::default()).is_err());
         assert!(block_fps(&cloud, &part, 1.5, &BppoConfig::default()).is_err());
+    }
+
+    #[test]
+    fn pinned_fps_samples_are_pairwise_farther_than_the_pin_radius() {
+        let (cloud, part) = setup(2048, 256, 11);
+        let radius = 0.35f32;
+        let r = block_fps_pinned(&cloud, &part, 1.0, radius, &BppoConfig::sequential()).unwrap();
+        assert!(!r.indices.is_empty());
+        for samples in &r.per_block {
+            for (i, &a) in samples.iter().enumerate() {
+                for &b in &samples[i + 1..] {
+                    let d = cloud.point(a).distance(cloud.point(b));
+                    assert!(d > radius, "samples {a},{b} only {d} apart (pin radius {radius})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pinned_fps_at_full_rate_covers_every_block_point() {
+        // rate 1.0: blocks stop only when exhausted, so every unselected
+        // point must lie within the pin radius of a selected sample of its
+        // own block.
+        let (cloud, part) = setup(1024, 128, 12);
+        let radius = 0.4f32;
+        let r = block_fps_pinned(&cloud, &part, 1.0, radius, &BppoConfig::sequential()).unwrap();
+        for (b, samples) in r.per_block.iter().enumerate() {
+            for &p in &part.blocks[b].indices {
+                if samples.contains(&p) {
+                    continue;
+                }
+                let covered = samples
+                    .iter()
+                    .any(|&s| cloud.point(p).distance_sq(cloud.point(s)) <= radius * radius);
+                assert!(covered, "point {p} of block {b} is neither selected nor covered");
+            }
+        }
+    }
+
+    #[test]
+    fn pinned_fps_with_tiny_radius_matches_plain_block_fps() {
+        // A radius far below the minimum point spacing never pins anything
+        // beyond the selected samples themselves, so the pinned driver must
+        // reproduce plain block FPS indices exactly.
+        let (cloud, part) = setup(1024, 128, 13);
+        let plain = block_fps(&cloud, &part, 0.25, &BppoConfig::sequential()).unwrap();
+        let pinned =
+            block_fps_pinned(&cloud, &part, 0.25, 1e-12, &BppoConfig::sequential()).unwrap();
+        assert_eq!(pinned.indices, plain.indices);
+        assert_eq!(pinned.per_block, plain.per_block);
+    }
+
+    #[test]
+    fn pinned_fps_is_bit_identical_across_backends_and_scheduling() {
+        use fractalcloud_pointcloud::kernels::{self, Backend};
+        let (cloud, part) = setup(2048, 128, 14);
+        let reference =
+            block_fps_pinned(&cloud, &part, 0.5, 0.3, &BppoConfig::sequential()).unwrap();
+        let par = block_fps_pinned(&cloud, &part, 0.5, 0.3, &BppoConfig::default()).unwrap();
+        assert_eq!(par, reference, "scheduling must not change pinned samples");
+        for backend in Backend::ALL {
+            if !backend.is_available() {
+                continue;
+            }
+            let got = kernels::with_backend(backend, || {
+                block_fps_pinned(&cloud, &part, 0.5, 0.3, &BppoConfig::sequential()).unwrap()
+            });
+            assert_eq!(got, reference, "backend {} diverged", backend.name());
+        }
+    }
+
+    #[test]
+    fn pinned_fps_validates_parameters() {
+        let (cloud, part) = setup(256, 64, 15);
+        let cfg = BppoConfig::default();
+        assert!(block_fps_pinned(&cloud, &part, 0.0, 0.3, &cfg).is_err());
+        assert!(block_fps_pinned(&cloud, &part, 0.25, 0.0, &cfg).is_err());
+        assert!(block_fps_pinned(&cloud, &part, 0.25, -1.0, &cfg).is_err());
+        assert!(block_fps_pinned(&cloud, &part, 0.25, f32::NAN, &cfg).is_err());
+        assert!(block_fps_pinned(&PointCloud::new(), &part, 0.25, 0.3, &cfg).is_err());
     }
 
     #[test]

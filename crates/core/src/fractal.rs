@@ -1,6 +1,7 @@
 //! The Fractal shape-aware partitioner (Alg. 1 of the paper).
 
 use crate::tree::{FractalNode, FractalTree, NodeId};
+use crate::workspace::Workspace;
 use fractalcloud_pointcloud::partition::{Block, Partition, PartitionCost, Partitioner};
 use fractalcloud_pointcloud::{Aabb, Axis, Error, Point3, PointCloud, Result};
 use serde::{Deserialize, Serialize};
@@ -130,13 +131,154 @@ impl Fractal {
 
     /// Runs the fractal build, returning the partition and tree.
     ///
+    /// Scratch (the order buffer, frontier lists and split runs) comes
+    /// from the process-wide workspace pool, so repeated builds reuse
+    /// their intermediate buffers; [`Fractal::build_ws`] takes an explicit
+    /// [`Workspace`] instead. Only the returned partition/tree are
+    /// freshly allocated — they are the cacheable artifact.
+    ///
     /// # Errors
     ///
     /// Returns [`Error::EmptyCloud`] for empty input.
     pub fn build(&self, cloud: &PointCloud) -> Result<FractalResult> {
+        let mut ws = crate::workspace::global_pool().checkout();
+        self.build_ws(cloud, &mut ws)
+    }
+
+    /// [`Fractal::build`] with an explicit scratch [`Workspace`]. On a
+    /// sequential lane (config sequential, or an effective thread budget
+    /// of one) the whole build streams through `ws` — zero heap
+    /// allocation beyond the returned tree/partition once warmed; with
+    /// real parallelism the level-synchronous frontier path runs instead.
+    /// The built tree, blocks, layout and cost counters are bit-identical
+    /// in every mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyCloud`] for empty input.
+    pub fn build_ws(&self, cloud: &PointCloud, ws: &mut Workspace) -> Result<FractalResult> {
         if cloud.is_empty() {
             return Err(Error::EmptyCloud);
         }
+        let workers = fractalcloud_parallel::workers();
+        let use_parallel =
+            self.config.parallel && workers > 1 && fractalcloud_parallel::effective_budget() > 1;
+        if use_parallel {
+            self.build_parallel(cloud)
+        } else {
+            self.build_sequential(cloud, ws)
+        }
+    }
+
+    /// The streaming sequential build: one node at a time, all scratch in
+    /// `ws` (order buffer, frontier lists, split runs). Identical node
+    /// numbering, cost accounting and layout to the parallel frontier
+    /// path — the per-node split is the same stable classification the
+    /// single-chunk parallel traversal performs.
+    fn build_sequential(&self, cloud: &PointCloud, ws: &mut Workspace) -> Result<FractalResult> {
+        let th = self.config.threshold;
+        let mut cost = PartitionCost::default();
+        let build = &mut ws.build;
+
+        // Reused global index buffer: nodes own [start, end) ranges and
+        // splits reorder within their range, so the final buffer is the
+        // DFT layout.
+        build.order.clear();
+        build.order.extend(0..cloud.len());
+
+        let root_aabb = cloud.bounds().expect("non-empty cloud");
+        let mut nodes: Vec<FractalNode> = vec![FractalNode {
+            aabb: root_aabb,
+            count: cloud.len(),
+            depth: 0,
+            parent: None,
+            children: None,
+            split: None,
+            leaf_block: None,
+            range: (0, cloud.len()),
+        }];
+
+        build.active.clear();
+        if cloud.len() > th {
+            build.active.push(0);
+            cost.traversal_passes += 1;
+            cost.traversal_elements += cloud.len() as u64;
+            cost.compare_ops += (cloud.len() * 2) as u64; // min & max update
+        }
+        let mut iterations = 0usize;
+
+        while !build.active.is_empty() {
+            iterations += 1;
+            build.next_active.clear();
+            cost.traversal_passes += 1;
+            for idx in 0..build.active.len() {
+                let nid = build.active[idx];
+                let (start, end) = nodes[nid].range;
+                let depth = nodes[nid].depth;
+                let axis = axis_at(self.config.start_axis, depth);
+                let aabb = nodes[nid].aabb;
+                let outcome = split_node_seq(
+                    cloud,
+                    aabb,
+                    axis,
+                    &mut build.order[start..end],
+                    &mut build.left,
+                    &mut build.right,
+                );
+                cost.traversal_elements += (end - start) as u64;
+                let Some(split) = outcome else {
+                    // All extents zero (duplicated points): forced leaf; its
+                    // block index is assigned in the DFT collection pass.
+                    continue;
+                };
+                cost.compare_ops += (end - start) as u64;
+
+                let lid = nodes.len();
+                nodes.push(FractalNode {
+                    aabb: split.l_aabb,
+                    count: split.l_len,
+                    depth: depth + 1,
+                    parent: Some(nid),
+                    children: None,
+                    split: None,
+                    leaf_block: None,
+                    range: (start, start + split.l_len),
+                });
+                let rid = nodes.len();
+                nodes.push(FractalNode {
+                    aabb: split.r_aabb,
+                    count: (end - start) - split.l_len,
+                    depth: depth + 1,
+                    parent: Some(nid),
+                    children: None,
+                    split: None,
+                    leaf_block: None,
+                    range: (start + split.l_len, end),
+                });
+                nodes[nid].children = Some((lid, rid));
+                nodes[nid].split = Some((split.axis, split.mid));
+
+                for cid in [lid, rid] {
+                    if nodes[cid].count > th && nodes[cid].depth < self.config.max_depth {
+                        build.next_active.push(cid);
+                        // Extrema accumulation for next iteration's midpoint
+                        // happens in the same pass (pipelined): count the
+                        // comparisons but not another traversal.
+                        cost.compare_ops += (nodes[cid].count * 2) as u64;
+                    }
+                }
+            }
+            std::mem::swap(&mut build.active, &mut build.next_active);
+        }
+
+        build.leaves.clear();
+        finish_build(nodes, &build.order, &mut build.leaves, cost, iterations, cloud.len())
+    }
+
+    /// The level-synchronous parallel frontier build (the original
+    /// multi-worker path; scratch is transient here — parallelism already
+    /// trades allocations for cores).
+    fn build_parallel(&self, cloud: &PointCloud) -> Result<FractalResult> {
         let th = self.config.threshold;
         let mut cost = PartitionCost::default();
 
@@ -265,31 +407,98 @@ impl Fractal {
             active = next_active;
         }
 
-        // Collect leaves in DFT order and build blocks.
         let mut leaves: Vec<NodeId> = Vec::new();
-        collect_leaves_dft(&nodes, 0, &mut leaves);
-        let mut blocks = Vec::with_capacity(leaves.len());
-        for (bi, &lid) in leaves.iter().enumerate() {
-            nodes[lid].leaf_block = Some(bi);
-            let (s, e) = nodes[lid].range;
-            blocks.push(Block {
-                indices: order[s..e].to_vec(),
-                aabb: nodes[lid].aabb,
-                depth: nodes[lid].depth,
-                parent_group: Vec::new(),
-            });
-        }
-        let tree = FractalTree::from_parts(nodes, leaves.clone());
-        for (bi, &lid) in leaves.iter().enumerate() {
-            blocks[bi].parent_group = tree.search_space_blocks(lid);
-        }
-
-        let max_depth = tree.max_depth();
-        let partition = Partition { blocks, cost, max_depth, method: "fractal" };
-        debug_assert!(partition.is_exact_partition_of(cloud.len()));
-        debug_assert_eq!(tree.validate(), Ok(()));
-        Ok(FractalResult { partition, tree, iterations })
+        finish_build(nodes, &order, &mut leaves, cost, iterations, cloud.len())
     }
+}
+
+/// Shared tail of both build paths: collect leaves in DFT order (into the
+/// caller's reusable buffer), cut blocks out of the order buffer, build the
+/// tree and partition. Only the returned artifacts allocate.
+fn finish_build(
+    mut nodes: Vec<FractalNode>,
+    order: &[usize],
+    leaves: &mut Vec<NodeId>,
+    cost: PartitionCost,
+    iterations: usize,
+    n: usize,
+) -> Result<FractalResult> {
+    collect_leaves_dft(&nodes, 0, leaves);
+    let mut blocks = Vec::with_capacity(leaves.len());
+    for (bi, &lid) in leaves.iter().enumerate() {
+        nodes[lid].leaf_block = Some(bi);
+        let (s, e) = nodes[lid].range;
+        blocks.push(Block {
+            indices: order[s..e].to_vec(),
+            aabb: nodes[lid].aabb,
+            depth: nodes[lid].depth,
+            parent_group: Vec::new(),
+        });
+    }
+    let tree = FractalTree::from_parts(nodes, leaves.clone());
+    for (bi, &lid) in leaves.iter().enumerate() {
+        blocks[bi].parent_group = tree.search_space_blocks(lid);
+    }
+
+    let max_depth = tree.max_depth();
+    let partition = Partition { blocks, cost, max_depth, method: "fractal" };
+    debug_assert!(partition.is_exact_partition_of(n));
+    debug_assert_eq!(tree.validate(), Ok(()));
+    Ok(FractalResult { partition, tree, iterations })
+}
+
+/// Single-run stable split of one node's index slice, all scratch borrowed
+/// from the caller's workspace (`left`/`right` runs are cleared and
+/// refilled). Exactly the classification the chunked [`split_node`]
+/// performs with one chunk: same stable order, same AABB growth order,
+/// same degenerate-axis handling.
+fn split_node_seq(
+    cloud: &PointCloud,
+    aabb: Aabb,
+    first_axis: Axis,
+    slice: &mut [usize],
+    left: &mut Vec<usize>,
+    right: &mut Vec<usize>,
+) -> Option<NodeSplit> {
+    let mut axis = first_axis;
+    let mut chosen = None;
+    for _ in 0..3 {
+        let mid = aabb.midpoint(axis);
+        let l = count_le(cloud.axis_slice(axis), slice, mid);
+        if l > 0 && l < slice.len() {
+            chosen = Some((axis, mid));
+            break;
+        }
+        axis = axis.next();
+    }
+    let (axis, mid) = chosen?;
+
+    let (xs, ys, zs) = (cloud.xs(), cloud.ys(), cloud.zs());
+    let coords = cloud.axis_slice(axis);
+    left.clear();
+    right.clear();
+    let mut l_aabb: Option<Aabb> = None;
+    let mut r_aabb: Option<Aabb> = None;
+    for &i in slice.iter() {
+        let p = Point3::new(xs[i], ys[i], zs[i]);
+        if coords[i] <= mid {
+            left.push(i);
+            grow(&mut l_aabb, p);
+        } else {
+            right.push(i);
+            grow(&mut r_aabb, p);
+        }
+    }
+    slice[..left.len()].copy_from_slice(left);
+    slice[left.len()..].copy_from_slice(right);
+
+    Some(NodeSplit {
+        axis,
+        mid,
+        l_len: left.len(),
+        l_aabb: l_aabb.expect("left non-empty by axis choice"),
+        r_aabb: r_aabb.expect("right non-empty by axis choice"),
+    })
 }
 
 impl Partitioner for Fractal {

@@ -15,7 +15,12 @@
 //! * [`Pipeline`] — a validated, reusable partition + BPPO pipeline (the
 //!   seam the `fractalcloud-serve` request engine is built on);
 //! * [`WindowCheck`] — the RSPU redundancy-skipping mask (Fig. 11(c));
-//! * [`quality`] — accuracy-proxy evaluation of block vs global pipelines.
+//! * [`quality`] — accuracy-proxy evaluation of block vs global pipelines;
+//! * [`workspace`] — reusable scratch arenas ([`Workspace`], [`workspace::Pool`])
+//!   threaded through the build and BPPO hot paths so a warmed pipeline
+//!   performs no per-frame heap allocation (the software analogue of the
+//!   paper's on-chip block residency; `FRACTALCLOUD_WORKSPACE=fresh|reuse`
+//!   A/Bs the two paths).
 //!
 //! # Example: partition, sample, group
 //!
@@ -43,12 +48,15 @@ mod pipeline;
 pub mod quality;
 mod tree;
 mod window;
+pub mod workspace;
 
 pub use bppo::interpolation::BlockInterpolationResult;
 pub use bppo::{
-    assemble_block_fps, assemble_block_neighbors, ball_query_block_task, block_ball_query,
-    block_fps, block_fps_with_counts, block_gather, block_interpolate, block_sample_counts,
-    equal_sample_counts, fps_block_task, BlockFpsResult, BlockGatherResult, BlockNeighborResult,
+    assemble_block_fps, assemble_block_neighbors, ball_query_block_task,
+    ball_query_block_task_into, ball_query_block_task_ws, block_ball_query, block_ball_query_into,
+    block_fps, block_fps_pinned, block_fps_with_counts, block_fps_with_counts_into, block_gather,
+    block_interpolate, block_sample_counts, equal_sample_counts, fps_block_task,
+    fps_block_task_into, fps_block_task_ws, BlockFpsResult, BlockGatherResult, BlockNeighborResult,
     BlockNeighborTask, BppoConfig, GatherLocality, ReuseStats,
 };
 pub use fractal::{Fractal, FractalConfig, FractalResult};
@@ -56,3 +64,4 @@ pub use pipeline::{fnv1a64, Pipeline, PipelineConfig, PipelineOutput, FNV1A64_SE
 pub use quality::{evaluate_quality, QualityConfig, QualityReport};
 pub use tree::{FractalNode, FractalTree, NodeId};
 pub use window::WindowCheck;
+pub use workspace::Workspace;

@@ -17,11 +17,13 @@
 //! make).
 
 use crate::bppo::{
-    assemble_block_fps, assemble_block_neighbors, ball_query_block_task, block_ball_query,
-    block_fps, block_sample_counts, fps_block_task, BlockFpsResult, BlockNeighborResult,
-    BlockNeighborTask, BppoConfig,
+    assemble_block_fps, assemble_block_neighbors, ball_query_block_task, ball_query_block_task_ws,
+    block_ball_query_into, block_fps_with_counts_into, block_sample_counts,
+    block_sample_counts_into, fps_block_task, fps_block_task_ws, BlockFpsResult,
+    BlockNeighborResult, BlockNeighborTask, BppoConfig,
 };
 use crate::fractal::{Fractal, FractalConfig, FractalResult};
+use crate::workspace::{global_pool, Workspace};
 use fractalcloud_pointcloud::ops::OpCounters;
 use fractalcloud_pointcloud::{Error, PointCloud, Result};
 use serde::{Deserialize, Serialize};
@@ -134,7 +136,11 @@ impl Default for PipelineConfig {
 
 /// Everything one pipeline run produces: block-FPS samples and their
 /// ball-query groups.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `Default` constructs an empty output — the staging form serving layers
+/// pool and refill with [`Pipeline::run_with_partition_into`], whose
+/// buffers keep their capacity across frames.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PipelineOutput {
     /// Block-wise sampling result (Alg. 2 rows 2–3).
     pub sampled: BlockFpsResult,
@@ -189,11 +195,27 @@ impl Pipeline {
     ///
     /// Returns [`Error::EmptyCloud`] for an empty cloud.
     pub fn partition(&self, cloud: &PointCloud, parallel: bool) -> Result<FractalResult> {
+        let mut ws = global_pool().checkout();
+        self.partition_ws(cloud, parallel, &mut ws)
+    }
+
+    /// [`Pipeline::partition`] with an explicit scratch [`Workspace`]
+    /// (see [`Fractal::build_ws`]); results are bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyCloud`] for an empty cloud.
+    pub fn partition_ws(
+        &self,
+        cloud: &PointCloud,
+        parallel: bool,
+        ws: &mut Workspace,
+    ) -> Result<FractalResult> {
         let mut fc = FractalConfig::new(self.config.threshold);
         if !parallel {
             fc = fc.sequential();
         }
-        Fractal::new(fc).build(cloud)
+        Fractal::new(fc).build_ws(cloud, ws)
     }
 
     /// Runs the full pipeline: partition, block FPS, block ball query.
@@ -223,17 +245,62 @@ impl Pipeline {
         built: &FractalResult,
         parallel: bool,
     ) -> Result<PipelineOutput> {
+        let mut ws = global_pool().checkout();
+        let mut out = PipelineOutput::default();
+        self.run_with_partition_into(cloud, built, parallel, &mut ws, &mut out)?;
+        Ok(out)
+    }
+
+    /// The allocation-free form of [`Pipeline::run_with_partition`]: all
+    /// scratch lives in `ws` and the result refills `out` in place (its
+    /// buffers — including the per-block sample rows — keep their capacity
+    /// across frames). A warmed `(ws, out)` pair processes a frame with
+    /// zero heap allocation on a sequential lane; output is bit-identical
+    /// to a fresh allocation for any prior state of either buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyCloud`] for an empty cloud (parameter errors
+    /// were ruled out at construction).
+    pub fn run_with_partition_into(
+        &self,
+        cloud: &PointCloud,
+        built: &FractalResult,
+        parallel: bool,
+        ws: &mut Workspace,
+        out: &mut PipelineOutput,
+    ) -> Result<()> {
         let bppo = if parallel { BppoConfig::default() } else { BppoConfig::sequential() };
-        let sampled = block_fps(cloud, &built.partition, self.config.sample_rate, &bppo)?;
-        let grouped = block_ball_query(
+        // Per-block sample counts, staged in the workspace.
+        ws.sizes.clear();
+        ws.sizes.extend(built.partition.blocks.iter().map(|b| b.len()));
+        block_sample_counts_into(&ws.sizes, self.config.sample_rate, &mut ws.counts, &mut ws.rems);
+        // Move the counts out for the duration of the sampling call (the
+        // sampler needs the whole workspace mutably); moved back after.
+        let counts = std::mem::take(&mut ws.counts);
+        let sampled = block_fps_with_counts_into(
+            cloud,
+            &built.partition,
+            &counts,
+            &bppo,
+            ws,
+            &mut out.sampled,
+        );
+        ws.counts = counts;
+        sampled?;
+        let PipelineOutput { sampled, grouped, blocks } = out;
+        block_ball_query_into(
             cloud,
             &built.partition,
             &sampled.per_block,
             self.config.radius,
             self.config.neighbors,
             &bppo,
+            ws,
+            grouped,
         )?;
-        Ok(PipelineOutput { sampled, grouped, blocks: built.partition.blocks.len() })
+        *blocks = built.partition.blocks.len();
+        Ok(())
     }
 
     // --- Block-task decomposition seam -----------------------------------
@@ -269,6 +336,19 @@ impl Pipeline {
         fps_block_task(cloud, &built.partition.blocks[block].indices, count, true)
     }
 
+    /// [`Pipeline::sample_block`] on a caller-provided [`Workspace`] — the
+    /// form cross-frame batching layers use with per-lane workspaces.
+    pub fn sample_block_ws(
+        &self,
+        cloud: &PointCloud,
+        built: &FractalResult,
+        block: usize,
+        count: usize,
+        ws: &mut Workspace,
+    ) -> (Vec<usize>, OpCounters) {
+        fps_block_task_ws(cloud, &built.partition.blocks[block].indices, count, true, ws)
+    }
+
     /// The ball-query task of one block: groups `centers` (block `block`'s
     /// sampled points) against the block's parent search space.
     pub fn group_block(
@@ -286,6 +366,28 @@ impl Pipeline {
             self.config.radius,
             self.config.neighbors,
             true,
+        )
+    }
+
+    /// [`Pipeline::group_block`] on a caller-provided [`Workspace`] — the
+    /// form cross-frame batching layers use with per-lane workspaces.
+    pub fn group_block_ws(
+        &self,
+        cloud: &PointCloud,
+        built: &FractalResult,
+        block: usize,
+        centers: &[usize],
+        ws: &mut Workspace,
+    ) -> BlockNeighborTask {
+        ball_query_block_task_ws(
+            cloud,
+            &built.partition,
+            block,
+            centers,
+            self.config.radius,
+            self.config.neighbors,
+            true,
+            ws,
         )
     }
 
@@ -310,6 +412,7 @@ impl Pipeline {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bppo::{block_ball_query, block_fps};
     use fractalcloud_pointcloud::generate::{scene_cloud, SceneConfig};
 
     #[test]

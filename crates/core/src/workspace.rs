@@ -1,0 +1,244 @@
+//! Reusable scratch arenas for the partition + BPPO hot paths.
+//!
+//! FractalCloud's hardware keeps a block's data resident on-chip and
+//! touches DRAM once per block; the software analogue of that discipline is
+//! to stop asking the heap for fresh intermediate buffers on every block of
+//! every frame. A [`Workspace`] owns every scratch buffer the hot paths
+//! need — the gathered block SoA coordinates, the FPS running-distance
+//! array, candidate/query staging, the batched-selection scratch
+//! ([`SelectScratch`]), sample-count scratch, and the Fractal build's
+//! order/frontier buffers — and the `*_into` / `*_ws` entry points across
+//! `fractal`, `bppo` and `pipeline` reuse them across blocks *and* across
+//! frames.
+//!
+//! # Ownership rules
+//!
+//! * A `Workspace` is exclusive (`&mut`) for the duration of one operation;
+//!   nothing in it survives as a result — every operation fully resets the
+//!   portions it reads, so a *dirty* workspace is bit-identical to a fresh
+//!   one (property-tested in `tests/workspace_reuse.rs`).
+//! * Parallel fan-outs never share scratch: per-lane workspaces are handed
+//!   out by [`fractalcloud_parallel::parallel_map_budget_with`], which
+//!   calls the checkout hook once per execution lane (scoped threads each
+//!   get their own).
+//! * The no-workspace entry points (`block_fps`, `Fractal::build`,
+//!   `Pipeline::run_with_partition`, …) are thin wrappers that check a
+//!   workspace out of the process-wide [`global_pool`] — so even legacy
+//!   callers reuse scratch across calls, and results are bit-identical by
+//!   shared code.
+//!
+//! # Pooling
+//!
+//! [`Pool`] is a trivial free-list: `checkout` pops a recycled value (or
+//! creates a `Default` one), the returned [`PoolGuard`] hands it back on
+//! drop. Steady state, the pool holds as many workspaces as the maximum
+//! number of concurrent lanes ever observed, and checkout is one
+//! uncontended mutex pop — no allocation.
+//!
+//! # `FRACTALCLOUD_WORKSPACE`
+//!
+//! Setting `FRACTALCLOUD_WORKSPACE=fresh` disables recycling: every
+//! checkout constructs a brand-new value and drops it afterwards. This is
+//! the A/B switch CI uses to prove reuse changes nothing but allocation
+//! traffic (`reuse`, the default, names the recycling mode explicitly).
+
+use fractalcloud_pointcloud::kernels::SelectScratch;
+use std::sync::{Mutex, OnceLock};
+
+/// Scratch-buffer arena for one execution lane of the partition + BPPO
+/// pipeline. See the [module docs](self) for ownership rules.
+///
+/// All fields are growable buffers that retain capacity across uses; the
+/// struct is cheap to create (no allocation until first use) and carries no
+/// results between operations.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// Gathered SoA x coordinates of the current block / candidate set.
+    pub(crate) sx: Vec<f32>,
+    /// Gathered SoA y coordinates.
+    pub(crate) sy: Vec<f32>,
+    /// Gathered SoA z coordinates.
+    pub(crate) sz: Vec<f32>,
+    /// FPS running nearest-sample distances (one entry per block point).
+    pub(crate) dist: Vec<f32>,
+    /// Flattened candidate indices of a search space.
+    pub(crate) candidates: Vec<usize>,
+    /// Query coordinates staged for batched selection.
+    pub(crate) queries: Vec<[f32; 3]>,
+    /// Batched-selection scratch: top-k heaps, distance tiles, hit lists.
+    pub(crate) select: SelectScratch,
+    /// Block sizes staged for sample-count allocation.
+    pub(crate) sizes: Vec<usize>,
+    /// Per-block sample counts.
+    pub(crate) counts: Vec<usize>,
+    /// Largest-remainder scratch of the sample-count allocation.
+    pub(crate) rems: Vec<(f64, usize)>,
+    /// Sorted own-block membership scratch (gather locality).
+    pub(crate) own: Vec<usize>,
+    /// Sorted search-space membership scratch (gather locality).
+    pub(crate) space: Vec<usize>,
+    /// Fractal build scratch (order buffer, frontier lists, split runs).
+    pub(crate) build: BuildScratch,
+}
+
+impl Workspace {
+    /// An empty workspace; buffers grow on first use and are then reused.
+    pub fn new() -> Workspace {
+        Workspace::default()
+    }
+}
+
+/// Scratch of the sequential Fractal build: the global order buffer whose
+/// final state is the DFT layout, the level-synchronous frontier lists, and
+/// the per-split left/right runs.
+#[derive(Debug, Default)]
+pub(crate) struct BuildScratch {
+    pub order: Vec<usize>,
+    pub active: Vec<usize>,
+    pub next_active: Vec<usize>,
+    pub leaves: Vec<usize>,
+    pub left: Vec<usize>,
+    pub right: Vec<usize>,
+}
+
+/// Whether checked-in values are recycled (`reuse`, default) or discarded
+/// with every checkout constructing fresh (`fresh`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkspaceMode {
+    /// Pooled values are recycled across checkouts (the default).
+    Reuse,
+    /// Every checkout constructs a fresh value; returns are discarded.
+    Fresh,
+}
+
+impl WorkspaceMode {
+    /// The mode's `FRACTALCLOUD_WORKSPACE` name.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkspaceMode::Reuse => "reuse",
+            WorkspaceMode::Fresh => "fresh",
+        }
+    }
+}
+
+/// The process-wide workspace mode: `FRACTALCLOUD_WORKSPACE=fresh` disables
+/// recycling, anything else (including unset) selects [`WorkspaceMode::Reuse`].
+/// Resolved once per process.
+pub fn workspace_mode() -> WorkspaceMode {
+    static MODE: OnceLock<WorkspaceMode> = OnceLock::new();
+    *MODE.get_or_init(|| match std::env::var("FRACTALCLOUD_WORKSPACE") {
+        Ok(v) if v.trim().eq_ignore_ascii_case("fresh") => WorkspaceMode::Fresh,
+        _ => WorkspaceMode::Reuse,
+    })
+}
+
+/// A free-list pool of `Default`-constructible values (workspaces, output
+/// staging buffers). `checkout` pops a recycled value or constructs one;
+/// the guard returns it on drop. Honors [`workspace_mode`]: in `fresh` mode
+/// every checkout constructs and every return discards.
+#[derive(Debug)]
+pub struct Pool<T> {
+    slots: Mutex<Vec<T>>,
+}
+
+impl<T: Default> Pool<T> {
+    /// An empty pool.
+    pub const fn new() -> Pool<T> {
+        Pool { slots: Mutex::new(Vec::new()) }
+    }
+
+    /// Pops a recycled value (or constructs a fresh one); the guard checks
+    /// it back in on drop.
+    pub fn checkout(&self) -> PoolGuard<'_, T> {
+        let value = match workspace_mode() {
+            WorkspaceMode::Reuse => self.slots.lock().expect("pool lock").pop().unwrap_or_default(),
+            WorkspaceMode::Fresh => T::default(),
+        };
+        PoolGuard { pool: self, value: Some(value) }
+    }
+
+    /// Number of values currently checked in (test/diagnostic hook).
+    pub fn idle(&self) -> usize {
+        self.slots.lock().expect("pool lock").len()
+    }
+}
+
+impl<T: Default> Default for Pool<T> {
+    fn default() -> Pool<T> {
+        Pool::new()
+    }
+}
+
+/// Exclusive access to a pooled value; checks it back in on drop (unless
+/// the process runs in `fresh` mode, which discards it).
+#[derive(Debug)]
+pub struct PoolGuard<'a, T: Default> {
+    pool: &'a Pool<T>,
+    value: Option<T>,
+}
+
+impl<T: Default> std::ops::Deref for PoolGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.value.as_ref().expect("pool guard holds a value until drop")
+    }
+}
+
+impl<T: Default> std::ops::DerefMut for PoolGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.value.as_mut().expect("pool guard holds a value until drop")
+    }
+}
+
+impl<T: Default> Drop for PoolGuard<'_, T> {
+    fn drop(&mut self) {
+        if workspace_mode() == WorkspaceMode::Reuse {
+            if let Some(v) = self.value.take() {
+                self.pool.slots.lock().expect("pool lock").push(v);
+            }
+        }
+    }
+}
+
+/// The process-wide [`Workspace`] pool backing the no-workspace entry
+/// points and the per-lane hand-outs of the parallel drivers.
+pub fn global_pool() -> &'static Pool<Workspace> {
+    static POOL: Pool<Workspace> = Pool::new();
+    &POOL
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_recycles_values_in_reuse_mode() {
+        if workspace_mode() != WorkspaceMode::Reuse {
+            return; // suite running under FRACTALCLOUD_WORKSPACE=fresh
+        }
+        let pool: Pool<Vec<u8>> = Pool::new();
+        {
+            let mut v = pool.checkout();
+            v.extend_from_slice(&[1, 2, 3]);
+        }
+        assert_eq!(pool.idle(), 1);
+        let v = pool.checkout();
+        assert_eq!(&*v, &[1, 2, 3], "recycled values keep their (dirty) state");
+        assert_eq!(pool.idle(), 0);
+    }
+
+    #[test]
+    fn global_pool_hands_out_distinct_workspaces() {
+        let a = global_pool().checkout();
+        let b = global_pool().checkout();
+        // Two live guards always hold distinct arenas.
+        assert_ne!(&*a as *const Workspace, &*b as *const Workspace);
+    }
+
+    #[test]
+    fn mode_names_round_trip() {
+        assert_eq!(WorkspaceMode::Reuse.name(), "reuse");
+        assert_eq!(WorkspaceMode::Fresh.name(), "fresh");
+    }
+}

@@ -1,0 +1,195 @@
+//! Workspace-reuse bit-identity: a *dirty* reused [`Workspace`] (and dirty
+//! reused output staging) must produce output bit-identical to fresh
+//! allocation — indices, distances-derived features, `OpCounters`,
+//! critical paths, reuse statistics, everything — on every kernel backend,
+//! for ragged block shapes, and for cache-hit-style repeated runs.
+//!
+//! This is the contract the serving engine's zero-allocation steady state
+//! stands on: scratch arenas carry no results between frames.
+
+use fractalcloud_core::workspace::Workspace;
+use fractalcloud_core::{
+    ball_query_block_task, ball_query_block_task_ws, block_ball_query, block_fps, block_fps_pinned,
+    fps_block_task, fps_block_task_ws, BppoConfig, Fractal, Pipeline, PipelineConfig,
+    PipelineOutput,
+};
+use fractalcloud_pointcloud::kernels::{self, Backend};
+use fractalcloud_pointcloud::{Point3, PointCloud};
+use proptest::prelude::*;
+
+fn arb_cloud(max_n: usize) -> impl Strategy<Value = PointCloud> {
+    proptest::collection::vec((-50.0f32..50.0, -50.0f32..50.0, -20.0f32..20.0), 8..max_n).prop_map(
+        |v| PointCloud::from_points(v.into_iter().map(|(x, y, z)| Point3::new(x, y, z)).collect()),
+    )
+}
+
+/// Runs `f` on every backend available on this host.
+fn on_every_backend(mut f: impl FnMut(Backend)) {
+    for b in Backend::ALL {
+        if b.is_available() {
+            f(b);
+        }
+    }
+}
+
+/// A workspace deliberately left dirty by running unrelated work through
+/// it: different cloud, different threshold, different radii.
+fn dirty_workspace(seed_cloud: &PointCloud) -> Workspace {
+    let mut ws = Workspace::new();
+    let pipe = Pipeline::new(PipelineConfig::new(13, 0.5, 0.9, 3)).unwrap();
+    let built = pipe.partition_ws(seed_cloud, false, &mut ws).unwrap();
+    let mut staging = PipelineOutput::default();
+    pipe.run_with_partition_into(seed_cloud, &built, false, &mut ws, &mut staging).unwrap();
+    ws
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Full pipeline (partition + FPS + ball query) through a dirty
+    /// workspace + dirty output staging equals fresh allocation, on every
+    /// backend, including every counter.
+    #[test]
+    fn dirty_workspace_pipeline_is_bit_identical(
+        (cloud, th) in (arb_cloud(400), 4usize..96),
+        rate in 0.05f64..0.95,
+        radius in 0.2f32..4.0,
+        num in 1usize..12,
+    ) {
+        let seed = PointCloud::from_points(
+            (0..97).map(|i| Point3::new(i as f32 * 0.31, (i % 7) as f32, -(i as f32) * 0.05)).collect(),
+        );
+        let config = PipelineConfig::new(th, rate, radius, num);
+        let pipe = Pipeline::new(config).unwrap();
+        let mut results: Vec<PipelineOutput> = Vec::new();
+        on_every_backend(|backend| {
+            kernels::with_backend(backend, || {
+                // Fresh path: plain entry points (transient pool state).
+                let built = pipe.partition(&cloud, false).unwrap();
+                let fresh = pipe.run_with_partition(&cloud, &built, false).unwrap();
+                // Dirty path: reused workspace + reused (dirty) staging.
+                let mut ws = dirty_workspace(&seed);
+                let built_ws = pipe.partition_ws(&cloud, false, &mut ws).unwrap();
+                assert_eq!(built_ws, built, "dirty-workspace build diverged");
+                let mut staging = PipelineOutput::default();
+                // Dirty the staging with a different frame first.
+                pipe.run_with_partition_into(&seed, &pipe.partition(&seed, false).unwrap(), false, &mut ws, &mut staging).unwrap();
+                pipe.run_with_partition_into(&cloud, &built_ws, false, &mut ws, &mut staging).unwrap();
+                assert_eq!(staging, fresh, "dirty-staging output diverged");
+                results.push(fresh);
+            });
+        });
+        // All backends agree with one another as well.
+        for w in results.windows(2) {
+            prop_assert_eq!(&w[0], &w[1]);
+        }
+    }
+
+    /// Per-block task entry points: the `_ws` forms on a dirty workspace
+    /// equal the no-workspace wrappers, block by block (ragged blocks
+    /// included by construction — Fractal leaves are unevenly sized).
+    #[test]
+    fn dirty_workspace_block_tasks_match_wrappers(
+        (cloud, th) in (arb_cloud(300), 4usize..48),
+        count in 1usize..64,
+        radius in 0.3f32..3.0,
+        num in 1usize..8,
+    ) {
+        let built = Fractal::with_threshold(th).build(&cloud).unwrap();
+        let seed = PointCloud::from_points(
+            (0..61).map(|i| Point3::new(-(i as f32) * 0.7, (i % 5) as f32 * 1.3, 0.2)).collect(),
+        );
+        let mut ws = dirty_workspace(&seed);
+        for b in 0..built.partition.blocks.len() {
+            let block = &built.partition.blocks[b].indices;
+            let plain = fps_block_task(&cloud, block, count, true);
+            let via_ws = fps_block_task_ws(&cloud, block, count, true, &mut ws);
+            prop_assert_eq!(&plain, &via_ws);
+            let centers = &plain.0;
+            let plain_bq =
+                ball_query_block_task(&cloud, &built.partition, b, centers, radius, num, true);
+            let ws_bq = ball_query_block_task_ws(
+                &cloud, &built.partition, b, centers, radius, num, true, &mut ws,
+            );
+            prop_assert_eq!(&plain_bq, &ws_bq);
+        }
+    }
+
+    /// Repeating the same frame through one workspace (the cache-hit serve
+    /// pattern: partition built once, BPPO half re-run) never drifts.
+    #[test]
+    fn repeated_cache_hit_runs_are_stable(
+        (cloud, th) in (arb_cloud(300), 8usize..64),
+    ) {
+        let config = PipelineConfig::new(th, 0.25, 0.6, 8);
+        let pipe = Pipeline::new(config).unwrap();
+        let mut ws = Workspace::new();
+        let built = pipe.partition_ws(&cloud, false, &mut ws).unwrap();
+        let first = pipe.run_with_partition(&cloud, &built, false).unwrap();
+        let mut staging = PipelineOutput::default();
+        for _round in 0..3 {
+            pipe.run_with_partition_into(&cloud, &built, false, &mut ws, &mut staging).unwrap();
+            prop_assert_eq!(&staging, &first);
+        }
+    }
+
+    /// Pinned block FPS through a dirty workspace equals a fresh run on
+    /// every backend (the fused pin-mask kernel shares the workspace SoA
+    /// staging with plain FPS).
+    #[test]
+    fn dirty_workspace_pinned_fps_is_stable(
+        (cloud, th) in (arb_cloud(250), 8usize..64),
+        radius in 0.2f32..2.0,
+    ) {
+        let part = Fractal::with_threshold(th).build(&cloud).unwrap().partition;
+        let fresh = block_fps_pinned(&cloud, &part, 0.5, radius, &BppoConfig::sequential()).unwrap();
+        on_every_backend(|backend| {
+            kernels::with_backend(backend, || {
+                let again =
+                    block_fps_pinned(&cloud, &part, 0.5, radius, &BppoConfig::sequential()).unwrap();
+                if backend == kernels::active_backend() {
+                    assert_eq!(again, fresh);
+                }
+            });
+        });
+        // Plain and pinned runs interleaved through the shared global pool
+        // must not disturb one another.
+        let plain = block_fps(&cloud, &part, 0.5, &BppoConfig::sequential()).unwrap();
+        let pinned2 = block_fps_pinned(&cloud, &part, 0.5, radius, &BppoConfig::sequential()).unwrap();
+        let plain2 = block_fps(&cloud, &part, 0.5, &BppoConfig::sequential()).unwrap();
+        prop_assert_eq!(pinned2, fresh);
+        prop_assert_eq!(plain2, plain);
+    }
+}
+
+/// Deterministic (non-property) check that ball queries through a dirty
+/// workspace handle the empty-centers and single-block edge shapes.
+#[test]
+fn dirty_workspace_handles_edge_shapes() {
+    let cloud = PointCloud::from_points(
+        (0..40).map(|i| Point3::new(i as f32, 0.0, 0.0)).collect::<Vec<_>>(),
+    );
+    let built = Fractal::with_threshold(64).build(&cloud).unwrap(); // single block
+    let seed = PointCloud::from_points(
+        (0..33).map(|i| Point3::new(0.0, i as f32 * 0.5, 1.0)).collect::<Vec<_>>(),
+    );
+    let mut ws = dirty_workspace(&seed);
+    let centers: Vec<Vec<usize>> = vec![Vec::new()]; // no centers at all
+    let fresh =
+        block_ball_query(&cloud, &built.partition, &centers, 0.5, 4, &BppoConfig::sequential())
+            .unwrap();
+    let mut out = Default::default();
+    fractalcloud_core::block_ball_query_into(
+        &cloud,
+        &built.partition,
+        &centers,
+        0.5,
+        4,
+        &BppoConfig::sequential(),
+        &mut ws,
+        &mut out,
+    )
+    .unwrap();
+    assert_eq!(out, fresh);
+    assert!(out.indices.is_empty());
+}

@@ -11,7 +11,11 @@
 //! construction: scheduling affects only wall-clock time.
 //! [`parallel_map_budget`] is the same primitive with an explicit worker
 //! budget, so layers that multiplex many independent requests (the serving
-//! engine) can hand each one a bounded sub-pool.
+//! engine) can hand each one a bounded sub-pool. The `*_with` variants
+//! ([`parallel_map_with`], [`parallel_map_budget_with`]) additionally hand
+//! every execution lane a private scratch value (`make` is called once per
+//! lane) — the hook the workspace layer uses to give each lane a reusable
+//! arena without any cross-thread sharing.
 //!
 //! The worker count is `std::thread::available_parallelism`, overridable
 //! with the `FRACTALCLOUD_THREADS` environment variable (set to `1` to
@@ -91,10 +95,30 @@ where
     T: Send,
     F: Fn(usize, I) -> T + Sync,
 {
+    parallel_map_with(items, parallel, || (), |i, item, ()| f(i, item))
+}
+
+/// [`parallel_map`] with per-lane scratch state: every execution lane calls
+/// `make` exactly once and hands the resulting scratch, by `&mut`, to each
+/// `f` invocation it claims — so scoped worker threads never share scratch
+/// and the scratch is reused across all the items a lane processes.
+///
+/// The inline path (`parallel = false`, or a budget/item count of one)
+/// also calls `make` exactly once, so callers that hand out pooled
+/// workspaces see identical checkout behavior whether or not threads were
+/// spawned. Results are identical to [`parallel_map`] for any `make`.
+pub fn parallel_map_with<I, T, S, M, F>(items: Vec<I>, parallel: bool, make: M, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    M: Fn() -> S + Sync,
+    F: Fn(usize, I, &mut S) -> T + Sync,
+{
     if parallel {
-        parallel_map_budget(items, effective_budget(), f)
+        parallel_map_budget_with(items, effective_budget(), make, f)
     } else {
-        items.into_iter().enumerate().map(|(i, item)| f(i, item)).collect()
+        let mut scratch = make();
+        items.into_iter().enumerate().map(|(i, item)| f(i, item, &mut scratch)).collect()
     }
 }
 
@@ -120,6 +144,27 @@ where
     T: Send,
     F: Fn(usize, I) -> T + Sync,
 {
+    parallel_map_budget_with(items, budget, || (), |i, item, ()| f(i, item))
+}
+
+/// [`parallel_map_budget`] with per-lane scratch state (see
+/// [`parallel_map_with`]): each lane — spawned or inline — calls `make`
+/// once and reuses the scratch across every item it claims. This is how
+/// higher layers hand out one workspace per lane: the budget split decides
+/// how many lanes exist, and each lane's scratch is private to it for the
+/// whole call.
+pub fn parallel_map_budget_with<I, T, S, M, F>(
+    items: Vec<I>,
+    budget: usize,
+    make: M,
+    f: F,
+) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    M: Fn() -> S + Sync,
+    F: Fn(usize, I, &mut S) -> T + Sync,
+{
     let n = items.len();
     let budget = budget.max(1);
     let threads = budget.min(n);
@@ -127,7 +172,8 @@ where
         // A lone item keeps the whole budget; a budget of 1 pins the
         // subtree sequential.
         let _inline = set_budget(if n <= 1 { budget } else { 1 });
-        return items.into_iter().enumerate().map(|(i, item)| f(i, item)).collect();
+        let mut scratch = make();
+        return items.into_iter().enumerate().map(|(i, item)| f(i, item, &mut scratch)).collect();
     }
     // Remainder rule: every lane gets `budget / threads`, and the first
     // `budget % threads` lanes get one extra worker, so the per-lane
@@ -143,12 +189,13 @@ where
     let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
 
     std::thread::scope(|scope| {
-        let (slots, next, f) = (&slots, &next, &f);
+        let (slots, next, make, f) = (&slots, &next, &make, &f);
         let mut handles = Vec::with_capacity(threads);
         for lane in 0..threads {
             let lane_budget = sub_budget + usize::from(lane < extra_lanes);
             handles.push(scope.spawn(move || {
                 let _lane = set_budget(lane_budget);
+                let mut scratch = make();
                 let mut local: Vec<(usize, T)> = Vec::new();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
@@ -157,7 +204,7 @@ where
                     }
                     let item =
                         slots[i].lock().expect("slot lock").take().expect("item claimed once");
-                    local.push((i, f(i, item)));
+                    local.push((i, f(i, item, &mut scratch)));
                 }
                 local
             }));
@@ -269,6 +316,54 @@ mod tests {
         lanes.sort_unstable();
         assert_eq!(lanes, vec![2, 3, 3, 3]);
         assert!(lanes.iter().sum::<usize>() <= 11);
+    }
+
+    #[test]
+    fn scratch_is_per_lane_and_reused_across_items() {
+        use std::collections::BTreeSet;
+        use std::sync::Mutex;
+        // Each lane's scratch accumulates the items it processed; lanes
+        // never observe one another's scratch, and together they cover
+        // every item exactly once.
+        let seen = Mutex::new(Vec::<Vec<usize>>::new());
+        let items: Vec<usize> = (0..97).collect();
+        let out = parallel_map_budget_with(
+            items,
+            4,
+            Vec::<usize>::new,
+            |_, v, scratch: &mut Vec<usize>| {
+                scratch.push(v);
+                (v, scratch.len())
+            },
+        );
+        // Record per-lane progressions: within one lane, the scratch length
+        // strictly increases with each claimed item.
+        let mut by_count: Vec<usize> = out.iter().map(|&(_, c)| c).collect();
+        by_count.sort_unstable();
+        let all: BTreeSet<usize> = out.iter().map(|&(v, _)| v).collect();
+        assert_eq!(all.len(), 97, "every item processed exactly once");
+        assert_eq!(by_count[0], 1, "every lane starts from a fresh scratch");
+        drop(seen);
+    }
+
+    #[test]
+    fn scratch_make_called_once_on_inline_path() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let makes = AtomicUsize::new(0);
+        let out = parallel_map_with(
+            (0..10).collect::<Vec<usize>>(),
+            false,
+            || {
+                makes.fetch_add(1, Ordering::Relaxed);
+                0usize
+            },
+            |_, v, s| {
+                *s += 1;
+                v + *s
+            },
+        );
+        assert_eq!(makes.load(Ordering::Relaxed), 1, "inline path shares one scratch");
+        assert_eq!(out[9], 9 + 10, "scratch persisted across all inline items");
     }
 
     #[test]

@@ -38,10 +38,10 @@
 #![allow(unsafe_code)]
 
 use core::arch::x86_64::{
-    __m256, __m256i, _mm256_add_ps, _mm256_blendv_ps, _mm256_castsi256_ps, _mm256_cmp_ps,
-    _mm256_cmpgt_epi32, _mm256_loadu_ps, _mm256_maskload_ps, _mm256_maskstore_ps, _mm256_max_ps,
-    _mm256_min_ps, _mm256_movemask_ps, _mm256_mul_ps, _mm256_set1_epi32, _mm256_set1_ps,
-    _mm256_setr_epi32, _mm256_storeu_ps, _mm256_sub_ps, _CMP_LE_OQ, _CMP_NGE_UQ,
+    __m256, __m256i, _mm256_add_ps, _mm256_and_ps, _mm256_blendv_ps, _mm256_castsi256_ps,
+    _mm256_cmp_ps, _mm256_cmpgt_epi32, _mm256_loadu_ps, _mm256_maskload_ps, _mm256_maskstore_ps,
+    _mm256_max_ps, _mm256_min_ps, _mm256_movemask_ps, _mm256_mul_ps, _mm256_set1_epi32,
+    _mm256_set1_ps, _mm256_setr_epi32, _mm256_storeu_ps, _mm256_sub_ps, _CMP_LE_OQ, _CMP_NGE_UQ,
 };
 
 use super::CHUNK;
@@ -272,19 +272,231 @@ unsafe fn fps_relax_argmax_impl(
     best
 }
 
-/// AVX2 fused distance + radius-compare chunk; the contract is documented
-/// on the dispatching wrapper in [`kernels`](super) (`ball_chunk_with`).
+/// AVX2 fused relax + pin + argmax; see
+/// [`kernels::fps_relax_argmax_pin`](super::fps_relax_argmax_pin).
+pub fn fps_relax_argmax_pin(
+    xs: &[f32],
+    ys: &[f32],
+    zs: &[f32],
+    q: [f32; 3],
+    r_sq: f32,
+    dist: &mut [f32],
+) -> usize {
+    assert_avx2();
+    // SAFETY: AVX2 availability asserted above; all accesses stay in bounds.
+    unsafe { fps_relax_argmax_pin_impl(xs, ys, zs, q, r_sq, dist) }
+}
+
+/// [`fps_relax_argmax_impl`] widened with the fused pin mask: one
+/// `_CMP_LE_OQ` compare of the fresh distances against `r_sq` selects the
+/// lanes to pin, and a blend forces those lanes of the relaxed vector to
+/// `-∞` before the store and the argmax accumulation — one pass instead of
+/// distance-then-mask. `_CMP_LE_OQ` is ordered, so NaN distances neither
+/// relax (the `min` keeps `cur`) nor pin, exactly like the scalar backend's
+/// `nd <= r_sq`. The argmax selection is unchanged; an all-pinned input
+/// reduces to a `-∞` maximum whose first-chunk rescan lands on index 0,
+/// matching the scalar strict-`>` scan.
+#[target_feature(enable = "avx2")]
+unsafe fn fps_relax_argmax_pin_impl(
+    xs: &[f32],
+    ys: &[f32],
+    zs: &[f32],
+    q: [f32; 3],
+    r_sq: f32,
+    dist: &mut [f32],
+) -> usize {
+    let n = xs.len();
+    let qx = _mm256_set1_ps(q[0]);
+    let qy = _mm256_set1_ps(q[1]);
+    let qz = _mm256_set1_ps(q[2]);
+    let rv = _mm256_set1_ps(r_sq);
+    let neg_inf = _mm256_set1_ps(f32::NEG_INFINITY);
+    let mut cmax = f32::NEG_INFINITY;
+    let mut cmax_chunk_base = 0usize;
+    let mut base = 0usize;
+    while base < n {
+        let end = (base + CHUNK).min(n);
+        let mut acc = _mm256_set1_ps(f32::NEG_INFINITY);
+        let mut i = base;
+        while i + LANES <= end {
+            let x = _mm256_loadu_ps(xs.as_ptr().add(i));
+            let y = _mm256_loadu_ps(ys.as_ptr().add(i));
+            let z = _mm256_loadu_ps(zs.as_ptr().add(i));
+            let nd = dist8(x, y, z, qx, qy, qz);
+            let cur = _mm256_loadu_ps(dist.as_ptr().add(i));
+            // min(nd, cur): keeps `cur` when `nd` is NaN — the relax idiom.
+            let v = _mm256_min_ps(nd, cur);
+            // Pin in the same pass: lanes with nd <= r² go to -∞ (ordered
+            // compare, so NaN lanes never pin).
+            let le = _mm256_cmp_ps::<_CMP_LE_OQ>(nd, rv);
+            let v = _mm256_blendv_ps(v, neg_inf, le);
+            _mm256_storeu_ps(dist.as_mut_ptr().add(i), v);
+            // max(v, acc): NaN `v` never overwrites the accumulator.
+            acc = _mm256_max_ps(v, acc);
+            i += LANES;
+        }
+        // Scalar tail (same code as the SoA backend's remainder loop).
+        let mut cm = f32::NEG_INFINITY;
+        for j in i..end {
+            let dx = xs[j] - q[0];
+            let dy = ys[j] - q[1];
+            let dz = zs[j] - q[2];
+            let nd = dx * dx + dy * dy + dz * dz;
+            let cur = dist[j];
+            let v = if nd < cur { nd } else { cur };
+            let v = if nd <= r_sq { f32::NEG_INFINITY } else { v };
+            dist[j] = v;
+            cm = if v > cm { v } else { cm };
+        }
+        // Horizontal fold of the lane maxima (never NaN, see above).
+        let mut lanes = [0.0f32; LANES];
+        _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+        for &m in &lanes {
+            cm = if m > cm { m } else { cm };
+        }
+        if cm > cmax {
+            cmax = cm;
+            cmax_chunk_base = base;
+        }
+        base = end;
+    }
+    let mut best = cmax_chunk_base;
+    while dist[best] != cmax {
+        best += 1;
+    }
+    best
+}
+
+/// AVX2 tiled ball scan: each 8-lane coordinate group is loaded once and
+/// scored against every query of the tile while it sits in registers —
+/// the same batching that makes `knn_prefilter_tile` pay — with the fused
+/// `<= r²` hit compare, the `< thr` acceptance prefilter, and the
+/// per-query chunk-minimum tracking all in the same pass. See the
+/// dispatching `ball_prefilter_tile` call site in [`kernels`](super) for
+/// the contract.
+#[allow(clippy::too_many_arguments)]
+pub fn ball_prefilter_tile(
+    xs: &[f32],
+    ys: &[f32],
+    zs: &[f32],
+    queries: &[[f32; 3]],
+    r_sq: f32,
+    thresholds: &[f32],
+    out: &mut [f32],
+    masks: &mut [u64],
+    mins: &mut [f32],
+) {
+    assert_avx2();
+    // SAFETY: AVX2 availability asserted above; all accesses stay in bounds
+    // (row `qi` spans `qi * CHUNK .. qi * CHUNK + len`, checked below).
+    unsafe { ball_prefilter_tile_impl(xs, ys, zs, queries, r_sq, thresholds, out, masks, mins) }
+}
+
+/// Per query this computes exactly what [`ball_chunk_impl`] computes — the
+/// same distance expression, the same ordered compares, the same NaN-free
+/// vector minimum fold and first-occurrence rescan — so results are
+/// bit-identical to the one-query-at-a-time formulation; only the loop
+/// nest differs (coordinates loaded once per 8-lane group for the whole
+/// tile).
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn ball_prefilter_tile_impl(
+    xs: &[f32],
+    ys: &[f32],
+    zs: &[f32],
+    queries: &[[f32; 3]],
+    r_sq: f32,
+    thresholds: &[f32],
+    out: &mut [f32],
+    masks: &mut [u64],
+    mins: &mut [f32],
+) {
+    let len = xs.len();
+    assert!(len <= CHUNK, "tile rows are strided by CHUNK");
+    assert!(queries.is_empty() || out.len() >= (queries.len() - 1) * CHUNK + len, "out too small");
+    assert!(thresholds.len() >= queries.len());
+    assert!(masks.len() >= queries.len() && mins.len() >= queries.len());
+    assert!(queries.len() <= super::QUERY_TILE, "tile wider than QUERY_TILE");
+    let rv = _mm256_set1_ps(r_sq);
+    let inf = _mm256_set1_ps(f32::INFINITY);
+    masks[..queries.len()].fill(0);
+    let mut vmins = [inf; super::QUERY_TILE];
+    let mut i = 0;
+    while i + LANES <= len {
+        let x = _mm256_loadu_ps(xs.as_ptr().add(i));
+        let y = _mm256_loadu_ps(ys.as_ptr().add(i));
+        let z = _mm256_loadu_ps(zs.as_ptr().add(i));
+        for (qi, q) in queries.iter().enumerate() {
+            let nd =
+                dist8(x, y, z, _mm256_set1_ps(q[0]), _mm256_set1_ps(q[1]), _mm256_set1_ps(q[2]));
+            _mm256_storeu_ps(out.as_mut_ptr().add(qi * CHUNK + i), nd);
+            // Ordered, non-signaling compares: NaN lanes never hit.
+            let le = _mm256_cmp_ps::<_CMP_LE_OQ>(nd, rv);
+            // Unordered-true `!(d >= thr)`: the NaN filling sentinel keeps
+            // every in-radius lane (+inf distances included), matching the
+            // scalar backend bit for bit.
+            let lt = _mm256_cmp_ps::<_CMP_NGE_UQ>(nd, _mm256_set1_ps(thresholds[qi]));
+            let keep = _mm256_and_ps(le, lt);
+            masks[qi] |= u64::from(_mm256_movemask_ps(keep) as u8) << i;
+            vmins[qi] = _mm256_min_ps(nd, vmins[qi]);
+        }
+        i += LANES;
+    }
+    let rem = len - i;
+    if rem > 0 {
+        let m = tail_mask(rem);
+        let x = _mm256_maskload_ps(xs.as_ptr().add(i), m);
+        let y = _mm256_maskload_ps(ys.as_ptr().add(i), m);
+        let z = _mm256_maskload_ps(zs.as_ptr().add(i), m);
+        for (qi, q) in queries.iter().enumerate() {
+            let nd =
+                dist8(x, y, z, _mm256_set1_ps(q[0]), _mm256_set1_ps(q[1]), _mm256_set1_ps(q[2]));
+            _mm256_maskstore_ps(out.as_mut_ptr().add(qi * CHUNK + i), m, nd);
+            let le = _mm256_cmp_ps::<_CMP_LE_OQ>(nd, rv);
+            let lt = _mm256_cmp_ps::<_CMP_NGE_UQ>(nd, _mm256_set1_ps(thresholds[qi]));
+            let keep = _mm256_and_ps(le, lt);
+            let bits = (_mm256_movemask_ps(keep) as u32) & ((1u32 << rem) - 1);
+            masks[qi] |= u64::from(bits) << i;
+            // Inactive lanes hold distances of zeroed loads; blend them to
+            // +inf so they cannot influence the minimum.
+            let ndm = _mm256_blendv_ps(inf, nd, _mm256_castsi256_ps(m));
+            vmins[qi] = _mm256_min_ps(ndm, vmins[qi]);
+        }
+    }
+    // NaN-free horizontal min per query (NaN lanes never entered `vmins`);
+    // the first-occurrence lane is located lazily by the caller, and only
+    // when the chunk actually improves the running nearest.
+    for (qi, _) in queries.iter().enumerate() {
+        let mut lanes = [0.0f32; LANES];
+        _mm256_storeu_ps(lanes.as_mut_ptr(), vmins[qi]);
+        let mut min = f32::INFINITY;
+        for &v in &lanes {
+            if v < min {
+                min = v;
+            }
+        }
+        mins[qi] = min;
+    }
+}
+
+/// AVX2 fused distance + radius-compare + acceptance-prefilter chunk; the
+/// contract is documented on the dispatching wrapper in [`kernels`](super)
+/// (`ball_chunk_with`). The extra `_CMP_LT_OQ` against the acceptance
+/// threshold folds the selection buffer's reject test into the same
+/// vector pass, so converged queries discard whole chunks without a
+/// single branchy-insertion iteration.
 pub fn ball_chunk(
     xs: &[f32],
     ys: &[f32],
     zs: &[f32],
     q: [f32; 3],
     r_sq: f32,
+    thr: f32,
     out: &mut [f32],
 ) -> (u64, f32, u32) {
     assert_avx2();
     // SAFETY: AVX2 availability asserted above; all accesses stay in bounds.
-    unsafe { ball_chunk_impl(xs, ys, zs, q, r_sq, out) }
+    unsafe { ball_chunk_impl(xs, ys, zs, q, r_sq, thr, out) }
 }
 
 #[target_feature(enable = "avx2")]
@@ -294,6 +506,7 @@ unsafe fn ball_chunk_impl(
     zs: &[f32],
     q: [f32; 3],
     r_sq: f32,
+    thr: f32,
     out: &mut [f32],
 ) -> (u64, f32, u32) {
     let len = xs.len();
@@ -302,6 +515,7 @@ unsafe fn ball_chunk_impl(
     let qy = _mm256_set1_ps(q[1]);
     let qz = _mm256_set1_ps(q[2]);
     let rv = _mm256_set1_ps(r_sq);
+    let tv = _mm256_set1_ps(thr);
     let inf = _mm256_set1_ps(f32::INFINITY);
     let mut mask = 0u64;
     let mut vmin = inf;
@@ -312,9 +526,11 @@ unsafe fn ball_chunk_impl(
         let z = _mm256_loadu_ps(zs.as_ptr().add(i));
         let nd = dist8(x, y, z, qx, qy, qz);
         _mm256_storeu_ps(out.as_mut_ptr().add(i), nd);
-        // Ordered, non-signaling `<=`: NaN lanes never hit.
+        // Ordered, non-signaling compares: NaN lanes never hit either test.
         let le = _mm256_cmp_ps::<_CMP_LE_OQ>(nd, rv);
-        mask |= u64::from(_mm256_movemask_ps(le) as u8) << i;
+        let lt = _mm256_cmp_ps::<_CMP_NGE_UQ>(nd, tv);
+        let keep = _mm256_and_ps(le, lt);
+        mask |= u64::from(_mm256_movemask_ps(keep) as u8) << i;
         vmin = _mm256_min_ps(nd, vmin);
         i += LANES;
     }
@@ -327,7 +543,9 @@ unsafe fn ball_chunk_impl(
         let nd = dist8(x, y, z, qx, qy, qz);
         _mm256_maskstore_ps(out.as_mut_ptr().add(i), m, nd);
         let le = _mm256_cmp_ps::<_CMP_LE_OQ>(nd, rv);
-        let bits = (_mm256_movemask_ps(le) as u32) & ((1u32 << rem) - 1);
+        let lt = _mm256_cmp_ps::<_CMP_NGE_UQ>(nd, tv);
+        let keep = _mm256_and_ps(le, lt);
+        let bits = (_mm256_movemask_ps(keep) as u32) & ((1u32 << rem) - 1);
         mask |= u64::from(bits) << i;
         // Inactive lanes hold garbage distances of zeroed loads; blend them
         // to +inf so they cannot influence the minimum.

@@ -74,6 +74,19 @@
 //! gather the subset into local SoA buffers with [`gather_coords`] — the
 //! software analogue of loading a block into SRAM once and reusing it for
 //! every query (§V-C intra-block reuse).
+//!
+//! # Caller-provided scratch (`*_into` variants)
+//!
+//! Every kernel that needs intermediate buffers has a form that writes into
+//! caller-provided storage instead of allocating: [`distances_sq`] has
+//! always taken its output slice, [`gather_coords`] reuses the caller's SoA
+//! vectors, and the batched selection drivers come as
+//! [`knn_select_batch_into`] / [`ball_select_batch_into`], which keep their
+//! top-k heaps, distance tiles and hit lists inside a caller-owned
+//! [`SelectScratch`]. A warmed scratch makes the drivers allocation-free;
+//! the no-scratch entry points are thin wrappers that allocate a transient
+//! [`SelectScratch`], so both paths run the same code and return bit-equal
+//! results.
 
 #[cfg(target_arch = "x86_64")]
 mod avx2;
@@ -308,12 +321,76 @@ pub fn fps_relax_argmax_with(
     dispatch!(backend, fps_relax_argmax(xs, ys, zs, q, dist))
 }
 
-/// Fused distance + radius-compare pass over one chunk (`len ≤ 64`):
-/// distances are written to `out`, the returned `u64` has bit `j` set when
-/// `out[j] <= r_sq` (NaN distances never hit), and the returned pair is the
-/// chunk minimum with the lane of its first occurrence (`(f32::INFINITY,
+/// One *ball-pinned* FPS iteration, fused: like [`fps_relax_argmax`], but
+/// every candidate whose distance to the newest sample `q` is `<= r_sq` is
+/// *pinned* — its running distance is set to `f32::NEG_INFINITY` in the
+/// same pass, so it can never be selected again. One fused scan replaces
+/// the distance-then-mask two-pass formulation, on the active backend.
+///
+/// Pinning is monotone: an already-pinned entry stays pinned (`min` against
+/// `-∞` keeps `-∞`, and a fresh in-radius hit re-pins it). NaN distances
+/// neither relax nor pin, exactly as in [`fps_relax_argmax`]. The returned
+/// index is the first maximum of the post-pin distances; when *every*
+/// candidate is pinned the maximum is `-∞` and index 0 is returned — the
+/// caller detects exhaustion by checking `dist[best].is_finite()` (or
+/// `== f32::NEG_INFINITY`), which all backends report identically.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ, `dist.len() != xs.len()`, or the
+/// candidate set is empty.
+pub fn fps_relax_argmax_pin(
+    xs: &[f32],
+    ys: &[f32],
+    zs: &[f32],
+    q: [f32; 3],
+    r_sq: f32,
+    dist: &mut [f32],
+) -> usize {
+    fps_relax_argmax_pin_with(active_backend(), xs, ys, zs, q, r_sq, dist)
+}
+
+/// [`fps_relax_argmax_pin`] on an explicit backend (unavailable backends
+/// fall back to [`Backend::Soa`]).
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ, `dist.len() != xs.len()`, or the
+/// candidate set is empty.
+pub fn fps_relax_argmax_pin_with(
+    backend: Backend,
+    xs: &[f32],
+    ys: &[f32],
+    zs: &[f32],
+    q: [f32; 3],
+    r_sq: f32,
+    dist: &mut [f32],
+) -> usize {
+    assert_soa(xs, ys, zs);
+    assert_eq!(dist.len(), xs.len(), "dist length mismatch");
+    assert!(!xs.is_empty(), "fps_relax_argmax_pin needs at least one candidate");
+    dispatch!(backend, fps_relax_argmax_pin(xs, ys, zs, q, r_sq, dist))
+}
+
+/// Fused distance + radius-compare + acceptance-prefilter pass over one
+/// chunk (`len ≤ 64`): distances are written to `out`, the returned `u64`
+/// has bit `j` set when `out[j] <= r_sq` **and** `out[j] < thr` (NaN
+/// distances never hit), and the returned pair is the chunk minimum over
+/// *all* lanes with the lane of its first occurrence (`(f32::INFINITY,
 /// u32::MAX)` when no distance is strictly below `+∞`, matching the
-/// reference's strict `d < nearest` update).
+/// reference's strict `d < nearest` update — the nearest tracking ignores
+/// the threshold so the empty-ball fallback is unchanged).
+///
+/// `thr` is the selection buffer's acceptance threshold at chunk start:
+/// NaN while the buffer is filling (`!(d >= NaN)` keeps every in-radius
+/// lane, `+∞` distances included), the current worst kept distance once it
+/// is full. The threshold only
+/// tightens as survivors insert, so lanes it drops could never be
+/// accepted — the surviving set reaching the branchy insertion is exactly
+/// the set the unfiltered scan would have accepted, one fused vector
+/// compare earlier.
+#[cfg_attr(not(test), allow(dead_code))] // the driver runs the tiled form; tests pin this one
+#[allow(clippy::too_many_arguments)]
 fn ball_chunk_with(
     backend: Backend,
     xs: &[f32],
@@ -321,10 +398,11 @@ fn ball_chunk_with(
     zs: &[f32],
     q: [f32; 3],
     r_sq: f32,
+    thr: f32,
     out: &mut [f32],
 ) -> (u64, f32, u32) {
     debug_assert!(xs.len() <= 64, "ball_chunk mask is 64 lanes wide");
-    dispatch!(backend, ball_chunk(xs, ys, zs, q, r_sq, out))
+    dispatch!(backend, ball_chunk(xs, ys, zs, q, r_sq, thr, out))
 }
 
 /// Gathers the coordinates at `indices` into local SoA buffers (cleared
@@ -381,6 +459,24 @@ pub struct TopK {
 /// Prefilter sub-chunk width of [`TopK::select_offset`]'s second phase.
 const PREFILTER: usize = 64;
 
+/// Sorted-insertion position for `d` in an ascending buffer: the first
+/// index after every entry `<= d`. A backward linear scan, used by the
+/// ball driver's hit insertion where it measures faster than
+/// `partition_point`'s mispredicting halving (small buffers, dense
+/// accepted-hit streams); `TopK` keeps the binary search, which measures
+/// better on its sparser insert pattern. The `!(bd <= d)` form (not
+/// `bd > d`) makes a NaN `d` walk to position 0, exactly where
+/// `partition_point(bd <= d)` puts it.
+#[inline]
+fn sorted_insert_pos(buf: &[(f32, usize)], d: f32) -> usize {
+    let mut pos = buf.len();
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    while pos > 0 && !(buf[pos - 1].0 <= d) {
+        pos -= 1;
+    }
+    pos
+}
+
 impl TopK {
     /// A buffer selecting the `k` smallest distances.
     ///
@@ -395,6 +491,22 @@ impl TopK {
     /// Clears the buffer for reuse with the next query.
     pub fn clear(&mut self) {
         self.buf.clear();
+    }
+
+    /// Clears the buffer *and* retargets it to select `k` smallest — the
+    /// reuse form of [`TopK::new`] for pooled scratch, reallocating only
+    /// when `k` grows past the retained capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn reset(&mut self, k: usize) {
+        assert!(k > 0, "k must be at least 1");
+        self.buf.clear();
+        // `reserve` is relative to the (now zero) length, so this asks for
+        // the full k + 1 slots, not the shortfall past the old capacity.
+        self.buf.reserve(k + 1);
+        self.k = k;
     }
 
     /// Scans `distances`, keeping the `k` nearest `(distance, index)` pairs;
@@ -523,6 +635,31 @@ impl TopK {
     }
 }
 
+/// Reusable scratch for the batched selection drivers: per-tile top-k
+/// heaps, the tile's distance rows, and the ball drivers' hit lists.
+///
+/// One warmed `SelectScratch` makes [`knn_select_batch_into`] and
+/// [`ball_select_batch_into`] allocation-free in steady state (buffers only
+/// grow when `k`/`num`/the tile width grow past anything seen before). A
+/// scratch carries no results between calls — every driver fully resets the
+/// portions it uses — so reusing a "dirty" scratch is bit-identical to a
+/// fresh one, and the same scratch can serve KNN and ball queries
+/// interchangeably.
+#[derive(Debug, Default)]
+pub struct SelectScratch {
+    topks: Vec<TopK>,
+    dbuf: Vec<f32>,
+    bests: Vec<Vec<(f32, usize)>>,
+    nearests: Vec<(f32, usize)>,
+}
+
+impl SelectScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> SelectScratch {
+        SelectScratch::default()
+    }
+}
+
 /// Batched KNN selection on the active backend; see
 /// [`knn_select_batch_with`].
 pub fn knn_select_batch(
@@ -559,16 +696,51 @@ pub fn knn_select_batch_with(
     zs: &[f32],
     queries: &[[f32; 3]],
     k: usize,
+    emit: impl FnMut(usize, &[(f32, usize)]),
+    on_insert: impl FnMut(usize),
+) {
+    let mut scratch = SelectScratch::new();
+    knn_select_batch_into(backend, xs, ys, zs, queries, k, &mut scratch, emit, on_insert);
+}
+
+/// [`knn_select_batch_with`] running entirely inside a caller-owned
+/// [`SelectScratch`]: the per-tile [`TopK`] heaps and the tile distance
+/// rows live in `scratch` and are reused across calls (and across queries
+/// of any batch size), so a warmed scratch performs no heap allocation.
+/// Results are bit-identical to the allocating wrappers — they call this
+/// function with a transient scratch.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ or `k` is zero.
+#[allow(clippy::too_many_arguments)]
+pub fn knn_select_batch_into(
+    backend: Backend,
+    xs: &[f32],
+    ys: &[f32],
+    zs: &[f32],
+    queries: &[[f32; 3]],
+    k: usize,
+    scratch: &mut SelectScratch,
     mut emit: impl FnMut(usize, &[(f32, usize)]),
     mut on_insert: impl FnMut(usize),
 ) {
     assert_soa(xs, ys, zs);
     let n = xs.len();
     let tile_cap = QUERY_TILE.min(queries.len().max(1));
-    let mut topks: Vec<TopK> = (0..tile_cap).map(|_| TopK::new(k)).collect();
-    let mut dbuf = vec![0.0f32; tile_cap * CHUNK];
+    while scratch.topks.len() < tile_cap {
+        scratch.topks.push(TopK::new(k));
+    }
+    let topks = &mut scratch.topks[..tile_cap];
+    for t in topks.iter_mut() {
+        t.reset(k);
+    }
+    if scratch.dbuf.len() < tile_cap * CHUNK {
+        scratch.dbuf.resize(tile_cap * CHUNK, 0.0);
+    }
+    let dbuf = &mut scratch.dbuf[..];
     for (tile_idx, tile) in queries.chunks(QUERY_TILE).enumerate() {
-        for t in &mut topks[..tile.len()] {
+        for t in topks[..tile.len()].iter_mut() {
             t.clear();
         }
         let mut thresholds = [0.0f32; QUERY_TILE];
@@ -594,7 +766,7 @@ pub fn knn_select_batch_with(
                     zc,
                     tile,
                     &thresholds[..tile.len()],
-                    &mut dbuf,
+                    &mut *dbuf,
                     &mut masks,
                 )
             );
@@ -653,15 +825,52 @@ pub fn ball_select_batch_with(
     queries: &[[f32; 3]],
     r_sq: f32,
     num: usize,
+    emit: impl FnMut(usize, &[(f32, usize)], (f32, usize)),
+) {
+    let mut scratch = SelectScratch::new();
+    ball_select_batch_into(backend, xs, ys, zs, queries, r_sq, num, &mut scratch, emit);
+}
+
+/// [`ball_select_batch_with`] running entirely inside a caller-owned
+/// [`SelectScratch`]: the per-tile hit lists and nearest-candidate trackers
+/// live in `scratch` and are reused across calls, so a warmed scratch
+/// performs no heap allocation. Results are bit-identical to the
+/// allocating wrappers — they call this function with a transient scratch.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+#[allow(clippy::too_many_arguments)]
+pub fn ball_select_batch_into(
+    backend: Backend,
+    xs: &[f32],
+    ys: &[f32],
+    zs: &[f32],
+    queries: &[[f32; 3]],
+    r_sq: f32,
+    num: usize,
+    scratch: &mut SelectScratch,
     mut emit: impl FnMut(usize, &[(f32, usize)], (f32, usize)),
 ) {
     assert_soa(xs, ys, zs);
     let n = xs.len();
     let tile_cap = QUERY_TILE.min(queries.len().max(1));
-    let mut bests: Vec<Vec<(f32, usize)>> =
-        (0..tile_cap).map(|_| Vec::with_capacity(num + 1)).collect();
-    let mut nearests = vec![(f32::INFINITY, usize::MAX); tile_cap];
-    let mut dbuf = [0.0f32; CHUNK];
+    while scratch.bests.len() < tile_cap {
+        scratch.bests.push(Vec::new());
+    }
+    if scratch.nearests.len() < tile_cap {
+        scratch.nearests.resize(tile_cap, (f32::INFINITY, usize::MAX));
+    }
+    let bests = &mut scratch.bests[..tile_cap];
+    let nearests = &mut scratch.nearests[..tile_cap];
+    for b in bests.iter_mut() {
+        b.clear();
+        b.reserve(num + 1);
+    }
+    if scratch.dbuf.len() < tile_cap * CHUNK {
+        scratch.dbuf.resize(tile_cap * CHUNK, 0.0);
+    }
+    let dbuf = &mut scratch.dbuf[..];
     for (tile_idx, tile) in queries.chunks(QUERY_TILE).enumerate() {
         for b in &mut bests[..tile.len()] {
             b.clear();
@@ -669,25 +878,65 @@ pub fn ball_select_batch_with(
         for nearest in &mut nearests[..tile.len()] {
             *nearest = (f32::INFINITY, usize::MAX);
         }
+        let mut thresholds = [0.0f32; QUERY_TILE];
+        let mut masks = [0u64; QUERY_TILE];
+        let mut mins = [f32::INFINITY; QUERY_TILE];
         let mut base = 0;
         while base < n {
             let len = CHUNK.min(n - base);
             let (xc, yc, zc) =
                 (&xs[base..base + len], &ys[base..base + len], &zs[base..base + len]);
-            for (qi, q) in tile.iter().enumerate() {
-                let (mask, cmin, clane) =
-                    ball_chunk_with(backend, xc, yc, zc, *q, r_sq, &mut dbuf[..len]);
+            // Acceptance prefilter thresholds: once a query's buffer is
+            // full, only hits strictly below its current worst can be
+            // accepted — the fused tile kernel drops the rest before the
+            // branchy insertion ever sees them (bit-identical results; the
+            // threshold only tightens within the chunk).
+            for (qi, best) in bests[..tile.len()].iter().enumerate() {
+                // NaN while the buffer fills: `!(d >= NaN)` keeps every
+                // in-radius lane (+inf distances included), exactly like
+                // the knn prefilter's filling sentinel.
+                thresholds[qi] = if best.len() == num { best[best.len() - 1].0 } else { f32::NAN };
+            }
+            // One fused dispatched call scores the whole tile against this
+            // chunk (the AVX2 path keeps the coordinate vectors in
+            // registers across all tile queries), producing per-query hit
+            // masks and chunk minima.
+            dispatch!(
+                backend,
+                ball_prefilter_tile(
+                    xc,
+                    yc,
+                    zc,
+                    tile,
+                    r_sq,
+                    &thresholds[..tile.len()],
+                    &mut *dbuf,
+                    &mut masks,
+                    &mut mins,
+                )
+            );
+            for (qi, best) in bests[..tile.len()].iter_mut().enumerate() {
+                let row = &dbuf[qi * CHUNK..qi * CHUNK + len];
+                let cmin = mins[qi];
                 if cmin < nearests[qi].0 {
-                    nearests[qi] = (cmin, base + clane as usize);
+                    // Lazy first-occurrence rescan: only chunks that improve
+                    // the running nearest pay it (the first chunk or two of
+                    // a scan), and the stored row makes it backend-neutral —
+                    // the same (value, earliest-lane) pair every backend's
+                    // eager tracking produced.
+                    let mut l = 0;
+                    while row[l] != cmin {
+                        l += 1;
+                    }
+                    nearests[qi] = (cmin, base + l);
                 }
-                let best = &mut bests[qi];
-                let mut m = mask;
+                let mut m = masks[qi];
                 while m != 0 {
                     let l = m.trailing_zeros() as usize;
                     m &= m - 1;
-                    let d = dbuf[l];
+                    let d = row[l];
                     if best.len() < num || d < best[best.len() - 1].0 {
-                        let pos = best.partition_point(|&(bd, _)| bd <= d);
+                        let pos = sorted_insert_pos(best, d);
                         best.insert(pos, (d, base + l));
                         if best.len() > num {
                             best.pop();
@@ -820,6 +1069,152 @@ mod tests {
     }
 
     #[test]
+    fn pinned_relax_excludes_in_radius_candidates() {
+        // Points at x = 0, 0.5, 2, 5; query at origin, pin radius 1 (r² = 1):
+        // 0 and 0.5 pin; the argmax over {4, 25} is index 3.
+        let (xs, ys, zs) =
+            soa_of(&[[0.0, 0.0, 0.0], [0.5, 0.0, 0.0], [2.0, 0.0, 0.0], [5.0, 0.0, 0.0]]);
+        for b in available() {
+            let mut dist = vec![f32::INFINITY; 4];
+            let best = fps_relax_argmax_pin_with(b, &xs, &ys, &zs, [0.0; 3], 1.0, &mut dist);
+            assert_eq!(best, 3, "farthest unpinned wins ({})", b.name());
+            assert_eq!(dist[0], f32::NEG_INFINITY, "in-radius candidate pinned ({})", b.name());
+            assert_eq!(dist[1], f32::NEG_INFINITY);
+            assert_eq!(dist[2], 4.0);
+            // Pinning is monotone: a later scan from far away never unpins.
+            let best = fps_relax_argmax_pin_with(b, &xs, &ys, &zs, [5.0, 0.0, 0.0], 1.0, &mut dist);
+            assert_eq!(dist[0], f32::NEG_INFINITY, "pinned stays pinned ({})", b.name());
+            assert_eq!(best, 2, "index 2 is the only live candidate left");
+        }
+    }
+
+    #[test]
+    fn pinned_relax_all_pinned_returns_index_zero() {
+        let (xs, ys, zs) = soa_of(&[[0.1, 0.0, 0.0], [0.2, 0.0, 0.0], [0.3, 0.0, 0.0]]);
+        for b in available() {
+            let mut dist = vec![f32::INFINITY; 3];
+            let best = fps_relax_argmax_pin_with(b, &xs, &ys, &zs, [0.0; 3], 100.0, &mut dist);
+            assert_eq!(best, 0, "exhausted block reports index 0 ({})", b.name());
+            assert!(dist.iter().all(|&d| d == f32::NEG_INFINITY));
+        }
+    }
+
+    #[test]
+    fn pinned_relax_with_negative_radius_matches_unpinned() {
+        // r² < 0 never pins (distances are non-negative), so the fused
+        // kernel must agree with plain fps_relax_argmax bit-for-bit.
+        let pts: Vec<[f32; 3]> = (0..CHUNK * 2 + 9)
+            .map(|i| [(i as f32 * 0.37).sin() * 4.0, (i % 5) as f32, -(i as f32) * 0.1])
+            .collect();
+        let (xs, ys, zs) = soa_of(&pts);
+        for b in available() {
+            let mut plain = vec![f32::INFINITY; pts.len()];
+            let mut pinned = plain.clone();
+            let bp = fps_relax_argmax_with(b, &xs, &ys, &zs, [0.2, 0.3, 0.4], &mut plain);
+            let bq =
+                fps_relax_argmax_pin_with(b, &xs, &ys, &zs, [0.2, 0.3, 0.4], -1.0, &mut pinned);
+            assert_eq!(bp, bq, "never-pinning radius must not change the argmax ({})", b.name());
+            assert_eq!(plain, pinned);
+        }
+    }
+
+    #[test]
+    fn pinned_relax_nan_candidates_neither_relax_nor_pin() {
+        let (xs, ys, zs) = soa_of(&[[f32::NAN, 0.0, 0.0], [3.0, 0.0, 0.0]]);
+        for b in available() {
+            let mut dist = vec![7.0f32, f32::INFINITY];
+            let best = fps_relax_argmax_pin_with(b, &xs, &ys, &zs, [0.0; 3], 1e30, &mut dist);
+            assert_eq!(dist[0], 7.0, "NaN distance must not pin or relax ({})", b.name());
+            assert_eq!(dist[1], f32::NEG_INFINITY, "finite in-radius candidate pins");
+            assert_eq!(best, 0);
+        }
+    }
+
+    #[test]
+    fn pinned_relax_is_bit_identical_across_backends() {
+        let pts: Vec<[f32; 3]> = (0..CHUNK * 3 + 17)
+            .map(|i| [((i * 31) % 23) as f32 * 0.21, ((i * 7) % 13) as f32 * 0.33, (i % 4) as f32])
+            .collect();
+        let (xs, ys, zs) = soa_of(&pts);
+        let backends = available();
+        for r_sq in [0.0f32, 0.05, 0.5, 4.0] {
+            let mut reference: Option<(usize, Vec<f32>)> = None;
+            for &b in &backends {
+                let mut dist = vec![f32::INFINITY; pts.len()];
+                let best =
+                    fps_relax_argmax_pin_with(b, &xs, &ys, &zs, [1.0, 1.0, 1.0], r_sq, &mut dist);
+                match &reference {
+                    None => reference = Some((best, dist)),
+                    Some((rb, rd)) => {
+                        assert_eq!(best, *rb, "argmax diverged at r²={r_sq} on {}", b.name());
+                        assert_eq!(&dist, rd, "dist diverged at r²={r_sq} on {}", b.name());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn select_batches_reuse_a_dirty_scratch_bit_identically() {
+        let pts: Vec<[f32; 3]> =
+            (0..157).map(|i| [(i as f32 * 0.73).sin() * 10.0, (i % 13) as f32, i as f32]).collect();
+        let (xs, ys, zs) = soa_of(&pts);
+        let queries: Vec<[f32; 3]> = (0..11).map(|i| pts[i * 14]).collect();
+        for b in available() {
+            let mut dirty = SelectScratch::new();
+            // Dirty the scratch with a different shape (k=9, then ball num=2).
+            knn_select_batch_into(
+                b,
+                &xs,
+                &ys,
+                &zs,
+                &queries[..3],
+                9,
+                &mut dirty,
+                |_, _| {},
+                |_| {},
+            );
+            ball_select_batch_into(b, &xs, &ys, &zs, &queries, 0.9, 2, &mut dirty, |_, _, _| {});
+            // Reused dirty scratch vs the allocating wrapper: identical.
+            let mut via_scratch: Vec<Vec<(f32, usize)>> = Vec::new();
+            knn_select_batch_into(
+                b,
+                &xs,
+                &ys,
+                &zs,
+                &queries,
+                5,
+                &mut dirty,
+                |_, pairs| via_scratch.push(pairs.to_vec()),
+                |_| {},
+            );
+            let mut fresh: Vec<Vec<(f32, usize)>> = Vec::new();
+            knn_select_batch_with(
+                b,
+                &xs,
+                &ys,
+                &zs,
+                &queries,
+                5,
+                |_, p| fresh.push(p.to_vec()),
+                |_| {},
+            );
+            assert_eq!(via_scratch, fresh, "dirty scratch diverged on {}", b.name());
+
+            type BallRow = (Vec<(f32, usize)>, (f32, usize));
+            let mut ball_scratch: Vec<BallRow> = Vec::new();
+            ball_select_batch_into(b, &xs, &ys, &zs, &queries, 0.5, 4, &mut dirty, |_, best, n| {
+                ball_scratch.push((best.to_vec(), n));
+            });
+            let mut ball_fresh: Vec<BallRow> = Vec::new();
+            ball_select_batch_with(b, &xs, &ys, &zs, &queries, 0.5, 4, |_, best, n| {
+                ball_fresh.push((best.to_vec(), n));
+            });
+            assert_eq!(ball_scratch, ball_fresh, "dirty ball scratch diverged on {}", b.name());
+        }
+    }
+
+    #[test]
     fn gather_builds_local_soa() {
         let (xs, ys, zs) = soa_of(&[[0.0, 10.0, 20.0], [1.0, 11.0, 21.0], [2.0, 12.0, 22.0]]);
         let (mut gx, mut gy, mut gz) = (Vec::new(), Vec::new(), Vec::new());
@@ -876,8 +1271,15 @@ mod tests {
         for b in available() {
             let mut out = [0.0f32; 5];
             let (mask, cmin, clane) =
-                ball_chunk_with(b, &xs, &ys, &zs, [0.0; 3], 1.0, &mut out[..5]);
+                ball_chunk_with(b, &xs, &ys, &zs, [0.0; 3], 1.0, f32::INFINITY, &mut out[..5]);
             assert_eq!(mask, 0b01110, "hits are d² <= 1 ({})", b.name());
+            assert_eq!(cmin, 0.25);
+            assert_eq!(clane, 3);
+            // A finite acceptance threshold additionally drops hits at or
+            // above it (strict <), without touching the nearest tracking.
+            let (mask, cmin, clane) =
+                ball_chunk_with(b, &xs, &ys, &zs, [0.0; 3], 1.0, 1.0, &mut out[..5]);
+            assert_eq!(mask, 0b01000, "only d² < 1 survives thr = 1 ({})", b.name());
             assert_eq!(cmin, 0.25);
             assert_eq!(clane, 3);
         }
@@ -889,7 +1291,7 @@ mod tests {
         for b in available() {
             let mut out = [0.0f32; 2];
             let (mask, cmin, clane) =
-                ball_chunk_with(b, &xs, &ys, &zs, [0.0; 3], 1e30, &mut out[..2]);
+                ball_chunk_with(b, &xs, &ys, &zs, [0.0; 3], 1e30, f32::INFINITY, &mut out[..2]);
             assert_eq!(mask, 0, "NaN and +inf distances are not hits ({})", b.name());
             assert_eq!(cmin, f32::INFINITY);
             assert_eq!(clane, u32::MAX, "no lane is strictly below +inf");
@@ -980,6 +1382,36 @@ mod tests {
                 assert_eq!(got[qi].0, best, "query {qi} on {}", b.name());
                 assert_eq!(got[qi].1, nearest, "nearest for query {qi} on {}", b.name());
             }
+        }
+    }
+
+    #[test]
+    fn ball_batch_keeps_infinite_distance_hits_while_filling() {
+        // Squared distances can overflow to +inf for far-apart finite
+        // points; with an (overflowed) infinite radius the reference
+        // accepts them as hits. The acceptance prefilter's filling
+        // sentinel (NaN, `!(d >= NaN)` keeps all) must not drop them.
+        let (xs, ys, zs) = soa_of(&[[1.9e19, 0.0, 0.0], [1.0, 0.0, 0.0]]);
+        for b in available() {
+            let mut got: Vec<Vec<(f32, usize)>> = Vec::new();
+            ball_select_batch_with(
+                b,
+                &xs,
+                &ys,
+                &zs,
+                &[[-1.9e19, 0.0, 0.0]],
+                f32::INFINITY,
+                4,
+                |_, best, _| got.push(best.to_vec()),
+            );
+            // Both squared distances overflow to +inf; both are hits under
+            // the (overflowed) infinite radius, kept in scan order.
+            assert_eq!(
+                got[0],
+                vec![(f32::INFINITY, 0), (f32::INFINITY, 1)],
+                "+inf-distance hits must survive the filling prefilter ({})",
+                b.name()
+            );
         }
     }
 

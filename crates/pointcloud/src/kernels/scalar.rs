@@ -82,14 +82,77 @@ pub fn fps_relax_argmax(
     best
 }
 
-/// Fused distance + radius-compare chunk; see the dispatching
-/// [`ball_chunk_with`](super::ball_chunk_with) for the contract.
+/// Fused relax + pin + argmax; see
+/// [`kernels::fps_relax_argmax_pin`](super::fps_relax_argmax_pin).
+///
+/// Identical to [`fps_relax_argmax`] except that candidates within the
+/// pinning radius of the newest sample (`nd <= r_sq`) have their running
+/// distance forced to `-∞` in the same pass, excluding them from this and
+/// every future argmax. NaN distances neither relax nor pin.
+pub fn fps_relax_argmax_pin(
+    xs: &[f32],
+    ys: &[f32],
+    zs: &[f32],
+    q: [f32; 3],
+    r_sq: f32,
+    dist: &mut [f32],
+) -> usize {
+    let mut best = 0usize;
+    let mut best_v = f32::NEG_INFINITY;
+    for i in 0..xs.len() {
+        let dx = xs[i] - q[0];
+        let dy = ys[i] - q[1];
+        let dz = zs[i] - q[2];
+        let nd = dx * dx + dy * dy + dz * dz;
+        let cur = dist[i];
+        let v = if nd < cur { nd } else { cur };
+        let v = if nd <= r_sq { f32::NEG_INFINITY } else { v };
+        dist[i] = v;
+        if v > best_v {
+            best_v = v;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Tiled form of [`ball_chunk`]: one call scores every query of the tile
+/// against the chunk (rows of `out` strided by [`CHUNK`](super::CHUNK)),
+/// writing per-query hit masks and chunk minima. See the dispatching
+/// `ball_prefilter_tile` call site in [`kernels`](super) for the contract.
+/// Per-query `mins` hold the chunk's minimum distance only; the caller
+/// locates the first-occurrence lane lazily (and only when the chunk
+/// improves the running nearest) by rescanning the stored row.
+#[allow(clippy::too_many_arguments)]
+pub fn ball_prefilter_tile(
+    xs: &[f32],
+    ys: &[f32],
+    zs: &[f32],
+    queries: &[[f32; 3]],
+    r_sq: f32,
+    thresholds: &[f32],
+    out: &mut [f32],
+    masks: &mut [u64],
+    mins: &mut [f32],
+) {
+    for (qi, q) in queries.iter().enumerate() {
+        let row = &mut out[qi * super::CHUNK..qi * super::CHUNK + xs.len()];
+        let (mask, min, _lane) = ball_chunk(xs, ys, zs, *q, r_sq, thresholds[qi], row);
+        masks[qi] = mask;
+        mins[qi] = min;
+    }
+}
+
+/// Fused distance + radius-compare + acceptance-prefilter chunk; see the
+/// dispatching [`ball_chunk_with`](super::ball_chunk_with) for the
+/// contract (`thr` masks out hits the selection buffer would reject).
 pub fn ball_chunk(
     xs: &[f32],
     ys: &[f32],
     zs: &[f32],
     q: [f32; 3],
     r_sq: f32,
+    thr: f32,
     out: &mut [f32],
 ) -> (u64, f32, u32) {
     let mut mask = 0u64;
@@ -101,7 +164,13 @@ pub fn ball_chunk(
         let dz = zs[i] - q[2];
         let d = dx * dx + dy * dy + dz * dz;
         out[i] = d;
-        mask |= u64::from(d <= r_sq) << i;
+        // `!(d >= thr)` (not `d < thr`): the buffer-filling sentinel is a
+        // NaN threshold, which must keep every in-radius lane — including
+        // an overflow-to-+inf distance the reference accepts as a hit.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        {
+            mask |= u64::from(d <= r_sq && !(d >= thr)) << i;
+        }
         if d < min {
             min = d;
             lane = i as u32;

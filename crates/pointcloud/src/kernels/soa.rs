@@ -149,10 +149,116 @@ pub fn fps_relax_argmax(
     best
 }
 
-/// Fused distance + radius-compare chunk; the contract is documented on the
-/// dispatching wrapper in [`kernels`](super) (`ball_chunk_with`).
+/// Fused chunked relax + pin + argmax; see
+/// [`kernels::fps_relax_argmax_pin`](super::fps_relax_argmax_pin).
 ///
-/// Distances are computed in the branch-free chunked form, the hit mask is
+/// The chunk structure is exactly [`fps_relax_argmax`]'s, with one extra
+/// select per lane: `if nd <= r_sq { -∞ } else { v }` pins in-radius
+/// candidates in the same branch-free stream (the compiler lowers it to a
+/// vector compare + blend). The argmax machinery is unchanged; when every
+/// candidate ends pinned the global maximum is `-∞` and the first-chunk
+/// rescan lands on index 0, matching the scalar backend's strict-`>` scan.
+pub fn fps_relax_argmax_pin(
+    xs: &[f32],
+    ys: &[f32],
+    zs: &[f32],
+    q: [f32; 3],
+    r_sq: f32,
+    dist: &mut [f32],
+) -> usize {
+    let n = xs.len();
+    const LANES: usize = 8;
+    let mut cmax = f32::NEG_INFINITY;
+    let mut cmax_chunk_base = 0usize;
+    let mut base = 0usize;
+    while base < n {
+        let end = (base + CHUNK).min(n);
+        let (xb, yb, zb) = (&xs[base..end], &ys[base..end], &zs[base..end]);
+        let db = &mut dist[base..end];
+        let mut acc = [f32::NEG_INFINITY; LANES];
+        let mut d_it = db.chunks_exact_mut(LANES);
+        let mut x_it = xb.chunks_exact(LANES);
+        let mut y_it = yb.chunks_exact(LANES);
+        let mut z_it = zb.chunks_exact(LANES);
+        for d8 in d_it.by_ref() {
+            let d8: &mut [f32; LANES] = d8.try_into().expect("exact chunk");
+            let x8: &[f32; LANES] = x_it.next().expect("same length").try_into().unwrap();
+            let y8: &[f32; LANES] = y_it.next().expect("same length").try_into().unwrap();
+            let z8: &[f32; LANES] = z_it.next().expect("same length").try_into().unwrap();
+            for l in 0..LANES {
+                let dx = x8[l] - q[0];
+                let dy = y8[l] - q[1];
+                let dz = z8[l] - q[2];
+                let nd = dx * dx + dy * dy + dz * dz;
+                let cur = d8[l];
+                let v = if nd < cur { nd } else { cur };
+                let v = if nd <= r_sq { f32::NEG_INFINITY } else { v };
+                d8[l] = v;
+                acc[l] = if v > acc[l] { v } else { acc[l] };
+            }
+        }
+        let mut cm = f32::NEG_INFINITY;
+        let tail = d_it.into_remainder();
+        let (xt, yt, zt) = (x_it.remainder(), y_it.remainder(), z_it.remainder());
+        for (l, cur) in tail.iter_mut().enumerate() {
+            let dx = xt[l] - q[0];
+            let dy = yt[l] - q[1];
+            let dz = zt[l] - q[2];
+            let nd = dx * dx + dy * dy + dz * dz;
+            let v = if nd < *cur { nd } else { *cur };
+            let v = if nd <= r_sq { f32::NEG_INFINITY } else { v };
+            *cur = v;
+            cm = if v > cm { v } else { cm };
+        }
+        for &m in &acc {
+            cm = if m > cm { m } else { cm };
+        }
+        if cm > cmax {
+            cmax = cm;
+            cmax_chunk_base = base;
+        }
+        base = end;
+    }
+    let mut best = cmax_chunk_base;
+    while dist[best] != cmax {
+        best += 1;
+    }
+    best
+}
+
+/// Tiled form of [`ball_chunk`]: one call scores every query of the tile
+/// against the chunk (rows of `out` strided by [`CHUNK`]), writing
+/// per-query hit masks and chunk minima. See the dispatching
+/// `ball_prefilter_tile` call site in [`kernels`](super) for the contract.
+/// Per-query `mins` hold the chunk's minimum distance only; the caller
+/// locates the first-occurrence lane lazily (and only when the chunk
+/// improves the running nearest) by rescanning the stored row.
+#[allow(clippy::too_many_arguments)]
+pub fn ball_prefilter_tile(
+    xs: &[f32],
+    ys: &[f32],
+    zs: &[f32],
+    queries: &[[f32; 3]],
+    r_sq: f32,
+    thresholds: &[f32],
+    out: &mut [f32],
+    masks: &mut [u64],
+    mins: &mut [f32],
+) {
+    for (qi, q) in queries.iter().enumerate() {
+        let row = &mut out[qi * CHUNK..qi * CHUNK + xs.len()];
+        let (mask, min, _lane) = ball_chunk(xs, ys, zs, *q, r_sq, thresholds[qi], row);
+        masks[qi] = mask;
+        mins[qi] = min;
+    }
+}
+
+/// Fused distance + radius-compare + acceptance-prefilter chunk; the
+/// contract is documented on the dispatching wrapper in [`kernels`](super)
+/// (`ball_chunk_with`).
+///
+/// Distances are computed in the branch-free chunked form, the hit mask —
+/// in-radius *and* strictly under the acceptance threshold — is
 /// accumulated with a branch-free shift-or, and only the first-minimum
 /// tracking carries a (well-predicted) branch.
 pub fn ball_chunk(
@@ -161,6 +267,7 @@ pub fn ball_chunk(
     zs: &[f32],
     q: [f32; 3],
     r_sq: f32,
+    thr: f32,
     out: &mut [f32],
 ) -> (u64, f32, u32) {
     distances_sq(xs, ys, zs, q, out);
@@ -168,7 +275,12 @@ pub fn ball_chunk(
     let mut min = f32::INFINITY;
     let mut lane = u32::MAX;
     for (j, &d) in out.iter().enumerate() {
-        mask |= u64::from(d <= r_sq) << j;
+        // `!(d >= thr)`: a NaN threshold (buffer still filling) keeps every
+        // in-radius lane, +inf distances included.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        {
+            mask |= u64::from(d <= r_sq && !(d >= thr)) << j;
+        }
         if d < min {
             min = d;
             lane = j as u32;

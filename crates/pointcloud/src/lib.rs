@@ -43,6 +43,7 @@
 
 mod aabb;
 mod cloud;
+pub mod count_alloc;
 mod error;
 pub mod generate;
 pub mod kernels;

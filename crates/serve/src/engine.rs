@@ -42,7 +42,8 @@
 use crate::cache::{frame_key, PartitionCache};
 use crate::config::ServeConfig;
 use crate::metrics::{Metrics, MetricsSnapshot};
-use fractalcloud_core::{Pipeline, PipelineConfig};
+use fractalcloud_core::workspace::{global_pool, Pool};
+use fractalcloud_core::{Pipeline, PipelineConfig, PipelineOutput, Workspace};
 use fractalcloud_pointcloud::ops::OpCounters;
 use fractalcloud_pointcloud::{Error, PointCloud};
 use std::collections::VecDeque;
@@ -296,6 +297,12 @@ struct Shared {
     state: AtomicU8,
     metrics: Metrics,
     cache: Mutex<PartitionCache>,
+    /// Pooled [`PipelineOutput`] staging: workers refill a recycled output
+    /// in place (`run_with_partition_into`), move the response vectors out,
+    /// and return the staging — so the per-block rows and other assembly
+    /// buffers are reused across frames. Workspaces themselves come from
+    /// the core crate's process-wide pool, one per execution lane.
+    outputs: Pool<PipelineOutput>,
 }
 
 /// The serving engine. See the [module docs](self) for the request
@@ -329,6 +336,7 @@ impl Engine {
             available: Condvar::new(),
             state: AtomicU8::new(RUNNING),
             metrics: Metrics::default(),
+            outputs: Pool::new(),
         });
         let workers = (0..cfg.workers.max(1))
             .map(|i| {
@@ -592,19 +600,25 @@ fn execute_batch(shared: &Shared, batch: Vec<Job>) {
     }
 
     // Legacy schedule (and the lone-frame fast path): one lane per frame.
-    // `parallel_map_budget` divides the engine's budget across the lanes
-    // (a lone frame keeps the whole budget) and each lane's allowance is
-    // inherited by every fan-out inside the pipeline, so the batch never
-    // exceeds the configured budget. Results are identical for every
-    // budget — only wall-clock differs.
-    let outcomes =
-        fractalcloud_parallel::parallel_map_budget(batch, shared.cfg.thread_budget, |_, job| {
+    // `parallel_map_budget_with` divides the engine's budget across the
+    // lanes (a lone frame keeps the whole budget), each lane's allowance is
+    // inherited by every fan-out inside the pipeline, and each lane checks
+    // one workspace out of the process-wide pool — scratch is reused
+    // across the lane's frames and across batches, never shared between
+    // threads. Results are identical for every budget — only wall-clock
+    // (and allocation traffic) differs.
+    let outcomes = fractalcloud_parallel::parallel_map_budget_with(
+        batch,
+        shared.cfg.thread_budget,
+        || global_pool().checkout(),
+        |_, job, ws| {
             let admitted_at = job.admitted_at;
             let priority = job.priority;
             let slot = Arc::clone(&job.slot);
-            let outcome = execute_one(shared, job, size);
+            let outcome = execute_one(shared, job, size, ws);
             (priority, admitted_at, slot, outcome)
-        });
+        },
+    );
     for (priority, admitted_at, slot, outcome) in outcomes {
         publish(m, priority, admitted_at, &slot, outcome);
     }
@@ -658,18 +672,24 @@ fn execute_batch_blocks(shared: &Shared, batch: Vec<Job>) {
     }
 
     // Stage 1 — build missing partitions, parallel across frames; each
-    // lane builds with whatever allowance the budget split grants it.
+    // lane builds with whatever allowance the budget split grants it and
+    // a pooled workspace of its own.
     let missing: Vec<usize> = frames
         .iter()
         .enumerate()
         .filter_map(|(f, ctx)| ctx.as_ref().filter(|c| c.built.is_none()).map(|_| f))
         .collect();
     if !missing.is_empty() {
-        let builds = fractalcloud_parallel::parallel_map_budget(missing, budget, |_, f| {
-            let ctx = frames[f].as_ref().expect("missing frame is live");
-            let parallel = fractalcloud_parallel::effective_budget() > 1;
-            (f, ctx.pipeline.partition(&ctx.job.cloud, parallel))
-        });
+        let builds = fractalcloud_parallel::parallel_map_budget_with(
+            missing,
+            budget,
+            || global_pool().checkout(),
+            |_, f, ws| {
+                let ctx = frames[f].as_ref().expect("missing frame is live");
+                let parallel = fractalcloud_parallel::effective_budget() > 1;
+                (f, ctx.pipeline.partition_ws(&ctx.job.cloud, parallel, ws))
+            },
+        );
         for (f, built) in builds {
             match built {
                 Ok(result) => {
@@ -711,13 +731,18 @@ fn execute_batch_blocks(shared: &Shared, batch: Vec<Job>) {
         .collect();
     let tasks: Vec<(usize, usize)> =
         counts.iter().enumerate().flat_map(|(f, c)| (0..c.len()).map(move |b| (f, b))).collect();
-    let parts = fractalcloud_parallel::parallel_map_budget(tasks, budget, |_, (f, b)| {
-        let ctx = frames[f].as_ref().expect("task frames are live");
-        let (built, _) = ctx.built.as_ref().expect("live frames have partitions");
-        let fps = ctx.pipeline.sample_block(&ctx.job.cloud, built, b, counts[f][b]);
-        let group = ctx.pipeline.group_block(&ctx.job.cloud, built, b, &fps.0);
-        ((f, b), fps, group)
-    });
+    let parts = fractalcloud_parallel::parallel_map_budget_with(
+        tasks,
+        budget,
+        || global_pool().checkout(),
+        |_, (f, b), ws| {
+            let ctx = frames[f].as_ref().expect("task frames are live");
+            let (built, _) = ctx.built.as_ref().expect("live frames have partitions");
+            let fps = ctx.pipeline.sample_block_ws(&ctx.job.cloud, built, b, counts[f][b], ws);
+            let group = ctx.pipeline.group_block_ws(&ctx.job.cloud, built, b, &fps.0, ws);
+            ((f, b), fps, group)
+        },
+    );
     let mut sampled: Vec<Vec<(Vec<usize>, OpCounters)>> =
         counts.iter().map(|c| Vec::with_capacity(c.len())).collect();
     let mut grouped: Vec<Vec<fractalcloud_core::BlockNeighborTask>> =
@@ -752,7 +777,18 @@ fn execute_batch_blocks(shared: &Shared, batch: Vec<Job>) {
 /// frame bytes have been seen at this threshold before. Parallelism inside
 /// the pipeline is governed by the lane's inherited thread budget (a
 /// 1-thread lane resolves every nested fan-out to sequential execution).
-fn execute_one(shared: &Shared, job: Job, batch_size: usize) -> Result<FrameResponse, ServeError> {
+///
+/// All scratch lives in the lane's `ws`, and the BPPO half refills a pooled
+/// [`PipelineOutput`] staging buffer in place; only the vectors the
+/// response hands to the client are moved out (their buffers leave with the
+/// response — the one unavoidable per-frame allocation class on a warmed
+/// engine).
+fn execute_one(
+    shared: &Shared,
+    job: Job,
+    batch_size: usize,
+    ws: &mut Workspace,
+) -> Result<FrameResponse, ServeError> {
     let parallel = fractalcloud_parallel::effective_budget() > 1;
     let pipeline = Pipeline::new(job.config).map_err(ServeError::Invalid)?;
     let key = frame_key(&job.cloud, job.config.threshold);
@@ -765,19 +801,23 @@ fn execute_one(shared: &Shared, job: Job, batch_size: usize) -> Result<FrameResp
         }
         None => {
             shared.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
-            let built =
-                Arc::new(pipeline.partition(&job.cloud, parallel).map_err(ServeError::Invalid)?);
+            let built = Arc::new(
+                pipeline.partition_ws(&job.cloud, parallel, ws).map_err(ServeError::Invalid)?,
+            );
             shared.cache.lock().expect("cache lock").insert(key, Arc::clone(&built));
             (built, false)
         }
     };
 
-    let out =
-        pipeline.run_with_partition(&job.cloud, &built, parallel).map_err(ServeError::Invalid)?;
+    let mut staging = shared.outputs.checkout();
+    pipeline
+        .run_with_partition_into(&job.cloud, &built, parallel, ws, &mut staging)
+        .map_err(ServeError::Invalid)?;
+    let out = &mut *staging;
     Ok(FrameResponse {
-        sampled_indices: out.sampled.indices,
-        neighbor_indices: out.grouped.indices,
-        found: out.grouped.found,
+        sampled_indices: std::mem::take(&mut out.sampled.indices),
+        neighbor_indices: std::mem::take(&mut out.grouped.indices),
+        found: std::mem::take(&mut out.grouped.found),
         num: out.grouped.num,
         blocks: out.blocks,
         sample_counters: out.sampled.counters,

@@ -184,6 +184,47 @@ fn cross_frame_block_batching_is_bit_identical_to_per_frame_execution() {
 }
 
 #[test]
+fn warmed_worker_workspaces_never_leak_state_between_frames() {
+    // The zero-allocation steady state reuses one workspace (and pooled
+    // output staging) per worker lane across every frame it serves. Push a
+    // stream of interleaved frames of very different shapes — big, tiny,
+    // repeated (cache hits), differing configs — through ONE worker, so
+    // the same scratch serves them all back to back, and check every
+    // response against the direct library computation.
+    let engine = Engine::start(ServeConfig::default().workers(1).queue_capacity(64));
+    let shapes = [
+        (4096usize, 1u64),
+        (57, 2),
+        (4096, 1), // cache-hit repeat of the first frame
+        (700, 3),
+        (57, 2), // cache-hit repeat of the tiny frame
+        (2048, 4),
+    ];
+    let configs = [
+        PipelineConfig::default(),
+        PipelineConfig::new(64, 0.5, 0.9, 4),
+        PipelineConfig::default(),
+        PipelineConfig::new(32, 0.1, 0.2, 2),
+        PipelineConfig::new(64, 0.5, 0.9, 4),
+        PipelineConfig::default(),
+    ];
+    for round in 0..2 {
+        for ((n, seed), cfg) in shapes.iter().zip(configs.iter()) {
+            let cloud = scene_cloud(&SceneConfig::default(), *n, *seed);
+            let served = engine.process(cloud.clone(), *cfg).unwrap();
+            assert_eq!(
+                shape(&served),
+                direct(&cloud, cfg),
+                "dirty worker workspace changed results (round {round}, n={n}, seed={seed})"
+            );
+        }
+    }
+    let m = engine.metrics();
+    assert!(m.cache_hits > 0, "the repeats must exercise the cache-hit path");
+    engine.shutdown();
+}
+
+#[test]
 fn sequential_and_parallel_serving_configurations_agree() {
     // thread_budget 1 forces every request onto a sequential lane;
     // a large budget lets lone requests parallelize. Same results.

@@ -14,13 +14,22 @@
 //! passes its bound, so memory stays flat no matter how hard the clients
 //! push.
 
-use fractalcloud::core::PipelineConfig;
+use fractalcloud::core::workspace::{workspace_mode, WorkspaceMode};
+use fractalcloud::core::{Pipeline, PipelineConfig, PipelineOutput, Workspace};
 use fractalcloud::pointcloud::generate::{scene_cloud, SceneConfig};
 use fractalcloud::pointcloud::kernels;
 use fractalcloud::pointcloud::PointCloud;
 use fractalcloud::serve::{Engine, Priority, ServeClient, ServeConfig, TcpServer};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// With the `bench` feature (default), the loadgen installs the counting
+/// allocator so the steady-state alloc telemetry below reports real
+/// per-frame heap traffic.
+#[cfg(feature = "bench")]
+#[global_allocator]
+static ALLOC: fractalcloud::pointcloud::count_alloc::CountingAllocator =
+    fractalcloud::pointcloud::count_alloc::CountingAllocator;
 
 fn percentile(sorted_us: &[u64], q: f64) -> u64 {
     if sorted_us.is_empty() {
@@ -117,6 +126,56 @@ fn main() {
     );
     server.shutdown();
     engine.shutdown();
+
+    // --- Steady-state allocation telemetry (workspace reuse) ---
+    // The warmed core hot path (cache-hit shape: partition prebuilt, BPPO
+    // half re-run through one workspace + output staging) must allocate
+    // nothing per frame in reuse mode; the serve path on cache hits adds
+    // only the response buffers it hands to the client. Counted by the
+    // measurement allocator when built with the `bench` feature (default).
+    if cfg!(feature = "bench") {
+        use fractalcloud::pointcloud::count_alloc::allocation_count;
+        let cloud = &clouds[0];
+        let pipe = Pipeline::new(cfg).expect("default config");
+        let mut ws = Workspace::new();
+        let built = pipe.partition_ws(cloud, false, &mut ws).expect("partition");
+        let mut staging = PipelineOutput::default();
+        pipe.run_with_partition_into(cloud, &built, false, &mut ws, &mut staging).expect("warm");
+        let mut core_allocs = 0u64;
+        for _ in 0..8 {
+            let before = allocation_count();
+            pipe.run_with_partition_into(cloud, &built, false, &mut ws, &mut staging)
+                .expect("warm run");
+            core_allocs = core_allocs.max(allocation_count() - before);
+        }
+        let engine = Engine::start(ServeConfig::from_env().workers(1));
+        for _ in 0..4 {
+            engine.process(cloud.clone(), cfg).expect("serve warmup");
+        }
+        let serve_frames = 16u64;
+        let before = allocation_count();
+        for _ in 0..serve_frames {
+            engine.process(cloud.clone(), cfg).expect("serve warm frame");
+        }
+        let serve_allocs = (allocation_count() - before) / serve_frames;
+        engine.shutdown();
+        println!("\nsteady-state allocations ({} mode)", workspace_mode().name());
+        println!(
+            "  core hot path  : {core_allocs} allocs/frame (warmed workspace + output staging)"
+        );
+        println!(
+            "  serve cache-hit: ~{serve_allocs} allocs/frame (response buffers + ticket plumbing)"
+        );
+        if workspace_mode() == WorkspaceMode::Reuse {
+            assert_eq!(
+                core_allocs, 0,
+                "the warmed core hot path must be allocation-free in reuse mode"
+            );
+            println!("  steady state   : 0 allocs/frame on the warmed core hot path");
+        }
+    } else {
+        println!("\nsteady-state allocations: not measured (build with --features bench)");
+    }
 
     // --- Phase 2: overload a tiny queue to show counted load-shedding ---
     let capacity = 2;
