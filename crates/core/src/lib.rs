@@ -60,7 +60,7 @@ pub use bppo::{
     BlockNeighborTask, BppoConfig, GatherLocality, ReuseStats,
 };
 pub use fractal::{Fractal, FractalConfig, FractalResult};
-pub use pipeline::{fnv1a64, Pipeline, PipelineConfig, PipelineOutput, FNV1A64_SEED};
+pub use pipeline::{fnv1a64, CancelToken, Pipeline, PipelineConfig, PipelineOutput, FNV1A64_SEED};
 pub use quality::{evaluate_quality, QualityConfig, QualityReport};
 pub use tree::{FractalNode, FractalTree, NodeId};
 pub use window::WindowCheck;

@@ -27,6 +27,9 @@ use crate::workspace::{global_pool, Workspace};
 use fractalcloud_pointcloud::ops::OpCounters;
 use fractalcloud_pointcloud::{Error, PointCloud, Result};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// The 64-bit FNV offset basis — the seed for [`fnv1a64`] chains.
 pub const FNV1A64_SEED: u64 = 0xcbf2_9ce4_8422_2325;
@@ -131,6 +134,62 @@ impl Default for PipelineConfig {
     /// 0.4 with 16 neighbors (the quickstart parameters).
     fn default() -> PipelineConfig {
         PipelineConfig { threshold: 256, sample_rate: 0.25, radius: 0.4, neighbors: 16 }
+    }
+}
+
+/// A cooperative cancellation token checked at the pipeline's stage seams.
+///
+/// Cancellation is *cooperative*: a running stage finishes its current unit
+/// of work, and the pipeline returns [`Error::Cancelled`] at the next seam
+/// (entry → after sample counts → between sampling and grouping). A token
+/// trips either explicitly ([`CancelToken::cancel`], from any thread — all
+/// clones share one flag) or implicitly when its optional deadline passes.
+/// The serving layer hands each frame a deadline token so a doomed request
+/// stops burning its thread budget instead of computing a response nobody
+/// is waiting for.
+///
+/// Output staging passed to a run that returned [`Error::Cancelled`] holds
+/// garbage from the aborted stages; reusing the buffers for the next frame
+/// is fine (every stage overwrites from scratch), reading them is not.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that only trips on an explicit [`CancelToken::cancel`].
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// A token that trips automatically once `deadline` passes (and still
+    /// honours explicit cancellation before then).
+    pub fn with_deadline(deadline: Instant) -> CancelToken {
+        CancelToken { flag: Arc::new(AtomicBool::new(false)), deadline: Some(deadline) }
+    }
+
+    /// Trips the token; every clone observes it.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether the token has tripped (explicitly or by deadline).
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire) || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Returns [`Error::Cancelled`] when the token has tripped.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Cancelled`] once [`CancelToken::is_cancelled`] is true.
+    pub fn check(&self) -> Result<()> {
+        if self.is_cancelled() {
+            Err(Error::Cancelled)
+        } else {
+            Ok(())
+        }
     }
 }
 
@@ -270,11 +329,53 @@ impl Pipeline {
         ws: &mut Workspace,
         out: &mut PipelineOutput,
     ) -> Result<()> {
+        self.run_into_inner(cloud, built, parallel, ws, out, None)
+    }
+
+    /// [`Pipeline::run_with_partition_into`] with a cooperative
+    /// [`CancelToken`] checked at the stage seams (entry, after sample
+    /// counts, between sampling and grouping), so a frame whose deadline
+    /// already passed stops burning its thread budget mid-run.
+    ///
+    /// After an `Err(Error::Cancelled)` return, `out` holds garbage from
+    /// the aborted stages — reuse the buffers, never the contents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Cancelled`] when `cancel` trips, or
+    /// [`Error::EmptyCloud`] for an empty cloud.
+    pub fn run_with_partition_into_cancel(
+        &self,
+        cloud: &PointCloud,
+        built: &FractalResult,
+        parallel: bool,
+        ws: &mut Workspace,
+        out: &mut PipelineOutput,
+        cancel: &CancelToken,
+    ) -> Result<()> {
+        self.run_into_inner(cloud, built, parallel, ws, out, Some(cancel))
+    }
+
+    fn run_into_inner(
+        &self,
+        cloud: &PointCloud,
+        built: &FractalResult,
+        parallel: bool,
+        ws: &mut Workspace,
+        out: &mut PipelineOutput,
+        cancel: Option<&CancelToken>,
+    ) -> Result<()> {
+        if let Some(c) = cancel {
+            c.check()?;
+        }
         let bppo = if parallel { BppoConfig::default() } else { BppoConfig::sequential() };
         // Per-block sample counts, staged in the workspace.
         ws.sizes.clear();
         ws.sizes.extend(built.partition.blocks.iter().map(|b| b.len()));
         block_sample_counts_into(&ws.sizes, self.config.sample_rate, &mut ws.counts, &mut ws.rems);
+        if let Some(c) = cancel {
+            c.check()?;
+        }
         // Move the counts out for the duration of the sampling call (the
         // sampler needs the whole workspace mutably); moved back after.
         let counts = std::mem::take(&mut ws.counts);
@@ -288,6 +389,9 @@ impl Pipeline {
         );
         ws.counts = counts;
         sampled?;
+        if let Some(c) = cancel {
+            c.check()?;
+        }
         let PipelineOutput { sampled, grouped, blocks } = out;
         block_ball_query_into(
             cloud,
@@ -515,5 +619,46 @@ mod tests {
     fn empty_cloud_errors() {
         let pipe = Pipeline::new(PipelineConfig::default()).unwrap();
         assert_eq!(pipe.run(&PointCloud::new(), true), Err(Error::EmptyCloud));
+    }
+
+    #[test]
+    fn cancel_token_trips_on_cancel_and_on_deadline() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        let shared = t.clone();
+        shared.cancel();
+        assert!(t.is_cancelled(), "clones share one flag");
+        assert_eq!(t.check(), Err(Error::Cancelled));
+
+        let expired =
+            CancelToken::with_deadline(Instant::now() - std::time::Duration::from_millis(1));
+        assert!(expired.is_cancelled());
+        let live =
+            CancelToken::with_deadline(Instant::now() + std::time::Duration::from_secs(3600));
+        assert!(!live.is_cancelled());
+    }
+
+    #[test]
+    fn cancelled_run_aborts_and_staging_is_reusable_afterwards() {
+        let cloud = scene_cloud(&SceneConfig::default(), 2048, 21);
+        let pipe = Pipeline::new(PipelineConfig::default()).unwrap();
+        let built = pipe.partition(&cloud, false).unwrap();
+        let expected = pipe.run_with_partition(&cloud, &built, false).unwrap();
+
+        let mut ws = Workspace::new();
+        let mut out = PipelineOutput::default();
+        let tripped = CancelToken::new();
+        tripped.cancel();
+        assert_eq!(
+            pipe.run_with_partition_into_cancel(&cloud, &built, false, &mut ws, &mut out, &tripped),
+            Err(Error::Cancelled)
+        );
+        // The aborted staging is garbage but reusable: the next clean run
+        // through the same buffers must be bit-identical to a fresh one.
+        let live =
+            CancelToken::with_deadline(Instant::now() + std::time::Duration::from_secs(3600));
+        pipe.run_with_partition_into_cancel(&cloud, &built, false, &mut ws, &mut out, &live)
+            .unwrap();
+        assert_eq!(out, expected);
     }
 }

@@ -149,9 +149,14 @@ impl<T: Default> Pool<T> {
 
     /// Pops a recycled value (or constructs a fresh one); the guard checks
     /// it back in on drop.
+    ///
+    /// The free-list mutex is recovered if poisoned: the only operations
+    /// ever performed under it are `Vec::pop`/`push`/`len`, which cannot
+    /// leave the vector in a torn state, so a poisoned lock still guards a
+    /// valid-by-construction free list.
     pub fn checkout(&self) -> PoolGuard<'_, T> {
         let value = match workspace_mode() {
-            WorkspaceMode::Reuse => self.slots.lock().expect("pool lock").pop().unwrap_or_default(),
+            WorkspaceMode::Reuse => lock_unpoisoned(&self.slots).pop().unwrap_or_default(),
             WorkspaceMode::Fresh => T::default(),
         };
         PoolGuard { pool: self, value: Some(value) }
@@ -159,7 +164,7 @@ impl<T: Default> Pool<T> {
 
     /// Number of values currently checked in (test/diagnostic hook).
     pub fn idle(&self) -> usize {
-        self.slots.lock().expect("pool lock").len()
+        lock_unpoisoned(&self.slots).len()
     }
 }
 
@@ -171,6 +176,12 @@ impl<T: Default> Default for Pool<T> {
 
 /// Exclusive access to a pooled value; checks it back in on drop (unless
 /// the process runs in `fresh` mode, which discards it).
+///
+/// The guard is unwind-aware: when dropped *during panic unwinding* the
+/// value is discarded instead of returned, because a panic can strike
+/// mid-stage and leave scratch state (staged counts, partially moved
+/// buffers) that no later frame may be allowed to observe. The next
+/// checkout simply constructs a replacement.
 #[derive(Debug)]
 pub struct PoolGuard<'a, T: Default> {
     pool: &'a Pool<T>,
@@ -193,12 +204,22 @@ impl<T: Default> std::ops::DerefMut for PoolGuard<'_, T> {
 
 impl<T: Default> Drop for PoolGuard<'_, T> {
     fn drop(&mut self) {
-        if workspace_mode() == WorkspaceMode::Reuse {
+        // A guard dropped while its thread unwinds was live when the panic
+        // struck — its value may hold inconsistent mid-stage scratch, so it
+        // is discarded rather than re-pooled.
+        if workspace_mode() == WorkspaceMode::Reuse && !std::thread::panicking() {
             if let Some(v) = self.value.take() {
-                self.pool.slots.lock().expect("pool lock").push(v);
+                lock_unpoisoned(&self.pool.slots).push(v);
             }
         }
     }
+}
+
+/// Locks `m`, recovering from poisoning. Sound only when every critical
+/// section over `m` keeps the data valid even if interrupted by a panic —
+/// true for the pool free list (single `Vec` push/pop calls).
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// The process-wide [`Workspace`] pool backing the no-workspace entry
@@ -226,6 +247,24 @@ mod tests {
         let v = pool.checkout();
         assert_eq!(&*v, &[1, 2, 3], "recycled values keep their (dirty) state");
         assert_eq!(pool.idle(), 0);
+    }
+
+    #[test]
+    fn guard_live_during_unwind_discards_instead_of_repooling() {
+        if workspace_mode() != WorkspaceMode::Reuse {
+            return; // suite running under FRACTALCLOUD_WORKSPACE=fresh
+        }
+        let pool: Pool<Vec<u8>> = Pool::new();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut v = pool.checkout();
+            v.extend_from_slice(&[9, 9, 9]); // mid-stage garbage
+            panic!("injected mid-stage panic");
+        }));
+        assert!(r.is_err());
+        assert_eq!(pool.idle(), 0, "a value live during an unwind must be discarded");
+        // The next checkout constructs a replacement, untouched by the
+        // aborted stage.
+        assert!(pool.checkout().is_empty());
     }
 
     #[test]

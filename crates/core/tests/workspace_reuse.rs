@@ -162,6 +162,39 @@ proptest! {
     }
 }
 
+/// An injected mid-stage panic with a pooled workspace live must not
+/// contaminate later frames: the unwind-aware [`PoolGuard`] discards the
+/// arena instead of re-pooling it, so the next clean frame through the
+/// global pool is bit-identical to a run through brand-new workspaces.
+#[test]
+fn pool_survives_injected_mid_stage_panic() {
+    let cloud = PointCloud::from_points(
+        (0..300)
+            .map(|i| Point3::new((i % 17) as f32 * 0.7, (i % 5) as f32, i as f32 * 0.01))
+            .collect::<Vec<_>>(),
+    );
+    let config = PipelineConfig::new(24, 0.3, 0.8, 6);
+    let pipe = Pipeline::new(config).unwrap();
+    // Panic mid-stage with a pooled workspace checked out and dirtied: the
+    // partition half has run, FPS/ball-query scratch is in a torn state.
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut ws = fractalcloud_core::workspace::global_pool().checkout();
+        let _built = pipe.partition_ws(&cloud, false, &mut ws).unwrap();
+        panic!("injected mid-stage panic");
+    }));
+    assert!(r.is_err());
+    // A clean frame via the pooled entry points equals a run through a
+    // never-pooled workspace, bit for bit.
+    let built = pipe.partition(&cloud, false).unwrap();
+    let pooled = pipe.run_with_partition(&cloud, &built, false).unwrap();
+    let mut fresh_ws = Workspace::new();
+    let built_fresh = pipe.partition_ws(&cloud, false, &mut fresh_ws).unwrap();
+    assert_eq!(built_fresh, built, "post-panic pooled build diverged");
+    let mut staging = PipelineOutput::default();
+    pipe.run_with_partition_into(&cloud, &built_fresh, false, &mut fresh_ws, &mut staging).unwrap();
+    assert_eq!(staging, pooled, "post-panic pooled run diverged from fresh workspaces");
+}
+
 /// Deterministic (non-property) check that ball queries through a dirty
 /// workspace handle the empty-centers and single-block edge shapes.
 #[test]

@@ -209,10 +209,26 @@ where
                 local
             }));
         }
+        // Join every lane before reacting to a panic, then re-raise the
+        // first panic payload on the calling thread. `resume_unwind` (rather
+        // than `expect`) keeps a lane panic an ordinary unwind that callers
+        // may `catch_unwind` — the serving engine's panic isolation depends
+        // on this — instead of a double-panic abort inside the scope.
+        let mut panic_payload = None;
         for h in handles {
-            for (i, v) in h.join().expect("worker panicked") {
-                out[i] = Some(v);
+            match h.join() {
+                Ok(local) => {
+                    for (i, v) in local {
+                        out[i] = Some(v);
+                    }
+                }
+                Err(payload) => {
+                    panic_payload.get_or_insert(payload);
+                }
             }
+        }
+        if let Some(payload) = panic_payload {
+            std::panic::resume_unwind(payload);
         }
     });
     out.into_iter().map(|o| o.expect("every item computed")).collect()
@@ -221,6 +237,22 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn lane_panics_propagate_as_a_catchable_unwind() {
+        // A panic on a spawned lane must surface as an ordinary unwind on
+        // the calling thread (resume_unwind), not a double-panic abort —
+        // the serving engine catches these to isolate request failures.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            parallel_map_budget((0..64usize).collect::<Vec<_>>(), 4, |_, v| {
+                if v == 17 {
+                    panic!("injected lane panic");
+                }
+                v
+            })
+        }));
+        assert!(result.is_err(), "the lane panic must reach the caller as an Err payload");
+    }
 
     #[test]
     fn parallel_map_preserves_order() {

@@ -34,6 +34,10 @@ pub enum Error {
         /// Human-readable description of the constraint that was violated.
         message: String,
     },
+    /// The operation was cancelled cooperatively before it completed —
+    /// e.g. a serving deadline expired while the pipeline was mid-flight.
+    /// Any partially written output staging must be treated as garbage.
+    Cancelled,
 }
 
 impl fmt::Display for Error {
@@ -50,6 +54,7 @@ impl fmt::Display for Error {
             Error::InvalidParameter { name, message } => {
                 write!(f, "invalid parameter `{name}`: {message}")
             }
+            Error::Cancelled => write!(f, "operation cancelled before completion"),
         }
     }
 }

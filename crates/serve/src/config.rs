@@ -1,5 +1,7 @@
 //! Serving-engine configuration and its environment-variable knobs.
 
+use crate::faults::FaultPlan;
+
 /// Tunables for [`Engine`](crate::Engine) and the TCP front-end.
 ///
 /// Every knob has a `FRACTALCLOUD_SERVE_*` environment override (see
@@ -44,6 +46,16 @@ pub struct ServeConfig {
     /// Maximum concurrent TCP connections; further connects are answered
     /// with `status::TOO_MANY_CONNECTIONS` (retryable) and closed.
     pub max_connections: usize,
+    /// Default per-request deadline in milliseconds (0 = none). A request
+    /// whose deadline passes before execution is shed with the retryable
+    /// [`ShedReason::DeadlineExceeded`](crate::ShedReason); one that
+    /// expires mid-run is cancelled at the next pipeline stage seam.
+    /// Per-request wire deadlines override this default.
+    pub deadline_ms: u64,
+    /// Seeded fault-injection plan ([`FaultPlan::OFF`] outside chaos
+    /// testing; the `FRACTALCLOUD_FAULTS` environment plan by default, so
+    /// an exported spec soaks everything built on [`ServeConfig`]).
+    pub faults: FaultPlan,
 }
 
 impl ServeConfig {
@@ -59,6 +71,8 @@ impl ServeConfig {
     /// | `FRACTALCLOUD_SERVE_CACHE` | 32 |
     /// | `FRACTALCLOUD_SERVE_BATCH_BLOCKS` | 1 (`0` = legacy per-frame lanes) |
     /// | `FRACTALCLOUD_SERVE_CONNS` | 64 |
+    /// | `FRACTALCLOUD_SERVE_DEADLINE_MS` | 0 (no default deadline) |
+    /// | `FRACTALCLOUD_FAULTS` | off (see [`FaultPlan::parse`]) |
     ///
     /// The thread budget always follows the process-wide worker pool
     /// (`FRACTALCLOUD_THREADS`-overridable), keeping one knob for "how much
@@ -77,6 +91,9 @@ impl ServeConfig {
             max_connections: env_usize("FRACTALCLOUD_SERVE_CONNS")
                 .unwrap_or(def.max_connections)
                 .max(1),
+            deadline_ms: env_usize("FRACTALCLOUD_SERVE_DEADLINE_MS")
+                .map_or(def.deadline_ms, |v| v as u64),
+            faults: def.faults,
         }
     }
 
@@ -128,6 +145,19 @@ impl ServeConfig {
         self
     }
 
+    /// Returns `self` with the given default request deadline (0 = none).
+    pub fn deadline_ms(mut self, deadline_ms: u64) -> ServeConfig {
+        self.deadline_ms = deadline_ms;
+        self
+    }
+
+    /// Returns `self` with the given fault-injection plan (chaos tests);
+    /// [`FaultPlan::OFF`] restores fault-free serving.
+    pub fn faults(mut self, faults: FaultPlan) -> ServeConfig {
+        self.faults = faults;
+        self
+    }
+
     /// Largest request payload the TCP front-end accepts, in bytes (the
     /// fixed request-parameter block plus `max_points` xyz triplets).
     pub fn max_payload_bytes(&self) -> usize {
@@ -146,6 +176,8 @@ impl Default for ServeConfig {
             thread_budget: fractalcloud_parallel::workers(),
             batch_blocks: true,
             max_connections: 64,
+            deadline_ms: 0,
+            faults: FaultPlan::from_env(),
         }
     }
 }

@@ -38,19 +38,62 @@
 //! up in the engine-wide [`PartitionCache`]; identical frame bytes at the
 //! same threshold reuse the cached `Arc<FractalResult>` and skip straight
 //! to the BPPO half ([`Pipeline::run_with_partition`]).
+//!
+//! # Failure model
+//!
+//! A request always gets **exactly one** terminal outcome, whatever happens
+//! to the worker executing it:
+//!
+//! * Every admitted job carries a drop-guard ([`TicketGuard`]) that
+//!   resolves its slot with the non-retryable [`ServeError::Internal`] if
+//!   the job is dropped unresolved — so an executor panic (real or
+//!   injected) can never strand a waiter in [`Ticket::wait`].
+//! * Worker panics are supervised: the unwinding worker spawns a
+//!   replacement (succession) and exits; `worker_panics` /
+//!   `workers_respawned` count the events, and the engine keeps serving.
+//!   Workspaces and output staging live during an unwind are discarded,
+//!   never re-pooled (see [`fractalcloud_core::workspace::PoolGuard`]).
+//! * Shared mutexes are recovered from poisoning with
+//!   [`lock_unpoisoned`]: every critical section over the queue, cache,
+//!   worker registry and ticket slots keeps its data valid even when
+//!   interrupted by a panic (single `VecDeque`/`HashMap`/`Vec`/`Option`
+//!   operations — each is exception-safe in isolation), so a poisoned
+//!   lock still guards a valid-by-construction structure.
+//! * Deadlines are cooperative: expired-in-queue jobs shed with the
+//!   retryable [`ShedReason::DeadlineExceeded`], the batcher excludes
+//!   expired frames from fusion, and mid-run expiry cancels at the
+//!   pipeline stage seams ([`CancelToken`]).
+//! * The seeded fault layer ([`crate::faults`]) injects panics, delays and
+//!   errors at fixed points for chaos testing; it is off by default and
+//!   its disabled cost is one `Option` check per site.
 
 use crate::cache::{frame_key, PartitionCache};
 use crate::config::ServeConfig;
+use crate::faults::{self, FaultLayer, FaultPoint};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use fractalcloud_core::workspace::{global_pool, Pool};
-use fractalcloud_core::{Pipeline, PipelineConfig, PipelineOutput, Workspace};
+use fractalcloud_core::{CancelToken, Pipeline, PipelineConfig, PipelineOutput, Workspace};
 use fractalcloud_pointcloud::ops::OpCounters;
 use fractalcloud_pointcloud::{Error, PointCloud};
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU8, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Locks `m`, recovering from poisoning instead of propagating the panic
+/// of whichever thread died while holding the guard.
+///
+/// Soundness contract (checked at every call site in this crate): the data
+/// behind the mutex must be valid after *any* prefix of the critical
+/// section — which holds here because each critical section performs
+/// individually exception-safe container operations (`VecDeque`
+/// push/pop, `HashMap` get/insert, `Vec` push/drain, `Option` writes) and
+/// never leaves a multi-step invariant half-established.
+pub(crate) fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Request priority classes.
 ///
@@ -139,6 +182,10 @@ pub enum ShedReason {
     },
     /// The engine is draining for shutdown.
     ShuttingDown,
+    /// The request's deadline expired before it finished executing (in the
+    /// queue, at batch assembly, or at a pipeline stage seam). Retryable —
+    /// with a fresh deadline.
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for ShedReason {
@@ -149,6 +196,7 @@ impl std::fmt::Display for ShedReason {
                 write!(f, "frame of {points} points exceeds limit of {max_points}")
             }
             ShedReason::ShuttingDown => write!(f, "engine shutting down"),
+            ShedReason::DeadlineExceeded => write!(f, "deadline exceeded before completion"),
         }
     }
 }
@@ -162,6 +210,10 @@ pub enum ServeError {
     /// Rejected as invalid (not retryable as-is: empty frame or bad
     /// parameters).
     Invalid(Error),
+    /// The request's executor failed (panicked, or hit an injected fault).
+    /// Not retryable blindly — the same input may fail the same way; the
+    /// engine itself survived and keeps serving.
+    Internal,
 }
 
 impl std::fmt::Display for ServeError {
@@ -169,6 +221,7 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::Shed(r) => write!(f, "request shed: {r}"),
             ServeError::Invalid(e) => write!(f, "invalid request: {e}"),
+            ServeError::Internal => write!(f, "internal error: the request's executor failed"),
         }
     }
 }
@@ -221,13 +274,107 @@ pub struct Ticket {
 }
 
 impl Ticket {
-    /// Blocks until the response (or terminal error) is ready.
+    /// Blocks until the response (or terminal error) is ready. Never hangs:
+    /// every admitted job carries a drop-guard that resolves the slot (with
+    /// [`ServeError::Internal`]) even when its executor panics or its
+    /// worker dies.
     pub fn wait(self) -> Result<FrameResponse, ServeError> {
-        let mut guard = self.slot.result.lock().expect("slot lock");
+        let mut guard = lock_unpoisoned(&self.slot.result);
         while guard.is_none() {
-            guard = self.slot.ready.wait(guard).expect("slot wait");
+            guard = self.slot.ready.wait(guard).unwrap_or_else(PoisonError::into_inner);
         }
         guard.take().expect("checked above")
+    }
+
+    /// [`Ticket::wait`] bounded by a timeout: `None` when the response was
+    /// still pending after `timeout` (the ticket is consumed; the request
+    /// keeps running and resolves into the abandoned slot). The engine's
+    /// failure model makes `None` an anomaly worth asserting on — chaos
+    /// tests use exactly that.
+    pub fn wait_timeout(self, timeout: Duration) -> Option<Result<FrameResponse, ServeError>> {
+        let deadline = Instant::now().checked_add(timeout)?;
+        let mut guard = lock_unpoisoned(&self.slot.result);
+        while guard.is_none() {
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (g, _timed_out) = self
+                .slot
+                .ready
+                .wait_timeout(guard, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            guard = g;
+        }
+        Some(guard.take().expect("checked above"))
+    }
+}
+
+/// The engine-side twin of a [`Ticket`]: owns the obligation to resolve
+/// the slot exactly once. Explicit resolution goes through
+/// [`TicketGuard::finish`]; if the guard is instead *dropped* unresolved —
+/// an executor unwound, a worker died with jobs in hand, a batch vector
+/// was discarded mid-panic — `Drop` resolves the slot with
+/// [`ServeError::Internal`] so the waiter always wakes. First resolution
+/// wins; later ones are no-ops.
+struct TicketGuard {
+    priority: Priority,
+    admitted_at: Instant,
+    slot: Arc<Slot>,
+    metrics: Arc<Metrics>,
+    /// Whether this guard already resolved its slot. Tracked on the guard
+    /// (not inferred from the slot) because a waiter *takes* the result
+    /// out of the slot — an emptied slot must not look unresolved to the
+    /// guard's own `Drop`.
+    resolved: bool,
+}
+
+impl TicketGuard {
+    /// Resolves the ticket with `outcome` and records the outcome-class
+    /// metrics (latency + completion for delivered responses, the
+    /// dedicated counters for deadline sheds and internal failures;
+    /// queue-bound sheds are counted by the displacing submitter).
+    fn finish(mut self, outcome: Result<FrameResponse, ServeError>) {
+        self.resolve(outcome);
+        // The impending Drop finds `resolved` set: no-op.
+    }
+
+    fn resolve(&mut self, outcome: Result<FrameResponse, ServeError>) {
+        if self.resolved {
+            return;
+        }
+        self.resolved = true;
+        let mut guard = lock_unpoisoned(&self.slot.result);
+        if guard.is_some() {
+            return;
+        }
+        match &outcome {
+            Ok(_) | Err(ServeError::Invalid(_)) => {
+                let elapsed = self.admitted_at.elapsed();
+                self.metrics.latency.record(elapsed);
+                self.metrics.latency_by_class[self.priority.index()].record(elapsed);
+                self.metrics.completed.fetch_add(1, Ordering::Relaxed);
+                self.metrics.note_progress();
+            }
+            Err(ServeError::Shed(ShedReason::DeadlineExceeded)) => {
+                self.metrics.shed_deadline.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(ServeError::Shed(_)) => {}
+            Err(ServeError::Internal) => {
+                self.metrics.failed_internal.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        *guard = Some(outcome);
+        drop(guard);
+        self.slot.ready.notify_all();
+    }
+}
+
+impl Drop for TicketGuard {
+    fn drop(&mut self) {
+        // Reached unresolved only when the job was abandoned by a panic
+        // somewhere between admission and publication.
+        self.resolve(Err(ServeError::Internal));
     }
 }
 
@@ -238,7 +385,15 @@ struct Job {
     compat: u64,
     priority: Priority,
     admitted_at: Instant,
-    slot: Arc<Slot>,
+    /// Absolute execution deadline (`None` = unbounded).
+    deadline: Option<Instant>,
+    ticket: TicketGuard,
+}
+
+impl Job {
+    fn expired(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|d| now >= d)
+    }
 }
 
 /// Weighted dequeue schedule over [`Priority::index`]es: per 7 pops, High
@@ -295,14 +450,23 @@ struct Shared {
     queue: Mutex<QueueState>,
     available: Condvar,
     state: AtomicU8,
-    metrics: Metrics,
+    metrics: Arc<Metrics>,
     cache: Mutex<PartitionCache>,
     /// Pooled [`PipelineOutput`] staging: workers refill a recycled output
     /// in place (`run_with_partition_into`), move the response vectors out,
     /// and return the staging — so the per-block rows and other assembly
     /// buffers are reused across frames. Workspaces themselves come from
     /// the core crate's process-wide pool, one per execution lane.
+    /// Both pools discard (never re-pool) values whose guard drops during
+    /// an unwind.
     outputs: Pool<PipelineOutput>,
+    /// The seeded fault layer; `None` (the overwhelmingly common case)
+    /// makes every injection site one discriminant test.
+    faults: Option<Arc<FaultLayer>>,
+    /// Live worker handles — including replacements spawned by panic
+    /// supervision, which register themselves here so shutdown can join
+    /// whatever generation of workers is current.
+    workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
 /// The serving engine. See the [module docs](self) for the request
@@ -323,7 +487,6 @@ struct Shared {
 /// ```
 pub struct Engine {
     shared: Arc<Shared>,
-    workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl Engine {
@@ -331,23 +494,24 @@ impl Engine {
     pub fn start(cfg: ServeConfig) -> Engine {
         let shared = Arc::new(Shared {
             cache: Mutex::new(PartitionCache::new(cfg.cache_capacity)),
+            faults: FaultLayer::new(cfg.faults),
             cfg,
             queue: Mutex::new(QueueState::new()),
             available: Condvar::new(),
             state: AtomicU8::new(RUNNING),
-            metrics: Metrics::default(),
+            metrics: Arc::new(Metrics::default()),
             outputs: Pool::new(),
+            workers: Mutex::new(Vec::new()),
         });
-        let workers = (0..cfg.workers.max(1))
+        let workers: Vec<JoinHandle<()>> = (0..cfg.workers.max(1))
             .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("fc-serve-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn serve worker")
+                let h = spawn_worker(&shared, i).expect("spawn serve worker");
+                shared.metrics.workers_alive.fetch_add(1, Ordering::Relaxed);
+                h
             })
             .collect();
-        Engine { shared, workers: Mutex::new(workers) }
+        lock_unpoisoned(&shared.workers).extend(workers);
+        Engine { shared }
     }
 
     /// The engine's configuration.
@@ -385,6 +549,27 @@ impl Engine {
         config: PipelineConfig,
         priority: Priority,
     ) -> Result<Ticket, ServeError> {
+        self.submit_with_options(cloud, config, priority, None)
+    }
+
+    /// [`Engine::submit_with_priority`] with an explicit per-request
+    /// deadline, measured from admission. `None` falls back to the
+    /// configured default ([`ServeConfig::deadline_ms`], 0 = unbounded).
+    /// A job whose deadline passes before execution is shed with the
+    /// retryable [`ShedReason::DeadlineExceeded`]; one that expires
+    /// mid-run is cancelled at the next pipeline stage seam and resolves
+    /// the same way.
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::submit_with_priority`].
+    pub fn submit_with_options(
+        &self,
+        cloud: PointCloud,
+        config: PipelineConfig,
+        priority: Priority,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, ServeError> {
         let m = &self.shared.metrics;
         m.submitted.fetch_add(1, Ordering::Relaxed);
         if let Err(e) = config.validate() {
@@ -403,17 +588,15 @@ impl Engine {
             }));
         }
 
+        let admitted_at = Instant::now();
+        let budget = deadline.or_else(|| {
+            (self.shared.cfg.deadline_ms > 0)
+                .then(|| Duration::from_millis(self.shared.cfg.deadline_ms))
+        });
+        let deadline = budget.and_then(|d| admitted_at.checked_add(d));
         let slot = Arc::new(Slot::default());
-        let job = Job {
-            compat: config.compat_key(),
-            cloud,
-            config,
-            priority,
-            admitted_at: Instant::now(),
-            slot: Arc::clone(&slot),
-        };
         let displaced = {
-            let mut queue = self.shared.queue.lock().expect("queue lock");
+            let mut queue = lock_unpoisoned(&self.shared.queue);
             // State is checked under the queue lock: shutdown() transitions
             // under the same lock, so no admission can slip past a drain.
             if self.shared.state.load(Ordering::SeqCst) != RUNNING {
@@ -433,7 +616,23 @@ impl Engine {
                     }
                 }
             }
-            queue.classes[priority.index()].push_back(job);
+            // The job (and the resolution obligation its guard carries) is
+            // only constructed once admission is certain.
+            queue.classes[priority.index()].push_back(Job {
+                compat: config.compat_key(),
+                cloud,
+                config,
+                priority,
+                admitted_at,
+                deadline,
+                ticket: TicketGuard {
+                    priority,
+                    admitted_at,
+                    slot: Arc::clone(&slot),
+                    metrics: Arc::clone(m),
+                    resolved: false,
+                },
+            });
             m.admitted.fetch_add(1, Ordering::Relaxed);
             m.set_queue_depth(queue.len());
             displaced
@@ -441,9 +640,7 @@ impl Engine {
         if let Some(victim) = displaced {
             m.shed_queue_full.fetch_add(1, Ordering::Relaxed);
             m.shed_by_class[victim.priority.index()].fetch_add(1, Ordering::Relaxed);
-            let mut guard = victim.slot.result.lock().expect("slot lock");
-            *guard = Some(Err(ServeError::Shed(ShedReason::QueueFull)));
-            victim.slot.ready.notify_all();
+            victim.ticket.finish(Err(ServeError::Shed(ShedReason::QueueFull)));
         }
         self.shared.available.notify_one();
         Ok(Ticket { slot })
@@ -478,9 +675,15 @@ impl Engine {
         self.submit_with_priority(cloud, config, priority)?.wait()
     }
 
-    /// A point-in-time copy of every serving metric.
+    /// A point-in-time copy of every serving metric. `faults_injected`
+    /// reflects the engine's own fault layer (the layer keeps the
+    /// authoritative per-point counters).
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.shared.metrics.snapshot()
+        let mut snapshot = self.shared.metrics.snapshot();
+        if let Some(layer) = &self.shared.faults {
+            snapshot.faults_injected = FaultPoint::ALL.iter().map(|&p| layer.injected_at(p)).sum();
+        }
+        snapshot
     }
 
     /// Shared access to the metrics registry (the TCP front-end counts its
@@ -489,25 +692,91 @@ impl Engine {
         &self.shared.metrics
     }
 
+    /// The engine's fault layer, if one is active (the TCP front-end
+    /// injects its net-side faults through this).
+    pub(crate) fn fault_layer(&self) -> &Option<Arc<FaultLayer>> {
+        &self.shared.faults
+    }
+
+    /// A point-in-time liveness snapshot — cheap enough for a health
+    /// endpoint to call per probe.
+    pub fn health(&self) -> EngineHealth {
+        let queued_by_class = {
+            let queue = lock_unpoisoned(&self.shared.queue);
+            std::array::from_fn(|c| queue.classes[c].len() as u64)
+        };
+        let snapshot = self.shared.metrics.snapshot();
+        let workers_alive = snapshot.workers_alive;
+        EngineHealth {
+            live: workers_alive > 0 && self.shared.state.load(Ordering::SeqCst) == RUNNING,
+            workers_alive,
+            workers_configured: self.shared.cfg.workers.max(1) as u64,
+            queued_by_class,
+            last_progress_age_ms: self.shared.metrics.progress_age_ms(),
+            worker_panics: snapshot.worker_panics,
+            workers_respawned: snapshot.workers_respawned,
+        }
+    }
+
     /// Graceful shutdown: stops admitting (subsequent submits shed with
     /// [`ShedReason::ShuttingDown`]), lets the workers drain every already
-    /// admitted job, and joins them. Idempotent; concurrent callers all
-    /// block until the drain finishes.
+    /// admitted job, and joins them — collecting join results instead of
+    /// propagating worker panics (a panicked worker already counted itself
+    /// in `worker_panics`; a handle that joins with `Err` here is the
+    /// defensive backstop for a panic that escaped supervision). Idempotent;
+    /// concurrent callers all block until the drain finishes.
     pub fn shutdown(&self) {
         {
-            let _queue = self.shared.queue.lock().expect("queue lock");
+            let _queue = lock_unpoisoned(&self.shared.queue);
             self.shared
                 .state
                 .compare_exchange(RUNNING, DRAINING, Ordering::SeqCst, Ordering::SeqCst)
                 .ok();
         }
         self.shared.available.notify_all();
-        let mut workers = self.workers.lock().expect("workers lock");
-        for h in workers.drain(..) {
-            h.join().expect("serve worker panicked");
+        // Drain in rounds: a panicking worker may register its replacement
+        // while this loop runs, so keep joining until the registry stays
+        // empty. Handles are taken out before joining (never join while
+        // holding the registry lock — the replacement needs it to register).
+        loop {
+            let drained: Vec<JoinHandle<()>> =
+                lock_unpoisoned(&self.shared.workers).drain(..).collect();
+            if drained.is_empty() {
+                break;
+            }
+            for h in drained {
+                if h.join().is_err() {
+                    // Escaped supervision entirely (e.g. a panic in the
+                    // supervisor itself) — count it so the event is visible.
+                    self.shared.metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
+                }
+            }
         }
         self.shared.state.store(STOPPED, Ordering::SeqCst);
     }
+}
+
+/// A point-in-time liveness snapshot from [`Engine::health`], also served
+/// over the wire as the `FCS1` health request kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineHealth {
+    /// True when the engine is accepting work and at least one worker is
+    /// alive to execute it.
+    pub live: bool,
+    /// Worker threads currently running their loop.
+    pub workers_alive: u64,
+    /// Worker threads the configuration asked for.
+    pub workers_configured: u64,
+    /// Queued jobs per priority class ([`Priority::index`] order).
+    pub queued_by_class: [u64; 3],
+    /// Milliseconds since a worker last completed a request (0 when nothing
+    /// has completed yet — pair with the queue depths to tell "idle" from
+    /// "stuck").
+    pub last_progress_age_ms: u64,
+    /// Worker panics survived since start.
+    pub worker_panics: u64,
+    /// Replacement workers spawned by panic supervision.
+    pub workers_respawned: u64,
 }
 
 impl Drop for Engine {
@@ -518,64 +787,141 @@ impl Drop for Engine {
     }
 }
 
-/// Worker: pop the next job per the weighted priority schedule, gather its
-/// compatibility batch from every class (highest first, preserving each
-/// class's arrival order), execute.
-fn worker_loop(shared: &Shared) {
+/// Spawns one supervised worker thread.
+fn spawn_worker(shared: &Arc<Shared>, id: usize) -> std::io::Result<JoinHandle<()>> {
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("fc-serve-{id}"))
+        .spawn(move || worker_main(&shared, id))
+}
+
+/// The supervised body of a worker thread: run the loop, and if it unwinds
+/// (a panic the batch executors didn't contain — or an injected
+/// `panic@worker`), count the event, spawn a successor, and exit.
+/// Supervision-by-succession keeps the thread count constant without a
+/// dedicated supervisor thread: the dying worker is its own supervisor.
+///
+/// `workers_alive` is incremented by whoever *spawns* a worker (start or
+/// respawn) and decremented here at exit, so the gauge never dips to zero
+/// in the handoff window between a successor being registered and its
+/// thread actually starting.
+fn worker_main(shared: &Arc<Shared>, id: usize) {
     loop {
-        let batch = {
-            let mut queue = shared.queue.lock().expect("queue lock");
-            loop {
-                if let Some(first) = queue.pop_weighted() {
-                    let compat = first.compat;
-                    let mut batch = vec![first];
-                    for class in 0..queue.classes.len() {
-                        if batch.len() >= shared.cfg.max_batch {
-                            break;
-                        }
-                        let lane = &mut queue.classes[class];
-                        let mut kept = VecDeque::with_capacity(lane.len());
-                        while let Some(job) = lane.pop_front() {
-                            if batch.len() < shared.cfg.max_batch && job.compat == compat {
-                                batch.push(job);
-                            } else {
-                                kept.push_back(job);
-                            }
-                        }
-                        *lane = kept;
-                    }
-                    shared.metrics.set_queue_depth(queue.len());
-                    break batch;
-                }
+        match catch_unwind(AssertUnwindSafe(|| worker_loop(shared))) {
+            Ok(()) => break, // drained for shutdown
+            Err(_) => {
+                shared.metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
+                // Any job the panic abandoned has already been resolved to
+                // Internal by its TicketGuard's drop during the unwind.
                 if shared.state.load(Ordering::SeqCst) != RUNNING {
-                    return;
+                    break;
                 }
-                queue = shared.available.wait(queue).expect("queue wait");
+                if respawn_worker(shared, id) {
+                    break; // the successor has the slot; this thread retires
+                }
+                // Could not spawn a successor (resource exhaustion): this
+                // thread resurrects in place rather than shrink the pool.
             }
-        };
-        execute_batch(shared, batch);
+        }
+    }
+    shared.metrics.workers_alive.fetch_sub(1, Ordering::Relaxed);
+}
+
+/// Spawns and registers a successor for a panicked worker. Returns false
+/// when the OS refused the thread (the caller then keeps serving itself).
+fn respawn_worker(shared: &Arc<Shared>, id: usize) -> bool {
+    match spawn_worker(shared, id) {
+        Ok(handle) => {
+            shared.metrics.workers_alive.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.workers_respawned.fetch_add(1, Ordering::Relaxed);
+            lock_unpoisoned(&shared.workers).push(handle);
+            true
+        }
+        Err(_) => false,
     }
 }
 
-/// Publishes one finished request: latency metrics (global and per-class),
-/// then the response through the ticket slot.
-fn publish(
-    m: &Metrics,
-    priority: Priority,
-    admitted_at: Instant,
-    slot: &Slot,
-    outcome: Result<FrameResponse, ServeError>,
-) {
-    let elapsed = admitted_at.elapsed();
-    m.latency.record(elapsed);
-    m.latency_by_class[priority.index()].record(elapsed);
-    m.completed.fetch_add(1, Ordering::Relaxed);
-    let mut guard = slot.result.lock().expect("slot lock");
-    *guard = Some(outcome);
-    slot.ready.notify_all();
+/// Worker: pop the next job per the weighted priority schedule, gather its
+/// compatibility batch from every class (highest first, preserving each
+/// class's arrival order), execute. Returns when the engine drains.
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(batch) = next_batch(shared) {
+        // An empty batch means the pop only found expired jobs (already
+        // shed by next_batch) — go straight back for more work.
+        if !batch.is_empty() {
+            execute_batch(shared, batch);
+        }
+    }
 }
 
-/// Runs one compatible batch and publishes every response.
+/// Blocks for the next compatible batch; `None` once the engine is draining
+/// and the queue is empty. Jobs whose deadline already passed are shed here
+/// (retryable [`ShedReason::DeadlineExceeded`]) instead of batched — the
+/// waiter gets its answer sooner and the batch wastes no budget on work
+/// nobody wants anymore.
+fn next_batch(shared: &Arc<Shared>) -> Option<Vec<Job>> {
+    let mut expired: Vec<Job> = Vec::new();
+    let batch = {
+        let mut queue = lock_unpoisoned(&shared.queue);
+        loop {
+            let now = Instant::now();
+            let mut first = None;
+            while let Some(job) = queue.pop_weighted() {
+                if job.expired(now) {
+                    expired.push(job);
+                } else {
+                    first = Some(job);
+                    break;
+                }
+            }
+            if let Some(first) = first {
+                let compat = first.compat;
+                let mut batch = vec![first];
+                for class in 0..queue.classes.len() {
+                    if batch.len() >= shared.cfg.max_batch {
+                        break;
+                    }
+                    let lane = &mut queue.classes[class];
+                    let mut kept = VecDeque::with_capacity(lane.len());
+                    while let Some(job) = lane.pop_front() {
+                        if job.expired(now) {
+                            expired.push(job);
+                        } else if batch.len() < shared.cfg.max_batch && job.compat == compat {
+                            batch.push(job);
+                        } else {
+                            kept.push_back(job);
+                        }
+                    }
+                    *lane = kept;
+                }
+                shared.metrics.set_queue_depth(queue.len());
+                break Some(batch);
+            }
+            shared.metrics.set_queue_depth(queue.len());
+            if !expired.is_empty() {
+                // Everything popped had expired: hand back an empty batch so
+                // the sheds below resolve now, not after the next arrival.
+                break Some(Vec::new());
+            }
+            if shared.state.load(Ordering::SeqCst) != RUNNING {
+                break None;
+            }
+            queue = shared.available.wait(queue).unwrap_or_else(PoisonError::into_inner);
+        }
+    };
+    // Resolved outside the queue lock: finish() takes the slot lock, and
+    // keeping the queue→slot order acyclic (never slot→queue) is what makes
+    // both locks safe to take at all.
+    for job in expired {
+        job.ticket.finish(Err(ServeError::Shed(ShedReason::DeadlineExceeded)));
+    }
+    batch
+}
+
+/// Runs one compatible batch and resolves every ticket. The injected
+/// `worker` fault point fires here — an injected error drops the whole
+/// batch (each guard resolves Internal), an injected panic unwinds into the
+/// supervisor in [`worker_main`].
 fn execute_batch(shared: &Shared, batch: Vec<Job>) {
     let size = batch.len();
     let m = &shared.metrics;
@@ -584,6 +930,12 @@ fn execute_batch(shared: &Shared, batch: Vec<Job>) {
     let started = Instant::now();
     for job in &batch {
         m.queue_wait.record(started.duration_since(job.admitted_at));
+    }
+    if faults::fire(&shared.faults, FaultPoint::Worker) {
+        // Injected executor error: dropping the jobs resolves every ticket
+        // to Internal through its guard — the same path a real panic takes.
+        drop(batch);
+        return;
     }
 
     if size >= 2 && shared.cfg.batch_blocks && shared.cfg.thread_budget > 1 {
@@ -612,15 +964,16 @@ fn execute_batch(shared: &Shared, batch: Vec<Job>) {
         shared.cfg.thread_budget,
         || global_pool().checkout(),
         |_, job, ws| {
-            let admitted_at = job.admitted_at;
-            let priority = job.priority;
-            let slot = Arc::clone(&job.slot);
-            let outcome = execute_one(shared, job, size, ws);
-            (priority, admitted_at, slot, outcome)
+            let Job { cloud, config, ticket, deadline, .. } = job;
+            let outcome = execute_one(shared, &cloud, config, deadline, size, ws);
+            (ticket, outcome)
         },
     );
-    for (priority, admitted_at, slot, outcome) in outcomes {
-        publish(m, priority, admitted_at, &slot, outcome);
+    // A lane that panicked dropped its (ticket, outcome) pair mid-flight —
+    // that ticket already resolved Internal via its guard; the survivors
+    // resolve here.
+    for (ticket, outcome) in outcomes {
+        ticket.finish(outcome);
     }
 }
 
@@ -644,13 +997,25 @@ fn execute_batch_blocks(shared: &Shared, batch: Vec<Job>) {
         built: Option<(Arc<fractalcloud_core::FractalResult>, bool)>,
     }
 
+    /// One `(frame, block)` task's verdict. Anything but `Done` marks the
+    /// whole frame (a frame with a missing block has no valid assembly).
+    // Not boxed: `Done` is the overwhelmingly common variant and these
+    // values live only inside one short-lived per-batch Vec — indirection
+    // would put an allocation per block task on the hot path.
+    #[allow(clippy::large_enum_variant)]
+    enum TaskOut {
+        Done((Vec<usize>, OpCounters), fractalcloud_core::BlockNeighborTask),
+        Expired,
+        Failed,
+    }
+
     // Stage 0 — pipelines and partition-cache lookups (cheap, sequential).
     let mut frames: Vec<Option<FrameCtx>> = Vec::with_capacity(size);
     for job in batch {
         match Pipeline::new(job.config) {
             Ok(pipeline) => {
                 let key = frame_key(&job.cloud, job.config.threshold);
-                let cached = shared.cache.lock().expect("cache lock").get(key);
+                let cached = lock_unpoisoned(&shared.cache).get(key);
                 match &cached {
                     Some(_) => m.cache_hits.fetch_add(1, Ordering::Relaxed),
                     None => m.cache_misses.fetch_add(1, Ordering::Relaxed),
@@ -665,7 +1030,7 @@ fn execute_batch_blocks(shared: &Shared, batch: Vec<Job>) {
             Err(e) => {
                 // Unreachable in practice (configs are validated at
                 // admission), kept total so a worker can never panic.
-                publish(m, job.priority, job.admitted_at, &job.slot, Err(ServeError::Invalid(e)));
+                job.ticket.finish(Err(ServeError::Invalid(e)));
                 frames.push(None);
             }
         }
@@ -695,18 +1060,14 @@ fn execute_batch_blocks(shared: &Shared, batch: Vec<Job>) {
                 Ok(result) => {
                     let ctx = frames[f].as_mut().expect("missing frame is live");
                     let arc = Arc::new(result);
-                    shared.cache.lock().expect("cache lock").insert(ctx.key, Arc::clone(&arc));
+                    if !faults::fire(&shared.faults, FaultPoint::CacheInsert) {
+                        lock_unpoisoned(&shared.cache).insert(ctx.key, Arc::clone(&arc));
+                    }
                     ctx.built = Some((arc, false));
                 }
                 Err(e) => {
                     let ctx = frames[f].take().expect("missing frame is live");
-                    publish(
-                        m,
-                        ctx.job.priority,
-                        ctx.job.admitted_at,
-                        &ctx.job.slot,
-                        Err(ServeError::Invalid(e)),
-                    );
+                    ctx.job.ticket.finish(Err(ServeError::Invalid(e)));
                 }
             }
         }
@@ -731,45 +1092,71 @@ fn execute_batch_blocks(shared: &Shared, batch: Vec<Job>) {
         .collect();
     let tasks: Vec<(usize, usize)> =
         counts.iter().enumerate().flat_map(|(f, c)| (0..c.len()).map(move |b| (f, b))).collect();
+    // Each task first checks its frame's deadline (cooperative
+    // cancellation at the block seam) and the injected block fault point;
+    // anything but a completed block marks the whole frame's fate.
     let parts = fractalcloud_parallel::parallel_map_budget_with(
         tasks,
         budget,
         || global_pool().checkout(),
         |_, (f, b), ws| {
             let ctx = frames[f].as_ref().expect("task frames are live");
+            if ctx.job.expired(Instant::now()) {
+                return ((f, b), TaskOut::Expired);
+            }
+            if faults::fire(&shared.faults, FaultPoint::Block) {
+                return ((f, b), TaskOut::Failed);
+            }
             let (built, _) = ctx.built.as_ref().expect("live frames have partitions");
             let fps = ctx.pipeline.sample_block_ws(&ctx.job.cloud, built, b, counts[f][b], ws);
             let group = ctx.pipeline.group_block_ws(&ctx.job.cloud, built, b, &fps.0, ws);
-            ((f, b), fps, group)
+            ((f, b), TaskOut::Done(fps, group))
         },
     );
     let mut sampled: Vec<Vec<(Vec<usize>, OpCounters)>> =
         counts.iter().map(|c| Vec::with_capacity(c.len())).collect();
     let mut grouped: Vec<Vec<fractalcloud_core::BlockNeighborTask>> =
         counts.iter().map(|c| Vec::with_capacity(c.len())).collect();
-    for ((f, _), fps, group) in parts {
-        sampled[f].push(fps);
-        grouped[f].push(group);
+    // Frame fates: 0 = every block done, 1 = a block saw the deadline pass,
+    // 2 = a block failed (failure outranks expiry — Internal is the honest
+    // answer when both happened).
+    let mut fate: Vec<u8> = vec![0; size];
+    for ((f, _), out) in parts {
+        match out {
+            TaskOut::Done(fps, group) => {
+                sampled[f].push(fps);
+                grouped[f].push(group);
+            }
+            TaskOut::Expired => fate[f] = fate[f].max(1),
+            TaskOut::Failed => fate[f] = 2,
+        }
     }
 
-    // Stage 4 — per-frame assembly (the same aggregation a per-frame run
-    // uses) and publication.
-    for ((ctx, sampled), grouped) in frames.into_iter().zip(sampled).zip(grouped) {
+    // Stage 3 — per-frame assembly (the same aggregation a per-frame run
+    // uses) and resolution; frames with missing blocks resolve to their
+    // fate instead.
+    for (f, ((ctx, sampled), grouped)) in frames.into_iter().zip(sampled).zip(grouped).enumerate() {
         let Some(ctx) = ctx else { continue };
-        let (built, cache_hit) = ctx.built.expect("live frames have partitions");
-        let out = ctx.pipeline.assemble_output(&built, sampled, grouped);
-        let response = FrameResponse {
-            sampled_indices: out.sampled.indices,
-            neighbor_indices: out.grouped.indices,
-            found: out.grouped.found,
-            num: out.grouped.num,
-            blocks: out.blocks,
-            sample_counters: out.sampled.counters,
-            group_counters: out.grouped.counters,
-            cache_hit,
-            batch_size: size,
-        };
-        publish(m, ctx.job.priority, ctx.job.admitted_at, &ctx.job.slot, Ok(response));
+        match fate[f] {
+            2 => ctx.job.ticket.finish(Err(ServeError::Internal)),
+            1 => ctx.job.ticket.finish(Err(ServeError::Shed(ShedReason::DeadlineExceeded))),
+            _ => {
+                let (built, cache_hit) = ctx.built.expect("live frames have partitions");
+                let out = ctx.pipeline.assemble_output(&built, sampled, grouped);
+                let response = FrameResponse {
+                    sampled_indices: out.sampled.indices,
+                    neighbor_indices: out.grouped.indices,
+                    found: out.grouped.found,
+                    num: out.grouped.num,
+                    blocks: out.blocks,
+                    sample_counters: out.sampled.counters,
+                    group_counters: out.grouped.counters,
+                    cache_hit,
+                    batch_size: size,
+                };
+                ctx.job.ticket.finish(Ok(response));
+            }
+        }
     }
 }
 
@@ -785,15 +1172,23 @@ fn execute_batch_blocks(shared: &Shared, batch: Vec<Job>) {
 /// engine).
 fn execute_one(
     shared: &Shared,
-    job: Job,
+    cloud: &PointCloud,
+    config: PipelineConfig,
+    deadline: Option<Instant>,
     batch_size: usize,
     ws: &mut Workspace,
 ) -> Result<FrameResponse, ServeError> {
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        return Err(ServeError::Shed(ShedReason::DeadlineExceeded));
+    }
+    if faults::fire(&shared.faults, FaultPoint::Block) {
+        return Err(ServeError::Internal);
+    }
     let parallel = fractalcloud_parallel::effective_budget() > 1;
-    let pipeline = Pipeline::new(job.config).map_err(ServeError::Invalid)?;
-    let key = frame_key(&job.cloud, job.config.threshold);
+    let pipeline = Pipeline::new(config).map_err(ServeError::Invalid)?;
+    let key = frame_key(cloud, config.threshold);
 
-    let cached = shared.cache.lock().expect("cache lock").get(key);
+    let cached = lock_unpoisoned(&shared.cache).get(key);
     let (built, cache_hit) = match cached {
         Some(b) => {
             shared.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -801,18 +1196,37 @@ fn execute_one(
         }
         None => {
             shared.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
-            let built = Arc::new(
-                pipeline.partition_ws(&job.cloud, parallel, ws).map_err(ServeError::Invalid)?,
-            );
-            shared.cache.lock().expect("cache lock").insert(key, Arc::clone(&built));
+            let built =
+                Arc::new(pipeline.partition_ws(cloud, parallel, ws).map_err(ServeError::Invalid)?);
+            if !faults::fire(&shared.faults, FaultPoint::CacheInsert) {
+                lock_unpoisoned(&shared.cache).insert(key, Arc::clone(&built));
+            }
             (built, false)
         }
     };
 
     let mut staging = shared.outputs.checkout();
-    pipeline
-        .run_with_partition_into(&job.cloud, &built, parallel, ws, &mut staging)
-        .map_err(ServeError::Invalid)?;
+    // Deadline-free requests keep the plain path (no CancelToken, no Arc
+    // allocation — preserving the zero-alloc warmed steady state); a
+    // deadline arms cooperative cancellation at the pipeline stage seams.
+    let run = match deadline {
+        None => pipeline.run_with_partition_into(cloud, &built, parallel, ws, &mut staging),
+        Some(d) => {
+            let cancel = CancelToken::with_deadline(d);
+            pipeline.run_with_partition_into_cancel(
+                cloud,
+                &built,
+                parallel,
+                ws,
+                &mut staging,
+                &cancel,
+            )
+        }
+    };
+    run.map_err(|e| match e {
+        Error::Cancelled => ServeError::Shed(ShedReason::DeadlineExceeded),
+        other => ServeError::Invalid(other),
+    })?;
     let out = &mut *staging;
     Ok(FrameResponse {
         sampled_indices: std::mem::take(&mut out.sampled.indices),
@@ -830,6 +1244,7 @@ fn execute_one(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::{FaultKind, FaultPlan};
     use fractalcloud_pointcloud::generate::{scene_cloud, uniform_cube, SceneConfig};
 
     fn small_engine() -> Engine {
@@ -894,17 +1309,30 @@ mod tests {
         engine.shutdown();
     }
 
-    #[test]
-    fn weighted_queue_pops_follow_the_schedule() {
-        // Pure queue-state test: deterministic, no threads.
-        let mk = |p: Priority| Job {
+    /// A queue-state test job (the guard points at a throwaway slot).
+    fn test_job(p: Priority) -> Job {
+        let admitted_at = Instant::now();
+        Job {
             cloud: uniform_cube(8, 1),
             config: PipelineConfig::default(),
             compat: 0,
             priority: p,
-            admitted_at: Instant::now(),
-            slot: Arc::new(Slot::default()),
-        };
+            admitted_at,
+            deadline: None,
+            ticket: TicketGuard {
+                priority: p,
+                admitted_at,
+                slot: Arc::new(Slot::default()),
+                metrics: Arc::new(Metrics::default()),
+                resolved: false,
+            },
+        }
+    }
+
+    #[test]
+    fn weighted_queue_pops_follow_the_schedule() {
+        // Pure queue-state test: deterministic, no threads.
+        let mk = test_job;
         let mut q = QueueState::new();
         for _ in 0..3 {
             q.classes[Priority::High.index()].push_back(mk(Priority::High));
@@ -933,14 +1361,7 @@ mod tests {
 
     #[test]
     fn displacement_sheds_the_youngest_lowest_class_only() {
-        let mk = |p: Priority| Job {
-            cloud: uniform_cube(8, 1),
-            config: PipelineConfig::default(),
-            compat: 0,
-            priority: p,
-            admitted_at: Instant::now(),
-            slot: Arc::new(Slot::default()),
-        };
+        let mk = test_job;
         let mut q = QueueState::new();
         q.classes[Priority::Normal.index()].push_back(mk(Priority::Normal));
         q.classes[Priority::Bulk.index()].push_back(mk(Priority::Bulk));
@@ -970,6 +1391,158 @@ mod tests {
     fn shutdown_is_idempotent() {
         let engine = small_engine();
         engine.shutdown();
+        engine.shutdown();
+    }
+
+    #[test]
+    fn dropped_ticket_guard_resolves_internal() {
+        let job = test_job(Priority::Normal);
+        let slot = Arc::clone(&job.ticket.slot);
+        drop(job); // simulate a panic abandoning the job mid-execution
+        assert_eq!(Ticket { slot }.wait(), Err(ServeError::Internal));
+    }
+
+    #[test]
+    fn finished_guard_keeps_its_first_resolution() {
+        let job = test_job(Priority::Normal);
+        let slot = Arc::clone(&job.ticket.slot);
+        job.ticket.finish(Err(ServeError::Shed(ShedReason::QueueFull)));
+        // The guard's own Drop ran after finish(); first resolution wins.
+        assert_eq!(Ticket { slot }.wait(), Err(ServeError::Shed(ShedReason::QueueFull)));
+    }
+
+    #[test]
+    fn wait_timeout_distinguishes_pending_from_resolved() {
+        let pending = Ticket { slot: Arc::new(Slot::default()) };
+        assert_eq!(pending.wait_timeout(Duration::from_millis(20)), None);
+
+        let slot = Arc::new(Slot::default());
+        *lock_unpoisoned(&slot.result) = Some(Err(ServeError::Internal));
+        let resolved = Ticket { slot };
+        assert_eq!(resolved.wait_timeout(Duration::from_secs(5)), Some(Err(ServeError::Internal)));
+    }
+
+    #[test]
+    fn lock_unpoisoned_recovers_a_poisoned_mutex() {
+        let m = Arc::new(Mutex::new(vec![1, 2, 3]));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        let mut guard = lock_unpoisoned(&m);
+        guard.push(4); // the data stayed valid through the poisoning
+        assert_eq!(*guard, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_deadline_requests_shed_as_deadline_exceeded() {
+        let engine = small_engine();
+        let r = engine
+            .submit_with_options(
+                uniform_cube(1024, 3),
+                PipelineConfig::default(),
+                Priority::Normal,
+                Some(Duration::ZERO),
+            )
+            .unwrap()
+            .wait();
+        assert_eq!(r, Err(ServeError::Shed(ShedReason::DeadlineExceeded)));
+        let m = engine.metrics();
+        assert_eq!(m.shed_deadline, 1);
+        assert!(m.shed_total() >= 1);
+        // The engine is unharmed: the next unbounded request completes.
+        assert!(engine.process(uniform_cube(1024, 3), PipelineConfig::default()).is_ok());
+        engine.shutdown();
+    }
+
+    #[test]
+    fn injected_worker_panics_are_supervised_and_survived() {
+        let plan =
+            FaultPlan::OFF.with_fault(FaultKind::Panic, FaultPoint::Worker, 1.0).with_seed(7);
+        let engine = Engine::start(ServeConfig::default().workers(1).faults(plan));
+        for _ in 0..3 {
+            let r = engine.process(uniform_cube(256, 5), PipelineConfig::default());
+            assert_eq!(r, Err(ServeError::Internal));
+        }
+        // The ticket resolves during the unwind, *before* the supervisor
+        // counts the panic and respawns — poll briefly for the counters.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let m = loop {
+            let m = engine.metrics();
+            if (m.worker_panics >= 3 && m.workers_respawned >= 3) || Instant::now() >= deadline {
+                break m;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        assert!(m.worker_panics >= 3, "worker_panics = {}", m.worker_panics);
+        assert!(m.workers_respawned >= 3, "workers_respawned = {}", m.workers_respawned);
+        assert_eq!(m.failed_internal, 3);
+        assert!(m.faults_injected >= 3);
+        let health = engine.health();
+        assert!(health.live, "engine must stay live through supervised panics");
+        engine.shutdown();
+        assert!(!engine.health().live);
+    }
+
+    #[test]
+    fn injected_worker_errors_resolve_internal_without_panicking() {
+        let plan = FaultPlan::OFF.with_fault(FaultKind::Err, FaultPoint::Worker, 1.0).with_seed(7);
+        let engine = Engine::start(ServeConfig::default().workers(1).faults(plan));
+        let r = engine.process(uniform_cube(256, 5), PipelineConfig::default());
+        assert_eq!(r, Err(ServeError::Internal));
+        let m = engine.metrics();
+        assert_eq!(m.worker_panics, 0);
+        assert_eq!(m.failed_internal, 1);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn injected_block_errors_resolve_internal() {
+        let plan = FaultPlan::OFF.with_fault(FaultKind::Err, FaultPoint::Block, 1.0).with_seed(7);
+        let engine = Engine::start(ServeConfig::default().workers(1).faults(plan));
+        let r = engine.process(uniform_cube(256, 5), PipelineConfig::default());
+        assert_eq!(r, Err(ServeError::Internal));
+        assert_eq!(engine.metrics().worker_panics, 0);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn injected_cache_insert_errors_skip_the_insert_but_serve_correctly() {
+        let plan =
+            FaultPlan::OFF.with_fault(FaultKind::Err, FaultPoint::CacheInsert, 1.0).with_seed(7);
+        let engine = Engine::start(ServeConfig::default().workers(1).faults(plan));
+        let cloud = uniform_cube(1024, 9);
+        let a = engine.process(cloud.clone(), PipelineConfig::default()).unwrap();
+        let b = engine.process(cloud.clone(), PipelineConfig::default()).unwrap();
+        // The insert was dropped both times, so the repeat still misses …
+        assert!(!a.cache_hit);
+        assert!(!b.cache_hit);
+        // … and results never depend on the cache.
+        assert_eq!(a.sampled_indices, b.sampled_indices);
+        assert_eq!(a.neighbor_indices, b.neighbor_indices);
+        engine.shutdown();
+
+        let clean = Engine::start(ServeConfig::default().workers(1));
+        let c = clean.process(cloud, PipelineConfig::default()).unwrap();
+        assert_eq!(c.sampled_indices, a.sampled_indices);
+        clean.shutdown();
+    }
+
+    #[test]
+    fn health_reports_workers_and_progress() {
+        let engine = small_engine();
+        let before = engine.health();
+        assert!(before.live);
+        assert_eq!(before.workers_alive, 2);
+        assert_eq!(before.workers_configured, 2);
+        assert_eq!(before.queued_by_class, [0, 0, 0]);
+        engine.process(uniform_cube(512, 3), PipelineConfig::default()).unwrap();
+        let after = engine.health();
+        assert_eq!(after.worker_panics, 0);
+        assert_eq!(after.workers_respawned, 0);
         engine.shutdown();
     }
 }

@@ -54,11 +54,13 @@
 pub mod cache;
 mod config;
 mod engine;
+pub mod faults;
 mod metrics;
 mod net;
 pub mod protocol;
 
 pub use config::ServeConfig;
-pub use engine::{Engine, FrameResponse, Priority, ServeError, ShedReason, Ticket};
+pub use engine::{Engine, EngineHealth, FrameResponse, Priority, ServeError, ShedReason, Ticket};
+pub use faults::{FaultKind, FaultPlan, FaultPoint};
 pub use metrics::{LatencyHistogram, Metrics, MetricsSnapshot};
 pub use net::{ClientError, ServeClient, TcpServer};

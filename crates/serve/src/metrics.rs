@@ -7,7 +7,7 @@
 //! usual contract for monitoring counters).
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Number of log₂ microsecond buckets in a [`LatencyHistogram`]
 /// (bucket 39 ≈ 2³⁸ µs ≈ 76 h — effectively "anything slower").
@@ -82,7 +82,7 @@ impl LatencyHistogram {
 }
 
 /// All counters the engine and TCP front-end maintain.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Metrics {
     /// Requests offered to [`Engine::submit`](crate::Engine::submit).
     pub submitted: AtomicU64,
@@ -116,6 +116,27 @@ pub struct Metrics {
     pub net_malformed: AtomicU64,
     /// TCP connections refused at the concurrent-connection limit.
     pub net_conn_refused: AtomicU64,
+    /// Requests shed because their deadline expired before execution
+    /// (in the queue, at batch assembly, or at a pipeline stage seam).
+    pub shed_deadline: AtomicU64,
+    /// Requests resolved with the non-retryable internal-error status
+    /// because their executor panicked (or an injected `err` fault fired).
+    pub failed_internal: AtomicU64,
+    /// Worker panics survived (each isolated to the batch it was running).
+    pub worker_panics: AtomicU64,
+    /// Replacement workers spawned by panic supervision.
+    pub workers_respawned: AtomicU64,
+    /// Worker threads currently alive (gauge).
+    pub workers_alive: AtomicU64,
+    /// Faults injected by the seeded fault layer (all points and kinds);
+    /// stays 0 when `FRACTALCLOUD_FAULTS` is unset.
+    pub faults_injected: AtomicU64,
+    /// Milliseconds from `epoch` to the most recent published response
+    /// (0 until the first response) — the liveness clock behind
+    /// [`Engine::health`](crate::Engine::health).
+    pub last_progress_ms: AtomicU64,
+    /// When this metrics registry was created (the engine's start).
+    epoch: Instant,
     /// Queue-bound sheds per priority class (indexed by
     /// [`Priority::index`](crate::Priority::index): High, Normal, Bulk) —
     /// counts both direct queue-full sheds and jobs displaced at the bound
@@ -130,12 +151,60 @@ pub struct Metrics {
     pub queue_wait: LatencyHistogram,
 }
 
+impl Default for Metrics {
+    fn default() -> Metrics {
+        Metrics {
+            submitted: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+            shed_queue_full: AtomicU64::new(0),
+            shed_oversized: AtomicU64::new(0),
+            shed_shutdown: AtomicU64::new(0),
+            rejected_invalid: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_frames: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            peak_queue_depth: AtomicU64::new(0),
+            net_disconnects: AtomicU64::new(0),
+            net_malformed: AtomicU64::new(0),
+            net_conn_refused: AtomicU64::new(0),
+            shed_deadline: AtomicU64::new(0),
+            failed_internal: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            workers_respawned: AtomicU64::new(0),
+            workers_alive: AtomicU64::new(0),
+            faults_injected: AtomicU64::new(0),
+            last_progress_ms: AtomicU64::new(0),
+            epoch: Instant::now(),
+            shed_by_class: std::array::from_fn(|_| AtomicU64::new(0)),
+            latency: LatencyHistogram::default(),
+            latency_by_class: std::array::from_fn(|_| LatencyHistogram::default()),
+            queue_wait: LatencyHistogram::default(),
+        }
+    }
+}
+
 impl Metrics {
     /// Records a new queue depth, maintaining the high-water mark.
     pub fn set_queue_depth(&self, depth: usize) {
         let d = depth as u64;
         self.queue_depth.store(d, Ordering::Relaxed);
         self.peak_queue_depth.fetch_max(d, Ordering::Relaxed);
+    }
+
+    /// Stamps the liveness clock: "a response was just published".
+    pub fn note_progress(&self) {
+        let now_ms = self.epoch.elapsed().as_millis().min(u128::from(u64::MAX)) as u64;
+        self.last_progress_ms.fetch_max(now_ms, Ordering::Relaxed);
+    }
+
+    /// Milliseconds since the last published response (since the registry's
+    /// creation when nothing has completed yet).
+    pub fn progress_age_ms(&self) -> u64 {
+        let now_ms = self.epoch.elapsed().as_millis().min(u128::from(u64::MAX)) as u64;
+        now_ms.saturating_sub(self.last_progress_ms.load(Ordering::Relaxed))
     }
 
     /// Takes an approximate point-in-time snapshot of every counter.
@@ -158,6 +227,12 @@ impl Metrics {
             net_disconnects: load(&self.net_disconnects),
             net_malformed: load(&self.net_malformed),
             net_conn_refused: load(&self.net_conn_refused),
+            shed_deadline: load(&self.shed_deadline),
+            failed_internal: load(&self.failed_internal),
+            worker_panics: load(&self.worker_panics),
+            workers_respawned: load(&self.workers_respawned),
+            workers_alive: load(&self.workers_alive),
+            faults_injected: load(&self.faults_injected),
             shed_by_class: std::array::from_fn(|i| load(&self.shed_by_class[i])),
             latency_p99_by_class_us: std::array::from_fn(|i| {
                 self.latency_by_class[i].quantile_us(0.99)
@@ -206,6 +281,18 @@ pub struct MetricsSnapshot {
     pub net_malformed: u64,
     /// TCP connections refused at the connection limit.
     pub net_conn_refused: u64,
+    /// Shed: deadline expired before execution.
+    pub shed_deadline: u64,
+    /// Resolved with the internal-error status (executor panicked).
+    pub failed_internal: u64,
+    /// Worker panics survived.
+    pub worker_panics: u64,
+    /// Replacement workers spawned by supervision.
+    pub workers_respawned: u64,
+    /// Worker threads alive at snapshot time.
+    pub workers_alive: u64,
+    /// Faults injected by the seeded fault layer.
+    pub faults_injected: u64,
     /// Queue-bound sheds per priority class (High, Normal, Bulk).
     pub shed_by_class: [u64; 3],
     /// p99 end-to-end latency per priority class (µs, bucket upper bound).
@@ -225,7 +312,7 @@ pub struct MetricsSnapshot {
 impl MetricsSnapshot {
     /// Total shed requests across every reason.
     pub fn shed_total(&self) -> u64 {
-        self.shed_queue_full + self.shed_oversized + self.shed_shutdown
+        self.shed_queue_full + self.shed_oversized + self.shed_shutdown + self.shed_deadline
     }
 
     /// Mean frames per executed batch (1.0 when nothing ran).
@@ -306,8 +393,20 @@ mod tests {
         m.batched_frames.store(10, Ordering::Relaxed);
         m.shed_queue_full.store(2, Ordering::Relaxed);
         m.shed_oversized.store(1, Ordering::Relaxed);
+        m.shed_deadline.store(5, Ordering::Relaxed);
         let s = m.snapshot();
         assert_eq!(s.mean_batch(), 2.5);
-        assert_eq!(s.shed_total(), 3);
+        assert_eq!(s.shed_total(), 8);
+    }
+
+    #[test]
+    fn progress_clock_is_monotonic_and_bounded() {
+        let m = Metrics::default();
+        m.note_progress();
+        let a = m.last_progress_ms.load(Ordering::Relaxed);
+        m.note_progress();
+        let b = m.last_progress_ms.load(Ordering::Relaxed);
+        assert!(b >= a, "the liveness stamp never moves backwards");
+        assert!(m.progress_age_ms() < 60_000, "age is measured from the stamp, not from zero");
     }
 }

@@ -17,8 +17,9 @@
 //! are granted in the order the requests became ready, so a greedy client
 //! hammering one connection cannot barge ahead of patiently waiting ones).
 
-use crate::engine::{Engine, FrameResponse, Priority, ServeError, ShedReason};
-use crate::protocol::{self, status, WireError, WireResponse, MAGIC, OP_PROCESS_FRAME};
+use crate::engine::{Engine, EngineHealth, FrameResponse, Priority, ServeError, ShedReason};
+use crate::faults::{self, FaultLayer, FaultPoint};
+use crate::protocol::{self, status, WireError, WireResponse, MAGIC, OP_HEALTH, OP_PROCESS_FRAME};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -164,9 +165,18 @@ fn accept_loop(listener: &TcpListener, engine: &Arc<Engine>, stop: &AtomicBool) 
                 let gate = Arc::clone(&gate);
                 // Handler threads are detached: they exit on EOF/error, and
                 // process shutdown tears them down with everything else.
+                // A handler panic (it shouldn't — the body is total — but
+                // the fault layer can inject one) is contained here: the
+                // connection drops, the server keeps accepting.
                 let _ = std::thread::Builder::new().name("fc-serve-conn".into()).spawn(move || {
                     let _guard = guard;
-                    handle_connection(stream, &engine, &gate);
+                    if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        handle_connection(stream, &engine, &gate);
+                    }))
+                    .is_err()
+                    {
+                        engine.metrics_registry().net_disconnects.fetch_add(1, Ordering::Relaxed);
+                    }
                 });
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
@@ -217,6 +227,7 @@ fn handle_connection(mut stream: TcpStream, engine: &Arc<Engine>, gate: &FairGat
         return;
     }
     let metrics = engine.metrics_registry();
+    let faults: Option<Arc<FaultLayer>> = engine.fault_layer().clone();
     loop {
         let mut header = [0u8; 9];
         match read_exact_or_eof(&mut stream, &mut header) {
@@ -227,16 +238,45 @@ fn handle_connection(mut stream: TcpStream, engine: &Arc<Engine>, gate: &FairGat
                 return;
             }
         }
+        if faults::fire(&faults, FaultPoint::NetRead) {
+            // Injected read failure: indistinguishable (to the client) from
+            // the peer dying mid-request — the connection just drops.
+            metrics.net_disconnects.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         let magic = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
         let (opcode, prio_nibble) = protocol::split_kind(header[4]);
         let payload_len = u32::from_le_bytes(header[5..9].try_into().expect("4 bytes")) as usize;
 
-        if magic != MAGIC || opcode != OP_PROCESS_FRAME {
+        if magic != MAGIC || !matches!(opcode, OP_PROCESS_FRAME | OP_HEALTH) {
             // The stream cannot be resynchronized after a framing error:
             // answer malformed and drop the connection.
             metrics.net_malformed.fetch_add(1, Ordering::Relaxed);
             let _ = write_error(&mut stream, status::MALFORMED, "bad magic or opcode");
             return;
+        }
+        if opcode == OP_HEALTH {
+            // Answered inline — a health probe must work even when every
+            // worker is wedged, so it never touches the queue.
+            if payload_len != 0 {
+                metrics.net_malformed.fetch_add(1, Ordering::Relaxed);
+                if drain(&mut stream, payload_len).is_err()
+                    || write_error(&mut stream, status::MALFORMED, "health takes no payload")
+                        .is_err()
+                {
+                    metrics.net_disconnects.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                continue;
+            }
+            let payload = protocol::encode_health_payload(&engine.health());
+            if faults::fire(&faults, FaultPoint::NetWrite)
+                || stream.write_all(&protocol::encode_message(status::OK, &payload)).is_err()
+            {
+                metrics.net_disconnects.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            continue;
         }
         // Old clients leave the high nibble zero → Normal; nibbles beyond
         // the known classes are a caller bug, not a framing error, so the
@@ -287,14 +327,22 @@ fn handle_connection(mut stream: TcpStream, engine: &Arc<Engine>, gate: &FairGat
                 // Framing was intact — the connection may continue.
                 continue;
             }
-            Ok((cloud, config)) => {
+            Ok((cloud, config, deadline_ms)) => {
+                let deadline =
+                    (deadline_ms > 0).then(|| Duration::from_millis(u64::from(deadline_ms)));
                 // Round-robin admission: the submission (queue push) takes
                 // its fairness turn; the wait for the response happens
                 // outside the gate so slow frames don't block other
                 // connections' admissions.
                 let outcome = gate
-                    .admit(|| engine.submit_with_priority(cloud, config, priority))
+                    .admit(|| engine.submit_with_options(cloud, config, priority, deadline))
                     .and_then(|ticket| ticket.wait());
+                if faults::fire(&faults, FaultPoint::NetWrite) {
+                    // Injected write failure: the response is computed but
+                    // lost on the wire; the client sees the connection die.
+                    metrics.net_disconnects.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
                 match outcome {
                     Ok(resp) => write_ok(&mut stream, &resp),
                     Err(e) => write_error(&mut stream, error_status(&e), &e.to_string()),
@@ -346,7 +394,9 @@ fn error_status(e: &ServeError) -> u8 {
         ServeError::Shed(ShedReason::QueueFull) => status::QUEUE_FULL,
         ServeError::Shed(ShedReason::Oversized { .. }) => status::OVERSIZED,
         ServeError::Shed(ShedReason::ShuttingDown) => status::SHUTTING_DOWN,
+        ServeError::Shed(ShedReason::DeadlineExceeded) => status::DEADLINE_EXCEEDED,
         ServeError::Invalid(_) => status::INVALID,
+        ServeError::Internal => status::INTERNAL_ERROR,
     }
 }
 
@@ -385,7 +435,10 @@ pub enum ClientError {
 }
 
 impl ClientError {
-    /// True when the server shed the request (retryable by contract).
+    /// True when the server shed the request (retryable by contract;
+    /// includes [`status::DEADLINE_EXCEEDED`] — retry with a fresh
+    /// deadline). [`status::INTERNAL_ERROR`] is deliberately *not* shed:
+    /// the same input may fail the same way.
     pub fn is_shed(&self) -> bool {
         matches!(
             self,
@@ -393,7 +446,8 @@ impl ClientError {
                 code: status::QUEUE_FULL
                     | status::OVERSIZED
                     | status::SHUTTING_DOWN
-                    | status::TOO_MANY_CONNECTIONS,
+                    | status::TOO_MANY_CONNECTIONS
+                    | status::DEADLINE_EXCEEDED,
                 ..
             }
         )
@@ -437,6 +491,36 @@ impl ServeClient {
         Ok(ServeClient { stream })
     }
 
+    /// Bounds every subsequent read; a stalled server then surfaces as
+    /// [`ClientError::Io`] (`WouldBlock`/`TimedOut`) instead of hanging the
+    /// caller forever. `None` restores unbounded reads. Chaos tests use
+    /// this to turn "hung" into an assertable outcome.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket configuration failures.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Requests the server's [`EngineHealth`] snapshot ([`OP_HEALTH`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`]/[`ClientError::Protocol`] for transport and
+    /// framing failures; [`ClientError::Server`] for non-OK statuses.
+    pub fn health(&mut self) -> Result<EngineHealth, ClientError> {
+        self.stream.write_all(&protocol::encode_message(OP_HEALTH, &[]))?;
+        let (code, payload) = self.read_reply()?;
+        if code != status::OK {
+            return Err(ClientError::Server {
+                code,
+                message: String::from_utf8_lossy(&payload).into_owned(),
+            });
+        }
+        protocol::decode_health_payload(&payload).map_err(ClientError::Protocol)
+    }
+
     /// Sends one [`Priority::Normal`] frame and blocks for its result.
     ///
     /// # Errors
@@ -464,10 +548,39 @@ impl ServeClient {
         config: &fractalcloud_core::PipelineConfig,
         priority: Priority,
     ) -> Result<WireResponse, ClientError> {
-        let payload = protocol::encode_request_payload(cloud, config);
+        self.process_with_options(cloud, config, priority, 0)
+    }
+
+    /// [`ServeClient::process_with_priority`] with a per-request deadline
+    /// in milliseconds (0 = use the server's default). A non-zero deadline
+    /// rides the optional payload trailer; an expired request comes back as
+    /// the retryable [`status::DEADLINE_EXCEEDED`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ServeClient::process_with_priority`].
+    pub fn process_with_options(
+        &mut self,
+        cloud: &fractalcloud_pointcloud::PointCloud,
+        config: &fractalcloud_core::PipelineConfig,
+        priority: Priority,
+        deadline_ms: u32,
+    ) -> Result<WireResponse, ClientError> {
+        let payload = protocol::encode_request_payload_deadline(cloud, config, deadline_ms);
         self.stream
             .write_all(&protocol::encode_message(protocol::request_kind(priority), &payload))?;
+        let (code, payload) = self.read_reply()?;
+        if code != status::OK {
+            return Err(ClientError::Server {
+                code,
+                message: String::from_utf8_lossy(&payload).into_owned(),
+            });
+        }
+        protocol::decode_response_payload(&payload).map_err(ClientError::Protocol)
+    }
 
+    /// Reads one response frame: `(status, payload)`.
+    fn read_reply(&mut self) -> Result<(u8, Vec<u8>), ClientError> {
         let mut header = [0u8; 9];
         self.stream.read_exact(&mut header)?;
         let magic = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
@@ -483,12 +596,6 @@ impl ServeClient {
         }
         let mut payload = vec![0u8; payload_len];
         self.stream.read_exact(&mut payload)?;
-        if code != status::OK {
-            return Err(ClientError::Server {
-                code,
-                message: String::from_utf8_lossy(&payload).into_owned(),
-            });
-        }
-        protocol::decode_response_payload(&payload).map_err(ClientError::Protocol)
+        Ok((code, payload))
     }
 }

@@ -6,41 +6,56 @@
 //!
 //! ```text
 //! request  := magic:u32 kind:u8 payload_len:u32 payload
-//!   kind: low nibble = opcode (1 = PROCESS_FRAME)
+//!   kind: low nibble = opcode (1 = PROCESS_FRAME, 2 = HEALTH)
 //!         high nibble = priority (0 = normal, 1 = high, 2 = bulk)
 //!   payload (opcode PROCESS_FRAME):
 //!     threshold:u32 sample_rate:f64 radius:f32 neighbors:u32
-//!     n_points:u32 (x:f32 y:f32 z:f32){n_points}
+//!     n_points:u32 (x:f32 y:f32 z:f32){n_points} [deadline_ms:u32]
+//!   payload (opcode HEALTH): empty
 //!
 //! response := magic:u32 status:u8 payload_len:u32 payload
-//!   payload (status OK):
+//!   payload (status OK, PROCESS_FRAME):
 //!     blocks:u32 cache_hit:u8 batch_size:u32
 //!     n_sampled:u32 sampled:u32{n_sampled}
 //!     n_centers:u32 num:u32 neighbors:u32{n_centers*num}
 //!     found:u32{n_centers}
+//!   payload (status OK, HEALTH):
+//!     live:u8 workers_alive:u64 workers_configured:u64
+//!     queued_high:u64 queued_normal:u64 queued_bulk:u64
+//!     last_progress_age_ms:u64 worker_panics:u64 workers_respawned:u64
 //!   payload (status != OK): UTF-8 human-readable reason
 //! ```
 //!
 //! The priority nibble is backward compatible by construction: clients
 //! that predate priority classes send the bare opcode (high nibble 0),
 //! which decodes as [`Priority::Normal`]. Unknown priority nibbles are
-//! answered [`status::MALFORMED`].
+//! answered [`status::MALFORMED`]. The trailing `deadline_ms` is likewise
+//! optional: pre-deadline clients simply omit it (and deadline-aware
+//! clients omit it for 0, keeping their unbounded requests byte-identical
+//! to old ones); when present and non-zero it overrides the server's
+//! default request deadline.
 //!
 //! Status codes mirror [`ServeError`](crate::ServeError): `1` queue full,
 //! `2` oversized frame, `3` shutting down, `4` invalid request, `5`
-//! malformed wire data, `6` connection limit reached. Shed statuses
-//! (`1`–`3`, `6`) are retryable by contract; `4`/`5` are not.
+//! malformed wire data, `6` connection limit reached, `7` internal
+//! executor failure, `8` deadline exceeded. Shed statuses (`1`–`3`, `6`,
+//! `8`) are retryable by contract; `4`/`5`/`7` are not.
 
-use crate::engine::Priority;
+use crate::engine::{EngineHealth, Priority};
 use fractalcloud_core::PipelineConfig;
 use fractalcloud_pointcloud::{Point3, PointCloud};
 
 /// Frame magic: `"FCS1"` (FractalCloud Serve, version 1).
 pub const MAGIC: u32 = u32::from_le_bytes(*b"FCS1");
 
-/// The only request opcode: process one frame. Lives in the low nibble of
-/// the request kind byte; the high nibble carries the [`Priority`].
+/// Request opcode: process one frame. Lives in the low nibble of the
+/// request kind byte; the high nibble carries the [`Priority`].
 pub const OP_PROCESS_FRAME: u8 = 1;
+
+/// Request opcode: engine liveness snapshot ([`EngineHealth`]). The
+/// payload is empty and the priority nibble is ignored — health probes
+/// are answered inline by the connection handler, never queued.
+pub const OP_HEALTH: u8 = 2;
 
 /// Builds a request kind byte: opcode in the low nibble, priority in the
 /// high nibble. A [`Priority::Normal`] request is byte-identical to what a
@@ -80,6 +95,13 @@ pub mod status {
     /// Shed: the server's concurrent-connection limit is reached
     /// (retryable later or elsewhere).
     pub const TOO_MANY_CONNECTIONS: u8 = 6;
+    /// Failed: the request's executor panicked or hit an injected fault
+    /// (not blindly retryable — the same input may fail the same way; the
+    /// server itself survived).
+    pub const INTERNAL_ERROR: u8 = 7;
+    /// Shed: the request's deadline expired before completion (retryable —
+    /// with a fresh deadline).
+    pub const DEADLINE_EXCEEDED: u8 = 8;
 }
 
 /// A decoding failure (maps to [`status::MALFORMED`]).
@@ -123,6 +145,10 @@ impl<'a> Reader<'a> {
         Ok(f32::from_le_bytes(self.take(4, what)?.try_into().expect("4 bytes")))
     }
 
+    fn u64(&mut self, what: &'static str) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().expect("8 bytes")))
+    }
+
     fn f64(&mut self, what: &'static str) -> Result<f64, WireError> {
         Ok(f64::from_le_bytes(self.take(8, what)?.try_into().expect("8 bytes")))
     }
@@ -147,9 +173,22 @@ fn put_u32(buf: &mut Vec<u8>, v: u32) {
 }
 
 /// Encodes a process-frame request payload (the part after the 9-byte
-/// header).
+/// header) with no wire deadline — byte-identical to what pre-deadline
+/// clients send.
 pub fn encode_request_payload(cloud: &PointCloud, config: &PipelineConfig) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(REQUEST_FIXED_BYTES + cloud.len() * 12);
+    encode_request_payload_deadline(cloud, config, 0)
+}
+
+/// [`encode_request_payload`] with a per-request deadline in milliseconds.
+/// A non-zero deadline rides as the optional trailing `deadline_ms:u32`;
+/// zero ("use the server default") omits the field entirely, so unbounded
+/// requests stay parseable by pre-deadline servers.
+pub fn encode_request_payload_deadline(
+    cloud: &PointCloud,
+    config: &PipelineConfig,
+    deadline_ms: u32,
+) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(REQUEST_FIXED_BYTES + cloud.len() * 12 + 4);
     put_u32(&mut buf, config.threshold as u32);
     buf.extend_from_slice(&config.sample_rate.to_le_bytes());
     buf.extend_from_slice(&config.radius.to_le_bytes());
@@ -161,16 +200,23 @@ pub fn encode_request_payload(cloud: &PointCloud, config: &PipelineConfig) -> Ve
         buf.extend_from_slice(&p.y.to_le_bytes());
         buf.extend_from_slice(&p.z.to_le_bytes());
     }
+    if deadline_ms > 0 {
+        put_u32(&mut buf, deadline_ms);
+    }
     buf
 }
 
-/// Decodes a process-frame request payload.
+/// Decodes a process-frame request payload. The third element is the wire
+/// deadline in milliseconds — 0 when absent or explicitly zero, meaning
+/// "use the server's default".
 ///
 /// # Errors
 ///
 /// [`WireError`] when the payload is truncated, over-long, or its declared
 /// point count disagrees with its length.
-pub fn decode_request_payload(payload: &[u8]) -> Result<(PointCloud, PipelineConfig), WireError> {
+pub fn decode_request_payload(
+    payload: &[u8],
+) -> Result<(PointCloud, PipelineConfig, u32), WireError> {
     let mut r = Reader { buf: payload, at: 0 };
     let threshold = r.u32("truncated threshold")? as usize;
     let sample_rate = r.f64("truncated sample_rate")?;
@@ -181,6 +227,8 @@ pub fn decode_request_payload(payload: &[u8]) -> Result<(PointCloud, PipelineCon
         n.checked_mul(12).ok_or(WireError("point count overflow"))?,
         "truncated coordinates",
     )?;
+    // Optional trailing deadline: exactly 4 more bytes or nothing.
+    let deadline_ms = if r.remaining() > 0 { r.u32("truncated deadline")? } else { 0 };
     r.done()?;
     let mut points = Vec::with_capacity(n);
     for c in coords.chunks_exact(12) {
@@ -193,6 +241,7 @@ pub fn decode_request_payload(payload: &[u8]) -> Result<(PointCloud, PipelineCon
     Ok((
         PointCloud::from_points(points),
         PipelineConfig::new(threshold, sample_rate, radius, neighbors),
+        deadline_ms,
     ))
 }
 
@@ -288,6 +337,55 @@ pub fn decode_response_payload(payload: &[u8]) -> Result<WireResponse, WireError
     })
 }
 
+/// Encodes an OK health response payload ([`OP_HEALTH`]).
+pub fn encode_health_payload(h: &EngineHealth) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(1 + 8 * 8);
+    buf.push(u8::from(h.live));
+    for v in [
+        h.workers_alive,
+        h.workers_configured,
+        h.queued_by_class[0],
+        h.queued_by_class[1],
+        h.queued_by_class[2],
+        h.last_progress_age_ms,
+        h.worker_panics,
+        h.workers_respawned,
+    ] {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    buf
+}
+
+/// Decodes an OK health response payload.
+///
+/// # Errors
+///
+/// [`WireError`] when the payload is truncated or over-long.
+pub fn decode_health_payload(payload: &[u8]) -> Result<EngineHealth, WireError> {
+    let mut r = Reader { buf: payload, at: 0 };
+    let live = r.u8("truncated live flag")? != 0;
+    let workers_alive = r.u64("truncated workers_alive")?;
+    let workers_configured = r.u64("truncated workers_configured")?;
+    let queued_by_class = [
+        r.u64("truncated queued_high")?,
+        r.u64("truncated queued_normal")?,
+        r.u64("truncated queued_bulk")?,
+    ];
+    let last_progress_age_ms = r.u64("truncated last_progress_age_ms")?;
+    let worker_panics = r.u64("truncated worker_panics")?;
+    let workers_respawned = r.u64("truncated workers_respawned")?;
+    r.done()?;
+    Ok(EngineHealth {
+        live,
+        workers_alive,
+        workers_configured,
+        queued_by_class,
+        last_progress_age_ms,
+        worker_panics,
+        workers_respawned,
+    })
+}
+
 /// Encodes a complete message: header plus payload.
 pub fn encode_message(kind_byte: u8, payload: &[u8]) -> Vec<u8> {
     let mut buf = Vec::with_capacity(9 + payload.len());
@@ -309,9 +407,48 @@ mod tests {
         let cfg = PipelineConfig::new(64, 0.5, 0.3, 8);
         let payload = encode_request_payload(&cloud, &cfg);
         assert_eq!(payload.len(), REQUEST_FIXED_BYTES + 1200);
-        let (cloud2, cfg2) = decode_request_payload(&payload).unwrap();
+        let (cloud2, cfg2, deadline_ms) = decode_request_payload(&payload).unwrap();
         assert_eq!(cloud, cloud2);
         assert_eq!(cfg, cfg2);
+        assert_eq!(deadline_ms, 0);
+    }
+
+    #[test]
+    fn deadline_rides_as_an_optional_trailer() {
+        let cloud = uniform_cube(16, 2);
+        let cfg = PipelineConfig::default();
+        // Zero deadline encodes byte-identically to the legacy payload …
+        assert_eq!(
+            encode_request_payload_deadline(&cloud, &cfg, 0),
+            encode_request_payload(&cloud, &cfg)
+        );
+        // … while a non-zero one appends exactly 4 bytes and round-trips.
+        let with = encode_request_payload_deadline(&cloud, &cfg, 250);
+        assert_eq!(with.len(), encode_request_payload(&cloud, &cfg).len() + 4);
+        let (cloud2, cfg2, deadline_ms) = decode_request_payload(&with).unwrap();
+        assert_eq!(cloud, cloud2);
+        assert_eq!(cfg, cfg2);
+        assert_eq!(deadline_ms, 250);
+    }
+
+    #[test]
+    fn health_round_trips() {
+        let h = EngineHealth {
+            live: true,
+            workers_alive: 3,
+            workers_configured: 4,
+            queued_by_class: [1, 2, 3],
+            last_progress_age_ms: 1234,
+            worker_panics: 7,
+            workers_respawned: 6,
+        };
+        let payload = encode_health_payload(&h);
+        assert_eq!(payload.len(), 1 + 8 * 8);
+        assert_eq!(decode_health_payload(&payload).unwrap(), h);
+        assert!(decode_health_payload(&payload[..payload.len() - 1]).is_err());
+        let mut long = payload;
+        long.push(0);
+        assert_eq!(decode_health_payload(&long), Err(WireError("trailing bytes")));
     }
 
     #[test]
@@ -334,9 +471,14 @@ mod tests {
         let cloud = uniform_cube(10, 2);
         let payload = encode_request_payload(&cloud, &PipelineConfig::default());
         assert!(decode_request_payload(&payload[..payload.len() - 1]).is_err());
+        // A partial trailer (1–3 extra bytes) is truncated, not a deadline;
+        // 5 extra bytes leave a trailing byte after the deadline.
         let mut long = payload.clone();
         long.push(0);
-        assert_eq!(decode_request_payload(&long), Err(WireError("trailing bytes")));
+        assert_eq!(decode_request_payload(&long), Err(WireError("truncated deadline")));
+        let mut way_long = payload.clone();
+        way_long.extend_from_slice(&[1, 0, 0, 0, 9]);
+        assert_eq!(decode_request_payload(&way_long), Err(WireError("trailing bytes")));
         assert!(decode_request_payload(&[]).is_err());
     }
 

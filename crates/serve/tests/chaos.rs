@@ -1,0 +1,307 @@
+//! Chaos-soak and fault-injection integration tests: under a seeded storm
+//! of injected panics, errors and delays, every submitted request resolves
+//! exactly once (no hung waiters, no double resolutions), the engine keeps
+//! serving, and fault-free configurations are bit-identical to a clean
+//! engine.
+
+use fractalcloud_core::{block_ball_query, block_fps, BppoConfig, Fractal, PipelineConfig};
+use fractalcloud_pointcloud::generate::{scene_cloud, uniform_cube, SceneConfig};
+use fractalcloud_pointcloud::kernels::{self, Backend};
+use fractalcloud_pointcloud::PointCloud;
+use fractalcloud_serve::protocol::status;
+use fractalcloud_serve::{
+    Engine, FaultKind, FaultPlan, FaultPoint, FrameResponse, Priority, ServeClient, ServeConfig,
+    TcpServer,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The direct library computation a served frame must match exactly.
+fn direct(cloud: &PointCloud, cfg: &PipelineConfig) -> (Vec<usize>, Vec<usize>) {
+    let built = Fractal::with_threshold(cfg.threshold).build(cloud).unwrap();
+    let bppo = BppoConfig::default();
+    let fps = block_fps(cloud, &built.partition, cfg.sample_rate, &bppo).unwrap();
+    let bq =
+        block_ball_query(cloud, &built.partition, &fps.per_block, cfg.radius, cfg.neighbors, &bppo)
+            .unwrap();
+    (fps.indices, bq.indices)
+}
+
+fn shape(r: &FrameResponse) -> (Vec<usize>, Vec<usize>) {
+    (r.sampled_indices.clone(), r.neighbor_indices.clone())
+}
+
+/// The soak invariant: under a mixed seeded fault storm (worker panics,
+/// block errors, block delays, dropped cache inserts) every submission
+/// resolves exactly once, the engine survives ≥ 10 worker panics without a
+/// restart, and it still answers a clean frame correctly afterwards.
+#[test]
+fn chaos_soak_every_request_resolves_exactly_once() {
+    let plan = FaultPlan::OFF
+        .with_fault(FaultKind::Panic, FaultPoint::Worker, 0.15)
+        .with_fault(FaultKind::Err, FaultPoint::Block, 0.05)
+        .with_fault(FaultKind::Delay, FaultPoint::Block, 0.05)
+        .with_delay(FaultPoint::Block, Duration::from_micros(200))
+        .with_fault(FaultKind::Err, FaultPoint::CacheInsert, 0.2)
+        .with_seed(0xC7A05);
+    let engine = Arc::new(Engine::start(
+        ServeConfig::default().workers(2).queue_capacity(64).max_batch(4).faults(plan),
+    ));
+
+    // A small pool of distinct frames so the storm mixes cache hits and
+    // misses (dropped inserts make even repeats miss sometimes).
+    let frames: Vec<PointCloud> = (0..4)
+        .map(|seed| scene_cloud(&SceneConfig::default(), 400 + 100 * seed as usize, seed))
+        .collect();
+    let cfg = PipelineConfig::default();
+
+    let (mut ok, mut internal, mut shed, mut hung) = (0u64, 0u64, 0u64, 0u64);
+    let mut submitted = 0u64;
+    for wave in 0..400 {
+        let tickets: Vec<_> = (0..16)
+            .map(|i| engine.submit(frames[(wave + i) % frames.len()].clone(), cfg).unwrap())
+            .collect();
+        submitted += tickets.len() as u64;
+        for t in tickets {
+            // A ticket that outlives this generous timeout is a hung waiter
+            // — exactly what the drop-guard layer exists to prevent.
+            match t.wait_timeout(Duration::from_secs(30)) {
+                None => hung += 1,
+                Some(Ok(_)) => ok += 1,
+                Some(Err(fractalcloud_serve::ServeError::Internal)) => internal += 1,
+                Some(Err(fractalcloud_serve::ServeError::Shed(_))) => shed += 1,
+                Some(Err(e)) => panic!("unexpected outcome under chaos: {e}"),
+            }
+        }
+        if engine.metrics().worker_panics >= 10 {
+            break;
+        }
+    }
+
+    assert_eq!(hung, 0, "chaos must never hang a waiter");
+    assert_eq!(ok + internal + shed, submitted, "every submission resolves exactly once");
+    // Metric increments trail ticket resolution by a hair (drop guards
+    // resolve during the unwind; supervision counts the panic after), so
+    // poll briefly until the books close before asserting on them.
+    let settle_deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let m = loop {
+        let m = engine.metrics();
+        let settled = m.submitted == m.completed + m.failed_internal
+            && m.worker_panics == m.workers_respawned
+            && m.completed == ok;
+        if settled || std::time::Instant::now() > settle_deadline {
+            break m;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    assert!(
+        m.worker_panics >= 10,
+        "the storm should have produced >= 10 worker panics, got {}",
+        m.worker_panics
+    );
+    assert_eq!(
+        m.workers_respawned, m.worker_panics,
+        "every panicked worker is replaced by supervision"
+    );
+    assert!(m.faults_injected > 0, "the fault layer must report its injections");
+    assert_eq!(shed, 0, "no deadline was configured, nothing should shed");
+    // Server-side accounting closes: everything admitted either completed
+    // or failed internally (no deadlines or displacement in this config).
+    assert_eq!(m.submitted, m.completed + m.failed_internal, "server-side accounting leak");
+    assert_eq!(m.completed, ok, "client and server disagree on completions");
+    assert_eq!(m.failed_internal, internal, "client and server disagree on failures");
+
+    // The engine is still healthy and still correct after the storm.
+    let h = engine.health();
+    assert!(h.live, "engine must stay live through the storm: {h:?}");
+    assert_eq!(h.worker_panics, m.worker_panics);
+    let clean = uniform_cube(600, 99);
+    for _attempt in 0..50 {
+        // Faults are still armed, so retry through injected failures; a
+        // success must be bit-identical to the direct computation.
+        if let Ok(r) = engine.process(clean.clone(), cfg) {
+            assert_eq!(shape(&r), direct(&clean, &cfg), "post-storm response diverged");
+            engine.shutdown();
+            return;
+        }
+    }
+    panic!("engine never served a clean frame after the storm");
+}
+
+/// `HEALTH` requests are answered inline over TCP — the probe works and
+/// reflects worker liveness without touching the request queue.
+#[test]
+fn health_is_served_over_tcp() {
+    let engine = Arc::new(Engine::start(ServeConfig::default().workers(2)));
+    let mut server = TcpServer::bind("127.0.0.1:0", Arc::clone(&engine)).unwrap();
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+
+    let h = client.health().unwrap();
+    assert!(h.live);
+    assert_eq!(h.workers_alive, 2);
+    assert_eq!(h.workers_configured, 2);
+    assert_eq!(h.queued_by_class, [0, 0, 0]);
+    assert_eq!(h.worker_panics, 0);
+    assert_eq!(h.workers_respawned, 0);
+    assert_eq!(h, engine.health(), "wire health equals the in-process snapshot");
+
+    // Still answered while draining begins (the probe never queues).
+    server.shutdown();
+    engine.shutdown();
+    assert!(!engine.health().live, "a stopped engine is not live");
+}
+
+/// An injected engine-side failure surfaces as `INTERNAL_ERROR` on the
+/// wire, and the client contract marks it non-retryable (not shed).
+#[test]
+fn injected_internal_errors_are_non_retryable_on_the_wire() {
+    let plan = FaultPlan::OFF.with_fault(FaultKind::Err, FaultPoint::Block, 1.0).with_seed(7);
+    let engine = Arc::new(Engine::start(ServeConfig::default().workers(1).faults(plan)));
+    let mut server = TcpServer::bind("127.0.0.1:0", Arc::clone(&engine)).unwrap();
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+
+    let err = client
+        .process(&uniform_cube(300, 1), &PipelineConfig::default())
+        .expect_err("every block task fails, the request cannot succeed");
+    match &err {
+        fractalcloud_serve::ClientError::Server { code, .. } => {
+            assert_eq!(*code, status::INTERNAL_ERROR);
+        }
+        other => panic!("expected a server status, got {other:?}"),
+    }
+    assert!(!err.is_shed(), "INTERNAL_ERROR is non-retryable by contract");
+
+    server.shutdown();
+    engine.shutdown();
+}
+
+/// A request whose deadline expires while it waits in the queue is shed
+/// with the retryable `DEADLINE_EXCEEDED` status on the wire.
+#[test]
+fn deadline_expired_in_queue_is_shed_retryable_on_the_wire() {
+    let engine = Arc::new(Engine::start(
+        ServeConfig::default().workers(1).max_batch(1).thread_budget(1).queue_capacity(8),
+    ));
+    let mut server = TcpServer::bind("127.0.0.1:0", Arc::clone(&engine)).unwrap();
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+
+    // Plug the single worker with a fat frame so the deadlined request
+    // genuinely waits in the queue past its budget.
+    let plug = engine.submit(uniform_cube(32_768, 5), PipelineConfig::default()).unwrap();
+    for _ in 0..2000 {
+        let m = engine.metrics();
+        if m.queue_depth == 0 && m.batches >= 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    let err = client
+        .process_with_options(
+            &uniform_cube(200, 6),
+            &PipelineConfig::default(),
+            Priority::Normal,
+            1,
+        )
+        .expect_err("a 1ms deadline behind a fat plug frame must expire in queue");
+    match &err {
+        fractalcloud_serve::ClientError::Server { code, .. } => {
+            assert_eq!(*code, status::DEADLINE_EXCEEDED);
+        }
+        other => panic!("expected a server status, got {other:?}"),
+    }
+    assert!(err.is_shed(), "DEADLINE_EXCEEDED is retryable by contract");
+    plug.wait().unwrap();
+    assert_eq!(engine.metrics().shed_deadline, 1);
+
+    // Retrying without a deadline (the contract's advice) succeeds.
+    let retry = client.process(&uniform_cube(200, 6), &PipelineConfig::default()).unwrap();
+    assert!(!retry.sampled_indices.is_empty());
+
+    server.shutdown();
+    engine.shutdown();
+}
+
+/// After surviving injected worker panics, successful responses remain
+/// bit-identical to direct library calls — supervision replaces workers
+/// without corrupting pooled scratch state.
+#[test]
+fn post_panic_responses_are_bit_identical_to_direct_calls() {
+    let plan = FaultPlan::OFF.with_fault(FaultKind::Panic, FaultPoint::Worker, 0.4).with_seed(11);
+    let engine = Engine::start(ServeConfig::default().workers(1).queue_capacity(16).faults(plan));
+    let cloud = scene_cloud(&SceneConfig::default(), 1200, 3);
+    let cfg = PipelineConfig::default();
+    let want = direct(&cloud, &cfg);
+
+    let mut successes_after_panic = 0;
+    for _ in 0..200 {
+        if let Ok(r) = engine.process(cloud.clone(), cfg) {
+            if engine.metrics().worker_panics >= 1 {
+                assert_eq!(shape(&r), want, "post-panic response diverged from direct calls");
+                successes_after_panic += 1;
+                if successes_after_panic >= 3 {
+                    break;
+                }
+            }
+        }
+    }
+    assert!(successes_after_panic >= 3, "storm never let a post-panic success through");
+    assert!(engine.metrics().worker_panics >= 1);
+    engine.shutdown();
+}
+
+/// Delay-only fault plans perturb timing, never results: a delay-faulted
+/// engine answers bit-identically to a clean one (and to direct calls on
+/// every backend).
+#[test]
+fn delay_only_faults_never_change_results() {
+    let plan = FaultPlan::OFF
+        .with_fault(FaultKind::Delay, FaultPoint::Worker, 0.5)
+        .with_delay(FaultPoint::Worker, Duration::from_micros(300))
+        .with_fault(FaultKind::Delay, FaultPoint::Block, 0.3)
+        .with_delay(FaultPoint::Block, Duration::from_micros(100))
+        .with_seed(23);
+    // The clean engine pins `OFF` explicitly so this suite can also run
+    // under a CI-wide `FRACTALCLOUD_FAULTS` delay sweep.
+    let clean = Engine::start(ServeConfig::default().workers(1).faults(FaultPlan::OFF));
+    let faulted = Engine::start(ServeConfig::default().workers(1).faults(plan));
+    let cfg = PipelineConfig::default();
+
+    for seed in 0..6 {
+        let cloud = scene_cloud(&SceneConfig::default(), 900, seed);
+        let want = direct(&cloud, &cfg);
+        for backend in Backend::ALL {
+            let via = kernels::with_backend(backend, || direct(&cloud, &cfg));
+            assert_eq!(via, want, "backend {backend:?} diverged on direct calls");
+        }
+        let a = clean.process(cloud.clone(), cfg).unwrap();
+        let b = faulted.process(cloud, cfg).unwrap();
+        assert_eq!(shape(&a), want);
+        assert_eq!(shape(&b), want, "a delay fault changed results");
+    }
+    assert!(faulted.metrics().faults_injected > 0, "the delay plan should have fired");
+    assert_eq!(clean.metrics().faults_injected, 0);
+    clean.shutdown();
+    faulted.shutdown();
+}
+
+/// A seeded-but-all-zero plan builds no fault layer at all: injection is
+/// genuinely off, metrics report zero, and responses are identical to the
+/// default configuration.
+#[test]
+fn off_plan_is_zero_cost_and_identical_to_default() {
+    assert!(FaultPlan::OFF.with_seed(99).is_off(), "a seed alone enables nothing");
+    let explicit =
+        Engine::start(ServeConfig::default().workers(1).faults(FaultPlan::OFF.with_seed(99)));
+    let default = Engine::start(ServeConfig::default().workers(1));
+    let cfg = PipelineConfig::default();
+    let cloud = scene_cloud(&SceneConfig::default(), 1000, 8);
+    let a = explicit.process(cloud.clone(), cfg).unwrap();
+    let b = default.process(cloud.clone(), cfg).unwrap();
+    assert_eq!(shape(&a), shape(&b));
+    assert_eq!(shape(&a), direct(&cloud, &cfg));
+    assert_eq!(explicit.metrics().faults_injected, 0);
+    assert_eq!(explicit.metrics().worker_panics, 0);
+    explicit.shutdown();
+    default.shutdown();
+}

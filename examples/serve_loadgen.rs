@@ -19,9 +19,11 @@ use fractalcloud::core::{Pipeline, PipelineConfig, PipelineOutput, Workspace};
 use fractalcloud::pointcloud::generate::{scene_cloud, SceneConfig};
 use fractalcloud::pointcloud::kernels;
 use fractalcloud::pointcloud::PointCloud;
-use fractalcloud::serve::{Engine, Priority, ServeClient, ServeConfig, TcpServer};
+use fractalcloud::serve::{
+    ClientError, Engine, FaultPlan, Priority, ServeClient, ServeConfig, TcpServer,
+};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// With the `bench` feature (default), the loadgen installs the counting
 /// allocator so the steady-state alloc telemetry below reports real
@@ -248,6 +250,97 @@ fn main() {
     println!(
         "  under a mixed-class flood the queue bound sheds the lowest class first\n  (displacement) while the weighted schedule keeps High latency ahead."
     );
+    server.shutdown();
+    engine.shutdown();
+
+    // --- Phase 4: chaos soak — seeded fault injection over live TCP ---
+    // A fixed-seed storm of worker panics, block errors, block delays and
+    // net-write errors. The invariant under test: every request gets
+    // exactly one outcome (response, counted error, or a visible
+    // connection drop) — never a hung waiter — and the engine survives
+    // every worker panic without restarting.
+    let plan = FaultPlan::parse(
+        "panic@worker:0.08,err@block:0.02,delay@block:200us:0.05,err@net_write:0.01;seed=4242",
+    )
+    .expect("chaos fault plan");
+    let engine =
+        Arc::new(Engine::start(ServeConfig::from_env().workers(2).queue_capacity(64).faults(plan)));
+    let mut server = TcpServer::bind("127.0.0.1:0", Arc::clone(&engine)).expect("bind localhost");
+    let addr = server.local_addr();
+    let connect = |note: &str| {
+        let mut c = ServeClient::connect(addr).unwrap_or_else(|e| panic!("{note}: {e}"));
+        c.set_read_timeout(Some(Duration::from_secs(10))).expect("set chaos read timeout");
+        c
+    };
+    let mut client = connect("connect chaos client");
+    let target_panics = 10u64;
+    let max_requests = frames as u64 * 40; // bounded cap so the soak always terminates
+    let (mut sent, mut ok, mut internal, mut shed, mut conn_drops, mut hung) =
+        (0u64, 0u64, 0u64, 0u64, 0u64, 0u64);
+    let t0 = Instant::now();
+    while engine.metrics().worker_panics < target_panics && sent < max_requests {
+        let cloud = &clouds[sent as usize % clouds.len()];
+        // Every 8th request carries a 1 ms deadline; under injected delays
+        // it may shed retryably — either way it must resolve.
+        let deadline_ms = if sent % 8 == 7 { 1 } else { 0 };
+        sent += 1;
+        match client.process_with_options(cloud, &cfg, Priority::Normal, deadline_ms) {
+            Ok(_) => ok += 1,
+            Err(e) if e.is_shed() => shed += 1,
+            Err(ClientError::Server { code, .. })
+                if code == fractalcloud::serve::protocol::status::INTERNAL_ERROR =>
+            {
+                internal += 1;
+            }
+            Err(ClientError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+                ) =>
+            {
+                // 10 s with no bytes at all: a genuinely hung request —
+                // the one outcome the failure model forbids.
+                hung += 1;
+                client = connect("reconnect after hang");
+            }
+            Err(ClientError::Server { .. }) => {
+                panic!("chaos soak hit an unexpected server status");
+            }
+            Err(_) => {
+                // An injected net-write fault killed the connection; the
+                // drop is visible (not silent), so the contract holds —
+                // reconnect and keep pushing.
+                conn_drops += 1;
+                client = connect("reconnect after injected net fault");
+            }
+        }
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let m = engine.metrics();
+    let health = client.health().expect("health probe over TCP");
+    println!("\nphase 4 — chaos soak (seeded faults: worker panics, block errors, delays, net-write errors)");
+    println!(
+        "  outcomes       : {ok} ok, {internal} internal, {shed} shed, {conn_drops} conn drops \
+         of {sent} sent ({wall:.2} s)"
+    );
+    println!("  fault layer    : {} injections, seed 4242", m.faults_injected);
+    println!("  chaos: {hung} hung requests");
+    println!(
+        "  engine survived {} worker panics ({} workers respawned)",
+        m.worker_panics, m.workers_respawned
+    );
+    assert_eq!(hung, 0, "the failure model forbids hung requests");
+    assert_eq!(
+        sent,
+        ok + internal + shed + conn_drops,
+        "every request must have exactly one accounted outcome"
+    );
+    assert!(
+        m.worker_panics >= target_panics,
+        "the soak should have produced >= {target_panics} worker panics, got {}",
+        m.worker_panics
+    );
+    assert!(health.live, "the engine must still be live after the storm: {health:?}");
     server.shutdown();
     engine.shutdown();
 }
