@@ -70,5 +70,38 @@ fn bench_serve_batching(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_serve_roundtrip, bench_serve_batching);
+fn bench_serve_inference(c: &mut Criterion) {
+    use fractalcloud_serve::{Aggregation, InferRequest, ModelConfig};
+    use std::sync::Arc;
+    let cloud = Arc::new(scene_cloud(&SceneConfig::default(), 1024, 42));
+
+    let mut group = c.benchmark_group("serve_infer_1k");
+    // Warm cache-hit INFER frames: the partition comes from the LRU and
+    // the executor/weights from the engine's cache, so the two schedules
+    // differ only in where the stage MLPs run — eager on gathered
+    // centers × nsample rows, delayed once per unique point (bit-identical
+    // logits). Response buffers recycle through the engine's pool.
+    for (label, agg) in
+        [("engine-infer-eager", Aggregation::Eager), ("engine-infer-delayed", Aggregation::Delayed)]
+    {
+        let engine = Engine::start(ServeConfig::default().workers(1));
+        let request = || InferRequest {
+            aggregation: Some(agg),
+            ..InferRequest::new(ModelConfig::table1().remove(0))
+        };
+        let warm = engine.process_infer(Arc::clone(&cloud), request()).unwrap();
+        engine.recycle_infer(warm);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let r = engine.process_infer(Arc::clone(&cloud), request()).unwrap();
+                assert!(r.cache_hit);
+                engine.recycle_infer(r);
+            })
+        });
+        engine.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve_roundtrip, bench_serve_batching, bench_serve_inference);
 criterion_main!(benches);

@@ -271,6 +271,17 @@ fn main() {
     let serve_blocks =
         measure_serve_throughput(if quick { 24 } else { 192 }, 4096, reps.min(7), true);
 
+    // --- Inference serving: eager vs Mesorasi delayed aggregation ---
+    // Warm cache-hit frames through the engine's INFER path, so the rows
+    // isolate the network-forward schedule (eager runs the stage-1 MLP on
+    // centers × nsample gathered rows; delayed runs it once per unique
+    // point and max-aggregates afterwards — bit-identical logits).
+    let infer_points = if quick { 2048 } else { 4096 };
+    let infer_eager =
+        measure_inference(infer_points, reps.min(7), fractalcloud_serve::Aggregation::Eager);
+    let infer_delayed =
+        measure_inference(infer_points, reps.min(7), fractalcloud_serve::Aggregation::Delayed);
+
     // --- Report ---
     println!("{:<18} {:>20} {:>20} {:>9}", "measurement", "baseline ms", "optimized ms", "speedup");
     for c in &comparisons {
@@ -312,6 +323,29 @@ fn main() {
         ),
         false => println!("{:<18} {:>20}", "allocs_per_frame", "skipped_alloc_counter_off"),
     }
+    println!(
+        "{:<18} {:>20}",
+        "inference_eager",
+        format!(
+            "{:.3} ms ({} pts, {} gather bytes, {} allocs/frame)",
+            infer_eager.ms,
+            infer_eager.frame_points,
+            infer_eager.gather_bytes,
+            infer_eager.allocs_per_frame
+        )
+    );
+    println!(
+        "{:<18} {:>20} {:>8.2}x",
+        "inference_delayed",
+        format!(
+            "{:.3} ms ({} pts, {} MACs saved, {} allocs/frame)",
+            infer_delayed.ms,
+            infer_delayed.frame_points,
+            infer_delayed.macs_saved,
+            infer_delayed.allocs_per_frame
+        ),
+        infer_eager.ms / infer_delayed.ms
+    );
 
     let json = render_json(
         quick,
@@ -323,9 +357,74 @@ fn main() {
         &serve,
         &serve_blocks,
         &allocs,
+        &infer_eager,
+        &infer_delayed,
     );
     std::fs::write("BENCH_point_ops.json", &json).expect("write BENCH_point_ops.json");
     println!("wrote BENCH_point_ops.json");
+}
+
+/// One inference-serving measurement: warm cache-hit frames through the
+/// engine's INFER path under one aggregation schedule.
+struct InferenceRow {
+    /// Median wall-clock per warm frame.
+    ms: f64,
+    frame_points: usize,
+    macs_moved: u64,
+    macs_saved: u64,
+    gather_bytes: u64,
+    /// Heap allocations per warm frame (pooled response recycled each
+    /// round); vacuously 0 without the `bench` feature.
+    allocs_per_frame: u64,
+}
+
+/// Times warm INFER frames (partition LRU hit, pooled buffers recycled via
+/// [`fractalcloud_serve::Engine::recycle_infer`]) under `agg`, and counts
+/// per-frame heap traffic the same way `measure_allocs_per_frame` does.
+fn measure_inference(
+    frame_points: usize,
+    reps: usize,
+    agg: fractalcloud_serve::Aggregation,
+) -> InferenceRow {
+    use fractalcloud_pointcloud::count_alloc::allocation_count;
+    use fractalcloud_serve::{Engine, InferRequest, ModelConfig, ServeConfig};
+    let cloud = std::sync::Arc::new(scene_cloud(&SceneConfig::default(), frame_points, 4242));
+    let engine = Engine::start(ServeConfig::default().workers(1));
+    let request = || InferRequest {
+        aggregation: Some(agg),
+        ..InferRequest::new(ModelConfig::table1().remove(0))
+    };
+    // Warm everything the steady state reuses: the partition LRU entry,
+    // the cached executor/weights, and the slot/response/workspace pools.
+    let mut counters = fractalcloud_pointcloud::ops::OpCounters::default();
+    for _ in 0..3 {
+        let r = engine.process_infer(std::sync::Arc::clone(&cloud), request()).expect("warm infer");
+        counters = r.output.counters;
+        engine.recycle_infer(r);
+    }
+    let ms = time_ms(reps, || {
+        let r = engine.process_infer(std::sync::Arc::clone(&cloud), request()).expect("infer");
+        engine.recycle_infer(r);
+    });
+    // Requests are pre-built so the window counts the serve path alone,
+    // not the caller's model-zoo construction.
+    let alloc_frames = 8u64;
+    let mut requests: Vec<InferRequest> = (0..alloc_frames).map(|_| request()).collect();
+    let before = allocation_count();
+    for req in requests.drain(..) {
+        let r = engine.process_infer(std::sync::Arc::clone(&cloud), req).expect("infer");
+        engine.recycle_infer(r);
+    }
+    let allocs_per_frame = (allocation_count() - before) / alloc_frames;
+    engine.shutdown();
+    InferenceRow {
+        ms,
+        frame_points,
+        macs_moved: counters.macs_moved,
+        macs_saved: counters.macs_saved,
+        gather_bytes: counters.gather_bytes,
+        allocs_per_frame,
+    }
 }
 
 /// The allocs-per-frame measurement on the warmed core hot path.
@@ -427,6 +526,8 @@ fn render_json(
     serve: &ServeThroughput,
     serve_blocks: &ServeThroughput,
     allocs: &AllocsPerFrame,
+    infer_eager: &InferenceRow,
+    infer_delayed: &InferenceRow,
 ) -> String {
     // Hand-rolled JSON: the workspace intentionally has no serde machinery
     // (see vendor/README.md).
@@ -474,17 +575,28 @@ fn render_json(
     ));
     match allocs.measured {
         true => out.push_str(&format!(
-            "    {{ \"name\": \"allocs_per_frame\", \"cold\": {}, \"warm\": {}, \"frame_points\": {}, \"workspace_mode\": \"{}\", \"status\": \"ok\" }}\n",
+            "    {{ \"name\": \"allocs_per_frame\", \"cold\": {}, \"warm\": {}, \"frame_points\": {}, \"workspace_mode\": \"{}\", \"status\": \"ok\" }},\n",
             allocs.cold,
             allocs.warm,
             allocs.frame_points,
             fractalcloud_core::workspace::workspace_mode().name()
         )),
         false => out.push_str(&format!(
-            "    {{ \"name\": \"allocs_per_frame\", \"cold\": null, \"warm\": null, \"frame_points\": {}, \"status\": \"skipped_alloc_counter_off\" }}\n",
+            "    {{ \"name\": \"allocs_per_frame\", \"cold\": null, \"warm\": null, \"frame_points\": {}, \"status\": \"skipped_alloc_counter_off\" }},\n",
             allocs.frame_points
         )),
     }
+    out.push_str(&format!(
+        "    {{ \"name\": \"inference_eager\", \"ms\": {:.4}, \"frame_points\": {}, \"macs_moved\": {}, \"macs_saved\": {}, \"gather_bytes\": {}, \"allocs_per_frame\": {}, \"status\": \"ok\" }},\n",
+        infer_eager.ms, infer_eager.frame_points, infer_eager.macs_moved, infer_eager.macs_saved,
+        infer_eager.gather_bytes, infer_eager.allocs_per_frame
+    ));
+    out.push_str(&format!(
+        "    {{ \"name\": \"inference_delayed\", \"ms\": {:.4}, \"frame_points\": {}, \"macs_moved\": {}, \"macs_saved\": {}, \"gather_bytes\": {}, \"allocs_per_frame\": {}, \"speedup_vs_eager\": {:.3}, \"status\": \"ok\" }}\n",
+        infer_delayed.ms, infer_delayed.frame_points, infer_delayed.macs_moved,
+        infer_delayed.macs_saved, infer_delayed.gather_bytes, infer_delayed.allocs_per_frame,
+        infer_eager.ms / infer_delayed.ms
+    ));
     out.push_str("  ]\n}\n");
     out
 }

@@ -64,4 +64,4 @@ pub use pipeline::{fnv1a64, CancelToken, Pipeline, PipelineConfig, PipelineOutpu
 pub use quality::{evaluate_quality, QualityConfig, QualityReport};
 pub use tree::{FractalNode, FractalTree, NodeId};
 pub use window::WindowCheck;
-pub use workspace::Workspace;
+pub use workspace::{InferScratch, LevelMeta, Workspace};

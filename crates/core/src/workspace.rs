@@ -79,6 +79,8 @@ pub struct Workspace {
     pub(crate) space: Vec<usize>,
     /// Fractal build scratch (order buffer, frontier lists, split runs).
     pub(crate) build: BuildScratch,
+    /// Network-inference scratch (per-layer activations, level pyramid).
+    pub infer: InferScratch,
 }
 
 impl Workspace {
@@ -86,6 +88,68 @@ impl Workspace {
     pub fn new() -> Workspace {
         Workspace::default()
     }
+}
+
+/// Byte-offsets of one level of the inference point pyramid inside
+/// [`InferScratch`]'s flat buffers (element offsets, not bytes).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LevelMeta {
+    /// Offset of the level's first point in `lvl_xs`/`lvl_ys`/`lvl_zs`.
+    pub coord_off: usize,
+    /// Number of points in the level.
+    pub len: usize,
+    /// Offset of the level's first feature value in `lvl_feat`.
+    pub feat_off: usize,
+    /// Feature channels per point at this level.
+    pub channels: usize,
+}
+
+/// Per-layer scratch of the network-inference executor (`fractalcloud-pnn`):
+/// the downsampling point pyramid stored as flat concatenated SoA levels,
+/// ping-pong MLP activation buffers, grouped-row staging, and the neighbor
+/// index lists the aggregation stage reduces over.
+///
+/// All buffers retain capacity across frames, so a warmed scratch runs a
+/// whole forward pass without heap allocation; like every other workspace
+/// field it carries no results between operations — each run fully rewrites
+/// the portions it reads.
+#[derive(Debug, Default)]
+pub struct InferScratch {
+    /// Concatenated per-level SoA x coordinates of the point pyramid.
+    pub lvl_xs: Vec<f32>,
+    /// Concatenated per-level SoA y coordinates.
+    pub lvl_ys: Vec<f32>,
+    /// Concatenated per-level SoA z coordinates.
+    pub lvl_zs: Vec<f32>,
+    /// Concatenated per-level feature rows (row-major per level).
+    pub lvl_feat: Vec<f32>,
+    /// Concatenated per-level original-cloud index of each point (grows in
+    /// lockstep with the coordinate buffers, so a level's origin slice is
+    /// `lvl_origin[meta.coord_off..meta.coord_off + meta.len]`).
+    pub lvl_origin: Vec<usize>,
+    /// One offsets record per stored level.
+    pub lvl_meta: Vec<LevelMeta>,
+    /// Staged MLP input rows (grouped rows in eager mode, per-point rows in
+    /// delayed mode).
+    pub rows: Vec<f32>,
+    /// MLP activation ping buffer.
+    pub feat_a: Vec<f32>,
+    /// MLP activation pong buffer.
+    pub feat_b: Vec<f32>,
+    /// Aggregated per-centroid features of the current stage.
+    pub pooled: Vec<f32>,
+    /// Sampled center indices of the current stage.
+    pub centers: Vec<usize>,
+    /// Flattened neighbor index lists (`centers × nsample`).
+    pub neighbors: Vec<usize>,
+    /// Per-segment entry counts for the segmented reduction.
+    pub counts: Vec<usize>,
+    /// Query coordinates staged for batched selection.
+    pub queries: Vec<[f32; 3]>,
+    /// FPS running nearest-sample distances / interpolation weights scratch.
+    pub dist: Vec<f32>,
+    /// Batched-selection scratch for the executor's own KNN/ball scans.
+    pub select: SelectScratch,
 }
 
 /// Scratch of the sequential Fractal build: the global order buffer whose
@@ -165,6 +229,28 @@ impl<T: Default> Pool<T> {
     /// Number of values currently checked in (test/diagnostic hook).
     pub fn idle(&self) -> usize {
         lock_unpoisoned(&self.slots).len()
+    }
+
+    /// Pops a recycled value (or constructs a fresh one) *by value* — the
+    /// guard-free form for values whose lifetime outlives any scope (e.g.
+    /// response buffers handed to a client). Pair with [`Pool::put`]; a
+    /// value never returned is simply dropped, which is always safe.
+    pub fn take(&self) -> T {
+        match workspace_mode() {
+            WorkspaceMode::Reuse => lock_unpoisoned(&self.slots).pop().unwrap_or_default(),
+            WorkspaceMode::Fresh => T::default(),
+        }
+    }
+
+    /// Checks a value taken with [`Pool::take`] back in (discarded in
+    /// `fresh` mode). The caller vouches the value holds no torn mid-stage
+    /// state — unlike [`PoolGuard`], a by-value return has no unwind
+    /// tracking, so only return values whose content is valid-by-
+    /// construction (e.g. buffers about to be overwritten from scratch).
+    pub fn put(&self, value: T) {
+        if workspace_mode() == WorkspaceMode::Reuse {
+            lock_unpoisoned(&self.slots).push(value);
+        }
     }
 }
 
@@ -265,6 +351,20 @@ mod tests {
         // The next checkout constructs a replacement, untouched by the
         // aborted stage.
         assert!(pool.checkout().is_empty());
+    }
+
+    #[test]
+    fn pool_take_and_put_recycle_by_value() {
+        if workspace_mode() != WorkspaceMode::Reuse {
+            return; // suite running under FRACTALCLOUD_WORKSPACE=fresh
+        }
+        let pool: Pool<Vec<u8>> = Pool::new();
+        let mut v = pool.take();
+        v.push(42);
+        pool.put(v);
+        assert_eq!(pool.idle(), 1);
+        assert_eq!(pool.take(), vec![42], "by-value takes recycle dirty state");
+        assert_eq!(pool.idle(), 0);
     }
 
     #[test]

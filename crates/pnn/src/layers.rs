@@ -32,9 +32,24 @@ impl Linear {
     ///
     /// Panics if `input.len()` is not a multiple of `cin`.
     pub fn forward(&self, input: &[f32]) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.forward_into(input, &mut out);
+        out
+    }
+
+    /// [`Linear::forward`] writing into a caller-owned buffer (cleared and
+    /// resized to `rows × cout`), so a warmed buffer performs no heap
+    /// allocation. Results are bit-identical to [`Linear::forward`] — the
+    /// allocating form calls this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len()` is not a multiple of `cin`.
+    pub fn forward_into(&self, input: &[f32], out: &mut Vec<f32>) {
         assert_eq!(input.len() % self.cin, 0, "input width mismatch");
         let rows = input.len() / self.cin;
-        let mut out = vec![0.0f32; rows * self.cout];
+        out.clear();
+        out.resize(rows * self.cout, 0.0);
         for r in 0..rows {
             let x = &input[r * self.cin..(r + 1) * self.cin];
             let y = &mut out[r * self.cout..(r + 1) * self.cout];
@@ -47,7 +62,11 @@ impl Linear {
                 *yo = if self.relu { acc.max(0.0) } else { acc };
             }
         }
-        out
+    }
+
+    /// Multiply-accumulates performed by a forward pass over `rows` rows.
+    pub fn macs(&self, rows: usize) -> u64 {
+        (rows * self.cin * self.cout) as u64
     }
 }
 

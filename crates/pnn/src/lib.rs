@@ -8,7 +8,11 @@
 //! * [`OpTrace`] — shape-level operation traces that accelerator models
 //!   cost (sampling, grouping, gather, MLP, pooling, interpolation);
 //! * [`ReferenceExecutor`] — real-arithmetic end-to-end inference in global
-//!   or block-parallel mode, the functional-correctness anchor.
+//!   or block-parallel mode, the functional-correctness anchor;
+//! * [`NetworkExecutor`] — the serving executor: workspace-backed,
+//!   allocation-free when warm, with selectable eager vs Mesorasi delayed
+//!   [`Aggregation`] (bit-identical outputs, `FRACTALCLOUD_AGGREGATION`
+//!   selects the schedule).
 //!
 //! # Example
 //!
@@ -23,11 +27,13 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod infer;
 pub mod layers;
 mod reference;
 mod trace;
 mod zoo;
 
+pub use infer::{Aggregation, InferOutput, InferenceConfig, NetworkExecutor};
 pub use reference::{ExecMode, Inference, ReferenceExecutor};
 pub use trace::{MlpKind, OpTrace, PnnOp};
 pub use zoo::{FeaturePropagation, ModelConfig, SetAbstraction, Task};

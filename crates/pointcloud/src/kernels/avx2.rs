@@ -367,6 +367,69 @@ unsafe fn fps_relax_argmax_pin_impl(
     best
 }
 
+/// AVX2 segmented max-aggregation over neighbor index lists; see
+/// [`kernels::segmented_max_into`](super::segmented_max_into) for the
+/// contract. Per segment, each 8-channel group's accumulator stays in a
+/// register while the neighbors' feature rows stream through
+/// `_mm256_max_ps(v, acc)` — which returns `acc` when `v` is NaN and on
+/// `±0.0` ties, exactly the scalar backend's strict-`>` update.
+pub fn segmented_max(
+    features: &[f32],
+    channels: usize,
+    indices: &[usize],
+    counts: &[usize],
+    num: usize,
+    out: &mut [f32],
+) {
+    assert_avx2();
+    // SAFETY: AVX2 availability asserted above; every feature row is
+    // re-sliced through bounds-checked safe indexing before any load, and
+    // the masked tail never touches memory of inactive lanes.
+    unsafe { segmented_max_impl(features, channels, indices, counts, num, out) }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn segmented_max_impl(
+    features: &[f32],
+    channels: usize,
+    indices: &[usize],
+    counts: &[usize],
+    num: usize,
+    out: &mut [f32],
+) {
+    let neg_inf = _mm256_set1_ps(f32::NEG_INFINITY);
+    for (c, &count) in counts.iter().enumerate() {
+        let seg = &indices[c * num..c * num + count];
+        let orow = &mut out[c * channels..c * channels + channels];
+        let mut ch = 0;
+        while ch + LANES <= channels {
+            let mut acc = neg_inf;
+            for &i in seg {
+                let frow = &features[i * channels..i * channels + channels];
+                let v = _mm256_loadu_ps(frow.as_ptr().add(ch));
+                // max(v, acc): NaN `v` never overwrites the accumulator,
+                // and ±0.0 ties keep the accumulator — the select idiom.
+                acc = _mm256_max_ps(v, acc);
+            }
+            _mm256_storeu_ps(orow.as_mut_ptr().add(ch), acc);
+            ch += LANES;
+        }
+        let rem = channels - ch;
+        if rem > 0 {
+            let m = tail_mask(rem);
+            let mut acc = neg_inf;
+            for &i in seg {
+                let frow = &features[i * channels..i * channels + channels];
+                // Inactive lanes load 0.0 and pollute only accumulator
+                // lanes the masked store below never writes back.
+                let v = _mm256_maskload_ps(frow.as_ptr().add(ch), m);
+                acc = _mm256_max_ps(v, acc);
+            }
+            _mm256_maskstore_ps(orow.as_mut_ptr().add(ch), m, acc);
+        }
+    }
+}
+
 /// AVX2 tiled ball scan: each 8-lane coordinate group is loaded once and
 /// scored against every query of the tile while it sits in registers —
 /// the same batching that makes `knn_prefilter_tile` pay — with the fused

@@ -405,6 +405,87 @@ fn ball_chunk_with(
     dispatch!(backend, ball_chunk(xs, ys, zs, q, r_sq, thr, out))
 }
 
+/// Segmented max-aggregation over neighbor index lists, on the active
+/// backend — the delayed-aggregation (Mesorasi) primitive: instead of
+/// materializing a duplicated `segments × num × channels` grouped feature
+/// matrix and pooling it, each output row is the channel-wise maximum of
+/// the *unique* feature rows its index list names.
+///
+/// `features` holds `n` unique rows of `channels` values (row-major);
+/// `indices` holds one `num`-slot row per segment (row `c` spans
+/// `c * num .. c * num + num`), of which the first `counts[c]` entries are
+/// aggregated; `out` receives `counts.len()` rows of `channels` values. A
+/// segment with `counts[c] == 0` yields a row of `f32::NEG_INFINITY` — the
+/// pooling identity, matching an eager max-pool over zero rows.
+///
+/// All backends use the same strict-`>` select idiom, so results are
+/// bit-identical: NaN feature values never overwrite the accumulator, and
+/// `±0.0` ties keep the accumulator. Aggregation is a pure reduction —
+/// duplicate indices (ball-query padding, `k ≥ n` repeats) cannot change
+/// the maximum, so the result equals an eager max-pool over the padded
+/// grouped matrix whenever every padded slot repeats a listed neighbor.
+///
+/// Counter accounting is the caller's job, like every kernel here:
+/// `counts[c]` feature-row reads and one row write per segment.
+///
+/// # Panics
+///
+/// Panics if `features.len()` is not a multiple of `channels` (when
+/// `channels > 0`), some `counts[c] > num`, `indices` is shorter than
+/// `counts.len() * num`, `out.len() != counts.len() * channels`, or an
+/// index names a row outside `features`.
+pub fn segmented_max_into(
+    features: &[f32],
+    channels: usize,
+    indices: &[usize],
+    counts: &[usize],
+    num: usize,
+    out: &mut [f32],
+) {
+    segmented_max_into_with(active_backend(), features, channels, indices, counts, num, out);
+}
+
+/// [`segmented_max_into`] on an explicit backend (unavailable backends fall
+/// back to [`Backend::Soa`]).
+///
+/// # Panics
+///
+/// As [`segmented_max_into`].
+pub fn segmented_max_into_with(
+    backend: Backend,
+    features: &[f32],
+    channels: usize,
+    indices: &[usize],
+    counts: &[usize],
+    num: usize,
+    out: &mut [f32],
+) {
+    if channels > 0 {
+        assert_eq!(features.len() % channels, 0, "features is not whole rows");
+    }
+    assert!(counts.iter().all(|&c| c <= num), "a segment count exceeds the row stride");
+    assert!(indices.len() >= counts.len() * num, "indices shorter than counts.len() * num");
+    assert_eq!(out.len(), counts.len() * channels, "out length mismatch");
+    dispatch!(backend, segmented_max(features, channels, indices, counts, num, out));
+}
+
+/// Allocating convenience form of [`segmented_max_into`].
+///
+/// # Panics
+///
+/// As [`segmented_max_into`].
+pub fn segmented_max(
+    features: &[f32],
+    channels: usize,
+    indices: &[usize],
+    counts: &[usize],
+    num: usize,
+) -> Vec<f32> {
+    let mut out = vec![0.0; counts.len() * channels];
+    segmented_max_into(features, channels, indices, counts, num, &mut out);
+    out
+}
+
 /// Gathers the coordinates at `indices` into local SoA buffers (cleared
 /// first) — loading a block into on-chip memory, in software.
 ///
@@ -1412,6 +1493,78 @@ mod tests {
                 "+inf-distance hits must survive the filling prefilter ({})",
                 b.name()
             );
+        }
+    }
+
+    #[test]
+    fn segmented_max_matches_reference_reduction_on_every_backend() {
+        let channels = 11; // not a multiple of the SIMD width: exercises tails
+        let n = 37;
+        let features: Vec<f32> =
+            (0..n * channels).map(|i| ((i * 73) % 101) as f32 - 50.0).collect();
+        let num = 5;
+        let counts = [5usize, 3, 0, 1, 5];
+        let indices: Vec<usize> = (0..counts.len() * num).map(|i| (i * 17) % n).collect();
+        let mut expect = vec![f32::NEG_INFINITY; counts.len() * channels];
+        for (c, &count) in counts.iter().enumerate() {
+            for &i in &indices[c * num..c * num + count] {
+                for ch in 0..channels {
+                    let v = features[i * channels + ch];
+                    if v > expect[c * channels + ch] {
+                        expect[c * channels + ch] = v;
+                    }
+                }
+            }
+        }
+        for b in available() {
+            let got =
+                with_backend(b, || segmented_max(&features, channels, &indices, &counts, num));
+            assert_eq!(got, expect, "backend {}", b.name());
+            let mut out = vec![f32::NAN; counts.len() * channels];
+            segmented_max_into_with(b, &features, channels, &indices, &counts, num, &mut out);
+            assert_eq!(out, expect, "into form on {}", b.name());
+        }
+    }
+
+    #[test]
+    fn segmented_max_empty_segment_is_neg_infinity() {
+        let features = [1.0f32, 2.0];
+        let out = segmented_max(&features, 2, &[0, 0], &[0], 2);
+        assert_eq!(out, vec![f32::NEG_INFINITY; 2]);
+    }
+
+    #[test]
+    fn segmented_max_duplicate_indices_do_not_change_the_maximum() {
+        // Ball-query padding repeats real neighbors; a reduction over the
+        // padded row must equal one over the distinct entries.
+        let features: Vec<f32> = (0..4 * 8).map(|i| (i % 13) as f32).collect();
+        for b in available() {
+            let padded = segmented_max_with_backend(b, &features, 8, &[1, 3, 1, 1, 1, 1], &[6], 6);
+            let distinct = segmented_max_with_backend(b, &features, 8, &[1, 3], &[2], 2);
+            assert_eq!(padded, distinct, "padding changed the maximum on {}", b.name());
+        }
+    }
+
+    fn segmented_max_with_backend(
+        b: Backend,
+        features: &[f32],
+        channels: usize,
+        indices: &[usize],
+        counts: &[usize],
+        num: usize,
+    ) -> Vec<f32> {
+        let mut out = vec![0.0; counts.len() * channels];
+        segmented_max_into_with(b, features, channels, indices, counts, num, &mut out);
+        out
+    }
+
+    #[test]
+    fn segmented_max_nan_features_never_overwrite() {
+        let features = [f32::NAN, 5.0, 1.0, f32::NAN];
+        for b in available() {
+            let out = segmented_max_with_backend(b, &features, 2, &[0, 1], &[2], 2);
+            assert_eq!(out[0], 1.0, "NaN lane must not win on {}", b.name());
+            assert_eq!(out[1], 5.0, "NaN in row 1 must not erase 5.0 on {}", b.name());
         }
     }
 

@@ -116,6 +116,35 @@ pub fn fps_relax_argmax_pin(
     best
 }
 
+/// Segmented max-aggregation over neighbor index lists; see
+/// [`kernels::segmented_max_into`](super::segmented_max_into) for the
+/// contract. Straight per-segment loops with the branchy `if v > acc`
+/// update — bit-identical to the chunked backends' select idiom (NaN
+/// feature values never overwrite the accumulator, `-0.0`/`0.0` ties keep
+/// the accumulator).
+pub fn segmented_max(
+    features: &[f32],
+    channels: usize,
+    indices: &[usize],
+    counts: &[usize],
+    num: usize,
+    out: &mut [f32],
+) {
+    for (c, &count) in counts.iter().enumerate() {
+        let orow = &mut out[c * channels..c * channels + channels];
+        orow.fill(f32::NEG_INFINITY);
+        for &i in &indices[c * num..c * num + count] {
+            let frow = &features[i * channels..i * channels + channels];
+            for ch in 0..channels {
+                let v = frow[ch];
+                if v > orow[ch] {
+                    orow[ch] = v;
+                }
+            }
+        }
+    }
+}
+
 /// Tiled form of [`ball_chunk`]: one call scores every query of the tile
 /// against the chunk (rows of `out` strided by [`CHUNK`](super::CHUNK)),
 /// writing per-query hit masks and chunk minima. See the dispatching

@@ -226,6 +226,33 @@ pub fn fps_relax_argmax_pin(
     best
 }
 
+/// Segmented max-aggregation over neighbor index lists; see
+/// [`kernels::segmented_max_into`](super::segmented_max_into) for the
+/// contract. The accumulator row stays hot while each neighbor's feature
+/// row streams through the select idiom `if v > acc { v } else { acc }`,
+/// which the compiler lowers to vector max (NaN feature values never
+/// overwrite the accumulator, matching the scalar backend's strict-`>`
+/// update bit for bit).
+pub fn segmented_max(
+    features: &[f32],
+    channels: usize,
+    indices: &[usize],
+    counts: &[usize],
+    num: usize,
+    out: &mut [f32],
+) {
+    for (c, &count) in counts.iter().enumerate() {
+        let orow = &mut out[c * channels..c * channels + channels];
+        orow.fill(f32::NEG_INFINITY);
+        for &i in &indices[c * num..c * num + count] {
+            let frow = &features[i * channels..i * channels + channels];
+            for (acc, &v) in orow.iter_mut().zip(frow) {
+                *acc = if v > *acc { v } else { *acc };
+            }
+        }
+    }
+}
+
 /// Tiled form of [`ball_chunk`]: one call scores every query of the tile
 /// against the chunk (rows of `out` strided by [`CHUNK`]), writing
 /// per-query hit masks and chunk minima. See the dispatching

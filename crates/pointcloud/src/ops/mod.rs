@@ -51,6 +51,18 @@ pub struct OpCounters {
     pub writes: u64,
     /// Candidates skipped by the window-check mechanism (block ops only).
     pub skipped: u64,
+    /// Multiply-accumulates executed on *unaggregated* per-point rows — the
+    /// MACs a delayed-aggregation (Mesorasi) schedule moves in front of the
+    /// aggregation stage. Zero for an eager schedule.
+    pub macs_moved: u64,
+    /// Multiply-accumulates a delayed-aggregation schedule avoided relative
+    /// to the eager gather-then-MLP formulation of the same layer (eager MACs
+    /// minus MACs actually executed). Zero for an eager schedule.
+    pub macs_saved: u64,
+    /// Bytes of materialized grouped-matrix traffic: the duplicated
+    /// neighborhood feature rows an eager schedule gathers before its MLP.
+    /// Zero for a delayed schedule, which aggregates over index lists.
+    pub gather_bytes: u64,
 }
 
 impl OpCounters {
@@ -67,6 +79,9 @@ impl OpCounters {
         self.feature_reads += other.feature_reads;
         self.writes += other.writes;
         self.skipped += other.skipped;
+        self.macs_moved += other.macs_moved;
+        self.macs_saved += other.macs_saved;
+        self.gather_bytes += other.gather_bytes;
     }
 
     /// Total memory touches (reads + writes), in records.
@@ -99,5 +114,16 @@ mod tests {
         assert_eq!(c.comparisons, 2);
         assert_eq!(c.writes, 5);
         assert_eq!(c.memory_touches(), 3 + 5);
+    }
+
+    #[test]
+    fn counters_merge_adds_mac_and_gather_fields() {
+        let a = OpCounters { macs_moved: 7, macs_saved: 100, ..Default::default() };
+        let b = OpCounters { macs_moved: 3, gather_bytes: 64, ..Default::default() };
+        let c = a + b;
+        assert_eq!(c.macs_moved, 10);
+        assert_eq!(c.macs_saved, 100);
+        assert_eq!(c.gather_bytes, 64);
+        assert_eq!(c.memory_touches(), 0, "MAC/gather counters are not memory touches");
     }
 }

@@ -180,3 +180,86 @@ fn env_override_names_resolve() {
     assert_eq!(Backend::from_name("avx2"), Some(Backend::Avx2));
     assert_eq!(Backend::from_name("avx512"), None);
 }
+
+// --- Segmented max-aggregation (the Mesorasi delayed-aggregation core) ---
+
+/// A feature value derived from `salt` and the flat position, with the
+/// values that stress the max reduction's select idiom sprinkled in: NaN
+/// must never overwrite the accumulator, signed-zero ties keep the
+/// accumulator, and infinities must flow through untouched.
+fn salted_feature(salt: usize, i: usize) -> f32 {
+    match (salt + i) % 19 {
+        0 => f32::NAN,
+        1 => f32::NEG_INFINITY,
+        2 => f32::INFINITY,
+        3 => -0.0,
+        4 => 0.0,
+        k => ((salt * 73 + i * 37 + k) % 401) as f32 - 200.0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every backend reduces ragged random segments — empty balls
+    /// (`count == 0`), duplicated indices, and strides past the row count
+    /// (`num >= n`, the k ≥ n shape) included — bit-identically to a
+    /// straight scalar reference reduction.
+    #[test]
+    fn segmented_max_bit_identical_across_backends(
+        n in 1usize..40,
+        channels in 1usize..14,
+        num in 1usize..48,
+        salt in 0usize..100_000,
+    ) {
+        let features: Vec<f32> =
+            (0..n * channels).map(|i| salted_feature(salt, i)).collect();
+        let counts: Vec<usize> =
+            (0..salt % 8).map(|c| (salt * 7 + c * 13) % (num + 1)).collect();
+        let indices: Vec<usize> =
+            (0..counts.len() * num).map(|i| (i * 31 + salt) % n).collect();
+
+        // Straight reference reduction with the branchy `if v > acc`
+        // update — the contract every backend must hit bit-for-bit.
+        let mut expect = vec![f32::NEG_INFINITY; counts.len() * channels];
+        for (c, &count) in counts.iter().enumerate() {
+            for &i in &indices[c * num..c * num + count] {
+                for ch in 0..channels {
+                    let v = features[i * channels + ch];
+                    if v > expect[c * channels + ch] {
+                        expect[c * channels + ch] = v;
+                    }
+                }
+            }
+        }
+        let expect_bits: Vec<u32> = expect.iter().map(|x| x.to_bits()).collect();
+
+        for b in Backend::ALL {
+            let mut out = vec![f32::NAN; counts.len() * channels];
+            kernels::segmented_max_into_with(b, &features, channels, &indices, &counts, num, &mut out);
+            let got_bits: Vec<u32> = out.iter().map(|x| x.to_bits()).collect();
+            prop_assert_eq!(&got_bits, &expect_bits);
+        }
+    }
+
+    /// An empty segment (empty ball) comes back as a `-inf` row on every
+    /// backend — never stale output or zeros.
+    #[test]
+    fn segmented_max_empty_segments_are_neg_infinity(
+        channels in 1usize..10,
+        num in 1usize..16,
+        segments in 1usize..6,
+    ) {
+        let features = vec![1.0f32; 8 * channels];
+        let counts = vec![0usize; segments];
+        let indices = vec![0usize; segments * num];
+        for b in Backend::ALL {
+            let mut out = vec![0.0f32; segments * channels];
+            kernels::segmented_max_into_with(b, &features, channels, &indices, &counts, num, &mut out);
+            prop_assert!(
+                out.iter().all(|&v| v == f32::NEG_INFINITY),
+                "backend {} left non -inf rows for empty segments", b.name()
+            );
+        }
+    }
+}

@@ -71,11 +71,12 @@ use crate::cache::{frame_key, PartitionCache};
 use crate::config::ServeConfig;
 use crate::faults::{self, FaultLayer, FaultPoint};
 use crate::metrics::{Metrics, MetricsSnapshot};
-use fractalcloud_core::workspace::{global_pool, Pool};
+use fractalcloud_core::workspace::{global_pool, workspace_mode, Pool, WorkspaceMode};
 use fractalcloud_core::{CancelToken, Pipeline, PipelineConfig, PipelineOutput, Workspace};
+use fractalcloud_pnn::{Aggregation, InferOutput, InferenceConfig, ModelConfig, NetworkExecutor};
 use fractalcloud_pointcloud::ops::OpCounters;
 use fractalcloud_pointcloud::{Error, PointCloud};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
@@ -231,7 +232,11 @@ impl std::error::Error for ServeError {}
 /// A processed frame: the block-FPS samples and their ball-query groups,
 /// exactly as the direct library calls would return them, plus serving
 /// metadata.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Hand a finished response back with [`Engine::recycle`] and its index
+/// buffers rejoin the engine's staging pool — the warmed cache-hit serving
+/// path then performs no heap allocation at all.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FrameResponse {
     /// Sampled global indices (block order), identical to
     /// `block_fps(..).indices`.
@@ -255,6 +260,35 @@ pub struct FrameResponse {
     pub batch_size: usize,
 }
 
+/// One network-inference result, with serving metadata attached.
+///
+/// Hand a finished response back with [`Engine::recycle_infer`] and its
+/// logit buffers rejoin the engine's staging pool, keeping the warmed
+/// inference path allocation-free.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferResponse {
+    /// Logits, row indices, and the MACs-moved / MACs-saved / gather-bytes
+    /// accounting of the executed schedule.
+    pub output: InferOutput,
+    /// The aggregation schedule that actually ran (the server resolves
+    /// "default" before executing).
+    pub aggregation: Aggregation,
+    /// True when the partition came from the LRU cache.
+    pub cache_hit: bool,
+    /// Number of requests fused into the batch this one ran in.
+    pub batch_size: usize,
+}
+
+/// What a resolved slot carries: one variant per request kind. Private —
+/// the public [`Ticket`]/[`InferTicket`] handles unwrap the variant their
+/// submission created (the kinds never cross because a ticket type is only
+/// ever minted by the matching `submit_*`).
+#[derive(Debug)]
+enum EngineResponse {
+    Frame(FrameResponse),
+    Infer(InferResponse),
+}
+
 /// Engine lifecycle states (stored in an `AtomicU8`).
 const RUNNING: u8 = 0;
 const DRAINING: u8 = 1;
@@ -263,27 +297,101 @@ const STOPPED: u8 = 2;
 /// A one-shot completion slot shared between a worker and a waiter.
 #[derive(Debug, Default)]
 struct Slot {
-    result: Mutex<Option<Result<FrameResponse, ServeError>>>,
+    result: Mutex<Option<Result<EngineResponse, ServeError>>>,
     ready: Condvar,
+}
+
+/// A free-list of completion slots. A request needs one `Arc<Slot>` per
+/// submission; recycling them (instead of `Arc::new` per request) removes
+/// the last steady-state allocation from the warmed serving path.
+///
+/// A slot is released by whichever end — the waiter's [`Ticket`] or the
+/// engine's [`TicketGuard`] — drops its `Arc` *last*: each release attempt
+/// checks `Arc::strong_count == 1` (plus no weak refs), i.e. "I hold the
+/// only handle". Both ends racing see a count of 2 and neither pools (the
+/// slot just deallocates — safe, merely one allocation next time); the
+/// count reaching 1 for exactly one of them is what makes double-pooling
+/// impossible. Observing the other side's decrement also orders its final
+/// mutex accesses before the reset here, and the reset-then-push happens
+/// while no other handle exists, so a recycled slot is always `None` and
+/// unobserved. Honors [`workspace_mode`]: `fresh` disables recycling.
+#[derive(Debug, Default)]
+struct SlotStash {
+    slots: Mutex<Vec<Arc<Slot>>>,
+}
+
+impl SlotStash {
+    fn take(&self) -> Arc<Slot> {
+        if workspace_mode() == WorkspaceMode::Reuse {
+            if let Some(slot) = lock_unpoisoned(&self.slots).pop() {
+                return slot;
+            }
+        }
+        Arc::new(Slot::default())
+    }
+
+    fn release(&self, slot: Arc<Slot>) {
+        if workspace_mode() == WorkspaceMode::Reuse
+            && Arc::strong_count(&slot) == 1
+            && Arc::weak_count(&slot) == 0
+        {
+            *lock_unpoisoned(&slot.result) = None;
+            lock_unpoisoned(&self.slots).push(slot);
+        }
+    }
 }
 
 /// Handle to one in-flight request; redeem with [`Ticket::wait`].
 #[derive(Debug)]
 pub struct Ticket {
-    slot: Arc<Slot>,
+    /// `Some` until the drop handler releases the slot to the stash.
+    slot: Option<Arc<Slot>>,
+    stash: Arc<SlotStash>,
 }
 
 impl Ticket {
+    /// Blocks until the slot resolves, whatever the response kind.
+    fn wait_any(&self) -> Result<EngineResponse, ServeError> {
+        let slot = self.slot.as_ref().expect("slot present until drop");
+        let mut guard = lock_unpoisoned(&slot.result);
+        while guard.is_none() {
+            guard = slot.ready.wait(guard).unwrap_or_else(PoisonError::into_inner);
+        }
+        guard.take().expect("checked above")
+    }
+
+    /// As [`Ticket::wait_any`], bounded by a timeout (`None` = pending).
+    fn wait_any_timeout(&self, timeout: Duration) -> Option<Result<EngineResponse, ServeError>> {
+        let slot = self.slot.as_ref().expect("slot present until drop");
+        let deadline = Instant::now().checked_add(timeout)?;
+        let mut guard = lock_unpoisoned(&slot.result);
+        while guard.is_none() {
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (g, _timed_out) = slot
+                .ready
+                .wait_timeout(guard, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            guard = g;
+        }
+        Some(guard.take().expect("checked above"))
+    }
+
     /// Blocks until the response (or terminal error) is ready. Never hangs:
     /// every admitted job carries a drop-guard that resolves the slot (with
     /// [`ServeError::Internal`]) even when its executor panics or its
     /// worker dies.
     pub fn wait(self) -> Result<FrameResponse, ServeError> {
-        let mut guard = lock_unpoisoned(&self.slot.result);
-        while guard.is_none() {
-            guard = self.slot.ready.wait(guard).unwrap_or_else(PoisonError::into_inner);
+        match self.wait_any() {
+            Ok(EngineResponse::Frame(r)) => Ok(r),
+            // Unreachable by construction: a `Ticket` is only minted by the
+            // frame-submitting paths. Kept total so a logic error surfaces
+            // as an error, never a panic in a waiter.
+            Ok(EngineResponse::Infer(_)) => Err(ServeError::Internal),
+            Err(e) => Err(e),
         }
-        guard.take().expect("checked above")
     }
 
     /// [`Ticket::wait`] bounded by a timeout: `None` when the response was
@@ -292,21 +400,48 @@ impl Ticket {
     /// failure model makes `None` an anomaly worth asserting on — chaos
     /// tests use exactly that.
     pub fn wait_timeout(self, timeout: Duration) -> Option<Result<FrameResponse, ServeError>> {
-        let deadline = Instant::now().checked_add(timeout)?;
-        let mut guard = lock_unpoisoned(&self.slot.result);
-        while guard.is_none() {
-            let now = Instant::now();
-            if now >= deadline {
-                return None;
-            }
-            let (g, _timed_out) = self
-                .slot
-                .ready
-                .wait_timeout(guard, deadline - now)
-                .unwrap_or_else(PoisonError::into_inner);
-            guard = g;
+        match self.wait_any_timeout(timeout) {
+            Some(Ok(EngineResponse::Frame(r))) => Some(Ok(r)),
+            Some(Ok(EngineResponse::Infer(_))) => Some(Err(ServeError::Internal)),
+            Some(Err(e)) => Some(Err(e)),
+            None => None,
         }
-        Some(guard.take().expect("checked above"))
+    }
+}
+
+impl Drop for Ticket {
+    fn drop(&mut self) {
+        if let Some(slot) = self.slot.take() {
+            self.stash.release(slot);
+        }
+    }
+}
+
+/// Handle to one in-flight inference request; redeem with
+/// [`InferTicket::wait`]. Same completion contract as [`Ticket`].
+#[derive(Debug)]
+pub struct InferTicket {
+    inner: Ticket,
+}
+
+impl InferTicket {
+    /// Blocks until the inference response (or terminal error) is ready.
+    pub fn wait(self) -> Result<InferResponse, ServeError> {
+        match self.inner.wait_any() {
+            Ok(EngineResponse::Infer(r)) => Ok(r),
+            Ok(EngineResponse::Frame(_)) => Err(ServeError::Internal),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// [`Ticket::wait_timeout`], for inference requests.
+    pub fn wait_timeout(self, timeout: Duration) -> Option<Result<InferResponse, ServeError>> {
+        match self.inner.wait_any_timeout(timeout) {
+            Some(Ok(EngineResponse::Infer(r))) => Some(Ok(r)),
+            Some(Ok(EngineResponse::Frame(_))) => Some(Err(ServeError::Internal)),
+            Some(Err(e)) => Some(Err(e)),
+            None => None,
+        }
     }
 }
 
@@ -320,7 +455,9 @@ impl Ticket {
 struct TicketGuard {
     priority: Priority,
     admitted_at: Instant,
-    slot: Arc<Slot>,
+    /// `Some` until the drop handler releases the slot to the stash.
+    slot: Option<Arc<Slot>>,
+    stash: Arc<SlotStash>,
     metrics: Arc<Metrics>,
     /// Whether this guard already resolved its slot. Tracked on the guard
     /// (not inferred from the slot) because a waiter *takes* the result
@@ -334,17 +471,18 @@ impl TicketGuard {
     /// metrics (latency + completion for delivered responses, the
     /// dedicated counters for deadline sheds and internal failures;
     /// queue-bound sheds are counted by the displacing submitter).
-    fn finish(mut self, outcome: Result<FrameResponse, ServeError>) {
+    fn finish(mut self, outcome: Result<EngineResponse, ServeError>) {
         self.resolve(outcome);
         // The impending Drop finds `resolved` set: no-op.
     }
 
-    fn resolve(&mut self, outcome: Result<FrameResponse, ServeError>) {
+    fn resolve(&mut self, outcome: Result<EngineResponse, ServeError>) {
         if self.resolved {
             return;
         }
         self.resolved = true;
-        let mut guard = lock_unpoisoned(&self.slot.result);
+        let slot = self.slot.as_ref().expect("slot present until drop");
+        let mut guard = lock_unpoisoned(&slot.result);
         if guard.is_some() {
             return;
         }
@@ -366,7 +504,7 @@ impl TicketGuard {
         }
         *guard = Some(outcome);
         drop(guard);
-        self.slot.ready.notify_all();
+        slot.ready.notify_all();
     }
 }
 
@@ -375,14 +513,30 @@ impl Drop for TicketGuard {
         // Reached unresolved only when the job was abandoned by a panic
         // somewhere between admission and publication.
         self.resolve(Err(ServeError::Internal));
+        if let Some(slot) = self.slot.take() {
+            self.stash.release(slot);
+        }
     }
 }
 
-/// One queued unit of work.
+/// What a queued job executes: a stage-1 frame, or a full network forward
+/// pass fed by that same stage-1 output.
+enum WorkKind {
+    /// Sampling + grouping only — the original PROCESS_FRAME request.
+    Frame,
+    /// End-to-end inference through the shared, pre-materialized executor
+    /// (one per distinct `(model, seed, aggregation)`, cached engine-wide).
+    Infer { executor: Arc<NetworkExecutor> },
+}
+
+/// One queued unit of work. The cloud rides behind an `Arc` so in-process
+/// clients can submit without copying the frame (and so a warmed serving
+/// loop stays allocation-free).
 struct Job {
-    cloud: PointCloud,
+    cloud: Arc<PointCloud>,
     config: PipelineConfig,
     compat: u64,
+    kind: WorkKind,
     priority: Priority,
     admitted_at: Instant,
     /// Absolute execution deadline (`None` = unbounded).
@@ -460,6 +614,21 @@ struct Shared {
     /// Both pools discard (never re-pool) values whose guard drops during
     /// an unwind.
     outputs: Pool<PipelineOutput>,
+    /// Recycled [`FrameResponse`] shells: `execute_one` *swaps* its filled
+    /// staging vectors with a pooled response's spent ones, so buffer
+    /// capacity circulates client → engine → client ([`Engine::recycle`])
+    /// instead of being reallocated per frame.
+    responses: Pool<FrameResponse>,
+    /// Recycled [`InferOutput`] staging for the inference path
+    /// ([`Engine::recycle_infer`]).
+    infer_outputs: Pool<InferOutput>,
+    /// Recycled completion slots (see [`SlotStash`]).
+    slots: Arc<SlotStash>,
+    /// Pre-materialized network executors, one per distinct
+    /// `(model fingerprint, seed, aggregation)` — weight generation runs
+    /// once, and every identical INFER request shares the same `Arc` (which
+    /// is also what makes their batch-compat keys equal).
+    executors: Mutex<HashMap<(u64, u64, u8), Arc<NetworkExecutor>>>,
     /// The seeded fault layer; `None` (the overwhelmingly common case)
     /// makes every injection site one discriminant test.
     faults: Option<Arc<FaultLayer>>,
@@ -501,6 +670,10 @@ impl Engine {
             state: AtomicU8::new(RUNNING),
             metrics: Arc::new(Metrics::default()),
             outputs: Pool::new(),
+            responses: Pool::new(),
+            infer_outputs: Pool::new(),
+            slots: Arc::new(SlotStash::default()),
+            executors: Mutex::new(HashMap::new()),
             workers: Mutex::new(Vec::new()),
         });
         let workers: Vec<JoinHandle<()>> = (0..cfg.workers.max(1))
@@ -570,6 +743,111 @@ impl Engine {
         priority: Priority,
         deadline: Option<Duration>,
     ) -> Result<Ticket, ServeError> {
+        self.submit_shared_with_options(Arc::new(cloud), config, priority, deadline)
+    }
+
+    /// [`Engine::submit`] without copying the frame: the engine borrows the
+    /// caller's `Arc<PointCloud>` for the job's lifetime. The shared-cloud
+    /// entry points are what keep a warmed serving loop allocation-free —
+    /// an `Arc` clone is a refcount bump, not a frame copy.
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::submit`].
+    pub fn submit_shared(
+        &self,
+        cloud: Arc<PointCloud>,
+        config: PipelineConfig,
+    ) -> Result<Ticket, ServeError> {
+        self.submit_shared_with_options(cloud, config, Priority::Normal, None)
+    }
+
+    /// [`Engine::submit_with_options`] over a shared frame.
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::submit_with_priority`].
+    pub fn submit_shared_with_options(
+        &self,
+        cloud: Arc<PointCloud>,
+        config: PipelineConfig,
+        priority: Priority,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, ServeError> {
+        let compat = config.compat_key();
+        self.admit(cloud, config, compat, WorkKind::Frame, priority, deadline)
+    }
+
+    /// Validates and admits one inference request, returning an
+    /// [`InferTicket`] to wait on. The request's stage-1 pipeline (leaf
+    /// threshold from the request, sampling/grouping geometry from the
+    /// model's first set-abstraction stage) shares the engine's partition
+    /// cache, priority lanes, deadlines, and fault-injection points with
+    /// frame requests; identical `(model, seed, aggregation)` requests
+    /// share one cached weight materialization and batch together.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Invalid`] for empty frames, models without a
+    /// set-abstraction stage, or bad derived parameters;
+    /// [`ServeError::Shed`] exactly as [`Engine::submit_with_priority`].
+    pub fn submit_infer(
+        &self,
+        cloud: Arc<PointCloud>,
+        req: InferRequest,
+    ) -> Result<InferTicket, ServeError> {
+        let InferRequest { model, seed, threshold, aggregation, priority, deadline } = req;
+        let Some(sa) = model.stages.first() else {
+            let m = &self.shared.metrics;
+            m.submitted.fetch_add(1, Ordering::Relaxed);
+            m.rejected_invalid.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Invalid(Error::InvalidParameter {
+                name: "model",
+                message: "model has no set-abstraction stage to serve".into(),
+            }));
+        };
+        let config = PipelineConfig::new(threshold, sa.sample_ratio, sa.radius, sa.nsample);
+        let aggregation = aggregation.unwrap_or_else(Aggregation::from_env);
+        let executor = self.executor_for(model, seed, aggregation);
+        let compat = infer_compat(&executor, &config);
+        let ticket =
+            self.admit(cloud, config, compat, WorkKind::Infer { executor }, priority, deadline)?;
+        Ok(InferTicket { inner: ticket })
+    }
+
+    /// The cached executor for `(model, seed, aggregation)`, materializing
+    /// weights on first use. Holding the registry lock through a build
+    /// serializes concurrent first requests for the same network — by
+    /// design: weight generation is the expensive part, and building it
+    /// twice to race an insert would waste more than the wait.
+    fn executor_for(
+        &self,
+        model: ModelConfig,
+        seed: u64,
+        aggregation: Aggregation,
+    ) -> Arc<NetworkExecutor> {
+        let key = (model_fingerprint(&model), seed, aggregation_wire(aggregation));
+        let mut map = lock_unpoisoned(&self.shared.executors);
+        if let Some(ex) = map.get(&key) {
+            return Arc::clone(ex);
+        }
+        let ex = Arc::new(NetworkExecutor::new(InferenceConfig { model, seed, aggregation }));
+        map.insert(key, Arc::clone(&ex));
+        ex
+    }
+
+    /// The shared admission path: validate, then queue under the bound (or
+    /// displace / shed), minting the ticket pair only once admission is
+    /// certain.
+    fn admit(
+        &self,
+        cloud: Arc<PointCloud>,
+        config: PipelineConfig,
+        compat: u64,
+        kind: WorkKind,
+        priority: Priority,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, ServeError> {
         let m = &self.shared.metrics;
         m.submitted.fetch_add(1, Ordering::Relaxed);
         if let Err(e) = config.validate() {
@@ -594,7 +872,7 @@ impl Engine {
                 .then(|| Duration::from_millis(self.shared.cfg.deadline_ms))
         });
         let deadline = budget.and_then(|d| admitted_at.checked_add(d));
-        let slot = Arc::new(Slot::default());
+        let slot = self.shared.slots.take();
         let displaced = {
             let mut queue = lock_unpoisoned(&self.shared.queue);
             // State is checked under the queue lock: shutdown() transitions
@@ -619,16 +897,18 @@ impl Engine {
             // The job (and the resolution obligation its guard carries) is
             // only constructed once admission is certain.
             queue.classes[priority.index()].push_back(Job {
-                compat: config.compat_key(),
+                compat,
                 cloud,
                 config,
+                kind,
                 priority,
                 admitted_at,
                 deadline,
                 ticket: TicketGuard {
                     priority,
                     admitted_at,
-                    slot: Arc::clone(&slot),
+                    slot: Some(Arc::clone(&slot)),
+                    stash: Arc::clone(&self.shared.slots),
                     metrics: Arc::clone(m),
                     resolved: false,
                 },
@@ -643,7 +923,7 @@ impl Engine {
             victim.ticket.finish(Err(ServeError::Shed(ShedReason::QueueFull)));
         }
         self.shared.available.notify_one();
-        Ok(Ticket { slot })
+        Ok(Ticket { slot: Some(slot), stash: Arc::clone(&self.shared.slots) })
     }
 
     /// Submits a frame and blocks for its response — the in-process client
@@ -658,6 +938,47 @@ impl Engine {
         config: PipelineConfig,
     ) -> Result<FrameResponse, ServeError> {
         self.submit(cloud, config)?.wait()
+    }
+
+    /// [`Engine::process`] over a shared frame — with
+    /// [`Engine::recycle`], the warmed cache-hit serving loop this enables
+    /// performs zero heap allocations per frame.
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::submit`].
+    pub fn process_shared(
+        &self,
+        cloud: Arc<PointCloud>,
+        config: PipelineConfig,
+    ) -> Result<FrameResponse, ServeError> {
+        self.submit_shared(cloud, config)?.wait()
+    }
+
+    /// Submits an inference request and blocks for its response.
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::submit_infer`].
+    pub fn process_infer(
+        &self,
+        cloud: Arc<PointCloud>,
+        req: InferRequest,
+    ) -> Result<InferResponse, ServeError> {
+        self.submit_infer(cloud, req)?.wait()
+    }
+
+    /// Returns a finished response's buffers to the engine's staging pool
+    /// (a no-op in `FRACTALCLOUD_WORKSPACE=fresh` mode). Recycling is what
+    /// closes the allocation loop: the next frame's response reuses these
+    /// vectors instead of growing fresh ones.
+    pub fn recycle(&self, response: FrameResponse) {
+        self.shared.responses.put(response);
+    }
+
+    /// [`Engine::recycle`] for inference responses.
+    pub fn recycle_infer(&self, response: InferResponse) {
+        self.shared.infer_outputs.put(response.output);
     }
 
     /// Submits a frame at the given [`Priority`] and blocks for its
@@ -787,6 +1108,119 @@ impl Drop for Engine {
     }
 }
 
+/// One inference request: which network, which weights, which schedule —
+/// plus the same serving options every frame request has.
+#[derive(Debug, Clone)]
+pub struct InferRequest {
+    /// The network to run (resolve zoo entries via
+    /// [`ModelConfig::table1`]).
+    pub model: ModelConfig,
+    /// Deterministic weight seed — same `(model, seed)`, same logits,
+    /// in-process or over the wire.
+    pub seed: u64,
+    /// Partition leaf threshold of the stage-1 pipeline (the rest of the
+    /// stage-1 geometry comes from the model's first set-abstraction
+    /// stage).
+    pub threshold: usize,
+    /// Aggregation schedule; `None` uses the server's
+    /// `FRACTALCLOUD_AGGREGATION` default.
+    pub aggregation: Option<Aggregation>,
+    /// Queue class, exactly as for frame requests.
+    pub priority: Priority,
+    /// Per-request deadline; `None` falls back to the configured default.
+    pub deadline: Option<Duration>,
+}
+
+impl InferRequest {
+    /// A [`Priority::Normal`], unbounded-deadline request with the default
+    /// partition threshold and the server's default aggregation schedule.
+    pub fn new(model: ModelConfig) -> InferRequest {
+        InferRequest {
+            model,
+            seed: 42,
+            threshold: PipelineConfig::default().threshold,
+            aggregation: None,
+            priority: Priority::Normal,
+            deadline: None,
+        }
+    }
+}
+
+/// FNV-1a over a structural serialization of the model — the executor-cache
+/// key component that makes "same network" mean *same configuration*, not
+/// same notation string. Length-prefixed fields keep the encoding
+/// prefix-free, so distinct configs cannot collide by concatenation.
+fn model_fingerprint(m: &ModelConfig) -> u64 {
+    struct Fnv(u64);
+    impl Fnv {
+        fn bytes(&mut self, b: &[u8]) {
+            for &x in b {
+                self.0 = (self.0 ^ u64::from(x)).wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        fn word(&mut self, v: u64) {
+            self.bytes(&v.to_le_bytes());
+        }
+    }
+    let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+    h.word(m.family.len() as u64);
+    h.bytes(m.family.as_bytes());
+    h.word(m.notation.len() as u64);
+    h.bytes(m.notation.as_bytes());
+    h.word(match m.task {
+        fractalcloud_pnn::Task::Classification => 0,
+        fractalcloud_pnn::Task::PartSegmentation => 1,
+        fractalcloud_pnn::Task::Segmentation => 2,
+    });
+    h.word(m.in_channels as u64);
+    h.word(m.stem_width as u64);
+    h.word(m.classes as u64);
+    h.word(m.stages.len() as u64);
+    for sa in &m.stages {
+        h.word(sa.sample_ratio.to_bits());
+        h.word(u64::from(sa.radius.to_bits()));
+        h.word(sa.nsample as u64);
+        h.word(sa.blocks as u64);
+        h.word(sa.mlp.len() as u64);
+        for &w in &sa.mlp {
+            h.word(w as u64);
+        }
+    }
+    h.word(m.propagation.len() as u64);
+    for fp in &m.propagation {
+        h.word(fp.k as u64);
+        h.word(fp.mlp.len() as u64);
+        for &w in &fp.mlp {
+            h.word(w as u64);
+        }
+    }
+    h.word(m.head.len() as u64);
+    for &w in &m.head {
+        h.word(w as u64);
+    }
+    h.0
+}
+
+/// The schedule's wire/cache byte (`protocol::AGG_EAGER` / `AGG_DELAYED`).
+pub(crate) fn aggregation_wire(agg: Aggregation) -> u8 {
+    match agg {
+        Aggregation::Eager => 1,
+        Aggregation::Delayed => 2,
+    }
+}
+
+/// Batch-compat key of an inference job: the stage-1 pipeline key mixed
+/// with the executor identity (executors are cached and shared, so equal
+/// requests carry the same `Arc` pointer) and an INFER tag. Kind purity of
+/// a batch does not *depend* on this key — execution dispatches per job —
+/// but matching keys are what let identical inference requests fuse.
+fn infer_compat(executor: &Arc<NetworkExecutor>, config: &PipelineConfig) -> u64 {
+    let mut h = 0x1f3a_9e44_0b1d_77c5u64 ^ config.compat_key();
+    h = h.wrapping_mul(0x100_0000_01b3);
+    h ^= Arc::as_ptr(executor) as usize as u64;
+    h.wrapping_mul(0x100_0000_01b3)
+}
+
 /// Spawns one supervised worker thread.
 fn spawn_worker(shared: &Arc<Shared>, id: usize) -> std::io::Result<JoinHandle<()>> {
     let shared = Arc::clone(shared);
@@ -845,23 +1279,30 @@ fn respawn_worker(shared: &Arc<Shared>, id: usize) -> bool {
 /// compatibility batch from every class (highest first, preserving each
 /// class's arrival order), execute. Returns when the engine drains.
 fn worker_loop(shared: &Arc<Shared>) {
-    while let Some(batch) = next_batch(shared) {
+    // One reusable batch vector per worker: `next_batch` fills it,
+    // `execute_batch` drains it, and its capacity persists across frames —
+    // no per-batch `Vec` on the steady-state path.
+    let mut batch: Vec<Job> = Vec::new();
+    while next_batch(shared, &mut batch) {
         // An empty batch means the pop only found expired jobs (already
         // shed by next_batch) — go straight back for more work.
         if !batch.is_empty() {
-            execute_batch(shared, batch);
+            execute_batch(shared, &mut batch);
         }
     }
 }
 
-/// Blocks for the next compatible batch; `None` once the engine is draining
-/// and the queue is empty. Jobs whose deadline already passed are shed here
+/// Blocks for the next compatible batch, filling the caller's (reusable,
+/// empty-on-entry) `batch`; returns `false` once the engine is draining and
+/// the queue is empty. Jobs whose deadline already passed are shed here
 /// (retryable [`ShedReason::DeadlineExceeded`]) instead of batched — the
 /// waiter gets its answer sooner and the batch wastes no budget on work
-/// nobody wants anymore.
-fn next_batch(shared: &Arc<Shared>) -> Option<Vec<Job>> {
+/// nobody wants anymore. A `true` return with an empty batch means the pop
+/// only found expired jobs.
+fn next_batch(shared: &Arc<Shared>, batch: &mut Vec<Job>) -> bool {
+    debug_assert!(batch.is_empty(), "caller drains the batch between rounds");
     let mut expired: Vec<Job> = Vec::new();
-    let batch = {
+    let got = {
         let mut queue = lock_unpoisoned(&shared.queue);
         loop {
             let now = Instant::now();
@@ -876,12 +1317,19 @@ fn next_batch(shared: &Arc<Shared>) -> Option<Vec<Job>> {
             }
             if let Some(first) = first {
                 let compat = first.compat;
-                let mut batch = vec![first];
+                batch.push(first);
                 for class in 0..queue.classes.len() {
                     if batch.len() >= shared.cfg.max_batch {
                         break;
                     }
                     let lane = &mut queue.classes[class];
+                    // Skipping empty lanes is a steady-state allocation
+                    // guarantee, not just a shortcut: the rebuild below
+                    // would replace a warm lane's capacity with an empty
+                    // one, forcing the next submit to reallocate it.
+                    if lane.is_empty() {
+                        continue;
+                    }
                     let mut kept = VecDeque::with_capacity(lane.len());
                     while let Some(job) = lane.pop_front() {
                         if job.expired(now) {
@@ -895,16 +1343,16 @@ fn next_batch(shared: &Arc<Shared>) -> Option<Vec<Job>> {
                     *lane = kept;
                 }
                 shared.metrics.set_queue_depth(queue.len());
-                break Some(batch);
+                break true;
             }
             shared.metrics.set_queue_depth(queue.len());
             if !expired.is_empty() {
                 // Everything popped had expired: hand back an empty batch so
                 // the sheds below resolve now, not after the next arrival.
-                break Some(Vec::new());
+                break true;
             }
             if shared.state.load(Ordering::SeqCst) != RUNNING {
-                break None;
+                break false;
             }
             queue = shared.available.wait(queue).unwrap_or_else(PoisonError::into_inner);
         }
@@ -915,30 +1363,45 @@ fn next_batch(shared: &Arc<Shared>) -> Option<Vec<Job>> {
     for job in expired {
         job.ticket.finish(Err(ServeError::Shed(ShedReason::DeadlineExceeded)));
     }
-    batch
+    got
 }
 
 /// Runs one compatible batch and resolves every ticket. The injected
 /// `worker` fault point fires here — an injected error drops the whole
 /// batch (each guard resolves Internal), an injected panic unwinds into the
 /// supervisor in [`worker_main`].
-fn execute_batch(shared: &Shared, batch: Vec<Job>) {
+fn execute_batch(shared: &Shared, batch: &mut Vec<Job>) {
     let size = batch.len();
     let m = &shared.metrics;
     m.batches.fetch_add(1, Ordering::Relaxed);
     m.batched_frames.fetch_add(size as u64, Ordering::Relaxed);
     let started = Instant::now();
-    for job in &batch {
+    for job in batch.iter() {
         m.queue_wait.record(started.duration_since(job.admitted_at));
     }
     if faults::fire(&shared.faults, FaultPoint::Worker) {
         // Injected executor error: dropping the jobs resolves every ticket
         // to Internal through its guard — the same path a real panic takes.
-        drop(batch);
+        batch.clear();
         return;
     }
 
-    if size >= 2 && shared.cfg.batch_blocks && shared.cfg.thread_budget > 1 {
+    if size == 1 {
+        // Lone-job fast path, executed inline on this worker: no spawn, no
+        // per-batch result vector — with a warmed workspace and staging
+        // this path performs zero heap allocations.
+        let job = batch.pop().expect("size checked above");
+        let Job { cloud, config, kind, ticket, deadline, .. } = job;
+        let mut ws = global_pool().checkout();
+        let outcome = run_job(shared, &cloud, config, &kind, deadline, size, &mut ws);
+        ticket.finish(outcome);
+        return;
+    }
+
+    if shared.cfg.batch_blocks
+        && shared.cfg.thread_budget > 1
+        && batch.iter().all(|j| matches!(j.kind, WorkKind::Frame))
+    {
         // The tentpole path: flatten the union of all frames' blocks into
         // one work list and run a single budgeted map over fused
         // sample+group block tasks. Only taken when there is a budget to
@@ -946,26 +1409,29 @@ fn execute_batch(shared: &Shared, batch: Vec<Job>) {
         // measures ~1% slower than the frame-at-a-time order below (the
         // partitions-then-blocks barrier costs frame locality), so the
         // legacy order serves budget-1 hosts — results are bit-identical
-        // either way; this is purely a schedule choice.
-        execute_batch_blocks(shared, batch);
+        // either way; this is purely a schedule choice. (Frames only:
+        // inference batches — compat-homogeneous by key construction —
+        // take the per-job lanes below.)
+        let owned: Vec<Job> = std::mem::take(batch);
+        execute_batch_blocks(shared, owned);
         return;
     }
 
-    // Legacy schedule (and the lone-frame fast path): one lane per frame.
-    // `parallel_map_budget_with` divides the engine's budget across the
-    // lanes (a lone frame keeps the whole budget), each lane's allowance is
+    // Legacy schedule: one lane per job. `parallel_map_budget_with` divides
+    // the engine's budget across the lanes, each lane's allowance is
     // inherited by every fan-out inside the pipeline, and each lane checks
     // one workspace out of the process-wide pool — scratch is reused
-    // across the lane's frames and across batches, never shared between
+    // across the lane's jobs and across batches, never shared between
     // threads. Results are identical for every budget — only wall-clock
     // (and allocation traffic) differs.
+    let owned: Vec<Job> = std::mem::take(batch);
     let outcomes = fractalcloud_parallel::parallel_map_budget_with(
-        batch,
+        owned,
         shared.cfg.thread_budget,
         || global_pool().checkout(),
         |_, job, ws| {
-            let Job { cloud, config, ticket, deadline, .. } = job;
-            let outcome = execute_one(shared, &cloud, config, deadline, size, ws);
+            let Job { cloud, config, kind, ticket, deadline, .. } = job;
+            let outcome = run_job(shared, &cloud, config, &kind, deadline, size, ws);
             (ticket, outcome)
         },
     );
@@ -974,6 +1440,27 @@ fn execute_batch(shared: &Shared, batch: Vec<Job>) {
     // resolve here.
     for (ticket, outcome) in outcomes {
         ticket.finish(outcome);
+    }
+}
+
+/// Dispatches one job to its kind's executor.
+fn run_job(
+    shared: &Shared,
+    cloud: &PointCloud,
+    config: PipelineConfig,
+    kind: &WorkKind,
+    deadline: Option<Instant>,
+    batch_size: usize,
+    ws: &mut Workspace,
+) -> Result<EngineResponse, ServeError> {
+    match kind {
+        WorkKind::Frame => {
+            execute_one(shared, cloud, config, deadline, batch_size, ws).map(EngineResponse::Frame)
+        }
+        WorkKind::Infer { executor } => {
+            execute_infer_one(shared, cloud, config, executor, deadline, batch_size, ws)
+                .map(EngineResponse::Infer)
+        }
     }
 }
 
@@ -1154,7 +1641,7 @@ fn execute_batch_blocks(shared: &Shared, batch: Vec<Job>) {
                     cache_hit,
                     batch_size: size,
                 };
-                ctx.job.ticket.finish(Ok(response));
+                ctx.job.ticket.finish(Ok(EngineResponse::Frame(response)));
             }
         }
     }
@@ -1186,24 +1673,7 @@ fn execute_one(
     }
     let parallel = fractalcloud_parallel::effective_budget() > 1;
     let pipeline = Pipeline::new(config).map_err(ServeError::Invalid)?;
-    let key = frame_key(cloud, config.threshold);
-
-    let cached = lock_unpoisoned(&shared.cache).get(key);
-    let (built, cache_hit) = match cached {
-        Some(b) => {
-            shared.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
-            (b, true)
-        }
-        None => {
-            shared.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
-            let built =
-                Arc::new(pipeline.partition_ws(cloud, parallel, ws).map_err(ServeError::Invalid)?);
-            if !faults::fire(&shared.faults, FaultPoint::CacheInsert) {
-                lock_unpoisoned(&shared.cache).insert(key, Arc::clone(&built));
-            }
-            (built, false)
-        }
-    };
+    let (built, cache_hit) = cached_partition(shared, &pipeline, cloud, parallel, ws)?;
 
     let mut staging = shared.outputs.checkout();
     // Deadline-free requests keep the plain path (no CancelToken, no Arc
@@ -1228,17 +1698,105 @@ fn execute_one(
         other => ServeError::Invalid(other),
     })?;
     let out = &mut *staging;
-    Ok(FrameResponse {
-        sampled_indices: std::mem::take(&mut out.sampled.indices),
-        neighbor_indices: std::mem::take(&mut out.grouped.indices),
-        found: std::mem::take(&mut out.grouped.found),
-        num: out.grouped.num,
-        blocks: out.blocks,
-        sample_counters: out.sampled.counters,
-        group_counters: out.grouped.counters,
-        cache_hit,
-        batch_size,
-    })
+    // Swap the filled staging vectors with a recycled response's spent ones
+    // (instead of `mem::take`, which would strip the staging's capacity
+    // every frame): the response leaves with the data, the staging keeps
+    // warm buffers, and once clients recycle ([`Engine::recycle`]) the
+    // capacity circulates indefinitely — zero allocations per warm frame.
+    let mut resp = shared.responses.take();
+    std::mem::swap(&mut resp.sampled_indices, &mut out.sampled.indices);
+    std::mem::swap(&mut resp.neighbor_indices, &mut out.grouped.indices);
+    std::mem::swap(&mut resp.found, &mut out.grouped.found);
+    resp.num = out.grouped.num;
+    resp.blocks = out.blocks;
+    resp.sample_counters = out.sampled.counters;
+    resp.group_counters = out.grouped.counters;
+    resp.cache_hit = cache_hit;
+    resp.batch_size = batch_size;
+    Ok(resp)
+}
+
+/// The partition half shared by both request kinds: look the frame up in
+/// the engine-wide LRU, else build (with this lane's workspace and budget)
+/// and insert — the insert skipped under an injected cache fault, which
+/// costs a future miss, never correctness.
+fn cached_partition(
+    shared: &Shared,
+    pipeline: &Pipeline,
+    cloud: &PointCloud,
+    parallel: bool,
+    ws: &mut Workspace,
+) -> Result<(Arc<fractalcloud_core::FractalResult>, bool), ServeError> {
+    let key = frame_key(cloud, pipeline.config().threshold);
+    let cached = lock_unpoisoned(&shared.cache).get(key);
+    match cached {
+        Some(b) => {
+            shared.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+            Ok((b, true))
+        }
+        None => {
+            shared.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+            let built =
+                Arc::new(pipeline.partition_ws(cloud, parallel, ws).map_err(ServeError::Invalid)?);
+            if !faults::fire(&shared.faults, FaultPoint::CacheInsert) {
+                lock_unpoisoned(&shared.cache).insert(key, Arc::clone(&built));
+            }
+            Ok((built, false))
+        }
+    }
+}
+
+/// Runs one inference request: the frame path's partition + stage-1
+/// pipeline (same cache, same deadline seams, same fault points), then the
+/// network forward pass over the stage-1 output — all scratch from the
+/// lane's workspace, logits staged in a pooled [`InferOutput`].
+fn execute_infer_one(
+    shared: &Shared,
+    cloud: &PointCloud,
+    config: PipelineConfig,
+    executor: &NetworkExecutor,
+    deadline: Option<Instant>,
+    batch_size: usize,
+    ws: &mut Workspace,
+) -> Result<InferResponse, ServeError> {
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        return Err(ServeError::Shed(ShedReason::DeadlineExceeded));
+    }
+    if faults::fire(&shared.faults, FaultPoint::Block) {
+        return Err(ServeError::Internal);
+    }
+    let parallel = fractalcloud_parallel::effective_budget() > 1;
+    let pipeline = Pipeline::new(config).map_err(ServeError::Invalid)?;
+    let (built, cache_hit) = cached_partition(shared, &pipeline, cloud, parallel, ws)?;
+
+    let mut staging = shared.outputs.checkout();
+    let run = match deadline {
+        None => pipeline.run_with_partition_into(cloud, &built, parallel, ws, &mut staging),
+        Some(d) => {
+            let cancel = CancelToken::with_deadline(d);
+            pipeline.run_with_partition_into_cancel(
+                cloud,
+                &built,
+                parallel,
+                ws,
+                &mut staging,
+                &cancel,
+            )
+        }
+    };
+    run.map_err(|e| match e {
+        Error::Cancelled => ServeError::Shed(ShedReason::DeadlineExceeded),
+        other => ServeError::Invalid(other),
+    })?;
+    // The forward pass has no internal cancel seam; re-check the deadline
+    // at the pipeline→network boundary so an already-expired request never
+    // pays for the MLP stack.
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        return Err(ServeError::Shed(ShedReason::DeadlineExceeded));
+    }
+    let mut output = shared.infer_outputs.take();
+    executor.run_with_stage1_into(cloud, &staging, ws, &mut output).map_err(ServeError::Invalid)?;
+    Ok(InferResponse { output, aggregation: executor.config().aggregation, cache_hit, batch_size })
 }
 
 #[cfg(test)]
@@ -1313,20 +1871,27 @@ mod tests {
     fn test_job(p: Priority) -> Job {
         let admitted_at = Instant::now();
         Job {
-            cloud: uniform_cube(8, 1),
+            cloud: Arc::new(uniform_cube(8, 1)),
             config: PipelineConfig::default(),
             compat: 0,
+            kind: WorkKind::Frame,
             priority: p,
             admitted_at,
             deadline: None,
             ticket: TicketGuard {
                 priority: p,
                 admitted_at,
-                slot: Arc::new(Slot::default()),
+                slot: Some(Arc::new(Slot::default())),
+                stash: Arc::new(SlotStash::default()),
                 metrics: Arc::new(Metrics::default()),
                 resolved: false,
             },
         }
+    }
+
+    /// A waiter-side ticket over `slot` with a throwaway stash.
+    fn test_ticket(slot: Arc<Slot>) -> Ticket {
+        Ticket { slot: Some(slot), stash: Arc::new(SlotStash::default()) }
     }
 
     #[test]
@@ -1397,28 +1962,28 @@ mod tests {
     #[test]
     fn dropped_ticket_guard_resolves_internal() {
         let job = test_job(Priority::Normal);
-        let slot = Arc::clone(&job.ticket.slot);
+        let slot = Arc::clone(job.ticket.slot.as_ref().expect("slot present"));
         drop(job); // simulate a panic abandoning the job mid-execution
-        assert_eq!(Ticket { slot }.wait(), Err(ServeError::Internal));
+        assert_eq!(test_ticket(slot).wait(), Err(ServeError::Internal));
     }
 
     #[test]
     fn finished_guard_keeps_its_first_resolution() {
         let job = test_job(Priority::Normal);
-        let slot = Arc::clone(&job.ticket.slot);
+        let slot = Arc::clone(job.ticket.slot.as_ref().expect("slot present"));
         job.ticket.finish(Err(ServeError::Shed(ShedReason::QueueFull)));
         // The guard's own Drop ran after finish(); first resolution wins.
-        assert_eq!(Ticket { slot }.wait(), Err(ServeError::Shed(ShedReason::QueueFull)));
+        assert_eq!(test_ticket(slot).wait(), Err(ServeError::Shed(ShedReason::QueueFull)));
     }
 
     #[test]
     fn wait_timeout_distinguishes_pending_from_resolved() {
-        let pending = Ticket { slot: Arc::new(Slot::default()) };
+        let pending = test_ticket(Arc::new(Slot::default()));
         assert_eq!(pending.wait_timeout(Duration::from_millis(20)), None);
 
         let slot = Arc::new(Slot::default());
         *lock_unpoisoned(&slot.result) = Some(Err(ServeError::Internal));
-        let resolved = Ticket { slot };
+        let resolved = test_ticket(slot);
         assert_eq!(resolved.wait_timeout(Duration::from_secs(5)), Some(Err(ServeError::Internal)));
     }
 
@@ -1543,6 +2108,80 @@ mod tests {
         let after = engine.health();
         assert_eq!(after.worker_panics, 0);
         assert_eq!(after.workers_respawned, 0);
+        engine.shutdown();
+    }
+
+    fn infer_request(aggregation: Aggregation) -> InferRequest {
+        let model = ModelConfig::table1().remove(0);
+        InferRequest { aggregation: Some(aggregation), ..InferRequest::new(model) }
+    }
+
+    #[test]
+    fn infer_schedules_are_bit_identical_and_delayed_saves_macs() {
+        let engine = small_engine();
+        let cloud = Arc::new(uniform_cube(2048, 11));
+        let eager =
+            engine.process_infer(Arc::clone(&cloud), infer_request(Aggregation::Eager)).unwrap();
+        let delayed = engine.process_infer(cloud, infer_request(Aggregation::Delayed)).unwrap();
+        assert_eq!(eager.aggregation, Aggregation::Eager);
+        assert_eq!(delayed.aggregation, Aggregation::Delayed);
+        assert_eq!(eager.output.classes, delayed.output.classes);
+        assert_eq!(eager.output.row_index, delayed.output.row_index);
+        // Bit-exact equivalence, not approximate: compare raw patterns.
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&eager.output.logits), bits(&delayed.output.logits));
+        // Eager gathers (traffic, no MAC bookkeeping); delayed moves the
+        // MLP before aggregation and reports what that move eliminated.
+        assert_eq!(eager.output.counters.macs_moved, 0);
+        assert!(eager.output.counters.gather_bytes > 0);
+        assert!(delayed.output.counters.macs_moved > 0);
+        assert!(delayed.output.counters.macs_saved > 0);
+        assert_eq!(delayed.output.counters.gather_bytes, 0);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn repeated_infer_hits_partition_cache_with_identical_logits() {
+        let engine = small_engine();
+        let cloud = Arc::new(scene_cloud(&SceneConfig::default(), 2048, 5));
+        let a = engine.process_infer(Arc::clone(&cloud), infer_request(Aggregation::Delayed));
+        let a = a.unwrap();
+        let b = engine.process_infer(cloud, infer_request(Aggregation::Delayed)).unwrap();
+        assert!(!a.cache_hit);
+        assert!(b.cache_hit);
+        assert_eq!(a.output.logits, b.output.logits);
+        assert_eq!(a.output.row_index, b.output.row_index);
+        let m = engine.metrics();
+        assert_eq!(m.cache_hits, 1);
+        assert_eq!(m.cache_misses, 1);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn infer_rejects_model_without_stages() {
+        let engine = small_engine();
+        let mut req = infer_request(Aggregation::Delayed);
+        req.model.stages.clear();
+        let out = engine.process_infer(Arc::new(uniform_cube(256, 3)), req);
+        assert!(matches!(out, Err(ServeError::Invalid(_))), "got {out:?}");
+        engine.shutdown();
+    }
+
+    #[test]
+    fn frames_and_infers_interleave_on_one_engine() {
+        let engine = small_engine();
+        let cloud = Arc::new(uniform_cube(1024, 9));
+        let frame = engine
+            .submit_shared(Arc::clone(&cloud), PipelineConfig::default())
+            .expect("frame admitted");
+        let infer = engine
+            .submit_infer(Arc::clone(&cloud), infer_request(Aggregation::Delayed))
+            .expect("infer admitted");
+        let frame = frame.wait().unwrap();
+        let infer = infer.wait().unwrap();
+        assert_eq!(frame.sampled_indices.len(), 256);
+        assert!(!infer.output.logits.is_empty());
+        assert_eq!(infer.output.logits.len(), infer.output.row_index.len() * infer.output.classes);
         engine.shutdown();
     }
 }

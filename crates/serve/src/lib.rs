@@ -28,6 +28,15 @@
 //!   (threads, no async runtime) with a concurrent-connection limit and
 //!   round-robin admission across connections, and its blocking client.
 //!
+//! Beyond frames, the engine serves end-to-end **network inference**
+//! (`INFER` on the wire, [`Engine::submit_infer`] in-process): the frame
+//! path's partition + stage-1 sampling/grouping feeds a
+//! [`fractalcloud_pnn::NetworkExecutor`] with selectable eager vs Mesorasi
+//! delayed [`Aggregation`] — bit-identical logits either way, in-process or
+//! over TCP. Warmed serving is allocation-free end to end: submit with
+//! [`Engine::process_shared`] / [`Engine::process_infer`] and return
+//! response buffers with [`Engine::recycle`] / [`Engine::recycle_infer`].
+//!
 //! # Quickstart
 //!
 //! ```
@@ -60,7 +69,13 @@ mod net;
 pub mod protocol;
 
 pub use config::ServeConfig;
-pub use engine::{Engine, EngineHealth, FrameResponse, Priority, ServeError, ShedReason, Ticket};
+pub use engine::{
+    Engine, EngineHealth, FrameResponse, InferRequest, InferResponse, InferTicket, Priority,
+    ServeError, ShedReason, Ticket,
+};
 pub use faults::{FaultKind, FaultPlan, FaultPoint};
+// Re-exported so serve clients can build an [`InferRequest`] without
+// depending on the pnn crate directly.
+pub use fractalcloud_pnn::{Aggregation, ModelConfig};
 pub use metrics::{LatencyHistogram, Metrics, MetricsSnapshot};
 pub use net::{ClientError, ServeClient, TcpServer};

@@ -17,9 +17,16 @@
 //! are granted in the order the requests became ready, so a greedy client
 //! hammering one connection cannot barge ahead of patiently waiting ones).
 
-use crate::engine::{Engine, EngineHealth, FrameResponse, Priority, ServeError, ShedReason};
+use crate::engine::{
+    aggregation_wire, Engine, EngineHealth, FrameResponse, InferRequest, InferResponse, Priority,
+    ServeError, ShedReason,
+};
 use crate::faults::{self, FaultLayer, FaultPoint};
-use crate::protocol::{self, status, WireError, WireResponse, MAGIC, OP_HEALTH, OP_PROCESS_FRAME};
+use crate::protocol::{
+    self, status, WireError, WireInferRequest, WireInferResponse, WireResponse, AGG_DELAYED,
+    AGG_EAGER, MAGIC, OP_HEALTH, OP_INFER, OP_PROCESS_FRAME,
+};
+use fractalcloud_pnn::{Aggregation, ModelConfig};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -248,7 +255,7 @@ fn handle_connection(mut stream: TcpStream, engine: &Arc<Engine>, gate: &FairGat
         let (opcode, prio_nibble) = protocol::split_kind(header[4]);
         let payload_len = u32::from_le_bytes(header[5..9].try_into().expect("4 bytes")) as usize;
 
-        if magic != MAGIC || !matches!(opcode, OP_PROCESS_FRAME | OP_HEALTH) {
+        if magic != MAGIC || !matches!(opcode, OP_PROCESS_FRAME | OP_HEALTH | OP_INFER) {
             // The stream cannot be resynchronized after a framing error:
             // answer malformed and drop the connection.
             metrics.net_malformed.fetch_add(1, Ordering::Relaxed);
@@ -317,35 +324,96 @@ fn handle_connection(mut stream: TcpStream, engine: &Arc<Engine>, gate: &FairGat
             return;
         }
 
-        let reply = match protocol::decode_request_payload(&payload) {
-            Err(WireError(what)) => {
-                metrics.net_malformed.fetch_add(1, Ordering::Relaxed);
-                let r = write_error(&mut stream, status::MALFORMED, what);
-                if r.is_err() {
-                    metrics.net_disconnects.fetch_add(1, Ordering::Relaxed);
+        let reply = if opcode == OP_INFER {
+            match protocol::decode_infer_request_payload(&payload) {
+                Err(WireError(what)) => {
+                    metrics.net_malformed.fetch_add(1, Ordering::Relaxed);
+                    let r = write_error(&mut stream, status::MALFORMED, what);
+                    if r.is_err() {
+                        metrics.net_disconnects.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                    // Framing was intact — the connection may continue.
+                    continue;
                 }
-                // Framing was intact — the connection may continue.
-                continue;
+                Ok((cloud, wire_req, deadline_ms)) => {
+                    // Resolve the notation against the server-side zoo; an
+                    // unknown notation is a caller bug, not a framing error.
+                    let Some(model) =
+                        ModelConfig::table1().into_iter().find(|m| m.notation == wire_req.notation)
+                    else {
+                        let r = write_error(
+                            &mut stream,
+                            status::INVALID,
+                            &format!("unknown model notation {:?}", wire_req.notation),
+                        );
+                        if r.is_err() {
+                            metrics.net_disconnects.fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
+                        continue;
+                    };
+                    // The decoder already rejected bytes past AGG_DELAYED,
+                    // so the only remaining value is the server default.
+                    let aggregation = match wire_req.aggregation {
+                        AGG_EAGER => Some(Aggregation::Eager),
+                        AGG_DELAYED => Some(Aggregation::Delayed),
+                        _ => None,
+                    };
+                    let req = InferRequest {
+                        model,
+                        seed: wire_req.seed,
+                        threshold: wire_req.threshold as usize,
+                        aggregation,
+                        priority,
+                        deadline: (deadline_ms > 0)
+                            .then(|| Duration::from_millis(u64::from(deadline_ms))),
+                    };
+                    let outcome = gate
+                        .admit(|| engine.submit_infer(Arc::new(cloud), req))
+                        .and_then(|ticket| ticket.wait());
+                    if faults::fire(&faults, FaultPoint::NetWrite) {
+                        metrics.net_disconnects.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                    match outcome {
+                        Ok(resp) => write_infer_ok(&mut stream, &resp),
+                        Err(e) => write_error(&mut stream, error_status(&e), &e.to_string()),
+                    }
+                }
             }
-            Ok((cloud, config, deadline_ms)) => {
-                let deadline =
-                    (deadline_ms > 0).then(|| Duration::from_millis(u64::from(deadline_ms)));
-                // Round-robin admission: the submission (queue push) takes
-                // its fairness turn; the wait for the response happens
-                // outside the gate so slow frames don't block other
-                // connections' admissions.
-                let outcome = gate
-                    .admit(|| engine.submit_with_options(cloud, config, priority, deadline))
-                    .and_then(|ticket| ticket.wait());
-                if faults::fire(&faults, FaultPoint::NetWrite) {
-                    // Injected write failure: the response is computed but
-                    // lost on the wire; the client sees the connection die.
-                    metrics.net_disconnects.fetch_add(1, Ordering::Relaxed);
-                    return;
+        } else {
+            match protocol::decode_request_payload(&payload) {
+                Err(WireError(what)) => {
+                    metrics.net_malformed.fetch_add(1, Ordering::Relaxed);
+                    let r = write_error(&mut stream, status::MALFORMED, what);
+                    if r.is_err() {
+                        metrics.net_disconnects.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                    // Framing was intact — the connection may continue.
+                    continue;
                 }
-                match outcome {
-                    Ok(resp) => write_ok(&mut stream, &resp),
-                    Err(e) => write_error(&mut stream, error_status(&e), &e.to_string()),
+                Ok((cloud, config, deadline_ms)) => {
+                    let deadline =
+                        (deadline_ms > 0).then(|| Duration::from_millis(u64::from(deadline_ms)));
+                    // Round-robin admission: the submission (queue push) takes
+                    // its fairness turn; the wait for the response happens
+                    // outside the gate so slow frames don't block other
+                    // connections' admissions.
+                    let outcome = gate
+                        .admit(|| engine.submit_with_options(cloud, config, priority, deadline))
+                        .and_then(|ticket| ticket.wait());
+                    if faults::fire(&faults, FaultPoint::NetWrite) {
+                        // Injected write failure: the response is computed but
+                        // lost on the wire; the client sees the connection die.
+                        metrics.net_disconnects.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                    match outcome {
+                        Ok(resp) => write_ok(&mut stream, &resp),
+                        Err(e) => write_error(&mut stream, error_status(&e), &e.to_string()),
+                    }
                 }
             }
         };
@@ -411,6 +479,24 @@ fn write_ok(stream: &mut TcpStream, resp: &FrameResponse) -> io::Result<()> {
         batch_size: resp.batch_size as u32,
     };
     let payload = protocol::encode_response_payload(&wire);
+    stream.write_all(&protocol::encode_message(status::OK, &payload))
+}
+
+fn write_infer_ok(stream: &mut TcpStream, resp: &InferResponse) -> io::Result<()> {
+    let wire = WireInferResponse {
+        classes: resp.output.classes as u32,
+        cache_hit: resp.cache_hit,
+        batch_size: resp.batch_size as u32,
+        aggregation: aggregation_wire(resp.aggregation),
+        macs_moved: resp.output.counters.macs_moved,
+        macs_saved: resp.output.counters.macs_saved,
+        gather_bytes: resp.output.counters.gather_bytes,
+        row_index: resp.output.row_index.iter().map(|&i| i as u32).collect(),
+        // Logits cross as raw LE bit patterns, so the wire response is
+        // bit-identical to the in-process one.
+        logits: resp.output.logits.clone(),
+    };
+    let payload = protocol::encode_infer_response_payload(&wire);
     stream.write_all(&protocol::encode_message(status::OK, &payload))
 }
 
@@ -577,6 +663,53 @@ impl ServeClient {
             });
         }
         protocol::decode_response_payload(&payload).map_err(ClientError::Protocol)
+    }
+
+    /// Sends one [`Priority::Normal`] inference request ([`OP_INFER`]) and
+    /// blocks for its logits.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServeClient::infer_with_options`].
+    pub fn infer(
+        &mut self,
+        cloud: &fractalcloud_pointcloud::PointCloud,
+        req: &WireInferRequest,
+    ) -> Result<WireInferResponse, ClientError> {
+        self.infer_with_options(cloud, req, Priority::Normal, 0)
+    }
+
+    /// Sends one inference request at the given [`Priority`] with an
+    /// optional deadline in milliseconds (0 = server default). The reply's
+    /// logits are bit-identical to what [`Engine::submit_infer`] returns
+    /// in-process for the same cloud, model, seed, and schedule.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] for shed/rejected requests (an unknown model
+    /// notation comes back as [`status::INVALID`]),
+    /// [`ClientError::Io`]/[`ClientError::Protocol`] for transport and
+    /// framing failures.
+    pub fn infer_with_options(
+        &mut self,
+        cloud: &fractalcloud_pointcloud::PointCloud,
+        req: &WireInferRequest,
+        priority: Priority,
+        deadline_ms: u32,
+    ) -> Result<WireInferResponse, ClientError> {
+        let payload = protocol::encode_infer_request_payload(cloud, req, deadline_ms);
+        self.stream.write_all(&protocol::encode_message(
+            protocol::infer_request_kind(priority),
+            &payload,
+        ))?;
+        let (code, payload) = self.read_reply()?;
+        if code != status::OK {
+            return Err(ClientError::Server {
+                code,
+                message: String::from_utf8_lossy(&payload).into_owned(),
+            });
+        }
+        protocol::decode_infer_response_payload(&payload).map_err(ClientError::Protocol)
     }
 
     /// Reads one response frame: `(status, payload)`.

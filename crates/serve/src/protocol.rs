@@ -6,12 +6,17 @@
 //!
 //! ```text
 //! request  := magic:u32 kind:u8 payload_len:u32 payload
-//!   kind: low nibble = opcode (1 = PROCESS_FRAME, 2 = HEALTH)
+//!   kind: low nibble = opcode (1 = PROCESS_FRAME, 2 = HEALTH, 3 = INFER)
 //!         high nibble = priority (0 = normal, 1 = high, 2 = bulk)
 //!   payload (opcode PROCESS_FRAME):
 //!     threshold:u32 sample_rate:f64 radius:f32 neighbors:u32
 //!     n_points:u32 (x:f32 y:f32 z:f32){n_points} [deadline_ms:u32]
 //!   payload (opcode HEALTH): empty
+//!   payload (opcode INFER):
+//!     threshold:u32 seed:u64 aggregation:u8 (0 = server default,
+//!       1 = eager, 2 = delayed)
+//!     notation_len:u32 notation:utf8{notation_len}
+//!     n_points:u32 (x:f32 y:f32 z:f32){n_points} [deadline_ms:u32]
 //!
 //! response := magic:u32 status:u8 payload_len:u32 payload
 //!   payload (status OK, PROCESS_FRAME):
@@ -23,8 +28,17 @@
 //!     live:u8 workers_alive:u64 workers_configured:u64
 //!     queued_high:u64 queued_normal:u64 queued_bulk:u64
 //!     last_progress_age_ms:u64 worker_panics:u64 workers_respawned:u64
+//!   payload (status OK, INFER):
+//!     classes:u32 cache_hit:u8 batch_size:u32 aggregation:u8 (1|2)
+//!     macs_moved:u64 macs_saved:u64 gather_bytes:u64
+//!     n_rows:u32 row_index:u32{n_rows} logits:f32{n_rows*classes}
 //!   payload (status != OK): UTF-8 human-readable reason
 //! ```
+//!
+//! Inference logits cross the wire as raw little-endian `f32` bit
+//! patterns, so a TCP round-trip is *bit-identical* to the in-process
+//! [`InferResponse`](crate::InferResponse) — the serving layer never
+//! perturbs the numerics.
 //!
 //! The priority nibble is backward compatible by construction: clients
 //! that predate priority classes send the bare opcode (high nibble 0),
@@ -57,11 +71,23 @@ pub const OP_PROCESS_FRAME: u8 = 1;
 /// are answered inline by the connection handler, never queued.
 pub const OP_HEALTH: u8 = 2;
 
+/// Request opcode: run end-to-end network inference over a frame
+/// (partition → stage-1 sample/group → PNN forward pass), returning
+/// per-row class logits. Shares the priority nibble, optional deadline
+/// trailer, partition cache, and shedding semantics with
+/// [`OP_PROCESS_FRAME`].
+pub const OP_INFER: u8 = 3;
+
 /// Builds a request kind byte: opcode in the low nibble, priority in the
 /// high nibble. A [`Priority::Normal`] request is byte-identical to what a
 /// pre-priority client sends.
 pub fn request_kind(priority: Priority) -> u8 {
     OP_PROCESS_FRAME | (priority.to_wire() << 4)
+}
+
+/// Builds an [`OP_INFER`] request kind byte, priority in the high nibble.
+pub fn infer_request_kind(priority: Priority) -> u8 {
+    OP_INFER | (priority.to_wire() << 4)
 }
 
 /// Splits a request kind byte into `(opcode, priority_nibble)`; feed the
@@ -243,6 +269,198 @@ pub fn decode_request_payload(
         PipelineConfig::new(threshold, sample_rate, radius, neighbors),
         deadline_ms,
     ))
+}
+
+/// Wire aggregation byte: use the server's configured default
+/// (`FRACTALCLOUD_AGGREGATION`).
+pub const AGG_SERVER_DEFAULT: u8 = 0;
+/// Wire aggregation byte: force the eager (gather-then-MLP) schedule.
+pub const AGG_EAGER: u8 = 1;
+/// Wire aggregation byte: force the Mesorasi delayed-aggregation schedule.
+pub const AGG_DELAYED: u8 = 2;
+
+/// The inference parameters that ride an [`OP_INFER`] request alongside
+/// the frame itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireInferRequest {
+    /// Partition leaf threshold (the stage-1 pipeline's `threshold`).
+    pub threshold: u32,
+    /// Deterministic weight seed — same seed, same logits, everywhere.
+    pub seed: u64,
+    /// Aggregation schedule byte: [`AGG_SERVER_DEFAULT`], [`AGG_EAGER`],
+    /// or [`AGG_DELAYED`]. Anything else is malformed.
+    pub aggregation: u8,
+    /// Model-zoo notation, e.g. `"PN++ (c)"` — resolved against the
+    /// server's Table I zoo; unknown notations are rejected as invalid.
+    pub notation: String,
+}
+
+/// Encodes an [`OP_INFER`] request payload. A non-zero `deadline_ms` rides
+/// as the same optional trailing `u32` as process-frame requests.
+pub fn encode_infer_request_payload(
+    cloud: &PointCloud,
+    req: &WireInferRequest,
+    deadline_ms: u32,
+) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(4 + 8 + 1 + 4 + req.notation.len() + 4 + cloud.len() * 12 + 4);
+    put_u32(&mut buf, req.threshold);
+    buf.extend_from_slice(&req.seed.to_le_bytes());
+    buf.push(req.aggregation);
+    put_u32(&mut buf, req.notation.len() as u32);
+    buf.extend_from_slice(req.notation.as_bytes());
+    put_u32(&mut buf, cloud.len() as u32);
+    for i in 0..cloud.len() {
+        let p = cloud.point(i);
+        buf.extend_from_slice(&p.x.to_le_bytes());
+        buf.extend_from_slice(&p.y.to_le_bytes());
+        buf.extend_from_slice(&p.z.to_le_bytes());
+    }
+    if deadline_ms > 0 {
+        put_u32(&mut buf, deadline_ms);
+    }
+    buf
+}
+
+/// Decodes an [`OP_INFER`] request payload. The third element is the wire
+/// deadline in milliseconds (0 when absent).
+///
+/// # Errors
+///
+/// [`WireError`] when the payload is truncated, over-long, carries an
+/// unknown aggregation byte, a non-UTF-8 notation, or declared lengths
+/// that disagree with the bytes present.
+pub fn decode_infer_request_payload(
+    payload: &[u8],
+) -> Result<(PointCloud, WireInferRequest, u32), WireError> {
+    let mut r = Reader { buf: payload, at: 0 };
+    let threshold = r.u32("truncated threshold")?;
+    let seed = r.u64("truncated seed")?;
+    let aggregation = r.u8("truncated aggregation")?;
+    if aggregation > AGG_DELAYED {
+        return Err(WireError("unknown aggregation byte"));
+    }
+    let notation_len = r.u32("truncated notation length")? as usize;
+    if notation_len > r.remaining() {
+        return Err(WireError("notation length exceeds payload"));
+    }
+    let notation = std::str::from_utf8(r.take(notation_len, "truncated notation")?)
+        .map_err(|_| WireError("notation is not UTF-8"))?
+        .to_owned();
+    let n = r.u32("truncated point count")? as usize;
+    let coords = r.take(
+        n.checked_mul(12).ok_or(WireError("point count overflow"))?,
+        "truncated coordinates",
+    )?;
+    let deadline_ms = if r.remaining() > 0 { r.u32("truncated deadline")? } else { 0 };
+    r.done()?;
+    let mut points = Vec::with_capacity(n);
+    for c in coords.chunks_exact(12) {
+        points.push(Point3::new(
+            f32::from_le_bytes(c[0..4].try_into().expect("4 bytes")),
+            f32::from_le_bytes(c[4..8].try_into().expect("4 bytes")),
+            f32::from_le_bytes(c[8..12].try_into().expect("4 bytes")),
+        ));
+    }
+    Ok((
+        PointCloud::from_points(points),
+        WireInferRequest { threshold, seed, aggregation, notation },
+        deadline_ms,
+    ))
+}
+
+/// The inference results that cross the wire (the in-process
+/// [`InferResponse`](crate::InferResponse) with logits as raw `f32` bit
+/// patterns — a TCP round-trip is bit-identical to calling the engine
+/// in-process).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireInferResponse {
+    /// Output classes per row (`logits.len() == row_index.len() * classes`).
+    pub classes: u32,
+    /// Whether the partition came from the server's LRU.
+    pub cache_hit: bool,
+    /// Frames fused into the executing batch.
+    pub batch_size: u32,
+    /// The schedule that actually ran: [`AGG_EAGER`] or [`AGG_DELAYED`]
+    /// (the server resolves [`AGG_SERVER_DEFAULT`] before replying).
+    pub aggregation: u8,
+    /// SA-stage MLP multiply-accumulates the delayed schedule performs.
+    pub macs_moved: u64,
+    /// MLP multiply-accumulates eliminated vs the eager schedule.
+    pub macs_saved: u64,
+    /// Bytes of neighbor-gather traffic the executed schedule incurred.
+    pub gather_bytes: u64,
+    /// Global point index each logit row describes.
+    pub row_index: Vec<u32>,
+    /// Row-major `rows × classes` class scores.
+    pub logits: Vec<f32>,
+}
+
+/// Encodes an OK [`OP_INFER`] response payload.
+pub fn encode_infer_response_payload(resp: &WireInferResponse) -> Vec<u8> {
+    let mut buf =
+        Vec::with_capacity(4 + 1 + 4 + 1 + 24 + 4 + 4 * (resp.row_index.len() + resp.logits.len()));
+    put_u32(&mut buf, resp.classes);
+    buf.push(u8::from(resp.cache_hit));
+    put_u32(&mut buf, resp.batch_size);
+    buf.push(resp.aggregation);
+    buf.extend_from_slice(&resp.macs_moved.to_le_bytes());
+    buf.extend_from_slice(&resp.macs_saved.to_le_bytes());
+    buf.extend_from_slice(&resp.gather_bytes.to_le_bytes());
+    put_u32(&mut buf, resp.row_index.len() as u32);
+    for &v in &resp.row_index {
+        put_u32(&mut buf, v);
+    }
+    for &v in &resp.logits {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    buf
+}
+
+/// Decodes an OK [`OP_INFER`] response payload.
+///
+/// # Errors
+///
+/// [`WireError`] when the payload is truncated, over-long, or its declared
+/// row/class counts disagree with its length.
+pub fn decode_infer_response_payload(payload: &[u8]) -> Result<WireInferResponse, WireError> {
+    let mut r = Reader { buf: payload, at: 0 };
+    let classes = r.u32("truncated classes")?;
+    let cache_hit = r.u8("truncated cache_hit")? != 0;
+    let batch_size = r.u32("truncated batch_size")?;
+    let aggregation = r.u8("truncated aggregation")?;
+    if aggregation != AGG_EAGER && aggregation != AGG_DELAYED {
+        return Err(WireError("unknown aggregation byte"));
+    }
+    let macs_moved = r.u64("truncated macs_moved")?;
+    let macs_saved = r.u64("truncated macs_saved")?;
+    let gather_bytes = r.u64("truncated gather_bytes")?;
+    // Validate declared counts against the bytes present before sizing any
+    // buffer from them, mirroring `decode_response_payload`.
+    let rows = r.u32("truncated row count")? as usize;
+    let cells = rows.checked_mul(classes as usize).ok_or(WireError("logit count overflow"))?;
+    if rows.checked_add(cells).ok_or(WireError("logit count overflow"))? > r.remaining() / 4 {
+        return Err(WireError("row counts exceed payload"));
+    }
+    let mut row_index = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        row_index.push(r.u32("truncated row index")?);
+    }
+    let mut logits = Vec::with_capacity(cells);
+    for _ in 0..cells {
+        logits.push(r.f32("truncated logits")?);
+    }
+    r.done()?;
+    Ok(WireInferResponse {
+        classes,
+        cache_hit,
+        batch_size,
+        aggregation,
+        macs_moved,
+        macs_saved,
+        gather_bytes,
+        row_index,
+        logits,
+    })
 }
 
 /// The response fields that cross the wire (the in-process
@@ -532,6 +750,119 @@ mod tests {
         // unknown nibbles are rejected rather than guessed.
         assert_eq!(Priority::from_wire(split_kind(OP_PROCESS_FRAME).1), Some(Priority::Normal));
         assert_eq!(Priority::from_wire(0xF), None);
+    }
+
+    #[test]
+    fn infer_request_round_trips() {
+        let cloud = uniform_cube(50, 4);
+        let req = WireInferRequest {
+            threshold: 64,
+            seed: 0xDEAD_BEEF,
+            aggregation: AGG_DELAYED,
+            notation: "PN++ (c)".to_owned(),
+        };
+        let payload = encode_infer_request_payload(&cloud, &req, 0);
+        let (cloud2, req2, deadline_ms) = decode_infer_request_payload(&payload).unwrap();
+        assert_eq!(cloud, cloud2);
+        assert_eq!(req, req2);
+        assert_eq!(deadline_ms, 0);
+        // Deadline rides the same optional trailer as process-frame.
+        let with = encode_infer_request_payload(&cloud, &req, 750);
+        assert_eq!(with.len(), payload.len() + 4);
+        assert_eq!(decode_infer_request_payload(&with).unwrap().2, 750);
+        // Truncation anywhere is malformed, not a panic.
+        for cut in 0..payload.len() {
+            assert!(decode_infer_request_payload(&payload[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn infer_request_rejects_hostile_fields() {
+        let cloud = uniform_cube(4, 1);
+        let req = WireInferRequest {
+            threshold: 32,
+            seed: 1,
+            aggregation: AGG_SERVER_DEFAULT,
+            notation: "PN++ (s)".to_owned(),
+        };
+        let mut payload = encode_infer_request_payload(&cloud, &req, 0);
+        // Unknown aggregation byte.
+        payload[12] = 9;
+        assert_eq!(
+            decode_infer_request_payload(&payload),
+            Err(WireError("unknown aggregation byte"))
+        );
+        payload[12] = AGG_EAGER;
+        // Notation length claiming more bytes than the payload holds must
+        // fail before any allocation.
+        payload[13..17].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            decode_infer_request_payload(&payload),
+            Err(WireError("notation length exceeds payload"))
+        );
+    }
+
+    #[test]
+    fn infer_response_round_trips_bit_exact() {
+        // Logit values that only survive a round-trip if the codec is
+        // bit-exact: NaN, -0.0, subnormals.
+        let resp = WireInferResponse {
+            classes: 3,
+            cache_hit: true,
+            batch_size: 2,
+            aggregation: AGG_DELAYED,
+            macs_moved: 123_456,
+            macs_saved: 987_654,
+            gather_bytes: 55_555,
+            row_index: vec![7, 0, 31],
+            logits: vec![f32::NAN, -0.0, 1.5e-42, -3.25, 0.0, f32::INFINITY, 1.0, 2.0, 3.0],
+        };
+        let payload = encode_infer_response_payload(&resp);
+        let back = decode_infer_response_payload(&payload).unwrap();
+        assert_eq!(back.row_index, resp.row_index);
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&back.logits), bits(&resp.logits));
+        assert_eq!(back.classes, 3);
+        assert_eq!(back.aggregation, AGG_DELAYED);
+        assert_eq!(
+            (back.macs_moved, back.macs_saved, back.gather_bytes),
+            (123_456, 987_654, 55_555)
+        );
+        for cut in 0..payload.len() {
+            assert!(decode_infer_response_payload(&payload[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn infer_response_rejects_hostile_counts() {
+        // A tiny payload declaring u32::MAX rows must error before any
+        // buffer is sized from it.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&40u32.to_le_bytes()); // classes
+        payload.push(0); // cache_hit
+        payload.extend_from_slice(&1u32.to_le_bytes()); // batch_size
+        payload.push(AGG_EAGER);
+        payload.extend_from_slice(&[0u8; 24]); // three u64 counters
+        payload.extend_from_slice(&u32::MAX.to_le_bytes()); // rows
+        assert!(decode_infer_response_payload(&payload).is_err());
+        // A resolved response never carries the server-default byte.
+        let mut bad_agg = payload.clone();
+        let at = 4 + 1 + 4;
+        bad_agg[at] = AGG_SERVER_DEFAULT;
+        assert_eq!(
+            decode_infer_response_payload(&bad_agg),
+            Err(WireError("unknown aggregation byte"))
+        );
+    }
+
+    #[test]
+    fn infer_kind_byte_carries_priority() {
+        assert_eq!(infer_request_kind(Priority::Normal), OP_INFER);
+        for p in Priority::ALL {
+            let (opcode, nibble) = split_kind(infer_request_kind(p));
+            assert_eq!(opcode, OP_INFER);
+            assert_eq!(Priority::from_wire(nibble), Some(p));
+        }
     }
 
     #[test]

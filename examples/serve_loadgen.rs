@@ -150,14 +150,21 @@ fn main() {
                 .expect("warm run");
             core_allocs = core_allocs.max(allocation_count() - before);
         }
+        // The recycling serve loop: the cloud is shared (no per-submit
+        // clone), the response's buffers go back to the engine's pool via
+        // `recycle`, and slots/workspaces/staging come from their own
+        // pools — so a warm cache-hit frame touches the heap zero times.
         let engine = Engine::start(ServeConfig::from_env().workers(1));
+        let shared = Arc::new(cloud.clone());
         for _ in 0..4 {
-            engine.process(cloud.clone(), cfg).expect("serve warmup");
+            let r = engine.process_shared(Arc::clone(&shared), cfg).expect("serve warmup");
+            engine.recycle(r);
         }
         let serve_frames = 16u64;
         let before = allocation_count();
         for _ in 0..serve_frames {
-            engine.process(cloud.clone(), cfg).expect("serve warm frame");
+            let r = engine.process_shared(Arc::clone(&shared), cfg).expect("serve warm frame");
+            engine.recycle(r);
         }
         let serve_allocs = (allocation_count() - before) / serve_frames;
         engine.shutdown();
@@ -166,14 +173,20 @@ fn main() {
             "  core hot path  : {core_allocs} allocs/frame (warmed workspace + output staging)"
         );
         println!(
-            "  serve cache-hit: ~{serve_allocs} allocs/frame (response buffers + ticket plumbing)"
+            "  serve cache-hit: {serve_allocs} allocs/frame (shared cloud, recycled response buffers)"
         );
         if workspace_mode() == WorkspaceMode::Reuse {
             assert_eq!(
                 core_allocs, 0,
                 "the warmed core hot path must be allocation-free in reuse mode"
             );
-            println!("  steady state   : 0 allocs/frame on the warmed core hot path");
+            assert_eq!(
+                serve_allocs, 0,
+                "the recycling serve loop must be allocation-free on cache hits in reuse mode"
+            );
+            println!(
+                "  steady state   : 0 allocs/frame end to end (core hot path AND the\n  recycling serve loop — response buffers circulate client → engine → client)"
+            );
         }
     } else {
         println!("\nsteady-state allocations: not measured (build with --features bench)");
@@ -341,6 +354,77 @@ fn main() {
         m.worker_panics
     );
     assert!(health.live, "the engine must still be live after the storm: {health:?}");
+    server.shutdown();
+    engine.shutdown();
+
+    // --- Phase 5: inference serving — eager vs Mesorasi delayed aggregation ---
+    // The same frames now carry a full network forward pass (`INFER` on
+    // the wire). Eager gathers neighbor features and runs the stage-1 MLP
+    // on centers × nsample duplicated rows; delayed runs it once per
+    // unique point and max-aggregates afterwards. Logits are bit-identical
+    // — the schedules differ only in where the MACs land.
+    use fractalcloud::serve::protocol::{WireInferRequest, AGG_DELAYED, AGG_EAGER};
+    use fractalcloud::serve::ModelConfig;
+    let (infer_points, infer_frames) = if quick { (512, 4) } else { (1024, 8) };
+    let infer_clouds: Vec<PointCloud> =
+        (0..2).map(|s| scene_cloud(&SceneConfig::default(), infer_points, 90 + s)).collect();
+    let notation = ModelConfig::table1().remove(0).notation;
+    let request = |agg: u8| WireInferRequest {
+        threshold: cfg.threshold as u32,
+        seed: 42,
+        aggregation: agg,
+        notation: notation.clone(),
+    };
+    let engine = Arc::new(Engine::start(ServeConfig::from_env().workers(1)));
+    let mut server = TcpServer::bind("127.0.0.1:0", Arc::clone(&engine)).expect("bind localhost");
+    let mut client = ServeClient::connect(server.local_addr()).expect("connect infer client");
+    // Warm both schedules (partition LRU + cached executors) and check the
+    // cross-schedule bit-identity while at it.
+    let mut last = None;
+    for c in &infer_clouds {
+        let e = client.infer(c, &request(AGG_EAGER)).expect("eager warmup");
+        let d = client.infer(c, &request(AGG_DELAYED)).expect("delayed warmup");
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(
+            bits(&e.logits),
+            bits(&d.logits),
+            "eager and delayed must produce bit-identical logits"
+        );
+        last = Some(d);
+    }
+    let mut timed = |agg: u8| {
+        let t0 = Instant::now();
+        for i in 0..infer_frames {
+            client
+                .infer(&infer_clouds[i % infer_clouds.len()], &request(agg))
+                .expect("infer frame");
+        }
+        t0.elapsed().as_secs_f64()
+    };
+    let eager_wall = timed(AGG_EAGER);
+    let delayed_wall = timed(AGG_DELAYED);
+    let last = last.expect("warmed at least one frame");
+    let speedup = eager_wall / delayed_wall;
+    println!(
+        "\nphase 5 — inference serving ({notation}, {infer_points} pts, {infer_frames} warm frames per schedule)"
+    );
+    println!(
+        "  eager          : {:.1} frames/s (gather-then-MLP)",
+        infer_frames as f64 / eager_wall
+    );
+    println!(
+        "  delayed        : {:.1} frames/s ({} MACs moved, {} MACs saved per frame)",
+        infer_frames as f64 / delayed_wall,
+        last.macs_moved,
+        last.macs_saved
+    );
+    println!("  logits         : bit-identical across schedules (checked over TCP)");
+    println!("  delayed-vs-eager speedup: {speedup:.2}x");
+    assert!(last.macs_saved > 0, "delayed aggregation must report saved MACs");
+    assert!(
+        speedup > 1.0 || quick,
+        "delayed aggregation should outrun eager at this scale (got {speedup:.2}x)"
+    );
     server.shutdown();
     engine.shutdown();
 }
