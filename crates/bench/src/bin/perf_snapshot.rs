@@ -282,6 +282,12 @@ fn main() {
     let infer_delayed =
         measure_inference(infer_points, reps.min(7), fractalcloud_serve::Aggregation::Delayed);
 
+    // --- Per-stage latency breakdown from the flight recorder ---
+    // Runs LAST: it enables tracing process-wide, and the rows above must
+    // measure the tracing-off hot path. Each phase's stage times plus the
+    // explicit `unattributed` remainder sum to its end-to-end latency.
+    let breakdown = measure_stage_breakdown(infer_points, if quick { 4 } else { 12 });
+
     // --- Report ---
     println!("{:<18} {:>20} {:>20} {:>9}", "measurement", "baseline ms", "optimized ms", "speedup");
     for c in &comparisons {
@@ -346,6 +352,21 @@ fn main() {
         ),
         infer_eager.ms / infer_delayed.ms
     );
+    for phase in &breakdown {
+        let stages: Vec<String> = phase
+            .stages
+            .iter()
+            .map(|(name, us)| format!("{name} {us:.0}"))
+            .chain(std::iter::once(format!("unattributed {:.0}", phase.unattributed_us)))
+            .collect();
+        println!(
+            "{:<26} {}: {:.0} us = {}",
+            "serve_stage_breakdown",
+            phase.phase,
+            phase.end_to_end_us,
+            stages.join(" + ")
+        );
+    }
 
     let json = render_json(
         quick,
@@ -359,6 +380,7 @@ fn main() {
         &allocs,
         &infer_eager,
         &infer_delayed,
+        &breakdown,
     );
     std::fs::write("BENCH_point_ops.json", &json).expect("write BENCH_point_ops.json");
     println!("wrote BENCH_point_ops.json");
@@ -515,6 +537,104 @@ fn measure_serve_throughput(
     ServeThroughput { frames, frame_points, frames_per_s: frames as f64 / best, mean_batch }
 }
 
+/// Per-stage share of end-to-end latency for one serving phase, measured
+/// from drained flight-recorder spans.
+struct StageBreakdown {
+    phase: &'static str,
+    /// `(stage name, mean µs per request)`, recorder order.
+    stages: Vec<(&'static str, f64)>,
+    /// End-to-end time not covered by any span (dispatch, channel hops,
+    /// response copies). Kept explicit so the stages sum to `end_to_end_us`.
+    unattributed_us: f64,
+    end_to_end_us: f64,
+}
+
+/// Enables the flight recorder and attributes end-to-end serving latency to
+/// pipeline stages for three phases: cold frames (cache off, every request
+/// pays partition + BPPO), and warm eager/delayed inference. Stage means
+/// come from drained spans; whatever the spans don't cover lands in the
+/// explicit `unattributed` stage, so per-stage times sum to end-to-end.
+fn measure_stage_breakdown(frame_points: usize, requests: usize) -> Vec<StageBreakdown> {
+    use fractalcloud_obs as obs;
+    use fractalcloud_serve::{Aggregation, Engine, InferRequest, ModelConfig, ServeConfig};
+    obs::enable(1 << 16);
+    let cloud = scene_cloud(&SceneConfig::default(), frame_points, 4242);
+    let shared = std::sync::Arc::new(cloud.clone());
+    let config = PipelineConfig::default();
+
+    // Aggregate one phase's drained spans into mean-µs-per-request stages.
+    // The whole-frame sample/group spans (aux == u32::MAX) wrap the
+    // per-block ones, so when present only they count — summing both would
+    // attribute the same wall time twice.
+    let aggregate = |phase: &'static str, spans: &[obs::SpanEvent], e2e_total_us: f64| {
+        let mut stages: Vec<(&'static str, f64)> = Vec::new();
+        for kind in obs::SpanKind::ALL {
+            let nested = matches!(kind, obs::SpanKind::BlockSample | obs::SpanKind::BlockGroup)
+                && spans.iter().any(|s| s.kind == kind && s.aux == u32::MAX);
+            let sum: u64 = spans
+                .iter()
+                .filter(|s| s.kind == kind && (!nested || s.aux == u32::MAX))
+                .map(|s| s.dur_us)
+                .sum();
+            if sum > 0 {
+                stages.push((kind.name(), sum as f64 / requests as f64));
+            }
+        }
+        let attributed: f64 = stages.iter().map(|(_, us)| us).sum();
+        let end_to_end_us = e2e_total_us / requests as f64;
+        StageBreakdown {
+            phase,
+            stages,
+            unattributed_us: (end_to_end_us - attributed).max(0.0),
+            end_to_end_us,
+        }
+    };
+
+    let mut rows = Vec::new();
+
+    // Phase 1: cold frames — cache off, so every request rebuilds the
+    // partition and runs both BPPO halves.
+    let engine = Engine::start(ServeConfig::default().workers(1).cache_capacity(0));
+    engine.process(cloud.clone(), config).expect("warm frame");
+    let _ = obs::drain();
+    let t0 = Instant::now();
+    for _ in 0..requests {
+        engine.process(cloud.clone(), config).expect("frame");
+    }
+    let e2e = t0.elapsed().as_secs_f64() * 1e6;
+    rows.push(aggregate("frame", &obs::drain(), e2e));
+    engine.shutdown();
+
+    // Phases 2–3: warm inference under each aggregation schedule (partition
+    // LRU hit; the MLP + aggregate stages dominate).
+    for (phase, agg) in
+        [("infer_eager", Aggregation::Eager), ("infer_delayed", Aggregation::Delayed)]
+    {
+        let engine = Engine::start(ServeConfig::default().workers(1));
+        let request = || InferRequest {
+            aggregation: Some(agg),
+            ..InferRequest::new(ModelConfig::table1().remove(0))
+        };
+        for _ in 0..2 {
+            let r = engine
+                .process_infer(std::sync::Arc::clone(&shared), request())
+                .expect("warm infer");
+            engine.recycle_infer(r);
+        }
+        let _ = obs::drain();
+        let t0 = Instant::now();
+        for _ in 0..requests {
+            let r = engine.process_infer(std::sync::Arc::clone(&shared), request()).expect("infer");
+            engine.recycle_infer(r);
+        }
+        let e2e = t0.elapsed().as_secs_f64() * 1e6;
+        rows.push(aggregate(phase, &obs::drain(), e2e));
+        engine.shutdown();
+    }
+    obs::disable();
+    rows
+}
+
 #[allow(clippy::too_many_arguments)]
 fn render_json(
     quick: bool,
@@ -528,6 +648,7 @@ fn render_json(
     allocs: &AllocsPerFrame,
     infer_eager: &InferenceRow,
     infer_delayed: &InferenceRow,
+    breakdown: &[StageBreakdown],
 ) -> String {
     // Hand-rolled JSON: the workspace intentionally has no serde machinery
     // (see vendor/README.md).
@@ -592,11 +713,28 @@ fn render_json(
         infer_eager.gather_bytes, infer_eager.allocs_per_frame
     ));
     out.push_str(&format!(
-        "    {{ \"name\": \"inference_delayed\", \"ms\": {:.4}, \"frame_points\": {}, \"macs_moved\": {}, \"macs_saved\": {}, \"gather_bytes\": {}, \"allocs_per_frame\": {}, \"speedup_vs_eager\": {:.3}, \"status\": \"ok\" }}\n",
+        "    {{ \"name\": \"inference_delayed\", \"ms\": {:.4}, \"frame_points\": {}, \"macs_moved\": {}, \"macs_saved\": {}, \"gather_bytes\": {}, \"allocs_per_frame\": {}, \"speedup_vs_eager\": {:.3}, \"status\": \"ok\" }},\n",
         infer_delayed.ms, infer_delayed.frame_points, infer_delayed.macs_moved,
         infer_delayed.macs_saved, infer_delayed.gather_bytes, infer_delayed.allocs_per_frame,
         infer_eager.ms / infer_delayed.ms
     ));
+    out.push_str("    { \"name\": \"serve_stage_breakdown\", \"phases\": [\n");
+    for (i, phase) in breakdown.iter().enumerate() {
+        let stages: Vec<String> = phase
+            .stages
+            .iter()
+            .map(|(name, us)| format!("\"{name}_us\": {us:.1}"))
+            .chain(std::iter::once(format!("\"unattributed_us\": {:.1}", phase.unattributed_us)))
+            .collect();
+        out.push_str(&format!(
+            "      {{ \"phase\": \"{}\", {}, \"end_to_end_us\": {:.1} }}{}\n",
+            phase.phase,
+            stages.join(", "),
+            phase.end_to_end_us,
+            if i + 1 == breakdown.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("    ], \"status\": \"ok\" }\n");
     out.push_str("  ]\n}\n");
     out
 }

@@ -274,7 +274,10 @@ impl Pipeline {
         if !parallel {
             fc = fc.sequential();
         }
-        Fractal::new(fc).build_ws(cloud, ws)
+        let span = fractalcloud_obs::span(fractalcloud_obs::SpanKind::PartitionBuild, 0);
+        let built = Fractal::new(fc).build_ws(cloud, ws);
+        span.done();
+        built
     }
 
     /// Runs the full pipeline: partition, block FPS, block ball query.
@@ -379,6 +382,9 @@ impl Pipeline {
         // Move the counts out for the duration of the sampling call (the
         // sampler needs the whole workspace mutably); moved back after.
         let counts = std::mem::take(&mut ws.counts);
+        // Whole-frame stage spans (aux = u32::MAX distinguishes them from
+        // the per-block task spans the fused batching path records).
+        let sample_span = fractalcloud_obs::span(fractalcloud_obs::SpanKind::BlockSample, u32::MAX);
         let sampled = block_fps_with_counts_into(
             cloud,
             &built.partition,
@@ -387,12 +393,14 @@ impl Pipeline {
             ws,
             &mut out.sampled,
         );
+        sample_span.done();
         ws.counts = counts;
         sampled?;
         if let Some(c) = cancel {
             c.check()?;
         }
         let PipelineOutput { sampled, grouped, blocks } = out;
+        let group_span = fractalcloud_obs::span(fractalcloud_obs::SpanKind::BlockGroup, u32::MAX);
         block_ball_query_into(
             cloud,
             &built.partition,
@@ -403,6 +411,7 @@ impl Pipeline {
             ws,
             grouped,
         )?;
+        group_span.done();
         *blocks = built.partition.blocks.len();
         Ok(())
     }
@@ -450,6 +459,7 @@ impl Pipeline {
         count: usize,
         ws: &mut Workspace,
     ) -> (Vec<usize>, OpCounters) {
+        let _span = fractalcloud_obs::span(fractalcloud_obs::SpanKind::BlockSample, block as u32);
         fps_block_task_ws(cloud, &built.partition.blocks[block].indices, count, true, ws)
     }
 
@@ -483,6 +493,7 @@ impl Pipeline {
         centers: &[usize],
         ws: &mut Workspace,
     ) -> BlockNeighborTask {
+        let _span = fractalcloud_obs::span(fractalcloud_obs::SpanKind::BlockGroup, block as u32);
         ball_query_block_task_ws(
             cloud,
             &built.partition,

@@ -1,0 +1,34 @@
+//! Chrome trace-event JSON rendering for drained flight-recorder spans.
+//!
+//! The output is the stable "JSON object format" understood by
+//! `chrome://tracing` and Perfetto: complete (`"ph":"X"`) events with
+//! microsecond timestamps, one track per recording thread, and the request
+//! id / priority class / kind-specific payload in `args`.
+
+use crate::SpanEvent;
+use std::fmt::Write;
+
+/// Render drained span events as a Chrome trace-event JSON document.
+pub fn trace_json(events: &[SpanEvent]) -> String {
+    let mut out = String::with_capacity(32 + events.len() * 120);
+    out.push_str("{\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":0,\"tid\":{},\"ts\":{},\"dur\":{},\
+             \"args\":{{\"request_id\":{},\"class\":{},\"aux\":{}}}}}",
+            e.kind.name(),
+            e.thread,
+            e.start_us,
+            e.dur_us,
+            e.request_id,
+            e.class,
+            e.aux,
+        );
+    }
+    out.push_str("]}");
+    out
+}

@@ -1,0 +1,124 @@
+//! Prometheus-style text exposition: a line builder for the `METRICS`
+//! endpoint and a strict parser for format tests.
+//!
+//! The grammar emitted (and accepted) is the metric-sample subset of the
+//! Prometheus text format:
+//!
+//! ```text
+//! line  := name ( "{" label ("," label)* "}" )? " " value
+//! label := name "=" "\"" <no quotes or backslashes> "\""
+//! name  := [a-zA-Z_][a-zA-Z0-9_]*
+//! value := f64 (integral values print without a decimal point)
+//! ```
+
+use std::fmt::Write;
+
+/// Append one exposition line. Label values must not contain `"` or `\`
+/// (every caller in this workspace uses fixed snake_case vocabulary).
+pub fn line(out: &mut String, name: &str, labels: &[(&str, &str)], value: f64) {
+    out.push_str(name);
+    if !labels.is_empty() {
+        out.push('{');
+        for (i, (k, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{k}=\"{v}\"");
+        }
+        out.push('}');
+    }
+    let _ = writeln!(out, " {value}");
+}
+
+/// One parsed exposition line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParsedLine {
+    /// Metric name.
+    pub name: String,
+    /// Label key/value pairs, in emission order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// Parse one line of the grammar above. Returns `None` for anything
+/// malformed — format tests assert every emitted line parses.
+pub fn parse_line(line: &str) -> Option<ParsedLine> {
+    let line = line.trim_end_matches(['\n', '\r']);
+    let (head, value) = line.rsplit_once(' ')?;
+    let value: f64 = value.parse().ok()?;
+    let (name, labels) = match head.split_once('{') {
+        Some((name, rest)) => {
+            let rest = rest.strip_suffix('}')?;
+            let mut labels = Vec::new();
+            for pair in rest.split(',') {
+                let (k, v) = pair.split_once('=')?;
+                if !is_name(k) {
+                    return None;
+                }
+                let v = v.strip_prefix('"')?.strip_suffix('"')?;
+                if v.contains(['"', '\\']) {
+                    return None;
+                }
+                labels.push((k.to_string(), v.to_string()));
+            }
+            (name, labels)
+        }
+        None => (head, Vec::new()),
+    };
+    if !is_name(name) {
+        return None;
+    }
+    Some(ParsedLine { name: name.to_string(), labels, value })
+}
+
+fn is_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_labeled_and_bare_lines() {
+        let mut out = String::new();
+        line(&mut out, "fractalcloud_uptime_ms", &[], 1234.0);
+        line(&mut out, "fractalcloud_latency_us", &[("stat", "p99"), ("class", "bulk")], 8192.0);
+        let parsed: Vec<_> = out.lines().map(|l| parse_line(l).unwrap()).collect();
+        assert_eq!(parsed[0].name, "fractalcloud_uptime_ms");
+        assert!(parsed[0].labels.is_empty());
+        assert_eq!(parsed[0].value, 1234.0);
+        assert_eq!(
+            parsed[1].labels,
+            vec![
+                ("stat".to_string(), "p99".to_string()),
+                ("class".to_string(), "bulk".to_string())
+            ]
+        );
+        // Integral f64s print without a decimal point.
+        assert!(out.contains(" 8192\n"));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "",
+            "name_only",
+            "1leading_digit 3",
+            "unterminated{a=\"b\" 1",
+            "noquotes{a=b} 1",
+            "bad value",
+            "name{} 1",
+            "name{a=\"b\"} notanumber",
+        ] {
+            assert!(parse_line(bad).is_none(), "should reject: {bad:?}");
+        }
+        assert!(parse_line("ok_metric 0.5").is_some());
+    }
+}

@@ -491,7 +491,10 @@ impl NetworkExecutor {
                         }
                         counters.gather_bytes += (rows.len() * std::mem::size_of::<f32>()) as u64;
                         counters.feature_reads += (c_cnt * sa.nsample) as u64;
+                        let span =
+                            fractalcloud_obs::span(fractalcloud_obs::SpanKind::StageMlp, s as u32);
                         mlp_chain(&sw.mlp, rows, feat_a);
+                        span.done();
                         ch_out = sw.mlp.last().map(|l| l.cout).unwrap_or(cin);
                         // Pool the grouped rows through the same segmented
                         // kernel the delayed schedule uses, over identity
@@ -516,15 +519,21 @@ impl NetworkExecutor {
                         counters.macs_moved += moved;
                         counters.macs_saved +=
                             (per_row * (c_cnt * sa.nsample) as u64).saturating_sub(moved);
+                        let span =
+                            fractalcloud_obs::span(fractalcloud_obs::SpanKind::StageMlp, s as u32);
                         mlp_chain(&sw.mlp, rows, feat_a);
+                        span.done();
                         ch_out = sw.mlp.last().map(|l| l.cout).unwrap_or(cin);
                     }
                 }
                 pooled.clear();
                 pooled.resize(c_cnt * ch_out, 0.0);
+                let agg_span =
+                    fractalcloud_obs::span(fractalcloud_obs::SpanKind::Aggregate, s as u32);
                 kernels::segmented_max_into_with(
                     backend, rows, ch_out, neighbors, counts, sa.nsample, pooled,
                 );
+                agg_span.done();
                 counters.feature_reads += (c_cnt * sa.nsample) as u64;
                 counters.writes += c_cnt as u64;
 

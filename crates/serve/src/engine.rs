@@ -73,6 +73,7 @@ use crate::faults::{self, FaultLayer, FaultPoint};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use fractalcloud_core::workspace::{global_pool, workspace_mode, Pool, WorkspaceMode};
 use fractalcloud_core::{CancelToken, Pipeline, PipelineConfig, PipelineOutput, Workspace};
+use fractalcloud_obs as obs;
 use fractalcloud_pnn::{Aggregation, InferOutput, InferenceConfig, ModelConfig, NetworkExecutor};
 use fractalcloud_pointcloud::ops::OpCounters;
 use fractalcloud_pointcloud::{Error, PointCloud};
@@ -347,9 +348,18 @@ pub struct Ticket {
     /// `Some` until the drop handler releases the slot to the stash.
     slot: Option<Arc<Slot>>,
     stash: Arc<SlotStash>,
+    /// Flight-recorder request id minted at admission.
+    req: u64,
 }
 
 impl Ticket {
+    /// The flight-recorder request id this admission minted — the key that
+    /// reassembles the request's spans ([`fractalcloud_obs::spans_for`])
+    /// and labels its wire-side spans.
+    pub fn request_id(&self) -> u64 {
+        self.req
+    }
+
     /// Blocks until the slot resolves, whatever the response kind.
     fn wait_any(&self) -> Result<EngineResponse, ServeError> {
         let slot = self.slot.as_ref().expect("slot present until drop");
@@ -425,6 +435,11 @@ pub struct InferTicket {
 }
 
 impl InferTicket {
+    /// The flight-recorder request id, as [`Ticket::request_id`].
+    pub fn request_id(&self) -> u64 {
+        self.inner.request_id()
+    }
+
     /// Blocks until the inference response (or terminal error) is ready.
     pub fn wait(self) -> Result<InferResponse, ServeError> {
         match self.inner.wait_any() {
@@ -455,6 +470,8 @@ impl InferTicket {
 struct TicketGuard {
     priority: Priority,
     admitted_at: Instant,
+    /// Flight-recorder request id (shared with the waiter's [`Ticket`]).
+    req: u64,
     /// `Some` until the drop handler releases the slot to the stash.
     slot: Option<Arc<Slot>>,
     stash: Arc<SlotStash>,
@@ -493,6 +510,11 @@ impl TicketGuard {
                 self.metrics.latency_by_class[self.priority.index()].record(elapsed);
                 self.metrics.completed.fetch_add(1, Ordering::Relaxed);
                 self.metrics.note_progress();
+                if let Some(threshold) = obs::slow_threshold_ms() {
+                    if elapsed.as_millis() as u64 >= threshold {
+                        log_slow_request(self.req, self.priority, elapsed, threshold);
+                    }
+                }
             }
             Err(ServeError::Shed(ShedReason::DeadlineExceeded)) => {
                 self.metrics.shed_deadline.fetch_add(1, Ordering::Relaxed);
@@ -538,6 +560,9 @@ struct Job {
     compat: u64,
     kind: WorkKind,
     priority: Priority,
+    /// Flight-recorder request id; threads every span the job's execution
+    /// records — across worker lanes — back to this admission.
+    req: u64,
     admitted_at: Instant,
     /// Absolute execution deadline (`None` = unbounded).
     deadline: Option<Instant>,
@@ -867,6 +892,7 @@ impl Engine {
         }
 
         let admitted_at = Instant::now();
+        let req = obs::next_request_id();
         let budget = deadline.or_else(|| {
             (self.shared.cfg.deadline_ms > 0)
                 .then(|| Duration::from_millis(self.shared.cfg.deadline_ms))
@@ -902,11 +928,13 @@ impl Engine {
                 config,
                 kind,
                 priority,
+                req,
                 admitted_at,
                 deadline,
                 ticket: TicketGuard {
                     priority,
                     admitted_at,
+                    req,
                     slot: Some(Arc::clone(&slot)),
                     stash: Arc::clone(&self.shared.slots),
                     metrics: Arc::clone(m),
@@ -923,7 +951,7 @@ impl Engine {
             victim.ticket.finish(Err(ServeError::Shed(ShedReason::QueueFull)));
         }
         self.shared.available.notify_one();
-        Ok(Ticket { slot: Some(slot), stash: Arc::clone(&self.shared.slots) })
+        Ok(Ticket { slot: Some(slot), stash: Arc::clone(&self.shared.slots), req })
     }
 
     /// Submits a frame and blocks for its response — the in-process client
@@ -1028,6 +1056,7 @@ impl Engine {
         };
         let snapshot = self.shared.metrics.snapshot();
         let workers_alive = snapshot.workers_alive;
+        let trace = obs::status();
         EngineHealth {
             live: workers_alive > 0 && self.shared.state.load(Ordering::SeqCst) == RUNNING,
             workers_alive,
@@ -1036,7 +1065,25 @@ impl Engine {
             last_progress_age_ms: self.shared.metrics.progress_age_ms(),
             worker_panics: snapshot.worker_panics,
             workers_respawned: snapshot.workers_respawned,
+            uptime_ms: self.shared.metrics.uptime_ms(),
+            trace_enabled: trace.enabled,
+            trace_capacity: trace.capacity,
+            trace_dropped: trace.dropped,
         }
+    }
+
+    /// Renders the engine's metrics — [`MetricsSnapshot`], per-class
+    /// histograms, cache/fault/worker counters, aggregated op counters, and
+    /// flight-recorder status — as Prometheus-style text (the `METRICS`
+    /// wire opcode serves exactly this string).
+    pub fn metrics_text(&self) -> String {
+        let per_point: Vec<(&'static str, u64)> = match &self.shared.faults {
+            Some(layer) => {
+                FaultPoint::ALL.iter().map(|&p| (p.name(), layer.injected_at(p))).collect()
+            }
+            None => Vec::new(),
+        };
+        crate::metrics::render_prometheus(&self.metrics(), &self.health(), &per_point)
     }
 
     /// Graceful shutdown: stops admitting (subsequent submits shed with
@@ -1098,6 +1145,16 @@ pub struct EngineHealth {
     pub worker_panics: u64,
     /// Replacement workers spawned by panic supervision.
     pub workers_respawned: u64,
+    /// Milliseconds since the engine's metrics epoch (engine start).
+    pub uptime_ms: u64,
+    /// Is the flight recorder currently on?
+    pub trace_enabled: bool,
+    /// Flight-recorder ring capacity in events per thread (0 = recorder
+    /// never initialized).
+    pub trace_capacity: u64,
+    /// Trace events lost to ring wraparound — nonzero warns a scraper that
+    /// a `TRACE_DUMP` is truncated.
+    pub trace_dropped: u64,
 }
 
 impl Drop for Engine {
@@ -1377,7 +1434,29 @@ fn execute_batch(shared: &Shared, batch: &mut Vec<Job>) {
     m.batched_frames.fetch_add(size as u64, Ordering::Relaxed);
     let started = Instant::now();
     for job in batch.iter() {
-        m.queue_wait.record(started.duration_since(job.admitted_at));
+        let wait = started.duration_since(job.admitted_at);
+        m.queue_wait.record(wait);
+        m.queue_wait_by_class[job.priority.index()].record(wait);
+        obs::record_span_at(
+            obs::SpanKind::QueueWait,
+            job.req,
+            job.priority.index() as u8,
+            job.admitted_at,
+            started,
+            0,
+        );
+        if size > 1 {
+            // One fuse marker per member, so every request's own timeline
+            // shows the batch it rode in (aux = fused batch size).
+            obs::record_span_at(
+                obs::SpanKind::BatchFuse,
+                job.req,
+                job.priority.index() as u8,
+                started,
+                started,
+                size as u32,
+            );
+        }
     }
     if faults::fire(&shared.faults, FaultPoint::Worker) {
         // Injected executor error: dropping the jobs resolves every ticket
@@ -1391,7 +1470,8 @@ fn execute_batch(shared: &Shared, batch: &mut Vec<Job>) {
         // per-batch result vector — with a warmed workspace and staging
         // this path performs zero heap allocations.
         let job = batch.pop().expect("size checked above");
-        let Job { cloud, config, kind, ticket, deadline, .. } = job;
+        let Job { cloud, config, kind, ticket, deadline, req, priority, .. } = job;
+        let _trace = obs::scoped_context(req, priority.index() as u8);
         let mut ws = global_pool().checkout();
         let outcome = run_job(shared, &cloud, config, &kind, deadline, size, &mut ws);
         ticket.finish(outcome);
@@ -1430,7 +1510,8 @@ fn execute_batch(shared: &Shared, batch: &mut Vec<Job>) {
         shared.cfg.thread_budget,
         || global_pool().checkout(),
         |_, job, ws| {
-            let Job { cloud, config, kind, ticket, deadline, .. } = job;
+            let Job { cloud, config, kind, ticket, deadline, req, priority, .. } = job;
+            let _trace = obs::scoped_context(req, priority.index() as u8);
             let outcome = run_job(shared, &cloud, config, &kind, deadline, size, ws);
             (ticket, outcome)
         },
@@ -1504,7 +1585,17 @@ fn execute_batch_blocks(shared: &Shared, batch: Vec<Job>) {
                 let key = frame_key(&job.cloud, job.config.threshold);
                 let cached = lock_unpoisoned(&shared.cache).get(key);
                 match &cached {
-                    Some(_) => m.cache_hits.fetch_add(1, Ordering::Relaxed),
+                    Some(_) => {
+                        obs::record_span_at(
+                            obs::SpanKind::PartitionCacheHit,
+                            job.req,
+                            job.priority.index() as u8,
+                            Instant::now(),
+                            Instant::now(),
+                            0,
+                        );
+                        m.cache_hits.fetch_add(1, Ordering::Relaxed)
+                    }
                     None => m.cache_misses.fetch_add(1, Ordering::Relaxed),
                 };
                 frames.push(Some(FrameCtx {
@@ -1538,6 +1629,7 @@ fn execute_batch_blocks(shared: &Shared, batch: Vec<Job>) {
             || global_pool().checkout(),
             |_, f, ws| {
                 let ctx = frames[f].as_ref().expect("missing frame is live");
+                let _trace = obs::scoped_context(ctx.job.req, ctx.job.priority.index() as u8);
                 let parallel = fractalcloud_parallel::effective_budget() > 1;
                 (f, ctx.pipeline.partition_ws(&ctx.job.cloud, parallel, ws))
             },
@@ -1588,6 +1680,7 @@ fn execute_batch_blocks(shared: &Shared, batch: Vec<Job>) {
         || global_pool().checkout(),
         |_, (f, b), ws| {
             let ctx = frames[f].as_ref().expect("task frames are live");
+            let _trace = obs::scoped_context(ctx.job.req, ctx.job.priority.index() as u8);
             if ctx.job.expired(Instant::now()) {
                 return ((f, b), TaskOut::Expired);
             }
@@ -1731,6 +1824,7 @@ fn cached_partition(
     let cached = lock_unpoisoned(&shared.cache).get(key);
     match cached {
         Some(b) => {
+            obs::event(obs::SpanKind::PartitionCacheHit, 0);
             shared.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
             Ok((b, true))
         }
@@ -1796,7 +1890,45 @@ fn execute_infer_one(
     }
     let mut output = shared.infer_outputs.take();
     executor.run_with_stage1_into(cloud, &staging, ws, &mut output).map_err(ServeError::Invalid)?;
+    // Aggregate the forward pass's op counters into the engine-wide metrics
+    // so the exposition endpoint can report MACs moved/saved and gather
+    // traffic across all inference served so far.
+    let c = &output.counters;
+    let m = &shared.metrics;
+    m.op_macs_moved.fetch_add(c.macs_moved, Ordering::Relaxed);
+    m.op_macs_saved.fetch_add(c.macs_saved, Ordering::Relaxed);
+    m.op_gather_bytes.fetch_add(c.gather_bytes, Ordering::Relaxed);
     Ok(InferResponse { output, aggregation: executor.config().aggregation, cache_hit, batch_size })
+}
+
+/// Prints a slow request's identity and — when the flight recorder is on —
+/// its full span breakdown. Only reached past the `FRACTALCLOUD_SLOW_MS`
+/// threshold, so the allocation and stderr traffic never touch a healthy
+/// hot path.
+#[cold]
+fn log_slow_request(req: u64, priority: Priority, elapsed: Duration, threshold: u64) {
+    let mut msg = format!(
+        "[fractalcloud-serve] slow request {req} ({:?}): {} ms >= FRACTALCLOUD_SLOW_MS={threshold}\n",
+        priority,
+        elapsed.as_millis(),
+    );
+    let spans = obs::spans_for(req);
+    if spans.is_empty() {
+        msg.push_str("  (no spans retained; set FRACTALCLOUD_TRACE=on for a stage breakdown)\n");
+    }
+    for s in spans {
+        use std::fmt::Write;
+        let _ = writeln!(
+            msg,
+            "  +{:>8} us {:<20} {:>8} us  thread={} aux={}",
+            s.start_us,
+            s.kind.name(),
+            s.dur_us,
+            s.thread,
+            s.aux,
+        );
+    }
+    eprint!("{msg}");
 }
 
 #[cfg(test)]
@@ -1876,11 +2008,13 @@ mod tests {
             compat: 0,
             kind: WorkKind::Frame,
             priority: p,
+            req: 0,
             admitted_at,
             deadline: None,
             ticket: TicketGuard {
                 priority: p,
                 admitted_at,
+                req: 0,
                 slot: Some(Arc::new(Slot::default())),
                 stash: Arc::new(SlotStash::default()),
                 metrics: Arc::new(Metrics::default()),
@@ -1891,7 +2025,7 @@ mod tests {
 
     /// A waiter-side ticket over `slot` with a throwaway stash.
     fn test_ticket(slot: Arc<Slot>) -> Ticket {
-        Ticket { slot: Some(slot), stash: Arc::new(SlotStash::default()) }
+        Ticket { slot: Some(slot), stash: Arc::new(SlotStash::default()), req: 0 }
     }
 
     #[test]

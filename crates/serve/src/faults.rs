@@ -355,7 +355,18 @@ fn parse_duration(s: &str) -> Result<Duration, String> {
 pub(crate) fn fire(layer: &Option<Arc<FaultLayer>>, point: FaultPoint) -> bool {
     match layer {
         None => false,
-        Some(l) => l.fire(point),
+        Some(l) => {
+            let fired = l.fire(point);
+            if fired {
+                // Injected faults land in the flight recorder too, so a
+                // chaos run's trace shows *which* request each fault hit.
+                fractalcloud_obs::event(
+                    fractalcloud_obs::SpanKind::FaultFire,
+                    point.index() as u32,
+                );
+            }
+            fired
+        }
     }
 }
 

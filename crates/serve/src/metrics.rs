@@ -149,6 +149,18 @@ pub struct Metrics {
     pub latency_by_class: [LatencyHistogram; 3],
     /// Queue-wait latency (admission → batch start).
     pub queue_wait: LatencyHistogram,
+    /// Queue-wait latency per priority class (same indexing as
+    /// `shed_by_class`) — covers every work kind, so INFER traffic shows in
+    /// the same percentiles as frames.
+    pub queue_wait_by_class: [LatencyHistogram; 3],
+    /// MACs executed point-granular by delayed aggregation, summed over all
+    /// inference served (from each forward pass's `OpCounters`).
+    pub op_macs_moved: AtomicU64,
+    /// MACs avoided versus eager aggregation, summed over all inference.
+    pub op_macs_saved: AtomicU64,
+    /// Bytes gathered into dense MLP inputs by eager aggregation, summed
+    /// over all inference.
+    pub op_gather_bytes: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -182,6 +194,10 @@ impl Default for Metrics {
             latency: LatencyHistogram::default(),
             latency_by_class: std::array::from_fn(|_| LatencyHistogram::default()),
             queue_wait: LatencyHistogram::default(),
+            queue_wait_by_class: std::array::from_fn(|_| LatencyHistogram::default()),
+            op_macs_moved: AtomicU64::new(0),
+            op_macs_saved: AtomicU64::new(0),
+            op_gather_bytes: AtomicU64::new(0),
         }
     }
 }
@@ -205,6 +221,11 @@ impl Metrics {
     pub fn progress_age_ms(&self) -> u64 {
         let now_ms = self.epoch.elapsed().as_millis().min(u128::from(u64::MAX)) as u64;
         now_ms.saturating_sub(self.last_progress_ms.load(Ordering::Relaxed))
+    }
+
+    /// Milliseconds since this registry was created (the engine's start).
+    pub fn uptime_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis().min(u128::from(u64::MAX)) as u64
     }
 
     /// Takes an approximate point-in-time snapshot of every counter.
@@ -242,6 +263,12 @@ impl Metrics {
             latency_p99_us: self.latency.quantile_us(0.99),
             latency_mean_us: self.latency.mean_us(),
             queue_wait_p99_us: self.queue_wait.quantile_us(0.99),
+            queue_wait_p99_by_class_us: std::array::from_fn(|i| {
+                self.queue_wait_by_class[i].quantile_us(0.99)
+            }),
+            op_macs_moved: load(&self.op_macs_moved),
+            op_macs_saved: load(&self.op_macs_saved),
+            op_gather_bytes: load(&self.op_gather_bytes),
         }
     }
 }
@@ -307,6 +334,14 @@ pub struct MetricsSnapshot {
     pub latency_mean_us: u64,
     /// p99 queue wait (µs, bucket upper bound).
     pub queue_wait_p99_us: u64,
+    /// p99 queue wait per priority class (µs, bucket upper bound).
+    pub queue_wait_p99_by_class_us: [u64; 3],
+    /// MACs executed point-granular by delayed aggregation (all inference).
+    pub op_macs_moved: u64,
+    /// MACs avoided versus eager aggregation (all inference).
+    pub op_macs_saved: u64,
+    /// Bytes gathered into dense MLP inputs by eager aggregation.
+    pub op_gather_bytes: u64,
 }
 
 impl MetricsSnapshot {
@@ -323,6 +358,110 @@ impl MetricsSnapshot {
             self.batched_frames as f64 / self.batches as f64
         }
     }
+}
+
+/// Priority-class label values, [`Priority::index`](crate::Priority::index)
+/// order.
+const CLASS_NAMES: [&str; 3] = ["high", "normal", "bulk"];
+
+/// Renders a snapshot + health view (plus the fault layer's per-point
+/// injection counts) as Prometheus-style text — the body the `METRICS` wire
+/// opcode and [`Engine::metrics_text`](crate::Engine::metrics_text) serve.
+/// Every line matches the grammar [`fractalcloud_obs::expo`] documents.
+pub(crate) fn render_prometheus(
+    s: &MetricsSnapshot,
+    h: &crate::EngineHealth,
+    fault_points: &[(&'static str, u64)],
+) -> String {
+    use fractalcloud_obs::expo::line;
+    let mut out = String::with_capacity(2048);
+    let u = |out: &mut String, name: &str, v: u64| line(out, name, &[], v as f64);
+
+    u(&mut out, "fractalcloud_uptime_ms", h.uptime_ms);
+    line(&mut out, "fractalcloud_live", &[], f64::from(u8::from(h.live)));
+    for (outcome, v) in [
+        ("submitted", s.submitted),
+        ("admitted", s.admitted),
+        ("completed", s.completed),
+        ("rejected_invalid", s.rejected_invalid),
+        ("failed_internal", s.failed_internal),
+    ] {
+        line(&mut out, "fractalcloud_requests_total", &[("outcome", outcome)], v as f64);
+    }
+    for (reason, v) in [
+        ("queue_full", s.shed_queue_full),
+        ("oversized", s.shed_oversized),
+        ("shutdown", s.shed_shutdown),
+        ("deadline", s.shed_deadline),
+    ] {
+        line(&mut out, "fractalcloud_shed_total", &[("reason", reason)], v as f64);
+    }
+    for (i, class) in CLASS_NAMES.iter().enumerate() {
+        line(
+            &mut out,
+            "fractalcloud_shed_by_class_total",
+            &[("class", class)],
+            s.shed_by_class[i] as f64,
+        );
+        line(
+            &mut out,
+            "fractalcloud_completed_by_class_total",
+            &[("class", class)],
+            s.completed_by_class[i] as f64,
+        );
+        line(
+            &mut out,
+            "fractalcloud_latency_p99_us",
+            &[("class", class)],
+            s.latency_p99_by_class_us[i] as f64,
+        );
+        line(
+            &mut out,
+            "fractalcloud_queue_wait_p99_us",
+            &[("class", class)],
+            s.queue_wait_p99_by_class_us[i] as f64,
+        );
+        line(&mut out, "fractalcloud_queued", &[("class", class)], h.queued_by_class[i] as f64);
+    }
+    for (stat, v) in
+        [("p50", s.latency_p50_us), ("p99", s.latency_p99_us), ("mean", s.latency_mean_us)]
+    {
+        line(&mut out, "fractalcloud_latency_us", &[("stat", stat)], v as f64);
+    }
+    u(&mut out, "fractalcloud_queue_wait_p99_us_all", s.queue_wait_p99_us);
+    u(&mut out, "fractalcloud_batches_total", s.batches);
+    u(&mut out, "fractalcloud_batched_frames_total", s.batched_frames);
+    line(&mut out, "fractalcloud_mean_batch", &[], s.mean_batch());
+    for (kind, v) in [("hit", s.cache_hits), ("miss", s.cache_misses)] {
+        line(&mut out, "fractalcloud_partition_cache_total", &[("kind", kind)], v as f64);
+    }
+    u(&mut out, "fractalcloud_queue_depth", s.queue_depth);
+    u(&mut out, "fractalcloud_queue_depth_peak", s.peak_queue_depth);
+    for (event, v) in [
+        ("disconnects", s.net_disconnects),
+        ("malformed", s.net_malformed),
+        ("conn_refused", s.net_conn_refused),
+    ] {
+        line(&mut out, "fractalcloud_net_total", &[("event", event)], v as f64);
+    }
+    for (state, v) in [("alive", h.workers_alive), ("configured", h.workers_configured)] {
+        line(&mut out, "fractalcloud_workers", &[("state", state)], v as f64);
+    }
+    u(&mut out, "fractalcloud_worker_panics_total", s.worker_panics);
+    u(&mut out, "fractalcloud_workers_respawned_total", s.workers_respawned);
+    u(&mut out, "fractalcloud_last_progress_age_ms", h.last_progress_age_ms);
+    u(&mut out, "fractalcloud_faults_injected_total", s.faults_injected);
+    for (point, v) in fault_points {
+        line(&mut out, "fractalcloud_faults_injected_at_total", &[("point", point)], *v as f64);
+    }
+    for (kind, v) in [("moved", s.op_macs_moved), ("saved", s.op_macs_saved)] {
+        line(&mut out, "fractalcloud_op_macs_total", &[("kind", kind)], v as f64);
+    }
+    u(&mut out, "fractalcloud_op_gather_bytes_total", s.op_gather_bytes);
+    line(&mut out, "fractalcloud_trace_enabled", &[], f64::from(u8::from(h.trace_enabled)));
+    u(&mut out, "fractalcloud_trace_capacity_events", h.trace_capacity);
+    u(&mut out, "fractalcloud_trace_dropped_total", h.trace_dropped);
+    out
 }
 
 #[cfg(test)]
@@ -397,6 +536,44 @@ mod tests {
         let s = m.snapshot();
         assert_eq!(s.mean_batch(), 2.5);
         assert_eq!(s.shed_total(), 8);
+    }
+
+    #[test]
+    fn every_exposition_line_parses_as_name_labels_value() {
+        let snapshot = MetricsSnapshot {
+            submitted: 12,
+            batches: 4,
+            batched_frames: 10,
+            op_macs_saved: 123_456,
+            ..Default::default()
+        };
+        let health = crate::EngineHealth {
+            live: true,
+            workers_alive: 2,
+            workers_configured: 2,
+            queued_by_class: [0, 1, 2],
+            last_progress_age_ms: 7,
+            worker_panics: 0,
+            workers_respawned: 0,
+            uptime_ms: 1234,
+            trace_enabled: true,
+            trace_capacity: 16384,
+            trace_dropped: 0,
+        };
+        let text = render_prometheus(&snapshot, &health, &[("worker", 3)]);
+        let mut lines = 0;
+        for l in text.lines() {
+            let parsed = fractalcloud_obs::expo::parse_line(l)
+                .unwrap_or_else(|| panic!("exposition line failed to parse: {l:?}"));
+            assert!(parsed.name.starts_with("fractalcloud_"), "foreign prefix: {l:?}");
+            lines += 1;
+        }
+        assert!(lines >= 40, "expected a full exposition, got {lines} lines");
+        assert!(text.contains("fractalcloud_requests_total{outcome=\"submitted\"} 12\n"));
+        assert!(text.contains("fractalcloud_mean_batch 2.5\n"));
+        assert!(text.contains("fractalcloud_op_macs_total{kind=\"saved\"} 123456\n"));
+        assert!(text.contains("fractalcloud_faults_injected_at_total{point=\"worker\"} 3\n"));
+        assert!(text.contains("fractalcloud_trace_capacity_events 16384\n"));
     }
 
     #[test]

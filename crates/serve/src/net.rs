@@ -24,8 +24,9 @@ use crate::engine::{
 use crate::faults::{self, FaultLayer, FaultPoint};
 use crate::protocol::{
     self, status, WireError, WireInferRequest, WireInferResponse, WireResponse, AGG_DELAYED,
-    AGG_EAGER, MAGIC, OP_HEALTH, OP_INFER, OP_PROCESS_FRAME,
+    AGG_EAGER, MAGIC, OP_HEALTH, OP_INFER, OP_METRICS, OP_PROCESS_FRAME, OP_TRACE_DUMP,
 };
+use fractalcloud_obs as obs;
 use fractalcloud_pnn::{Aggregation, ModelConfig};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -255,20 +256,26 @@ fn handle_connection(mut stream: TcpStream, engine: &Arc<Engine>, gate: &FairGat
         let (opcode, prio_nibble) = protocol::split_kind(header[4]);
         let payload_len = u32::from_le_bytes(header[5..9].try_into().expect("4 bytes")) as usize;
 
-        if magic != MAGIC || !matches!(opcode, OP_PROCESS_FRAME | OP_HEALTH | OP_INFER) {
+        if magic != MAGIC
+            || !matches!(
+                opcode,
+                OP_PROCESS_FRAME | OP_HEALTH | OP_INFER | OP_METRICS | OP_TRACE_DUMP
+            )
+        {
             // The stream cannot be resynchronized after a framing error:
             // answer malformed and drop the connection.
             metrics.net_malformed.fetch_add(1, Ordering::Relaxed);
             let _ = write_error(&mut stream, status::MALFORMED, "bad magic or opcode");
             return;
         }
-        if opcode == OP_HEALTH {
-            // Answered inline — a health probe must work even when every
-            // worker is wedged, so it never touches the queue.
+        if matches!(opcode, OP_HEALTH | OP_METRICS | OP_TRACE_DUMP) {
+            // Answered inline — a health probe or metrics scrape must work
+            // even when every worker is wedged, so these never touch the
+            // queue.
             if payload_len != 0 {
                 metrics.net_malformed.fetch_add(1, Ordering::Relaxed);
                 if drain(&mut stream, payload_len).is_err()
-                    || write_error(&mut stream, status::MALFORMED, "health takes no payload")
+                    || write_error(&mut stream, status::MALFORMED, "opcode takes no payload")
                         .is_err()
                 {
                     metrics.net_disconnects.fetch_add(1, Ordering::Relaxed);
@@ -276,7 +283,11 @@ fn handle_connection(mut stream: TcpStream, engine: &Arc<Engine>, gate: &FairGat
                 }
                 continue;
             }
-            let payload = protocol::encode_health_payload(&engine.health());
+            let payload = match opcode {
+                OP_METRICS => engine.metrics_text().into_bytes(),
+                OP_TRACE_DUMP => obs::chrome::trace_json(&obs::drain()).into_bytes(),
+                _ => protocol::encode_health_payload(&engine.health()),
+            };
             if faults::fire(&faults, FaultPoint::NetWrite)
                 || stream.write_all(&protocol::encode_message(status::OK, &payload)).is_err()
             {
@@ -369,13 +380,16 @@ fn handle_connection(mut stream: TcpStream, engine: &Arc<Engine>, gate: &FairGat
                         deadline: (deadline_ms > 0)
                             .then(|| Duration::from_millis(u64::from(deadline_ms))),
                     };
-                    let outcome = gate
-                        .admit(|| engine.submit_infer(Arc::new(cloud), req))
-                        .and_then(|ticket| ticket.wait());
+                    let (trace_req, outcome) =
+                        match gate.admit(|| engine.submit_infer(Arc::new(cloud), req)) {
+                            Ok(ticket) => (ticket.request_id(), ticket.wait()),
+                            Err(e) => (0, Err(e)),
+                        };
                     if faults::fire(&faults, FaultPoint::NetWrite) {
                         metrics.net_disconnects.fetch_add(1, Ordering::Relaxed);
                         return;
                     }
+                    let _trace = obs::scoped_context(trace_req, priority.index() as u8);
                     match outcome {
                         Ok(resp) => write_infer_ok(&mut stream, &resp),
                         Err(e) => write_error(&mut stream, error_status(&e), &e.to_string()),
@@ -401,15 +415,19 @@ fn handle_connection(mut stream: TcpStream, engine: &Arc<Engine>, gate: &FairGat
                     // its fairness turn; the wait for the response happens
                     // outside the gate so slow frames don't block other
                     // connections' admissions.
-                    let outcome = gate
+                    let (trace_req, outcome) = match gate
                         .admit(|| engine.submit_with_options(cloud, config, priority, deadline))
-                        .and_then(|ticket| ticket.wait());
+                    {
+                        Ok(ticket) => (ticket.request_id(), ticket.wait()),
+                        Err(e) => (0, Err(e)),
+                    };
                     if faults::fire(&faults, FaultPoint::NetWrite) {
                         // Injected write failure: the response is computed but
                         // lost on the wire; the client sees the connection die.
                         metrics.net_disconnects.fetch_add(1, Ordering::Relaxed);
                         return;
                     }
+                    let _trace = obs::scoped_context(trace_req, priority.index() as u8);
                     match outcome {
                         Ok(resp) => write_ok(&mut stream, &resp),
                         Err(e) => write_error(&mut stream, error_status(&e), &e.to_string()),
@@ -469,6 +487,7 @@ fn error_status(e: &ServeError) -> u8 {
 }
 
 fn write_ok(stream: &mut TcpStream, resp: &FrameResponse) -> io::Result<()> {
+    let encode_span = obs::span(obs::SpanKind::WireEncode, 0);
     let wire = WireResponse {
         sampled_indices: resp.sampled_indices.iter().map(|&i| i as u32).collect(),
         neighbor_indices: resp.neighbor_indices.iter().map(|&i| i as u32).collect(),
@@ -479,10 +498,14 @@ fn write_ok(stream: &mut TcpStream, resp: &FrameResponse) -> io::Result<()> {
         batch_size: resp.batch_size as u32,
     };
     let payload = protocol::encode_response_payload(&wire);
-    stream.write_all(&protocol::encode_message(status::OK, &payload))
+    let message = protocol::encode_message(status::OK, &payload);
+    encode_span.done();
+    let _write_span = obs::span(obs::SpanKind::WireWrite, 0);
+    stream.write_all(&message)
 }
 
 fn write_infer_ok(stream: &mut TcpStream, resp: &InferResponse) -> io::Result<()> {
+    let encode_span = obs::span(obs::SpanKind::WireEncode, 0);
     let wire = WireInferResponse {
         classes: resp.output.classes as u32,
         cache_hit: resp.cache_hit,
@@ -497,7 +520,10 @@ fn write_infer_ok(stream: &mut TcpStream, resp: &InferResponse) -> io::Result<()
         logits: resp.output.logits.clone(),
     };
     let payload = protocol::encode_infer_response_payload(&wire);
-    stream.write_all(&protocol::encode_message(status::OK, &payload))
+    let message = protocol::encode_message(status::OK, &payload);
+    encode_span.done();
+    let _write_span = obs::span(obs::SpanKind::WireWrite, 0);
+    stream.write_all(&message)
 }
 
 fn write_error(stream: &mut TcpStream, code: u8, message: &str) -> io::Result<()> {
@@ -605,6 +631,41 @@ impl ServeClient {
             });
         }
         protocol::decode_health_payload(&payload).map_err(ClientError::Protocol)
+    }
+
+    /// Requests the server's Prometheus-style metrics exposition
+    /// ([`OP_METRICS`]) — the text [`Engine::metrics_text`] renders.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServeClient::health`]; additionally [`ClientError::Protocol`]
+    /// when the body is not UTF-8.
+    pub fn metrics_text(&mut self) -> Result<String, ClientError> {
+        self.text_request(OP_METRICS)
+    }
+
+    /// Drains the server's flight recorder ([`OP_TRACE_DUMP`]) as Chrome
+    /// trace-event JSON (load into `chrome://tracing` or Perfetto).
+    /// Draining consumes: a second dump returns only newer events.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServeClient::metrics_text`].
+    pub fn trace_dump(&mut self) -> Result<String, ClientError> {
+        self.text_request(OP_TRACE_DUMP)
+    }
+
+    fn text_request(&mut self, opcode: u8) -> Result<String, ClientError> {
+        self.stream.write_all(&protocol::encode_message(opcode, &[]))?;
+        let (code, payload) = self.read_reply()?;
+        if code != status::OK {
+            return Err(ClientError::Server {
+                code,
+                message: String::from_utf8_lossy(&payload).into_owned(),
+            });
+        }
+        String::from_utf8(payload)
+            .map_err(|_| ClientError::Protocol(WireError("response body is not UTF-8")))
     }
 
     /// Sends one [`Priority::Normal`] frame and blocks for its result.

@@ -6,7 +6,8 @@
 //!
 //! ```text
 //! request  := magic:u32 kind:u8 payload_len:u32 payload
-//!   kind: low nibble = opcode (1 = PROCESS_FRAME, 2 = HEALTH, 3 = INFER)
+//!   kind: low nibble = opcode (1 = PROCESS_FRAME, 2 = HEALTH, 3 = INFER,
+//!         4 = METRICS, 5 = TRACE_DUMP)
 //!         high nibble = priority (0 = normal, 1 = high, 2 = bulk)
 //!   payload (opcode PROCESS_FRAME):
 //!     threshold:u32 sample_rate:f64 radius:f32 neighbors:u32
@@ -17,6 +18,8 @@
 //!       1 = eager, 2 = delayed)
 //!     notation_len:u32 notation:utf8{notation_len}
 //!     n_points:u32 (x:f32 y:f32 z:f32){n_points} [deadline_ms:u32]
+//!   payload (opcode METRICS): empty
+//!   payload (opcode TRACE_DUMP): empty
 //!
 //! response := magic:u32 status:u8 payload_len:u32 payload
 //!   payload (status OK, PROCESS_FRAME):
@@ -28,6 +31,11 @@
 //!     live:u8 workers_alive:u64 workers_configured:u64
 //!     queued_high:u64 queued_normal:u64 queued_bulk:u64
 //!     last_progress_age_ms:u64 worker_panics:u64 workers_respawned:u64
+//!     uptime_ms:u64 trace_enabled:u8 trace_capacity:u64
+//!     trace_dropped:u64
+//!   payload (status OK, METRICS): UTF-8 Prometheus-style exposition text
+//!   payload (status OK, TRACE_DUMP): UTF-8 Chrome trace-event JSON
+//!     (draining the flight recorder)
 //!   payload (status OK, INFER):
 //!     classes:u32 cache_hit:u8 batch_size:u32 aggregation:u8 (1|2)
 //!     macs_moved:u64 macs_saved:u64 gather_bytes:u64
@@ -77,6 +85,19 @@ pub const OP_HEALTH: u8 = 2;
 /// trailer, partition cache, and shedding semantics with
 /// [`OP_PROCESS_FRAME`].
 pub const OP_INFER: u8 = 3;
+
+/// Request opcode: metrics exposition. Empty payload; answered inline
+/// (never queued) with the engine's Prometheus-style text —
+/// [`MetricsSnapshot`](crate::MetricsSnapshot), per-class histograms,
+/// cache/fault/worker counters, aggregated op counters, and
+/// flight-recorder status. The priority nibble is ignored.
+pub const OP_METRICS: u8 = 4;
+
+/// Request opcode: drain the flight recorder. Empty payload; answered
+/// inline with Chrome trace-event JSON (empty `traceEvents` when tracing
+/// is off). Draining consumes: two consecutive dumps never repeat an
+/// event. The priority nibble is ignored.
+pub const OP_TRACE_DUMP: u8 = 5;
 
 /// Builds a request kind byte: opcode in the low nibble, priority in the
 /// high nibble. A [`Priority::Normal`] request is byte-identical to what a
@@ -557,7 +578,7 @@ pub fn decode_response_payload(payload: &[u8]) -> Result<WireResponse, WireError
 
 /// Encodes an OK health response payload ([`OP_HEALTH`]).
 pub fn encode_health_payload(h: &EngineHealth) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(1 + 8 * 8);
+    let mut buf = Vec::with_capacity(2 + 11 * 8);
     buf.push(u8::from(h.live));
     for v in [
         h.workers_alive,
@@ -568,9 +589,13 @@ pub fn encode_health_payload(h: &EngineHealth) -> Vec<u8> {
         h.last_progress_age_ms,
         h.worker_panics,
         h.workers_respawned,
+        h.uptime_ms,
     ] {
         buf.extend_from_slice(&v.to_le_bytes());
     }
+    buf.push(u8::from(h.trace_enabled));
+    buf.extend_from_slice(&h.trace_capacity.to_le_bytes());
+    buf.extend_from_slice(&h.trace_dropped.to_le_bytes());
     buf
 }
 
@@ -592,6 +617,10 @@ pub fn decode_health_payload(payload: &[u8]) -> Result<EngineHealth, WireError> 
     let last_progress_age_ms = r.u64("truncated last_progress_age_ms")?;
     let worker_panics = r.u64("truncated worker_panics")?;
     let workers_respawned = r.u64("truncated workers_respawned")?;
+    let uptime_ms = r.u64("truncated uptime_ms")?;
+    let trace_enabled = r.u8("truncated trace_enabled")? != 0;
+    let trace_capacity = r.u64("truncated trace_capacity")?;
+    let trace_dropped = r.u64("truncated trace_dropped")?;
     r.done()?;
     Ok(EngineHealth {
         live,
@@ -601,6 +630,10 @@ pub fn decode_health_payload(payload: &[u8]) -> Result<EngineHealth, WireError> 
         last_progress_age_ms,
         worker_panics,
         workers_respawned,
+        uptime_ms,
+        trace_enabled,
+        trace_capacity,
+        trace_dropped,
     })
 }
 
@@ -659,9 +692,13 @@ mod tests {
             last_progress_age_ms: 1234,
             worker_panics: 7,
             workers_respawned: 6,
+            uptime_ms: 98_765,
+            trace_enabled: true,
+            trace_capacity: 16_384,
+            trace_dropped: 42,
         };
         let payload = encode_health_payload(&h);
-        assert_eq!(payload.len(), 1 + 8 * 8);
+        assert_eq!(payload.len(), 2 + 11 * 8);
         assert_eq!(decode_health_payload(&payload).unwrap(), h);
         assert!(decode_health_payload(&payload[..payload.len() - 1]).is_err());
         let mut long = payload;

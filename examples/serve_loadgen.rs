@@ -33,6 +33,22 @@ use std::time::{Duration, Instant};
 static ALLOC: fractalcloud::pointcloud::count_alloc::CountingAllocator =
     fractalcloud::pointcloud::count_alloc::CountingAllocator;
 
+/// Prints the serving counters a dashboard would scrape after this phase:
+/// a filtered slice of the engine's Prometheus-style exposition (the full
+/// text is one `METRICS` opcode away).
+fn print_exposition(text: &str) {
+    println!("  exposition     :");
+    for line in text.lines() {
+        if line.starts_with("fractalcloud_requests_total")
+            || line.starts_with("fractalcloud_latency_us")
+            || line.starts_with("fractalcloud_queue_wait_p99_us_all")
+            || line.starts_with("fractalcloud_trace_enabled")
+        {
+            println!("    {line}");
+        }
+    }
+}
+
 fn percentile(sorted_us: &[u64], q: f64) -> u64 {
     if sorted_us.is_empty() {
         return 0;
@@ -126,6 +142,7 @@ fn main() {
         m.admitted, m.completed, m.mean_batch(), m.cache_hits, m.cache_hits + m.cache_misses,
         m.peak_queue_depth
     );
+    print_exposition(&engine.metrics_text());
     server.shutdown();
     engine.shutdown();
 
@@ -221,6 +238,7 @@ fn main() {
     println!(
         "  the admission queue never grew past its bound: excess load was rejected\n  with counted reasons instead of buffered — memory stays flat under overload."
     );
+    print_exposition(&engine.metrics_text());
     server.shutdown();
     engine.shutdown();
 
@@ -263,6 +281,7 @@ fn main() {
     println!(
         "  under a mixed-class flood the queue bound sheds the lowest class first\n  (displacement) while the weighted schedule keeps High latency ahead."
     );
+    print_exposition(&engine.metrics_text());
     server.shutdown();
     engine.shutdown();
 
@@ -354,6 +373,7 @@ fn main() {
         m.worker_panics
     );
     assert!(health.live, "the engine must still be live after the storm: {health:?}");
+    print_exposition(&engine.metrics_text());
     server.shutdown();
     engine.shutdown();
 
@@ -425,6 +445,8 @@ fn main() {
         speedup > 1.0 || quick,
         "delayed aggregation should outrun eager at this scale (got {speedup:.2}x)"
     );
+    // This phase scrapes over the wire — the `METRICS` opcode itself.
+    print_exposition(&client.metrics_text().expect("METRICS over TCP"));
     server.shutdown();
     engine.shutdown();
 }
