@@ -277,8 +277,6 @@ fn ball_query_block_core(
     let own_block = [b];
     let space: &[usize] =
         if parent_expansion { &partition.blocks[b].parent_group } else { &own_block };
-    let mut counters = OpCounters::new();
-    let mut reuse = ReuseStats::default();
     indices.reserve(centers.len() * num);
     found.reserve(centers.len());
     center_indices.extend_from_slice(centers);
@@ -290,9 +288,10 @@ fn ball_query_block_core(
     for &g in space {
         ws.candidates.extend_from_slice(&partition.blocks[g].indices);
     }
-    reuse.shared_loads += ws.candidates.len() as u64;
-    reuse.unshared_loads += (ws.candidates.len() * centers.len().max(1)) as u64;
-    counters.coord_reads += ws.candidates.len() as u64;
+    // Counters and reuse statistics come from the shared closed-form model
+    // so prefix/LOD views report bit-identical work without re-running the
+    // fused scan.
+    let (counters, reuse) = ball_query_block_model(ws.candidates.len(), centers.len(), num);
 
     kernels::gather_coords(
         cloud.xs(),
@@ -321,8 +320,6 @@ fn ball_query_block_core(
         num,
         &mut ws.select,
         |c_row, best, nearest| {
-            counters.distance_evals += candidates.len() as u64;
-            counters.comparisons += candidates.len() as u64;
             found.push(best.len());
             let row_start = indices.len();
             indices.extend(best.iter().map(|&(_, slot)| candidates[slot]));
@@ -341,9 +338,31 @@ fn ball_query_block_core(
             while indices.len() - row_start < num {
                 indices.push(first);
             }
-            counters.writes += num as u64;
         },
     );
+    (counters, reuse)
+}
+
+/// Closed-form work model for one block's ball query: `candidates` search
+/// points shared by `centers` query rows, each padded to `num` slots. The
+/// [`OpCounters`] half lives on `OpCounters` itself
+/// ([`OpCounters::ball_query_model`]); this wrapper adds the reuse
+/// statistics (the candidate set is loaded on-chip once and shared by every
+/// center, versus one unshared load per center in the global formulation).
+///
+/// Both the real kernel driver ([`block_ball_query`] via its block core)
+/// and the prefix/LOD slicing views derive their accounting from this one
+/// function, so sliced outputs are bit-identical to smaller-budget runs.
+pub fn ball_query_block_model(
+    candidates: usize,
+    centers: usize,
+    num: usize,
+) -> (OpCounters, ReuseStats) {
+    let counters = OpCounters::ball_query_model(candidates, centers, num);
+    let reuse = ReuseStats {
+        shared_loads: candidates as u64,
+        unshared_loads: (candidates * centers.max(1)) as u64,
+    };
     (counters, reuse)
 }
 

@@ -27,9 +27,9 @@ mod sampling;
 
 pub use gathering::{block_gather, BlockGatherResult, GatherLocality};
 pub use grouping::{
-    assemble_block_neighbors, ball_query_block_task, ball_query_block_task_into,
-    ball_query_block_task_ws, block_ball_query, block_ball_query_into, BlockNeighborResult,
-    BlockNeighborTask,
+    assemble_block_neighbors, ball_query_block_model, ball_query_block_task,
+    ball_query_block_task_into, ball_query_block_task_ws, block_ball_query, block_ball_query_into,
+    BlockNeighborResult, BlockNeighborTask,
 };
 pub use interpolation::{block_interpolate, BlockInterpolationResult};
 pub use sampling::{

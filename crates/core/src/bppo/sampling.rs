@@ -349,7 +349,10 @@ pub fn fps_block_task_into(
     selected: &mut Vec<usize>,
 ) -> OpCounters {
     let n = block.len();
-    let mut counters = OpCounters::new();
+    // Counters come from the shared closed-form model
+    // ([`OpCounters::block_fps_model`]) so prefix/LOD views can report
+    // bit-identical work without re-running the scans.
+    let counters = OpCounters::block_fps_model(n, m, window_check);
     if m == 0 || n == 0 {
         return counters;
     }
@@ -378,23 +381,12 @@ pub fn fps_block_task_into(
     let mut current = 0usize;
     selected.push(block[current]);
     dist[current] = f32::NEG_INFINITY; // pinned: sampled points never win
-    counters.writes += 1;
 
-    for sampled in 1..m {
+    for _sampled in 1..m {
         let q = [bx[current], by[current], bz[current]];
         current = kernels::fps_relax_argmax(bx, by, bz, q, dist);
         selected.push(block[current]);
         dist[current] = f32::NEG_INFINITY;
-        counters.writes += 1;
-
-        // Analytic per-scan counters (hardware work model).
-        let visited = if window_check { (n - sampled) as u64 } else { n as u64 };
-        counters.coord_reads += visited;
-        counters.distance_evals += visited;
-        counters.comparisons += 2 * visited;
-        if window_check {
-            counters.skipped += sampled as u64;
-        }
     }
     counters
 }

@@ -44,6 +44,7 @@
 
 pub mod bppo;
 mod fractal;
+pub mod lod;
 mod pipeline;
 pub mod quality;
 mod tree;
@@ -52,7 +53,7 @@ pub mod workspace;
 
 pub use bppo::interpolation::BlockInterpolationResult;
 pub use bppo::{
-    assemble_block_fps, assemble_block_neighbors, ball_query_block_task,
+    assemble_block_fps, assemble_block_neighbors, ball_query_block_model, ball_query_block_task,
     ball_query_block_task_into, ball_query_block_task_ws, block_ball_query, block_ball_query_into,
     block_fps, block_fps_pinned, block_fps_with_counts, block_fps_with_counts_into, block_gather,
     block_interpolate, block_sample_counts, equal_sample_counts, fps_block_task,
@@ -60,6 +61,7 @@ pub use bppo::{
     BlockNeighborTask, BppoConfig, GatherLocality, ReuseStats,
 };
 pub use fractal::{Fractal, FractalConfig, FractalResult};
+pub use lod::{LodSegment, LodSlice, SampleOrder};
 pub use pipeline::{fnv1a64, CancelToken, Pipeline, PipelineConfig, PipelineOutput, FNV1A64_SEED};
 pub use quality::{evaluate_quality, QualityConfig, QualityReport};
 pub use tree::{FractalNode, FractalTree, NodeId};

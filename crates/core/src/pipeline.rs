@@ -23,6 +23,7 @@ use crate::bppo::{
     BlockNeighborResult, BlockNeighborTask, BppoConfig,
 };
 use crate::fractal::{Fractal, FractalConfig, FractalResult};
+use crate::lod::SampleOrder;
 use crate::workspace::{global_pool, Workspace};
 use fractalcloud_pointcloud::ops::OpCounters;
 use fractalcloud_pointcloud::{Error, PointCloud, Result};
@@ -207,6 +208,10 @@ pub struct PipelineOutput {
     pub grouped: BlockNeighborResult,
     /// Number of leaf blocks in the partition that produced the result.
     pub blocks: usize,
+    /// The coarse-to-fine quality ordering of the samples — every prefix
+    /// of a run is itself a valid smaller-budget run; see
+    /// [`PipelineOutput::prefix`] and [`crate::lod`].
+    pub order: SampleOrder,
 }
 
 /// A validated, reusable partition + BPPO pipeline.
@@ -399,7 +404,11 @@ impl Pipeline {
         if let Some(c) = cancel {
             c.check()?;
         }
-        let PipelineOutput { sampled, grouped, blocks } = out;
+        // Retain the coarse-to-fine ordering block FPS just computed: the
+        // interleave schedule over the full per-block budgets, staged in
+        // the workspace so the warm path stays allocation-free.
+        out.order.build_into(&built.partition, &ws.counts, &mut ws.sched);
+        let PipelineOutput { sampled, grouped, blocks, order: _ } = out;
         let group_span = fractalcloud_obs::span(fractalcloud_obs::SpanKind::BlockGroup, u32::MAX);
         block_ball_query_into(
             cloud,
@@ -516,11 +525,85 @@ impl Pipeline {
         sampled: Vec<(Vec<usize>, OpCounters)>,
         grouped: Vec<BlockNeighborTask>,
     ) -> PipelineOutput {
+        // The per-block budgets are recoverable from the task rows (a
+        // block's row length IS its budget, counts are clamped to block
+        // populations), so the decomposed path carries the same
+        // coarse-to-fine ordering as a monolithic run.
+        let counts: Vec<usize> = sampled.iter().map(|(row, _)| row.len()).collect();
         PipelineOutput {
             sampled: assemble_block_fps(sampled),
             grouped: assemble_block_neighbors(self.config.neighbors, grouped),
             blocks: built.partition.blocks.len(),
+            order: SampleOrder::build(&built.partition, &counts),
         }
+    }
+
+    // --- Budget runs (progressive LOD) -----------------------------------
+
+    /// Runs the full pipeline at an explicit sample budget of `k` points:
+    /// partition, then [`Pipeline::run_with_partition_budget`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyCloud`] for an empty cloud.
+    pub fn run_budget(
+        &self,
+        cloud: &PointCloud,
+        k: usize,
+        parallel: bool,
+    ) -> Result<PipelineOutput> {
+        let built = self.partition(cloud, parallel)?;
+        self.run_with_partition_budget(cloud, &built, k, parallel)
+    }
+
+    /// The BPPO half at an explicit sample budget `k` (clamped to the
+    /// run's total): per-block counts are the first `k` ranks of the
+    /// [`SampleOrder`] interleave schedule built from the *full* budgets
+    /// — not the largest-remainder allocator re-run at a smaller rate,
+    /// which is not prefix-monotone — and the ordinary kernels then run at
+    /// those counts. By construction,
+    /// [`PipelineOutput::prefix`]`(k)` of a full run is bit-identical to
+    /// this, which is the contract streaming refinement relies on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyCloud`] for an empty cloud.
+    pub fn run_with_partition_budget(
+        &self,
+        cloud: &PointCloud,
+        built: &FractalResult,
+        k: usize,
+        parallel: bool,
+    ) -> Result<PipelineOutput> {
+        let bppo = if parallel { BppoConfig::default() } else { BppoConfig::sequential() };
+        let full_counts = self.sample_counts(built);
+        let order = SampleOrder::build(&built.partition, &full_counts);
+        let k = k.min(order.len());
+        let counts_k = order.prefix_counts(k);
+
+        let mut ws = global_pool().checkout();
+        let mut out = PipelineOutput::default();
+        block_fps_with_counts_into(
+            cloud,
+            &built.partition,
+            &counts_k,
+            &bppo,
+            &mut ws,
+            &mut out.sampled,
+        )?;
+        block_ball_query_into(
+            cloud,
+            &built.partition,
+            &out.sampled.per_block,
+            self.config.radius,
+            self.config.neighbors,
+            &bppo,
+            &mut ws,
+            &mut out.grouped,
+        )?;
+        out.blocks = built.partition.blocks.len();
+        out.order = order.prefix(k);
+        Ok(out)
     }
 }
 

@@ -79,6 +79,9 @@ pub struct Workspace {
     pub(crate) space: Vec<usize>,
     /// Fractal build scratch (order buffer, frontier lists, split runs).
     pub(crate) build: BuildScratch,
+    /// LOD schedule scratch: `(rank, count, block)` entries staged for the
+    /// [`SampleOrder`](crate::lod::SampleOrder) interleave sort.
+    pub(crate) sched: Vec<(u32, u32, u32)>,
     /// Network-inference scratch (per-layer activations, level pyramid).
     pub infer: InferScratch,
 }

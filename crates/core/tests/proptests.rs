@@ -254,3 +254,43 @@ proptest! {
         });
     }
 }
+
+// Progressive LOD: any prefix of a full run is a valid smaller-budget run.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `PipelineOutput::prefix(k)` is bit-identical — indices, per-block
+    /// rows, found counts, OpCounters, critical path, reuse, ordering — to
+    /// actually running the pipeline with a sample budget of `k`, on every
+    /// kernel backend, over ragged partitions, and across cache-hit
+    /// repeats (the same built partition reused for both runs and for a
+    /// second identical run).
+    #[test]
+    fn prefix_is_bit_identical_to_budget_run(
+        (cloud, th) in (arb_cloud(250), 8usize..64),
+        rate in 0.1f64..0.95,
+        frac in 0.0f64..=1.0,
+    ) {
+        use fractalcloud_core::{Pipeline, PipelineConfig};
+        let cfg = PipelineConfig {
+            threshold: th,
+            sample_rate: rate,
+            radius: 0.8,
+            neighbors: 4,
+        };
+        let pipe = Pipeline::new(cfg).unwrap();
+        assert_all_backends_equal(|| {
+            let built = pipe.partition(&cloud, false).unwrap();
+            let full = pipe.run_with_partition(&cloud, &built, false).unwrap();
+            let k = ((full.total_samples() as f64) * frac).floor() as usize;
+            let view = full.prefix(k);
+            // Cache-hit repeat: the same `built` serves the budget run...
+            let direct = pipe.run_with_partition_budget(&cloud, &built, k, false).unwrap();
+            assert_eq!(view, direct, "prefix({k}) diverged from a budget-{k} run");
+            // ...and a second identical budget run must not drift.
+            let again = pipe.run_with_partition_budget(&cloud, &built, k, false).unwrap();
+            assert_eq!(direct, again, "budget-{k} repeat drifted");
+            (view, direct)
+        });
+    }
+}

@@ -70,11 +70,14 @@ pub enum SpanKind {
     WireEncode = 9,
     /// Response write to the socket.
     WireWrite = 10,
+    /// One streaming refinement chunk sliced and emitted; `aux` = chunk
+    /// end depth (`hi`, clamped to `u32`).
+    ChunkEmit = 11,
 }
 
 impl SpanKind {
     /// Every kind, indexable by discriminant.
-    pub const ALL: [SpanKind; 11] = [
+    pub const ALL: [SpanKind; 12] = [
         SpanKind::QueueWait,
         SpanKind::BatchFuse,
         SpanKind::PartitionBuild,
@@ -86,6 +89,7 @@ impl SpanKind {
         SpanKind::FaultFire,
         SpanKind::WireEncode,
         SpanKind::WireWrite,
+        SpanKind::ChunkEmit,
     ];
 
     /// Stable snake_case name (used in trace dumps and stage breakdowns).
@@ -102,6 +106,7 @@ impl SpanKind {
             SpanKind::FaultFire => "fault_fire",
             SpanKind::WireEncode => "wire_encode",
             SpanKind::WireWrite => "wire_write",
+            SpanKind::ChunkEmit => "chunk_emit",
         }
     }
 

@@ -88,6 +88,53 @@ impl OpCounters {
     pub fn memory_touches(&self) -> u64 {
         self.coord_reads + self.feature_reads + self.writes
     }
+
+    /// Closed-form work model for block FPS: selecting `m` samples out of an
+    /// `n`-point block. This is the single source of truth shared by the real
+    /// kernel driver (`fps_block_task_into`) and the prefix/LOD views, so a
+    /// sliced `PipelineOutput::prefix(k)` reports bit-identical counters to a
+    /// pipeline actually run at the smaller budget.
+    ///
+    /// Scan `s` (for `s` in `1..m`) visits `n - s` candidates under the
+    /// window check (already-sampled points are skipped) or all `n` without
+    /// it; every visit costs one coordinate read, one distance evaluation,
+    /// and two comparisons (distance merge + argmax). Each selection —
+    /// including the seed — is one write.
+    pub fn block_fps_model(n: usize, m: usize, window_check: bool) -> OpCounters {
+        let mut counters = OpCounters::new();
+        if m == 0 || n == 0 {
+            return counters;
+        }
+        let m = m.min(n);
+        let (n64, m64) = (n as u64, m as u64);
+        let visited =
+            if window_check { (m64 - 1) * n64 - m64 * (m64 - 1) / 2 } else { (m64 - 1) * n64 };
+        counters.coord_reads = visited;
+        counters.distance_evals = visited;
+        counters.comparisons = 2 * visited;
+        counters.writes = m64;
+        if window_check {
+            counters.skipped = m64 * (m64 - 1) / 2;
+        }
+        counters
+    }
+
+    /// Closed-form work model for block ball query: `centers` query rows over
+    /// a shared `candidates`-point search space, each row padded to `num`
+    /// slots. Shared with the real kernel driver (`ball_query_block_core`)
+    /// and the prefix/LOD views — see [`OpCounters::block_fps_model`].
+    ///
+    /// The candidate coordinates are read once per block (even when the block
+    /// contributes zero centers); each center evaluates every candidate
+    /// (one distance, one comparison) and writes `num` neighbor slots.
+    pub fn ball_query_model(candidates: usize, centers: usize, num: usize) -> OpCounters {
+        let mut counters = OpCounters::new();
+        counters.coord_reads = candidates as u64;
+        counters.distance_evals = (centers * candidates) as u64;
+        counters.comparisons = (centers * candidates) as u64;
+        counters.writes = (centers * num) as u64;
+        counters
+    }
 }
 
 impl std::ops::Add for OpCounters {

@@ -7,7 +7,7 @@
 //! [`FractalResult`](fractalcloud_core::FractalResult) — so cached entries
 //! are shared by `Arc` and reused without any equivalence risk.
 
-use fractalcloud_core::{fnv1a64, FractalResult, FNV1A64_SEED};
+use fractalcloud_core::{fnv1a64, FractalResult, PipelineOutput, FNV1A64_SEED};
 use fractalcloud_pointcloud::PointCloud;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -29,23 +29,29 @@ pub fn frame_key(cloud: &PointCloud, threshold: usize) -> u64 {
     h
 }
 
-/// A small LRU map from [`frame_key`] to shared [`FractalResult`]s.
+/// A small LRU map from [`frame_key`] to shared [`FractalResult`]s, with a
+/// sibling map of full-depth [`PipelineOutput`]s (the progressive-LOD
+/// quality orderings streaming slices from).
 ///
 /// Recency is tracked with a monotonic tick per entry — O(capacity) scan on
 /// eviction, which is the right trade for the tens-of-entries capacities a
-/// partition cache wants (entries are megabytes; the map is tiny).
+/// partition cache wants (entries are megabytes; the map is tiny). The
+/// ordering map shares the tick and the capacity budget but evicts
+/// independently: a partition can outlive its ordering and vice versa,
+/// because either half alone still saves real work.
 #[derive(Debug)]
 pub struct PartitionCache {
     capacity: usize,
     tick: u64,
     entries: HashMap<u64, (u64, Arc<FractalResult>)>,
+    orders: HashMap<u64, (u64, Arc<PipelineOutput>)>,
 }
 
 impl PartitionCache {
     /// Creates a cache holding at most `capacity` partitions (0 disables
     /// caching: every lookup misses, inserts are dropped).
     pub fn new(capacity: usize) -> PartitionCache {
-        PartitionCache { capacity, tick: 0, entries: HashMap::new() }
+        PartitionCache { capacity, tick: 0, entries: HashMap::new(), orders: HashMap::new() }
     }
 
     /// Looks up a partition, refreshing its recency on hit.
@@ -85,14 +91,52 @@ impl PartitionCache {
         self.entries.insert(key, (self.tick, value));
     }
 
+    /// Looks up a cached full-depth pipeline output (the quality ordering a
+    /// stream slices from), refreshing its recency on hit. Keys are the
+    /// caller's business — the engine folds the frame key with the pipeline
+    /// compatibility key so distinct configs never alias.
+    pub fn get_order(&mut self, key: u64) -> Option<Arc<PipelineOutput>> {
+        self.tick += 1;
+        let tick = self.tick;
+        let (at, v) = self.orders.get_mut(&key)?;
+        *at = tick;
+        Some(Arc::clone(v))
+    }
+
+    /// Inserts a full-depth pipeline output under the same tick-LRU
+    /// discipline as [`PartitionCache::insert`] (shared tick, same capacity
+    /// bound, independent eviction).
+    pub fn insert_order(&mut self, key: u64, value: Arc<PipelineOutput>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if let Some(entry) = self.orders.get_mut(&key) {
+            *entry = (self.tick, value);
+            return;
+        }
+        if self.orders.len() >= self.capacity {
+            if let Some(&oldest) = self.orders.iter().min_by_key(|(_, (at, _))| *at).map(|(k, _)| k)
+            {
+                self.orders.remove(&oldest);
+            }
+        }
+        self.orders.insert(key, (self.tick, value));
+    }
+
     /// Number of cached partitions.
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
+    /// Number of cached full-depth orderings.
+    pub fn orders_len(&self) -> usize {
+        self.orders.len()
+    }
+
     /// True when nothing is cached.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.entries.is_empty() && self.orders.is_empty()
     }
 }
 
@@ -179,5 +223,34 @@ mod tests {
         c.insert(1, built(100, 1));
         assert!(c.is_empty());
         assert!(c.get(1).is_none());
+        c.insert_order(1, order(100, 1));
+        assert!(c.get_order(1).is_none());
+    }
+
+    fn order(n: usize, seed: u64) -> Arc<fractalcloud_core::PipelineOutput> {
+        let cloud = uniform_cube(n, seed);
+        let pipe = fractalcloud_core::Pipeline::new(fractalcloud_core::PipelineConfig::new(
+            64, 0.25, 0.4, 4,
+        ))
+        .unwrap();
+        Arc::new(pipe.run(&cloud, false).unwrap())
+    }
+
+    #[test]
+    fn order_map_is_an_independent_lru() {
+        let mut c = PartitionCache::new(2);
+        c.insert_order(1, order(96, 1));
+        c.insert_order(2, order(96, 2));
+        assert!(c.get_order(1).is_some()); // refresh 1 → 2 is now LRU
+        c.insert_order(3, order(96, 3));
+        assert_eq!(c.orders_len(), 2);
+        assert!(c.get_order(2).is_none());
+        assert!(c.get_order(1).is_some());
+        assert!(c.get_order(3).is_some());
+        // Partition entries are untouched by ordering churn.
+        assert_eq!(c.len(), 0);
+        c.insert(9, built(100, 9));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.orders_len(), 2);
     }
 }

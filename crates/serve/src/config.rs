@@ -52,6 +52,20 @@ pub struct ServeConfig {
     /// expires mid-run is cancelled at the next pipeline stage seam.
     /// Per-request wire deadlines override this default.
     pub deadline_ms: u64,
+    /// Streaming first-paint depth in samples: how much of the quality
+    /// ordering the first chunk of an [`OP_STREAM`](crate::protocol) frame
+    /// carries. The first chunk runs at the requester's priority (it is the
+    /// time-to-first-point the viewer sees); refinement chunks are demoted
+    /// to [`Priority::Bulk`](crate::Priority). A wire value of 0 selects
+    /// this default.
+    pub stream_first_paint: usize,
+    /// Streaming refinement-chunk size in samples (wire value 0 selects
+    /// this default).
+    pub stream_chunk: usize,
+    /// Default refinement credits granted at stream open: how many chunks
+    /// beyond first paint the server pushes before it blocks waiting for
+    /// `STREAM_CREDIT` frames (wire value 0 selects this default).
+    pub stream_credits: usize,
     /// Seeded fault-injection plan ([`FaultPlan::OFF`] outside chaos
     /// testing; the `FRACTALCLOUD_FAULTS` environment plan by default, so
     /// an exported spec soaks everything built on [`ServeConfig`]).
@@ -72,6 +86,9 @@ impl ServeConfig {
     /// | `FRACTALCLOUD_SERVE_BATCH_BLOCKS` | 1 (`0` = legacy per-frame lanes) |
     /// | `FRACTALCLOUD_SERVE_CONNS` | 64 |
     /// | `FRACTALCLOUD_SERVE_DEADLINE_MS` | 0 (no default deadline) |
+    /// | `FRACTALCLOUD_SERVE_STREAM_FIRST_PAINT` | 512 |
+    /// | `FRACTALCLOUD_SERVE_STREAM_CHUNK` | 4096 |
+    /// | `FRACTALCLOUD_SERVE_STREAM_CREDITS` | 4 |
     /// | `FRACTALCLOUD_FAULTS` | off (see [`FaultPlan::parse`]) |
     ///
     /// The thread budget always follows the process-wide worker pool
@@ -93,6 +110,15 @@ impl ServeConfig {
                 .max(1),
             deadline_ms: env_usize("FRACTALCLOUD_SERVE_DEADLINE_MS")
                 .map_or(def.deadline_ms, |v| v as u64),
+            stream_first_paint: env_usize("FRACTALCLOUD_SERVE_STREAM_FIRST_PAINT")
+                .unwrap_or(def.stream_first_paint)
+                .max(1),
+            stream_chunk: env_usize("FRACTALCLOUD_SERVE_STREAM_CHUNK")
+                .unwrap_or(def.stream_chunk)
+                .max(1),
+            stream_credits: env_usize("FRACTALCLOUD_SERVE_STREAM_CREDITS")
+                .unwrap_or(def.stream_credits)
+                .max(1),
             faults: def.faults,
         }
     }
@@ -151,6 +177,27 @@ impl ServeConfig {
         self
     }
 
+    /// Returns `self` with the given streaming first-paint depth
+    /// (minimum 1 sample).
+    pub fn stream_first_paint(mut self, samples: usize) -> ServeConfig {
+        self.stream_first_paint = samples.max(1);
+        self
+    }
+
+    /// Returns `self` with the given streaming refinement-chunk size
+    /// (minimum 1 sample).
+    pub fn stream_chunk(mut self, samples: usize) -> ServeConfig {
+        self.stream_chunk = samples.max(1);
+        self
+    }
+
+    /// Returns `self` with the given default refinement-credit grant
+    /// (minimum 1 chunk).
+    pub fn stream_credits(mut self, credits: usize) -> ServeConfig {
+        self.stream_credits = credits.max(1);
+        self
+    }
+
     /// Returns `self` with the given fault-injection plan (chaos tests);
     /// [`FaultPlan::OFF`] restores fault-free serving.
     pub fn faults(mut self, faults: FaultPlan) -> ServeConfig {
@@ -159,9 +206,12 @@ impl ServeConfig {
     }
 
     /// Largest request payload the TCP front-end accepts, in bytes (the
-    /// fixed request-parameter block plus `max_points` xyz triplets).
+    /// fixed request-parameter block plus `max_points` xyz triplets plus
+    /// the largest optional trailer, so a maximal frame still streams).
     pub fn max_payload_bytes(&self) -> usize {
-        crate::protocol::REQUEST_FIXED_BYTES + self.max_points.saturating_mul(12)
+        crate::protocol::REQUEST_FIXED_BYTES
+            + self.max_points.saturating_mul(12)
+            + crate::protocol::REQUEST_TRAILER_MAX_BYTES
     }
 }
 
@@ -177,6 +227,9 @@ impl Default for ServeConfig {
             batch_blocks: true,
             max_connections: 64,
             deadline_ms: 0,
+            stream_first_paint: 512,
+            stream_chunk: 4096,
+            stream_credits: 4,
             faults: FaultPlan::from_env(),
         }
     }
@@ -207,6 +260,17 @@ mod tests {
     #[test]
     fn payload_bound_tracks_max_points() {
         let c = ServeConfig::default().max_points(10);
-        assert_eq!(c.max_payload_bytes(), crate::protocol::REQUEST_FIXED_BYTES + 120);
+        assert_eq!(
+            c.max_payload_bytes(),
+            crate::protocol::REQUEST_FIXED_BYTES + 120 + crate::protocol::REQUEST_TRAILER_MAX_BYTES
+        );
+    }
+
+    #[test]
+    fn stream_builders_clamp_minimums() {
+        let c = ServeConfig::default().stream_first_paint(0).stream_chunk(0).stream_credits(0);
+        assert_eq!(c.stream_first_paint, 1);
+        assert_eq!(c.stream_chunk, 1);
+        assert_eq!(c.stream_credits, 1);
     }
 }

@@ -72,7 +72,10 @@ use crate::config::ServeConfig;
 use crate::faults::{self, FaultLayer, FaultPoint};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use fractalcloud_core::workspace::{global_pool, workspace_mode, Pool, WorkspaceMode};
-use fractalcloud_core::{CancelToken, Pipeline, PipelineConfig, PipelineOutput, Workspace};
+use fractalcloud_core::{
+    fnv1a64, CancelToken, LodSlice, Pipeline, PipelineConfig, PipelineOutput, Workspace,
+    FNV1A64_SEED,
+};
 use fractalcloud_obs as obs;
 use fractalcloud_pnn::{Aggregation, InferOutput, InferenceConfig, ModelConfig, NetworkExecutor};
 use fractalcloud_pointcloud::ops::OpCounters;
@@ -288,6 +291,21 @@ pub struct InferResponse {
 enum EngineResponse {
     Frame(FrameResponse),
     Infer(InferResponse),
+    Chunk(StreamChunkResponse),
+}
+
+/// One coarse-to-fine refinement slice of a streamed frame: samples
+/// `slice.lo..slice.hi` of the frame's quality ordering, with their
+/// neighbor rows — the engine-side payload behind a `CHUNK` wire frame.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StreamChunkResponse {
+    /// The per-block refinement deltas (see
+    /// [`PipelineOutput::slice_level`]).
+    pub slice: LodSlice,
+    /// True when the frame's partition came from the LRU cache (the same
+    /// flag a direct request reports, so accumulated chunks reproduce a
+    /// direct response byte-for-byte on a warm frame).
+    pub cache_hit: bool,
 }
 
 /// Engine lifecycle states (stored in an `AtomicU8`).
@@ -399,7 +417,7 @@ impl Ticket {
             // Unreachable by construction: a `Ticket` is only minted by the
             // frame-submitting paths. Kept total so a logic error surfaces
             // as an error, never a panic in a waiter.
-            Ok(EngineResponse::Infer(_)) => Err(ServeError::Internal),
+            Ok(_) => Err(ServeError::Internal),
             Err(e) => Err(e),
         }
     }
@@ -412,7 +430,7 @@ impl Ticket {
     pub fn wait_timeout(self, timeout: Duration) -> Option<Result<FrameResponse, ServeError>> {
         match self.wait_any_timeout(timeout) {
             Some(Ok(EngineResponse::Frame(r))) => Some(Ok(r)),
-            Some(Ok(EngineResponse::Infer(_))) => Some(Err(ServeError::Internal)),
+            Some(Ok(_)) => Some(Err(ServeError::Internal)),
             Some(Err(e)) => Some(Err(e)),
             None => None,
         }
@@ -444,7 +462,7 @@ impl InferTicket {
     pub fn wait(self) -> Result<InferResponse, ServeError> {
         match self.inner.wait_any() {
             Ok(EngineResponse::Infer(r)) => Ok(r),
-            Ok(EngineResponse::Frame(_)) => Err(ServeError::Internal),
+            Ok(_) => Err(ServeError::Internal),
             Err(e) => Err(e),
         }
     }
@@ -453,7 +471,43 @@ impl InferTicket {
     pub fn wait_timeout(self, timeout: Duration) -> Option<Result<InferResponse, ServeError>> {
         match self.inner.wait_any_timeout(timeout) {
             Some(Ok(EngineResponse::Infer(r))) => Some(Ok(r)),
-            Some(Ok(EngineResponse::Frame(_))) => Some(Err(ServeError::Internal)),
+            Some(Ok(_)) => Some(Err(ServeError::Internal)),
+            Some(Err(e)) => Some(Err(e)),
+            None => None,
+        }
+    }
+}
+
+/// Handle to one in-flight streaming chunk; redeem with
+/// [`StreamTicket::wait`]. Same completion contract as [`Ticket`].
+#[derive(Debug)]
+pub struct StreamTicket {
+    inner: Ticket,
+}
+
+impl StreamTicket {
+    /// The flight-recorder request id, as [`Ticket::request_id`].
+    pub fn request_id(&self) -> u64 {
+        self.inner.request_id()
+    }
+
+    /// Blocks until the chunk (or terminal error) is ready.
+    pub fn wait(self) -> Result<StreamChunkResponse, ServeError> {
+        match self.inner.wait_any() {
+            Ok(EngineResponse::Chunk(r)) => Ok(r),
+            Ok(_) => Err(ServeError::Internal),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// [`Ticket::wait_timeout`], for streaming chunks.
+    pub fn wait_timeout(
+        self,
+        timeout: Duration,
+    ) -> Option<Result<StreamChunkResponse, ServeError>> {
+        match self.inner.wait_any_timeout(timeout) {
+            Some(Ok(EngineResponse::Chunk(r))) => Some(Ok(r)),
+            Some(Ok(_)) => Some(Err(ServeError::Internal)),
             Some(Err(e)) => Some(Err(e)),
             None => None,
         }
@@ -544,8 +598,15 @@ impl Drop for TicketGuard {
 /// What a queued job executes: a stage-1 frame, or a full network forward
 /// pass fed by that same stage-1 output.
 enum WorkKind {
-    /// Sampling + grouping only — the original PROCESS_FRAME request.
-    Frame,
+    /// Sampling + grouping — the original PROCESS_FRAME request. A
+    /// non-zero `budget` truncates the frame's quality ordering to its
+    /// first `budget` samples (bit-identical to the prefix of a full run);
+    /// 0 runs the full depth.
+    Frame { budget: usize },
+    /// One progressive-LOD refinement slice: samples `lo..hi` of the
+    /// frame's quality ordering, cut from the cached (or freshly computed)
+    /// full-depth output.
+    Stream { lo: usize, hi: usize },
     /// End-to-end inference through the shared, pre-materialized executor
     /// (one per distinct `(model, seed, aggregation)`, cached engine-wide).
     Infer { executor: Arc<NetworkExecutor> },
@@ -799,8 +860,64 @@ impl Engine {
         priority: Priority,
         deadline: Option<Duration>,
     ) -> Result<Ticket, ServeError> {
-        let compat = config.compat_key();
-        self.admit(cloud, config, compat, WorkKind::Frame, priority, deadline)
+        self.submit_shared_budget(cloud, config, 0, priority, deadline)
+    }
+
+    /// [`Engine::submit_shared_with_options`] with a sample budget: a
+    /// non-zero `budget` answers with only the first `budget` samples of
+    /// the frame's quality ordering (and their neighbor rows) —
+    /// bit-identical to the prefix of the full response, computed at
+    /// proportionally lower cost. 0 = full depth.
+    ///
+    /// Budgeted jobs carry a budget-specific batch-compat key, so they
+    /// fuse only with jobs of the same budget and never dilute the
+    /// full-depth block-batching fast path.
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::submit_with_priority`].
+    pub fn submit_shared_budget(
+        &self,
+        cloud: Arc<PointCloud>,
+        config: PipelineConfig,
+        budget: usize,
+        priority: Priority,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, ServeError> {
+        let compat = match budget {
+            0 => config.compat_key(),
+            b => fnv1a64(fnv1a64(config.compat_key(), 0x4c4f_4442), b as u64),
+        };
+        self.admit(cloud, config, compat, WorkKind::Frame { budget }, priority, deadline)
+    }
+
+    /// Admits one progressive-LOD refinement chunk: samples `lo..hi` of
+    /// the frame's quality ordering. The full-depth ordering is computed
+    /// once per `(frame, config)` and cached engine-wide, so N viewers
+    /// streaming the same frame share one FPS — each chunk job is then a
+    /// pure slice. The TCP front-end submits the first-paint chunk at the
+    /// requester's priority and every refinement chunk at
+    /// [`Priority::Bulk`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::submit_with_priority`].
+    pub fn submit_stream_chunk(
+        &self,
+        cloud: Arc<PointCloud>,
+        config: PipelineConfig,
+        lo: usize,
+        hi: usize,
+        priority: Priority,
+        deadline: Option<Duration>,
+    ) -> Result<StreamTicket, ServeError> {
+        // Distinct compat tag: chunk jobs fuse with each other (per-job
+        // lanes) but never gate a pure frame batch off its block-batching
+        // fast path.
+        let compat = fnv1a64(config.compat_key(), 0x5354_524d);
+        let ticket =
+            self.admit(cloud, config, compat, WorkKind::Stream { lo, hi }, priority, deadline)?;
+        Ok(StreamTicket { inner: ticket })
     }
 
     /// Validates and admits one inference request, returning an
@@ -1069,6 +1186,7 @@ impl Engine {
             trace_enabled: trace.enabled,
             trace_capacity: trace.capacity,
             trace_dropped: trace.dropped,
+            streams_open: snapshot.streams_opened.saturating_sub(snapshot.streams_closed),
         }
     }
 
@@ -1155,6 +1273,10 @@ pub struct EngineHealth {
     /// Trace events lost to ring wraparound — nonzero warns a scraper that
     /// a `TRACE_DUMP` is truncated.
     pub trace_dropped: u64,
+    /// Progressive-LOD streams currently open (opened − closed). A value
+    /// that stays above zero while no client is connected is a hung
+    /// stream.
+    pub streams_open: u64,
 }
 
 impl Drop for Engine {
@@ -1480,7 +1602,7 @@ fn execute_batch(shared: &Shared, batch: &mut Vec<Job>) {
 
     if shared.cfg.batch_blocks
         && shared.cfg.thread_budget > 1
-        && batch.iter().all(|j| matches!(j.kind, WorkKind::Frame))
+        && batch.iter().all(|j| matches!(j.kind, WorkKind::Frame { budget: 0 }))
     {
         // The tentpole path: flatten the union of all frames' blocks into
         // one work list and run a single budgeted map over fused
@@ -1535,8 +1657,13 @@ fn run_job(
     ws: &mut Workspace,
 ) -> Result<EngineResponse, ServeError> {
     match kind {
-        WorkKind::Frame => {
-            execute_one(shared, cloud, config, deadline, batch_size, ws).map(EngineResponse::Frame)
+        WorkKind::Frame { budget } => {
+            execute_one(shared, cloud, config, *budget, deadline, batch_size, ws)
+                .map(EngineResponse::Frame)
+        }
+        WorkKind::Stream { lo, hi } => {
+            execute_stream_one(shared, cloud, config, *lo, *hi, deadline, ws)
+                .map(EngineResponse::Chunk)
         }
         WorkKind::Infer { executor } => {
             execute_infer_one(shared, cloud, config, executor, deadline, batch_size, ws)
@@ -1754,6 +1881,7 @@ fn execute_one(
     shared: &Shared,
     cloud: &PointCloud,
     config: PipelineConfig,
+    budget: usize,
     deadline: Option<Instant>,
     batch_size: usize,
     ws: &mut Workspace,
@@ -1767,6 +1895,30 @@ fn execute_one(
     let parallel = fractalcloud_parallel::effective_budget() > 1;
     let pipeline = Pipeline::new(config).map_err(ServeError::Invalid)?;
     let (built, cache_hit) = cached_partition(shared, &pipeline, cloud, parallel, ws)?;
+
+    if budget > 0 {
+        // Budgeted frame: the kernels run at the truncated per-block
+        // counts, so the cost is proportional to the budget — and the
+        // interleave schedule is derived from the *full* counts, so the
+        // result is bit-identical to the same-length prefix of a full run.
+        // The deadline was already checked above; a budgeted run is the
+        // short kind of work cooperative cancellation exists to protect,
+        // so it doesn't arm a token.
+        let mut out = pipeline
+            .run_with_partition_budget(cloud, &built, budget, parallel)
+            .map_err(ServeError::Invalid)?;
+        let mut resp = shared.responses.take();
+        std::mem::swap(&mut resp.sampled_indices, &mut out.sampled.indices);
+        std::mem::swap(&mut resp.neighbor_indices, &mut out.grouped.indices);
+        std::mem::swap(&mut resp.found, &mut out.grouped.found);
+        resp.num = out.grouped.num;
+        resp.blocks = out.blocks;
+        resp.sample_counters = out.sampled.counters;
+        resp.group_counters = out.grouped.counters;
+        resp.cache_hit = cache_hit;
+        resp.batch_size = batch_size;
+        return Ok(resp);
+    }
 
     let mut staging = shared.outputs.checkout();
     // Deadline-free requests keep the plain path (no CancelToken, no Arc
@@ -1838,6 +1990,76 @@ fn cached_partition(
             Ok((built, false))
         }
     }
+}
+
+/// Runs one progressive-LOD refinement chunk: samples `lo..hi` of the
+/// frame's quality ordering.
+///
+/// The full-depth [`PipelineOutput`] is the expensive half — it is computed
+/// at most once per `(frame, config)` and cached in the engine-wide
+/// ordering LRU (keyed by the frame key folded with the pipeline
+/// compatibility key, so distinct configs never alias), after which every
+/// chunk — this viewer's refinements and every other viewer of the same
+/// frame — is a pure `slice_level` copy. The reported `cache_hit` is the
+/// *partition* cache verdict, matching what a direct request for the same
+/// frame would report, so an accumulated stream is byte-identical to the
+/// equivalent budgeted response.
+fn execute_stream_one(
+    shared: &Shared,
+    cloud: &PointCloud,
+    config: PipelineConfig,
+    lo: usize,
+    hi: usize,
+    deadline: Option<Instant>,
+    ws: &mut Workspace,
+) -> Result<StreamChunkResponse, ServeError> {
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        return Err(ServeError::Shed(ShedReason::DeadlineExceeded));
+    }
+    if faults::fire(&shared.faults, FaultPoint::Block) {
+        return Err(ServeError::Internal);
+    }
+    let parallel = fractalcloud_parallel::effective_budget() > 1;
+    let pipeline = Pipeline::new(config).map_err(ServeError::Invalid)?;
+    let (built, part_hit) = cached_partition(shared, &pipeline, cloud, parallel, ws)?;
+
+    let key = frame_key(cloud, pipeline.config().threshold);
+    let order_key = fnv1a64(fnv1a64(FNV1A64_SEED, key), pipeline.config().compat_key());
+    let cached = lock_unpoisoned(&shared.cache).get_order(order_key);
+    let full = match cached {
+        Some(full) => full,
+        None => {
+            let mut out = PipelineOutput::default();
+            let run = match deadline {
+                None => pipeline.run_with_partition_into(cloud, &built, parallel, ws, &mut out),
+                Some(d) => {
+                    let cancel = CancelToken::with_deadline(d);
+                    pipeline.run_with_partition_into_cancel(
+                        cloud, &built, parallel, ws, &mut out, &cancel,
+                    )
+                }
+            };
+            run.map_err(|e| match e {
+                Error::Cancelled => ServeError::Shed(ShedReason::DeadlineExceeded),
+                other => ServeError::Invalid(other),
+            })?;
+            let full = Arc::new(out);
+            if !faults::fire(&shared.faults, FaultPoint::CacheInsert) {
+                lock_unpoisoned(&shared.cache).insert_order(order_key, Arc::clone(&full));
+            }
+            full
+        }
+    };
+
+    let span = obs::span(obs::SpanKind::ChunkEmit, hi.min(u32::MAX as usize) as u32);
+    let slice = full.slice_level(lo, hi);
+    span.done();
+    // Counted by the *engine*, not the socket writer: a cancelled stream's
+    // unexecuted chunk jobs never pass this point, so a flat
+    // `stream_chunks_sent` after STREAM_CANCEL proves the server really
+    // stopped working, not just stopped talking.
+    shared.metrics.stream_chunks_sent.fetch_add(1, Ordering::Relaxed);
+    Ok(StreamChunkResponse { slice, cache_hit: part_hit })
 }
 
 /// Runs one inference request: the frame path's partition + stage-1
@@ -2006,7 +2228,7 @@ mod tests {
             cloud: Arc::new(uniform_cube(8, 1)),
             config: PipelineConfig::default(),
             compat: 0,
-            kind: WorkKind::Frame,
+            kind: WorkKind::Frame { budget: 0 },
             priority: p,
             req: 0,
             admitted_at,

@@ -71,11 +71,11 @@ pub mod protocol;
 pub use config::ServeConfig;
 pub use engine::{
     Engine, EngineHealth, FrameResponse, InferRequest, InferResponse, InferTicket, Priority,
-    ServeError, ShedReason, Ticket,
+    ServeError, ShedReason, StreamChunkResponse, StreamTicket, Ticket,
 };
 pub use faults::{FaultKind, FaultPlan, FaultPoint};
 // Re-exported so serve clients can build an [`InferRequest`] without
 // depending on the pnn crate directly.
 pub use fractalcloud_pnn::{Aggregation, ModelConfig};
 pub use metrics::{LatencyHistogram, Metrics, MetricsSnapshot};
-pub use net::{ClientError, ServeClient, TcpServer};
+pub use net::{ClientError, ServeClient, StreamEvent, TcpServer};

@@ -153,6 +153,18 @@ pub struct Metrics {
     /// `shed_by_class`) — covers every work kind, so INFER traffic shows in
     /// the same percentiles as frames.
     pub queue_wait_by_class: [LatencyHistogram; 3],
+    /// Progressive-LOD streams opened (`OP_STREAM` requests accepted).
+    pub streams_opened: AtomicU64,
+    /// Refinement chunks computed and handed to the wire across all
+    /// streams — incremented by the *engine* when a chunk job executes, so
+    /// a cancelled stream provably stops advancing this counter.
+    pub stream_chunks_sent: AtomicU64,
+    /// Streams ended early by an explicit `STREAM_CANCEL` frame.
+    pub streams_cancelled: AtomicU64,
+    /// Streams closed for any reason (completion, cancel, disconnect,
+    /// shed). `streams_opened - streams_closed` is the live-stream gauge;
+    /// a persistent gap means a hung stream.
+    pub streams_closed: AtomicU64,
     /// MACs executed point-granular by delayed aggregation, summed over all
     /// inference served (from each forward pass's `OpCounters`).
     pub op_macs_moved: AtomicU64,
@@ -195,6 +207,10 @@ impl Default for Metrics {
             latency_by_class: std::array::from_fn(|_| LatencyHistogram::default()),
             queue_wait: LatencyHistogram::default(),
             queue_wait_by_class: std::array::from_fn(|_| LatencyHistogram::default()),
+            streams_opened: AtomicU64::new(0),
+            stream_chunks_sent: AtomicU64::new(0),
+            streams_cancelled: AtomicU64::new(0),
+            streams_closed: AtomicU64::new(0),
             op_macs_moved: AtomicU64::new(0),
             op_macs_saved: AtomicU64::new(0),
             op_gather_bytes: AtomicU64::new(0),
@@ -266,6 +282,10 @@ impl Metrics {
             queue_wait_p99_by_class_us: std::array::from_fn(|i| {
                 self.queue_wait_by_class[i].quantile_us(0.99)
             }),
+            streams_opened: load(&self.streams_opened),
+            stream_chunks_sent: load(&self.stream_chunks_sent),
+            streams_cancelled: load(&self.streams_cancelled),
+            streams_closed: load(&self.streams_closed),
             op_macs_moved: load(&self.op_macs_moved),
             op_macs_saved: load(&self.op_macs_saved),
             op_gather_bytes: load(&self.op_gather_bytes),
@@ -336,6 +356,14 @@ pub struct MetricsSnapshot {
     pub queue_wait_p99_us: u64,
     /// p99 queue wait per priority class (µs, bucket upper bound).
     pub queue_wait_p99_by_class_us: [u64; 3],
+    /// Progressive-LOD streams opened.
+    pub streams_opened: u64,
+    /// Refinement chunks computed across all streams (engine-side count).
+    pub stream_chunks_sent: u64,
+    /// Streams ended early by explicit cancel.
+    pub streams_cancelled: u64,
+    /// Streams closed for any reason (`opened - closed` = live gauge).
+    pub streams_closed: u64,
     /// MACs executed point-granular by delayed aggregation (all inference).
     pub op_macs_moved: u64,
     /// MACs avoided versus eager aggregation (all inference).
@@ -454,6 +482,15 @@ pub(crate) fn render_prometheus(
     for (point, v) in fault_points {
         line(&mut out, "fractalcloud_faults_injected_at_total", &[("point", point)], *v as f64);
     }
+    for (event, v) in [
+        ("opened", s.streams_opened),
+        ("chunks_sent", s.stream_chunks_sent),
+        ("cancelled", s.streams_cancelled),
+        ("closed", s.streams_closed),
+    ] {
+        line(&mut out, "fractalcloud_streams_total", &[("event", event)], v as f64);
+    }
+    u(&mut out, "fractalcloud_streams_open", h.streams_open);
     for (kind, v) in [("moved", s.op_macs_moved), ("saved", s.op_macs_saved)] {
         line(&mut out, "fractalcloud_op_macs_total", &[("kind", kind)], v as f64);
     }
@@ -545,6 +582,10 @@ mod tests {
             batches: 4,
             batched_frames: 10,
             op_macs_saved: 123_456,
+            streams_opened: 5,
+            stream_chunks_sent: 17,
+            streams_cancelled: 1,
+            streams_closed: 4,
             ..Default::default()
         };
         let health = crate::EngineHealth {
@@ -559,6 +600,7 @@ mod tests {
             trace_enabled: true,
             trace_capacity: 16384,
             trace_dropped: 0,
+            streams_open: 1,
         };
         let text = render_prometheus(&snapshot, &health, &[("worker", 3)]);
         let mut lines = 0;
@@ -572,6 +614,11 @@ mod tests {
         assert!(text.contains("fractalcloud_requests_total{outcome=\"submitted\"} 12\n"));
         assert!(text.contains("fractalcloud_mean_batch 2.5\n"));
         assert!(text.contains("fractalcloud_op_macs_total{kind=\"saved\"} 123456\n"));
+        assert!(text.contains("fractalcloud_streams_total{event=\"opened\"} 5\n"));
+        assert!(text.contains("fractalcloud_streams_total{event=\"chunks_sent\"} 17\n"));
+        assert!(text.contains("fractalcloud_streams_total{event=\"cancelled\"} 1\n"));
+        assert!(text.contains("fractalcloud_streams_total{event=\"closed\"} 4\n"));
+        assert!(text.contains("fractalcloud_streams_open 1\n"));
         assert!(text.contains("fractalcloud_faults_injected_at_total{point=\"worker\"} 3\n"));
         assert!(text.contains("fractalcloud_trace_capacity_events 16384\n"));
     }

@@ -23,9 +23,12 @@ use crate::engine::{
 };
 use crate::faults::{self, FaultLayer, FaultPoint};
 use crate::protocol::{
-    self, status, WireError, WireInferRequest, WireInferResponse, WireResponse, AGG_DELAYED,
-    AGG_EAGER, MAGIC, OP_HEALTH, OP_INFER, OP_METRICS, OP_PROCESS_FRAME, OP_TRACE_DUMP,
+    self, status, WireError, WireInferRequest, WireInferResponse, WireLodSegment, WireResponse,
+    WireStreamChunk, WireStreamEnd, WireStreamOpen, AGG_DELAYED, AGG_EAGER, MAGIC, OP_HEALTH,
+    OP_INFER, OP_METRICS, OP_PROCESS_FRAME, OP_STREAM, OP_STREAM_CANCEL, OP_STREAM_CREDIT,
+    OP_TRACE_DUMP,
 };
+use fractalcloud_core::PipelineConfig;
 use fractalcloud_obs as obs;
 use fractalcloud_pnn::{Aggregation, ModelConfig};
 use std::io::{self, Read, Write};
@@ -75,6 +78,21 @@ impl FairGate {
         self.turn.notify_all();
         out
     }
+}
+
+/// Per-connection reusable wire buffers: the request-payload read buffer
+/// plus the response payload/message encode staging. A steady-state
+/// connection cycles the same three allocations for every frame instead of
+/// growing fresh ones per request — `loadgen`'s `wire-allocs/frame` line
+/// exists to watch exactly this stay flat.
+#[derive(Default)]
+struct WireScratch {
+    /// Incoming request payload (sized to each request, capacity retained).
+    request: Vec<u8>,
+    /// Outgoing response payload staging.
+    payload: Vec<u8>,
+    /// Outgoing framed message staging (header + payload).
+    message: Vec<u8>,
 }
 
 /// Decrements a thread-count gauge (active connections, or in-flight
@@ -236,6 +254,7 @@ fn handle_connection(mut stream: TcpStream, engine: &Arc<Engine>, gate: &FairGat
     }
     let metrics = engine.metrics_registry();
     let faults: Option<Arc<FaultLayer>> = engine.fault_layer().clone();
+    let mut scratch = WireScratch::default();
     loop {
         let mut header = [0u8; 9];
         match read_exact_or_eof(&mut stream, &mut header) {
@@ -259,7 +278,14 @@ fn handle_connection(mut stream: TcpStream, engine: &Arc<Engine>, gate: &FairGat
         if magic != MAGIC
             || !matches!(
                 opcode,
-                OP_PROCESS_FRAME | OP_HEALTH | OP_INFER | OP_METRICS | OP_TRACE_DUMP
+                OP_PROCESS_FRAME
+                    | OP_HEALTH
+                    | OP_INFER
+                    | OP_METRICS
+                    | OP_TRACE_DUMP
+                    | OP_STREAM
+                    | OP_STREAM_CREDIT
+                    | OP_STREAM_CANCEL
             )
         {
             // The stream cannot be resynchronized after a framing error:
@@ -296,6 +322,25 @@ fn handle_connection(mut stream: TcpStream, engine: &Arc<Engine>, gate: &FairGat
             }
             continue;
         }
+        if matches!(opcode, OP_STREAM_CREDIT | OP_STREAM_CANCEL) {
+            // Stream-control frames are only meaningful inside an open
+            // stream (consumed by [`serve_stream`]'s control reads). One
+            // landing here is the tail of an inherent race — a client
+            // replenishing credits just as the stream completed, or
+            // cancelling a stream that ended naturally — so it is silently
+            // ignored rather than rejected.
+            if payload_len != 0 {
+                metrics.net_malformed.fetch_add(1, Ordering::Relaxed);
+                if drain(&mut stream, payload_len).is_err()
+                    || write_error(&mut stream, status::MALFORMED, "opcode takes no payload")
+                        .is_err()
+                {
+                    metrics.net_disconnects.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
+            continue;
+        }
         // Old clients leave the high nibble zero → Normal; nibbles beyond
         // the known classes are a caller bug, not a framing error, so the
         // connection stays usable.
@@ -328,15 +373,54 @@ fn handle_connection(mut stream: TcpStream, engine: &Arc<Engine>, gate: &FairGat
             continue;
         }
 
-        let mut payload = vec![0u8; payload_len];
-        if stream.read_exact(&mut payload).is_err() {
+        // Reused per-connection read buffer: resized to each request,
+        // capacity retained across the connection's lifetime.
+        scratch.request.clear();
+        scratch.request.resize(payload_len, 0);
+        if stream.read_exact(&mut scratch.request).is_err() {
             // Disconnect (or stall) mid-request.
             metrics.net_disconnects.fetch_add(1, Ordering::Relaxed);
             return;
         }
 
+        if opcode == OP_STREAM {
+            match protocol::decode_stream_request_payload(&scratch.request) {
+                Err(WireError(what)) => {
+                    metrics.net_malformed.fetch_add(1, Ordering::Relaxed);
+                    if write_error(&mut stream, status::MALFORMED, what).is_err() {
+                        metrics.net_disconnects.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                }
+                Ok((cloud, config, deadline_ms, open)) => {
+                    let deadline =
+                        (deadline_ms > 0).then(|| Duration::from_millis(u64::from(deadline_ms)));
+                    match serve_stream(
+                        &mut stream,
+                        engine,
+                        gate,
+                        &faults,
+                        cloud,
+                        config,
+                        priority,
+                        deadline,
+                        &open,
+                        &mut scratch,
+                    ) {
+                        StreamExit::Continue => {}
+                        StreamExit::CloseQuiet => return,
+                        StreamExit::CloseError => {
+                            metrics.net_disconnects.fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                }
+            }
+            continue;
+        }
+
         let reply = if opcode == OP_INFER {
-            match protocol::decode_infer_request_payload(&payload) {
+            match protocol::decode_infer_request_payload(&scratch.request) {
                 Err(WireError(what)) => {
                     metrics.net_malformed.fetch_add(1, Ordering::Relaxed);
                     let r = write_error(&mut stream, status::MALFORMED, what);
@@ -391,13 +475,13 @@ fn handle_connection(mut stream: TcpStream, engine: &Arc<Engine>, gate: &FairGat
                     }
                     let _trace = obs::scoped_context(trace_req, priority.index() as u8);
                     match outcome {
-                        Ok(resp) => write_infer_ok(&mut stream, &resp),
+                        Ok(resp) => write_infer_ok(&mut stream, &resp, &mut scratch),
                         Err(e) => write_error(&mut stream, error_status(&e), &e.to_string()),
                     }
                 }
             }
         } else {
-            match protocol::decode_request_payload(&payload) {
+            match protocol::decode_request_payload(&scratch.request) {
                 Err(WireError(what)) => {
                     metrics.net_malformed.fetch_add(1, Ordering::Relaxed);
                     let r = write_error(&mut stream, status::MALFORMED, what);
@@ -408,16 +492,23 @@ fn handle_connection(mut stream: TcpStream, engine: &Arc<Engine>, gate: &FairGat
                     // Framing was intact — the connection may continue.
                     continue;
                 }
-                Ok((cloud, config, deadline_ms)) => {
+                Ok((cloud, config, deadline_ms, budget)) => {
                     let deadline =
                         (deadline_ms > 0).then(|| Duration::from_millis(u64::from(deadline_ms)));
                     // Round-robin admission: the submission (queue push) takes
                     // its fairness turn; the wait for the response happens
                     // outside the gate so slow frames don't block other
-                    // connections' admissions.
-                    let (trace_req, outcome) = match gate
-                        .admit(|| engine.submit_with_options(cloud, config, priority, deadline))
-                    {
+                    // connections' admissions. A non-zero wire budget runs
+                    // the truncated (prefix-identical) frame.
+                    let (trace_req, outcome) = match gate.admit(|| {
+                        engine.submit_shared_budget(
+                            Arc::new(cloud),
+                            config,
+                            budget as usize,
+                            priority,
+                            deadline,
+                        )
+                    }) {
                         Ok(ticket) => (ticket.request_id(), ticket.wait()),
                         Err(e) => (0, Err(e)),
                     };
@@ -429,7 +520,7 @@ fn handle_connection(mut stream: TcpStream, engine: &Arc<Engine>, gate: &FairGat
                     }
                     let _trace = obs::scoped_context(trace_req, priority.index() as u8);
                     match outcome {
-                        Ok(resp) => write_ok(&mut stream, &resp),
+                        Ok(resp) => write_ok(&mut stream, &resp, &mut scratch),
                         Err(e) => write_error(&mut stream, error_status(&e), &e.to_string()),
                     }
                 }
@@ -475,6 +566,268 @@ fn read_exact_or_eof(stream: &mut TcpStream, buf: &mut [u8]) -> io::Result<ReadO
     Ok(ReadOutcome::Full)
 }
 
+/// How [`serve_stream`] left the connection.
+enum StreamExit {
+    /// The stream ended (completed or cancelled); the connection may serve
+    /// further requests.
+    Continue,
+    /// The peer went away cleanly mid-stream (EOF on a control read) — a
+    /// viewer closing its tab, not an error.
+    CloseQuiet,
+    /// Transport or framing failure; the caller counts a disconnect.
+    CloseError,
+}
+
+/// Outcome of one chunk: submitted, executed, encoded, written.
+enum ChunkOutcome {
+    /// Chunk delivered; the stream advanced to depth `hi` of `total`.
+    Sent { hi: usize, total: usize },
+    /// The engine refused the chunk (shed/invalid); an error frame was
+    /// written and the stream is over, but the connection survives.
+    Refused,
+    /// The transport died (or a write fault fired).
+    Dead,
+}
+
+/// One stream-control read's verdict.
+enum ControlRead {
+    /// Nothing pending (non-blocking poll only).
+    None,
+    /// `OP_STREAM_CREDIT`: one more refinement chunk is welcome.
+    Credit,
+    /// `OP_STREAM_CANCEL`: stop refining now.
+    Cancel,
+    /// Clean EOF — the peer is gone.
+    Eof,
+    /// Framing violation or transport error.
+    Bad,
+}
+
+/// Drives one progressive-LOD stream: first paint at the requester's
+/// priority, then credit-gated refinement chunks at [`Priority::Bulk`]
+/// until the ordering is exhausted, the client cancels, or the peer goes
+/// away. Every chunk is its own engine job, so a cancel takes effect at
+/// chunk granularity — the engine-side `stream_chunks_sent` counter stops
+/// advancing, which is how tests prove the server stopped *working*, not
+/// just stopped talking.
+#[allow(clippy::too_many_arguments)]
+fn serve_stream(
+    stream: &mut TcpStream,
+    engine: &Arc<Engine>,
+    gate: &FairGate,
+    faults: &Option<Arc<FaultLayer>>,
+    cloud: fractalcloud_pointcloud::PointCloud,
+    config: PipelineConfig,
+    priority: Priority,
+    deadline: Option<Duration>,
+    open: &WireStreamOpen,
+    scratch: &mut WireScratch,
+) -> StreamExit {
+    let metrics = engine.metrics_registry();
+    metrics.streams_opened.fetch_add(1, Ordering::Relaxed);
+    // Every exit path balances the open/closed pair through this guard —
+    // `opened − closed` staying above zero with no client connected is the
+    // hung-stream signal CI greps for.
+    struct CloseGuard<'a>(&'a crate::metrics::Metrics);
+    impl Drop for CloseGuard<'_> {
+        fn drop(&mut self) {
+            self.0.streams_closed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    let _close = CloseGuard(metrics);
+
+    let cfg = engine.config();
+    let pick = |wire: u32, default: usize| if wire == 0 { default } else { wire as usize };
+    let first_paint = pick(open.first_paint, cfg.stream_first_paint);
+    let chunk_size = pick(open.chunk, cfg.stream_chunk);
+    let mut credits = pick(open.credits, cfg.stream_credits);
+
+    let cloud = Arc::new(cloud);
+    let mut seq = 0u32;
+
+    // First paint: admitted at the requester's priority — it is the
+    // time-to-first-point the viewer sees — and never credit-gated.
+    #[rustfmt::skip]
+    let first = run_chunk(
+        stream, engine, gate, faults, &cloud, config, 0, first_paint, priority, deadline,
+        &mut seq, scratch,
+    );
+    let (mut depth, total) = match first {
+        ChunkOutcome::Sent { hi, total } => (hi, total),
+        ChunkOutcome::Refused => return StreamExit::Continue,
+        ChunkOutcome::Dead => return StreamExit::CloseError,
+    };
+
+    while depth < total {
+        // Consume queued control frames before each refinement — blocking
+        // only when out of credits, so a cancel takes effect even while
+        // credits remain.
+        loop {
+            match read_control(stream, credits == 0) {
+                ControlRead::None => break,
+                ControlRead::Credit => credits += 1,
+                ControlRead::Cancel => {
+                    metrics.streams_cancelled.fetch_add(1, Ordering::Relaxed);
+                    return finish_stream(stream, faults, seq, depth, true, scratch);
+                }
+                ControlRead::Eof => return StreamExit::CloseQuiet,
+                ControlRead::Bad => return StreamExit::CloseError,
+            }
+        }
+        credits -= 1;
+        let hi = (depth + chunk_size).min(total);
+        // Refinements ride the Bulk class: a viewer's deep tail must never
+        // displace another viewer's first paint.
+        #[rustfmt::skip]
+        let next = run_chunk(
+            stream, engine, gate, faults, &cloud, config, depth, hi, Priority::Bulk, deadline,
+            &mut seq, scratch,
+        );
+        match next {
+            ChunkOutcome::Sent { hi, .. } => depth = hi,
+            ChunkOutcome::Refused => return StreamExit::Continue,
+            ChunkOutcome::Dead => return StreamExit::CloseError,
+        }
+    }
+    finish_stream(stream, faults, seq, depth, false, scratch)
+}
+
+/// Submits one chunk job through the fairness gate, waits for its slice,
+/// and writes it as a [`status::CHUNK`] frame through the connection's
+/// scratch buffers.
+#[allow(clippy::too_many_arguments)]
+fn run_chunk(
+    stream: &mut TcpStream,
+    engine: &Arc<Engine>,
+    gate: &FairGate,
+    faults: &Option<Arc<FaultLayer>>,
+    cloud: &Arc<fractalcloud_pointcloud::PointCloud>,
+    config: PipelineConfig,
+    lo: usize,
+    hi: usize,
+    priority: Priority,
+    deadline: Option<Duration>,
+    seq: &mut u32,
+    scratch: &mut WireScratch,
+) -> ChunkOutcome {
+    let outcome = match gate
+        .admit(|| engine.submit_stream_chunk(Arc::clone(cloud), config, lo, hi, priority, deadline))
+    {
+        Ok(ticket) => ticket.wait(),
+        Err(e) => Err(e),
+    };
+    if faults::fire(faults, FaultPoint::NetWrite) {
+        return ChunkOutcome::Dead;
+    }
+    match outcome {
+        Ok(resp) => {
+            *seq += 1;
+            let slice = &resp.slice;
+            let encode_span = obs::span(obs::SpanKind::WireEncode, 0);
+            let wire = WireStreamChunk {
+                seq: *seq,
+                lo: slice.lo as u32,
+                hi: slice.hi as u32,
+                total: slice.total as u32,
+                blocks: slice.blocks as u32,
+                num: slice.num as u32,
+                cache_hit: resp.cache_hit,
+                segments: slice
+                    .segments
+                    .iter()
+                    .map(|s| WireLodSegment {
+                        block: s.block as u32,
+                        sampled: s.sampled.iter().map(|&i| i as u32).collect(),
+                        grouped: s.grouped.iter().map(|&i| i as u32).collect(),
+                        found: s.found.iter().map(|&i| i as u32).collect(),
+                    })
+                    .collect(),
+            };
+            scratch.payload.clear();
+            protocol::encode_stream_chunk_into(&wire, &mut scratch.payload);
+            scratch.message.clear();
+            protocol::encode_message_into(status::CHUNK, &scratch.payload, &mut scratch.message);
+            encode_span.done();
+            let write_span = obs::span(obs::SpanKind::WireWrite, 0);
+            let w = stream.write_all(&scratch.message);
+            write_span.done();
+            if w.is_err() {
+                return ChunkOutcome::Dead;
+            }
+            ChunkOutcome::Sent { hi: slice.hi, total: slice.total }
+        }
+        Err(e) => {
+            if write_error(stream, error_status(&e), &e.to_string()).is_err() {
+                ChunkOutcome::Dead
+            } else {
+                ChunkOutcome::Refused
+            }
+        }
+    }
+}
+
+/// Terminates a stream with its [`status::STREAM_END`] summary frame.
+fn finish_stream(
+    stream: &mut TcpStream,
+    faults: &Option<Arc<FaultLayer>>,
+    chunks: u32,
+    delivered: usize,
+    cancelled: bool,
+    scratch: &mut WireScratch,
+) -> StreamExit {
+    let end = WireStreamEnd { chunks, delivered: delivered as u32, cancelled };
+    scratch.payload.clear();
+    protocol::encode_stream_end_into(&end, &mut scratch.payload);
+    scratch.message.clear();
+    protocol::encode_message_into(status::STREAM_END, &scratch.payload, &mut scratch.message);
+    if faults::fire(faults, FaultPoint::NetWrite) || stream.write_all(&scratch.message).is_err() {
+        StreamExit::CloseError
+    } else {
+        StreamExit::Continue
+    }
+}
+
+/// Reads one stream-control frame (header-only by contract). Non-blocking
+/// mode *peeks* first and only consumes a complete 9-byte header, so a
+/// partially arrived frame is left queued intact for the next poll.
+fn read_control(stream: &mut TcpStream, blocking: bool) -> ControlRead {
+    let mut header = [0u8; 9];
+    if !blocking {
+        if stream.set_nonblocking(true).is_err() {
+            return ControlRead::Bad;
+        }
+        let peeked = stream.peek(&mut header);
+        if stream.set_nonblocking(false).is_err() {
+            return ControlRead::Bad;
+        }
+        match peeked {
+            Ok(0) => return ControlRead::Eof,
+            Ok(n) if n < header.len() => return ControlRead::None,
+            Ok(_) => {}
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return ControlRead::None,
+            Err(_) => return ControlRead::Bad,
+        }
+    }
+    match read_exact_or_eof(stream, &mut header) {
+        Ok(ReadOutcome::Eof) => return ControlRead::Eof,
+        Ok(ReadOutcome::Full) => {}
+        Err(_) => return ControlRead::Bad,
+    }
+    let magic = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+    let (opcode, _nibble) = protocol::split_kind(header[4]);
+    let payload_len = u32::from_le_bytes(header[5..9].try_into().expect("4 bytes"));
+    if magic != MAGIC || payload_len != 0 {
+        return ControlRead::Bad;
+    }
+    match opcode {
+        OP_STREAM_CREDIT => ControlRead::Credit,
+        OP_STREAM_CANCEL => ControlRead::Cancel,
+        // Any other frame mid-stream is a pipelining violation the framing
+        // cannot recover from.
+        _ => ControlRead::Bad,
+    }
+}
+
 fn error_status(e: &ServeError) -> u8 {
     match e {
         ServeError::Shed(ShedReason::QueueFull) => status::QUEUE_FULL,
@@ -486,7 +839,11 @@ fn error_status(e: &ServeError) -> u8 {
     }
 }
 
-fn write_ok(stream: &mut TcpStream, resp: &FrameResponse) -> io::Result<()> {
+fn write_ok(
+    stream: &mut TcpStream,
+    resp: &FrameResponse,
+    scratch: &mut WireScratch,
+) -> io::Result<()> {
     let encode_span = obs::span(obs::SpanKind::WireEncode, 0);
     let wire = WireResponse {
         sampled_indices: resp.sampled_indices.iter().map(|&i| i as u32).collect(),
@@ -497,14 +854,20 @@ fn write_ok(stream: &mut TcpStream, resp: &FrameResponse) -> io::Result<()> {
         cache_hit: resp.cache_hit,
         batch_size: resp.batch_size as u32,
     };
-    let payload = protocol::encode_response_payload(&wire);
-    let message = protocol::encode_message(status::OK, &payload);
+    scratch.payload.clear();
+    protocol::encode_response_payload_into(&wire, &mut scratch.payload);
+    scratch.message.clear();
+    protocol::encode_message_into(status::OK, &scratch.payload, &mut scratch.message);
     encode_span.done();
     let _write_span = obs::span(obs::SpanKind::WireWrite, 0);
-    stream.write_all(&message)
+    stream.write_all(&scratch.message)
 }
 
-fn write_infer_ok(stream: &mut TcpStream, resp: &InferResponse) -> io::Result<()> {
+fn write_infer_ok(
+    stream: &mut TcpStream,
+    resp: &InferResponse,
+    scratch: &mut WireScratch,
+) -> io::Result<()> {
     let encode_span = obs::span(obs::SpanKind::WireEncode, 0);
     let wire = WireInferResponse {
         classes: resp.output.classes as u32,
@@ -519,11 +882,13 @@ fn write_infer_ok(stream: &mut TcpStream, resp: &InferResponse) -> io::Result<()
         // bit-identical to the in-process one.
         logits: resp.output.logits.clone(),
     };
-    let payload = protocol::encode_infer_response_payload(&wire);
-    let message = protocol::encode_message(status::OK, &payload);
+    scratch.payload.clear();
+    protocol::encode_infer_response_payload_into(&wire, &mut scratch.payload);
+    scratch.message.clear();
+    protocol::encode_message_into(status::OK, &scratch.payload, &mut scratch.message);
     encode_span.done();
     let _write_span = obs::span(obs::SpanKind::WireWrite, 0);
-    stream.write_all(&message)
+    stream.write_all(&scratch.message)
 }
 
 fn write_error(stream: &mut TcpStream, code: u8, message: &str) -> io::Result<()> {
@@ -584,6 +949,15 @@ impl From<io::Error> for ClientError {
     fn from(e: io::Error) -> ClientError {
         ClientError::Io(e)
     }
+}
+
+/// One frame of an open progressive-LOD stream, as the client sees it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamEvent {
+    /// A coarse-to-fine refinement slice ([`status::CHUNK`]).
+    Chunk(WireStreamChunk),
+    /// The terminating summary ([`status::STREAM_END`]).
+    End(WireStreamEnd),
 }
 
 /// A blocking client for the TCP front-end.
@@ -724,6 +1098,146 @@ impl ServeClient {
             });
         }
         protocol::decode_response_payload(&payload).map_err(ClientError::Protocol)
+    }
+
+    /// [`ServeClient::process_with_options`] with a sample budget: a
+    /// non-zero `budget` asks the server to answer with only the first
+    /// `budget` samples of the frame's coarse-to-fine quality ordering —
+    /// byte-identical to the prefix of the full response, at
+    /// proportionally lower cost (0 = full depth).
+    ///
+    /// # Errors
+    ///
+    /// As [`ServeClient::process_with_priority`].
+    pub fn process_budget(
+        &mut self,
+        cloud: &fractalcloud_pointcloud::PointCloud,
+        config: &fractalcloud_core::PipelineConfig,
+        priority: Priority,
+        deadline_ms: u32,
+        budget: u32,
+    ) -> Result<WireResponse, ClientError> {
+        let payload = protocol::encode_request_payload_budget(cloud, config, deadline_ms, budget);
+        self.stream
+            .write_all(&protocol::encode_message(protocol::request_kind(priority), &payload))?;
+        let (code, payload) = self.read_reply()?;
+        if code != status::OK {
+            return Err(ClientError::Server {
+                code,
+                message: String::from_utf8_lossy(&payload).into_owned(),
+            });
+        }
+        protocol::decode_response_payload(&payload).map_err(ClientError::Protocol)
+    }
+
+    /// Opens a progressive-LOD stream ([`OP_STREAM`]) for one frame. The
+    /// server answers with a first-paint [`StreamEvent::Chunk`] at this
+    /// request's priority, then refinement chunks (server-side
+    /// [`Priority::Bulk`]) as credits allow — read them with
+    /// [`ServeClient::stream_next`], replenish with
+    /// [`ServeClient::stream_credit`], stop early with
+    /// [`ServeClient::cancel`]. Zero fields in `open` select the server's
+    /// configured defaults.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] for transport failures.
+    pub fn stream_open(
+        &mut self,
+        cloud: &fractalcloud_pointcloud::PointCloud,
+        config: &fractalcloud_core::PipelineConfig,
+        priority: Priority,
+        deadline_ms: u32,
+        open: &WireStreamOpen,
+    ) -> Result<(), ClientError> {
+        let payload = protocol::encode_stream_request_payload(cloud, config, deadline_ms, open);
+        self.stream.write_all(&protocol::encode_message(
+            protocol::stream_request_kind(priority),
+            &payload,
+        ))?;
+        Ok(())
+    }
+
+    /// Reads the next frame of the open stream.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] when the server aborts the stream with an
+    /// error status; [`ClientError::Io`]/[`ClientError::Protocol`] for
+    /// transport and framing failures.
+    pub fn stream_next(&mut self) -> Result<StreamEvent, ClientError> {
+        let (code, payload) = self.read_reply()?;
+        match code {
+            status::CHUNK => protocol::decode_stream_chunk_payload(&payload)
+                .map(StreamEvent::Chunk)
+                .map_err(ClientError::Protocol),
+            status::STREAM_END => protocol::decode_stream_end_payload(&payload)
+                .map(StreamEvent::End)
+                .map_err(ClientError::Protocol),
+            code => Err(ClientError::Server {
+                code,
+                message: String::from_utf8_lossy(&payload).into_owned(),
+            }),
+        }
+    }
+
+    /// Grants the server one more refinement chunk ([`OP_STREAM_CREDIT`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] for transport failures.
+    pub fn stream_credit(&mut self) -> Result<(), ClientError> {
+        self.stream.write_all(&protocol::encode_message(OP_STREAM_CREDIT, &[]))?;
+        Ok(())
+    }
+
+    /// Asks the server to stop refining the open stream
+    /// ([`OP_STREAM_CANCEL`]). The server still terminates the stream with
+    /// a [`StreamEvent::End`] — keep reading [`ServeClient::stream_next`]
+    /// (skipping chunks already in flight) until it arrives. Cancelling a
+    /// stream that just completed naturally is harmless: the stray frame is
+    /// ignored server-side.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] for transport failures.
+    pub fn cancel(&mut self) -> Result<(), ClientError> {
+        self.stream.write_all(&protocol::encode_message(OP_STREAM_CANCEL, &[]))?;
+        Ok(())
+    }
+
+    /// Drives one frame's stream to completion: opens it, folds every
+    /// chunk into a [`protocol::StreamAccumulator`] (replenishing one
+    /// credit per consumed refinement so the window never starves), and
+    /// returns the accumulated response — byte-identical to a direct
+    /// request with `budget = depth reached` — plus the stream summary.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServeClient::stream_next`]; additionally
+    /// [`ClientError::Protocol`] when chunks arrive non-contiguous or
+    /// geometry-inconsistent.
+    pub fn stream_frame(
+        &mut self,
+        cloud: &fractalcloud_pointcloud::PointCloud,
+        config: &fractalcloud_core::PipelineConfig,
+        priority: Priority,
+        deadline_ms: u32,
+        open: &WireStreamOpen,
+    ) -> Result<(WireResponse, WireStreamEnd), ClientError> {
+        self.stream_open(cloud, config, priority, deadline_ms, open)?;
+        let mut acc = protocol::StreamAccumulator::new();
+        loop {
+            match self.stream_next()? {
+                StreamEvent::Chunk(chunk) => {
+                    acc.push(&chunk).map_err(ClientError::Protocol)?;
+                    if acc.depth() < acc.total() {
+                        self.stream_credit()?;
+                    }
+                }
+                StreamEvent::End(end) => return Ok((acc.response(), end)),
+            }
+        }
     }
 
     /// Sends one [`Priority::Normal`] inference request ([`OP_INFER`]) and

@@ -7,11 +7,19 @@
 //! ```text
 //! request  := magic:u32 kind:u8 payload_len:u32 payload
 //!   kind: low nibble = opcode (1 = PROCESS_FRAME, 2 = HEALTH, 3 = INFER,
-//!         4 = METRICS, 5 = TRACE_DUMP)
+//!         4 = METRICS, 5 = TRACE_DUMP, 6 = STREAM, 7 = STREAM_CREDIT,
+//!         8 = STREAM_CANCEL)
 //!         high nibble = priority (0 = normal, 1 = high, 2 = bulk)
 //!   payload (opcode PROCESS_FRAME):
 //!     threshold:u32 sample_rate:f64 radius:f32 neighbors:u32
-//!     n_points:u32 (x:f32 y:f32 z:f32){n_points} [deadline_ms:u32]
+//!     n_points:u32 (x:f32 y:f32 z:f32){n_points}
+//!     [deadline_ms:u32 [budget:u32]]
+//!   payload (opcode STREAM):
+//!     threshold:u32 sample_rate:f64 radius:f32 neighbors:u32
+//!     n_points:u32 (x:f32 y:f32 z:f32){n_points}
+//!     deadline_ms:u32 first_paint:u32 chunk:u32 credits:u32
+//!   payload (opcode STREAM_CREDIT): empty (grants ONE refinement chunk)
+//!   payload (opcode STREAM_CANCEL): empty
 //!   payload (opcode HEALTH): empty
 //!   payload (opcode INFER):
 //!     threshold:u32 seed:u64 aggregation:u8 (0 = server default,
@@ -32,7 +40,7 @@
 //!     queued_high:u64 queued_normal:u64 queued_bulk:u64
 //!     last_progress_age_ms:u64 worker_panics:u64 workers_respawned:u64
 //!     uptime_ms:u64 trace_enabled:u8 trace_capacity:u64
-//!     trace_dropped:u64
+//!     trace_dropped:u64 streams_open:u64
 //!   payload (status OK, METRICS): UTF-8 Prometheus-style exposition text
 //!   payload (status OK, TRACE_DUMP): UTF-8 Chrome trace-event JSON
 //!     (draining the flight recorder)
@@ -40,8 +48,28 @@
 //!     classes:u32 cache_hit:u8 batch_size:u32 aggregation:u8 (1|2)
 //!     macs_moved:u64 macs_saved:u64 gather_bytes:u64
 //!     n_rows:u32 row_index:u32{n_rows} logits:f32{n_rows*classes}
-//!   payload (status != OK): UTF-8 human-readable reason
+//!   payload (status CHUNK, STREAM):
+//!     seq:u32 lo:u32 hi:u32 total:u32 blocks:u32 num:u32 cache_hit:u8
+//!     n_segments:u32 segment{n_segments}
+//!       segment := block:u32 count:u32 sampled:u32{count}
+//!                  grouped:u32{count*num} found:u32{count}
+//!   payload (status STREAM_END, STREAM):
+//!     chunks:u32 delivered:u32 cancelled:u8
+//!   payload (status != OK/CHUNK/STREAM_END): UTF-8 human-readable reason
 //! ```
+//!
+//! A STREAM exchange is one request followed by a CHUNK frame per
+//! coarse-to-fine refinement slice and a terminating STREAM_END (or a
+//! plain error status, which also ends the stream). Flow control is
+//! credit-based: the opening request carries an initial refinement budget,
+//! and each (empty) STREAM_CREDIT frame from the client grants exactly one
+//! more refinement chunk — the first-paint chunk is never gated. The
+//! client may send STREAM_CANCEL at any depth; the server stops slicing,
+//! answers STREAM_END with `cancelled = 1`, and the connection returns to
+//! the ordinary request/response loop. Concatenating the per-block
+//! segments of chunks `1..=n` reproduces byte-for-byte the PROCESS_FRAME
+//! response a direct `budget = hi_n` request returns (see
+//! [`StreamAccumulator`]).
 //!
 //! Inference logits cross the wire as raw little-endian `f32` bit
 //! patterns, so a TCP round-trip is *bit-identical* to the in-process
@@ -99,11 +127,35 @@ pub const OP_METRICS: u8 = 4;
 /// event. The priority nibble is ignored.
 pub const OP_TRACE_DUMP: u8 = 5;
 
+/// Request opcode: open a progressive LOD stream over a frame. The server
+/// answers with a first-paint [`status::CHUNK`] at the request's priority,
+/// then credit-gated refinement chunks (demoted to bulk internally), then
+/// [`status::STREAM_END`]. Payload is the PROCESS_FRAME layout with a
+/// *required* trailer: `deadline_ms first_paint chunk credits` (see
+/// [`WireStreamOpen`]).
+pub const OP_STREAM: u8 = 6;
+
+/// Mid-stream client frame: grant one more refinement chunk. Empty
+/// payload; only valid while a STREAM exchange is open.
+pub const OP_STREAM_CREDIT: u8 = 7;
+
+/// Mid-stream client frame: stop refining at the current depth. Empty
+/// payload; the server answers [`status::STREAM_END`] with
+/// `cancelled = 1`.
+pub const OP_STREAM_CANCEL: u8 = 8;
+
 /// Builds a request kind byte: opcode in the low nibble, priority in the
 /// high nibble. A [`Priority::Normal`] request is byte-identical to what a
 /// pre-priority client sends.
 pub fn request_kind(priority: Priority) -> u8 {
     OP_PROCESS_FRAME | (priority.to_wire() << 4)
+}
+
+/// Builds an [`OP_STREAM`] request kind byte, priority in the high nibble
+/// (the class the first-paint chunk rides; refinement is demoted to bulk
+/// server-side).
+pub fn stream_request_kind(priority: Priority) -> u8 {
+    OP_STREAM | (priority.to_wire() << 4)
 }
 
 /// Builds an [`OP_INFER`] request kind byte, priority in the high nibble.
@@ -119,6 +171,13 @@ pub fn split_kind(kind: u8) -> (u8, u8) {
 
 /// Fixed request-payload bytes before the coordinate triplets.
 pub const REQUEST_FIXED_BYTES: usize = 4 + 8 + 4 + 4 + 4;
+
+/// Largest trailer any request opcode appends after the coordinate
+/// triplets: the [`OP_STREAM`] trailer (`deadline_ms`, `first_paint`,
+/// `chunk`, `credits` — four `u32`s). The server's payload-size bound
+/// budgets for this on top of a `max_points` frame so a maximal frame can
+/// still carry a full trailer.
+pub const REQUEST_TRAILER_MAX_BYTES: usize = 16;
 
 /// Sanity ceiling a client applies to a server-declared response payload
 /// before allocating (a megapoint frame's response is ~20 MB; anything
@@ -149,6 +208,11 @@ pub mod status {
     /// Shed: the request's deadline expired before completion (retryable —
     /// with a fresh deadline).
     pub const DEADLINE_EXCEEDED: u8 = 8;
+    /// Streaming: one coarse-to-fine refinement chunk; more frames follow.
+    pub const CHUNK: u8 = 9;
+    /// Streaming: the stream is over (completed, cancelled, or shed); the
+    /// connection is back in the request/response loop.
+    pub const STREAM_END: u8 = 10;
 }
 
 /// A decoding failure (maps to [`status::MALFORMED`]).
@@ -235,7 +299,22 @@ pub fn encode_request_payload_deadline(
     config: &PipelineConfig,
     deadline_ms: u32,
 ) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(REQUEST_FIXED_BYTES + cloud.len() * 12 + 4);
+    encode_request_payload_budget(cloud, config, deadline_ms, 0)
+}
+
+/// [`encode_request_payload_deadline`] with an explicit sample budget: the
+/// server runs the pipeline at `n_samples = budget` (the first `budget`
+/// ranks of the frame's coarse-to-fine ordering) instead of the full
+/// `sample_rate` allocation. Zero means "full budget" and omits the field;
+/// a non-zero budget forces the deadline field so the trailer stays
+/// positionally unambiguous (`[deadline_ms [budget]]`).
+pub fn encode_request_payload_budget(
+    cloud: &PointCloud,
+    config: &PipelineConfig,
+    deadline_ms: u32,
+    budget: u32,
+) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(REQUEST_FIXED_BYTES + cloud.len() * 12 + 8);
     put_u32(&mut buf, config.threshold as u32);
     buf.extend_from_slice(&config.sample_rate.to_le_bytes());
     buf.extend_from_slice(&config.radius.to_le_bytes());
@@ -247,15 +326,19 @@ pub fn encode_request_payload_deadline(
         buf.extend_from_slice(&p.y.to_le_bytes());
         buf.extend_from_slice(&p.z.to_le_bytes());
     }
-    if deadline_ms > 0 {
+    if deadline_ms > 0 || budget > 0 {
         put_u32(&mut buf, deadline_ms);
+    }
+    if budget > 0 {
+        put_u32(&mut buf, budget);
     }
     buf
 }
 
 /// Decodes a process-frame request payload. The third element is the wire
 /// deadline in milliseconds — 0 when absent or explicitly zero, meaning
-/// "use the server's default".
+/// "use the server's default" — and the fourth the sample budget (0 =
+/// full).
 ///
 /// # Errors
 ///
@@ -263,8 +346,20 @@ pub fn encode_request_payload_deadline(
 /// point count disagrees with its length.
 pub fn decode_request_payload(
     payload: &[u8],
-) -> Result<(PointCloud, PipelineConfig, u32), WireError> {
+) -> Result<(PointCloud, PipelineConfig, u32, u32), WireError> {
     let mut r = Reader { buf: payload, at: 0 };
+    let (cloud, config) = decode_frame_prefix(&mut r)?;
+    // Optional trailer: nothing, `deadline_ms`, or `deadline_ms budget`.
+    let deadline_ms = if r.remaining() > 0 { r.u32("truncated deadline")? } else { 0 };
+    let budget = if r.remaining() > 0 { r.u32("truncated budget")? } else { 0 };
+    r.done()?;
+    Ok((cloud, config, deadline_ms, budget))
+}
+
+/// The shared frame prefix of PROCESS_FRAME and STREAM payloads:
+/// pipeline parameters plus coordinate triplets, leaving the cursor at the
+/// opcode-specific trailer.
+fn decode_frame_prefix(r: &mut Reader<'_>) -> Result<(PointCloud, PipelineConfig), WireError> {
     let threshold = r.u32("truncated threshold")? as usize;
     let sample_rate = r.f64("truncated sample_rate")?;
     let radius = r.f32("truncated radius")?;
@@ -274,9 +369,6 @@ pub fn decode_request_payload(
         n.checked_mul(12).ok_or(WireError("point count overflow"))?,
         "truncated coordinates",
     )?;
-    // Optional trailing deadline: exactly 4 more bytes or nothing.
-    let deadline_ms = if r.remaining() > 0 { r.u32("truncated deadline")? } else { 0 };
-    r.done()?;
     let mut points = Vec::with_capacity(n);
     for c in coords.chunks_exact(12) {
         points.push(Point3::new(
@@ -288,8 +380,57 @@ pub fn decode_request_payload(
     Ok((
         PointCloud::from_points(points),
         PipelineConfig::new(threshold, sample_rate, radius, neighbors),
-        deadline_ms,
     ))
+}
+
+/// The streaming knobs that ride an [`OP_STREAM`] request after the frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireStreamOpen {
+    /// Samples in the first-paint chunk (0 = server default).
+    pub first_paint: u32,
+    /// Samples per refinement chunk (0 = server default).
+    pub chunk: u32,
+    /// Initial refinement-chunk credits (0 = server default). Each
+    /// [`OP_STREAM_CREDIT`] frame adds one more.
+    pub credits: u32,
+}
+
+/// Encodes an [`OP_STREAM`] request payload: the PROCESS_FRAME frame
+/// prefix plus the required `deadline_ms first_paint chunk credits`
+/// trailer.
+pub fn encode_stream_request_payload(
+    cloud: &PointCloud,
+    config: &PipelineConfig,
+    deadline_ms: u32,
+    open: &WireStreamOpen,
+) -> Vec<u8> {
+    let mut buf = encode_request_payload(cloud, config);
+    put_u32(&mut buf, deadline_ms);
+    put_u32(&mut buf, open.first_paint);
+    put_u32(&mut buf, open.chunk);
+    put_u32(&mut buf, open.credits);
+    buf
+}
+
+/// Decodes an [`OP_STREAM`] request payload.
+///
+/// # Errors
+///
+/// [`WireError`] when the payload is truncated, over-long, or its declared
+/// point count disagrees with its length.
+pub fn decode_stream_request_payload(
+    payload: &[u8],
+) -> Result<(PointCloud, PipelineConfig, u32, WireStreamOpen), WireError> {
+    let mut r = Reader { buf: payload, at: 0 };
+    let (cloud, config) = decode_frame_prefix(&mut r)?;
+    let deadline_ms = r.u32("truncated deadline")?;
+    let open = WireStreamOpen {
+        first_paint: r.u32("truncated first_paint")?,
+        chunk: r.u32("truncated chunk")?,
+        credits: r.u32("truncated credits")?,
+    };
+    r.done()?;
+    Ok((cloud, config, deadline_ms, open))
 }
 
 /// Wire aggregation byte: use the server's configured default
@@ -420,21 +561,27 @@ pub struct WireInferResponse {
 pub fn encode_infer_response_payload(resp: &WireInferResponse) -> Vec<u8> {
     let mut buf =
         Vec::with_capacity(4 + 1 + 4 + 1 + 24 + 4 + 4 * (resp.row_index.len() + resp.logits.len()));
-    put_u32(&mut buf, resp.classes);
+    encode_infer_response_payload_into(resp, &mut buf);
+    buf
+}
+
+/// [`encode_infer_response_payload`] appending into a caller-provided
+/// buffer (the wire path's per-connection scratch form).
+pub fn encode_infer_response_payload_into(resp: &WireInferResponse, buf: &mut Vec<u8>) {
+    put_u32(buf, resp.classes);
     buf.push(u8::from(resp.cache_hit));
-    put_u32(&mut buf, resp.batch_size);
+    put_u32(buf, resp.batch_size);
     buf.push(resp.aggregation);
     buf.extend_from_slice(&resp.macs_moved.to_le_bytes());
     buf.extend_from_slice(&resp.macs_saved.to_le_bytes());
     buf.extend_from_slice(&resp.gather_bytes.to_le_bytes());
-    put_u32(&mut buf, resp.row_index.len() as u32);
+    put_u32(buf, resp.row_index.len() as u32);
     for &v in &resp.row_index {
-        put_u32(&mut buf, v);
+        put_u32(buf, v);
     }
     for &v in &resp.logits {
         buf.extend_from_slice(&v.to_le_bytes());
     }
-    buf
 }
 
 /// Decodes an OK [`OP_INFER`] response payload.
@@ -510,22 +657,29 @@ pub fn encode_response_payload(resp: &WireResponse) -> Vec<u8> {
     let mut buf = Vec::with_capacity(
         17 + 4 * (resp.sampled_indices.len() + resp.neighbor_indices.len() + resp.found.len() + 2),
     );
-    put_u32(&mut buf, resp.blocks);
+    encode_response_payload_into(resp, &mut buf);
+    buf
+}
+
+/// [`encode_response_payload`] appending into a caller-provided buffer —
+/// the wire path's per-connection scratch form (a warmed buffer encodes a
+/// steady-state response with zero heap allocation).
+pub fn encode_response_payload_into(resp: &WireResponse, buf: &mut Vec<u8>) {
+    put_u32(buf, resp.blocks);
     buf.push(u8::from(resp.cache_hit));
-    put_u32(&mut buf, resp.batch_size);
-    put_u32(&mut buf, resp.sampled_indices.len() as u32);
+    put_u32(buf, resp.batch_size);
+    put_u32(buf, resp.sampled_indices.len() as u32);
     for &v in &resp.sampled_indices {
-        put_u32(&mut buf, v);
+        put_u32(buf, v);
     }
-    put_u32(&mut buf, resp.found.len() as u32);
-    put_u32(&mut buf, resp.num);
+    put_u32(buf, resp.found.len() as u32);
+    put_u32(buf, resp.num);
     for &v in &resp.neighbor_indices {
-        put_u32(&mut buf, v);
+        put_u32(buf, v);
     }
     for &v in &resp.found {
-        put_u32(&mut buf, v);
+        put_u32(buf, v);
     }
-    buf
 }
 
 /// Decodes an OK response payload.
@@ -596,6 +750,7 @@ pub fn encode_health_payload(h: &EngineHealth) -> Vec<u8> {
     buf.push(u8::from(h.trace_enabled));
     buf.extend_from_slice(&h.trace_capacity.to_le_bytes());
     buf.extend_from_slice(&h.trace_dropped.to_le_bytes());
+    buf.extend_from_slice(&h.streams_open.to_le_bytes());
     buf
 }
 
@@ -621,6 +776,7 @@ pub fn decode_health_payload(payload: &[u8]) -> Result<EngineHealth, WireError> 
     let trace_enabled = r.u8("truncated trace_enabled")? != 0;
     let trace_capacity = r.u64("truncated trace_capacity")?;
     let trace_dropped = r.u64("truncated trace_dropped")?;
+    let streams_open = r.u64("truncated streams_open")?;
     r.done()?;
     Ok(EngineHealth {
         live,
@@ -634,17 +790,292 @@ pub fn decode_health_payload(payload: &[u8]) -> Result<EngineHealth, WireError> 
         trace_enabled,
         trace_capacity,
         trace_dropped,
+        streams_open,
     })
+}
+
+/// One block's contribution to a streaming chunk: the refinement samples
+/// it gains in this slice, with their neighbor rows and hit counts (the
+/// wire form of [`fractalcloud_core::LodSegment`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WireLodSegment {
+    /// Leaf block index.
+    pub block: u32,
+    /// New sampled global indices (FPS order continues seamlessly).
+    pub sampled: Vec<u32>,
+    /// `sampled.len() × num` neighbor indices, row-major.
+    pub grouped: Vec<u32>,
+    /// In-radius hits per new center before padding.
+    pub found: Vec<u32>,
+}
+
+/// One [`status::CHUNK`] payload: a contiguous coarse-to-fine LOD slice.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WireStreamChunk {
+    /// 1-based chunk sequence number within the stream.
+    pub seq: u32,
+    /// Slice start depth (samples `lo..hi` of the frame's ordering).
+    pub lo: u32,
+    /// Slice end depth.
+    pub hi: u32,
+    /// Total samples in the full ordering (the maximum depth).
+    pub total: u32,
+    /// Leaf blocks in the partition.
+    pub blocks: u32,
+    /// Neighbor slots per center.
+    pub num: u32,
+    /// Whether the frame's ordering came from the server's LRU (true for
+    /// every chunk after the first viewer computes it).
+    pub cache_hit: bool,
+    /// Per-block refinement deltas, block order, empty blocks omitted.
+    pub segments: Vec<WireLodSegment>,
+}
+
+/// Encodes a [`status::CHUNK`] payload into a caller-provided buffer.
+pub fn encode_stream_chunk_into(chunk: &WireStreamChunk, buf: &mut Vec<u8>) {
+    put_u32(buf, chunk.seq);
+    put_u32(buf, chunk.lo);
+    put_u32(buf, chunk.hi);
+    put_u32(buf, chunk.total);
+    put_u32(buf, chunk.blocks);
+    put_u32(buf, chunk.num);
+    buf.push(u8::from(chunk.cache_hit));
+    put_u32(buf, chunk.segments.len() as u32);
+    for seg in &chunk.segments {
+        put_u32(buf, seg.block);
+        put_u32(buf, seg.sampled.len() as u32);
+        for &v in &seg.sampled {
+            put_u32(buf, v);
+        }
+        for &v in &seg.grouped {
+            put_u32(buf, v);
+        }
+        for &v in &seg.found {
+            put_u32(buf, v);
+        }
+    }
+}
+
+/// Encodes a [`status::CHUNK`] payload.
+pub fn encode_stream_chunk_payload(chunk: &WireStreamChunk) -> Vec<u8> {
+    let mut buf = Vec::new();
+    encode_stream_chunk_into(chunk, &mut buf);
+    buf
+}
+
+/// Decodes a [`status::CHUNK`] payload.
+///
+/// # Errors
+///
+/// [`WireError`] when the payload is truncated, over-long, or a declared
+/// segment count disagrees with the bytes present.
+pub fn decode_stream_chunk_payload(payload: &[u8]) -> Result<WireStreamChunk, WireError> {
+    let mut r = Reader { buf: payload, at: 0 };
+    let seq = r.u32("truncated seq")?;
+    let lo = r.u32("truncated lo")?;
+    let hi = r.u32("truncated hi")?;
+    let total = r.u32("truncated total")?;
+    let blocks = r.u32("truncated blocks")?;
+    let num = r.u32("truncated num")?;
+    let cache_hit = r.u8("truncated cache_hit")? != 0;
+    let nseg = r.u32("truncated segment count")? as usize;
+    // Every declared count is validated against the bytes actually present
+    // before any buffer is sized from it (hostile-peer rule).
+    if nseg > r.remaining() / 8 {
+        return Err(WireError("segment count exceeds payload"));
+    }
+    let mut segments = Vec::with_capacity(nseg);
+    for _ in 0..nseg {
+        let block = r.u32("truncated segment block")?;
+        let count = r.u32("truncated segment length")? as usize;
+        let rows = count.checked_mul(num as usize).ok_or(WireError("segment size overflow"))?;
+        let cells = count
+            .checked_add(rows)
+            .and_then(|v| v.checked_add(count))
+            .ok_or(WireError("segment size overflow"))?;
+        if cells > r.remaining() / 4 {
+            return Err(WireError("segment length exceeds payload"));
+        }
+        let mut sampled = Vec::with_capacity(count);
+        for _ in 0..count {
+            sampled.push(r.u32("truncated segment samples")?);
+        }
+        let mut grouped = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            grouped.push(r.u32("truncated segment neighbors")?);
+        }
+        let mut found = Vec::with_capacity(count);
+        for _ in 0..count {
+            found.push(r.u32("truncated segment found")?);
+        }
+        segments.push(WireLodSegment { block, sampled, grouped, found });
+    }
+    r.done()?;
+    Ok(WireStreamChunk { seq, lo, hi, total, blocks, num, cache_hit, segments })
+}
+
+/// The terminating [`status::STREAM_END`] payload.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireStreamEnd {
+    /// Chunks delivered (first paint included).
+    pub chunks: u32,
+    /// Refinement depth reached (samples delivered in total).
+    pub delivered: u32,
+    /// Whether the client cancelled mid-stream.
+    pub cancelled: bool,
+}
+
+/// Encodes a [`status::STREAM_END`] payload into a caller-provided buffer.
+pub fn encode_stream_end_into(end: &WireStreamEnd, buf: &mut Vec<u8>) {
+    put_u32(buf, end.chunks);
+    put_u32(buf, end.delivered);
+    buf.push(u8::from(end.cancelled));
+}
+
+/// Decodes a [`status::STREAM_END`] payload.
+///
+/// # Errors
+///
+/// [`WireError`] when the payload is truncated or over-long.
+pub fn decode_stream_end_payload(payload: &[u8]) -> Result<WireStreamEnd, WireError> {
+    let mut r = Reader { buf: payload, at: 0 };
+    let chunks = r.u32("truncated chunks")?;
+    let delivered = r.u32("truncated delivered")?;
+    let cancelled = r.u8("truncated cancelled")? != 0;
+    r.done()?;
+    Ok(WireStreamEnd { chunks, delivered, cancelled })
+}
+
+/// Client-side reassembly of streaming chunks into the response a direct
+/// budget request returns.
+///
+/// Chunks append per-block state (sampled prefixes grow, neighbor rows and
+/// found counts follow); [`StreamAccumulator::response`] concatenates the
+/// per-block state in block order, which is exactly the layout
+/// [`encode_response_payload`] wires for a PROCESS_FRAME run — so after
+/// pushing chunks `1..=n`, `response()` encodes byte-for-byte the payload a
+/// direct `budget = hi_n` request would have returned (for the same warm
+/// frame; `cache_hit` is taken from the first chunk and `batch_size` is 1,
+/// matching an unbatched direct request).
+#[derive(Debug, Clone, Default)]
+pub struct StreamAccumulator {
+    blocks: u32,
+    num: u32,
+    total: u32,
+    cache_hit: bool,
+    depth: u32,
+    chunks: u32,
+    sampled: Vec<Vec<u32>>,
+    grouped: Vec<Vec<u32>>,
+    found: Vec<Vec<u32>>,
+}
+
+impl StreamAccumulator {
+    /// An empty accumulator; the first pushed chunk fixes the geometry.
+    pub fn new() -> StreamAccumulator {
+        StreamAccumulator::default()
+    }
+
+    /// Folds one chunk in.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] when the chunk is non-contiguous with the depth
+    /// reached so far, disagrees with the stream's geometry, or references
+    /// an out-of-range block.
+    pub fn push(&mut self, chunk: &WireStreamChunk) -> Result<(), WireError> {
+        if self.chunks == 0 {
+            self.blocks = chunk.blocks;
+            self.num = chunk.num;
+            self.total = chunk.total;
+            self.cache_hit = chunk.cache_hit;
+            self.sampled = vec![Vec::new(); chunk.blocks as usize];
+            self.grouped = vec![Vec::new(); chunk.blocks as usize];
+            self.found = vec![Vec::new(); chunk.blocks as usize];
+        } else if chunk.blocks != self.blocks || chunk.num != self.num || chunk.total != self.total
+        {
+            return Err(WireError("chunk geometry changed mid-stream"));
+        }
+        if chunk.lo != self.depth {
+            return Err(WireError("non-contiguous chunk"));
+        }
+        let mut delivered = 0usize;
+        for seg in &chunk.segments {
+            let b = seg.block as usize;
+            if b >= self.sampled.len() {
+                return Err(WireError("segment block out of range"));
+            }
+            if seg.grouped.len() != seg.sampled.len() * self.num as usize
+                || seg.found.len() != seg.sampled.len()
+            {
+                return Err(WireError("segment row shape mismatch"));
+            }
+            self.sampled[b].extend_from_slice(&seg.sampled);
+            self.grouped[b].extend_from_slice(&seg.grouped);
+            self.found[b].extend_from_slice(&seg.found);
+            delivered += seg.sampled.len();
+        }
+        if delivered != (chunk.hi - chunk.lo) as usize {
+            return Err(WireError("chunk sample count mismatch"));
+        }
+        self.depth = chunk.hi;
+        self.chunks += 1;
+        Ok(())
+    }
+
+    /// Refinement depth reached (samples accumulated).
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Total samples the stream could refine to.
+    pub fn total(&self) -> u32 {
+        self.total
+    }
+
+    /// Chunks folded in so far.
+    pub fn chunks(&self) -> u32 {
+        self.chunks
+    }
+
+    /// The accumulated state as the [`WireResponse`] a direct
+    /// `budget = depth()` request returns (block-order concatenation,
+    /// `batch_size` 1).
+    pub fn response(&self) -> WireResponse {
+        let mut sampled_indices = Vec::new();
+        let mut neighbor_indices = Vec::new();
+        let mut found = Vec::new();
+        for b in 0..self.sampled.len() {
+            sampled_indices.extend_from_slice(&self.sampled[b]);
+            neighbor_indices.extend_from_slice(&self.grouped[b]);
+            found.extend_from_slice(&self.found[b]);
+        }
+        WireResponse {
+            sampled_indices,
+            neighbor_indices,
+            found,
+            num: self.num,
+            blocks: self.blocks,
+            cache_hit: self.cache_hit,
+            batch_size: 1,
+        }
+    }
 }
 
 /// Encodes a complete message: header plus payload.
 pub fn encode_message(kind_byte: u8, payload: &[u8]) -> Vec<u8> {
     let mut buf = Vec::with_capacity(9 + payload.len());
+    encode_message_into(kind_byte, payload, &mut buf);
+    buf
+}
+
+/// [`encode_message`] appending into a caller-provided buffer (the wire
+/// path's per-connection scratch form).
+pub fn encode_message_into(kind_byte: u8, payload: &[u8], buf: &mut Vec<u8>) {
     buf.extend_from_slice(&MAGIC.to_le_bytes());
     buf.push(kind_byte);
-    put_u32(&mut buf, payload.len() as u32);
+    put_u32(buf, payload.len() as u32);
     buf.extend_from_slice(payload);
-    buf
 }
 
 #[cfg(test)]
@@ -658,10 +1089,11 @@ mod tests {
         let cfg = PipelineConfig::new(64, 0.5, 0.3, 8);
         let payload = encode_request_payload(&cloud, &cfg);
         assert_eq!(payload.len(), REQUEST_FIXED_BYTES + 1200);
-        let (cloud2, cfg2, deadline_ms) = decode_request_payload(&payload).unwrap();
+        let (cloud2, cfg2, deadline_ms, budget) = decode_request_payload(&payload).unwrap();
         assert_eq!(cloud, cloud2);
         assert_eq!(cfg, cfg2);
         assert_eq!(deadline_ms, 0);
+        assert_eq!(budget, 0);
     }
 
     #[test]
@@ -676,10 +1108,18 @@ mod tests {
         // … while a non-zero one appends exactly 4 bytes and round-trips.
         let with = encode_request_payload_deadline(&cloud, &cfg, 250);
         assert_eq!(with.len(), encode_request_payload(&cloud, &cfg).len() + 4);
-        let (cloud2, cfg2, deadline_ms) = decode_request_payload(&with).unwrap();
+        let (cloud2, cfg2, deadline_ms, budget) = decode_request_payload(&with).unwrap();
         assert_eq!(cloud, cloud2);
         assert_eq!(cfg, cfg2);
         assert_eq!(deadline_ms, 250);
+        assert_eq!(budget, 0);
+        // A budget rides as a second trailer field (and forces the
+        // deadline field so positions stay unambiguous).
+        let budgeted = encode_request_payload_budget(&cloud, &cfg, 0, 77);
+        assert_eq!(budgeted.len(), encode_request_payload(&cloud, &cfg).len() + 8);
+        let (_, _, deadline_ms, budget) = decode_request_payload(&budgeted).unwrap();
+        assert_eq!(deadline_ms, 0);
+        assert_eq!(budget, 77);
     }
 
     #[test]
@@ -696,9 +1136,10 @@ mod tests {
             trace_enabled: true,
             trace_capacity: 16_384,
             trace_dropped: 42,
+            streams_open: 2,
         };
         let payload = encode_health_payload(&h);
-        assert_eq!(payload.len(), 2 + 11 * 8);
+        assert_eq!(payload.len(), 2 + 12 * 8);
         assert_eq!(decode_health_payload(&payload).unwrap(), h);
         assert!(decode_health_payload(&payload[..payload.len() - 1]).is_err());
         let mut long = payload;
@@ -727,13 +1168,17 @@ mod tests {
         let payload = encode_request_payload(&cloud, &PipelineConfig::default());
         assert!(decode_request_payload(&payload[..payload.len() - 1]).is_err());
         // A partial trailer (1–3 extra bytes) is truncated, not a deadline;
-        // 5 extra bytes leave a trailing byte after the deadline.
+        // 5 extra bytes leave a partial budget after the deadline; 9 leave
+        // a trailing byte after both fields.
         let mut long = payload.clone();
         long.push(0);
         assert_eq!(decode_request_payload(&long), Err(WireError("truncated deadline")));
         let mut way_long = payload.clone();
         way_long.extend_from_slice(&[1, 0, 0, 0, 9]);
-        assert_eq!(decode_request_payload(&way_long), Err(WireError("trailing bytes")));
+        assert_eq!(decode_request_payload(&way_long), Err(WireError("truncated budget")));
+        let mut over_long = payload.clone();
+        over_long.extend_from_slice(&[1, 0, 0, 0, 9, 0, 0, 0, 5]);
+        assert_eq!(decode_request_payload(&over_long), Err(WireError("trailing bytes")));
         assert!(decode_request_payload(&[]).is_err());
     }
 
@@ -900,6 +1345,129 @@ mod tests {
             assert_eq!(opcode, OP_INFER);
             assert_eq!(Priority::from_wire(nibble), Some(p));
         }
+    }
+
+    #[test]
+    fn stream_request_round_trips() {
+        let cloud = uniform_cube(30, 5);
+        let cfg = PipelineConfig::new(64, 0.5, 0.3, 8);
+        let open = WireStreamOpen { first_paint: 64, chunk: 128, credits: 2 };
+        let payload = encode_stream_request_payload(&cloud, &cfg, 500, &open);
+        let (cloud2, cfg2, deadline_ms, open2) = decode_stream_request_payload(&payload).unwrap();
+        assert_eq!(cloud, cloud2);
+        assert_eq!(cfg, cfg2);
+        assert_eq!(deadline_ms, 500);
+        assert_eq!(open, open2);
+        // The trailer is mandatory: truncation anywhere is malformed.
+        for cut in 0..payload.len() {
+            assert!(decode_stream_request_payload(&payload[..cut]).is_err());
+        }
+        // Kind byte carries the priority like every other opcode.
+        for p in Priority::ALL {
+            let (opcode, nibble) = split_kind(stream_request_kind(p));
+            assert_eq!(opcode, OP_STREAM);
+            assert_eq!(Priority::from_wire(nibble), Some(p));
+        }
+    }
+
+    #[test]
+    fn stream_chunk_round_trips() {
+        let chunk = WireStreamChunk {
+            seq: 2,
+            lo: 3,
+            hi: 6,
+            total: 12,
+            blocks: 4,
+            num: 2,
+            cache_hit: true,
+            segments: vec![
+                WireLodSegment {
+                    block: 0,
+                    sampled: vec![10, 11],
+                    grouped: vec![1, 2, 3, 4],
+                    found: vec![2, 1],
+                },
+                WireLodSegment { block: 3, sampled: vec![40], grouped: vec![9, 9], found: vec![0] },
+            ],
+        };
+        let payload = encode_stream_chunk_payload(&chunk);
+        assert_eq!(decode_stream_chunk_payload(&payload).unwrap(), chunk);
+        for cut in 0..payload.len() {
+            assert!(decode_stream_chunk_payload(&payload[..cut]).is_err());
+        }
+        let end = WireStreamEnd { chunks: 3, delivered: 6, cancelled: true };
+        let mut buf = Vec::new();
+        encode_stream_end_into(&end, &mut buf);
+        assert_eq!(decode_stream_end_payload(&buf).unwrap(), end);
+        assert!(decode_stream_end_payload(&buf[..buf.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn stream_chunk_rejects_hostile_counts() {
+        // Declared segment counts far beyond the payload must fail before
+        // any allocation is sized from them.
+        let mut payload = Vec::new();
+        for v in [1u32, 0, 4, 8, 2, 2] {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+        payload.push(0); // cache_hit
+        payload.extend_from_slice(&u32::MAX.to_le_bytes()); // n_segments
+        assert_eq!(
+            decode_stream_chunk_payload(&payload),
+            Err(WireError("segment count exceeds payload"))
+        );
+    }
+
+    #[test]
+    fn accumulated_chunks_equal_a_direct_budget_response() {
+        // Two contiguous chunks over 3 blocks reassemble into the
+        // block-order concatenation a direct budget request wires.
+        let c1 = WireStreamChunk {
+            seq: 1,
+            lo: 0,
+            hi: 3,
+            total: 5,
+            blocks: 3,
+            num: 2,
+            cache_hit: true,
+            segments: vec![
+                WireLodSegment {
+                    block: 0,
+                    sampled: vec![5, 6],
+                    grouped: vec![1, 2, 3, 4],
+                    found: vec![2, 2],
+                },
+                WireLodSegment { block: 2, sampled: vec![30], grouped: vec![7, 8], found: vec![1] },
+            ],
+        };
+        let c2 = WireStreamChunk {
+            seq: 2,
+            lo: 3,
+            hi: 5,
+            total: 5,
+            blocks: 3,
+            num: 2,
+            cache_hit: true,
+            segments: vec![
+                WireLodSegment { block: 0, sampled: vec![7], grouped: vec![5, 6], found: vec![0] },
+                WireLodSegment { block: 1, sampled: vec![20], grouped: vec![9, 9], found: vec![1] },
+            ],
+        };
+        let mut acc = StreamAccumulator::new();
+        acc.push(&c1).unwrap();
+        // A gap is rejected, then the contiguous chunk lands.
+        let mut gap = c2.clone();
+        gap.lo = 4;
+        assert_eq!(acc.push(&gap), Err(WireError("non-contiguous chunk")));
+        acc.push(&c2).unwrap();
+        assert_eq!(acc.depth(), 5);
+        assert_eq!(acc.chunks(), 2);
+        let resp = acc.response();
+        assert_eq!(resp.sampled_indices, vec![5, 6, 7, 20, 30]);
+        assert_eq!(resp.neighbor_indices, vec![1, 2, 3, 4, 5, 6, 9, 9, 7, 8]);
+        assert_eq!(resp.found, vec![2, 2, 0, 1, 1]);
+        assert_eq!((resp.blocks, resp.num, resp.batch_size), (3, 2, 1));
+        assert!(resp.cache_hit);
     }
 
     #[test]

@@ -449,4 +449,132 @@ fn main() {
     print_exposition(&client.metrics_text().expect("METRICS over TCP"));
     server.shutdown();
     engine.shutdown();
+
+    // --- Phase 6: progressive LOD streaming — coarse-to-fine over TCP ---
+    // A STREAM request paints a small prefix of the frame's coarse-to-fine
+    // FPS ordering immediately, then refines in credit-gated chunks. The
+    // numbers that matter: time-to-first-byte (first chunk) vs the full
+    // monolithic response, per-frame wire allocations on a warm connection
+    // (the per-connection encode/decode scratch must be reused, not
+    // reallocated), and — after a deliberate mid-stream cancel — the
+    // engine's stream gauge returning to zero: no hung streams.
+    use fractalcloud::serve::protocol::WireStreamOpen;
+    use fractalcloud::serve::StreamEvent;
+    let engine = Arc::new(Engine::start(ServeConfig::from_env().workers(2)));
+    let mut server = TcpServer::bind("127.0.0.1:0", Arc::clone(&engine)).expect("bind localhost");
+    let mut client = ServeClient::connect(server.local_addr()).expect("connect stream client");
+    let stream_cloud = &clouds[0];
+    let first_paint = 64u32;
+    let open = WireStreamOpen { first_paint, chunk: 0, credits: 0 };
+    // Warm both paths: the first stream computes (and caches) the frame's
+    // full FPS ordering; the direct request warms the partition LRU.
+    client.stream_frame(stream_cloud, &cfg, Priority::High, 0, &open).expect("stream warmup");
+    client.process(stream_cloud, &cfg).expect("direct warmup");
+
+    let stream_frames = if quick { 4 } else { 16 };
+    let mut ttfb_us = Vec::with_capacity(stream_frames);
+    let mut chunks_seen = 0u64;
+    for _ in 0..stream_frames {
+        let t = Instant::now();
+        client.stream_open(stream_cloud, &cfg, Priority::High, 0, &open).expect("open stream");
+        let first = match client.stream_next().expect("stream event") {
+            StreamEvent::Chunk(c) => c,
+            StreamEvent::End(e) => panic!("stream ended before first paint: {e:?}"),
+        };
+        ttfb_us.push(t.elapsed().as_micros() as u64);
+        chunks_seen += 1;
+        // Drain to full depth, replenishing one credit per refinement.
+        let (mut depth, total) = (first.hi, first.total);
+        loop {
+            if depth < total {
+                client.stream_credit().expect("stream credit");
+            }
+            match client.stream_next().expect("stream event") {
+                StreamEvent::Chunk(c) => {
+                    depth = c.hi;
+                    chunks_seen += 1;
+                }
+                StreamEvent::End(_) => break,
+            }
+        }
+    }
+    ttfb_us.sort_unstable();
+    let mut full_us = Vec::with_capacity(stream_frames);
+    for _ in 0..stream_frames {
+        let t = Instant::now();
+        client.process(stream_cloud, &cfg).expect("warm full frame");
+        full_us.push(t.elapsed().as_micros() as u64);
+    }
+    full_us.sort_unstable();
+    let (ttfb_p50, full_p50) = (percentile(&ttfb_us, 0.50), percentile(&full_us, 0.50));
+
+    // Warm-connection wire allocations: the per-connection scratch buffers
+    // absorb request reads and response encodes, so the per-frame count
+    // stays flat no matter how many frames the connection has served.
+    if cfg!(feature = "bench") {
+        use fractalcloud::pointcloud::count_alloc::allocation_count;
+        for _ in 0..2 {
+            client.process(stream_cloud, &cfg).expect("wire warmup");
+        }
+        let n = 8u64;
+        let before = allocation_count();
+        for _ in 0..n {
+            client.process(stream_cloud, &cfg).expect("wire warm frame");
+        }
+        let wire_allocs = (allocation_count() - before) / n;
+        println!("\nphase 6 — progressive LOD streaming ({stream_frames} streams, first paint {first_paint} samples)");
+        println!(
+            "  wire-allocs/frame: {wire_allocs} (warm connection, per-connection scratch reused)"
+        );
+    } else {
+        println!("\nphase 6 — progressive LOD streaming ({stream_frames} streams, first paint {first_paint} samples)");
+        println!("  wire-allocs/frame: not measured (build with --features bench)");
+    }
+    println!(
+        "  ttfb           : p50 {ttfb_p50} µs first chunk vs p50 {full_p50} µs full response \
+         ({chunks_seen} chunks streamed)"
+    );
+    assert!(
+        ttfb_p50 <= full_p50 || quick,
+        "warm first paint should land no later than the warm full response \
+         ({ttfb_p50} µs vs {full_p50} µs)"
+    );
+
+    // A viewer losing interest: cancel after the first paint, and the
+    // server provably stops refining (the engine-side chunk counter halts).
+    client
+        .stream_open(
+            stream_cloud,
+            &cfg,
+            Priority::Normal,
+            0,
+            &WireStreamOpen { first_paint: 32, chunk: 32, credits: 1 },
+        )
+        .expect("open cancellable stream");
+    match client.stream_next().expect("first paint") {
+        StreamEvent::Chunk(c) => assert!(c.hi < c.total, "cancel demo needs refinements left"),
+        StreamEvent::End(e) => panic!("stream ended before first paint: {e:?}"),
+    }
+    client.cancel().expect("send cancel");
+    let end = loop {
+        match client.stream_next().expect("stream event") {
+            StreamEvent::Chunk(_) => {} // already in flight when the cancel landed
+            StreamEvent::End(end) => break end,
+        }
+    };
+    assert!(end.cancelled, "the server must acknowledge the mid-stream cancel");
+    println!(
+        "  cancel         : acknowledged after {} chunks / {} samples — refinement stopped early",
+        end.chunks, end.delivered
+    );
+
+    let m = engine.metrics();
+    let health = client.health().expect("health over TCP");
+    assert_eq!(health.streams_open, 0, "every stream must be closed at phase end: {health:?}");
+    println!(
+        "  zero hung streams: streams_open=0 (opened {}, closed {}, cancelled {}, chunks sent {})",
+        m.streams_opened, m.streams_closed, m.streams_cancelled, m.stream_chunks_sent
+    );
+    server.shutdown();
+    engine.shutdown();
 }
