@@ -1,6 +1,7 @@
 //! Serving-engine configuration and its environment-variable knobs.
 
 use crate::faults::FaultPlan;
+use crate::overload::BrownoutConfig;
 
 /// Tunables for [`Engine`](crate::Engine) and the TCP front-end.
 ///
@@ -70,6 +71,14 @@ pub struct ServeConfig {
     /// testing; the `FRACTALCLOUD_FAULTS` environment plan by default, so
     /// an exported spec soaks everything built on [`ServeConfig`]).
     pub faults: FaultPlan,
+    /// Adaptive brown-out controller tunables (see
+    /// [`BrownoutConfig`]); overridable via `FRACTALCLOUD_SERVE_BROWNOUT`
+    /// (`off` | `on` | `force:N` | `adaptive:esc_us,relax_us,dwell_ms`).
+    pub brownout: BrownoutConfig,
+    /// Per-connection socket read/write timeout in milliseconds (slow-peer
+    /// defense: a slow-loris writer or a peer that stops reading trips the
+    /// timeout and the connection closes, freeing its slot). 0 disables.
+    pub idle_timeout_ms: u64,
 }
 
 impl ServeConfig {
@@ -89,6 +98,8 @@ impl ServeConfig {
     /// | `FRACTALCLOUD_SERVE_STREAM_FIRST_PAINT` | 512 |
     /// | `FRACTALCLOUD_SERVE_STREAM_CHUNK` | 4096 |
     /// | `FRACTALCLOUD_SERVE_STREAM_CREDITS` | 4 |
+    /// | `FRACTALCLOUD_SERVE_BROWNOUT` | on (adaptive; see [`BrownoutConfig::parse`]) |
+    /// | `FRACTALCLOUD_SERVE_IDLE_TIMEOUT_MS` | 30_000 (0 = no socket timeouts) |
     /// | `FRACTALCLOUD_FAULTS` | off (see [`FaultPlan::parse`]) |
     ///
     /// The thread budget always follows the process-wide worker pool
@@ -120,6 +131,10 @@ impl ServeConfig {
                 .unwrap_or(def.stream_credits)
                 .max(1),
             faults: def.faults,
+            brownout: std::env::var("FRACTALCLOUD_SERVE_BROWNOUT")
+                .map_or(def.brownout, |s| BrownoutConfig::parse(&s, def.brownout)),
+            idle_timeout_ms: env_usize("FRACTALCLOUD_SERVE_IDLE_TIMEOUT_MS")
+                .map_or(def.idle_timeout_ms, |v| v as u64),
         }
     }
 
@@ -205,6 +220,19 @@ impl ServeConfig {
         self
     }
 
+    /// Returns `self` with the given brown-out controller tunables.
+    pub fn brownout(mut self, brownout: BrownoutConfig) -> ServeConfig {
+        self.brownout = brownout;
+        self
+    }
+
+    /// Returns `self` with the given per-connection socket timeout in
+    /// milliseconds (0 disables slow-peer timeouts).
+    pub fn idle_timeout_ms(mut self, idle_timeout_ms: u64) -> ServeConfig {
+        self.idle_timeout_ms = idle_timeout_ms;
+        self
+    }
+
     /// Largest request payload the TCP front-end accepts, in bytes (the
     /// fixed request-parameter block plus `max_points` xyz triplets plus
     /// the largest optional trailer, so a maximal frame still streams).
@@ -231,6 +259,8 @@ impl Default for ServeConfig {
             stream_chunk: 4096,
             stream_credits: 4,
             faults: FaultPlan::from_env(),
+            brownout: BrownoutConfig::default(),
+            idle_timeout_ms: 30_000,
         }
     }
 }

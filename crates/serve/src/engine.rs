@@ -71,6 +71,7 @@ use crate::cache::{frame_key, PartitionCache};
 use crate::config::ServeConfig;
 use crate::faults::{self, FaultLayer, FaultPoint};
 use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::overload::{OverloadController, OverloadLevel, MAX_BROWNOUT, SHED_LEVEL};
 use fractalcloud_core::workspace::{global_pool, workspace_mode, Pool, WorkspaceMode};
 use fractalcloud_core::{
     fnv1a64, CancelToken, LodSlice, Pipeline, PipelineConfig, PipelineOutput, Workspace,
@@ -262,6 +263,13 @@ pub struct FrameResponse {
     pub cache_hit: bool,
     /// Number of frames fused into the batch this one ran in.
     pub batch_size: usize,
+    /// True when the engine browned this response out under overload: it
+    /// carries only the first `budget_served` samples of the answer the
+    /// request asked for — a bit-identical prefix of that answer, per the
+    /// quality-ordering contract.
+    pub degraded: bool,
+    /// Samples actually served when `degraded` (0 when not degraded).
+    pub budget_served: usize,
 }
 
 /// One network-inference result, with serving metadata attached.
@@ -308,10 +316,15 @@ pub struct StreamChunkResponse {
     pub cache_hit: bool,
 }
 
-/// Engine lifecycle states (stored in an `AtomicU8`).
+/// Engine lifecycle states (stored in an `AtomicU8`). `SOFT_DRAINING` is
+/// the zero-downtime maintenance state ([`Engine::drain`]): admissions
+/// shed, but workers keep running (and keep finishing in-flight work, and
+/// can still be re-armed by [`Engine::resume`]); `DRAINING` is the
+/// terminal shutdown drain, after which workers exit.
 const RUNNING: u8 = 0;
 const DRAINING: u8 = 1;
 const STOPPED: u8 = 2;
+const SOFT_DRAINING: u8 = 3;
 
 /// A one-shot completion slot shared between a worker and a waiter.
 #[derive(Debug, Default)]
@@ -621,6 +634,11 @@ struct Job {
     compat: u64,
     kind: WorkKind,
     priority: Priority,
+    /// Brown-out budget shift captured at admission (0 = full quality):
+    /// a frame job executes at `max(1, requested_budget >> degrade)`
+    /// samples. Snapshotting the level at admission (not execution) keeps
+    /// one request's answer a function of one controller reading.
+    degrade: u8,
     /// Flight-recorder request id; threads every span the job's execution
     /// records — across worker lanes — back to this admission.
     req: u64,
@@ -718,6 +736,9 @@ struct Shared {
     /// The seeded fault layer; `None` (the overwhelmingly common case)
     /// makes every injection site one discriminant test.
     faults: Option<Arc<FaultLayer>>,
+    /// The brown-out controller: workers feed it queue-wait observations,
+    /// admissions read its level (one relaxed load when healthy).
+    overload: OverloadController,
     /// Live worker handles — including replacements spawned by panic
     /// supervision, which register themselves here so shutdown can join
     /// whatever generation of workers is current.
@@ -750,6 +771,7 @@ impl Engine {
         let shared = Arc::new(Shared {
             cache: Mutex::new(PartitionCache::new(cfg.cache_capacity)),
             faults: FaultLayer::new(cfg.faults),
+            overload: OverloadController::new(cfg.brownout, Instant::now()),
             cfg,
             queue: Mutex::new(QueueState::new()),
             available: Condvar::new(),
@@ -1008,6 +1030,39 @@ impl Engine {
             }));
         }
 
+        // Brown-out: one relaxed load is all a healthy admission pays. The
+        // level is snapshotted here (not at execution), so the degradation
+        // a response reports is the degradation that admitted it. High
+        // priority is exempt at every level; at the shed level new
+        // frame/inference work sheds retryably before touching the queue
+        // (streams keep flowing — their refinement chunks are Bulk and
+        // already shed first at the queue bound).
+        let mut compat = compat;
+        let mut degrade = 0u8;
+        let level = self.shared.overload.level_u8();
+        if level > 0 && priority != Priority::High {
+            match kind {
+                WorkKind::Frame { .. } => {
+                    if level >= SHED_LEVEL {
+                        m.shed_queue_full.fetch_add(1, Ordering::Relaxed);
+                        m.shed_by_class[priority.index()].fetch_add(1, Ordering::Relaxed);
+                        return Err(ServeError::Shed(ShedReason::QueueFull));
+                    }
+                    degrade = level.min(MAX_BROWNOUT);
+                    // Degraded jobs fuse only with same-level peers (and
+                    // never gate a full-quality batch off its block-fused
+                    // fast path).
+                    compat = fnv1a64(fnv1a64(compat, 0x4447_5244), u64::from(degrade));
+                }
+                WorkKind::Infer { .. } if level >= SHED_LEVEL => {
+                    m.shed_queue_full.fetch_add(1, Ordering::Relaxed);
+                    m.shed_by_class[priority.index()].fetch_add(1, Ordering::Relaxed);
+                    return Err(ServeError::Shed(ShedReason::QueueFull));
+                }
+                _ => {}
+            }
+        }
+
         let admitted_at = Instant::now();
         let req = obs::next_request_id();
         let budget = deadline.or_else(|| {
@@ -1045,6 +1100,7 @@ impl Engine {
                 config,
                 kind,
                 priority,
+                degrade,
                 req,
                 admitted_at,
                 deadline,
@@ -1176,6 +1232,8 @@ impl Engine {
         let trace = obs::status();
         EngineHealth {
             live: workers_alive > 0 && self.shared.state.load(Ordering::SeqCst) == RUNNING,
+            draining: self.shared.state.load(Ordering::SeqCst) == SOFT_DRAINING,
+            overload_level: self.shared.overload.level().as_u8(),
             workers_alive,
             workers_configured: self.shared.cfg.workers.max(1) as u64,
             queued_by_class,
@@ -1204,6 +1262,55 @@ impl Engine {
         crate::metrics::render_prometheus(&self.metrics(), &self.health(), &per_point)
     }
 
+    /// Folds `n` client-side retries into this engine's `retries_total`
+    /// counter, so in-process harnesses report their [`ServeClient`]
+    /// retries through the same exposition a sidecar would scrape.
+    ///
+    /// [`ServeClient`]: crate::ServeClient
+    pub fn record_retries(&self, n: u64) {
+        self.shared.metrics.record_retries(n);
+    }
+
+    /// The engine's position on the graceful-degradation ladder right now.
+    /// Reading the level also drives idle decay: with no traffic at all, a
+    /// raised level steps down one notch per dwell period on each read, so
+    /// pollers (health probes, metrics scrapes, this call) watch the
+    /// controller walk back to [`OverloadLevel::Normal`].
+    pub fn overload_level(&self) -> OverloadLevel {
+        self.shared.overload.level()
+    }
+
+    /// Zero-downtime drain (maintenance mode): stops admitting — submits
+    /// shed with [`ShedReason::ShuttingDown`], and the TCP front-end
+    /// answers new work on every connection with `status::GOAWAY` — while
+    /// workers keep finishing everything already admitted and open streams
+    /// run to completion. HEALTH reports `draining: true` (and
+    /// `live: false`) so orchestrators stop routing here. Re-arm with
+    /// [`Engine::resume`]; a drained engine still shuts down normally.
+    pub fn drain(&self) {
+        let _queue = lock_unpoisoned(&self.shared.queue);
+        self.shared
+            .state
+            .compare_exchange(RUNNING, SOFT_DRAINING, Ordering::SeqCst, Ordering::SeqCst)
+            .ok();
+    }
+
+    /// Re-arms a drained engine ([`Engine::drain`]): admissions resume. A
+    /// no-op unless the engine is currently soft-draining (shutdown is not
+    /// reversible).
+    pub fn resume(&self) {
+        let _queue = lock_unpoisoned(&self.shared.queue);
+        self.shared
+            .state
+            .compare_exchange(SOFT_DRAINING, RUNNING, Ordering::SeqCst, Ordering::SeqCst)
+            .ok();
+    }
+
+    /// Whether the engine is in the zero-downtime drain state.
+    pub fn is_draining(&self) -> bool {
+        self.shared.state.load(Ordering::SeqCst) == SOFT_DRAINING
+    }
+
     /// Graceful shutdown: stops admitting (subsequent submits shed with
     /// [`ShedReason::ShuttingDown`]), lets the workers drain every already
     /// admitted job, and joins them — collecting join results instead of
@@ -1214,10 +1321,13 @@ impl Engine {
     pub fn shutdown(&self) {
         {
             let _queue = lock_unpoisoned(&self.shared.queue);
-            self.shared
-                .state
-                .compare_exchange(RUNNING, DRAINING, Ordering::SeqCst, Ordering::SeqCst)
-                .ok();
+            // A soft-draining engine shuts down exactly like a running one.
+            for from in [RUNNING, SOFT_DRAINING] {
+                self.shared
+                    .state
+                    .compare_exchange(from, DRAINING, Ordering::SeqCst, Ordering::SeqCst)
+                    .ok();
+            }
         }
         self.shared.available.notify_all();
         // Drain in rounds: a panicking worker may register its replacement
@@ -1249,6 +1359,13 @@ pub struct EngineHealth {
     /// True when the engine is accepting work and at least one worker is
     /// alive to execute it.
     pub live: bool,
+    /// True while the engine is in the zero-downtime drain state
+    /// ([`Engine::drain`]): in-flight work finishes, new work is refused
+    /// (`GOAWAY` on the wire) — orchestrators should stop routing here.
+    pub draining: bool,
+    /// Position on the graceful-degradation ladder: 0 = normal, 1–3 =
+    /// brown-out depth (responses carry `degraded` markers), 4 = shedding.
+    pub overload_level: u8,
     /// Worker threads currently running their loop.
     pub workers_alive: u64,
     /// Worker threads the configuration asked for.
@@ -1426,7 +1543,10 @@ fn worker_main(shared: &Arc<Shared>, id: usize) {
                 shared.metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
                 // Any job the panic abandoned has already been resolved to
                 // Internal by its TicketGuard's drop during the unwind.
-                if shared.state.load(Ordering::SeqCst) != RUNNING {
+                // Soft drain keeps the pool at strength: a panicked worker
+                // still respawns, since the engine may resume.
+                let state = shared.state.load(Ordering::SeqCst);
+                if state == DRAINING || state == STOPPED {
                     break;
                 }
                 if respawn_worker(shared, id) {
@@ -1530,7 +1650,10 @@ fn next_batch(shared: &Arc<Shared>, batch: &mut Vec<Job>) -> bool {
                 // the sheds below resolve now, not after the next arrival.
                 break true;
             }
-            if shared.state.load(Ordering::SeqCst) != RUNNING {
+            // Workers exit only on the *terminal* drain; the zero-downtime
+            // SOFT_DRAINING state keeps them parked here, ready to resume.
+            let state = shared.state.load(Ordering::SeqCst);
+            if state == DRAINING || state == STOPPED {
                 break false;
             }
             queue = shared.available.wait(queue).unwrap_or_else(PoisonError::into_inner);
@@ -1539,6 +1662,11 @@ fn next_batch(shared: &Arc<Shared>, batch: &mut Vec<Job>) -> bool {
     // Resolved outside the queue lock: finish() takes the slot lock, and
     // keeping the queue→slot order acyclic (never slot→queue) is what makes
     // both locks safe to take at all.
+    if !expired.is_empty() {
+        // Jobs dying in the queue are the strongest overload signal there
+        // is — exactly what brown-out exists to prevent.
+        shared.overload.observe_deadline_shed();
+    }
     for job in expired {
         job.ticket.finish(Err(ServeError::Shed(ShedReason::DeadlineExceeded)));
     }
@@ -1555,8 +1683,10 @@ fn execute_batch(shared: &Shared, batch: &mut Vec<Job>) {
     m.batches.fetch_add(1, Ordering::Relaxed);
     m.batched_frames.fetch_add(size as u64, Ordering::Relaxed);
     let started = Instant::now();
+    let mut worst_wait = Duration::ZERO;
     for job in batch.iter() {
         let wait = started.duration_since(job.admitted_at);
+        worst_wait = worst_wait.max(wait);
         m.queue_wait.record(wait);
         m.queue_wait_by_class[job.priority.index()].record(wait);
         obs::record_span_at(
@@ -1580,6 +1710,9 @@ fn execute_batch(shared: &Shared, batch: &mut Vec<Job>) {
             );
         }
     }
+    // One observation per batch, with the batch's *worst* wait: the
+    // controller reacts to the tail, which is what deadlines die on.
+    shared.overload.observe_wait_us(worst_wait.as_micros().min(u128::from(u64::MAX)) as u64);
     if faults::fire(&shared.faults, FaultPoint::Worker) {
         // Injected executor error: dropping the jobs resolves every ticket
         // to Internal through its guard — the same path a real panic takes.
@@ -1592,17 +1725,18 @@ fn execute_batch(shared: &Shared, batch: &mut Vec<Job>) {
         // per-batch result vector — with a warmed workspace and staging
         // this path performs zero heap allocations.
         let job = batch.pop().expect("size checked above");
-        let Job { cloud, config, kind, ticket, deadline, req, priority, .. } = job;
+        let Job { cloud, config, kind, ticket, deadline, req, priority, degrade, .. } = job;
         let _trace = obs::scoped_context(req, priority.index() as u8);
         let mut ws = global_pool().checkout();
-        let outcome = run_job(shared, &cloud, config, &kind, deadline, size, &mut ws);
+        let outcome =
+            run_job(shared, &cloud, config, &kind, priority, degrade, deadline, size, &mut ws);
         ticket.finish(outcome);
         return;
     }
 
     if shared.cfg.batch_blocks
         && shared.cfg.thread_budget > 1
-        && batch.iter().all(|j| matches!(j.kind, WorkKind::Frame { budget: 0 }))
+        && batch.iter().all(|j| j.degrade == 0 && matches!(j.kind, WorkKind::Frame { budget: 0 }))
     {
         // The tentpole path: flatten the union of all frames' blocks into
         // one work list and run a single budgeted map over fused
@@ -1632,9 +1766,10 @@ fn execute_batch(shared: &Shared, batch: &mut Vec<Job>) {
         shared.cfg.thread_budget,
         || global_pool().checkout(),
         |_, job, ws| {
-            let Job { cloud, config, kind, ticket, deadline, req, priority, .. } = job;
+            let Job { cloud, config, kind, ticket, deadline, req, priority, degrade, .. } = job;
             let _trace = obs::scoped_context(req, priority.index() as u8);
-            let outcome = run_job(shared, &cloud, config, &kind, deadline, size, ws);
+            let outcome =
+                run_job(shared, &cloud, config, &kind, priority, degrade, deadline, size, ws);
             (ticket, outcome)
         },
     );
@@ -1647,18 +1782,21 @@ fn execute_batch(shared: &Shared, batch: &mut Vec<Job>) {
 }
 
 /// Dispatches one job to its kind's executor.
+#[allow(clippy::too_many_arguments)]
 fn run_job(
     shared: &Shared,
     cloud: &PointCloud,
     config: PipelineConfig,
     kind: &WorkKind,
+    priority: Priority,
+    degrade: u8,
     deadline: Option<Instant>,
     batch_size: usize,
     ws: &mut Workspace,
 ) -> Result<EngineResponse, ServeError> {
     match kind {
         WorkKind::Frame { budget } => {
-            execute_one(shared, cloud, config, *budget, deadline, batch_size, ws)
+            execute_one(shared, cloud, config, *budget, priority, degrade, deadline, batch_size, ws)
                 .map(EngineResponse::Frame)
         }
         WorkKind::Stream { lo, hi } => {
@@ -1860,6 +1998,8 @@ fn execute_batch_blocks(shared: &Shared, batch: Vec<Job>) {
                     group_counters: out.grouped.counters,
                     cache_hit,
                     batch_size: size,
+                    degraded: false,
+                    budget_served: 0,
                 };
                 ctx.job.ticket.finish(Ok(EngineResponse::Frame(response)));
             }
@@ -1877,11 +2017,14 @@ fn execute_batch_blocks(shared: &Shared, batch: Vec<Job>) {
 /// response hands to the client are moved out (their buffers leave with the
 /// response — the one unavoidable per-frame allocation class on a warmed
 /// engine).
+#[allow(clippy::too_many_arguments)]
 fn execute_one(
     shared: &Shared,
     cloud: &PointCloud,
     config: PipelineConfig,
     budget: usize,
+    priority: Priority,
+    degrade: u8,
     deadline: Option<Instant>,
     batch_size: usize,
     ws: &mut Workspace,
@@ -1895,6 +2038,27 @@ fn execute_one(
     let parallel = fractalcloud_parallel::effective_budget() > 1;
     let pipeline = Pipeline::new(config).map_err(ServeError::Invalid)?;
     let (built, cache_hit) = cached_partition(shared, &pipeline, cloud, parallel, ws)?;
+
+    // Brown-out resolves here, where the partition (and thus the frame's
+    // full sample total) is in hand: the served budget is the requested
+    // depth right-shifted by the admission-time level — and the result is
+    // `run_with_partition_budget` at that budget, so a degraded response
+    // is bit-identical to the same-length prefix of the full answer by
+    // construction, not by a parallel code path.
+    let degraded = degrade > 0;
+    let budget = if degraded {
+        let requested = match budget {
+            0 => pipeline.sample_counts(&built).iter().sum(),
+            b => b,
+        };
+        (requested >> degrade).max(1)
+    } else {
+        budget
+    };
+    if degraded {
+        shared.metrics.requests_degraded[priority.index()][usize::from(degrade - 1).min(2)]
+            .fetch_add(1, Ordering::Relaxed);
+    }
 
     if budget > 0 {
         // Budgeted frame: the kernels run at the truncated per-block
@@ -1917,6 +2081,9 @@ fn execute_one(
         resp.group_counters = out.grouped.counters;
         resp.cache_hit = cache_hit;
         resp.batch_size = batch_size;
+        // Pooled shells recycle: both marker fields are (re)set every time.
+        resp.degraded = degraded;
+        resp.budget_served = if degraded { resp.sampled_indices.len() } else { 0 };
         return Ok(resp);
     }
 
@@ -1958,6 +2125,9 @@ fn execute_one(
     resp.group_counters = out.grouped.counters;
     resp.cache_hit = cache_hit;
     resp.batch_size = batch_size;
+    // Pooled shells recycle: clear any stale degradation marker.
+    resp.degraded = false;
+    resp.budget_served = 0;
     Ok(resp)
 }
 
@@ -2230,6 +2400,7 @@ mod tests {
             compat: 0,
             kind: WorkKind::Frame { budget: 0 },
             priority: p,
+            degrade: 0,
             req: 0,
             admitted_at,
             deadline: None,

@@ -25,15 +25,15 @@
 //! list of `kind@point:rate` atoms — `delay` atoms carry their duration
 //! before the rate (`delay@point:5ms:0.05`; `us`, `ms` and `s` suffixes).
 //! Kinds: `panic`, `delay`, `err`. Points: `worker`, `block`,
-//! `cache_insert`, `net_read`, `net_write`. Rates are probabilities in
-//! `[0, 1]`, stored to parts-per-million precision.
+//! `cache_insert`, `net_read`, `net_write`, `credit_stall`. Rates are
+//! probabilities in `[0, 1]`, stored to parts-per-million precision.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 /// Number of injection points (the length of [`FaultPoint::ALL`]).
-pub const FAULT_POINTS: usize = 5;
+pub const FAULT_POINTS: usize = 6;
 
 /// Where in the serving path a fault can strike.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,6 +49,11 @@ pub enum FaultPoint {
     NetRead,
     /// A TCP response write on the server side.
     NetWrite,
+    /// A streaming credit-wait poll: an injected `delay` models a viewer
+    /// that stops sending `STREAM_CREDIT` (the slow-consumer stall the
+    /// stream deadline must bound); an injected `err` drops the control
+    /// read as if the socket died.
+    CreditStall,
 }
 
 impl FaultPoint {
@@ -59,6 +64,7 @@ impl FaultPoint {
         FaultPoint::CacheInsert,
         FaultPoint::NetRead,
         FaultPoint::NetWrite,
+        FaultPoint::CreditStall,
     ];
 
     /// Dense index (0..[`FAULT_POINTS`]).
@@ -69,11 +75,12 @@ impl FaultPoint {
             FaultPoint::CacheInsert => 2,
             FaultPoint::NetRead => 3,
             FaultPoint::NetWrite => 4,
+            FaultPoint::CreditStall => 5,
         }
     }
 
     /// The grammar name (`worker`, `block`, `cache_insert`, `net_read`,
-    /// `net_write`).
+    /// `net_write`, `credit_stall`).
     pub fn name(self) -> &'static str {
         match self {
             FaultPoint::Worker => "worker",
@@ -81,6 +88,7 @@ impl FaultPoint {
             FaultPoint::CacheInsert => "cache_insert",
             FaultPoint::NetRead => "net_read",
             FaultPoint::NetWrite => "net_write",
+            FaultPoint::CreditStall => "credit_stall",
         }
     }
 
@@ -217,7 +225,8 @@ impl FaultPlan {
             .ok_or_else(|| format!("bad fault atom `{atom}` (missing `:rate`)"))?;
         let point = FaultPoint::from_name(point.trim()).ok_or_else(|| {
             format!(
-                "unknown fault point `{point}` (worker, block, cache_insert, net_read, net_write)"
+                "unknown fault point `{point}` (worker, block, cache_insert, net_read, \
+                 net_write, credit_stall)"
             )
         })?;
         let rate_str = match kind {
@@ -263,7 +272,7 @@ impl Default for FaultPlan {
 
 /// One stage of the splitmix64 output mix — a well-dispersed, cheap,
 /// dependency-free 64-bit permutation.
-fn splitmix64(mut z: u64) -> u64 {
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

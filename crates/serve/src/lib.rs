@@ -25,8 +25,18 @@
 //!   request kind byte carries the priority in its high nibble, Normal =
 //!   0 for backward compatibility);
 //! * [`TcpServer`]/[`ServeClient`] — a plain `std::net` TCP front-end
-//!   (threads, no async runtime) with a concurrent-connection limit and
-//!   round-robin admission across connections, and its blocking client.
+//!   (threads, no async runtime) with a concurrent-connection limit,
+//!   round-robin admission across connections, and per-connection socket
+//!   timeouts, plus its blocking client (self-healing via [`RetryPolicy`]:
+//!   seeded backoff, reconnect-and-replay on GOAWAY or transport death);
+//! * [`overload`](OverloadLevel) — graceful degradation: an adaptive
+//!   brown-out controller ([`BrownoutConfig`]) watches queue waits and
+//!   deadline sheds, and under pressure serves non-High frames at a
+//!   reduced LOD budget (each degraded response is the exact
+//!   `budget_served`-sample prefix of the full run — quality fades, wire
+//!   contracts hold), escalating to shed-mode at the top level;
+//!   [`Engine::drain`]/[`Engine::resume`] give zero-downtime maintenance
+//!   (work answered GOAWAY, in-flight requests finish, probes stay live).
 //!
 //! Beyond frames, the engine serves end-to-end **network inference**
 //! (`INFER` on the wire, [`Engine::submit_infer`] in-process): the frame
@@ -66,6 +76,7 @@ mod engine;
 pub mod faults;
 mod metrics;
 mod net;
+mod overload;
 pub mod protocol;
 
 pub use config::ServeConfig;
@@ -78,4 +89,5 @@ pub use faults::{FaultKind, FaultPlan, FaultPoint};
 // depending on the pnn crate directly.
 pub use fractalcloud_pnn::{Aggregation, ModelConfig};
 pub use metrics::{LatencyHistogram, Metrics, MetricsSnapshot};
-pub use net::{ClientError, ServeClient, StreamEvent, TcpServer};
+pub use net::{ClientError, RetryPolicy, ServeClient, StreamEvent, TcpServer};
+pub use overload::{BrownoutConfig, OverloadLevel};

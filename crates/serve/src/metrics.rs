@@ -173,6 +173,20 @@ pub struct Metrics {
     /// Bytes gathered into dense MLP inputs by eager aggregation, summed
     /// over all inference.
     pub op_gather_bytes: AtomicU64,
+    /// Responses served degraded under brown-out, indexed
+    /// `[class][level - 1]` (class per
+    /// [`Priority::index`](crate::Priority::index); brown-out levels 1–3).
+    /// High priority is never degraded, so its row provably stays zero.
+    pub requests_degraded: [[AtomicU64; 3]; 3],
+    /// `GOAWAY` statuses written to draining connections.
+    pub goaway_sent: AtomicU64,
+    /// Connections that closed after receiving at least one `GOAWAY`.
+    pub connections_drained: AtomicU64,
+    /// Client-side retries reported into this registry
+    /// ([`Metrics::record_retries`]) — in-process harnesses fold their
+    /// [`RetryPolicy`](crate::RetryPolicy) activity in here so one scrape
+    /// shows both sides of a storm.
+    pub retries_total: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -214,6 +228,10 @@ impl Default for Metrics {
             op_macs_moved: AtomicU64::new(0),
             op_macs_saved: AtomicU64::new(0),
             op_gather_bytes: AtomicU64::new(0),
+            requests_degraded: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
+            goaway_sent: AtomicU64::new(0),
+            connections_drained: AtomicU64::new(0),
+            retries_total: AtomicU64::new(0),
         }
     }
 }
@@ -242,6 +260,14 @@ impl Metrics {
     /// Milliseconds since this registry was created (the engine's start).
     pub fn uptime_ms(&self) -> u64 {
         self.epoch.elapsed().as_millis().min(u128::from(u64::MAX)) as u64
+    }
+
+    /// Folds `n` client-side retries into `retries_total` — the hook an
+    /// in-process harness uses to account its
+    /// [`RetryPolicy`](crate::RetryPolicy) activity against the engine it
+    /// was retrying.
+    pub fn record_retries(&self, n: u64) {
+        self.retries_total.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Takes an approximate point-in-time snapshot of every counter.
@@ -289,6 +315,12 @@ impl Metrics {
             op_macs_moved: load(&self.op_macs_moved),
             op_macs_saved: load(&self.op_macs_saved),
             op_gather_bytes: load(&self.op_gather_bytes),
+            requests_degraded: std::array::from_fn(|c| {
+                std::array::from_fn(|l| load(&self.requests_degraded[c][l]))
+            }),
+            goaway_sent: load(&self.goaway_sent),
+            connections_drained: load(&self.connections_drained),
+            retries_total: load(&self.retries_total),
         }
     }
 }
@@ -370,12 +402,25 @@ pub struct MetricsSnapshot {
     pub op_macs_saved: u64,
     /// Bytes gathered into dense MLP inputs by eager aggregation.
     pub op_gather_bytes: u64,
+    /// Responses served degraded under brown-out, `[class][level - 1]`.
+    pub requests_degraded: [[u64; 3]; 3],
+    /// `GOAWAY` statuses written to draining connections.
+    pub goaway_sent: u64,
+    /// Connections closed after receiving at least one `GOAWAY`.
+    pub connections_drained: u64,
+    /// Client-side retries folded into this registry.
+    pub retries_total: u64,
 }
 
 impl MetricsSnapshot {
     /// Total shed requests across every reason.
     pub fn shed_total(&self) -> u64 {
         self.shed_queue_full + self.shed_oversized + self.shed_shutdown + self.shed_deadline
+    }
+
+    /// Total responses served degraded, across every class and level.
+    pub fn degraded_total(&self) -> u64 {
+        self.requests_degraded.iter().flatten().sum()
     }
 
     /// Mean frames per executed batch (1.0 when nothing ran).
@@ -491,6 +536,22 @@ pub(crate) fn render_prometheus(
         line(&mut out, "fractalcloud_streams_total", &[("event", event)], v as f64);
     }
     u(&mut out, "fractalcloud_streams_open", h.streams_open);
+    line(&mut out, "fractalcloud_overload_level", &[], f64::from(h.overload_level));
+    line(&mut out, "fractalcloud_draining", &[], f64::from(u8::from(h.draining)));
+    for (c, class) in CLASS_NAMES.iter().enumerate() {
+        for l in 0..3 {
+            let level = ["1", "2", "3"][l];
+            line(
+                &mut out,
+                "fractalcloud_requests_degraded_total",
+                &[("class", class), ("level", level)],
+                s.requests_degraded[c][l] as f64,
+            );
+        }
+    }
+    u(&mut out, "fractalcloud_goaway_sent_total", s.goaway_sent);
+    u(&mut out, "fractalcloud_connections_drained_total", s.connections_drained);
+    u(&mut out, "fractalcloud_retries_total", s.retries_total);
     for (kind, v) in [("moved", s.op_macs_moved), ("saved", s.op_macs_saved)] {
         line(&mut out, "fractalcloud_op_macs_total", &[("kind", kind)], v as f64);
     }
@@ -586,10 +647,16 @@ mod tests {
             stream_chunks_sent: 17,
             streams_cancelled: 1,
             streams_closed: 4,
+            requests_degraded: [[0; 3], [9, 0, 2], [0; 3]],
+            goaway_sent: 3,
+            connections_drained: 2,
+            retries_total: 6,
             ..Default::default()
         };
         let health = crate::EngineHealth {
             live: true,
+            draining: true,
+            overload_level: 2,
             workers_alive: 2,
             workers_configured: 2,
             queued_by_class: [0, 1, 2],
@@ -621,6 +688,18 @@ mod tests {
         assert!(text.contains("fractalcloud_streams_open 1\n"));
         assert!(text.contains("fractalcloud_faults_injected_at_total{point=\"worker\"} 3\n"));
         assert!(text.contains("fractalcloud_trace_capacity_events 16384\n"));
+        assert!(text.contains("fractalcloud_overload_level 2\n"));
+        assert!(text.contains("fractalcloud_draining 1\n"));
+        assert!(
+            text.contains("fractalcloud_requests_degraded_total{class=\"normal\",level=\"1\"} 9\n")
+        );
+        assert!(
+            text.contains("fractalcloud_requests_degraded_total{class=\"normal\",level=\"3\"} 2\n")
+        );
+        assert!(text.contains("fractalcloud_goaway_sent_total 3\n"));
+        assert!(text.contains("fractalcloud_connections_drained_total 2\n"));
+        assert!(text.contains("fractalcloud_retries_total 6\n"));
+        assert_eq!(snapshot.degraded_total(), 11);
     }
 
     #[test]

@@ -8,14 +8,26 @@
 //! connections lands in the same bounded admission queue as in-process
 //! callers and sheds with the same counted reasons.
 //!
-//! Two connection-level protections bound what one client can do to the
+//! Three connection-level protections bound what one client can do to the
 //! rest: a **concurrent-connection limit** (`ServeConfig::max_connections`
 //! — excess connects are answered `TOO_MANY_CONNECTIONS` and closed, so a
-//! connection flood cannot exhaust handler threads), and **round-robin
+//! connection flood cannot exhaust handler threads), **round-robin
 //! admission** across connections (a FIFO turnstile around engine
 //! submission: when several connections have a request ready, queue slots
 //! are granted in the order the requests became ready, so a greedy client
-//! hammering one connection cannot barge ahead of patiently waiting ones).
+//! hammering one connection cannot barge ahead of patiently waiting ones),
+//! and **per-connection socket timeouts** (`ServeConfig::idle_timeout_ms`
+//! bounds every read and write, so a peer that stops feeding or draining
+//! the socket is reaped instead of pinning a handler thread forever).
+//!
+//! During a zero-downtime drain ([`Engine::drain`]) every work opcode
+//! (PROCESS_FRAME / INFER / STREAM) is answered [`status::GOAWAY`] — the
+//! client reconnects elsewhere or retries after the maintenance window —
+//! while HEALTH and METRICS stay answered inline so probes keep working.
+//! [`ServeClient`] heals itself through all of this via [`RetryPolicy`]:
+//! seeded-deterministic exponential backoff with decorrelated jitter,
+//! reconnect-and-replay on GOAWAY or a dead transport, and never a retry
+//! past the request's own deadline.
 
 use crate::engine::{
     aggregation_wire, Engine, EngineHealth, FrameResponse, InferRequest, InferResponse, Priority,
@@ -252,7 +264,32 @@ fn handle_connection(mut stream: TcpStream, engine: &Arc<Engine>, gate: &FairGat
     if stream.set_nonblocking(false).is_err() {
         return;
     }
+    // Slow-peer defense: bound every socket read and write so a peer that
+    // stops feeding (or draining) the connection cannot pin this handler
+    // thread forever. An idle-but-healthy client is reaped too — it simply
+    // reconnects on its next request.
+    let idle_ms = engine.config().idle_timeout_ms;
+    if idle_ms > 0 {
+        let t = Some(Duration::from_millis(idle_ms));
+        if stream.set_read_timeout(t).is_err() || stream.set_write_timeout(t).is_err() {
+            return;
+        }
+    }
     let metrics = engine.metrics_registry();
+    // Counts this connection as drained (when it eventually closes) once
+    // it has been told to go away at least once.
+    struct DrainTally<'a> {
+        m: &'a crate::metrics::Metrics,
+        sent: bool,
+    }
+    impl Drop for DrainTally<'_> {
+        fn drop(&mut self) {
+            if self.sent {
+                self.m.connections_drained.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    let mut drain_tally = DrainTally { m: metrics, sent: false };
     let faults: Option<Arc<FaultLayer>> = engine.fault_layer().clone();
     let mut scratch = WireScratch::default();
     loop {
@@ -260,6 +297,11 @@ fn handle_connection(mut stream: TcpStream, engine: &Arc<Engine>, gate: &FairGat
         match read_exact_or_eof(&mut stream, &mut header) {
             Ok(ReadOutcome::Eof) => return, // clean close between requests
             Ok(ReadOutcome::Full) => {}
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                // Idle past the timeout between requests: reaped quietly,
+                // not counted as a disconnect error.
+                return;
+            }
             Err(_) => {
                 metrics.net_disconnects.fetch_add(1, Ordering::Relaxed);
                 return;
@@ -381,6 +423,22 @@ fn handle_connection(mut stream: TcpStream, engine: &Arc<Engine>, gate: &FairGat
             // Disconnect (or stall) mid-request.
             metrics.net_disconnects.fetch_add(1, Ordering::Relaxed);
             return;
+        }
+
+        // Zero-downtime drain: while the engine is soft-draining, work
+        // opcodes are answered GOAWAY (retryable — the client reconnects
+        // elsewhere or retries after the maintenance window) instead of
+        // queued. Health and metrics probes above stay answered inline so
+        // orchestrators can watch the drain progress.
+        if engine.is_draining() {
+            metrics.goaway_sent.fetch_add(1, Ordering::Relaxed);
+            drain_tally.sent = true;
+            if write_error(&mut stream, status::GOAWAY, "server draining, reconnect later").is_err()
+            {
+                metrics.net_disconnects.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            continue;
         }
 
         if opcode == OP_STREAM {
@@ -642,6 +700,17 @@ fn serve_stream(
     let chunk_size = pick(open.chunk, cfg.stream_chunk);
     let mut credits = pick(open.credits, cfg.stream_credits);
 
+    // The stream's wall-clock deadline (explicit, or the server default)
+    // also bounds credit waits: a viewer that stops sending credits used
+    // to pin this handler in an unbounded blocking read, leaking the
+    // stream (`opened − closed` never rebalanced). Now the wait resolves
+    // DEADLINE_EXCEEDED at the deadline and the guard above closes the
+    // stream. With no deadline configured anywhere the wait stays
+    // unbounded by contract, but polls instead of blocking.
+    let wait_deadline = deadline
+        .or((cfg.deadline_ms > 0).then(|| Duration::from_millis(cfg.deadline_ms)))
+        .map(|d| std::time::Instant::now() + d);
+
     let cloud = Arc::new(cloud);
     let mut seq = 0u32;
 
@@ -659,11 +728,31 @@ fn serve_stream(
     };
 
     while depth < total {
-        // Consume queued control frames before each refinement — blocking
-        // only when out of credits, so a cancel takes effect even while
-        // credits remain.
+        // Consume queued control frames before each refinement — waiting
+        // (deadline-bounded) only when out of credits, so a cancel takes
+        // effect even while credits remain.
         loop {
-            match read_control(stream, credits == 0) {
+            let verdict = if credits == 0 {
+                wait_for_credit(stream, faults, wait_deadline)
+            } else {
+                read_control(stream, false)
+            };
+            match verdict {
+                ControlRead::None if credits == 0 => {
+                    // Deadline expired while credit-starved: the stream
+                    // resolves instead of hanging the handler forever.
+                    return if write_error(
+                        stream,
+                        status::DEADLINE_EXCEEDED,
+                        "stream deadline expired waiting for credits",
+                    )
+                    .is_err()
+                    {
+                        StreamExit::CloseError
+                    } else {
+                        StreamExit::Continue
+                    };
+                }
                 ControlRead::None => break,
                 ControlRead::Credit => credits += 1,
                 ControlRead::Cancel => {
@@ -787,6 +876,36 @@ fn finish_stream(
     }
 }
 
+/// How often the credit-starved wait polls for a control frame.
+const CREDIT_POLL: Duration = Duration::from_millis(2);
+
+/// Waits (deadline-bounded) for a stream-control frame while
+/// credit-starved, polling non-blocking so the socket's idle timeout never
+/// misfires as a transport error. Returns [`ControlRead::None`] only when
+/// the deadline expires first. The [`FaultPoint::CreditStall`] hook fires
+/// once per wait: an injected `delay` models a viewer that stops sending
+/// credits for a while; an injected `err` drops the control read as if the
+/// socket died.
+fn wait_for_credit(
+    stream: &mut TcpStream,
+    faults: &Option<Arc<FaultLayer>>,
+    deadline: Option<std::time::Instant>,
+) -> ControlRead {
+    if faults::fire(faults, FaultPoint::CreditStall) {
+        return ControlRead::Bad;
+    }
+    loop {
+        match read_control(stream, false) {
+            ControlRead::None => {}
+            verdict => return verdict,
+        }
+        if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+            return ControlRead::None;
+        }
+        std::thread::sleep(CREDIT_POLL);
+    }
+}
+
 /// Reads one stream-control frame (header-only by contract). Non-blocking
 /// mode *peeks* first and only consumes a complete 9-byte header, so a
 /// partially arrived frame is left queued intact for the next poll.
@@ -853,6 +972,8 @@ fn write_ok(
         blocks: resp.blocks as u32,
         cache_hit: resp.cache_hit,
         batch_size: resp.batch_size as u32,
+        degraded: resp.degraded,
+        budget_served: resp.budget_served as u32,
     };
     scratch.payload.clear();
     protocol::encode_response_payload_into(&wire, &mut scratch.payload);
@@ -914,7 +1035,8 @@ pub enum ClientError {
 impl ClientError {
     /// True when the server shed the request (retryable by contract;
     /// includes [`status::DEADLINE_EXCEEDED`] — retry with a fresh
-    /// deadline). [`status::INTERNAL_ERROR`] is deliberately *not* shed:
+    /// deadline — and [`status::GOAWAY`] — reconnect first, the server is
+    /// draining). [`status::INTERNAL_ERROR`] is deliberately *not* shed:
     /// the same input may fail the same way.
     pub fn is_shed(&self) -> bool {
         matches!(
@@ -924,7 +1046,8 @@ impl ClientError {
                     | status::OVERSIZED
                     | status::SHUTTING_DOWN
                     | status::TOO_MANY_CONNECTIONS
-                    | status::DEADLINE_EXCEEDED,
+                    | status::DEADLINE_EXCEEDED
+                    | status::GOAWAY,
                 ..
             }
         )
@@ -960,9 +1083,90 @@ pub enum StreamEvent {
     End(WireStreamEnd),
 }
 
+/// Seeded, deterministic retry schedule for a self-healing client:
+/// exponential backoff with decorrelated jitter, capped, and never past
+/// the request's deadline. Two policies built with the same seed produce
+/// the same delay sequence, so chaos runs replay identically.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    max_retries: u32,
+    base: Duration,
+    cap: Duration,
+    state: u64,
+}
+
+impl RetryPolicy {
+    /// A policy allowing `max_retries` retries, jittered from `seed`
+    /// (base delay 10 ms, cap 1 s).
+    pub fn new(max_retries: u32, seed: u64) -> RetryPolicy {
+        RetryPolicy {
+            max_retries,
+            base: Duration::from_millis(10),
+            cap: Duration::from_secs(1),
+            state: seed,
+        }
+    }
+
+    /// Reads `FRACTALCLOUD_CLIENT_RETRIES` for the retry budget (default
+    /// 3 when unset or unparseable), jittered from `seed`.
+    pub fn from_env(seed: u64) -> RetryPolicy {
+        let max = std::env::var("FRACTALCLOUD_CLIENT_RETRIES")
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or(3);
+        RetryPolicy::new(max, seed)
+    }
+
+    /// Returns `self` with the given base (first-retry) delay.
+    pub fn base_delay(mut self, base: Duration) -> RetryPolicy {
+        self.base = base;
+        self
+    }
+
+    /// Returns `self` with the given backoff cap.
+    pub fn max_delay(mut self, cap: Duration) -> RetryPolicy {
+        self.cap = cap;
+        self
+    }
+
+    /// Retries this policy allows per request.
+    pub fn max_retries(&self) -> u32 {
+        self.max_retries
+    }
+
+    /// The delay before retry number `attempt` (0-based), or `None` when
+    /// the retry budget is exhausted or the delay would land past
+    /// `deadline` — a retry that cannot complete in time is not worth
+    /// sleeping for.
+    pub fn next_delay(
+        &mut self,
+        attempt: u32,
+        deadline: Option<std::time::Instant>,
+    ) -> Option<Duration> {
+        if attempt >= self.max_retries {
+            return None;
+        }
+        let exp = self.base.saturating_mul(1 << attempt.min(16)).min(self.cap);
+        // Decorrelated jitter over [exp/2, exp): enough spread to break up
+        // synchronized client stampedes, deterministic per seed.
+        let span = (exp.as_micros() / 2).max(1) as u64;
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let delay = Duration::from_micros(span + crate::faults::splitmix64(self.state) % span);
+        if let Some(d) = deadline {
+            if std::time::Instant::now() + delay >= d {
+                return None;
+            }
+        }
+        Some(delay)
+    }
+}
+
 /// A blocking client for the TCP front-end.
 pub struct ServeClient {
     stream: TcpStream,
+    peer: SocketAddr,
+    read_timeout: Option<Duration>,
+    retries: u64,
 }
 
 impl ServeClient {
@@ -974,19 +1178,41 @@ impl ServeClient {
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<ServeClient> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(ServeClient { stream })
+        let peer = stream.peer_addr()?;
+        Ok(ServeClient { stream, peer, read_timeout: None, retries: 0 })
     }
 
     /// Bounds every subsequent read; a stalled server then surfaces as
     /// [`ClientError::Io`] (`WouldBlock`/`TimedOut`) instead of hanging the
     /// caller forever. `None` restores unbounded reads. Chaos tests use
-    /// this to turn "hung" into an assertable outcome.
+    /// this to turn "hung" into an assertable outcome. The setting
+    /// survives [`RetryPolicy`]-driven reconnects.
     ///
     /// # Errors
     ///
     /// Propagates socket configuration failures.
     pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.read_timeout = timeout;
         self.stream.set_read_timeout(timeout)
+    }
+
+    /// Total retries this client has performed across every `*_retry`
+    /// call (reconnect-and-replay included). In-process harnesses fold
+    /// this into the server's
+    /// [`Metrics::record_retries`](crate::metrics::Metrics::record_retries)
+    /// before rendering the exposition.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Drops the current connection and dials the same peer again,
+    /// restoring the recorded read timeout.
+    fn reconnect(&mut self) -> io::Result<()> {
+        let stream = TcpStream::connect(self.peer)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(self.read_timeout)?;
+        self.stream = stream;
+        Ok(())
     }
 
     /// Requests the server's [`EngineHealth`] snapshot ([`OP_HEALTH`]).
@@ -1098,6 +1324,56 @@ impl ServeClient {
             });
         }
         protocol::decode_response_payload(&payload).map_err(ClientError::Protocol)
+    }
+
+    /// [`ServeClient::process_with_options`] wrapped in the self-healing
+    /// retry loop: shed statuses (including [`status::GOAWAY`]) and
+    /// transport failures are retried on `policy`'s backoff schedule —
+    /// reconnecting and replaying the request when the connection died or
+    /// the server said go away — and never past the request's own
+    /// deadline. Non-retryable rejections ([`status::INVALID`],
+    /// [`status::MALFORMED`], [`status::INTERNAL_ERROR`]) surface
+    /// immediately.
+    ///
+    /// # Errors
+    ///
+    /// The final attempt's error, as [`ServeClient::process_with_options`].
+    pub fn process_retry(
+        &mut self,
+        cloud: &fractalcloud_pointcloud::PointCloud,
+        config: &fractalcloud_core::PipelineConfig,
+        priority: Priority,
+        deadline_ms: u32,
+        policy: &mut RetryPolicy,
+    ) -> Result<WireResponse, ClientError> {
+        let deadline = (deadline_ms > 0)
+            .then(|| std::time::Instant::now() + Duration::from_millis(u64::from(deadline_ms)));
+        let mut attempt = 0u32;
+        loop {
+            let err = match self.process_with_options(cloud, config, priority, deadline_ms) {
+                Ok(resp) => return Ok(resp),
+                Err(e) => e,
+            };
+            let (retryable, reconnect) = match &err {
+                ClientError::Server { code, .. } => (err.is_shed(), *code == status::GOAWAY),
+                // A dead or desynced transport (EOF mid-reply, reset,
+                // timeout) is always replayed on a fresh connection.
+                ClientError::Io(_) => (true, true),
+                ClientError::Protocol(_) => (false, false),
+            };
+            let Some(delay) = retryable.then(|| policy.next_delay(attempt, deadline)).flatten()
+            else {
+                return Err(err);
+            };
+            attempt += 1;
+            self.retries += 1;
+            std::thread::sleep(delay);
+            if reconnect {
+                if let Err(e) = self.reconnect() {
+                    return Err(ClientError::Io(e));
+                }
+            }
+        }
     }
 
     /// [`ServeClient::process_with_options`] with a sample budget: a
@@ -1305,5 +1581,54 @@ impl ServeClient {
         let mut payload = vec![0u8; payload_len];
         self.stream.read_exact(&mut payload)?;
         Ok((code, payload))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_backoff_is_deterministic_per_seed() {
+        let mut a = RetryPolicy::new(8, 42);
+        let mut b = RetryPolicy::new(8, 42);
+        let seq_a: Vec<_> = (0..8).map(|i| a.next_delay(i, None).unwrap()).collect();
+        let seq_b: Vec<_> = (0..8).map(|i| b.next_delay(i, None).unwrap()).collect();
+        assert_eq!(seq_a, seq_b);
+        // Delays start in the base window, grow exponentially, and stay
+        // within the cap …
+        assert!(seq_a[0] >= Duration::from_millis(5) && seq_a[0] < Duration::from_millis(10));
+        assert!(*seq_a.last().unwrap() <= Duration::from_secs(1));
+        assert!(seq_a[4] > seq_a[0]);
+        // … and a different seed jitters differently.
+        let mut c = RetryPolicy::new(8, 43);
+        let seq_c: Vec<_> = (0..8).map(|i| c.next_delay(i, None).unwrap()).collect();
+        assert_ne!(seq_a, seq_c);
+    }
+
+    #[test]
+    fn retry_budget_and_deadline_both_stop_the_loop() {
+        let mut p = RetryPolicy::new(2, 7);
+        assert!(p.next_delay(0, None).is_some());
+        assert!(p.next_delay(1, None).is_some());
+        assert!(p.next_delay(2, None).is_none()); // budget exhausted
+        assert!(p.next_delay(100, None).is_none());
+        // A deadline closer than the backoff delay stops retrying even
+        // with budget left — sleeping past it cannot help.
+        let mut p = RetryPolicy::new(10, 7).base_delay(Duration::from_millis(50));
+        let near = std::time::Instant::now() + Duration::from_millis(1);
+        assert!(p.next_delay(0, Some(near)).is_none());
+        // A generous deadline leaves the schedule untouched.
+        let far = std::time::Instant::now() + Duration::from_secs(60);
+        assert!(p.next_delay(0, Some(far)).is_some());
+    }
+
+    #[test]
+    fn goaway_is_retryable_by_contract() {
+        let goaway = ClientError::Server { code: status::GOAWAY, message: "draining".to_owned() };
+        assert!(goaway.is_shed());
+        let internal =
+            ClientError::Server { code: status::INTERNAL_ERROR, message: "boom".to_owned() };
+        assert!(!internal.is_shed());
     }
 }

@@ -34,13 +34,13 @@
 //!     blocks:u32 cache_hit:u8 batch_size:u32
 //!     n_sampled:u32 sampled:u32{n_sampled}
 //!     n_centers:u32 num:u32 neighbors:u32{n_centers*num}
-//!     found:u32{n_centers}
+//!     found:u32{n_centers} [budget_served:u32]
 //!   payload (status OK, HEALTH):
 //!     live:u8 workers_alive:u64 workers_configured:u64
 //!     queued_high:u64 queued_normal:u64 queued_bulk:u64
 //!     last_progress_age_ms:u64 worker_panics:u64 workers_respawned:u64
 //!     uptime_ms:u64 trace_enabled:u8 trace_capacity:u64
-//!     trace_dropped:u64 streams_open:u64
+//!     trace_dropped:u64 streams_open:u64 draining:u8 overload_level:u8
 //!   payload (status OK, METRICS): UTF-8 Prometheus-style exposition text
 //!   payload (status OK, TRACE_DUMP): UTF-8 Chrome trace-event JSON
 //!     (draining the flight recorder)
@@ -88,8 +88,19 @@
 //! Status codes mirror [`ServeError`](crate::ServeError): `1` queue full,
 //! `2` oversized frame, `3` shutting down, `4` invalid request, `5`
 //! malformed wire data, `6` connection limit reached, `7` internal
-//! executor failure, `8` deadline exceeded. Shed statuses (`1`–`3`, `6`,
-//! `8`) are retryable by contract; `4`/`5`/`7` are not.
+//! executor failure, `8` deadline exceeded, `11` GOAWAY (the connection's
+//! server is draining — reconnect elsewhere or retry later). Shed statuses
+//! (`1`–`3`, `6`, `8`, `11`) are retryable by contract; `4`/`5`/`7` are
+//! not.
+//!
+//! The trailing `budget_served` on a PROCESS_FRAME response is the
+//! brown-out marker: its *presence* means the server degraded the request
+//! — it ran the frame at `budget_served` samples instead of the full (or
+//! requested) budget, and the results are the exact `budget_served`-sample
+//! prefix of the full run (see
+//! [`Pipeline::run_with_partition_budget`](fractalcloud_core::Pipeline::run_with_partition_budget)).
+//! Non-degraded responses omit the field, staying byte-identical to
+//! pre-brown-out servers.
 
 use crate::engine::{EngineHealth, Priority};
 use fractalcloud_core::PipelineConfig;
@@ -213,6 +224,12 @@ pub mod status {
     /// Streaming: the stream is over (completed, cancelled, or shed); the
     /// connection is back in the request/response loop.
     pub const STREAM_END: u8 = 10;
+    /// Shed: the server is draining this listener for maintenance. Finish
+    /// reading any in-flight replies, then reconnect elsewhere or retry
+    /// later (retryable). Work opcodes (PROCESS_FRAME / INFER / STREAM)
+    /// are answered GOAWAY while draining; HEALTH and METRICS stay
+    /// answered inline so probes keep working.
+    pub const GOAWAY: u8 = 11;
 }
 
 /// A decoding failure (maps to [`status::MALFORMED`]).
@@ -650,6 +667,14 @@ pub struct WireResponse {
     pub cache_hit: bool,
     /// Frames fused into the executing batch.
     pub batch_size: u32,
+    /// Whether the server browned-out this request (ran it at a reduced
+    /// sample budget). Wired as the *presence* of the `budget_served`
+    /// trailer, so non-degraded responses stay byte-identical to
+    /// pre-brown-out servers.
+    pub degraded: bool,
+    /// Samples actually served when `degraded` (0 otherwise). The results
+    /// are the exact `budget_served`-sample prefix of the full run.
+    pub budget_served: u32,
 }
 
 /// Encodes an OK response payload.
@@ -679,6 +704,10 @@ pub fn encode_response_payload_into(resp: &WireResponse, buf: &mut Vec<u8>) {
     }
     for &v in &resp.found {
         put_u32(buf, v);
+    }
+    // Brown-out marker: presence of the trailer *is* the degraded flag.
+    if resp.degraded {
+        put_u32(buf, resp.budget_served);
     }
 }
 
@@ -718,6 +747,10 @@ pub fn decode_response_payload(payload: &[u8]) -> Result<WireResponse, WireError
     for _ in 0..n_centers {
         found.push(r.u32("truncated found")?);
     }
+    // Optional brown-out trailer: present iff the server degraded the
+    // request.
+    let (degraded, budget_served) =
+        if r.remaining() > 0 { (true, r.u32("truncated budget_served")?) } else { (false, 0) };
     r.done()?;
     Ok(WireResponse {
         sampled_indices,
@@ -727,6 +760,8 @@ pub fn decode_response_payload(payload: &[u8]) -> Result<WireResponse, WireError
         blocks,
         cache_hit,
         batch_size,
+        degraded,
+        budget_served,
     })
 }
 
@@ -751,6 +786,8 @@ pub fn encode_health_payload(h: &EngineHealth) -> Vec<u8> {
     buf.extend_from_slice(&h.trace_capacity.to_le_bytes());
     buf.extend_from_slice(&h.trace_dropped.to_le_bytes());
     buf.extend_from_slice(&h.streams_open.to_le_bytes());
+    buf.push(u8::from(h.draining));
+    buf.push(h.overload_level);
     buf
 }
 
@@ -777,9 +814,13 @@ pub fn decode_health_payload(payload: &[u8]) -> Result<EngineHealth, WireError> 
     let trace_capacity = r.u64("truncated trace_capacity")?;
     let trace_dropped = r.u64("truncated trace_dropped")?;
     let streams_open = r.u64("truncated streams_open")?;
+    let draining = r.u8("truncated draining")? != 0;
+    let overload_level = r.u8("truncated overload_level")?;
     r.done()?;
     Ok(EngineHealth {
         live,
+        draining,
+        overload_level,
         workers_alive,
         workers_configured,
         queued_by_class,
@@ -1058,6 +1099,8 @@ impl StreamAccumulator {
             blocks: self.blocks,
             cache_hit: self.cache_hit,
             batch_size: 1,
+            degraded: false,
+            budget_served: 0,
         }
     }
 }
@@ -1126,6 +1169,8 @@ mod tests {
     fn health_round_trips() {
         let h = EngineHealth {
             live: true,
+            draining: true,
+            overload_level: 2,
             workers_alive: 3,
             workers_configured: 4,
             queued_by_class: [1, 2, 3],
@@ -1139,7 +1184,7 @@ mod tests {
             streams_open: 2,
         };
         let payload = encode_health_payload(&h);
-        assert_eq!(payload.len(), 2 + 12 * 8);
+        assert_eq!(payload.len(), 2 + 12 * 8 + 2);
         assert_eq!(decode_health_payload(&payload).unwrap(), h);
         assert!(decode_health_payload(&payload[..payload.len() - 1]).is_err());
         let mut long = payload;
@@ -1157,9 +1202,36 @@ mod tests {
             blocks: 7,
             cache_hit: true,
             batch_size: 3,
+            degraded: false,
+            budget_served: 0,
         };
         let payload = encode_response_payload(&resp);
         assert_eq!(decode_response_payload(&payload).unwrap(), resp);
+    }
+
+    #[test]
+    fn degraded_marker_rides_as_an_optional_trailer() {
+        let full = WireResponse {
+            sampled_indices: vec![5, 9, 200],
+            neighbor_indices: vec![1, 2, 3, 4, 5, 6],
+            found: vec![2, 1, 2],
+            num: 2,
+            blocks: 7,
+            cache_hit: false,
+            batch_size: 1,
+            degraded: false,
+            budget_served: 0,
+        };
+        let degraded = WireResponse { degraded: true, budget_served: 3, ..full.clone() };
+        // A degraded response appends exactly 4 bytes and round-trips …
+        let with = encode_response_payload(&degraded);
+        assert_eq!(with.len(), encode_response_payload(&full).len() + 4);
+        assert_eq!(decode_response_payload(&with).unwrap(), degraded);
+        // … while a non-degraded one is byte-identical to a pre-brown-out
+        // server's encoding (presence of the trailer *is* the flag).
+        assert_eq!(decode_response_payload(&encode_response_payload(&full)).unwrap(), full);
+        // A partial trailer is malformed, not silently ignored.
+        assert!(decode_response_payload(&with[..with.len() - 1]).is_err());
     }
 
     #[test]

@@ -4,14 +4,16 @@
 //! serving, and fault-free configurations are bit-identical to a clean
 //! engine.
 
-use fractalcloud_core::{block_ball_query, block_fps, BppoConfig, Fractal, PipelineConfig};
+use fractalcloud_core::{
+    block_ball_query, block_fps, BppoConfig, Fractal, Pipeline, PipelineConfig,
+};
 use fractalcloud_pointcloud::generate::{scene_cloud, uniform_cube, SceneConfig};
 use fractalcloud_pointcloud::kernels::{self, Backend};
 use fractalcloud_pointcloud::PointCloud;
 use fractalcloud_serve::protocol::status;
 use fractalcloud_serve::{
-    Engine, FaultKind, FaultPlan, FaultPoint, FrameResponse, Priority, ServeClient, ServeConfig,
-    TcpServer,
+    BrownoutConfig, Engine, FaultKind, FaultPlan, FaultPoint, FrameResponse, Priority, ServeClient,
+    ServeConfig, TcpServer,
 };
 use std::sync::Arc;
 use std::time::Duration;
@@ -304,4 +306,131 @@ fn off_plan_is_zero_cost_and_identical_to_default() {
     assert_eq!(explicit.metrics().worker_panics, 0);
     explicit.shutdown();
     default.shutdown();
+}
+
+/// Brown-out under a chaos storm: with the engine pinned one level into
+/// brown-out AND a seeded fault plan (worker panics, block errors, dropped
+/// cache inserts) raging, every submission still resolves exactly once,
+/// every degraded success is the *bit-identical* budget-`k` prefix of the
+/// full run (the same prefix on every kernel backend), and High priority
+/// never degrades.
+#[test]
+fn brownout_chaos_storm_degrades_without_corruption() {
+    let plan = FaultPlan::OFF
+        .with_fault(FaultKind::Panic, FaultPoint::Worker, 0.1)
+        .with_fault(FaultKind::Err, FaultPoint::Block, 0.05)
+        .with_fault(FaultKind::Err, FaultPoint::CacheInsert, 0.2)
+        .with_seed(0xB0_0F);
+    let brownout = BrownoutConfig { forced: Some(1), ..BrownoutConfig::default() };
+    let engine = Arc::new(Engine::start(
+        ServeConfig::default()
+            .workers(2)
+            .queue_capacity(64)
+            .max_batch(4)
+            .faults(plan)
+            .brownout(brownout),
+    ));
+    let cfg = PipelineConfig::default();
+    let frames: Vec<PointCloud> = (0..3)
+        .map(|seed| scene_cloud(&SceneConfig::default(), 500 + 150 * seed as usize, seed))
+        .collect();
+
+    // Per frame: the served budget at level 1 is `full >> 1`, and the
+    // expected degraded answer is the run_budget prefix — verified
+    // backend-invariant up front so a storm failure can't be blamed on
+    // kernel divergence.
+    let pipe = Pipeline::new(cfg).unwrap();
+    struct Want {
+        k: usize,
+        prefix: (Vec<usize>, Vec<usize>),
+        full: (Vec<usize>, Vec<usize>),
+    }
+    let expected: Vec<Want> = frames
+        .iter()
+        .map(|f| {
+            let full_run = pipe.run(f, false).unwrap();
+            let full = (full_run.sampled.indices, full_run.grouped.indices);
+            let k = (full.0.len() >> 1).max(1);
+            let budget_run = pipe.run_budget(f, k, false).unwrap();
+            let prefix = (budget_run.sampled.indices, budget_run.grouped.indices);
+            for backend in Backend::ALL {
+                let via = kernels::with_backend(backend, || {
+                    let o = pipe.run_budget(f, k, false).unwrap();
+                    (o.sampled.indices, o.grouped.indices)
+                });
+                assert_eq!(via, prefix, "backend {backend:?} diverged on the budget prefix");
+            }
+            Want { k, prefix, full }
+        })
+        .collect();
+
+    let (mut ok_normal, mut ok_high, mut internal, mut shed, mut hung) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
+    let mut submitted = 0u64;
+    for wave in 0..120 {
+        let tickets: Vec<_> = (0..12)
+            .map(|i| {
+                let idx = (wave + i) % frames.len();
+                let priority = if i % 3 == 0 { Priority::High } else { Priority::Normal };
+                let t = engine.submit_with_priority(frames[idx].clone(), cfg, priority).unwrap();
+                (idx, priority, t)
+            })
+            .collect();
+        submitted += tickets.len() as u64;
+        for (idx, priority, t) in tickets {
+            match t.wait_timeout(Duration::from_secs(30)) {
+                None => hung += 1,
+                Some(Ok(r)) => {
+                    let want = &expected[idx];
+                    if priority == Priority::High {
+                        assert!(!r.degraded, "High priority degraded under brown-out");
+                        assert_eq!(r.budget_served, 0);
+                        assert_eq!(shape(&r), want.full, "High response diverged mid-storm");
+                        ok_high += 1;
+                    } else {
+                        assert!(r.degraded, "forced level 1 must mark Normal responses");
+                        assert_eq!(r.budget_served, want.k);
+                        assert_eq!(
+                            shape(&r),
+                            want.prefix,
+                            "degraded response is not the budget-{} prefix",
+                            want.k
+                        );
+                        ok_normal += 1;
+                    }
+                }
+                Some(Err(fractalcloud_serve::ServeError::Internal)) => internal += 1,
+                Some(Err(fractalcloud_serve::ServeError::Shed(_))) => shed += 1,
+                Some(Err(e)) => panic!("unexpected outcome under chaos: {e}"),
+            }
+        }
+        if engine.metrics().worker_panics >= 5 {
+            break;
+        }
+    }
+
+    assert_eq!(hung, 0, "brown-out chaos must never hang a waiter");
+    assert_eq!(
+        ok_normal + ok_high + internal + shed,
+        submitted,
+        "every submission resolves exactly once"
+    );
+    assert_eq!(shed, 0, "level 1 degrades instead of shedding, and no deadline is set");
+    assert!(ok_normal > 0 && ok_high > 0, "the storm should complete work in both classes");
+
+    let m = engine.metrics();
+    // The degraded counter ticks at execution start, so it can lead the
+    // success count when a worker panics after counting — `>=`, not `==`.
+    assert!(
+        m.requests_degraded[Priority::Normal.index()][0] >= ok_normal,
+        "degraded executions underflow the books: {m:?}"
+    );
+    assert_eq!(
+        m.requests_degraded[Priority::High.index()],
+        [0, 0, 0],
+        "High must never appear in the degraded books"
+    );
+    assert!(m.degraded_total() >= ok_normal);
+    assert!(engine.health().live, "engine must stay live through the brown-out storm");
+    engine.shutdown();
 }

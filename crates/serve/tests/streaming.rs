@@ -226,3 +226,55 @@ fn malformed_stream_requests_keep_the_connection_usable() {
     server.shutdown();
     engine.shutdown();
 }
+
+#[test]
+fn credit_starved_stream_resolves_at_the_deadline() {
+    // A viewer that opens a stream and never sends credits used to pin the
+    // connection's handler in an unbounded credit wait. Now the wait is
+    // bounded by the stream's deadline: the server resolves the stream with
+    // a retryable DEADLINE_EXCEEDED, balances its stream books, and keeps
+    // the connection usable.
+    let (engine, mut server) =
+        start(ServeConfig::default().workers(1).stream_first_paint(16).stream_chunk(16));
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+    let cloud = scene_cloud(&SceneConfig::default(), 2048, 17);
+    let cfg = PipelineConfig::default();
+
+    // One credit pays for the first paint; refinement then starves.
+    let open = WireStreamOpen { first_paint: 0, chunk: 0, credits: 1 };
+    client.stream_open(&cloud, &cfg, Priority::Normal, 300, &open).unwrap();
+    match client.stream_next().unwrap() {
+        StreamEvent::Chunk(c) => assert!(c.hi - c.lo <= 16),
+        StreamEvent::End(e) => panic!("stream ended before first paint: {e:?}"),
+    }
+
+    // Never send another credit: the server must give up at the deadline,
+    // not hang forever.
+    let err = loop {
+        match client.stream_next() {
+            Ok(StreamEvent::Chunk(_)) => continue,
+            Ok(StreamEvent::End(e)) => panic!("starved stream ended cleanly: {e:?}"),
+            Err(e) => break e,
+        }
+    };
+    match &err {
+        fractalcloud_serve::ClientError::Server { code, .. } => {
+            assert_eq!(*code, protocol::status::DEADLINE_EXCEEDED, "wrong status: {err:?}");
+        }
+        other => panic!("expected DEADLINE_EXCEEDED, got {other:?}"),
+    }
+    assert!(err.is_shed(), "a deadline resolution must stay retryable");
+
+    // The stream books close and the connection is still usable.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while engine.health().streams_open > 0 {
+        assert!(std::time::Instant::now() < deadline, "stream books never balanced");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let m = engine.metrics();
+    assert_eq!(m.streams_opened, m.streams_closed, "streams_open/closed must balance");
+    client.process(&cloud, &cfg).unwrap();
+
+    server.shutdown();
+    engine.shutdown();
+}

@@ -43,6 +43,9 @@ fn print_exposition(text: &str) {
             || line.starts_with("fractalcloud_latency_us")
             || line.starts_with("fractalcloud_queue_wait_p99_us_all")
             || line.starts_with("fractalcloud_trace_enabled")
+            || line.starts_with("fractalcloud_overload_level")
+            || line.starts_with("fractalcloud_goaway_sent_total")
+            || line.starts_with("fractalcloud_retries_total")
         {
             println!("    {line}");
         }
@@ -575,6 +578,102 @@ fn main() {
         "  zero hung streams: streams_open=0 (opened {}, closed {}, cancelled {}, chunks sent {})",
         m.streams_opened, m.streams_closed, m.streams_cancelled, m.stream_chunks_sent
     );
+    server.shutdown();
+    engine.shutdown();
+
+    // --- Phase 7: graceful degradation — adaptive brown-out, then a live
+    // zero-downtime drain with a self-healing client ---
+    // An aggressive controller tuning (any measurable queue wait counts as
+    // pressure, relax-through-traffic effectively off) so the storm
+    // demonstrably climbs the brown-out ladder; once the clients stop, idle
+    // decay must walk the level back to Normal with no operator action.
+    use fractalcloud::serve::{BrownoutConfig, RetryPolicy};
+    let brownout = BrownoutConfig {
+        enabled: true,
+        forced: None,
+        escalate_wait_us: 200,
+        relax_wait_us: 100,
+        escalate_after: 1,
+        relax_after: 1_000_000,
+        dwell_ms: 1,
+    };
+    let engine = Arc::new(Engine::start(
+        ServeConfig::from_env().workers(1).thread_budget(1).queue_capacity(32).brownout(brownout),
+    ));
+    let mut server = TcpServer::bind("127.0.0.1:0", Arc::clone(&engine)).expect("bind localhost");
+    let storm_clients = clients * 2;
+    let (wall, ok, shed, _) =
+        drive(server.local_addr(), &clouds, cfg, frames, storm_clients, |_| Priority::Normal);
+    let m = engine.metrics();
+    let by_level = |l: usize| m.requests_degraded.iter().map(|per_class| per_class[l]).sum::<u64>();
+    println!(
+        "\nphase 7 — graceful degradation (adaptive brown-out, {storm_clients} clients on 1 worker)"
+    );
+    println!(
+        "  throughput     : {:.1} frames/s ({ok} ok, {shed} shed, {wall:.2} s)",
+        ok as f64 / wall
+    );
+    println!(
+        "  degraded by level: l1={} l2={} l3={} ({} of {ok} ok responses at reduced budget)",
+        by_level(0),
+        by_level(1),
+        by_level(2),
+        m.degraded_total()
+    );
+    assert!(m.degraded_total() > 0, "the storm should have pushed the controller into brown-out");
+    // Degraded responses are still correct — just shallower: each is the
+    // exact budget-k prefix of the full quality ordering, so a dashboard
+    // shows quality fading under load instead of requests failing.
+    println!(
+        "  under pressure the server answered at a reduced LOD budget (exact\n  prefix of the full ordering) instead of shedding or queue-bloating."
+    );
+    let recover_deadline = Instant::now() + Duration::from_secs(10);
+    while engine.overload_level().as_u8() != 0 {
+        assert!(Instant::now() < recover_deadline, "controller never recovered after the storm");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    println!("  recovered: overload_level=0");
+    print_exposition(&engine.metrics_text());
+    server.shutdown();
+    engine.shutdown();
+
+    // Zero-downtime drain: the draining server answers work with GOAWAY
+    // (retryable) while probes stay inline; the self-healing client rides
+    // the seeded backoff schedule, reconnects, and replays the request the
+    // moment the engine resumes.
+    let engine = Arc::new(Engine::start(ServeConfig::from_env().workers(1)));
+    let mut server = TcpServer::bind("127.0.0.1:0", Arc::clone(&engine)).expect("bind localhost");
+    let mut client = ServeClient::connect(server.local_addr()).expect("connect drain client");
+    client.process(&clouds[0], &cfg).expect("pre-drain frame");
+    engine.drain();
+    match client.process(&clouds[0], &cfg) {
+        Err(ClientError::Server { code, .. })
+            if code == fractalcloud::serve::protocol::status::GOAWAY => {}
+        other => panic!("a draining server must answer GOAWAY, got {other:?}"),
+    }
+    assert!(client.health().expect("health while draining").draining);
+    let resumer = {
+        let engine = Arc::clone(&engine);
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(120));
+            engine.resume();
+        })
+    };
+    let mut policy = RetryPolicy::new(8, 0x10AD).base_delay(Duration::from_millis(25));
+    client
+        .process_retry(&clouds[0], &cfg, Priority::Normal, 0, &mut policy)
+        .expect("the retry loop must outlast the drain window");
+    resumer.join().expect("resume thread");
+    engine.record_retries(client.retries());
+    let m = engine.metrics();
+    assert!(client.retries() >= 1, "healing through a drain takes at least one retry");
+    assert!(m.goaway_sent >= 1, "GOAWAY must be counted: {m:?}");
+    println!(
+        "  drain round-trip: goaway observed, reconnected ok after {} retries (goaway_sent={})",
+        client.retries(),
+        m.goaway_sent
+    );
+    print_exposition(&engine.metrics_text());
     server.shutdown();
     engine.shutdown();
 }
